@@ -1,0 +1,317 @@
+//! The Jahanjou, Kantor & Rajaraman baseline (SPAA 2017) for the
+//! single-path ("circuit-based coflows with paths given") model.
+//!
+//! Paper §6.2's description of their approach: *"First write an LP using
+//! geometric time intervals, then schedule each job according to the
+//! interval its α point (the time when α fraction of this job is
+//! finished) belongs to. […] To optimize the approximation ratio, ε is
+//! set to 0.5436."*
+//!
+//! Reproduction: we reuse the geometric-interval LP from
+//! `coflow-core::interval`, compute each coflow's α-point interval from
+//! the LP's cumulative fractions, and schedule the coflows batch by
+//! batch in α-point order. Two batch disciplines are provided:
+//!
+//! * [`BatchMode::Strict`] (default, used in the figure harnesses) —
+//!   batch `k+1` starts only after batch `k` completes, mirroring the
+//!   interval-by-interval structure of their rounding (their analysis
+//!   dilates each interval to fit its α-point jobs; the sequential
+//!   barrier is the schedule that analysis actually charges against).
+//! * [`BatchMode::WorkConserving`] — batches define a static priority
+//!   order and idle capacity flows to later batches. Strictly better in
+//!   practice; included so the comparison cannot be accused of
+//!   weakening the baseline (both series appear in `EXPERIMENTS.md`).
+//!
+//! Within a batch, coflows are visited in Smith-ratio (weight/demand)
+//! order, and each flow is confined to its fixed path.
+
+use coflow_core::greedy::SlotAllocator;
+use coflow_core::interval::{solve_interval, IntervalRelaxation};
+use coflow_core::model::CoflowInstance;
+use coflow_core::routing::Routing;
+use coflow_core::schedule::Schedule;
+use coflow_core::CoflowError;
+use coflow_lp::SolverOptions;
+
+/// The ε Jahanjou et al. use to optimize their approximation ratio.
+pub const EPSILON_OPT: f64 = 0.5436;
+
+/// How α-point batches share the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Sequential batch barriers (paper-faithful default).
+    Strict,
+    /// Batches as static priorities; work conserving.
+    WorkConserving,
+}
+
+/// Configuration for [`jahanjou_schedule`].
+#[derive(Clone, Copy, Debug)]
+pub struct JahanjouConfig {
+    /// Geometric-interval parameter (their optimized value by default).
+    pub epsilon: f64,
+    /// The α of the α-point rule.
+    pub alpha: f64,
+    /// Batch discipline.
+    pub mode: BatchMode,
+}
+
+impl Default for JahanjouConfig {
+    fn default() -> Self {
+        JahanjouConfig {
+            epsilon: EPSILON_OPT,
+            alpha: 0.5,
+            mode: BatchMode::Strict,
+        }
+    }
+}
+
+/// Outcome of the baseline: the schedule plus the interval LP it used.
+#[derive(Clone, Debug)]
+pub struct JahanjouOutcome {
+    /// The rounded, feasible schedule.
+    pub schedule: Schedule,
+    /// The interval relaxation (its objective is their LP lower bound).
+    pub relaxation: IntervalRelaxation,
+    /// α-point interval index per coflow (1-based interval number).
+    pub alpha_interval: Vec<usize>,
+}
+
+/// Runs the baseline. `routing` must be [`Routing::SinglePath`].
+///
+/// # Errors
+///
+/// [`CoflowError::BadRouting`] unless single-path routing is given;
+/// otherwise propagates LP/allocator errors.
+pub fn jahanjou_schedule(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+    cfg: &JahanjouConfig,
+    lp_opts: &SolverOptions,
+) -> Result<JahanjouOutcome, CoflowError> {
+    if !matches!(routing, Routing::SinglePath(_)) {
+        return Err(CoflowError::BadRouting(
+            "Jahanjou et al. applies to the single-path model".into(),
+        ));
+    }
+    assert!(
+        cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+        "alpha must lie in (0, 1]"
+    );
+    let relaxation = solve_interval(inst, routing, horizon, cfg.epsilon, lp_opts)?;
+
+    // α-point interval per coflow: the first interval by whose end an α
+    // fraction of EVERY flow is scheduled (coflow progress is the min of
+    // its flows' cumulative fractions).
+    let nk = relaxation.boundaries.len() - 1;
+    let mut alpha_interval = Vec::with_capacity(inst.num_coflows());
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let mut k_alpha = nk;
+        // Cumulative per flow, then coflow min at each interval.
+        'outer: for k in 1..=nk {
+            let mut coflow_min = f64::INFINITY;
+            for i in 0..cf.flows.len() {
+                let cum: f64 = relaxation.flow_fractions[j][i][..k].iter().sum();
+                coflow_min = coflow_min.min(cum);
+            }
+            if coflow_min >= cfg.alpha - 1e-9 {
+                k_alpha = k;
+                break 'outer;
+            }
+        }
+        alpha_interval.push(k_alpha);
+    }
+
+    // Batch order: α-point interval ascending; Smith ratio within.
+    let mut order: Vec<usize> = (0..inst.num_coflows()).collect();
+    order.sort_by(|&a, &b| {
+        alpha_interval[a].cmp(&alpha_interval[b]).then_with(|| {
+            let ra = inst.coflows[a].weight / inst.coflows[a].total_demand();
+            let rb = inst.coflows[b].weight / inst.coflows[b].total_demand();
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    });
+
+    let schedule = match cfg.mode {
+        BatchMode::WorkConserving => {
+            let mut alloc = SlotAllocator::new(inst, routing)?;
+            while !alloc.is_done() {
+                alloc.step(&order)?;
+            }
+            alloc.finish()
+        }
+        BatchMode::Strict => {
+            let mut alloc = SlotAllocator::new(inst, routing)?;
+            // Group consecutive coflows with the same α-point interval.
+            let mut start = 0;
+            while start < order.len() {
+                let k = alpha_interval[order[start]];
+                let mut end = start;
+                while end < order.len() && alpha_interval[order[end]] == k {
+                    end += 1;
+                }
+                let batch = &order[start..end];
+                while !batch_done(&alloc, inst, batch) {
+                    alloc.step(batch)?;
+                }
+                start = end;
+            }
+            alloc.finish()
+        }
+    };
+
+    Ok(JahanjouOutcome {
+        schedule,
+        relaxation,
+        alpha_interval,
+    })
+}
+
+fn batch_done(alloc: &SlotAllocator<'_>, inst: &CoflowInstance, batch: &[usize]) -> bool {
+    batch.iter().all(|&j| {
+        (0..inst.coflows[j].flows.len()).all(|i| alloc.flow_remaining(j, i) <= 1e-9)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_core::model::{Coflow, Flow};
+    use coflow_core::routing;
+    use coflow_core::validate::{validate, Tolerance};
+    use coflow_netgraph::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn swan_instance(n: usize) -> (CoflowInstance, Routing) {
+        use rand::Rng;
+        let topo = topology::swan();
+        let g = topo.graph;
+        let nodes: Vec<_> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut coflows = Vec::new();
+        for _ in 0..n {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let mut b = nodes[rng.gen_range(0..nodes.len())];
+            while b == a {
+                b = nodes[rng.gen_range(0..nodes.len())];
+            }
+            coflows.push(Coflow::weighted(
+                rng.gen_range(1.0..100.0),
+                vec![Flow::new(a, b, rng.gen_range(10.0..80.0))],
+            ));
+        }
+        let inst = CoflowInstance::new(g, coflows).unwrap();
+        let r = routing::random_shortest_paths(&inst, &mut rng).unwrap();
+        (inst, r)
+    }
+
+    #[test]
+    fn produces_feasible_schedules_in_both_modes() {
+        let (inst, r) = swan_instance(6);
+        let horizon = coflow_core::horizon::horizon(
+            &inst,
+            &r,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.5 },
+        )
+        .unwrap();
+        for mode in [BatchMode::Strict, BatchMode::WorkConserving] {
+            let cfg = JahanjouConfig {
+                mode,
+                ..Default::default()
+            };
+            let out =
+                jahanjou_schedule(&inst, &r, horizon, &cfg, &SolverOptions::default()).unwrap();
+            validate(&inst, &r, &out.schedule, Tolerance::default())
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn work_conserving_never_loses_to_strict() {
+        let (inst, r) = swan_instance(8);
+        let horizon = coflow_core::horizon::horizon(
+            &inst,
+            &r,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.5 },
+        )
+        .unwrap();
+        let strict = jahanjou_schedule(
+            &inst,
+            &r,
+            horizon,
+            &JahanjouConfig::default(),
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let wc = jahanjou_schedule(
+            &inst,
+            &r,
+            horizon,
+            &JahanjouConfig {
+                mode: BatchMode::WorkConserving,
+                ..Default::default()
+            },
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let cost = |s: &Schedule| s.completions(&inst).unwrap().weighted_total;
+        assert!(
+            cost(&wc.schedule) <= cost(&strict.schedule) + 1e-9,
+            "wc {} > strict {}",
+            cost(&wc.schedule),
+            cost(&strict.schedule)
+        );
+    }
+
+    #[test]
+    fn alpha_points_are_monotone_in_alpha() {
+        let (inst, r) = swan_instance(5);
+        let horizon = coflow_core::horizon::horizon(
+            &inst,
+            &r,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.5 },
+        )
+        .unwrap();
+        let lo = jahanjou_schedule(
+            &inst,
+            &r,
+            horizon,
+            &JahanjouConfig {
+                alpha: 0.25,
+                ..Default::default()
+            },
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let hi = jahanjou_schedule(
+            &inst,
+            &r,
+            horizon,
+            &JahanjouConfig {
+                alpha: 0.9,
+                ..Default::default()
+            },
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        for (a, b) in lo.alpha_interval.iter().zip(&hi.alpha_interval) {
+            assert!(a <= b, "α-point must move later as α grows");
+        }
+    }
+
+    #[test]
+    fn rejects_non_single_path_models() {
+        let (inst, _) = swan_instance(3);
+        let err = jahanjou_schedule(
+            &inst,
+            &Routing::FreePath,
+            20,
+            &JahanjouConfig::default(),
+            &SolverOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoflowError::BadRouting(_)));
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline coflow schedulers the paper compares against (§6.2), plus
+//! the concurrent open shop machinery behind its hardness proof (§5).
+//!
+//! * [`jahanjou`] — Jahanjou, Kantor & Rajaraman's single-path algorithm
+//!   (SPAA 2017): geometric-interval LP + α-point batching. The paper's
+//!   Figures 9–10 comparator.
+//! * [`terra`] — Terra's offline free-path algorithm (You & Chowdhury):
+//!   per-coflow standalone minimum completion times, then shortest
+//!   remaining time first. The paper's Figures 11–12 comparator
+//!   (unweighted).
+//! * [`sjf`] — shortest-job-first greedy in the spirit of Zhao et al.'s
+//!   RAPIER heuristic (related work), as an extra reference point.
+//! * [`primal_dual`] — the LP-free combinatorial ordering of Ahmadi et
+//!   al. / Sincronia (§1.1's "very practical combinatorial algorithm"),
+//!   ported to the graph setting via the edge-machine open shop.
+//! * [`openshop`] — concurrent open shop instances, both directions of
+//!   the §5 reduction, and an exact brute-force optimum for tiny
+//!   instances (used to test the (2−ε)-hardness reduction's
+//!   objective-preservation and to sanity-check approximation factors).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod jahanjou;
+pub mod openshop;
+pub mod primal_dual;
+pub mod sjf;
+pub mod terra;

@@ -1,0 +1,434 @@
+//! Concurrent open shop: the problem behind the paper's hardness result.
+//!
+//! §5 proves coflow scheduling is NP-hard to approximate within `2 − ε`
+//! by an objective-preserving reduction from concurrent open shop
+//! (Bansal–Khot / Sachdeva–Saket hardness). This module implements:
+//!
+//! * the concurrent open shop model ([`OpenShopInstance`]);
+//! * an exact solver for tiny instances ([`exact_optimum`]) — optimal
+//!   schedules may be assumed to be *permutation* schedules, so
+//!   brute-forcing job orders is exact;
+//! * the reduction in both directions ([`to_coflow_instance`],
+//!   [`coflow_schedule_cost_to_openshop`], [`permutation_to_coflow_schedule`]),
+//!   following the proof's constructions line by line.
+//!
+//! Integration tests use these to verify the reduction preserves
+//! objectives and to benchmark our algorithms against exact optima on
+//! tiny instances.
+
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::routing::Routing;
+use coflow_core::schedule::{Schedule, SlotTransfer};
+use coflow_core::CoflowError;
+use coflow_netgraph::{GraphBuilder, Path};
+use rand::Rng;
+
+/// One job: processing demand per machine (0 = job absent from machine).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenShopJob {
+    /// Priority weight `w_j > 0`.
+    pub weight: f64,
+    /// `processing[i]` = time units required on machine `i`.
+    pub processing: Vec<f64>,
+}
+
+/// A concurrent open shop instance: jobs may be processed on all their
+/// machines simultaneously; a job completes when all machines finish its
+/// demand; machines process one unit of work per time unit.
+#[derive(Clone, Debug)]
+pub struct OpenShopInstance {
+    /// Number of machines `m`.
+    pub machines: usize,
+    /// The jobs.
+    pub jobs: Vec<OpenShopJob>,
+}
+
+impl OpenShopInstance {
+    /// Validates shapes and positivity.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] on malformed data.
+    pub fn new(machines: usize, jobs: Vec<OpenShopJob>) -> Result<Self, CoflowError> {
+        if machines == 0 {
+            return Err(CoflowError::BadInstance("need at least one machine".into()));
+        }
+        for (j, job) in jobs.iter().enumerate() {
+            if job.processing.len() != machines {
+                return Err(CoflowError::BadInstance(format!(
+                    "job {j}: {} machine entries for {machines} machines",
+                    job.processing.len()
+                )));
+            }
+            if !(job.weight.is_finite() && job.weight > 0.0) {
+                return Err(CoflowError::BadInstance(format!("job {j}: bad weight")));
+            }
+            if job.processing.iter().any(|&p| !(p.is_finite() && p >= 0.0)) {
+                return Err(CoflowError::BadInstance(format!(
+                    "job {j}: negative or non-finite processing time"
+                )));
+            }
+            if job.processing.iter().all(|&p| p == 0.0) {
+                return Err(CoflowError::BadInstance(format!(
+                    "job {j}: no processing demand on any machine"
+                )));
+            }
+        }
+        Ok(OpenShopInstance { machines, jobs })
+    }
+
+    /// Uniform random instance with integer processing times in
+    /// `1..=p_max` (some entries zeroed with probability `sparsity`).
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        machines: usize,
+        jobs: usize,
+        p_max: u32,
+        sparsity: f64,
+        weighted: bool,
+    ) -> Self {
+        let jobs = (0..jobs)
+            .map(|_| {
+                let mut processing: Vec<f64> = (0..machines)
+                    .map(|_| {
+                        if rng.gen_bool(sparsity) {
+                            0.0
+                        } else {
+                            rng.gen_range(1..=p_max) as f64
+                        }
+                    })
+                    .collect();
+                if processing.iter().all(|&p| p == 0.0) {
+                    let i = rng.gen_range(0..machines);
+                    processing[i] = rng.gen_range(1..=p_max) as f64;
+                }
+                OpenShopJob {
+                    weight: if weighted {
+                        rng.gen_range(1.0..10.0)
+                    } else {
+                        1.0
+                    },
+                    processing,
+                }
+            })
+            .collect();
+        OpenShopInstance {
+            machines,
+            jobs,
+        }
+    }
+
+    /// Cost of the permutation schedule given by `order` (§5 proof: jobs
+    /// processed non-preemptively per machine in the given order; a
+    /// job's completion on machine `i` is the prefix sum of processing
+    /// times of jobs up to it; the job completes at the max over
+    /// machines).
+    pub fn permutation_cost(&self, order: &[usize]) -> f64 {
+        let mut completion = vec![0.0f64; self.jobs.len()];
+        for i in 0..self.machines {
+            let mut t = 0.0;
+            for &j in order {
+                let p = self.jobs[j].processing[i];
+                if p > 0.0 {
+                    t += p;
+                    completion[j] = completion[j].max(t);
+                }
+            }
+        }
+        completion
+            .iter()
+            .zip(&self.jobs)
+            .map(|(&c, job)| job.weight * c)
+            .sum()
+    }
+}
+
+/// Exact optimum over all permutation schedules (optimal for concurrent
+/// open shop). Exponential — intended for ≤ 9 jobs.
+pub fn exact_optimum(inst: &OpenShopInstance) -> (f64, Vec<usize>) {
+    let n = inst.jobs.len();
+    assert!(n <= 10, "exact solver is factorial; use <= 10 jobs");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = (f64::INFINITY, perm.clone());
+    heaps(n, &mut perm, inst, &mut best);
+    best
+}
+
+fn heaps(k: usize, perm: &mut Vec<usize>, inst: &OpenShopInstance, best: &mut (f64, Vec<usize>)) {
+    if k <= 1 {
+        let c = inst.permutation_cost(perm);
+        if c < best.0 {
+            *best = (c, perm.clone());
+        }
+        return;
+    }
+    for i in 0..k {
+        heaps(k - 1, perm, inst, best);
+        if k.is_multiple_of(2) {
+            perm.swap(i, k - 1);
+        } else {
+            perm.swap(0, k - 1);
+        }
+    }
+}
+
+/// The §5 reduction, forward direction: machine `i` becomes a
+/// unit-capacity edge `x_i → y_i`; job `j` becomes a coflow with one
+/// flow of demand `p_{ij}` per machine it uses. Returns the instance and
+/// the (forced) single-path routing.
+///
+/// # Errors
+///
+/// Propagates validation errors (none for valid open shop instances).
+pub fn to_coflow_instance(
+    os: &OpenShopInstance,
+) -> Result<(CoflowInstance, Routing), CoflowError> {
+    let mut b = GraphBuilder::new();
+    let mut xs = Vec::with_capacity(os.machines);
+    let mut ys = Vec::with_capacity(os.machines);
+    for i in 0..os.machines {
+        xs.push(b.add_node(format!("x{i}")));
+        ys.push(b.add_node(format!("y{i}")));
+    }
+    for i in 0..os.machines {
+        b.add_edge(xs[i], ys[i], 1.0)
+            .expect("static gadget is valid");
+    }
+    let g = b.build();
+
+    let mut coflows = Vec::with_capacity(os.jobs.len());
+    let mut paths = Vec::with_capacity(os.jobs.len());
+    for job in &os.jobs {
+        let mut flows = Vec::new();
+        let mut fpaths = Vec::new();
+        for i in 0..os.machines {
+            let p = job.processing[i];
+            if p > 0.0 {
+                flows.push(Flow::new(xs[i], ys[i], p));
+                fpaths.push(Path::from_nodes(&g, &[xs[i], ys[i]]).expect("edge exists"));
+            }
+        }
+        coflows.push(Coflow::weighted(job.weight, flows));
+        paths.push(fpaths);
+    }
+    let inst = CoflowInstance::new(g, coflows)?;
+    Ok((inst, Routing::SinglePath(paths)))
+}
+
+/// §5 proof, coflow → open shop direction: given a feasible coflow
+/// schedule for the reduced instance, per machine sort jobs by their
+/// flow's completion slot and reschedule non-preemptively; the resulting
+/// open shop cost is at most the coflow cost. Returns that cost.
+pub fn coflow_schedule_cost_to_openshop(os: &OpenShopInstance, sched: &Schedule) -> f64 {
+    let n = os.jobs.len();
+    let mut completion = vec![0.0f64; n];
+    for i in 0..os.machines {
+        // Jobs using machine i, keyed by their flow completion slot in
+        // the coflow schedule.
+        let mut users: Vec<(u32, usize)> = Vec::new();
+        for (j, job) in os.jobs.iter().enumerate() {
+            if job.processing[i] > 0.0 {
+                // Flow index within coflow j = rank of machine i among
+                // j's used machines.
+                let fi = job.processing[..i].iter().filter(|&&p| p > 0.0).count();
+                let done_slot = sched.flows[j][fi]
+                    .iter()
+                    .rev()
+                    .find(|st| st.volume > 1e-9)
+                    .map(|st| st.slot)
+                    .unwrap_or(0);
+                users.push((done_slot, j));
+            }
+        }
+        users.sort_unstable();
+        let mut t = 0.0;
+        for (_, j) in users {
+            t += os.jobs[j].processing[i];
+            completion[j] = completion[j].max(t);
+        }
+    }
+    completion
+        .iter()
+        .zip(&os.jobs)
+        .map(|(&c, job)| job.weight * c)
+        .sum()
+}
+
+/// §5 proof, open shop → coflow direction: a permutation schedule maps
+/// to a coflow schedule of the same cost ("we make the flow take up all
+/// bandwidth of edge `(x_i, y_i)`" during its machine's busy window).
+/// Requires integer processing times so slots align exactly.
+pub fn permutation_to_coflow_schedule(
+    os: &OpenShopInstance,
+    inst: &CoflowInstance,
+    order: &[usize],
+) -> Schedule {
+    let mut schedule = Schedule {
+        flows: inst
+            .coflows
+            .iter()
+            .map(|c| vec![Vec::new(); c.flows.len()])
+            .collect(),
+    };
+    for i in 0..os.machines {
+        let edge = inst
+            .graph
+            .find_edge(
+                inst.graph.node_by_label(&format!("x{i}")).expect("exists"),
+                inst.graph.node_by_label(&format!("y{i}")).expect("exists"),
+            )
+            .expect("gadget edge");
+        let mut t = 0u32;
+        for &j in order {
+            let p = os.jobs[j].processing[i];
+            if p <= 0.0 {
+                continue;
+            }
+            assert!(
+                (p - p.round()).abs() < 1e-9,
+                "integer processing times required for exact slot alignment"
+            );
+            let fi = os.jobs[j].processing[..i].iter().filter(|&&q| q > 0.0).count();
+            for _ in 0..p.round() as u32 {
+                t += 1;
+                schedule.flows[j][fi].push(SlotTransfer {
+                    slot: t,
+                    volume: 1.0,
+                    edges: vec![(edge, 1.0)],
+                });
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_core::validate::{validate, Tolerance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> OpenShopInstance {
+        OpenShopInstance::new(
+            2,
+            vec![
+                OpenShopJob {
+                    weight: 1.0,
+                    processing: vec![2.0, 1.0],
+                },
+                OpenShopJob {
+                    weight: 2.0,
+                    processing: vec![1.0, 3.0],
+                },
+                OpenShopJob {
+                    weight: 1.0,
+                    processing: vec![0.0, 2.0],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn permutation_cost_by_hand() {
+        let os = tiny();
+        // Order [0, 1, 2]:
+        // machine 0: job0 by 2, job1 by 3; machine 1: job0 by 1, job1 by
+        // 4, job2 by 6. C = [2, 4, 6]; cost = 2 + 2*4 + 6 = 16.
+        assert!((os.permutation_cost(&[0, 1, 2]) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_beats_every_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let os = OpenShopInstance::random(&mut rng, 3, 5, 4, 0.3, true);
+            let (best, order) = exact_optimum(&os);
+            assert!((best - os.permutation_cost(&order)).abs() < 1e-9);
+            // Spot-check a few random permutations.
+            use rand::seq::SliceRandom;
+            let mut perm: Vec<usize> = (0..5).collect();
+            for _ in 0..20 {
+                perm.shuffle(&mut rng);
+                assert!(os.permutation_cost(&perm) >= best - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_forward_shape() {
+        let os = tiny();
+        let (inst, routing) = to_coflow_instance(&os).unwrap();
+        assert_eq!(inst.graph.node_count(), 4);
+        assert_eq!(inst.graph.edge_count(), 2);
+        assert_eq!(inst.num_coflows(), 3);
+        assert_eq!(inst.num_flows(), 5); // job2 uses one machine
+        routing.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn permutation_maps_to_equal_cost_coflow_schedule() {
+        let os = tiny();
+        let (inst, routing) = to_coflow_instance(&os).unwrap();
+        let (opt, order) = exact_optimum(&os);
+        let sched = permutation_to_coflow_schedule(&os, &inst, &order);
+        let rep = validate(&inst, &routing, &sched, Tolerance::default()).unwrap();
+        assert!(
+            (rep.completions.weighted_total - opt).abs() < 1e-9,
+            "coflow cost {} vs open shop optimum {opt}",
+            rep.completions.weighted_total
+        );
+    }
+
+    #[test]
+    fn coflow_schedule_maps_back_without_cost_increase() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let os = OpenShopInstance::random(&mut rng, 3, 4, 3, 0.25, true);
+            let (inst, routing) = to_coflow_instance(&os).unwrap();
+            // Any feasible coflow schedule works; use the SJF greedy.
+            let sched = crate::sjf::weighted_sjf(&inst, &routing).unwrap();
+            let rep = validate(&inst, &routing, &sched, Tolerance::default()).unwrap();
+            let os_cost = coflow_schedule_cost_to_openshop(&os, &sched);
+            assert!(
+                os_cost <= rep.completions.weighted_total + 1e-9,
+                "open shop {} > coflow {}",
+                os_cost,
+                rep.completions.weighted_total
+            );
+            // And it can never beat the exact optimum.
+            let (opt, _) = exact_optimum(&os);
+            assert!(os_cost >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_instances() {
+        assert!(OpenShopInstance::new(0, vec![]).is_err());
+        assert!(OpenShopInstance::new(
+            2,
+            vec![OpenShopJob {
+                weight: 1.0,
+                processing: vec![1.0],
+            }]
+        )
+        .is_err());
+        assert!(OpenShopInstance::new(
+            1,
+            vec![OpenShopJob {
+                weight: 0.0,
+                processing: vec![1.0],
+            }]
+        )
+        .is_err());
+        assert!(OpenShopInstance::new(
+            1,
+            vec![OpenShopJob {
+                weight: 1.0,
+                processing: vec![0.0],
+            }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for derandomized Stretch: exact best-λ /
+//! expectation against the paper's 20-sample Monte-Carlo sweep.
+
+use coflow_core::model::CoflowInstance;
+use coflow_core::rateplan::RatePlan;
+use coflow_core::routing::Routing;
+use coflow_core::stretch::{lambda_sweep, StretchOptions};
+use coflow_core::timeidx::solve_time_indexed;
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn prepared_plan(jobs: usize) -> (CoflowInstance, RatePlan) {
+    let topo = topology::swan();
+    let cfg = WorkloadConfig {
+        kind: WorkloadKind::Facebook,
+        num_jobs: jobs,
+        seed: 5,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 1.0,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    let inst = build_instance(&topo, &cfg).expect("valid");
+    let t = coflow_core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_core::horizon::HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+    let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+        .expect("solves");
+    (inst, lp.plan)
+}
+
+fn bench_derand_vs_sweep(c: &mut Criterion) {
+    let (inst, plan) = prepared_plan(10);
+    let pure = StretchOptions { compact: false };
+    let mut group = c.benchmark_group("derand");
+    group.bench_function("exact_best_and_expectation", |b| {
+        b.iter(|| coflow_core::derand::derandomize(&inst, &plan))
+    });
+    group.bench_function("sweep_20_samples", |b| {
+        b.iter(|| lambda_sweep(&inst, &plan, 20, 7, pure))
+    });
+    group.finish();
+
+    // Quality story next to the timing: the exact optimum vs sampling.
+    let d = coflow_core::derand::derandomize(&inst, &plan);
+    let sweep = lambda_sweep(&inst, &plan, 20, 7, pure);
+    println!(
+        "derand quality: exact best {:.1} (λ = {:.4}) vs 20-sample best {:.1}; \
+         E[cost] {:.1} ± {:.1e} vs sample mean {:.1}",
+        d.best_cost,
+        d.best_lambda,
+        sweep.best().weighted_cost,
+        d.expected_cost,
+        d.expected_cost_error,
+        sweep.average()
+    );
+}
+
+fn bench_profiles_scale_with_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derand_scaling");
+    group.sample_size(20);
+    for jobs in [5usize, 10, 20] {
+        let (inst, plan) = prepared_plan(jobs);
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| coflow_core::derand::derandomize(&inst, &plan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derand_vs_sweep, bench_profiles_scale_with_jobs);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the graph substrate: max-flow, shortest-path
+//! DAG construction + uniform sampling, and Yen's k-shortest paths.
+
+use coflow_netgraph::ksp::{k_shortest_paths, PathCost};
+use coflow_netgraph::maxflow::max_flow;
+use coflow_netgraph::shortest::ShortestPathDag;
+use coflow_netgraph::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow");
+    let gs = topology::gscale();
+    let src = gs.graph.node_by_label("Asia-1").unwrap();
+    let dst = gs.graph.node_by_label("EU-2").unwrap();
+    group.bench_function("gscale_asia_to_eu", |b| {
+        b.iter(|| max_flow(&gs.graph, src, dst))
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in [50usize, 200] {
+        let topo = topology::random_connected(n, 2 * n, (1.0, 100.0), &mut rng);
+        let s = topo.graph.nodes().next().unwrap();
+        let t = topo.graph.nodes().last().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("random", n),
+            &(topo, s, t),
+            |b, (topo, s, t)| b.iter(|| max_flow(&topo.graph, *s, *t)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_paths");
+    let gs = topology::gscale();
+    let src = gs.graph.node_by_label("Asia-2").unwrap();
+    let dst = gs.graph.node_by_label("EU-1").unwrap();
+    group.bench_function("dag_build_gscale", |b| {
+        b.iter(|| ShortestPathDag::new(&gs.graph, src, dst).unwrap())
+    });
+    let dag = ShortestPathDag::new(&gs.graph, src, dst).unwrap();
+    group.bench_function("uniform_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| dag.sample_uniform(&gs.graph, &mut rng))
+    });
+    group.bench_function("yen_k4_gscale", |b| {
+        b.iter(|| k_shortest_paths(&gs.graph, src, dst, 4, PathCost::Hops).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxflow, bench_shortest_paths);
+criterion_main!(benches);

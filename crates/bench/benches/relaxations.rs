@@ -1,0 +1,79 @@
+//! Criterion benchmarks comparing the two relaxations (time-indexed vs
+//! geometric-interval) and the three transmission models — the size/
+//! tightness trade-offs DESIGN.md calls out.
+
+use coflow_core::interval::solve_interval;
+use coflow_core::routing::{self, Routing};
+use coflow_core::timeidx::solve_time_indexed;
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (
+    coflow_core::model::CoflowInstance,
+    Routing,
+    Routing,
+    Routing,
+    u32,
+) {
+    let topo = topology::swan();
+    let cfg = WorkloadConfig {
+        kind: WorkloadKind::TpcDs,
+        num_jobs: 8,
+        seed: 11,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 1.0,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    let inst = build_instance(&topo, &cfg).expect("valid");
+    let mut rng = StdRng::seed_from_u64(2);
+    let single = routing::random_shortest_paths(&inst, &mut rng).expect("paths");
+    let multi = routing::k_shortest_path_sets(&inst, 3).expect("paths");
+    let t = coflow_core::horizon::horizon(
+        &inst,
+        &single,
+        coflow_core::horizon::HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+    (inst, single, multi, Routing::FreePath, t)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (inst, single, multi, free, t) = setup();
+    let opts = SolverOptions::default();
+    let mut group = c.benchmark_group("timeidx_models");
+    group.sample_size(10);
+    group.bench_function("single_path", |b| {
+        b.iter(|| solve_time_indexed(&inst, &single, t, &opts).expect("solves"))
+    });
+    group.bench_function("multi_path_k3", |b| {
+        b.iter(|| solve_time_indexed(&inst, &multi, t, &opts).expect("solves"))
+    });
+    group.bench_function("free_path", |b| {
+        b.iter(|| solve_time_indexed(&inst, &free, t, &opts).expect("solves"))
+    });
+    group.finish();
+}
+
+fn bench_interval_vs_timeidx(c: &mut Criterion) {
+    let (inst, single, _, _, t) = setup();
+    let opts = SolverOptions::default();
+    let mut group = c.benchmark_group("relaxation");
+    group.sample_size(10);
+    group.bench_function("time_indexed", |b| {
+        b.iter(|| solve_time_indexed(&inst, &single, t, &opts).expect("solves"))
+    });
+    for eps in [0.2, 0.5436] {
+        group.bench_function(format!("interval_eps_{eps}"), |b| {
+            b.iter(|| solve_interval(&inst, &single, t, eps, &opts).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_interval_vs_timeidx);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the rounding pipeline: Stretch transforms,
+//! discretization, the λ sweep, and the compaction ablation.
+
+use coflow_core::model::CoflowInstance;
+use coflow_core::rateplan::RatePlan;
+use coflow_core::routing::Routing;
+use coflow_core::stretch::{lambda_sweep, stretch_schedule, StretchOptions};
+use coflow_core::timeidx::solve_time_indexed;
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn prepared_plan() -> (CoflowInstance, RatePlan) {
+    let topo = topology::swan();
+    let cfg = WorkloadConfig {
+        kind: WorkloadKind::Facebook,
+        num_jobs: 10,
+        seed: 5,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 1.0,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    let inst = build_instance(&topo, &cfg).expect("valid");
+    let t = coflow_core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_core::horizon::HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+    let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+        .expect("solves");
+    (inst, lp.plan)
+}
+
+fn bench_stretch_round(c: &mut Criterion) {
+    let (inst, plan) = prepared_plan();
+    let mut group = c.benchmark_group("rounding");
+    group.bench_function("stretch_lambda_0.5", |b| {
+        b.iter(|| stretch_schedule(&inst, &plan, 0.5, StretchOptions::default()))
+    });
+    group.bench_function("heuristic_lambda_1.0", |b| {
+        b.iter(|| stretch_schedule(&inst, &plan, 1.0, StretchOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_compaction_ablation(c: &mut Criterion) {
+    let (inst, plan) = prepared_plan();
+    let mut group = c.benchmark_group("stretch_compaction");
+    for (name, compact) in [("with_compaction", true), ("without_compaction", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| stretch_schedule(&inst, &plan, 0.6, StretchOptions { compact }))
+        });
+    }
+    // Also record the cost delta once, so the ablation's *quality* effect
+    // lands in the bench output (criterion measures only time).
+    let with = stretch_schedule(&inst, &plan, 0.6, StretchOptions { compact: true });
+    let without = stretch_schedule(&inst, &plan, 0.6, StretchOptions { compact: false });
+    let cw = with.completions(&inst).expect("complete").weighted_total;
+    let cwo = without
+        .completions(&inst)
+        .expect("complete")
+        .weighted_total;
+    eprintln!("compaction quality: {cw:.1} (on) vs {cwo:.1} (off) weighted completion");
+    group.finish();
+}
+
+fn bench_lambda_sweep(c: &mut Criterion) {
+    let (inst, plan) = prepared_plan();
+    let mut group = c.benchmark_group("lambda_sweep");
+    group.sample_size(10);
+    group.bench_function("sweep_20_samples", |b| {
+        b.iter(|| lambda_sweep(&inst, &plan, 20, 1, StretchOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stretch_round,
+    bench_compaction_ablation,
+    bench_lambda_sweep
+);
+criterion_main!(benches);

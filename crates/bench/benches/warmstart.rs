@@ -1,0 +1,131 @@
+//! Criterion benchmarks for warm-started LP re-solves: the capacity
+//! sweep that motivates the dual simplex, measured cold vs warm.
+
+use coflow_core::model::CoflowInstance;
+use coflow_core::routing::Routing;
+use coflow_core::sensitivity::Sensitivity;
+use coflow_lp::{Cmp, Model, Sense, SolverOptions};
+use coflow_netgraph::topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn swan_instance() -> CoflowInstance {
+    let topo = topology::swan();
+    let cfg = WorkloadConfig {
+        kind: WorkloadKind::Facebook,
+        num_jobs: 8,
+        seed: 9,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 0.5,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    build_instance(&topo, &cfg).expect("valid")
+}
+
+/// The headline comparison: n-point capacity sweep on the time-indexed
+/// LP, with and without basis reuse.
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let inst = swan_instance();
+    let t = coflow_core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_core::horizon::HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+    let opts = SolverOptions::default();
+    let factors = [0.95, 0.9, 0.85, 0.8];
+
+    let mut group = c.benchmark_group("warmstart_capacity_sweep");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut s = Sensitivity::new(&inst, &Routing::FreePath, t).expect("builds");
+            s.solve(&opts).expect("base solves");
+            for &f in &factors {
+                s.scale_all_capacities(f);
+                s.solve(&opts).expect("resolves");
+            }
+        })
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut s = Sensitivity::new(&inst, &Routing::FreePath, t).expect("builds");
+            s.solve(&opts).expect("base solves");
+            for &f in &factors {
+                s.scale_all_capacities(f);
+                s.reset_basis();
+                s.solve(&opts).expect("resolves");
+            }
+        })
+    });
+    group.finish();
+
+    // Record the pivot-count ablation once (criterion measures time; the
+    // iteration counts tell the algorithmic story).
+    let mut warm = Sensitivity::new(&inst, &Routing::FreePath, t).expect("builds");
+    warm.solve(&opts).expect("solves");
+    let mut warm_iters = 0;
+    for &f in &factors {
+        warm.scale_all_capacities(f);
+        warm.solve(&opts).expect("resolves");
+        warm_iters += warm.last_iterations();
+    }
+    let mut cold = Sensitivity::new(&inst, &Routing::FreePath, t).expect("builds");
+    cold.solve(&opts).expect("solves");
+    let mut cold_iters = 0;
+    for &f in &factors {
+        cold.scale_all_capacities(f);
+        cold.reset_basis();
+        cold.solve(&opts).expect("resolves");
+        cold_iters += cold.last_iterations();
+    }
+    println!(
+        "warmstart_capacity_sweep pivots: warm {warm_iters} vs cold {cold_iters} \
+         ({}x fewer)",
+        cold_iters.max(1) / warm_iters.max(1)
+    );
+}
+
+/// Raw LP level: dense random LP, single RHS nudge, warm vs cold.
+fn bench_raw_lp_resolve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 150;
+    let mut model = Model::new(Sense::Minimize);
+    let xs: Vec<_> = (0..n)
+        .map(|j| model.add_var(format!("x{j}"), 0.0, 10.0, rng.gen_range(0.5..5.0)))
+        .collect();
+    let mut rows = Vec::new();
+    for i in 0..n - 1 {
+        rows.push(model.add_constraint(
+            [(xs[i], 1.0), (xs[i + 1], 1.0), (xs[(i * 7 + 3) % n], 0.5)],
+            Cmp::Ge,
+            2.0 + (i % 5) as f64,
+        ));
+    }
+    let opts = SolverOptions::default();
+    let (_, basis) = model.solve_warm(None, &opts).expect("solves");
+    let mid = rows[rows.len() / 2];
+
+    let mut group = c.benchmark_group("warmstart_raw_lp");
+    group.bench_function("warm_after_rhs_nudge", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            m.set_rhs(mid, 3.3);
+            m.solve_warm(Some(&basis), &opts).expect("resolves")
+        })
+    });
+    group.bench_function("cold_after_rhs_nudge", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            m.set_rhs(mid, 3.3);
+            m.solve_with(&opts).expect("resolves")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity_sweep, bench_raw_lp_resolve);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Online ablation (the paper's §7 future-work direction): the
+//! event-driven re-solving scheduler and the doubling-batch framework
+//! against the clairvoyant offline pipeline, free-path model on SWAN.
+
+use coflow_bench::runner::{assert_sound, run_online_ablation};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(25);
+    let fig = run_online_ablation(&topology::swan(), &cfg);
+    assert_sound(&fig, 0, &[1, 2, 3]);
+    print_figure(&fig);
+    match write_csv(&fig, "ablation_online") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,18 @@
+//! Ordering ablation (beyond the paper's figures): LP-based scheduling
+//! vs the LP-free combinatorial orderings (§1.1's primal-dual /
+//! Sincronia family) on the single-path model, four workloads on SWAN.
+
+use coflow_bench::runner::{assert_sound, run_ordering_ablation};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(40);
+    let fig = run_ordering_ablation(&topology::swan(), &cfg);
+    assert_sound(&fig, 0, &[1, 2, 3, 4]);
+    print_figure(&fig);
+    match write_csv(&fig, "ablation_ordering") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

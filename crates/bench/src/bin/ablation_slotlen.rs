@@ -1,0 +1,17 @@
+//! Slot-length ablation (§6.1 "Time Index"): shorter slots tighten the
+//! time-indexed relaxation but grow the LP — the trade-off the paper
+//! resolves by fixing 50-second slots.
+
+use coflow_bench::runner::run_slot_length_ablation;
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(20);
+    let fig = run_slot_length_ablation(&topology::swan(), &cfg);
+    print_figure(&fig);
+    match write_csv(&fig, "ablation_slotlen") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

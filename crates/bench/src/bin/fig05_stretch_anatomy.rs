@@ -1,0 +1,99 @@
+//! Figure 5: the anatomy of the Stretch algorithm, rendered as the
+//! paper's four panels — (1) the LP schedule, (2) the same schedule
+//! stretched by 1/λ, (3) slots emptied once each flow's demand is met,
+//! (4) idle slots compacted away.
+//!
+//! ```sh
+//! cargo run -p coflow-bench --release --bin fig05_stretch_anatomy -- --seed 3
+//! ```
+
+use coflow_bench::HarnessConfig;
+use coflow_core::routing::Routing;
+use coflow_core::timeidx::solve_time_indexed;
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let cfg = HarnessConfig::from_args(4);
+    let lambda = 0.5;
+    let topo = topology::swan();
+    let wl = WorkloadConfig {
+        kind: WorkloadKind::Facebook,
+        num_jobs: cfg.jobs,
+        seed: cfg.seed,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: cfg.mean_interarrival,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    let inst = build_instance(&topo, &wl).expect("valid instance");
+    let t = coflow_core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_core::horizon::HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+    let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+        .expect("LP solves");
+
+    println!(
+        "Figure 5 anatomy: {} coflows on SWAN, λ = {lambda} (slot width below = fraction of demand moved)",
+        inst.num_coflows()
+    );
+
+    // Panel 1: the raw LP schedule.
+    let panel1 = lp.plan.discretize();
+    render("1. LP schedule (fractions per slot)", &inst, &panel1);
+
+    // Panel 2: stretched by 1/λ — volumes grow to σ/λ, not yet truncated.
+    let panel2 = lp.plan.stretch(lambda).discretize();
+    render("2. stretched by 1/λ (pre-truncation)", &inst, &panel2);
+
+    // Panel 3: truncated at demand — trailing slots emptied.
+    let panel3 = lp.plan.stretch(lambda).truncate(&inst).discretize();
+    render("3. truncated once σ is met", &inst, &panel3);
+
+    // Panel 4: idle-slot compaction.
+    let mut panel4 = panel3.clone();
+    coflow_core::compact::compact(&mut panel4, &inst);
+    render("4. idle slots compacted", &inst, &panel4);
+
+    let c3 = panel3.completions(&inst).expect("complete");
+    let c4 = panel4.completions(&inst).expect("complete");
+    println!(
+        "\nweighted completion: stretched {} -> compacted {} (LP bound {:.1})",
+        c3.weighted_total, c4.weighted_total, lp.objective
+    );
+}
+
+/// Renders per-flow slot occupancy as a bar strip (one row per flow).
+fn render(
+    title: &str,
+    inst: &coflow_core::model::CoflowInstance,
+    sched: &coflow_core::schedule::Schedule,
+) {
+    println!("\n{title}");
+    let horizon = sched.horizon() as usize;
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for (i, f) in cf.flows.iter().enumerate() {
+            let mut cells = vec![' '; horizon + 1];
+            for st in &sched.flows[j][i] {
+                let frac = st.volume / f.demand;
+                cells[st.slot as usize - 1] = if frac > 0.75 {
+                    '█'
+                } else if frac > 0.5 {
+                    '▓'
+                } else if frac > 0.25 {
+                    '▒'
+                } else if frac > 1e-9 {
+                    '░'
+                } else {
+                    ' '
+                };
+            }
+            let strip: String = cells.into_iter().collect();
+            println!("  c{j:02}f{i} |{}|", strip.trim_end());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 7: free-path model on G-Scale, weighted — LP lower bound vs
+//! Heuristic(λ=1.0) vs Best λ vs Average λ across the four workloads.
+
+use coflow_bench::runner::{assert_sound, run_lambda_figure};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(12);
+    let fig = run_lambda_figure(&topology::gscale(), &cfg, 7);
+    assert_sound(&fig, 0, &[1, 2, 3]);
+    print_figure(&fig);
+    match write_csv(&fig, "fig07_lambda_gscale") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 8: free-path model on SWAN, workload FB — effect of the
+//! geometric-interval parameter ε on the interval LP bound and its λ=1
+//! heuristic.
+
+use coflow_bench::runner::run_epsilon_figure;
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(14);
+    let fig = run_epsilon_figure(&topology::swan(), &cfg);
+    print_figure(&fig);
+    match write_csv(&fig, "fig08_epsilon") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

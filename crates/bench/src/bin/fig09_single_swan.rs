@@ -1,0 +1,19 @@
+//! Figure 9: single-path model on SWAN — time-indexed LP + heuristic,
+//! interval LP (ε=0.2) + heuristic, and Jahanjou et al.
+
+use coflow_bench::runner::{assert_sound, run_single_path_figure};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(40);
+    let fig = run_single_path_figure(&topology::swan(), &cfg, 9);
+    // Time-indexed algorithms respect the time-indexed bound; the
+    // baseline must too (it is an actual schedule).
+    assert_sound(&fig, 0, &[1, 4]);
+    print_figure(&fig);
+    match write_csv(&fig, "fig09_single_swan") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

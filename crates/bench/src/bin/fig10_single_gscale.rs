@@ -1,0 +1,17 @@
+//! Figure 10: single-path model on G-Scale — time-indexed LP +
+//! heuristic, interval LP (ε=0.2) + heuristic, and Jahanjou et al.
+
+use coflow_bench::runner::{assert_sound, run_single_path_figure};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(30);
+    let fig = run_single_path_figure(&topology::gscale(), &cfg, 10);
+    assert_sound(&fig, 0, &[1, 4]);
+    print_figure(&fig);
+    match write_csv(&fig, "fig10_single_gscale") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

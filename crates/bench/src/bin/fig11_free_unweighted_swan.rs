@@ -1,0 +1,17 @@
+//! Figure 11: free-path model, unit weights, on SWAN — LP bound,
+//! heuristic, Best/Average λ, and Terra (total completion time).
+
+use coflow_bench::runner::{assert_sound, run_free_unweighted_figure};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(16);
+    let fig = run_free_unweighted_figure(&topology::swan(), &cfg, 11);
+    assert_sound(&fig, 0, &[1, 2, 3, 4]);
+    print_figure(&fig);
+    match write_csv(&fig, "fig11_free_unweighted_swan") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal argument parsing shared by the figure binaries.
+
+/// Common harness options (parsed from `std::env::args`).
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Jobs per workload (paper: 200). Default depends on the figure.
+    pub jobs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// λ samples for the Stretch sweeps (paper: 20).
+    pub samples: usize,
+    /// Mean inter-arrival in slots.
+    pub mean_interarrival: f64,
+    /// Print per-instance progress.
+    pub verbose: bool,
+}
+
+impl HarnessConfig {
+    /// Parses `--jobs N`, `--seed S`, `--samples K`, `--paper-scale`,
+    /// `--interarrival X`, `--verbose` with the given default job count.
+    ///
+    /// Unknown flags abort with a usage message — figures should not run
+    /// with silently-ignored options.
+    pub fn from_args(default_jobs: usize) -> HarnessConfig {
+        let mut cfg = HarnessConfig {
+            jobs: default_jobs,
+            seed: 1,
+            samples: 20,
+            mean_interarrival: 1.0,
+            verbose: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--jobs" => {
+                    cfg.jobs = take(&args, &mut i, "--jobs");
+                }
+                "--seed" => {
+                    cfg.seed = take(&args, &mut i, "--seed");
+                }
+                "--samples" => {
+                    cfg.samples = take(&args, &mut i, "--samples");
+                }
+                "--interarrival" => {
+                    cfg.mean_interarrival = take(&args, &mut i, "--interarrival");
+                }
+                "--paper-scale" => {
+                    cfg.jobs = 200;
+                }
+                "--verbose" => {
+                    cfg.verbose = true;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --jobs N  --seed S  --samples K  --interarrival X  --paper-scale  --verbose"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+fn take<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+}

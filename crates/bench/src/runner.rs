@@ -1,0 +1,533 @@
+//! Experiment orchestration: one function per figure family.
+
+use crate::cli::HarnessConfig;
+use coflow_baselines::jahanjou::{jahanjou_schedule, JahanjouConfig, EPSILON_OPT};
+use coflow_baselines::terra::terra_offline;
+use coflow_core::horizon::{horizon, HorizonMode};
+use coflow_core::interval::solve_interval;
+use coflow_core::model::CoflowInstance;
+use coflow_core::routing::{self, Routing};
+use coflow_core::solver::{Algorithm, Scheduler};
+use coflow_core::stretch::{lambda_sweep, StretchOptions};
+use coflow_core::validate::{validate, Tolerance};
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology::Topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One series value (NaN renders as "-").
+pub type SeriesValue = f64;
+
+/// One row of a figure (a workload, or an ε value for Figure 8).
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// Row label.
+    pub label: String,
+    /// One value per series, aligned with `FigureResult::series_names`.
+    pub values: Vec<SeriesValue>,
+}
+
+/// A fully-computed figure.
+#[derive(Clone, Debug)]
+pub struct FigureResult {
+    /// Figure title (matches the paper's caption).
+    pub title: String,
+    /// Free-form notes (instance sizes etc.).
+    pub notes: String,
+    /// Legend entries, matching the paper's series names.
+    pub series_names: Vec<String>,
+    /// Rows in presentation order.
+    pub rows: Vec<FigureRow>,
+}
+
+const HORIZON: HorizonMode = HorizonMode::Greedy { margin: 1.25 };
+
+fn workload_cfg(kind: WorkloadKind, cfg: &HarnessConfig, weighted: bool) -> WorkloadConfig {
+    WorkloadConfig {
+        kind,
+        num_jobs: cfg.jobs,
+        seed: cfg.seed,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: cfg.mean_interarrival,
+        weighted,
+        demand_scale: 1.0,
+    }
+}
+
+fn instance_for(
+    topo: &Topology,
+    kind: WorkloadKind,
+    cfg: &HarnessConfig,
+    weighted: bool,
+) -> CoflowInstance {
+    build_instance(topo, &workload_cfg(kind, cfg, weighted))
+        .expect("workload placement on a WAN topology always validates")
+}
+
+/// Figures 6 and 7: free-path model, weighted. Series: LP lower bound,
+/// Heuristic(λ=1.0), Best λ, Average λ.
+pub fn run_lambda_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> FigureResult {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        if cfg.verbose {
+            eprintln!("[fig{fig_no}] {} …", kind.name());
+        }
+        let inst = instance_for(topo, kind, cfg, true);
+        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+        let lp = sched
+            .relax(&inst, &Routing::FreePath)
+            .expect("relaxation solves");
+        let heuristic = coflow_core::heuristic::lp_heuristic(
+            &inst,
+            &lp.plan,
+            StretchOptions::default(),
+        );
+        let h_cost = heuristic
+            .completions(&inst)
+            .expect("heuristic schedules complete")
+            .weighted_total;
+        let sweep = lambda_sweep(&inst, &lp.plan, cfg.samples, cfg.seed, StretchOptions::default());
+        rows.push(FigureRow {
+            label: kind.name().to_string(),
+            values: vec![
+                lp.objective,
+                h_cost,
+                sweep.best().weighted_cost,
+                sweep.average(),
+            ],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Figure {fig_no}: Free path model on {} — weighted completion time (less is better)",
+            topo.name
+        ),
+        notes: format!(
+            "{} jobs/workload, seed {}, {} lambda samples, 50 s slots",
+            cfg.jobs, cfg.seed, cfg.samples
+        ),
+        series_names: vec![
+            "LP(lower bound)".into(),
+            "Heuristic(λ=1.0)".into(),
+            "Best λ".into(),
+            "Average λ".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figure 8: effect of the interval parameter ε (free path, FB on SWAN).
+/// Series: interval LP lower bound and its λ=1 heuristic, per ε.
+pub fn run_epsilon_figure(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    let inst = instance_for(topo, WorkloadKind::Facebook, cfg, true);
+    let t = horizon(&inst, &Routing::FreePath, HORIZON).expect("horizon");
+    let mut rows = Vec::new();
+    for k in 1..=10 {
+        let epsilon = k as f64 / 10.0;
+        if cfg.verbose {
+            eprintln!("[fig8] ε = {epsilon} …");
+        }
+        let rel = solve_interval(
+            &inst,
+            &Routing::FreePath,
+            t,
+            epsilon,
+            &SolverOptions::default(),
+        )
+        .expect("interval LP solves");
+        let heuristic = coflow_core::heuristic::lp_heuristic(
+            &inst,
+            &rel.lp.plan,
+            StretchOptions::default(),
+        );
+        let h_cost = heuristic
+            .completions(&inst)
+            .expect("heuristic schedules complete")
+            .weighted_total;
+        rows.push(FigureRow {
+            label: format!("ε={epsilon:.1}"),
+            values: vec![rel.lp.objective, h_cost],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Figure 8: Free path model on {} (workload FB) — interval parameter ε sweep",
+            topo.name
+        ),
+        notes: format!("{} jobs, seed {}, 50 s slots", cfg.jobs, cfg.seed),
+        series_names: vec![
+            "Time interval LP(lower bound)".into(),
+            "heuristic(λ=1.0)".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figures 9 and 10: single-path model with random shortest paths.
+/// Series: time-indexed LP + heuristic, interval LP (ε=0.2) + heuristic,
+/// Jahanjou et al. (ε=0.5436, strict α-point batches).
+pub fn run_single_path_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> FigureResult {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        if cfg.verbose {
+            eprintln!("[fig{fig_no}] {} …", kind.name());
+        }
+        let inst = instance_for(topo, kind, cfg, true);
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000));
+        let r = routing::random_shortest_paths(&inst, &mut rng).expect("paths exist");
+        let t = horizon(&inst, &r, HORIZON).expect("horizon");
+
+        // Time-indexed LP + λ=1 heuristic.
+        let ti = coflow_core::timeidx::solve_time_indexed(
+            &inst,
+            &r,
+            t,
+            &SolverOptions::default(),
+        )
+        .expect("time-indexed LP solves");
+        let ti_h = coflow_core::heuristic::lp_heuristic(
+            &inst,
+            &ti.plan,
+            StretchOptions::default(),
+        );
+        let ti_h_cost = ti_h
+            .completions(&inst)
+            .expect("complete")
+            .weighted_total;
+
+        // Interval LP (ε = 0.2) + λ=1 heuristic.
+        let iv = solve_interval(&inst, &r, t, 0.2, &SolverOptions::default())
+            .expect("interval LP solves");
+        let iv_h = coflow_core::heuristic::lp_heuristic(
+            &inst,
+            &iv.lp.plan,
+            StretchOptions::default(),
+        );
+        let iv_h_cost = iv_h
+            .completions(&inst)
+            .expect("complete")
+            .weighted_total;
+
+        // Jahanjou et al. at their optimized ε.
+        let jj = jahanjou_schedule(
+            &inst,
+            &r,
+            t,
+            &JahanjouConfig {
+                epsilon: EPSILON_OPT,
+                ..Default::default()
+            },
+            &SolverOptions::default(),
+        )
+        .expect("baseline runs");
+        let jj_cost = validate(&inst, &r, &jj.schedule, Tolerance::default())
+            .expect("baseline schedule feasible")
+            .completions
+            .weighted_total;
+
+        rows.push(FigureRow {
+            label: kind.name().to_string(),
+            values: vec![ti.objective, ti_h_cost, iv.lp.objective, iv_h_cost, jj_cost],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Figure {fig_no}: Single path model on {} — weighted completion time (less is better)",
+            topo.name
+        ),
+        notes: format!(
+            "{} jobs/workload, seed {}, random shortest paths, 50 s slots",
+            cfg.jobs, cfg.seed
+        ),
+        series_names: vec![
+            "Time indexed LP(lower bound)".into(),
+            "heuristic(λ=1.0)".into(),
+            "Time interval LP(lower bound, ε=0.2)".into(),
+            "interval heuristic(λ=1.0)".into(),
+            "Jahanjou et al.".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figures 11 and 12: free-path model, unweighted (all weights 1), with
+/// Terra. Values are *total* completion times.
+pub fn run_free_unweighted_figure(
+    topo: &Topology,
+    cfg: &HarnessConfig,
+    fig_no: u8,
+) -> FigureResult {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        if cfg.verbose {
+            eprintln!("[fig{fig_no}] {} …", kind.name());
+        }
+        let inst = instance_for(topo, kind, cfg, false);
+        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+        let lp = sched
+            .relax(&inst, &Routing::FreePath)
+            .expect("relaxation solves");
+        let heuristic = coflow_core::heuristic::lp_heuristic(
+            &inst,
+            &lp.plan,
+            StretchOptions::default(),
+        );
+        let h_cost = heuristic
+            .completions(&inst)
+            .expect("complete")
+            .unweighted_total;
+        let sweep = lambda_sweep(&inst, &lp.plan, cfg.samples, cfg.seed, StretchOptions::default());
+        let best = sweep
+            .samples
+            .iter()
+            .map(|s| s.unweighted_cost)
+            .fold(f64::INFINITY, f64::min);
+        let terra = terra_offline(&inst).expect("terra runs");
+        let terra_cost = validate(
+            &inst,
+            &Routing::FreePath,
+            &terra.schedule,
+            Tolerance::default(),
+        )
+        .expect("terra schedule feasible")
+        .completions
+        .unweighted_total;
+        rows.push(FigureRow {
+            label: kind.name().to_string(),
+            values: vec![
+                lp.objective, // weights are all 1, so this is the total-CCT bound
+                h_cost,
+                best,
+                sweep.average_unweighted(),
+                terra_cost,
+            ],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Figure {fig_no}: Free path model with no weight on {} — total completion time (less is better)",
+            topo.name
+        ),
+        notes: format!(
+            "{} jobs/workload, seed {}, {} lambda samples, unit weights",
+            cfg.jobs, cfg.seed, cfg.samples
+        ),
+        series_names: vec![
+            "Time indexed LP(lower bound)".into(),
+            "heuristic(λ=1.0)".into(),
+            "Best λ".into(),
+            "Average λ".into(),
+            "Terra".into(),
+        ],
+        rows,
+    }
+}
+
+/// Slot-length ablation: §6.1 "Time Index" — "if the length of a time
+/// slot is shorter, we get more accurate answers, but need to solve a
+/// larger LP". Rows are slot lengths in seconds; series report the LP
+/// size, the bound, and the heuristic cost (all costs rescaled to
+/// 50-second-slot units so rows are comparable).
+pub fn run_slot_length_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    let mut rows = Vec::new();
+    for slot_seconds in [200.0, 100.0, 50.0, 25.0] {
+        if cfg.verbose {
+            eprintln!("[slotlen] {slot_seconds} s …");
+        }
+        let wl = WorkloadConfig {
+            kind: WorkloadKind::Facebook,
+            num_jobs: cfg.jobs,
+            seed: cfg.seed,
+            slot_seconds,
+            // Keep *wall-clock* arrivals fixed: the mean interarrival in
+            // slots scales inversely with the slot length.
+            mean_interarrival_slots: cfg.mean_interarrival * 50.0 / slot_seconds,
+            weighted: true,
+            demand_scale: 1.0,
+        };
+        let inst = build_instance(topo, &wl).expect("workload placement validates");
+        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+        let lp = sched
+            .relax(&inst, &Routing::FreePath)
+            .expect("relaxation solves");
+        let h = coflow_core::heuristic::lp_heuristic(&inst, &lp.plan, StretchOptions::default());
+        let h_cost = h.completions(&inst).expect("complete").weighted_total;
+        // Rescale slot-unit costs to the common 50 s yardstick.
+        let to_50s = slot_seconds / 50.0;
+        rows.push(FigureRow {
+            label: format!("{slot_seconds:.0} s"),
+            values: vec![
+                lp.objective * to_50s,
+                h_cost * to_50s,
+                lp.size.rows as f64,
+                lp.size.cols as f64,
+                lp.lp_iterations as f64,
+            ],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Slot-length ablation: free path, FB on {} — accuracy vs LP size (§6.1 Time Index)",
+            topo.name
+        ),
+        notes: format!(
+            "{} jobs, seed {}; costs rescaled to 50 s-slot units, so smaller slots \
+             should tighten the bound while rows/cols grow",
+            cfg.jobs, cfg.seed
+        ),
+        series_names: vec![
+            "LP(lower bound, 50s units)".into(),
+            "heuristic(λ=1.0, 50s units)".into(),
+            "LP rows".into(),
+            "LP cols".into(),
+            "simplex iterations".into(),
+        ],
+        rows,
+    }
+}
+
+/// Ordering ablation (not a paper figure): how far do LP-free
+/// combinatorial orderings get on the single-path model? Series: the
+/// time-indexed LP bound, the λ=1 heuristic, the exact-best-λ pure
+/// Stretch (derandomized), the primal-dual/BSSI ordering, and weighted
+/// SJF.
+pub fn run_ordering_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        if cfg.verbose {
+            eprintln!("[ordering] {} …", kind.name());
+        }
+        let inst = instance_for(topo, kind, cfg, true);
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000));
+        let r = routing::random_shortest_paths(&inst, &mut rng).expect("paths exist");
+        let t = horizon(&inst, &r, HORIZON).expect("horizon");
+        let lp =
+            coflow_core::timeidx::solve_time_indexed(&inst, &r, t, &SolverOptions::default())
+                .expect("time-indexed LP solves");
+        let h = coflow_core::heuristic::lp_heuristic(&inst, &lp.plan, StretchOptions::default());
+        let h_cost = h.completions(&inst).expect("complete").weighted_total;
+        let d = coflow_core::derand::derandomize(&inst, &lp.plan);
+        let pd = coflow_baselines::primal_dual::primal_dual(&inst, &r).expect("runs");
+        let pd_cost = validate(&inst, &r, &pd, Tolerance::default())
+            .expect("primal-dual schedule feasible")
+            .completions
+            .weighted_total;
+        let sjf = coflow_baselines::sjf::weighted_sjf(&inst, &r).expect("runs");
+        let sjf_cost = validate(&inst, &r, &sjf, Tolerance::default())
+            .expect("sjf schedule feasible")
+            .completions
+            .weighted_total;
+        rows.push(FigureRow {
+            label: kind.name().to_string(),
+            values: vec![lp.objective, h_cost, d.best_cost, pd_cost, sjf_cost],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Ordering ablation: single path on {} — LP methods vs LP-free orderings (less is better)",
+            topo.name
+        ),
+        notes: format!(
+            "{} jobs/workload, seed {}, random shortest paths; derand = exact best-λ \
+             pure Stretch (no compaction); primal-dual = BSSI on the edge-machine open shop",
+            cfg.jobs, cfg.seed
+        ),
+        series_names: vec![
+            "Time indexed LP(lower bound)".into(),
+            "heuristic(λ=1.0)".into(),
+            "Derandomized best λ".into(),
+            "Primal-dual (BSSI)".into(),
+            "Weighted SJF".into(),
+        ],
+        rows,
+    }
+}
+
+/// Online ablation (the paper's §7 direction): offline bound and
+/// heuristic vs the event-driven re-solver and the doubling-batch
+/// framework, free-path model with Poisson releases.
+pub fn run_online_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    let mut rows = Vec::new();
+    let mut notes_extra = String::new();
+    for kind in WorkloadKind::ALL {
+        if cfg.verbose {
+            eprintln!("[online] {} …", kind.name());
+        }
+        let inst = instance_for(topo, kind, cfg, true);
+        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+        let lp = sched
+            .relax(&inst, &Routing::FreePath)
+            .expect("relaxation solves");
+        let h = coflow_core::heuristic::lp_heuristic(&inst, &lp.plan, StretchOptions::default());
+        let h_cost = h.completions(&inst).expect("complete").weighted_total;
+        let online =
+            coflow_core::online::online_heuristic(&inst, &Routing::FreePath, &SolverOptions::default())
+                .expect("online runs");
+        let online_cost = validate(&inst, &Routing::FreePath, &online.schedule, Tolerance::default())
+            .expect("online schedule feasible")
+            .completions
+            .weighted_total;
+        let batched = coflow_core::flowtime::interval_batch_online(
+            &inst,
+            &Routing::FreePath,
+            &SolverOptions::default(),
+        )
+        .expect("batch online runs");
+        let batch_cost = validate(
+            &inst,
+            &Routing::FreePath,
+            &batched.schedule,
+            Tolerance::default(),
+        )
+        .expect("batched schedule feasible")
+        .completions
+        .weighted_total;
+        notes_extra.push_str(&format!(
+            " {}: {} re-solves vs {} batches.",
+            kind.name(),
+            online.resolves,
+            batched.batches
+        ));
+        rows.push(FigureRow {
+            label: kind.name().to_string(),
+            values: vec![lp.objective, h_cost, online_cost, batch_cost],
+        });
+    }
+    FigureResult {
+        title: format!(
+            "Online ablation: free path on {} — clairvoyant offline vs online frameworks (less is better)",
+            topo.name
+        ),
+        notes: format!(
+            "{} jobs/workload, seed {}, Poisson releases (mean interarrival {} slots). \
+             Offline knows all arrivals; online algorithms learn them at release.{notes_extra}",
+            cfg.jobs, cfg.seed, cfg.mean_interarrival
+        ),
+        series_names: vec![
+            "Offline LP(lower bound)".into(),
+            "Offline heuristic(λ=1.0)".into(),
+            "Online re-solving".into(),
+            "Doubling batches".into(),
+        ],
+        rows,
+    }
+}
+
+/// The core invariant every figure must satisfy: no algorithm beats the
+/// LP lower bound of its own relaxation. Called by binaries after
+/// computing a figure; panics on violation (a violation means a bug, and
+/// a figure built on it would be garbage).
+pub fn assert_sound(fig: &FigureResult, lower_bound_col: usize, algo_cols: &[usize]) {
+    for row in &fig.rows {
+        let lb = row.values[lower_bound_col];
+        for &c in algo_cols {
+            let v = row.values[c];
+            assert!(
+                v >= lb - 1e-6 * (1.0 + lb.abs()),
+                "{}: series {c} ({v}) beats the lower bound ({lb})",
+                row.label
+            );
+        }
+    }
+}

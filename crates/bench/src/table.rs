@@ -1,0 +1,134 @@
+//! Table rendering and CSV output for figure results.
+
+use crate::runner::FigureResult;
+use std::io::Write;
+
+/// Prints a figure's results as an aligned table mirroring the paper's
+/// bar groups: one row per workload, one column per series.
+pub fn print_figure(fig: &FigureResult) {
+    println!("\n{}", fig.title);
+    println!("{}", "=".repeat(fig.title.len()));
+    if !fig.notes.is_empty() {
+        println!("{}", fig.notes);
+    }
+    // Column widths.
+    let mut headers: Vec<&str> = vec!["workload"];
+    headers.extend(fig.series_names.iter().map(|s| s.as_str()));
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|row| {
+            let mut cells = vec![row.label.clone()];
+            cells.extend(row.values.iter().map(|v| format_value(*v)));
+            cells
+        })
+        .collect();
+    for row in &rows {
+        for (k, cell) in row.iter().enumerate() {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (k, cell) in cells.iter().enumerate() {
+            if k == 0 {
+                line.push_str(&format!("{:<w$}  ", cell, w = widths[0]));
+            } else {
+                line.push_str(&format!("{:>w$}  ", cell, w = widths[k]));
+            }
+        }
+        println!("{}", line.trim_end());
+    };
+    print_row(
+        &headers
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<String>>(),
+    );
+    for row in rows {
+        print_row(&row);
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Writes the figure as CSV under `target/figures/<stem>.csv`; returns
+/// the path written.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or file.
+pub fn write_csv(fig: &FigureResult, stem: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("figures");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.csv"));
+    let file = std::fs::File::create(&path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write!(w, "workload")?;
+    for s in &fig.series_names {
+        write!(w, ",{s}")?;
+    }
+    writeln!(w)?;
+    for row in &fig.rows {
+        write!(w, "{}", row.label)?;
+        for v in &row.values {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{FigureResult, FigureRow};
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            title: "Test figure".into(),
+            notes: String::new(),
+            series_names: vec!["LP".into(), "Heuristic".into()],
+            rows: vec![
+                FigureRow {
+                    label: "FB".into(),
+                    values: vec![1234.5, 2000.0],
+                },
+                FigureRow {
+                    label: "TPC-DS".into(),
+                    values: vec![10.25, f64::NAN],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let fig = sample();
+        let path = write_csv(&fig, "unit_test_fig").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "workload,LP,Heuristic");
+        assert!(lines.next().unwrap().starts_with("FB,1234.5,2000"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatting_rules() {
+        // {:.0} uses round-half-to-even.
+        assert_eq!(format_value(1234.5), "1234");
+        assert_eq!(format_value(1234.6), "1235");
+        assert_eq!(format_value(10.25), "10.2");
+        assert_eq!(format_value(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,142 @@
+//! Tiny flag parser shared by the subcommands (same conventions as the
+//! bench harness: `--flag value`, unknown flags abort loudly).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments plus `--key value` /
+/// `--switch` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+    /// Flags the command actually consumed (for unknown-flag errors).
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["--unweighted", "--verbose", "--compact-off"];
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a value flag is missing its value.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut a = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let tok = &raw[i];
+            if let Some(flag) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&tok.as_str()) {
+                    a.switches.push(tok.clone());
+                } else {
+                    i += 1;
+                    let val = raw
+                        .get(i)
+                        .ok_or_else(|| format!("--{flag} requires a value"))?;
+                    a.options.insert(flag.to_string(), val.clone());
+                }
+            } else {
+                a.positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        Ok(a)
+    }
+
+    /// Value of `--name`, parsed, or the default.
+    ///
+    /// # Errors
+    ///
+    /// When the value is present but unparsable.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        self.consumed.borrow_mut().push(name.to_string());
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.consumed.borrow_mut().push(name.trim_start_matches('-').to_string());
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Errors out on any option the command never consumed — typos
+    /// should not be silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Lists the unknown flags.
+    pub fn finish(&self) -> Result<(), String> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<&String> = self
+            .options
+            .keys()
+            .filter(|k| !consumed.iter().any(|c| c == *k))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unknown option(s): {}",
+                unknown
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn mixed_positionals_options_switches() {
+        let a = Args::parse(&raw("input.coflow --jobs 20 --unweighted --seed 7")).unwrap();
+        assert_eq!(a.positional, vec!["input.coflow"]);
+        assert_eq!(a.get::<usize>("jobs", 0).unwrap(), 20);
+        assert_eq!(a.get::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.switch("--unweighted"));
+        assert!(!a.switch("--verbose"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&raw("--jobs")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let a = Args::parse(&raw("--jobs 3 --bogus 1")).unwrap();
+        let _ = a.get::<usize>("jobs", 0).unwrap();
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn absent_options_fall_back_to_defaults() {
+        let a = Args::parse(&raw("")).unwrap();
+        assert_eq!(a.get::<f64>("scale", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn unparsable_values_error() {
+        let a = Args::parse(&raw("--jobs banana")).unwrap();
+        assert!(a.get::<usize>("jobs", 1).is_err());
+    }
+}

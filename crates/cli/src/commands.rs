@@ -1,0 +1,265 @@
+//! The three subcommands: `generate`, `info`, `solve`.
+
+use crate::args::Args;
+use coflow_baselines::{primal_dual, sjf};
+use coflow_core::derand;
+use coflow_core::flowtime::{flow_times, interval_batch_online};
+use coflow_core::io::{read_instance, write_instance};
+use coflow_core::model::CoflowInstance;
+use coflow_core::routing::{self, Routing};
+use coflow_core::solver::{Algorithm, Relaxation, Scheduler};
+use coflow_core::validate::{validate, Tolerance};
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology::{self, Topology};
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `coflow generate`: synthesize an instance file.
+///
+/// # Errors
+///
+/// Usage or generation problems, as a printable message.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let topo = parse_topology(&args.get::<String>("topology", "swan".into())?)?;
+    let kind = parse_workload(&args.get::<String>("workload", "fb".into())?)?;
+    let cfg = WorkloadConfig {
+        kind,
+        num_jobs: args.get("jobs", 20)?,
+        seed: args.get("seed", 1)?,
+        slot_seconds: args.get("slot-seconds", 50.0)?,
+        mean_interarrival_slots: args.get("interarrival", 1.0)?,
+        weighted: !args.switch("--unweighted"),
+        demand_scale: args.get("demand-scale", 0.05)?,
+    };
+    let output: String = args.get("output", "-".into())?;
+    args.finish()?;
+
+    let inst = build_instance(&topo, &cfg).map_err(|e| e.to_string())?;
+    let text = write_instance(&inst).map_err(|e| e.to_string())?;
+    emit(&output, &text)?;
+    eprintln!(
+        "generated {} coflows / {} flows on {} ({} nodes, {} edges)",
+        inst.num_coflows(),
+        inst.num_flows(),
+        topo.name,
+        inst.graph.node_count(),
+        inst.graph.edge_count()
+    );
+    Ok(())
+}
+
+/// `coflow info FILE`: summarize an instance file.
+///
+/// # Errors
+///
+/// I/O or parse problems.
+pub fn info(args: &Args) -> Result<(), String> {
+    let inst = load(args)?;
+    args.finish()?;
+    let g = &inst.graph;
+    let total_demand: f64 = inst.coflows.iter().map(|c| c.total_demand()).sum();
+    let max_release = inst.coflows.iter().map(|c| c.full_release()).max().unwrap_or(0);
+    let widths: Vec<usize> = inst.coflows.iter().map(|c| c.flows.len()).collect();
+    let max_width = widths.iter().copied().max().unwrap_or(0);
+    let singles = widths.iter().filter(|&&w| w == 1).count();
+    println!("nodes          {}", g.node_count());
+    println!("edges          {}", g.edge_count());
+    println!(
+        "capacity       min {} / max {}",
+        g.min_capacity().unwrap_or(0.0),
+        g.edges().map(|e| e.capacity).fold(0.0f64, f64::max)
+    );
+    println!("coflows        {}", inst.num_coflows());
+    println!("flows          {}", inst.num_flows());
+    println!("total demand   {total_demand:.3}");
+    println!("max width      {max_width}");
+    println!(
+        "single-flow    {singles} ({:.0}%)",
+        100.0 * singles as f64 / inst.num_coflows().max(1) as f64
+    );
+    println!("max release    {max_release}");
+    Ok(())
+}
+
+/// `coflow solve FILE`: run an algorithm and report the outcome.
+///
+/// # Errors
+///
+/// I/O, parse, routing, or solver problems.
+pub fn solve(args: &Args) -> Result<(), String> {
+    let inst = load(args)?;
+    let model: String = args.get("model", "free".into())?;
+    let algorithm: String = args.get("algorithm", "heuristic".into())?;
+    let seed: u64 = args.get("seed", 1)?;
+    let samples: usize = args.get("samples", 20)?;
+    let lambda: f64 = args.get("lambda", 1.0)?;
+    let k: usize = args.get("k", 3)?;
+    let epsilon: f64 = args.get("epsilon", 0.0)?;
+    args.finish()?;
+
+    let routing = match model.as_str() {
+        "free" => Routing::FreePath,
+        "single" => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            routing::random_shortest_paths(&inst, &mut rng).map_err(|e| e.to_string())?
+        }
+        "multi" => routing::k_shortest_path_sets(&inst, k).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown model {other:?} (free|single|multi)")),
+    };
+
+    let mut scheduler = Scheduler::new(Algorithm::LpHeuristic);
+    if epsilon > 0.0 {
+        scheduler = scheduler.with_relaxation(Relaxation::Interval { epsilon });
+    }
+
+    println!("model          {model}");
+    println!("algorithm      {algorithm}");
+    match algorithm.as_str() {
+        "heuristic" | "stretch" | "lambda" => {
+            let alg = match algorithm.as_str() {
+                "heuristic" => Algorithm::LpHeuristic,
+                "stretch" => Algorithm::Stretch { samples, seed },
+                _ => Algorithm::FixedLambda(lambda),
+            };
+            let report = Scheduler::new(alg)
+                .with_relaxation(if epsilon > 0.0 {
+                    Relaxation::Interval { epsilon }
+                } else {
+                    Relaxation::TimeIndexed
+                })
+                .solve(&inst, &routing)
+                .map_err(|e| e.to_string())?;
+            print_outcome(
+                &inst,
+                report.lower_bound,
+                report.cost,
+                &report.validation.completions,
+            );
+            println!("lp rows/cols   {} / {}", report.lp_size.rows, report.lp_size.cols);
+            println!("lp iterations  {}", report.lp_iterations);
+            if let Some(sweep) = &report.sweep {
+                println!("best lambda    {:.4}", sweep.best().lambda);
+                println!("average cost   {:.3}", sweep.average());
+            }
+        }
+        "derand" => {
+            let lp = scheduler.relax(&inst, &routing).map_err(|e| e.to_string())?;
+            let d = derand::derandomize(&inst, &lp.plan);
+            let report = Scheduler::new(Algorithm::FixedLambda(d.best_lambda))
+                .solve(&inst, &routing)
+                .map_err(|e| e.to_string())?;
+            print_outcome(
+                &inst,
+                lp.objective,
+                report.cost,
+                &report.validation.completions,
+            );
+            println!("best lambda    {:.6} (exact, {} candidates)", d.best_lambda, d.candidates);
+            println!("pure-stretch   best {:.3} / heuristic {:.3}", d.best_cost, d.heuristic_cost);
+            println!(
+                "E[cost]        {:.3} ± {:.1e} (2·LP = {:.3})",
+                d.expected_cost,
+                d.expected_cost_error,
+                2.0 * lp.objective
+            );
+        }
+        "primal-dual" | "sjf" => {
+            let sched = if algorithm == "primal-dual" {
+                primal_dual::primal_dual(&inst, &routing).map_err(|e| e.to_string())?
+            } else {
+                sjf::weighted_sjf(&inst, &routing).map_err(|e| e.to_string())?
+            };
+            let rep =
+                validate(&inst, &routing, &sched, Tolerance::default()).map_err(|e| e.to_string())?;
+            let lp = scheduler.relax(&inst, &routing).map_err(|e| e.to_string())?;
+            print_outcome(&inst, lp.objective, rep.completions.weighted_total, &rep.completions);
+        }
+        "batch-online" => {
+            let out = interval_batch_online(&inst, &routing, &SolverOptions::default())
+                .map_err(|e| e.to_string())?;
+            let rep = validate(&inst, &routing, &out.schedule, Tolerance::default())
+                .map_err(|e| e.to_string())?;
+            let lp = scheduler.relax(&inst, &routing).map_err(|e| e.to_string())?;
+            print_outcome(&inst, lp.objective, rep.completions.weighted_total, &rep.completions);
+            println!("batches        {}", out.batches);
+        }
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} \
+                 (heuristic|stretch|lambda|derand|primal-dual|sjf|batch-online)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn print_outcome(
+    inst: &CoflowInstance,
+    lower_bound: f64,
+    cost: f64,
+    completions: &coflow_core::schedule::Completions,
+) {
+    let ft = flow_times(inst, completions);
+    println!("lp bound       {lower_bound:.3}");
+    println!("cost           {cost:.3}");
+    println!("ratio          {:.4}", cost / lower_bound.max(1e-12));
+    println!("makespan       {}", completions.makespan);
+    println!("flow time      {:.3} (max {:.0})", ft.weighted_total, ft.max);
+}
+
+fn load(args: &Args) -> Result<CoflowInstance, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("an instance file is required (use '-' for stdin)")?;
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| e.to_string())?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    read_instance(&text).map_err(|e| e.to_string())
+}
+
+fn emit(output: &str, text: &str) -> Result<(), String> {
+    if output == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(output, text).map_err(|e| format!("{output}: {e}"))
+    }
+}
+
+fn parse_topology(name: &str) -> Result<Topology, String> {
+    Ok(match name {
+        "swan" => topology::swan(),
+        "gscale" | "g-scale" => topology::gscale(),
+        "abilene" => topology::abilene(),
+        "nsfnet" => topology::nsfnet(),
+        "fig2" => topology::fig2_example(),
+        other => {
+            return Err(format!(
+                "unknown topology {other:?} (swan|gscale|abilene|nsfnet|fig2)"
+            ))
+        }
+    })
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "bigbench" | "bb" => WorkloadKind::BigBench,
+        "tpcds" | "tpc-ds" => WorkloadKind::TpcDs,
+        "tpch" | "tpc-h" => WorkloadKind::TpcH,
+        "fb" | "facebook" => WorkloadKind::Facebook,
+        other => {
+            return Err(format!(
+                "unknown workload {other:?} (bigbench|tpcds|tpch|fb)"
+            ))
+        }
+    })
+}

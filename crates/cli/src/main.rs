@@ -1,0 +1,61 @@
+//! `coflow` — the command-line front end of the suite.
+//!
+//! ```text
+//! coflow generate --topology swan --workload fb --jobs 20 --output inst.coflow
+//! coflow info inst.coflow
+//! coflow solve inst.coflow --model free --algorithm heuristic
+//! coflow solve inst.coflow --model single --algorithm primal-dual
+//! ```
+//!
+//! Instances travel as plain-text `.coflow` files
+//! ([`coflow_core::io`]); every run is a pure function of the file and
+//! the flags, so results are reproducible by pasting the command line.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+usage: coflow <command> [options]
+
+commands:
+  generate   synthesize a workload instance
+             --topology swan|gscale|abilene|nsfnet|fig2   (swan)
+             --workload bigbench|tpcds|tpch|fb            (fb)
+             --jobs N (20)  --seed S (1)  --unweighted
+             --interarrival SLOTS (1.0)  --slot-seconds S (50)
+             --demand-scale X (0.05)     --output FILE|- (-)
+  info FILE  print instance statistics
+  solve FILE run an algorithm and report cost vs the LP bound
+             --model free|single|multi                    (free)
+             --algorithm heuristic|stretch|lambda|derand|
+                         primal-dual|sjf|batch-online     (heuristic)
+             --samples N (20)  --lambda X (1.0)  --k PATHS (3)
+             --epsilon E (0 = time-indexed LP)  --seed S (1)
+
+FILE may be '-' for stdin.
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = Args::parse(&raw[1..]).and_then(|args| match command.as_str() {
+        "generate" => commands::generate(&args),
+        "info" => commands::info(&args),
+        "solve" => commands::solve(&args),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    });
+    if let Err(msg) = result {
+        eprintln!("coflow: {msg}");
+        eprintln!("run `coflow help` for usage");
+        std::process::exit(1);
+    }
+}

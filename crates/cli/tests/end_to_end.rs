@@ -1,0 +1,192 @@
+//! End-to-end tests spawning the actual `coflow` binary: generate →
+//! info → solve pipelines over a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn coflow() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_coflow"))
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("coflow-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn run(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    (stdout, stderr)
+}
+
+#[test]
+fn generate_info_solve_roundtrip() {
+    let file = temp_file("roundtrip.coflow");
+    let _ = std::fs::remove_file(&file);
+
+    let (_, gen_err) = run(coflow().args([
+        "generate",
+        "--topology",
+        "fig2",
+        "--workload",
+        "fb",
+        "--jobs",
+        "4",
+        "--seed",
+        "3",
+        "--interarrival",
+        "0",
+        "--demand-scale",
+        "0.02",
+        "--output",
+        file.to_str().unwrap(),
+    ]));
+    assert!(gen_err.contains("generated 4 coflows"), "{gen_err}");
+
+    let (info_out, _) = run(coflow().args(["info", file.to_str().unwrap()]));
+    assert!(info_out.contains("coflows        4"), "{info_out}");
+    assert!(info_out.contains("nodes          5"), "{info_out}");
+
+    let (solve_out, _) = run(coflow().args([
+        "solve",
+        file.to_str().unwrap(),
+        "--model",
+        "free",
+        "--algorithm",
+        "heuristic",
+    ]));
+    assert!(solve_out.contains("lp bound"), "{solve_out}");
+    assert!(solve_out.contains("cost"), "{solve_out}");
+    // cost/bound ratio is printed and at least 1.
+    let ratio_line = solve_out
+        .lines()
+        .find(|l| l.starts_with("ratio"))
+        .expect("ratio line");
+    let ratio: f64 = ratio_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(ratio >= 1.0 - 1e-9, "{ratio_line}");
+
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn stdin_stdout_piping_works() {
+    // generate to stdout, solve from stdin.
+    let gen = coflow()
+        .args([
+            "generate",
+            "--topology",
+            "fig2",
+            "--jobs",
+            "3",
+            "--seed",
+            "5",
+            "--interarrival",
+            "0",
+            "--demand-scale",
+            "0.02",
+        ])
+        .output()
+        .expect("runs");
+    assert!(gen.status.success());
+    let text = String::from_utf8_lossy(&gen.stdout).into_owned();
+    assert!(text.starts_with("coflow-instance v1"), "{text}");
+
+    use std::io::Write;
+    let mut child = coflow()
+        .args(["solve", "-", "--algorithm", "lambda", "--lambda", "0.8"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(text.as_bytes())
+        .expect("writes");
+    let out = child.wait_with_output().expect("finishes");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lp bound"), "{stdout}");
+}
+
+#[test]
+fn every_algorithm_runs_on_a_tiny_instance() {
+    let file = temp_file("algos.coflow");
+    run(coflow().args([
+        "generate",
+        "--topology",
+        "swan",
+        "--jobs",
+        "3",
+        "--seed",
+        "7",
+        "--interarrival",
+        "0.5",
+        "--demand-scale",
+        "0.01",
+        "--output",
+        file.to_str().unwrap(),
+    ]));
+    for (model, algo) in [
+        ("free", "heuristic"),
+        ("free", "stretch"),
+        ("free", "derand"),
+        ("free", "batch-online"),
+        ("free", "sjf"),
+        ("single", "primal-dual"),
+        ("single", "heuristic"),
+        ("multi", "heuristic"),
+    ] {
+        let (out, _) = run(coflow().args([
+            "solve",
+            file.to_str().unwrap(),
+            "--model",
+            model,
+            "--algorithm",
+            algo,
+            "--samples",
+            "5",
+        ]));
+        assert!(out.contains("cost"), "{model}/{algo}: {out}");
+    }
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = coflow().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    // Unknown topology.
+    let out = coflow()
+        .args(["generate", "--topology", "atlantis"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown topology"));
+    // Unknown flag.
+    let out = coflow()
+        .args(["generate", "--bogus", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+    // Missing file.
+    let out = coflow()
+        .args(["info", "/nonexistent/path.coflow"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,195 @@
+//! Idle-slot compaction (paper §6.1, "Rounding").
+//!
+//! Stretch leaves slots empty once a flow's demand is met (Figure 5,
+//! third panel). The paper's implementation closes those gaps: *"we deal
+//! with this issue by moving the schedule of every time slot `t` to an
+//! earlier idle slot `t'` if for all flows scheduled at `t`, its release
+//! time is before `t'`."* Moving a slot wholesale preserves feasibility
+//! (capacities are per-slot and the contents were jointly feasible), and
+//! can only lower completion times.
+
+use crate::model::CoflowInstance;
+use crate::schedule::Schedule;
+
+/// Applies idle-slot compaction until a fixpoint (each pass moves whole
+/// slot contents into earlier empty slots; passes repeat because a move
+/// frees its source slot for later content).
+///
+/// Returns the number of slot moves performed.
+pub fn compact(schedule: &mut Schedule, inst: &CoflowInstance) -> usize {
+    let mut total_moves = 0;
+    loop {
+        let moves = compact_pass(schedule, inst);
+        total_moves += moves;
+        if moves == 0 {
+            return total_moves;
+        }
+    }
+}
+
+/// One ascending pass of the paper's rule; returns slots moved.
+fn compact_pass(schedule: &mut Schedule, inst: &CoflowInstance) -> usize {
+    let horizon = schedule.horizon();
+    if horizon <= 1 {
+        return 0;
+    }
+    // occupied[t] for t in 1..=horizon; release_floor[t] = 1 + max release
+    // among flows transmitting in slot t (earliest legal destination).
+    let h = horizon as usize;
+    let mut occupied = vec![false; h + 1];
+    let mut release_floor = vec![1u32; h + 1];
+    for (j, row) in schedule.flows.iter().enumerate() {
+        for (i, fl) in row.iter().enumerate() {
+            let rel = inst.coflows[j].flows[i].release;
+            for st in fl {
+                let t = st.slot as usize;
+                occupied[t] = true;
+                release_floor[t] = release_floor[t].max(rel + 1);
+            }
+        }
+    }
+
+    // Plan moves greedily in ascending slot order.
+    let mut moves: Vec<(u32, u32)> = Vec::new(); // (from, to)
+    for t in 2..=h {
+        if !occupied[t] {
+            continue;
+        }
+        let floor = release_floor[t] as usize;
+        // Smallest empty legal slot strictly before t.
+        let Some(target) = (floor..t).find(|&u| !occupied[u]) else {
+            continue;
+        };
+        occupied[target] = true;
+        occupied[t] = false;
+        release_floor[target] = release_floor[t];
+        release_floor[t] = 1;
+        moves.push((t as u32, target as u32));
+    }
+    if moves.is_empty() {
+        return 0;
+    }
+    let remap: std::collections::HashMap<u32, u32> = moves.iter().copied().collect();
+    for row in &mut schedule.flows {
+        for fl in row {
+            for st in fl.iter_mut() {
+                if let Some(&to) = remap.get(&st.slot) {
+                    st.slot = to;
+                }
+            }
+            fl.sort_by_key(|st| st.slot);
+        }
+    }
+    moves.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, CoflowInstance, Flow};
+    use crate::schedule::SlotTransfer;
+    use coflow_netgraph::{topology, EdgeId};
+
+    fn line_instance_with_release(release: u32) -> CoflowInstance {
+        let topo = topology::line(2, 10.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::released(v0, v1, 2.0, release)])],
+        )
+        .unwrap()
+    }
+
+    fn transfer(slot: u32, volume: f64) -> SlotTransfer {
+        SlotTransfer {
+            slot,
+            volume,
+            edges: vec![(EdgeId::from_index(0), volume)],
+        }
+    }
+
+    #[test]
+    fn gaps_close_to_the_front() {
+        let inst = line_instance_with_release(0);
+        let mut sched = Schedule {
+            flows: vec![vec![vec![transfer(3, 1.0), transfer(7, 1.0)]]],
+        };
+        let moves = compact(&mut sched, &inst);
+        assert!(moves >= 2);
+        let slots: Vec<u32> = sched.flows[0][0].iter().map(|s| s.slot).collect();
+        assert_eq!(slots, vec![1, 2]);
+        assert_eq!(
+            sched.completions(&inst).unwrap().per_coflow,
+            vec![2],
+            "completion should improve from 7 to 2"
+        );
+    }
+
+    #[test]
+    fn release_times_block_early_moves() {
+        let inst = line_instance_with_release(4);
+        let mut sched = Schedule {
+            flows: vec![vec![vec![transfer(6, 1.0), transfer(9, 1.0)]]],
+        };
+        compact(&mut sched, &inst);
+        let slots: Vec<u32> = sched.flows[0][0].iter().map(|s| s.slot).collect();
+        // Earliest legal slot is 5 (release 4 ⇒ slots > 4).
+        assert_eq!(slots, vec![5, 6]);
+    }
+
+    #[test]
+    fn occupied_slots_do_not_merge() {
+        // Two flows in separate slots with full capacity each; compaction
+        // must not merge them into one slot (only empty targets).
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v0, v1, 1.0)]),
+                Coflow::new(vec![Flow::new(v0, v1, 1.0)]),
+            ],
+        )
+        .unwrap();
+        let mut sched = Schedule {
+            flows: vec![
+                vec![vec![transfer(1, 1.0)]],
+                vec![vec![transfer(3, 1.0)]],
+            ],
+        };
+        compact(&mut sched, &inst);
+        let s0 = sched.flows[0][0][0].slot;
+        let s1 = sched.flows[1][0][0].slot;
+        assert_ne!(s0, s1, "slots must stay distinct");
+        assert_eq!((s0, s1), (1, 2));
+    }
+
+    #[test]
+    fn already_compact_schedule_is_untouched() {
+        let inst = line_instance_with_release(0);
+        let mut sched = Schedule {
+            flows: vec![vec![vec![transfer(1, 1.0), transfer(2, 1.0)]]],
+        };
+        let before = sched.clone();
+        assert_eq!(compact(&mut sched, &inst), 0);
+        assert_eq!(sched, before);
+    }
+
+    #[test]
+    fn fixpoint_needs_multiple_passes() {
+        // Slot 2 occupied, slot 5 occupied; pass 1 moves 2->1 and 5->2?
+        // Ascending pass: t=2 -> target 1; t=5 -> target 2 (freed in the
+        // same pass). A second pass finds nothing.
+        let inst = line_instance_with_release(0);
+        let mut sched = Schedule {
+            flows: vec![vec![vec![transfer(2, 1.0), transfer(5, 1.0)]]],
+        };
+        compact(&mut sched, &inst);
+        let slots: Vec<u32> = sched.flows[0][0].iter().map(|s| s.slot).collect();
+        assert_eq!(slots, vec![1, 2]);
+    }
+}

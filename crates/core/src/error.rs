@@ -1,0 +1,37 @@
+//! Error taxonomy for coflow scheduling.
+
+use std::fmt;
+
+/// Errors raised while building instances, formulating LPs, or validating
+/// schedules.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoflowError {
+    /// An instance failed validation (bad demand, unknown node, …).
+    BadInstance(String),
+    /// Routing information is inconsistent with the instance (wrong path
+    /// endpoints, missing path sets, …).
+    BadRouting(String),
+    /// The LP relaxation could not be solved.
+    Lp(String),
+    /// A schedule failed feasibility validation.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for CoflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoflowError::BadInstance(m) => write!(f, "bad instance: {m}"),
+            CoflowError::BadRouting(m) => write!(f, "bad routing: {m}"),
+            CoflowError::Lp(m) => write!(f, "LP failure: {m}"),
+            CoflowError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoflowError {}
+
+impl From<coflow_lp::LpError> for CoflowError {
+    fn from(e: coflow_lp::LpError) -> Self {
+        CoflowError::Lp(e.to_string())
+    }
+}

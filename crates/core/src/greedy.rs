@@ -1,0 +1,427 @@
+//! A work-conserving greedy scheduler.
+//!
+//! Serves three purposes:
+//!
+//! 1. **Horizon estimation** — its makespan seeds the time-indexed LP's
+//!    horizon `T` (see [`crate::horizon`]).
+//! 2. **Baseline building block** — shortest-job-first and Terra-style
+//!    baselines are greedy allocations under different coflow orders.
+//! 3. **Feasibility witness** — the greedy schedule is itself feasible,
+//!    so the LP relaxation with `T =` greedy makespan always has a
+//!    feasible point.
+//!
+//! Per slot, flows are visited in the given priority order; each flow
+//! grabs as much residual capacity as its routing model allows (path
+//! bottleneck for single path, max-flow for free path, sequential
+//! water-filling over candidates for multi path).
+
+use crate::error::CoflowError;
+use crate::model::CoflowInstance;
+use crate::routing::Routing;
+use crate::schedule::{Schedule, SlotTransfer};
+use coflow_netgraph::maxflow::Dinic;
+use coflow_netgraph::{EdgeId, Graph, GraphBuilder};
+
+/// Volume below which a transfer is considered zero.
+const EPS: f64 = 1e-9;
+
+/// Greedily schedules `inst` visiting coflows in `order` (indices into
+/// `inst.coflows`; flows within a coflow keep their declared order).
+///
+/// # Errors
+///
+/// [`CoflowError::BadRouting`] if routing does not validate, or
+/// [`CoflowError::InvalidSchedule`] if the allocator stalls (cannot make
+/// progress for an absurd number of slots — indicates an instance whose
+/// flows cannot be routed).
+pub fn greedy_schedule(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    order: &[usize],
+) -> Result<Schedule, CoflowError> {
+    assert_eq!(order.len(), inst.num_coflows(), "order must be a permutation");
+    let mut alloc = SlotAllocator::new(inst, routing)?;
+    while !alloc.is_done() {
+        alloc.step(order)?;
+    }
+    Ok(alloc.finish())
+}
+
+/// Slot-by-slot work-conserving allocator with caller-chosen per-slot
+/// coflow priorities. [`greedy_schedule`] drives it with a static order;
+/// the Terra baseline re-sorts by remaining time before every slot.
+pub struct SlotAllocator<'a> {
+    inst: &'a CoflowInstance,
+    routing: &'a Routing,
+    remaining: Vec<Vec<f64>>,
+    schedule: Schedule,
+    residual: Vec<f64>,
+    slot: u32,
+    unfinished: usize,
+    max_slots: u32,
+}
+
+impl<'a> SlotAllocator<'a> {
+    /// Prepares an allocator at slot 0 (no slot allocated yet).
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadRouting`] when routing does not validate.
+    pub fn new(inst: &'a CoflowInstance, routing: &'a Routing) -> Result<Self, CoflowError> {
+        routing.validate(inst)?;
+        Ok(SlotAllocator {
+            inst,
+            routing,
+            remaining: inst
+                .coflows
+                .iter()
+                .map(|c| c.flows.iter().map(|f| f.demand).collect())
+                .collect(),
+            schedule: Schedule {
+                flows: inst
+                    .coflows
+                    .iter()
+                    .map(|c| vec![Vec::new(); c.flows.len()])
+                    .collect(),
+            },
+            residual: vec![0.0; inst.graph.edge_count()],
+            slot: 0,
+            unfinished: inst.num_flows(),
+            max_slots: slot_budget(inst, routing),
+        })
+    }
+
+    /// Whether every flow has moved its demand.
+    pub fn is_done(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// The last allocated slot (0 before the first step).
+    pub fn current_slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Remaining demand of coflow `j` (sum over its flows).
+    pub fn coflow_remaining(&self, j: usize) -> f64 {
+        self.remaining[j].iter().sum()
+    }
+
+    /// Remaining demand of flow `(j, i)`.
+    pub fn flow_remaining(&self, j: usize, i: usize) -> f64 {
+        self.remaining[j][i]
+    }
+
+    /// Allocates the next slot, visiting coflows in `order`. The order
+    /// may be a subset of the coflows (batch scheduling); coflows not
+    /// listed receive nothing this slot.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::InvalidSchedule`] when the allocator stalls or the
+    /// slot budget is exhausted (unroutable instance).
+    pub fn step(&mut self, order: &[usize]) -> Result<(), CoflowError> {
+        debug_assert!(order.iter().all(|&j| j < self.inst.num_coflows()));
+        if self.is_done() {
+            return Ok(());
+        }
+        if self.slot >= self.max_slots {
+            return Err(CoflowError::InvalidSchedule(format!(
+                "greedy allocator exceeded {} slots",
+                self.max_slots
+            )));
+        }
+        self.slot += 1;
+        let slot = self.slot;
+        let g = &self.inst.graph;
+        for e in 0..g.edge_count() {
+            self.residual[e] = g.capacity(EdgeId::from_index(e));
+        }
+        let mut progressed = false;
+        for &j in order {
+            for i in 0..self.inst.coflows[j].flows.len() {
+                if self.remaining[j][i] <= EPS {
+                    continue;
+                }
+                let f = &self.inst.coflows[j].flows[i];
+                if slot <= f.release {
+                    continue;
+                }
+                let (vol, edges) = allocate(
+                    g,
+                    self.routing,
+                    j,
+                    i,
+                    f,
+                    self.remaining[j][i],
+                    &mut self.residual,
+                );
+                if vol > EPS {
+                    progressed = true;
+                    self.remaining[j][i] -= vol;
+                    if self.remaining[j][i] < EPS {
+                        self.remaining[j][i] = 0.0;
+                        self.unfinished -= 1;
+                    }
+                    self.schedule.flows[j][i].push(SlotTransfer {
+                        slot,
+                        volume: vol,
+                        edges,
+                    });
+                }
+            }
+        }
+        let all_released = self.inst.flows().all(|(_, f)| slot > f.release);
+        if !progressed && all_released && !self.is_done() {
+            return Err(CoflowError::InvalidSchedule(
+                "greedy allocator stalled: some flow cannot be routed".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Consumes the allocator and returns the schedule built so far.
+    pub fn finish(self) -> Schedule {
+        self.schedule
+    }
+}
+
+/// Allocates up to `want` volume for one flow out of `residual`,
+/// returning `(volume, edge volumes)` and decrementing the residuals.
+fn allocate(
+    g: &Graph,
+    routing: &Routing,
+    j: usize,
+    i: usize,
+    f: &crate::model::Flow,
+    want: f64,
+    residual: &mut [f64],
+) -> (f64, Vec<(EdgeId, f64)>) {
+    match routing {
+        Routing::SinglePath(paths) => {
+            let path = &paths[j][i];
+            let rate = path
+                .edges()
+                .iter()
+                .map(|&e| residual[e.index()])
+                .fold(f64::INFINITY, f64::min);
+            let vol = rate.min(want);
+            if vol <= EPS {
+                return (0.0, Vec::new());
+            }
+            let edges: Vec<(EdgeId, f64)> = path.edges().iter().map(|&e| (e, vol)).collect();
+            for &(e, v) in &edges {
+                residual[e.index()] -= v;
+            }
+            (vol, edges)
+        }
+        Routing::MultiPath(sets) => {
+            // Water-fill candidate paths in order.
+            let mut total = 0.0;
+            let mut edges: Vec<(EdgeId, f64)> = Vec::new();
+            for path in &sets[j][i] {
+                if total >= want - EPS {
+                    break;
+                }
+                let rate = path
+                    .edges()
+                    .iter()
+                    .map(|&e| residual[e.index()])
+                    .fold(f64::INFINITY, f64::min);
+                let vol = rate.min(want - total);
+                if vol <= EPS {
+                    continue;
+                }
+                total += vol;
+                for &e in path.edges() {
+                    residual[e.index()] -= vol;
+                    match edges.iter_mut().find(|(ee, _)| *ee == e) {
+                        Some((_, v)) => *v += vol,
+                        None => edges.push((e, vol)),
+                    }
+                }
+            }
+            (total, edges)
+        }
+        Routing::FreePath => {
+            // Max-flow on the residual network, scaled down to `want`.
+            let mut b = GraphBuilder::new();
+            for v in g.nodes() {
+                b.add_node(g.label(v));
+            }
+            let mut ids = Vec::with_capacity(g.edge_count());
+            for e in g.edges() {
+                let r = residual[e.id.index()];
+                if r > EPS {
+                    let ne = b
+                        .add_edge(e.src, e.dst, r)
+                        .expect("residual copy of a valid graph");
+                    ids.push((ne, e.id));
+                }
+            }
+            let rg = b.build();
+            let mf = Dinic::new(&rg).run(&rg, f.src, f.dst);
+            if mf.value <= EPS {
+                return (0.0, Vec::new());
+            }
+            let scale = (want / mf.value).min(1.0);
+            let vol = mf.value * scale;
+            let mut edges = Vec::new();
+            for (ne, orig) in ids {
+                let used = mf.edge_flow[ne.index()] * scale;
+                if used > EPS {
+                    residual[orig.index()] -= used;
+                    edges.push((orig, used));
+                }
+            }
+            (vol, edges)
+        }
+    }
+}
+
+/// Generous slot budget: releases plus sequential solo times plus slack.
+fn slot_budget(inst: &CoflowInstance, routing: &Routing) -> u32 {
+    let mut total = inst.max_release() as f64;
+    for (key, f) in inst.flows() {
+        let solo = match routing {
+            Routing::SinglePath(paths) => {
+                let p = &paths[key.coflow as usize][key.flow as usize];
+                f.demand / p.bottleneck(&inst.graph)
+            }
+            Routing::MultiPath(sets) => {
+                // At least the first candidate path's bottleneck.
+                let p = &sets[key.coflow as usize][key.flow as usize][0];
+                f.demand / p.bottleneck(&inst.graph)
+            }
+            Routing::FreePath => {
+                let mf = coflow_netgraph::maxflow::max_flow(&inst.graph, f.src, f.dst);
+                f.demand / mf.value.max(EPS)
+            }
+        };
+        total += solo.ceil() + 1.0;
+    }
+    (total.ceil() as u32).saturating_add(16)
+}
+
+/// Coflow order: ascending total demand (shortest job first).
+pub fn sjf_order(inst: &CoflowInstance) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..inst.num_coflows()).collect();
+    order.sort_by(|&a, &b| {
+        inst.coflows[a]
+            .total_demand()
+            .partial_cmp(&inst.coflows[b].total_demand())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// Coflow order: descending weight-per-demand (weighted SJF).
+pub fn weighted_sjf_order(inst: &CoflowInstance) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..inst.num_coflows()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = inst.coflows[a].weight / inst.coflows[a].total_demand();
+        let kb = inst.coflows[b].weight / inst.coflows[b].total_demand();
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use crate::routing;
+    use crate::validate::{validate, Tolerance};
+    use coflow_netgraph::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig2_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let v3 = g.node_by_label("v3").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v1, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v2, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v3, t, 1.0)]),
+                Coflow::new(vec![Flow::new(s, t, 3.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn free_path_greedy_matches_fig4_optimal() {
+        let inst = fig2_instance();
+        let order = sjf_order(&inst);
+        let sched = greedy_schedule(&inst, &Routing::FreePath, &order).unwrap();
+        let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+        // Figure 4: three unit coflows at slot 1, blue spread over slots
+        // 2 using all three routes -> completions 1,1,1,2; cost 5.
+        assert_eq!(rep.completions.weighted_total, 5.0);
+    }
+
+    #[test]
+    fn single_path_greedy_is_feasible_and_complete() {
+        let inst = fig2_instance();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = routing::random_shortest_paths(&inst, &mut rng).unwrap();
+        let order = sjf_order(&inst);
+        let sched = greedy_schedule(&inst, &r, &order).unwrap();
+        let rep = validate(&inst, &r, &sched, Tolerance::default()).unwrap();
+        // The blue coflow needs 3 slots on its fixed 2-hop path, possibly
+        // one more if it shares the middle hop with a unit coflow.
+        assert!(rep.completions.makespan >= 3);
+        assert!(rep.completions.makespan <= 5);
+    }
+
+    #[test]
+    fn multipath_greedy_uses_alternates() {
+        let inst = fig2_instance();
+        let r = routing::k_shortest_path_sets(&inst, 3).unwrap();
+        let order = sjf_order(&inst);
+        let sched = greedy_schedule(&inst, &r, &order).unwrap();
+        let rep = validate(&inst, &r, &sched, Tolerance::default()).unwrap();
+        // With 3 candidate routes, blue finishes by slot 2 as in free path.
+        assert_eq!(rep.completions.makespan, 2);
+    }
+
+    #[test]
+    fn respects_release_times() {
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::released(v0, v1, 2.0, 3)])],
+        )
+        .unwrap();
+        let sched = greedy_schedule(&inst, &Routing::FreePath, &[0]).unwrap();
+        let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+        assert_eq!(rep.completions.per_coflow, vec![5]); // slots 4 and 5
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let inst = fig2_instance();
+        for order in [sjf_order(&inst), weighted_sjf_order(&inst)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn sjf_prefers_small_coflows() {
+        let inst = fig2_instance();
+        let order = sjf_order(&inst);
+        // Blue (demand 3) must come last.
+        assert_eq!(*order.last().unwrap(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! The LP-based heuristic (paper §6.2): take the LP schedule directly.
+//!
+//! "Recall in Section 4.1, we mentioned that the LP solution itself is a
+//! valid schedule. We can use this solution as a heuristic, for both the
+//! single path and free path models. […] This implies that the solution
+//! from the heuristic can be arbitrarily bad in the worst case. In
+//! practice, however, this proves to be a very effective algorithm that
+//! can be quite close to the lower bound we get from LP."
+//!
+//! Equivalent to Stretch with `λ = 1` — no dilation, demand truncation
+//! and idle-slot compaction still applied. Across all of the paper's
+//! experiments λ = 1 "seems the best choice of λ".
+
+use crate::model::CoflowInstance;
+use crate::rateplan::RatePlan;
+use crate::schedule::Schedule;
+use crate::stretch::{stretch_schedule, StretchOptions};
+
+/// Rounds the LP plan with λ = 1 (the paper's "Heuristic(λ = 1.0)").
+pub fn lp_heuristic(inst: &CoflowInstance, plan: &RatePlan, opts: StretchOptions) -> Schedule {
+    stretch_schedule(inst, plan, 1.0, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use crate::routing::Routing;
+    use crate::timeidx::solve_time_indexed;
+    use crate::validate::{validate, Tolerance};
+    use coflow_lp::SolverOptions;
+    use coflow_netgraph::topology;
+
+    #[test]
+    fn heuristic_equals_stretch_at_lambda_one() {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let inst =
+            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 3.0)])]).unwrap();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            4,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let h = lp_heuristic(&inst, &lp.plan, StretchOptions::default());
+        let s1 = stretch_schedule(&inst, &lp.plan, 1.0, StretchOptions::default());
+        assert_eq!(h, s1);
+        let rep = validate(&inst, &Routing::FreePath, &h, Tolerance::default()).unwrap();
+        // Demand 3 over max-flow 3: one slot suffices and the LP should
+        // find it.
+        assert_eq!(rep.completions.per_coflow, vec![1]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Time-horizon selection for the time-indexed LP.
+//!
+//! The LP needs an upper bound `T` on the schedule length. Two modes:
+//!
+//! * [`HorizonMode::Safe`] — the paper's analytical bound (Appendix A):
+//!   the sum of all release times plus every flow's standalone processing
+//!   time. Always a valid horizon for an optimal schedule, but yields
+//!   large LPs.
+//! * [`HorizonMode::Greedy`] — the makespan of a feasible greedy schedule
+//!   times a margin. This is what a practical implementation (including
+//!   the paper's experiments, which pick a slot length that makes the LP
+//!   "tractable") uses. The greedy schedule is feasible within `T`, so
+//!   the LP always has a feasible point; the margin leaves room for the
+//!   LP to rearrange work. With a margin ≥ 1 the LP objective is a valid
+//!   lower bound whenever some optimal schedule fits in `T` — which the
+//!   `Safe` mode guarantees and experiments at margin 1.25 corroborate.
+
+use crate::error::CoflowError;
+use crate::greedy::{greedy_schedule, sjf_order};
+use crate::model::CoflowInstance;
+use crate::routing::Routing;
+
+/// How to pick the LP horizon `T`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HorizonMode {
+    /// Paper-faithful analytical bound (Appendix A).
+    Safe,
+    /// Greedy makespan scaled by `margin` (≥ 1.0).
+    Greedy {
+        /// Multiplier applied to the greedy makespan.
+        margin: f64,
+    },
+    /// A caller-pinned horizon. Use when several solves must share one
+    /// `T` (sensitivity sweeps, cross-algorithm comparisons); the caller
+    /// is responsible for `T` being large enough — too small surfaces as
+    /// an infeasible LP or a `BadInstance` error, never a silent bias.
+    Fixed(
+        /// The horizon `T` in slots.
+        u32,
+    ),
+}
+
+impl Default for HorizonMode {
+    fn default() -> Self {
+        HorizonMode::Greedy { margin: 1.25 }
+    }
+}
+
+/// Computes a horizon for `inst` under `routing`.
+///
+/// # Errors
+///
+/// Propagates routing/scheduling errors from the greedy witness.
+pub fn horizon(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    mode: HorizonMode,
+) -> Result<u32, CoflowError> {
+    match mode {
+        HorizonMode::Safe => Ok(safe_horizon(inst, routing)),
+        HorizonMode::Greedy { margin } => {
+            assert!(margin >= 1.0, "horizon margin must be >= 1");
+            let sched = greedy_schedule(inst, routing, &sjf_order(inst))?;
+            let makespan = sched
+                .completions(inst)
+                .map(|c| c.makespan)
+                .unwrap_or_else(|| sched.horizon());
+            Ok(((makespan as f64 * margin).ceil() as u32).max(makespan + 1))
+        }
+        HorizonMode::Fixed(t) => Ok(t),
+    }
+}
+
+/// The paper's analytical bound: `Σ releases + Σ standalone slots`.
+pub fn safe_horizon(inst: &CoflowInstance, routing: &Routing) -> u32 {
+    let mut total: f64 = 0.0;
+    for (key, f) in inst.flows() {
+        total += f.release as f64;
+        let bottleneck = match routing {
+            Routing::SinglePath(paths) => {
+                paths[key.coflow as usize][key.flow as usize].bottleneck(&inst.graph)
+            }
+            Routing::MultiPath(sets) => sets[key.coflow as usize][key.flow as usize]
+                .iter()
+                .map(|p| p.bottleneck(&inst.graph))
+                .fold(0.0, f64::max),
+            Routing::FreePath => {
+                coflow_netgraph::maxflow::max_flow(&inst.graph, f.src, f.dst).value
+            }
+        };
+        total += (f.demand / bottleneck).ceil() + 1.0;
+    }
+    total.ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use coflow_netgraph::topology;
+
+    fn two_coflow_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(s, t, 3.0)]),
+                Coflow::new(vec![Flow::released(v1, t, 2.0, 2)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn safe_bound_dominates_greedy() {
+        let inst = two_coflow_instance();
+        let r = Routing::FreePath;
+        let safe = horizon(&inst, &r, HorizonMode::Safe).unwrap();
+        let greedy = horizon(&inst, &r, HorizonMode::Greedy { margin: 1.0 }).unwrap();
+        assert!(safe >= greedy, "safe {safe} < greedy {greedy}");
+    }
+
+    #[test]
+    fn greedy_margin_scales() {
+        let inst = two_coflow_instance();
+        let r = Routing::FreePath;
+        let h1 = horizon(&inst, &r, HorizonMode::Greedy { margin: 1.0 }).unwrap();
+        let h2 = horizon(&inst, &r, HorizonMode::Greedy { margin: 2.0 }).unwrap();
+        assert!(h2 >= 2 * h1 - 2);
+        assert!(h2 > h1);
+    }
+
+    #[test]
+    fn safe_accounts_for_releases() {
+        let inst = two_coflow_instance();
+        let r = Routing::FreePath;
+        // Flow 1: demand 3, maxflow 3 -> 2 slots; flow 2: demand 2,
+        // maxflow 1 (v1 out-capacity... v1->t and v1->s) -> maxflow 2?
+        // v1 has edges to s and t with capacity 1 each; v1->t direct plus
+        // v1->s->v2->t etc. Just check release contributes.
+        let h = safe_horizon(&inst, &r);
+        assert!(h >= 2 + 2); // at least release 2 + some processing
+    }
+
+    #[test]
+    fn fixed_horizon_is_passed_through() {
+        let inst = two_coflow_instance();
+        let h = horizon(&inst, &Routing::FreePath, HorizonMode::Fixed(17)).unwrap();
+        assert_eq!(h, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn rejects_sub_unit_margin() {
+        let inst = two_coflow_instance();
+        let _ = horizon(&inst, &Routing::FreePath, HorizonMode::Greedy { margin: 0.5 });
+    }
+}

@@ -1,0 +1,602 @@
+//! The geometric-interval LP relaxation (paper Appendix A).
+//!
+//! When the horizon `T` is super-polynomial (large demands or releases),
+//! the unit-slot LP of §3 is too big. The appendix replaces slots with
+//! geometrically growing intervals `l_k = [τ_{k-1}, τ_k]`, `τ_0 = 0`,
+//! `τ_k = (1+ε)^{k-1}`, shrinking the LP to `O(log_{1+ε} T)` periods at
+//! the cost of a `(1+ε)` factor — Theorem 4.5's (2+ε)-approximation.
+//!
+//! Constraints mirror §3 with interval lengths woven in: capacity rows
+//! scale by `τ_k − τ_{k-1}` (eqs. (19)/(23)) and the completion bound
+//! becomes `C_j ≥ 1 + Σ_k (τ_k − τ_{k-1})(1 − X_j(k))` (eq. (16),
+//! Proposition A.1).
+//!
+//! Release handling follows the paper's §6 implementation note: *"we
+//! will not start a job until the whole current interval is after its
+//! release time"* — flow `f` gets variables only for intervals with
+//! `τ_{k-1} ≥ r_f`. Inside each interval the extracted schedule runs at
+//! uniform rate (Appendix A: "we just schedule each flow at uniform
+//! speed"), which keeps every instant's rates feasible and hence every
+//! discretized slot feasible.
+//!
+//! This module also serves the Jahanjou et al. baseline, which solves
+//! the same interval LP and rounds by α-points; see
+//! `coflow-baselines::jahanjou`.
+
+use crate::error::CoflowError;
+use crate::model::CoflowInstance;
+use crate::rateplan::{FlowPlan, RatePlan, Segment};
+use crate::routing::Routing;
+use crate::timeidx::{LpRelaxation, LpSize};
+use coflow_lp::{Cmp, Model, Sense, SolverOptions, VarId};
+use coflow_netgraph::EdgeId;
+
+const X_EPS: f64 = 1e-9;
+
+/// Result of the interval relaxation: the generic LP outcome plus the
+/// interval structure (needed by α-point rounding).
+#[derive(Clone, Debug)]
+pub struct IntervalRelaxation {
+    /// Objective, completions, and the uniform-rate plan.
+    pub lp: LpRelaxation,
+    /// Interval boundaries `τ_0 … τ_K` (length `K+1`).
+    pub boundaries: Vec<f64>,
+    /// The ε used to build the intervals.
+    pub epsilon: f64,
+    /// Per-flow fraction scheduled in each interval, `[coflow][flow][k]`
+    /// with `k` in `0..K` (0 for intervals before the flow's start).
+    pub flow_fractions: Vec<Vec<Vec<f64>>>,
+}
+
+/// Builds the boundaries `τ_0 = 0, τ_1 = 1, τ_k = (1+ε)^{k-1}` until the
+/// horizon is covered.
+pub fn geometric_boundaries(horizon: u32, epsilon: f64) -> Vec<f64> {
+    geometric_boundaries_with_release(horizon, epsilon, 0)
+}
+
+/// Like [`geometric_boundaries`] but also guarantees that every release
+/// up to `max_release` has a full interval starting at or after it (the
+/// §6 start rule needs `τ_{k-1} ≥ r` for some interval `k`), plus one
+/// spare interval of slack for the capacity lost to the rule.
+pub fn geometric_boundaries_with_release(horizon: u32, epsilon: f64, max_release: u32) -> Vec<f64> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(horizon >= 1);
+    let mut tau = vec![0.0, 1.0];
+    let grow = |tau: &mut Vec<f64>| {
+        let next = *tau.last().expect("non-empty") * (1.0 + epsilon);
+        tau.push(next);
+    };
+    while *tau.last().expect("non-empty") < horizon as f64 {
+        grow(&mut tau);
+    }
+    // Second-to-last boundary must reach the last release.
+    while tau[tau.len() - 2] < max_release as f64 {
+        grow(&mut tau);
+    }
+    // One spare interval: the start rule denies each flow the interval
+    // containing its release, so give the LP room to push work later.
+    grow(&mut tau);
+    tau
+}
+
+/// Builds and solves the geometric-interval LP.
+///
+/// # Errors
+///
+/// Mirrors [`crate::timeidx::solve_time_indexed`]; additionally
+/// [`CoflowError::BadInstance`] when a flow's release leaves it no
+/// interval within the horizon.
+pub fn solve_interval(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+    epsilon: f64,
+    opts: &SolverOptions,
+) -> Result<IntervalRelaxation, CoflowError> {
+    routing.validate(inst)?;
+    let tau = geometric_boundaries_with_release(horizon, epsilon, inst.max_release());
+    let nk = tau.len() - 1; // intervals 1..=nk, index k-1 internally
+    let g = &inst.graph;
+
+    // First usable interval per flow: smallest k with τ_{k-1} >= release.
+    let mut first_k: Vec<Vec<usize>> = Vec::with_capacity(inst.num_coflows());
+    for cf in &inst.coflows {
+        let mut row = Vec::with_capacity(cf.flows.len());
+        for f in &cf.flows {
+            let r = f.release as f64;
+            let k = (1..=nk).find(|&k| tau[k - 1] >= r);
+            match k {
+                Some(k) => row.push(k),
+                None => {
+                    return Err(CoflowError::BadInstance(format!(
+                        "release {} beyond interval horizon {horizon}",
+                        f.release
+                    )))
+                }
+            }
+        }
+        first_k.push(row);
+    }
+
+    let mut model = Model::new(Sense::Minimize);
+
+    struct FlowVars {
+        first: usize,
+        x: Vec<VarId>,
+        s: Vec<VarId>,
+        paths: Vec<Vec<VarId>>,
+        edges: Vec<(EdgeId, Vec<VarId>)>,
+    }
+
+    // Free-path edge masks, cached per (src, dst).
+    let mut mask_cache: std::collections::HashMap<
+        (coflow_netgraph::NodeId, coflow_netgraph::NodeId),
+        Vec<EdgeId>,
+    > = std::collections::HashMap::new();
+
+    let mut flow_vars: Vec<Vec<FlowVars>> = Vec::with_capacity(inst.num_coflows());
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let mut row = Vec::with_capacity(cf.flows.len());
+        for (i, f) in cf.flows.iter().enumerate() {
+            let first = first_k[j][i];
+            let nvars = nk - first + 1;
+            let mut fv = FlowVars {
+                first,
+                x: Vec::new(),
+                s: Vec::new(),
+                paths: Vec::new(),
+                edges: Vec::new(),
+            };
+            match routing {
+                Routing::SinglePath(_) | Routing::FreePath => {
+                    fv.x = (0..nvars)
+                        .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                        .collect();
+                }
+                Routing::MultiPath(sets) => {
+                    fv.paths = sets[j][i]
+                        .iter()
+                        .map(|_| {
+                            (0..nvars)
+                                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                                .collect()
+                        })
+                        .collect();
+                }
+            }
+            fv.s = (0..nvars)
+                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                .collect();
+            if matches!(routing, Routing::FreePath) {
+                let mask = mask_cache.entry((f.src, f.dst)).or_insert_with(|| {
+                    let fwd = g.reachable_from(f.src);
+                    let mut bwd = vec![false; g.node_count()];
+                    let mut q = std::collections::VecDeque::new();
+                    bwd[f.dst.index()] = true;
+                    q.push_back(f.dst);
+                    while let Some(v) = q.pop_front() {
+                        for &e in g.in_edges(v) {
+                            let u = g.src(e);
+                            if !bwd[u.index()] {
+                                bwd[u.index()] = true;
+                                q.push_back(u);
+                            }
+                        }
+                    }
+                    g.edges()
+                        .filter(|e| {
+                            fwd[e.src.index()]
+                                && bwd[e.dst.index()]
+                                && e.dst != f.src
+                                && e.src != f.dst
+                        })
+                        .map(|e| e.id)
+                        .collect()
+                });
+                fv.edges = mask
+                    .iter()
+                    .map(|&e| {
+                        (
+                            e,
+                            (0..nvars)
+                                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+            }
+            row.push(fv);
+        }
+        flow_vars.push(row);
+    }
+
+    // Coflow X_j(k) from the latest flow start; C_j.
+    let total_len: f64 = tau[nk] - tau[0];
+    let mut x_coflow: Vec<(usize, Vec<VarId>)> = Vec::with_capacity(inst.num_coflows());
+    let mut c_vars = Vec::with_capacity(inst.num_coflows());
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let kj = (0..cf.flows.len())
+            .map(|i| first_k[j][i])
+            .max()
+            .expect("non-empty");
+        let vars: Vec<VarId> = (kj..=nk)
+            .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+            .collect();
+        x_coflow.push((kj, vars));
+        c_vars.push(model.add_var("", 1.0, f64::INFINITY, cf.weight));
+    }
+
+    // Prefix chains and totals.
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for i in 0..cf.flows.len() {
+            let fv = &flow_vars[j][i];
+            let nvars = fv.s.len();
+            for idx in 0..nvars {
+                let mut terms: Vec<(VarId, f64)> = vec![(fv.s[idx], 1.0)];
+                if idx > 0 {
+                    terms.push((fv.s[idx - 1], -1.0));
+                }
+                match routing {
+                    Routing::MultiPath(_) => {
+                        for pv in &fv.paths {
+                            terms.push((pv[idx], -1.0));
+                        }
+                    }
+                    _ => terms.push((fv.x[idx], -1.0)),
+                }
+                model.add_constraint(terms, Cmp::Eq, 0.0);
+            }
+            model.add_constraint([(fv.s[nvars - 1], 1.0)], Cmp::Eq, 1.0);
+        }
+    }
+
+    // X_j(k) ≤ S_f(k); completion bound (16).
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let (kj, ref xvars) = x_coflow[j];
+        for (off, &xv) in xvars.iter().enumerate() {
+            let k = kj + off;
+            for i in 0..cf.flows.len() {
+                let fv = &flow_vars[j][i];
+                let sidx = k - fv.first;
+                model.add_constraint([(fv.s[sidx], 1.0), (xv, -1.0)], Cmp::Ge, 0.0);
+            }
+        }
+        // C_j + Σ_k len_k X_j(k) ≥ 1 + Σ_k len_k (skipped X treated as 0).
+        let mut terms: Vec<(VarId, f64)> = vec![(c_vars[j], 1.0)];
+        for (off, &xv) in xvars.iter().enumerate() {
+            let k = kj + off;
+            terms.push((xv, tau[k] - tau[k - 1]));
+        }
+        model.add_constraint(terms, Cmp::Ge, 1.0 + total_len);
+    }
+
+    // Capacity (and conservation for free path), scaled by interval length.
+    match routing {
+        Routing::SinglePath(paths) => {
+            let mut buckets: std::collections::BTreeMap<(usize, EdgeId), Vec<(VarId, f64)>> =
+                std::collections::BTreeMap::new();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                for (i, f) in cf.flows.iter().enumerate() {
+                    let fv = &flow_vars[j][i];
+                    for (idx, &xv) in fv.x.iter().enumerate() {
+                        let k = fv.first + idx;
+                        for &e in paths[j][i].edges() {
+                            buckets.entry((k, e)).or_default().push((xv, f.demand));
+                        }
+                    }
+                }
+            }
+            for ((k, e), terms) in buckets {
+                let len = tau[k] - tau[k - 1];
+                model.add_constraint(terms, Cmp::Le, len * g.capacity(e));
+            }
+        }
+        Routing::MultiPath(sets) => {
+            let mut buckets: std::collections::BTreeMap<(usize, EdgeId), Vec<(VarId, f64)>> =
+                std::collections::BTreeMap::new();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                for (i, f) in cf.flows.iter().enumerate() {
+                    let fv = &flow_vars[j][i];
+                    for (kp, path) in sets[j][i].iter().enumerate() {
+                        for (idx, &pv) in fv.paths[kp].iter().enumerate() {
+                            let k = fv.first + idx;
+                            for &e in path.edges() {
+                                buckets.entry((k, e)).or_default().push((pv, f.demand));
+                            }
+                        }
+                    }
+                }
+            }
+            for ((k, e), terms) in buckets {
+                let len = tau[k] - tau[k - 1];
+                model.add_constraint(terms, Cmp::Le, len * g.capacity(e));
+            }
+        }
+        Routing::FreePath => {
+            let mut buckets: std::collections::BTreeMap<(usize, EdgeId), Vec<(VarId, f64)>> =
+                std::collections::BTreeMap::new();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                for (i, f) in cf.flows.iter().enumerate() {
+                    let fv = &flow_vars[j][i];
+                    let mut incident: std::collections::BTreeMap<
+                        coflow_netgraph::NodeId,
+                        (Vec<usize>, Vec<usize>),
+                    > = std::collections::BTreeMap::new();
+                    for (pos, &(e, _)) in fv.edges.iter().enumerate() {
+                        incident.entry(g.src(e)).or_default().1.push(pos);
+                        incident.entry(g.dst(e)).or_default().0.push(pos);
+                    }
+                    for idx in 0..fv.s.len() {
+                        let k = fv.first + idx;
+                        for (&v, (ins, outs)) in &incident {
+                            let mut terms: Vec<(VarId, f64)> = Vec::new();
+                            if v == f.src {
+                                for &pos in outs {
+                                    terms.push((fv.edges[pos].1[idx], 1.0));
+                                }
+                                terms.push((fv.x[idx], -1.0));
+                            } else if v == f.dst {
+                                for &pos in ins {
+                                    terms.push((fv.edges[pos].1[idx], 1.0));
+                                }
+                                terms.push((fv.x[idx], -1.0));
+                            } else {
+                                for &pos in ins {
+                                    terms.push((fv.edges[pos].1[idx], 1.0));
+                                }
+                                for &pos in outs {
+                                    terms.push((fv.edges[pos].1[idx], -1.0));
+                                }
+                            }
+                            model.add_constraint(terms, Cmp::Eq, 0.0);
+                        }
+                        for &(e, ref vars) in &fv.edges {
+                            buckets
+                                .entry((k, e))
+                                .or_default()
+                                .push((vars[idx], f.demand));
+                        }
+                    }
+                }
+            }
+            for ((k, e), terms) in buckets {
+                let len = tau[k] - tau[k - 1];
+                model.add_constraint(terms, Cmp::Le, len * g.capacity(e));
+            }
+        }
+    }
+
+    let size = LpSize {
+        rows: model.num_constraints(),
+        cols: model.num_vars(),
+        nonzeros: model.num_nonzeros(),
+    };
+    let sol = model.solve_with(opts)?;
+
+    // ---- Extraction: uniform rate per interval. ----
+    let mut plan = RatePlan::empty_like(inst);
+    let mut flow_fractions: Vec<Vec<Vec<f64>>> = Vec::with_capacity(inst.num_coflows());
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let mut fr_row = Vec::with_capacity(cf.flows.len());
+        for (i, f) in cf.flows.iter().enumerate() {
+            let fv = &flow_vars[j][i];
+            let mut fractions = vec![0.0; nk];
+            let mut segments = Vec::new();
+            for idx in 0..fv.s.len() {
+                let k = fv.first + idx;
+                let len = tau[k] - tau[k - 1];
+                let (frac, edges): (f64, Vec<(EdgeId, f64)>) = match routing {
+                    Routing::SinglePath(paths) => {
+                        let frac = sol.value(fv.x[idx]);
+                        let rate = frac * f.demand / len;
+                        (
+                            frac,
+                            paths[j][i].edges().iter().map(|&e| (e, rate)).collect(),
+                        )
+                    }
+                    Routing::MultiPath(sets) => {
+                        let mut frac = 0.0;
+                        let mut edges: Vec<(EdgeId, f64)> = Vec::new();
+                        for (kp, path) in sets[j][i].iter().enumerate() {
+                            let pf = sol.value(fv.paths[kp][idx]);
+                            if pf <= X_EPS {
+                                continue;
+                            }
+                            frac += pf;
+                            let rate = pf * f.demand / len;
+                            for &e in path.edges() {
+                                match edges.iter_mut().find(|(ee, _)| *ee == e) {
+                                    Some((_, r)) => *r += rate,
+                                    None => edges.push((e, rate)),
+                                }
+                            }
+                        }
+                        (frac, edges)
+                    }
+                    Routing::FreePath => {
+                        let frac = sol.value(fv.x[idx]);
+                        let edges = fv
+                            .edges
+                            .iter()
+                            .filter_map(|&(e, ref vars)| {
+                                let v = sol.value(vars[idx]);
+                                (v > X_EPS).then(|| (e, v * f.demand / len))
+                            })
+                            .collect();
+                        (frac, edges)
+                    }
+                };
+                fractions[k - 1] = frac;
+                if frac > X_EPS {
+                    segments.push(Segment {
+                        t0: tau[k - 1],
+                        t1: tau[k],
+                        rate: frac * f.demand / len,
+                        edges,
+                    });
+                }
+            }
+            plan.flows[j][i] = FlowPlan { segments };
+            fr_row.push(fractions);
+        }
+        flow_fractions.push(fr_row);
+    }
+
+    let completions = c_vars.iter().map(|&c| sol.value(c)).collect();
+    Ok(IntervalRelaxation {
+        lp: LpRelaxation {
+            objective: sol.objective,
+            completions,
+            plan,
+            horizon,
+            lp_iterations: sol.iterations,
+            size,
+        },
+        boundaries: tau,
+        epsilon,
+        flow_fractions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use crate::validate::{validate, Tolerance};
+    use coflow_netgraph::topology;
+
+    fn fig2_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let v3 = g.node_by_label("v3").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v1, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v2, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v3, t, 1.0)]),
+                Coflow::new(vec![Flow::new(s, t, 3.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn boundaries_are_geometric() {
+        let tau = geometric_boundaries(10, 0.5);
+        assert_eq!(tau[0], 0.0);
+        assert_eq!(tau[1], 1.0);
+        for k in 2..tau.len() {
+            assert!((tau[k] - 1.5 * tau[k - 1]).abs() < 1e-12);
+        }
+        assert!(*tau.last().unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn interval_lp_bounds_and_discretizes() {
+        let inst = fig2_instance();
+        let rel = solve_interval(
+            &inst,
+            &Routing::FreePath,
+            6,
+            0.5,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        // Coarser relaxation, still at most the optimal 5 plus the
+        // coarsening slack; and at least the trivial 4.
+        assert!(rel.lp.objective >= 4.0 - 1e-6);
+        // Extracted plan moves full demands and is feasible.
+        let sched = rel.lp.plan.discretize();
+        let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+        assert!(rep.peak_utilization <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let inst = fig2_instance();
+        let rel = solve_interval(
+            &inst,
+            &Routing::FreePath,
+            6,
+            0.3,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        for row in &rel.flow_fractions {
+            for fr in row {
+                let total: f64 = fr.iter().sum();
+                assert!((total - 1.0).abs() < 1e-6, "fractions {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_gives_stronger_bound() {
+        // Coarser intervals weaken the relaxation: with ε large, a coflow
+        // can mark a whole fat interval complete and the completion bound
+        // `C_j ≥ 1 + Σ len_k (1 - X_j(k))` loses resolution. So the LP
+        // value (a lower bound) is non-increasing in ε — the effect the
+        // paper studies in Figure 8.
+        let inst = fig2_instance();
+        let coarse = solve_interval(
+            &inst,
+            &Routing::FreePath,
+            8,
+            1.0,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let fine = solve_interval(
+            &inst,
+            &Routing::FreePath,
+            8,
+            0.1,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            fine.lp.objective >= coarse.lp.objective - 1e-6,
+            "fine {} vs coarse {}",
+            fine.lp.objective,
+            coarse.lp.objective
+        );
+        // And the fine bound stays below the true optimum 5 plus the
+        // interval-granularity slack.
+        assert!(fine.lp.objective <= 5.0 + 1.0, "fine {}", fine.lp.objective);
+    }
+
+    #[test]
+    fn release_pushes_flow_to_later_intervals() {
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])],
+        )
+        .unwrap();
+        let rel = solve_interval(
+            &inst,
+            &Routing::FreePath,
+            12,
+            0.5,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        // No transmission before τ_{k-1} >= 3.
+        for row in &rel.lp.plan.flows {
+            for fp in row {
+                for seg in &fp.segments {
+                    assert!(seg.t0 >= 3.0 - 1e-9, "segment starts at {}", seg.t0);
+                }
+            }
+        }
+        assert!(rel.lp.completions[0] >= 4.0 - 1e-6);
+    }
+}

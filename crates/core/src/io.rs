@@ -1,0 +1,381 @@
+//! Plain-text instance serialization — the `.coflow` format.
+//!
+//! A downstream user needs a way to hand instances between tools
+//! (generator → solver → plotting scripts) without linking every crate
+//! together. The format is deliberately boring: line-oriented,
+//! whitespace-separated, `#` comments, fully round-trippable:
+//!
+//! ```text
+//! coflow-instance v1
+//! # topology
+//! node US-West
+//! node US-East
+//! edge US-West US-East 40          # src dst capacity
+//! edge US-East US-West 40
+//! # jobs
+//! coflow 3.5                       # weight; flows follow
+//! flow US-West US-East 120 0       # src dst demand release
+//! ```
+//!
+//! Node labels are the identifiers, so they must be unique and must not
+//! contain whitespace (every topology in [`coflow_netgraph::topology`]
+//! already complies). Edges are directed; write both directions for a
+//! bi-directed WAN link. Routing is not serialized — paths are derived
+//! data (regenerate with [`crate::routing`]'s helpers and a seed).
+
+use crate::error::CoflowError;
+use crate::model::{Coflow, CoflowInstance, Flow};
+use coflow_netgraph::GraphBuilder;
+use std::fmt::Write as _;
+
+/// Serializes an instance to the v1 text format.
+///
+/// # Errors
+///
+/// [`CoflowError::BadInstance`] when a node label is empty or contains
+/// whitespace (such labels cannot be parsed back).
+pub fn write_instance(inst: &CoflowInstance) -> Result<String, CoflowError> {
+    let g = &inst.graph;
+    for v in g.nodes() {
+        let label = g.label(v);
+        if label.is_empty() || label.chars().any(char::is_whitespace) {
+            return Err(CoflowError::BadInstance(format!(
+                "node label {label:?} cannot be serialized (empty or contains whitespace)"
+            )));
+        }
+    }
+    let mut out = String::new();
+    out.push_str("coflow-instance v1\n");
+    let _ = writeln!(out, "# {} nodes, {} edges", g.node_count(), g.edge_count());
+    for v in g.nodes() {
+        let _ = writeln!(out, "node {}", g.label(v));
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            g.label(e.src),
+            g.label(e.dst),
+            e.capacity
+        );
+    }
+    let _ = writeln!(out, "# {} coflows, {} flows", inst.num_coflows(), inst.num_flows());
+    for cf in &inst.coflows {
+        let _ = writeln!(out, "coflow {}", cf.weight);
+        for f in &cf.flows {
+            let _ = writeln!(
+                out,
+                "flow {} {} {} {}",
+                g.label(f.src),
+                g.label(f.dst),
+                f.demand,
+                f.release
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the v1 text format back into a validated instance.
+///
+/// # Errors
+///
+/// [`CoflowError::BadInstance`] with the offending line number on any
+/// syntax problem, plus the usual instance-validation errors.
+pub fn read_instance(text: &str) -> Result<CoflowInstance, CoflowError> {
+    let mut lines = text.lines().enumerate();
+    // Header.
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) => {
+                let l = strip(l);
+                if !l.is_empty() {
+                    break l.to_string();
+                }
+            }
+            None => return Err(bad(0, "empty input")),
+        }
+    };
+    if header != "coflow-instance v1" {
+        return Err(bad(1, &format!("unknown header {header:?}")));
+    }
+
+    let mut b = GraphBuilder::new();
+    let mut labels: std::collections::HashMap<String, coflow_netgraph::NodeId> =
+        std::collections::HashMap::new();
+    let mut coflows: Vec<Coflow> = Vec::new();
+    let mut graph: Option<coflow_netgraph::Graph> = None;
+    // Edge specs buffered until the first coflow line freezes the graph.
+    let mut pending_edges: Vec<(String, String, f64, usize)> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line = strip(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut it = line.split_whitespace();
+        let kw = it.next().expect("nonempty line");
+        match kw {
+            "node" => {
+                if graph.is_some() {
+                    return Err(bad(lineno, "node after the first coflow"));
+                }
+                let label = it
+                    .next()
+                    .ok_or_else(|| bad(lineno, "node needs a label"))?;
+                if labels.contains_key(label) {
+                    return Err(bad(lineno, &format!("duplicate node {label:?}")));
+                }
+                labels.insert(label.to_string(), b.add_node(label));
+            }
+            "edge" => {
+                if graph.is_some() {
+                    return Err(bad(lineno, "edge after the first coflow"));
+                }
+                let src = it.next().ok_or_else(|| bad(lineno, "edge needs src"))?;
+                let dst = it.next().ok_or_else(|| bad(lineno, "edge needs dst"))?;
+                let cap: f64 = parse(it.next(), lineno, "edge capacity")?;
+                pending_edges.push((src.to_string(), dst.to_string(), cap, lineno));
+            }
+            "coflow" => {
+                if graph.is_none() {
+                    // Freeze the graph.
+                    for (src, dst, cap, eline) in pending_edges.drain(..) {
+                        let (su, sv) = (
+                            *labels
+                                .get(&src)
+                                .ok_or_else(|| bad(eline, &format!("unknown node {src:?}")))?,
+                            *labels
+                                .get(&dst)
+                                .ok_or_else(|| bad(eline, &format!("unknown node {dst:?}")))?,
+                        );
+                        b.add_edge(su, sv, cap).map_err(|e| {
+                            bad(eline, &format!("invalid edge: {e}"))
+                        })?;
+                    }
+                    graph = Some(std::mem::take(&mut b).build());
+                }
+                let weight: f64 = parse(it.next(), lineno, "coflow weight")?;
+                coflows.push(Coflow::weighted(weight, Vec::new()));
+            }
+            "flow" => {
+                let cf = coflows
+                    .last_mut()
+                    .ok_or_else(|| bad(lineno, "flow before any coflow"))?;
+                let src = it.next().ok_or_else(|| bad(lineno, "flow needs src"))?;
+                let dst = it.next().ok_or_else(|| bad(lineno, "flow needs dst"))?;
+                let demand: f64 = parse(it.next(), lineno, "flow demand")?;
+                let release: u32 = parse(it.next(), lineno, "flow release")?;
+                let (su, sv) = (
+                    *labels
+                        .get(src)
+                        .ok_or_else(|| bad(lineno, &format!("unknown node {src:?}")))?,
+                    *labels
+                        .get(dst)
+                        .ok_or_else(|| bad(lineno, &format!("unknown node {dst:?}")))?,
+                );
+                cf.flows.push(Flow::released(su, sv, demand, release));
+            }
+            other => return Err(bad(lineno, &format!("unknown keyword {other:?}"))),
+        }
+        if it.next().is_some() {
+            return Err(bad(lineno, "trailing tokens"));
+        }
+    }
+
+    let graph = match graph {
+        Some(g) => g,
+        None => {
+            // Instance with no coflows: still freeze the graph so the
+            // error below is about coflows, not parsing.
+            for (src, dst, cap, eline) in pending_edges.drain(..) {
+                let (su, sv) = (
+                    *labels
+                        .get(&src)
+                        .ok_or_else(|| bad(eline, &format!("unknown node {src:?}")))?,
+                    *labels
+                        .get(&dst)
+                        .ok_or_else(|| bad(eline, &format!("unknown node {dst:?}")))?,
+                );
+                b.add_edge(su, sv, cap)
+                    .map_err(|e| bad(eline, &format!("invalid edge: {e}")))?;
+            }
+            b.build()
+        }
+    };
+    CoflowInstance::new(graph, coflows)
+}
+
+/// Strips a trailing `#` comment and surrounding whitespace.
+fn strip(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+fn bad(lineno: usize, msg: &str) -> CoflowError {
+    CoflowError::BadInstance(format!("line {lineno}: {msg}"))
+}
+
+fn parse<T: std::str::FromStr>(
+    tok: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, CoflowError> {
+    tok.ok_or_else(|| bad(lineno, &format!("missing {what}")))?
+        .parse()
+        .map_err(|_| bad(lineno, &format!("unparsable {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_netgraph::topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_instance() -> CoflowInstance {
+        let topo = topology::swan();
+        let g = topo.graph;
+        let nodes: Vec<_> = g.nodes().collect();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::weighted(
+                    2.5,
+                    vec![
+                        Flow::new(nodes[0], nodes[1], 12.0),
+                        Flow::released(nodes[2], nodes[4], 7.25, 3),
+                    ],
+                ),
+                Coflow::new(vec![Flow::new(nodes[3], nodes[0], 100.5)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_instances_equal(a: &CoflowInstance, b: &CoflowInstance) {
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for (ea, eb) in a.graph.edges().zip(b.graph.edges()) {
+            assert_eq!(a.graph.label(ea.src), b.graph.label(eb.src));
+            assert_eq!(a.graph.label(ea.dst), b.graph.label(eb.dst));
+            assert_eq!(ea.capacity, eb.capacity);
+        }
+        assert_eq!(a.coflows.len(), b.coflows.len());
+        for (ca, cb) in a.coflows.iter().zip(&b.coflows) {
+            assert_eq!(ca.weight, cb.weight);
+            assert_eq!(ca.flows.len(), cb.flows.len());
+            for (fa, fb) in ca.flows.iter().zip(&cb.flows) {
+                assert_eq!(a.graph.label(fa.src), b.graph.label(fb.src));
+                assert_eq!(a.graph.label(fa.dst), b.graph.label(fb.dst));
+                assert_eq!(fa.demand, fb.demand);
+                assert_eq!(fa.release, fb.release);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let inst = sample_instance();
+        let text = write_instance(&inst).unwrap();
+        let back = read_instance(&text).unwrap();
+        assert_instances_equal(&inst, &back);
+        // Idempotent: serialize again, byte-identical.
+        assert_eq!(text, write_instance(&back).unwrap());
+    }
+
+    #[test]
+    fn roundtrip_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let topo = topology::random_connected(
+                rng.gen_range(3..10),
+                rng.gen_range(0..6),
+                (0.5, 20.0),
+                &mut rng,
+            );
+            let g = topo.graph;
+            let nodes: Vec<_> = g.nodes().collect();
+            let coflows = (0..rng.gen_range(1..5))
+                .map(|_| {
+                    let flows = (0..rng.gen_range(1..4))
+                        .map(|_| {
+                            let a = nodes[rng.gen_range(0..nodes.len())];
+                            let mut c = nodes[rng.gen_range(0..nodes.len())];
+                            while c == a {
+                                c = nodes[rng.gen_range(0..nodes.len())];
+                            }
+                            Flow::released(
+                                a,
+                                c,
+                                rng.gen_range(0.1..50.0),
+                                rng.gen_range(0..9),
+                            )
+                        })
+                        .collect();
+                    Coflow::weighted(rng.gen_range(0.5..100.0), flows)
+                })
+                .collect();
+            let inst = CoflowInstance::new(g, coflows).unwrap();
+            let text = write_instance(&inst).unwrap();
+            let back = read_instance(&text).unwrap();
+            assert_instances_equal(&inst, &back);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# preamble\ncoflow-instance v1\n\nnode a # the source\nnode b\nedge a b 2.5\ncoflow 1 # unit weight\nflow a b 3 0\n";
+        let inst = read_instance(text).unwrap();
+        assert_eq!(inst.graph.node_count(), 2);
+        assert_eq!(inst.num_coflows(), 1);
+        assert_eq!(inst.coflows[0].flows[0].demand, 3.0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("coflow-instance v2\n", "unknown header"),
+            ("coflow-instance v1\nnode a\nnode a\n", "duplicate node"),
+            ("coflow-instance v1\nnode a\nedge a zzz 1\ncoflow 1\nflow a a 1 0\n", "unknown node"),
+            ("coflow-instance v1\nnode a\nflow a a 1 0\n", "flow before any coflow"),
+            ("coflow-instance v1\nbogus x\n", "unknown keyword"),
+            ("coflow-instance v1\nnode a\nnode b\nedge a b oops\n", "unparsable edge capacity"),
+            ("coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow a b 1 0 extra\n", "trailing tokens"),
+            ("coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nnode c\n", "node after the first coflow"),
+        ];
+        for (text, expect) in cases {
+            let err = read_instance(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(expect),
+                "for {text:?}: error {msg:?} missing {expect:?}"
+            );
+            assert!(msg.contains("line "), "no line number in {msg:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_labels_are_rejected_on_write() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a node");
+        let c = b.add_node("c");
+        b.add_edge(a, c, 1.0).unwrap();
+        let inst = CoflowInstance::new(
+            b.build(),
+            vec![Coflow::new(vec![Flow::new(a, c, 1.0)])],
+        )
+        .unwrap();
+        assert!(write_instance(&inst).is_err());
+    }
+
+    #[test]
+    fn validation_still_applies_after_parse() {
+        // Syntactically fine, semantically broken: unreachable sink.
+        let text = "coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow b a 1 0\n";
+        assert!(read_instance(text).is_err());
+    }
+}

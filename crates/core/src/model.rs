@@ -1,0 +1,315 @@
+//! The coflow scheduling instance model (paper §2).
+//!
+//! An instance is a capacitated digraph `G = (V, E)` plus a set of coflows
+//! `J = {F_1, …, F_n}`. Coflow `F_j` has weight `w_j` and consists of
+//! flows `f_j^i = (s_j^i, t_j^i, σ_j^i)` — source, sink, demand. A coflow
+//! completes at the earliest (slotted) time by which every one of its
+//! flows has moved its full demand; the objective is `min Σ_j w_j C_j`.
+//!
+//! **Units.** Time is slotted: slot `t ≥ 1` covers the interval
+//! `[t-1, t]`. Edge capacities are *volume per slot*; demands are volume.
+//! Release times are slot indices: a flow with release `r` may transmit
+//! in slots `t > r` (constraint (4) of the paper: `r ≥ t ⇒ x(t) = 0`).
+
+use crate::error::CoflowError;
+use coflow_netgraph::{Graph, NodeId};
+
+/// One flow: move `demand` units from `src` to `dst`, available after
+/// slot `release`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Flow {
+    /// Source node `s_j^i`.
+    pub src: NodeId,
+    /// Sink node `t_j^i`.
+    pub dst: NodeId,
+    /// Demand `σ_j^i` (volume units, > 0).
+    pub demand: f64,
+    /// Release slot `r_j^i`: transmission allowed only in slots `> release`.
+    pub release: u32,
+}
+
+impl Flow {
+    /// A flow with release time 0 (available immediately).
+    pub fn new(src: NodeId, dst: NodeId, demand: f64) -> Self {
+        Flow {
+            src,
+            dst,
+            demand,
+            release: 0,
+        }
+    }
+
+    /// A flow released after slot `release`.
+    pub fn released(src: NodeId, dst: NodeId, demand: f64, release: u32) -> Self {
+        Flow {
+            src,
+            dst,
+            demand,
+            release,
+        }
+    }
+}
+
+/// A coflow: a weighted set of flows that completes when all complete.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coflow {
+    /// Priority weight `w_j > 0`.
+    pub weight: f64,
+    /// The flows `f_j^1 … f_j^{n_j}`.
+    pub flows: Vec<Flow>,
+}
+
+impl Coflow {
+    /// A unit-weight coflow.
+    pub fn new(flows: Vec<Flow>) -> Self {
+        Coflow {
+            weight: 1.0,
+            flows,
+        }
+    }
+
+    /// A weighted coflow.
+    pub fn weighted(weight: f64, flows: Vec<Flow>) -> Self {
+        Coflow { weight, flows }
+    }
+
+    /// Earliest release among this coflow's flows.
+    pub fn release(&self) -> u32 {
+        self.flows.iter().map(|f| f.release).min().unwrap_or(0)
+    }
+
+    /// Latest release among this coflow's flows — the first slot
+    /// boundary at which the *whole* coflow is available.
+    pub fn full_release(&self) -> u32 {
+        self.flows.iter().map(|f| f.release).max().unwrap_or(0)
+    }
+
+    /// Total demand over all flows.
+    pub fn total_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand).sum()
+    }
+}
+
+/// Identifies flow `flow` within coflow `coflow`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Coflow index in `CoflowInstance::coflows`.
+    pub coflow: u32,
+    /// Flow index within the coflow.
+    pub flow: u32,
+}
+
+impl FlowKey {
+    /// Convenience constructor.
+    pub fn new(coflow: usize, flow: usize) -> Self {
+        FlowKey {
+            coflow: coflow as u32,
+            flow: flow as u32,
+        }
+    }
+}
+
+/// A complete problem instance: network plus coflows.
+#[derive(Clone, Debug)]
+pub struct CoflowInstance {
+    /// The datacenter/WAN network.
+    pub graph: Graph,
+    /// The coflows to schedule.
+    pub coflows: Vec<Coflow>,
+}
+
+impl CoflowInstance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] when a coflow is empty, a weight or
+    /// demand is non-positive or non-finite, a flow's endpoints coincide
+    /// or fall outside the graph, or a sink is unreachable from its
+    /// source (such a flow can never complete in any model).
+    pub fn new(graph: Graph, coflows: Vec<Coflow>) -> Result<Self, CoflowError> {
+        let n = graph.node_count();
+        // Reachability cache per distinct source actually used.
+        let mut reach_cache: std::collections::HashMap<NodeId, Vec<bool>> =
+            std::collections::HashMap::new();
+        for (j, cf) in coflows.iter().enumerate() {
+            if cf.flows.is_empty() {
+                return Err(CoflowError::BadInstance(format!("coflow {j} has no flows")));
+            }
+            if !(cf.weight.is_finite() && cf.weight > 0.0) {
+                return Err(CoflowError::BadInstance(format!(
+                    "coflow {j} has weight {}",
+                    cf.weight
+                )));
+            }
+            for (i, f) in cf.flows.iter().enumerate() {
+                if f.src.index() >= n || f.dst.index() >= n {
+                    return Err(CoflowError::BadInstance(format!(
+                        "flow {i} of coflow {j} references a node outside the graph"
+                    )));
+                }
+                if f.src == f.dst {
+                    return Err(CoflowError::BadInstance(format!(
+                        "flow {i} of coflow {j} has equal source and sink"
+                    )));
+                }
+                if !(f.demand.is_finite() && f.demand > 0.0) {
+                    return Err(CoflowError::BadInstance(format!(
+                        "flow {i} of coflow {j} has demand {}",
+                        f.demand
+                    )));
+                }
+                let reach = reach_cache
+                    .entry(f.src)
+                    .or_insert_with(|| graph.reachable_from(f.src));
+                if !reach[f.dst.index()] {
+                    return Err(CoflowError::BadInstance(format!(
+                        "flow {i} of coflow {j}: sink unreachable from source"
+                    )));
+                }
+            }
+        }
+        Ok(CoflowInstance { graph, coflows })
+    }
+
+    /// Number of coflows `n`.
+    pub fn num_coflows(&self) -> usize {
+        self.coflows.len()
+    }
+
+    /// Total number of flows `Σ_j n_j`.
+    pub fn num_flows(&self) -> usize {
+        self.coflows.iter().map(|c| c.flows.len()).sum()
+    }
+
+    /// Iterates `(key, &flow)` over all flows in coflow order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowKey, &Flow)> {
+        self.coflows.iter().enumerate().flat_map(|(j, cf)| {
+            cf.flows
+                .iter()
+                .enumerate()
+                .map(move |(i, f)| (FlowKey::new(j, i), f))
+        })
+    }
+
+    /// The flow addressed by `key`.
+    pub fn flow(&self, key: FlowKey) -> &Flow {
+        &self.coflows[key.coflow as usize].flows[key.flow as usize]
+    }
+
+    /// Largest release slot across all flows.
+    pub fn max_release(&self) -> u32 {
+        self.flows().map(|(_, f)| f.release).max().unwrap_or(0)
+    }
+
+    /// `Σ_j w_j · r_j` — useful normalization constant in experiments.
+    pub fn weighted_release_sum(&self) -> f64 {
+        self.coflows
+            .iter()
+            .map(|c| c.weight * c.release() as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_netgraph::topology;
+
+    fn fig2() -> (Graph, NodeId, NodeId, [NodeId; 3]) {
+        let t = topology::fig2_example();
+        let g = t.graph;
+        let s = g.node_by_label("s").unwrap();
+        let tt = g.node_by_label("t").unwrap();
+        let vs = [
+            g.node_by_label("v1").unwrap(),
+            g.node_by_label("v2").unwrap(),
+            g.node_by_label("v3").unwrap(),
+        ];
+        (g, s, tt, vs)
+    }
+
+    #[test]
+    fn valid_instance_builds() {
+        let (g, s, t, vs) = fig2();
+        let coflows = vec![
+            Coflow::new(vec![Flow::new(vs[0], t, 1.0)]),
+            Coflow::new(vec![Flow::new(vs[1], t, 1.0)]),
+            Coflow::new(vec![Flow::new(vs[2], t, 1.0)]),
+            Coflow::new(vec![Flow::new(s, t, 3.0)]),
+        ];
+        let inst = CoflowInstance::new(g, coflows).unwrap();
+        assert_eq!(inst.num_coflows(), 4);
+        assert_eq!(inst.num_flows(), 4);
+        assert_eq!(inst.max_release(), 0);
+        let keys: Vec<_> = inst.flows().map(|(k, _)| k).collect();
+        assert_eq!(keys[3], FlowKey::new(3, 0));
+    }
+
+    #[test]
+    fn rejects_bad_instances() {
+        let (g, s, t, _) = fig2();
+        // Empty coflow.
+        assert!(CoflowInstance::new(g.clone(), vec![Coflow::new(vec![])]).is_err());
+        // Zero demand.
+        assert!(CoflowInstance::new(
+            g.clone(),
+            vec![Coflow::new(vec![Flow::new(s, t, 0.0)])]
+        )
+        .is_err());
+        // Equal endpoints.
+        assert!(CoflowInstance::new(
+            g.clone(),
+            vec![Coflow::new(vec![Flow::new(s, s, 1.0)])]
+        )
+        .is_err());
+        // Non-positive weight.
+        assert!(CoflowInstance::new(
+            g.clone(),
+            vec![Coflow::weighted(0.0, vec![Flow::new(s, t, 1.0)])]
+        )
+        .is_err());
+        // NaN demand.
+        assert!(CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::new(s, t, f64::NAN)])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_unreachable_sink() {
+        let line = topology::line(3, 1.0);
+        let g = line.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        // Backwards on a directed line: unreachable.
+        assert!(CoflowInstance::new(
+            g.clone(),
+            vec![Coflow::new(vec![Flow::new(v2, v0, 1.0)])]
+        )
+        .is_err());
+        assert!(CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::new(v0, v2, 1.0)])]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn release_and_demand_aggregates() {
+        let (g, s, t, vs) = fig2();
+        let cf = Coflow::weighted(
+            2.5,
+            vec![
+                Flow::released(s, t, 3.0, 4),
+                Flow::released(vs[0], t, 2.0, 2),
+            ],
+        );
+        assert_eq!(cf.release(), 2);
+        assert_eq!(cf.total_demand(), 5.0);
+        let inst = CoflowInstance::new(g, vec![cf]).unwrap();
+        assert_eq!(inst.max_release(), 4);
+        assert_eq!(inst.weighted_release_sum(), 5.0);
+    }
+}

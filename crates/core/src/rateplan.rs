@@ -1,0 +1,398 @@
+//! Continuous-time rate plans: the common currency between LP solutions
+//! and slotted schedules.
+//!
+//! Both relaxations (unit-slot time-indexed, §3; geometric intervals,
+//! Appendix A) yield, for every flow, a piecewise-constant transmission
+//! rate over continuous time together with per-edge rates. The Stretch
+//! algorithm is a transformation of this representation: dilate time by
+//! `1/λ` (which scales rates by `λ`), truncate once the demand is met,
+//! and integrate back into unit slots.
+//!
+//! Keeping the plan continuous makes the two LPs and the rounding
+//! algorithms compose: `lp → RatePlan → stretch(λ) → truncate →
+//! discretize → compact`.
+
+use crate::model::CoflowInstance;
+use crate::schedule::{Schedule, SlotTransfer};
+use coflow_netgraph::EdgeId;
+
+/// Volume tolerance used when truncating at demand.
+pub const VOL_EPS: f64 = 1e-9;
+
+/// A constant-rate transmission over `[t0, t1)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// Segment start (continuous time).
+    pub t0: f64,
+    /// Segment end.
+    pub t1: f64,
+    /// Source→sink transfer rate (volume per unit time).
+    pub rate: f64,
+    /// Per-edge rates; for a single-path flow every path edge carries
+    /// `rate`, for free-path flows the rates form a flow of value `rate`.
+    pub edges: Vec<(EdgeId, f64)>,
+}
+
+impl Segment {
+    /// Volume moved by this segment.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.rate * (self.t1 - self.t0)
+    }
+}
+
+/// Piecewise-constant plan for one flow: sorted, non-overlapping segments.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowPlan {
+    /// The segments in increasing time order.
+    pub segments: Vec<Segment>,
+}
+
+impl FlowPlan {
+    /// Total volume transferred.
+    pub fn total_volume(&self) -> f64 {
+        self.segments.iter().map(Segment::volume).sum()
+    }
+
+    /// Continuous completion time: the earliest time by which `demand`
+    /// has been moved, or `None` if the plan never moves that much.
+    pub fn completion(&self, demand: f64) -> Option<f64> {
+        let mut acc = 0.0;
+        for s in &self.segments {
+            let v = s.volume();
+            if acc + v >= demand - VOL_EPS {
+                let need = (demand - acc).max(0.0);
+                let frac = if v > 0.0 { need / v } else { 0.0 };
+                return Some(s.t0 + frac * (s.t1 - s.t0));
+            }
+            acc += v;
+        }
+        None
+    }
+
+    /// Truncates the plan at the moment `demand` is met ("once σ units
+    /// have been scheduled, leave the remaining slots empty", §4.1).
+    pub fn truncate_at(&self, demand: f64) -> FlowPlan {
+        let Some(end) = self.completion(demand) else {
+            return self.clone();
+        };
+        let mut out = Vec::new();
+        for s in &self.segments {
+            if s.t0 >= end {
+                break;
+            }
+            if s.t1 <= end {
+                out.push(s.clone());
+            } else {
+                out.push(Segment {
+                    t0: s.t0,
+                    t1: end,
+                    rate: s.rate,
+                    edges: s.edges.clone(),
+                });
+                break;
+            }
+        }
+        FlowPlan { segments: out }
+    }
+}
+
+/// A rate plan for every flow of an instance, indexed `[coflow][flow]`.
+#[derive(Clone, Debug, Default)]
+pub struct RatePlan {
+    /// Per-flow plans.
+    pub flows: Vec<Vec<FlowPlan>>,
+}
+
+impl RatePlan {
+    /// An empty plan shaped like `inst`.
+    pub fn empty_like(inst: &CoflowInstance) -> RatePlan {
+        RatePlan {
+            flows: inst
+                .coflows
+                .iter()
+                .map(|c| vec![FlowPlan::default(); c.flows.len()])
+                .collect(),
+        }
+    }
+
+    /// The Stretch transformation (§4.1): "whatever LP schedules in the
+    /// interval `[a,b]`, we will schedule in the interval `[a/λ, b/λ]`" —
+    /// the *rate profile replays* at dilated times (`rate_new(u) =
+    /// rate_old(λu)`), so each instant stays feasible while the flow now
+    /// moves `σ/λ ≥ σ` volume in total. Follow with [`RatePlan::truncate`]
+    /// to stop each flow once its demand `σ` is met, which happens at
+    /// `C*(λ)/λ` — the quantity Lemma 4.3's analysis bounds.
+    ///
+    /// Requires `0 < λ ≤ 1`.
+    pub fn stretch(&self, lambda: f64) -> RatePlan {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "stretch factor λ must lie in (0, 1], got {lambda}"
+        );
+        let map = |fp: &FlowPlan| FlowPlan {
+            segments: fp
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    t0: s.t0 / lambda,
+                    t1: s.t1 / lambda,
+                    rate: s.rate,
+                    edges: s.edges.clone(),
+                })
+                .collect(),
+        };
+        RatePlan {
+            flows: self
+                .flows
+                .iter()
+                .map(|row| row.iter().map(map).collect())
+                .collect(),
+        }
+    }
+
+    /// Truncates every flow at its demand (step 4 of Stretch).
+    pub fn truncate(&self, inst: &CoflowInstance) -> RatePlan {
+        RatePlan {
+            flows: self
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(j, row)| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(i, fp)| fp.truncate_at(inst.coflows[j].flows[i].demand))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Continuous per-coflow completion times (`None` if incomplete).
+    pub fn completions(&self, inst: &CoflowInstance) -> Vec<Option<f64>> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(j, row)| {
+                let mut worst: f64 = 0.0;
+                for (i, fp) in row.iter().enumerate() {
+                    match fp.completion(inst.coflows[j].flows[i].demand) {
+                        Some(c) => worst = worst.max(c),
+                        None => return None,
+                    }
+                }
+                Some(worst)
+            })
+            .collect()
+    }
+
+    /// Integrates the continuous plan into unit slots (slot `t` covers
+    /// `[t-1, t]`), producing a slotted [`Schedule`].
+    ///
+    /// Feasibility is preserved: a slot's per-edge volume is the integral
+    /// of per-edge rates over a unit-length window, and every instant's
+    /// rates were feasible (for stretched plans, the window covers `λ ≤ 1`
+    /// time units of the original schedule — the paper's weighted-average
+    /// argument in §4.1).
+    pub fn discretize(&self) -> Schedule {
+        fn upsert(out: &mut Vec<SlotTransfer>, slot: u32) -> usize {
+            match out.binary_search_by_key(&slot, |st| st.slot) {
+                Ok(idx) => idx,
+                Err(idx) => {
+                    out.insert(
+                        idx,
+                        SlotTransfer {
+                            slot,
+                            volume: 0.0,
+                            edges: Vec::new(),
+                        },
+                    );
+                    idx
+                }
+            }
+        }
+        let map_flow = |fp: &FlowPlan| -> Vec<SlotTransfer> {
+            // Accumulate per-slot volume and edge volumes.
+            let mut out: Vec<SlotTransfer> = Vec::new();
+            for s in &fp.segments {
+                if s.t1 <= s.t0 {
+                    continue;
+                }
+                let first_slot = s.t0.floor() as u32 + 1; // slot covering t0
+                let last_slot = (s.t1.ceil() as u32).max(first_slot);
+                for slot in first_slot..=last_slot {
+                    let lo = (slot - 1) as f64;
+                    let hi = slot as f64;
+                    let overlap = (s.t1.min(hi) - s.t0.max(lo)).max(0.0);
+                    if overlap <= 0.0 {
+                        continue;
+                    }
+                    let idx = upsert(&mut out, slot);
+                    out[idx].volume += s.rate * overlap;
+                    for &(e, r) in &s.edges {
+                        let vol = r * overlap;
+                        if vol == 0.0 {
+                            continue;
+                        }
+                        match out[idx].edges.iter_mut().find(|(ee, _)| *ee == e) {
+                            Some((_, v)) => *v += vol,
+                            None => out[idx].edges.push((e, vol)),
+                        }
+                    }
+                }
+            }
+            out.retain(|st| st.volume > VOL_EPS || st.edges.iter().any(|&(_, v)| v > VOL_EPS));
+            out
+        };
+        Schedule {
+            flows: self
+                .flows
+                .iter()
+                .map(|row| row.iter().map(map_flow).collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, CoflowInstance, Flow};
+    use coflow_netgraph::topology;
+
+    fn unit_segment(t0: f64, t1: f64, rate: f64) -> Segment {
+        Segment {
+            t0,
+            t1,
+            rate,
+            edges: vec![(EdgeId::from_index(0), rate)],
+        }
+    }
+
+    fn two_slot_plan() -> FlowPlan {
+        FlowPlan {
+            segments: vec![unit_segment(0.0, 1.0, 0.9), unit_segment(9.0, 10.0, 0.1)],
+        }
+    }
+
+    #[test]
+    fn completion_interpolates_within_segment() {
+        let fp = two_slot_plan();
+        assert_eq!(fp.total_volume(), 1.0);
+        // 0.45 units are done at t=0.5.
+        assert!((fp.completion(0.45).unwrap() - 0.5).abs() < 1e-9);
+        // Full unit completes at t=10.
+        assert!((fp.completion(1.0).unwrap() - 10.0).abs() < 1e-9);
+        assert!(fp.completion(1.1).is_none());
+    }
+
+    #[test]
+    fn truncate_cuts_mid_segment() {
+        let fp = two_slot_plan();
+        let cut = fp.truncate_at(0.45);
+        assert_eq!(cut.segments.len(), 1);
+        assert!((cut.segments[0].t1 - 0.5).abs() < 1e-9);
+        assert!((cut.total_volume() - 0.45).abs() < 1e-9);
+        // Truncating at more than the total keeps everything.
+        assert_eq!(fp.truncate_at(2.0), fp);
+    }
+
+    #[test]
+    fn stretch_replays_rates_at_dilated_times() {
+        let fp = two_slot_plan();
+        let plan = RatePlan {
+            flows: vec![vec![fp]],
+        };
+        let stretched = plan.stretch(0.5);
+        let sfp = &stretched.flows[0][0];
+        // Rates unchanged, times divided by λ, so pre-truncation volume
+        // doubles (1/λ = 2).
+        assert!((sfp.total_volume() - 2.0).abs() < 1e-12);
+        assert!((sfp.segments[0].t1 - 2.0).abs() < 1e-12);
+        assert!((sfp.segments[0].rate - 0.9).abs() < 1e-12);
+        assert!((sfp.segments[1].t0 - 18.0).abs() < 1e-12);
+        assert!((sfp.segments[0].edges[0].1 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stretch factor")]
+    fn stretch_rejects_bad_lambda() {
+        RatePlan::default().stretch(1.5);
+    }
+
+    #[test]
+    fn discretize_unit_aligned_roundtrips() {
+        let fp = two_slot_plan();
+        let plan = RatePlan {
+            flows: vec![vec![fp]],
+        };
+        let sched = plan.discretize();
+        let slots = &sched.flows[0][0];
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].slot, 1);
+        assert!((slots[0].volume - 0.9).abs() < 1e-12);
+        assert_eq!(slots[1].slot, 10);
+        assert!((slots[1].volume - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discretize_splits_fractional_segments() {
+        // One segment [0.5, 2.5) at rate 1: slots get 0.5, 1.0, 0.5.
+        let plan = RatePlan {
+            flows: vec![vec![FlowPlan {
+                segments: vec![unit_segment(0.5, 2.5, 1.0)],
+            }]],
+        };
+        let sched = plan.discretize();
+        let slots = &sched.flows[0][0];
+        assert_eq!(slots.len(), 3);
+        assert!((slots[0].volume - 0.5).abs() < 1e-12);
+        assert!((slots[1].volume - 1.0).abs() < 1e-12);
+        assert!((slots[2].volume - 0.5).abs() < 1e-12);
+        // Edge volumes follow.
+        assert!((slots[0].edges[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_plan_completes_at_alpha_point_over_lambda() {
+        // The stretched+truncated flow completes at C*(λ)/λ, where C*(λ)
+        // is the moment the *original* plan had moved a λ fraction. For
+        // the 2-segment plan (0.9 by t=1, rest at t=10) and λ=0.5:
+        // C*(0.5) = 0.5/0.9 ≈ 0.5556, so completion ≈ 1.1111 — far
+        // earlier than the original completion at t=10.
+        let fp = two_slot_plan();
+        let topo = topology::line(2, 10.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst =
+            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 1.0)])]).unwrap();
+        let plan = RatePlan {
+            flows: vec![vec![fp]],
+        };
+        let base = plan.completions(&inst)[0].unwrap();
+        assert!((base - 10.0).abs() < 1e-9);
+        let stretched = plan.stretch(0.5).truncate(&inst).completions(&inst)[0].unwrap();
+        let expected = (0.5 / 0.9) / 0.5;
+        assert!(
+            (stretched - expected).abs() < 1e-9,
+            "stretched {stretched} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn incomplete_plans_report_none() {
+        let topo = topology::line(2, 10.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst =
+            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 5.0)])]).unwrap();
+        let plan = RatePlan {
+            flows: vec![vec![FlowPlan {
+                segments: vec![unit_segment(0.0, 1.0, 1.0)],
+            }]],
+        };
+        assert_eq!(plan.completions(&inst), vec![None]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Transmission models and routing data (paper §2 and §3.1).
+//!
+//! * **Single path** — every flow ships along one fixed path (the
+//!   "circuit-based coflows with paths given" model of Jahanjou et al.).
+//! * **Multi path** — the intermediate model the paper sketches in §2:
+//!   several candidate paths per flow, with the LP free to split rates
+//!   among them.
+//! * **Free path** — per-slot transmission is an arbitrary feasible
+//!   multi-commodity flow (Terra's model); no path data needed.
+
+use crate::error::CoflowError;
+use crate::model::CoflowInstance;
+use coflow_netgraph::ksp::{k_shortest_paths, PathCost};
+use coflow_netgraph::shortest::ShortestPathDag;
+use coflow_netgraph::Path;
+use rand::Rng;
+
+/// Routing data for an instance; variants parallel the paper's models.
+#[derive(Clone, Debug)]
+pub enum Routing {
+    /// One fixed path per flow, indexed `[coflow][flow]`.
+    SinglePath(Vec<Vec<Path>>),
+    /// Candidate path sets per flow, indexed `[coflow][flow][path]`.
+    MultiPath(Vec<Vec<Vec<Path>>>),
+    /// Free multi-commodity routing; no static paths.
+    FreePath,
+}
+
+impl Routing {
+    /// Short display name matching the paper's terminology.
+    pub fn model_name(&self) -> &'static str {
+        match self {
+            Routing::SinglePath(_) => "single-path",
+            Routing::MultiPath(_) => "multi-path",
+            Routing::FreePath => "free-path",
+        }
+    }
+
+    /// Validates routing against an instance: every flow must have its
+    /// path(s), with matching endpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadRouting`] describing the first mismatch.
+    pub fn validate(&self, inst: &CoflowInstance) -> Result<(), CoflowError> {
+        let check_path = |j: usize, i: usize, p: &Path| -> Result<(), CoflowError> {
+            let f = &inst.coflows[j].flows[i];
+            if p.source(&inst.graph) != f.src || p.dest(&inst.graph) != f.dst {
+                return Err(CoflowError::BadRouting(format!(
+                    "path for flow {i} of coflow {j} has wrong endpoints"
+                )));
+            }
+            Ok(())
+        };
+        match self {
+            Routing::FreePath => Ok(()),
+            Routing::SinglePath(paths) => {
+                if paths.len() != inst.num_coflows() {
+                    return Err(CoflowError::BadRouting(
+                        "path table size != coflow count".into(),
+                    ));
+                }
+                for (j, cf) in inst.coflows.iter().enumerate() {
+                    if paths[j].len() != cf.flows.len() {
+                        return Err(CoflowError::BadRouting(format!(
+                            "coflow {j}: {} paths for {} flows",
+                            paths[j].len(),
+                            cf.flows.len()
+                        )));
+                    }
+                    for i in 0..cf.flows.len() {
+                        check_path(j, i, &paths[j][i])?;
+                    }
+                }
+                Ok(())
+            }
+            Routing::MultiPath(sets) => {
+                if sets.len() != inst.num_coflows() {
+                    return Err(CoflowError::BadRouting(
+                        "path-set table size != coflow count".into(),
+                    ));
+                }
+                for (j, cf) in inst.coflows.iter().enumerate() {
+                    if sets[j].len() != cf.flows.len() {
+                        return Err(CoflowError::BadRouting(format!(
+                            "coflow {j}: {} path sets for {} flows",
+                            sets[j].len(),
+                            cf.flows.len()
+                        )));
+                    }
+                    for i in 0..cf.flows.len() {
+                        if sets[j][i].is_empty() {
+                            return Err(CoflowError::BadRouting(format!(
+                                "empty path set for flow {i} of coflow {j}"
+                            )));
+                        }
+                        for p in &sets[j][i] {
+                            check_path(j, i, p)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Assigns each flow a uniformly random shortest path — the paper's §6.2
+/// setup for the single-path experiments ("we randomly select one of the
+/// shortest paths as the path for flow `f_j^i`").
+///
+/// # Errors
+///
+/// [`CoflowError::BadRouting`] when some flow has no path (instance
+/// validation normally rules this out).
+pub fn random_shortest_paths<R: Rng + ?Sized>(
+    inst: &CoflowInstance,
+    rng: &mut R,
+) -> Result<Routing, CoflowError> {
+    let mut table = Vec::with_capacity(inst.num_coflows());
+    for cf in &inst.coflows {
+        let mut row = Vec::with_capacity(cf.flows.len());
+        for f in &cf.flows {
+            let dag = ShortestPathDag::new(&inst.graph, f.src, f.dst)
+                .map_err(|e| CoflowError::BadRouting(e.to_string()))?;
+            row.push(dag.sample_uniform(&inst.graph, rng));
+        }
+        table.push(row);
+    }
+    Ok(Routing::SinglePath(table))
+}
+
+/// Builds the multi-path model's candidate sets: up to `k` shortest
+/// loopless paths per flow (hop metric).
+///
+/// # Errors
+///
+/// [`CoflowError::BadRouting`] when some flow has no path.
+pub fn k_shortest_path_sets(inst: &CoflowInstance, k: usize) -> Result<Routing, CoflowError> {
+    let mut table = Vec::with_capacity(inst.num_coflows());
+    for cf in &inst.coflows {
+        let mut row = Vec::with_capacity(cf.flows.len());
+        for f in &cf.flows {
+            let paths = k_shortest_paths(&inst.graph, f.src, f.dst, k, PathCost::Hops)
+                .map_err(|e| CoflowError::BadRouting(e.to_string()))?;
+            row.push(paths);
+        }
+        table.push(row);
+    }
+    Ok(Routing::MultiPath(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use coflow_netgraph::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance() -> CoflowInstance {
+        let t = topology::gscale();
+        let g = t.graph;
+        let a = g.node_by_label("Asia-1").unwrap();
+        let e = g.node_by_label("EU-2").unwrap();
+        let w = g.node_by_label("US-West-1").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(a, e, 10.0), Flow::new(w, e, 5.0)]),
+                Coflow::weighted(3.0, vec![Flow::new(e, a, 7.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn random_shortest_paths_are_shortest_and_valid() {
+        let inst = small_instance();
+        let mut rng = StdRng::seed_from_u64(1);
+        let routing = random_shortest_paths(&inst, &mut rng).unwrap();
+        routing.validate(&inst).unwrap();
+        let Routing::SinglePath(t) = &routing else {
+            panic!()
+        };
+        // Each path length equals the BFS distance.
+        for (j, cf) in inst.coflows.iter().enumerate() {
+            for (i, f) in cf.flows.iter().enumerate() {
+                let d = coflow_netgraph::shortest::bfs_distances(&inst.graph, f.src)
+                    [f.dst.index()]
+                .unwrap();
+                assert_eq!(t[j][i].len(), d as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn k_shortest_sets_validate() {
+        let inst = small_instance();
+        let routing = k_shortest_path_sets(&inst, 4).unwrap();
+        routing.validate(&inst).unwrap();
+        let Routing::MultiPath(sets) = &routing else {
+            panic!()
+        };
+        for row in sets {
+            for set in row {
+                assert!(!set.is_empty() && set.len() <= 4);
+            }
+        }
+        assert_eq!(routing.model_name(), "multi-path");
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let inst = small_instance();
+        // Wrong shape: single path table with too few rows.
+        let bad = Routing::SinglePath(vec![]);
+        assert!(bad.validate(&inst).is_err());
+        // Wrong endpoints: use coflow 1's path for coflow 0's first flow.
+        let mut rng = StdRng::seed_from_u64(2);
+        let Routing::SinglePath(mut t) = random_shortest_paths(&inst, &mut rng).unwrap()
+        else {
+            panic!()
+        };
+        t[0][0] = t[1][0].clone();
+        assert!(Routing::SinglePath(t).validate(&inst).is_err());
+        // Free path always validates.
+        Routing::FreePath.validate(&inst).unwrap();
+    }
+}

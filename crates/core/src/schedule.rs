@@ -1,0 +1,239 @@
+//! Slotted schedules and their completion-time accounting.
+//!
+//! A [`Schedule`] says, for every flow and every time slot, how much
+//! volume moves and over which edges. Slot `t ≥ 1` covers the time
+//! interval `[t-1, t]`; a coflow's completion time is the index of the
+//! earliest slot by which *all* of its flows have moved their demand —
+//! exactly the paper's objective currency.
+
+use crate::model::CoflowInstance;
+use crate::rateplan::VOL_EPS;
+use coflow_netgraph::EdgeId;
+
+/// One flow's transfer within one slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotTransfer {
+    /// Slot index (1-based).
+    pub slot: u32,
+    /// Volume moved source→sink during the slot.
+    pub volume: f64,
+    /// Volume carried per edge during the slot.
+    pub edges: Vec<(EdgeId, f64)>,
+}
+
+/// A complete slotted schedule, indexed `[coflow][flow] → slot entries`
+/// (sorted by slot).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Schedule {
+    /// Per-flow slot transfers.
+    pub flows: Vec<Vec<Vec<SlotTransfer>>>,
+}
+
+/// Completion summary produced by [`Schedule::completions`].
+#[derive(Clone, Debug)]
+pub struct Completions {
+    /// Per-coflow completion slot (1-based).
+    pub per_coflow: Vec<u32>,
+    /// `Σ_j w_j C_j` — the paper's objective.
+    pub weighted_total: f64,
+    /// `Σ_j C_j` — used by the unweighted Terra comparisons.
+    pub unweighted_total: f64,
+    /// Largest completion slot (makespan).
+    pub makespan: u32,
+}
+
+impl Schedule {
+    /// Last slot with any positive transfer, or 0 for an empty schedule.
+    pub fn horizon(&self) -> u32 {
+        self.flows
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|st| st.slot)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total volume moved by flow `(j, i)`.
+    pub fn flow_volume(&self, j: usize, i: usize) -> f64 {
+        self.flows[j][i].iter().map(|st| st.volume).sum()
+    }
+
+    /// Completion slot of flow `(j, i)` for a given demand: the earliest
+    /// slot whose cumulative volume reaches the demand.
+    pub fn flow_completion(&self, j: usize, i: usize, demand: f64) -> Option<u32> {
+        let mut acc = 0.0;
+        for st in &self.flows[j][i] {
+            acc += st.volume;
+            if acc >= demand - VOL_EPS.max(1e-7 * demand) {
+                return Some(st.slot);
+            }
+        }
+        None
+    }
+
+    /// Computes completion statistics against `inst`.
+    ///
+    /// Returns `None` when some flow never moves its full demand (the
+    /// schedule is incomplete — validation reports *which* flow).
+    pub fn completions(&self, inst: &CoflowInstance) -> Option<Completions> {
+        let mut per_coflow = Vec::with_capacity(inst.num_coflows());
+        for (j, cf) in inst.coflows.iter().enumerate() {
+            let mut worst = 0u32;
+            for (i, f) in cf.flows.iter().enumerate() {
+                worst = worst.max(self.flow_completion(j, i, f.demand)?);
+            }
+            per_coflow.push(worst);
+        }
+        let weighted_total = per_coflow
+            .iter()
+            .zip(&inst.coflows)
+            .map(|(&c, cf)| cf.weight * c as f64)
+            .sum();
+        let unweighted_total = per_coflow.iter().map(|&c| c as f64).sum();
+        let makespan = per_coflow.iter().copied().max().unwrap_or(0);
+        Some(Completions {
+            per_coflow,
+            weighted_total,
+            unweighted_total,
+            makespan,
+        })
+    }
+
+    /// Aggregated per-slot, per-edge volume across all flows. Used by the
+    /// validator and by utilization reporting. Returns `(slot, edge) →
+    /// volume` as a sorted vector.
+    pub fn edge_loads(&self) -> Vec<((u32, EdgeId), f64)> {
+        let mut loads: std::collections::BTreeMap<(u32, EdgeId), f64> =
+            std::collections::BTreeMap::new();
+        for row in &self.flows {
+            for fl in row {
+                for st in fl {
+                    for &(e, v) in &st.edges {
+                        *loads.entry((st.slot, e)).or_insert(0.0) += v;
+                    }
+                }
+            }
+        }
+        loads.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, CoflowInstance, Flow};
+    use coflow_netgraph::topology;
+
+    fn line_instance(demands: &[f64]) -> CoflowInstance {
+        let topo = topology::line(2, 10.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let coflows = demands
+            .iter()
+            .map(|&d| Coflow::new(vec![Flow::new(v0, v1, d)]))
+            .collect();
+        CoflowInstance::new(g, coflows).unwrap()
+    }
+
+    fn transfer(slot: u32, volume: f64) -> SlotTransfer {
+        SlotTransfer {
+            slot,
+            volume,
+            edges: vec![(EdgeId::from_index(0), volume)],
+        }
+    }
+
+    #[test]
+    fn completions_are_earliest_demand_slot() {
+        let inst = line_instance(&[2.0]);
+        // Demand met at slot 3 even though a stray slot-5 entry exists.
+        let sched = Schedule {
+            flows: vec![vec![vec![
+                transfer(1, 1.0),
+                transfer(3, 1.0),
+                transfer(5, 0.0),
+            ]]],
+        };
+        let c = sched.completions(&inst).unwrap();
+        assert_eq!(c.per_coflow, vec![3]);
+        assert_eq!(c.makespan, 3);
+        assert_eq!(c.weighted_total, 3.0);
+    }
+
+    #[test]
+    fn incomplete_schedule_is_none() {
+        let inst = line_instance(&[2.0]);
+        let sched = Schedule {
+            flows: vec![vec![vec![transfer(1, 1.0)]]],
+        };
+        assert!(sched.completions(&inst).is_none());
+    }
+
+    #[test]
+    fn weighted_totals() {
+        let topo = topology::line(2, 10.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![
+                Coflow::weighted(2.0, vec![Flow::new(v0, v1, 1.0)]),
+                Coflow::weighted(5.0, vec![Flow::new(v0, v1, 1.0)]),
+            ],
+        )
+        .unwrap();
+        let sched = Schedule {
+            flows: vec![vec![vec![transfer(2, 1.0)]], vec![vec![transfer(1, 1.0)]]],
+        };
+        let c = sched.completions(&inst).unwrap();
+        assert_eq!(c.per_coflow, vec![2, 1]);
+        assert_eq!(c.weighted_total, 2.0 * 2.0 + 5.0 * 1.0);
+        assert_eq!(c.unweighted_total, 3.0);
+    }
+
+    #[test]
+    fn coflow_completion_is_max_over_flows() {
+        let topo = topology::line(3, 10.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![
+                Flow::new(v0, v1, 1.0),
+                Flow::new(v1, v2, 1.0),
+            ])],
+        )
+        .unwrap();
+        let sched = Schedule {
+            flows: vec![vec![
+                vec![transfer(1, 1.0)],
+                vec![SlotTransfer {
+                    slot: 4,
+                    volume: 1.0,
+                    edges: vec![(EdgeId::from_index(1), 1.0)],
+                }],
+            ]],
+        };
+        let c = sched.completions(&inst).unwrap();
+        assert_eq!(c.per_coflow, vec![4]);
+    }
+
+    #[test]
+    fn edge_loads_aggregate_across_flows() {
+        let sched = Schedule {
+            flows: vec![
+                vec![vec![transfer(1, 0.6)]],
+                vec![vec![transfer(1, 0.3)]],
+            ],
+        };
+        let loads = sched.edge_loads();
+        assert_eq!(loads.len(), 1);
+        assert!((loads[0].1 - 0.9).abs() < 1e-12);
+        assert_eq!(sched.horizon(), 1);
+    }
+}

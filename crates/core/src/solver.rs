@@ -1,0 +1,269 @@
+//! High-level scheduling API tying the pipeline together.
+//!
+//! [`Scheduler`] wraps: horizon selection → LP relaxation (time-indexed
+//! or geometric-interval) → rounding (Stretch with sampled λ, a fixed λ,
+//! or the λ=1 heuristic) → validation → a [`SolveReport`] with the LP
+//! lower bound and the achieved cost. This is the API the examples and
+//! the figure harnesses use.
+
+use crate::error::CoflowError;
+use crate::horizon::{horizon, HorizonMode};
+use crate::interval::solve_interval;
+use crate::model::CoflowInstance;
+use crate::routing::Routing;
+use crate::schedule::Schedule;
+use crate::stretch::{lambda_sweep, stretch_schedule, LambdaSweep, StretchOptions};
+use crate::timeidx::{solve_time_indexed, LpRelaxation, LpSize};
+use crate::validate::{validate, Tolerance, ValidationReport};
+use coflow_lp::SolverOptions;
+
+/// Which relaxation to solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Relaxation {
+    /// Unit-slot time-indexed LP (§3) — the tightest bound.
+    TimeIndexed,
+    /// Geometric-interval LP (Appendix A) with parameter ε.
+    Interval {
+        /// Interval growth parameter (smaller = tighter = bigger LP).
+        epsilon: f64,
+    },
+}
+
+/// Which rounding to apply to the LP plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Stretch with λ sampled from `f(v) = 2v`, `samples` times; the
+    /// report carries the best/average statistics (paper §6.1: 20
+    /// samples).
+    Stretch {
+        /// Number of independent λ draws.
+        samples: usize,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Stretch with one fixed λ.
+    FixedLambda(
+        /// The stretch factor in `(0, 1]`.
+        f64,
+    ),
+    /// The λ=1 LP-heuristic (paper §6.2) — best in practice.
+    LpHeuristic,
+}
+
+/// Everything a figure harness needs from one solve.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// LP optimum `Σ w_j C*_j` — the "LP (lower bound)" series.
+    pub lower_bound: f64,
+    /// Weighted completion time of the returned schedule.
+    pub cost: f64,
+    /// Unweighted total completion time (Terra comparisons).
+    pub unweighted_cost: f64,
+    /// The feasible schedule that achieved `cost`.
+    pub schedule: Schedule,
+    /// Full validation output (completions, utilization).
+    pub validation: ValidationReport,
+    /// λ-sweep statistics when [`Algorithm::Stretch`] ran.
+    pub sweep: Option<LambdaSweep>,
+    /// Horizon used by the relaxation.
+    pub horizon: u32,
+    /// LP dimensions (rows/cols/nonzeros).
+    pub lp_size: LpSize,
+    /// Simplex iterations.
+    pub lp_iterations: usize,
+}
+
+/// Configurable solving pipeline; construct with [`Scheduler::new`] and
+/// chain the `with_*` builders.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    relaxation: Relaxation,
+    algorithm: Algorithm,
+    horizon_mode: HorizonMode,
+    stretch_opts: StretchOptions,
+    lp_opts: SolverOptions,
+    tolerance: Tolerance,
+}
+
+impl Scheduler {
+    /// A scheduler using the time-indexed LP and default options.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Scheduler {
+            relaxation: Relaxation::TimeIndexed,
+            algorithm,
+            horizon_mode: HorizonMode::default(),
+            stretch_opts: StretchOptions::default(),
+            lp_opts: SolverOptions::default(),
+            tolerance: Tolerance::default(),
+        }
+    }
+
+    /// Selects the relaxation (time-indexed or interval).
+    pub fn with_relaxation(mut self, relaxation: Relaxation) -> Self {
+        self.relaxation = relaxation;
+        self
+    }
+
+    /// Selects the horizon mode.
+    pub fn with_horizon(mut self, mode: HorizonMode) -> Self {
+        self.horizon_mode = mode;
+        self
+    }
+
+    /// Toggles idle-slot compaction.
+    pub fn with_compaction(mut self, compact: bool) -> Self {
+        self.stretch_opts = StretchOptions { compact };
+        self
+    }
+
+    /// Overrides LP solver options.
+    pub fn with_lp_options(mut self, opts: SolverOptions) -> Self {
+        self.lp_opts = opts;
+        self
+    }
+
+    /// Solves the relaxation only, returning the LP outcome (the paper's
+    /// lower-bound series without any rounding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance/routing/LP errors.
+    pub fn relax(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+    ) -> Result<LpRelaxation, CoflowError> {
+        let t = horizon(inst, routing, self.horizon_mode)?;
+        match self.relaxation {
+            Relaxation::TimeIndexed => solve_time_indexed(inst, routing, t, &self.lp_opts),
+            Relaxation::Interval { epsilon } => {
+                solve_interval(inst, routing, t, epsilon, &self.lp_opts).map(|r| r.lp)
+            }
+        }
+    }
+
+    /// Runs the full pipeline: relax, round, validate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance/routing/LP errors; validation failure of a
+    /// rounded schedule indicates an internal bug and also surfaces as an
+    /// error.
+    pub fn solve(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+    ) -> Result<SolveReport, CoflowError> {
+        let lp = self.relax(inst, routing)?;
+        let (schedule, sweep) = match self.algorithm {
+            Algorithm::LpHeuristic => (
+                stretch_schedule(inst, &lp.plan, 1.0, self.stretch_opts),
+                None,
+            ),
+            Algorithm::FixedLambda(lambda) => (
+                stretch_schedule(inst, &lp.plan, lambda, self.stretch_opts),
+                None,
+            ),
+            Algorithm::Stretch { samples, seed } => {
+                let sweep = lambda_sweep(inst, &lp.plan, samples, seed, self.stretch_opts);
+                // Return the best sample's schedule (re-round at its λ).
+                let best = sweep.best().lambda;
+                (
+                    stretch_schedule(inst, &lp.plan, best, self.stretch_opts),
+                    Some(sweep),
+                )
+            }
+        };
+        let validation = validate(inst, routing, &schedule, self.tolerance)?;
+        Ok(SolveReport {
+            lower_bound: lp.objective,
+            cost: validation.completions.weighted_total,
+            unweighted_cost: validation.completions.unweighted_total,
+            schedule,
+            validation,
+            sweep,
+            horizon: lp.horizon,
+            lp_size: lp.size,
+            lp_iterations: lp.lp_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use coflow_netgraph::topology;
+
+    fn fig2_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let v3 = g.node_by_label("v3").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v1, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v2, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v3, t, 1.0)]),
+                Coflow::new(vec![Flow::new(s, t, 3.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn heuristic_reaches_fig4_optimum_on_free_path() {
+        let inst = fig2_instance();
+        let report = Scheduler::new(Algorithm::LpHeuristic)
+            .solve(&inst, &Routing::FreePath)
+            .unwrap();
+        // Optimal total weighted completion time is 5 (Figure 4); the
+        // LP heuristic with compaction matches it on this instance.
+        assert!(report.cost <= 5.0 + 1e-6, "cost {}", report.cost);
+        assert!(report.lower_bound <= report.cost + 1e-6);
+    }
+
+    #[test]
+    fn stretch_sweep_reports_statistics() {
+        let inst = fig2_instance();
+        let report = Scheduler::new(Algorithm::Stretch {
+            samples: 10,
+            seed: 42,
+        })
+        .solve(&inst, &Routing::FreePath)
+        .unwrap();
+        let sweep = report.sweep.as_ref().unwrap();
+        assert_eq!(sweep.samples.len(), 10);
+        // The report carries the best sample's schedule.
+        assert!(report.cost <= sweep.average() + 1e-9);
+        assert!((report.cost - sweep.best().weighted_cost).abs() < 1e-9);
+        // Every sample is bounded below by the LP.
+        for s in &sweep.samples {
+            assert!(s.weighted_cost >= report.lower_bound - 1e-6);
+        }
+    }
+
+    #[test]
+    fn interval_relaxation_pipeline_works() {
+        let inst = fig2_instance();
+        let report = Scheduler::new(Algorithm::LpHeuristic)
+            .with_relaxation(Relaxation::Interval { epsilon: 0.5 })
+            .solve(&inst, &Routing::FreePath)
+            .unwrap();
+        assert!(report.cost >= 4.0);
+        assert!(report.lp_size.cols > 0);
+    }
+
+    #[test]
+    fn fixed_lambda_pipeline_works() {
+        let inst = fig2_instance();
+        let report = Scheduler::new(Algorithm::FixedLambda(0.5))
+            .solve(&inst, &Routing::FreePath)
+            .unwrap();
+        assert!(report.cost >= report.lower_bound - 1e-6);
+    }
+}

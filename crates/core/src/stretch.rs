@@ -1,0 +1,364 @@
+//! The Stretch algorithm (paper §4.1) — a randomized 2-approximation.
+//!
+//! 1. Solve the LP relaxation (§3) → a fractional [`RatePlan`].
+//! 2. Draw `λ ∈ (0,1)` with density `f(v) = 2v` (i.e. `λ = √U`).
+//! 3. Stretch the plan by `1/λ`: whatever the LP schedules in `[a, b]`
+//!    runs in `[a/λ, b/λ]`.
+//! 4. Once a flow's demand is met, leave the remaining slots empty.
+//!
+//! §4.2 shows `E[C_j(alg)] ≤ 2 C*_j` for every coflow, which with
+//! linearity of expectation gives the randomized 2-approximation
+//! (Theorem 4.4). The implementation additionally applies the paper's
+//! §6.1 idle-slot compaction, which "does not improve the theoretical
+//! bound, but is beneficial in practice".
+
+use crate::compact::compact;
+use crate::model::CoflowInstance;
+use crate::rateplan::RatePlan;
+use crate::schedule::Schedule;
+use rand::Rng;
+
+/// Draws `λ` from the density `f(v) = 2v` on `(0, 1)` via inverse-CDF
+/// sampling (`F(v) = v²` ⇒ `λ = √U`).
+pub fn sample_lambda<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    u.sqrt()
+}
+
+/// Options for [`stretch_schedule`].
+#[derive(Clone, Copy, Debug)]
+pub struct StretchOptions {
+    /// Apply §6.1 idle-slot compaction after rounding (paper default).
+    pub compact: bool,
+}
+
+impl Default for StretchOptions {
+    fn default() -> Self {
+        StretchOptions { compact: true }
+    }
+}
+
+/// Rounds an LP rate plan into a feasible slotted schedule with a fixed
+/// stretch factor `λ ∈ (0, 1]`; `λ = 1` is the paper's LP-heuristic.
+pub fn stretch_schedule(
+    inst: &CoflowInstance,
+    plan: &RatePlan,
+    lambda: f64,
+    opts: StretchOptions,
+) -> Schedule {
+    let stretched = if lambda < 1.0 {
+        plan.stretch(lambda)
+    } else {
+        plan.clone()
+    };
+    let truncated = stretched.truncate(inst);
+    let mut schedule = truncated.discretize();
+    if opts.compact {
+        compact(&mut schedule, inst);
+    }
+    schedule
+}
+
+/// One sampled rounding: the λ drawn and the resulting cost.
+#[derive(Clone, Debug)]
+pub struct LambdaSample {
+    /// The sampled stretch factor.
+    pub lambda: f64,
+    /// Weighted completion time of the rounded schedule.
+    pub weighted_cost: f64,
+    /// Unweighted (total) completion time.
+    pub unweighted_cost: f64,
+}
+
+/// Summary of repeated sampling (the paper samples 20 λ values and
+/// reports "Best λ" and "Average λ").
+#[derive(Clone, Debug)]
+pub struct LambdaSweep {
+    /// All samples in draw order.
+    pub samples: Vec<LambdaSample>,
+}
+
+impl LambdaSweep {
+    /// The sample with the smallest weighted cost ("Best λ").
+    pub fn best(&self) -> &LambdaSample {
+        self.samples
+            .iter()
+            .min_by(|a, b| {
+                a.weighted_cost
+                    .partial_cmp(&b.weighted_cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("sweep has at least one sample")
+    }
+
+    /// Mean weighted cost over samples ("Average λ").
+    pub fn average(&self) -> f64 {
+        self.samples.iter().map(|s| s.weighted_cost).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean unweighted cost over samples.
+    pub fn average_unweighted(&self) -> f64 {
+        self.samples.iter().map(|s| s.unweighted_cost).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Runs `n_samples` independent Stretch roundings with λ drawn from the
+/// paper's distribution, in parallel across threads.
+///
+/// Each sample validates implicitly through completion computation; use
+/// [`crate::validate::validate`] on a specific rounded schedule for the
+/// full feasibility audit.
+pub fn lambda_sweep(
+    inst: &CoflowInstance,
+    plan: &RatePlan,
+    n_samples: usize,
+    seed: u64,
+    opts: StretchOptions,
+) -> LambdaSweep {
+    assert!(n_samples >= 1);
+    // Draw all λ values up front (deterministic given the seed), then
+    // evaluate in parallel.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let lambdas: Vec<f64> = (0..n_samples).map(|_| sample_lambda(&mut rng)).collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_samples);
+    let mut samples: Vec<Option<LambdaSample>> = vec![None; n_samples];
+    if threads <= 1 {
+        for (k, &lambda) in lambdas.iter().enumerate() {
+            samples[k] = Some(evaluate(inst, plan, lambda, opts));
+        }
+    } else {
+        let chunks: Vec<(usize, f64)> = lambdas.iter().copied().enumerate().collect();
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in chunks.chunks(n_samples.div_ceil(threads)) {
+                let chunk = chunk.to_vec();
+                handles.push(scope.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|(k, lambda)| (k, evaluate(inst, plan, lambda, opts)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("stretch worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope");
+        for (k, s) in results {
+            samples[k] = Some(s);
+        }
+    }
+    LambdaSweep {
+        samples: samples.into_iter().map(|s| s.expect("filled")).collect(),
+    }
+}
+
+fn evaluate(
+    inst: &CoflowInstance,
+    plan: &RatePlan,
+    lambda: f64,
+    opts: StretchOptions,
+) -> LambdaSample {
+    let schedule = stretch_schedule(inst, plan, lambda, opts);
+    let completions = schedule
+        .completions(inst)
+        .expect("stretched schedules are complete by construction");
+    LambdaSample {
+        lambda,
+        weighted_cost: completions.weighted_total,
+        unweighted_cost: completions.unweighted_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use crate::routing::Routing;
+    use crate::timeidx::solve_time_indexed;
+    use crate::validate::{validate, Tolerance};
+    use coflow_netgraph::topology;
+    use coflow_lp::SolverOptions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig2_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let v3 = g.node_by_label("v3").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v1, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v2, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v3, t, 1.0)]),
+                Coflow::new(vec![Flow::new(s, t, 3.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lambda_distribution_matches_2v() {
+        let mut rng = StdRng::seed_from_u64(9);
+        const N: usize = 20_000;
+        let mut mean = 0.0;
+        let mut below_half = 0usize;
+        for _ in 0..N {
+            let l = sample_lambda(&mut rng);
+            assert!(l > 0.0 && l < 1.0);
+            mean += l;
+            if l < 0.5 {
+                below_half += 1;
+            }
+        }
+        mean /= N as f64;
+        // E[λ] = ∫ 2v² dv = 2/3; P(λ < 1/2) = 1/4.
+        assert!((mean - 2.0 / 3.0).abs() < 0.01, "mean {mean}");
+        let frac = below_half as f64 / N as f64;
+        assert!((frac - 0.25).abs() < 0.02, "P(<0.5) = {frac}");
+    }
+
+    #[test]
+    fn stretched_schedules_are_feasible_for_many_lambdas() {
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        for lambda in [0.1, 0.3, 0.5, 0.77, 0.99, 1.0] {
+            for compact in [false, true] {
+                let sched = stretch_schedule(
+                    &inst,
+                    &lp.plan,
+                    lambda,
+                    StretchOptions { compact },
+                );
+                let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default())
+                    .unwrap_or_else(|e| panic!("λ={lambda} compact={compact}: {e}"));
+                assert!(rep.peak_utilization <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_never_hurts() {
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        for lambda in [0.25, 0.5, 0.9] {
+            let plain = stretch_schedule(
+                &inst,
+                &lp.plan,
+                lambda,
+                StretchOptions { compact: false },
+            );
+            let packed =
+                stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact: true });
+            let c_plain = plain.completions(&inst).unwrap().weighted_total;
+            let c_packed = packed.completions(&inst).unwrap().weighted_total;
+            assert!(
+                c_packed <= c_plain + 1e-9,
+                "λ={lambda}: compaction worsened {c_plain} -> {c_packed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_statistics_are_consistent() {
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let sweep = lambda_sweep(&inst, &lp.plan, 20, 7, StretchOptions::default());
+        assert_eq!(sweep.samples.len(), 20);
+        let best = sweep.best().weighted_cost;
+        let avg = sweep.average();
+        assert!(best <= avg + 1e-9);
+        // Every rounded schedule costs at least the LP bound.
+        for s in &sweep.samples {
+            assert!(s.weighted_cost >= lp.objective - 1e-6);
+        }
+    }
+
+    #[test]
+    fn expected_cost_is_within_twice_the_lp_bound() {
+        // Theorem 4.4: E_λ[Σ w_j C_j(alg)] ≤ 2 Σ w_j C*_j. The sample
+        // mean of 1/λ has infinite variance under f(v)=2v, so instead of
+        // random draws we integrate cost(λ)·f(λ) over a fine λ-grid —
+        // a deterministic check of the expectation itself. Compaction is
+        // disabled: the theorem is about the pure stretched schedule.
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let grid = 400;
+        let lo = 0.02; // tail [0, lo] bounded separately below
+        let mut expectation = 0.0;
+        for k in 0..grid {
+            let lambda = lo + (1.0 - lo) * (k as f64 + 0.5) / grid as f64;
+            let sched = stretch_schedule(
+                &inst,
+                &lp.plan,
+                lambda,
+                StretchOptions { compact: false },
+            );
+            let cost = sched.completions(&inst).unwrap().weighted_total;
+            expectation += 2.0 * lambda * cost * (1.0 - lo) / grid as f64;
+        }
+        // Tail bound: cost(λ) ≤ Σ w_j (T/λ + 1), so the [0, lo] mass
+        // contributes at most Σ w_j (T·2·lo + lo²).
+        let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
+        let tail = w_sum * ((lp.horizon as f64) * 2.0 * lo + lo * lo);
+        expectation += tail;
+        assert!(
+            expectation <= 2.0 * lp.objective + 0.75,
+            "E[cost] ≈ {expectation} vs 2·LP = {} (+slot-rounding slack)",
+            2.0 * lp.objective
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_given_seed() {
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let a = lambda_sweep(&inst, &lp.plan, 8, 123, StretchOptions::default());
+        let b = lambda_sweep(&inst, &lp.plan, 8, 123, StretchOptions::default());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.lambda, y.lambda);
+            assert_eq!(x.weighted_cost, y.weighted_cost);
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! The time-indexed LP relaxation (paper §3) for all three transmission
+//! models.
+//!
+//! Variables (slot `t` ranges over `release+1 ..= T` per flow):
+//!
+//! * `x_f(t) ∈ [0,1]` — fraction of flow `f` scheduled in slot `t`
+//!   (constraint (4) is enforced structurally: variables before the
+//!   release simply do not exist);
+//! * `S_f(t) ∈ [0,1]` — running prefix `Σ_{ℓ≤t} x_f(ℓ)`, introduced so
+//!   constraint (2) has O(1) nonzeros per row instead of O(T);
+//! * `X_j(t) ∈ [0,1]` — fraction of coflow `j` complete by slot `t`;
+//! * `C_j ≥ 1` — the relaxed completion time.
+//!
+//! Constraints:
+//!
+//! * (1) `S_f(T) = 1` with the chain `S_f(t) = S_f(t-1) + x_f(t)`;
+//! * (2) `X_j(t) ≤ S_f(t)` for every flow `f ∈ F_j`;
+//! * (3) `C_j + Σ_t X_j(t) ≥ 1 + T` (the paper's bound rearranged);
+//! * (6) single path: `Σ_{f: e ∈ p_f} σ_f x_f(t) ≤ c(e)`;
+//! * (7)–(10) free path: per-edge variables `x_f(t,e)` with flow
+//!   conservation and capacity rows;
+//! * multi path (§2's intermediate model): per-path variables summed into
+//!   the prefix chain, with capacity rows over path memberships.
+//!
+//! The LP optimum `Σ_j w_j C*_j` lower-bounds the optimal weighted
+//! completion time (inequality (11)); the solution's rates form a
+//! [`RatePlan`] consumed by Stretch and the λ=1 heuristic.
+
+use crate::error::CoflowError;
+use crate::model::CoflowInstance;
+use crate::rateplan::{FlowPlan, RatePlan, Segment};
+use crate::routing::Routing;
+use coflow_lp::{Cmp, ConstraintId, Model, Sense, Solution, SolverOptions, VarId};
+use coflow_netgraph::EdgeId;
+
+/// Fraction below which an LP value is treated as zero during extraction.
+const X_EPS: f64 = 1e-9;
+
+/// Size statistics of a built LP (reported by the bench harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LpSize {
+    /// Constraint rows.
+    pub rows: usize,
+    /// Variables.
+    pub cols: usize,
+    /// Nonzero coefficients.
+    pub nonzeros: usize,
+}
+
+/// Result of solving a relaxation: the lower bound and the fractional
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct LpRelaxation {
+    /// `Σ_j w_j C*_j` — the paper's "LP (lower bound)" series.
+    pub objective: f64,
+    /// Per-coflow `C*_j`.
+    pub completions: Vec<f64>,
+    /// The fractional schedule as piecewise-constant rates.
+    pub plan: RatePlan,
+    /// Horizon `T` used.
+    pub horizon: u32,
+    /// Simplex iterations.
+    pub lp_iterations: usize,
+    /// Model dimensions.
+    pub size: LpSize,
+}
+
+/// Per-flow variable bookkeeping.
+struct FlowVars {
+    /// First slot with variables (`release + 1`).
+    start: u32,
+    /// Total-fraction vars per slot; empty in the multi-path model.
+    x: Vec<VarId>,
+    /// Prefix vars per slot.
+    s: Vec<VarId>,
+    /// Multi-path: per candidate path, per slot.
+    paths: Vec<Vec<VarId>>,
+    /// Free path: per masked edge, per slot.
+    edges: Vec<(EdgeId, Vec<VarId>)>,
+}
+
+/// Builds and solves the time-indexed LP.
+///
+/// # Errors
+///
+/// * [`CoflowError::BadRouting`] when routing does not match the instance;
+/// * [`CoflowError::BadInstance`] when the horizon leaves some flow no
+///   slot (`release + 1 > T`);
+/// * [`CoflowError::Lp`] when the LP solve fails.
+pub fn solve_time_indexed(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+    opts: &SolverOptions,
+) -> Result<LpRelaxation, CoflowError> {
+    let built = build(inst, routing, horizon)?;
+    let size = LpSize {
+        rows: built.model.num_constraints(),
+        cols: built.model.num_vars(),
+        nonzeros: built.model.num_nonzeros(),
+    };
+    let sol = built.model.solve_with(opts)?;
+    Ok(extract(inst, routing, &built, &sol, horizon, size))
+}
+
+pub(crate) struct Built {
+    pub(crate) model: Model,
+    flow_vars: Vec<Vec<FlowVars>>,
+    pub(crate) c_vars: Vec<VarId>,
+    /// Capacity rows, one per `(slot, edge)` bucket; used by
+    /// [`crate::sensitivity`] to re-target RHS values for warm re-solves.
+    pub(crate) cap_rows: Vec<(EdgeId, ConstraintId)>,
+}
+
+pub(crate) fn build(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+) -> Result<Built, CoflowError> {
+    routing.validate(inst)?;
+    let t_max = horizon;
+    for (key, f) in inst.flows() {
+        if f.release + 1 > t_max {
+            return Err(CoflowError::BadInstance(format!(
+                "horizon {t_max} leaves flow {key:?} (release {}) no slot",
+                f.release
+            )));
+        }
+    }
+
+    let g = &inst.graph;
+    let mut model = Model::new(Sense::Minimize);
+
+    // Reachability masks for free-path edge variables, cached by (src,dst).
+    let mut mask_cache: std::collections::HashMap<
+        (coflow_netgraph::NodeId, coflow_netgraph::NodeId),
+        Vec<EdgeId>,
+    > = std::collections::HashMap::new();
+
+    // ---- Variables ----
+    let mut flow_vars: Vec<Vec<FlowVars>> = Vec::with_capacity(inst.num_coflows());
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let mut row = Vec::with_capacity(cf.flows.len());
+        for (i, f) in cf.flows.iter().enumerate() {
+            let start = f.release + 1;
+            let nslots = (t_max - f.release) as usize;
+            let mut fv = FlowVars {
+                start,
+                x: Vec::new(),
+                s: Vec::new(),
+                paths: Vec::new(),
+                edges: Vec::new(),
+            };
+            match routing {
+                Routing::SinglePath(_) | Routing::FreePath => {
+                    fv.x = (0..nslots)
+                        .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                        .collect();
+                }
+                Routing::MultiPath(sets) => {
+                    fv.paths = sets[j][i]
+                        .iter()
+                        .map(|_| {
+                            (0..nslots)
+                                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                                .collect()
+                        })
+                        .collect();
+                }
+            }
+            fv.s = (0..nslots)
+                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                .collect();
+            if matches!(routing, Routing::FreePath) {
+                let mask = mask_cache.entry((f.src, f.dst)).or_insert_with(|| {
+                    let fwd = g.reachable_from(f.src);
+                    // Backward reachability to dst.
+                    let mut bwd = vec![false; g.node_count()];
+                    let mut q = std::collections::VecDeque::new();
+                    bwd[f.dst.index()] = true;
+                    q.push_back(f.dst);
+                    while let Some(v) = q.pop_front() {
+                        for &e in g.in_edges(v) {
+                            let u = g.src(e);
+                            if !bwd[u.index()] {
+                                bwd[u.index()] = true;
+                                q.push_back(u);
+                            }
+                        }
+                    }
+                    g.edges()
+                        .filter(|e| {
+                            fwd[e.src.index()]
+                                && bwd[e.dst.index()]
+                                && e.dst != f.src
+                                && e.src != f.dst
+                        })
+                        .map(|e| e.id)
+                        .collect()
+                });
+                fv.edges = mask
+                    .iter()
+                    .map(|&e| {
+                        (
+                            e,
+                            (0..nslots)
+                                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+            }
+            row.push(fv);
+        }
+        flow_vars.push(row);
+    }
+
+    // X_j(t) and C_j.
+    let mut x_coflow: Vec<Vec<VarId>> = Vec::with_capacity(inst.num_coflows());
+    let mut c_vars = Vec::with_capacity(inst.num_coflows());
+    for cf in &inst.coflows {
+        let rj = cf.flows.iter().map(|f| f.release).max().expect("non-empty");
+        let nslots = (t_max - rj) as usize;
+        x_coflow.push(
+            (0..nslots)
+                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                .collect(),
+        );
+        c_vars.push(model.add_var("", 1.0, f64::INFINITY, cf.weight));
+    }
+
+    // ---- Constraints ----
+    // Prefix chains + total demand (constraint (1)).
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for i in 0..cf.flows.len() {
+            let fv = &flow_vars[j][i];
+            let nslots = fv.s.len();
+            for idx in 0..nslots {
+                // S(t) - S(t-1) - (slot fraction) = 0
+                let mut terms: Vec<(VarId, f64)> = vec![(fv.s[idx], 1.0)];
+                if idx > 0 {
+                    terms.push((fv.s[idx - 1], -1.0));
+                }
+                match routing {
+                    Routing::MultiPath(_) => {
+                        for pv in &fv.paths {
+                            terms.push((pv[idx], -1.0));
+                        }
+                    }
+                    _ => terms.push((fv.x[idx], -1.0)),
+                }
+                model.add_constraint(terms, Cmp::Eq, 0.0);
+            }
+            model.add_constraint([(fv.s[nslots - 1], 1.0)], Cmp::Eq, 1.0);
+        }
+    }
+
+    // Coflow progress (2) and completion (3).
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let rj = cf.flows.iter().map(|f| f.release).max().expect("non-empty");
+        let xj = &x_coflow[j];
+        for (idx, &xvar) in xj.iter().enumerate() {
+            let t = rj + 1 + idx as u32;
+            for (i, f) in cf.flows.iter().enumerate() {
+                let fv = &flow_vars[j][i];
+                let sidx = (t - fv.start) as usize; // t >= start since rj >= release
+                debug_assert!(t >= fv.start);
+                let _ = f;
+                model.add_constraint(
+                    [(fv.s[sidx], 1.0), (xvar, -1.0)],
+                    Cmp::Ge,
+                    0.0,
+                );
+            }
+        }
+        // C_j + Σ X_j(t) >= 1 + T.
+        let mut terms: Vec<(VarId, f64)> = vec![(c_vars[j], 1.0)];
+        terms.extend(xj.iter().map(|&v| (v, 1.0)));
+        model.add_constraint(terms, Cmp::Ge, 1.0 + t_max as f64);
+    }
+
+    // Capacity rows.
+    let mut cap_rows: Vec<(EdgeId, ConstraintId)> = Vec::new();
+    match routing {
+        Routing::SinglePath(paths) => {
+            // Bucket terms per (t, e).
+            let mut buckets: std::collections::BTreeMap<(u32, EdgeId), Vec<(VarId, f64)>> =
+                std::collections::BTreeMap::new();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                for (i, f) in cf.flows.iter().enumerate() {
+                    let fv = &flow_vars[j][i];
+                    for (idx, &xv) in fv.x.iter().enumerate() {
+                        let t = fv.start + idx as u32;
+                        for &e in paths[j][i].edges() {
+                            buckets.entry((t, e)).or_default().push((xv, f.demand));
+                        }
+                    }
+                }
+            }
+            for ((_, e), terms) in buckets {
+                cap_rows.push((e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
+            }
+        }
+        Routing::MultiPath(sets) => {
+            let mut buckets: std::collections::BTreeMap<(u32, EdgeId), Vec<(VarId, f64)>> =
+                std::collections::BTreeMap::new();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                for (i, f) in cf.flows.iter().enumerate() {
+                    let fv = &flow_vars[j][i];
+                    for (k, path) in sets[j][i].iter().enumerate() {
+                        for (idx, &pv) in fv.paths[k].iter().enumerate() {
+                            let t = fv.start + idx as u32;
+                            for &e in path.edges() {
+                                buckets.entry((t, e)).or_default().push((pv, f.demand));
+                            }
+                        }
+                    }
+                }
+            }
+            for ((_, e), terms) in buckets {
+                cap_rows.push((e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
+            }
+        }
+        Routing::FreePath => {
+            // Conservation per flow/slot/node, then capacity per (t, e).
+            let mut buckets: std::collections::BTreeMap<(u32, EdgeId), Vec<(VarId, f64)>> =
+                std::collections::BTreeMap::new();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                for (i, f) in cf.flows.iter().enumerate() {
+                    let fv = &flow_vars[j][i];
+                    let nslots = fv.s.len();
+                    // Per-node incident masked edge lists.
+                    let mut incident: std::collections::BTreeMap<
+                        coflow_netgraph::NodeId,
+                        (Vec<usize>, Vec<usize>),
+                    > = std::collections::BTreeMap::new();
+                    for (pos, &(e, _)) in fv.edges.iter().enumerate() {
+                        incident.entry(g.src(e)).or_default().1.push(pos); // out
+                        incident.entry(g.dst(e)).or_default().0.push(pos); // in
+                    }
+                    for idx in 0..nslots {
+                        let t = fv.start + idx as u32;
+                        for (&v, (ins, outs)) in &incident {
+                            let mut terms: Vec<(VarId, f64)> = Vec::new();
+                            if v == f.src {
+                                // (7) Σ out = x
+                                for &pos in outs {
+                                    terms.push((fv.edges[pos].1[idx], 1.0));
+                                }
+                                terms.push((fv.x[idx], -1.0));
+                            } else if v == f.dst {
+                                // (8) Σ in = x
+                                for &pos in ins {
+                                    terms.push((fv.edges[pos].1[idx], 1.0));
+                                }
+                                terms.push((fv.x[idx], -1.0));
+                            } else {
+                                // (9) Σ in = Σ out
+                                for &pos in ins {
+                                    terms.push((fv.edges[pos].1[idx], 1.0));
+                                }
+                                for &pos in outs {
+                                    terms.push((fv.edges[pos].1[idx], -1.0));
+                                }
+                            }
+                            model.add_constraint(terms, Cmp::Eq, 0.0);
+                        }
+                        for &(e, ref vars) in &fv.edges {
+                            buckets
+                                .entry((t, e))
+                                .or_default()
+                                .push((vars[idx], f.demand));
+                        }
+                    }
+                }
+            }
+            for ((_, e), terms) in buckets {
+                cap_rows.push((e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
+            }
+        }
+    }
+
+    Ok(Built {
+        model,
+        flow_vars,
+        c_vars,
+        cap_rows,
+    })
+}
+
+pub(crate) fn extract(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    built: &Built,
+    sol: &Solution,
+    horizon: u32,
+    size: LpSize,
+) -> LpRelaxation {
+    let mut plan = RatePlan::empty_like(inst);
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for (i, f) in cf.flows.iter().enumerate() {
+            let fv = &built.flow_vars[j][i];
+            let nslots = fv.s.len();
+            let mut segments = Vec::new();
+            for idx in 0..nslots {
+                let t = fv.start + idx as u32;
+                let (frac, edges): (f64, Vec<(EdgeId, f64)>) = match routing {
+                    Routing::SinglePath(paths) => {
+                        let frac = sol.value(fv.x[idx]);
+                        let rate = frac * f.demand;
+                        let edges = paths[j][i]
+                            .edges()
+                            .iter()
+                            .map(|&e| (e, rate))
+                            .collect();
+                        (frac, edges)
+                    }
+                    Routing::MultiPath(sets) => {
+                        let mut frac = 0.0;
+                        let mut edges: Vec<(EdgeId, f64)> = Vec::new();
+                        for (k, path) in sets[j][i].iter().enumerate() {
+                            let pf = sol.value(fv.paths[k][idx]);
+                            if pf <= X_EPS {
+                                continue;
+                            }
+                            frac += pf;
+                            let rate = pf * f.demand;
+                            for &e in path.edges() {
+                                match edges.iter_mut().find(|(ee, _)| *ee == e) {
+                                    Some((_, r)) => *r += rate,
+                                    None => edges.push((e, rate)),
+                                }
+                            }
+                        }
+                        (frac, edges)
+                    }
+                    Routing::FreePath => {
+                        let frac = sol.value(fv.x[idx]);
+                        let edges = fv
+                            .edges
+                            .iter()
+                            .filter_map(|&(e, ref vars)| {
+                                let v = sol.value(vars[idx]);
+                                (v > X_EPS).then_some((e, v * f.demand))
+                            })
+                            .collect();
+                        (frac, edges)
+                    }
+                };
+                if frac > X_EPS {
+                    segments.push(Segment {
+                        t0: (t - 1) as f64,
+                        t1: t as f64,
+                        rate: frac * f.demand,
+                        edges,
+                    });
+                }
+            }
+            plan.flows[j][i] = FlowPlan { segments };
+        }
+    }
+    let completions = built.c_vars.iter().map(|&c| sol.value(c)).collect();
+    LpRelaxation {
+        objective: sol.objective,
+        completions,
+        plan,
+        horizon,
+        lp_iterations: sol.iterations,
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use crate::routing;
+    use coflow_netgraph::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig2_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let v3 = g.node_by_label("v3").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v1, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v2, t, 1.0)]),
+                Coflow::new(vec![Flow::new(v3, t, 1.0)]),
+                Coflow::new(vec![Flow::new(s, t, 3.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn free_path_lower_bound_at_most_fig4_optimum() {
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        // Figure 4's optimal schedule costs 5; LP must not exceed it.
+        assert!(lp.objective <= 5.0 + 1e-6, "LP bound {}", lp.objective);
+        // And it cannot be absurdly small: every coflow needs >= 1 slot.
+        assert!(lp.objective >= 4.0 - 1e-6);
+        // Plan moves full demand for every flow.
+        for (key, f) in inst.flows() {
+            let vol = lp.plan.flows[key.coflow as usize][key.flow as usize].total_volume();
+            assert!(
+                (vol - f.demand).abs() < 1e-6,
+                "flow {key:?} volume {vol} != demand {}",
+                f.demand
+            );
+        }
+    }
+
+    #[test]
+    fn lp_plan_is_capacity_feasible() {
+        let inst = fig2_instance();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let sched = lp.plan.discretize();
+        let rep = crate::validate::validate(
+            &inst,
+            &Routing::FreePath,
+            &sched,
+            crate::validate::Tolerance::default(),
+        )
+        .unwrap();
+        assert!(rep.peak_utilization <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn single_path_bound_respects_shared_edges() {
+        let inst = fig2_instance();
+        // Deterministic paths: blue shares v2 with the green coflow, as
+        // in Figure 3.
+        let g = &inst.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let v3 = g.node_by_label("v3").unwrap();
+        let mk = |nodes: &[coflow_netgraph::NodeId]| {
+            coflow_netgraph::Path::from_nodes(g, nodes).unwrap()
+        };
+        let routing = Routing::SinglePath(vec![
+            vec![mk(&[v1, t])],
+            vec![mk(&[v2, t])],
+            vec![mk(&[v3, t])],
+            vec![mk(&[s, v2, t])],
+        ]);
+        let lp =
+            solve_time_indexed(&inst, &routing, 8, &SolverOptions::default()).unwrap();
+        // Figure 3's optimum is 7; the LP lower-bounds it. The blue
+        // coflow alone needs 3 slots (demand 3, bottleneck 1) and shares
+        // an edge with green, so the bound is strictly above 4-ish.
+        assert!(lp.objective <= 7.0 + 1e-6, "LP {}", lp.objective);
+        assert!(lp.objective >= 5.0, "LP {}", lp.objective);
+    }
+
+    #[test]
+    fn multipath_matches_free_path_on_fig2() {
+        // With all three 2-hop routes as candidates, multi-path should
+        // achieve the same bound as free path on this instance.
+        let inst = fig2_instance();
+        let routing = routing::k_shortest_path_sets(&inst, 3).unwrap();
+        let mp = solve_time_indexed(&inst, &routing, 6, &SolverOptions::default()).unwrap();
+        let fp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            6,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (mp.objective - fp.objective).abs() < 1e-5,
+            "multi {} vs free {}",
+            mp.objective,
+            fp.objective
+        );
+    }
+
+    #[test]
+    fn release_times_delay_completion() {
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])],
+        )
+        .unwrap();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            8,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        // Released after slot 3 -> earliest completion slot 4.
+        assert!(lp.completions[0] >= 4.0 - 1e-6, "C = {}", lp.completions[0]);
+    }
+
+    #[test]
+    fn horizon_too_small_is_an_error() {
+        let inst = fig2_instance();
+        // Blue needs 3 slots on one path; T=2 is infeasible for single
+        // path but the builder error triggers earlier only for releases.
+        // Check the release-based error:
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let late = CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 9)])],
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_time_indexed(&late, &Routing::FreePath, 5, &SolverOptions::default()),
+            Err(CoflowError::BadInstance(_))
+        ));
+        // And an infeasible-capacity horizon surfaces as an LP error.
+        assert!(matches!(
+            solve_time_indexed(&inst, &Routing::FreePath, 1, &SolverOptions::default()),
+            Err(CoflowError::Lp(_))
+        ));
+    }
+
+    #[test]
+    fn weights_steer_the_relaxation() {
+        // Two identical coflows on a shared unit edge; the heavy one must
+        // get the earlier (smaller) completion variable.
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![
+                Coflow::weighted(1.0, vec![Flow::new(v0, v1, 1.0)]),
+                Coflow::weighted(10.0, vec![Flow::new(v0, v1, 1.0)]),
+            ],
+        )
+        .unwrap();
+        let lp = solve_time_indexed(
+            &inst,
+            &Routing::FreePath,
+            4,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            lp.completions[1] < lp.completions[0],
+            "heavy coflow should finish first: {:?}",
+            lp.completions
+        );
+    }
+
+    #[test]
+    fn random_shortest_single_path_solves_on_swan() {
+        let topo = topology::swan();
+        let g = topo.graph;
+        let nodes: Vec<_> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        use rand::Rng;
+        let mut coflows = Vec::new();
+        for _ in 0..4 {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let mut b = nodes[rng.gen_range(0..nodes.len())];
+            while b == a {
+                b = nodes[rng.gen_range(0..nodes.len())];
+            }
+            coflows.push(Coflow::weighted(
+                rng.gen_range(1.0..10.0),
+                vec![Flow::new(a, b, rng.gen_range(5.0..40.0))],
+            ));
+        }
+        let inst = CoflowInstance::new(g, coflows).unwrap();
+        let routing = routing::random_shortest_paths(&inst, &mut rng).unwrap();
+        let t = crate::horizon::horizon(
+            &inst,
+            &routing,
+            crate::horizon::HorizonMode::Greedy { margin: 1.5 },
+        )
+        .unwrap();
+        let lp = solve_time_indexed(&inst, &routing, t, &SolverOptions::default()).unwrap();
+        assert!(lp.objective > 0.0);
+        let sched = lp.plan.discretize();
+        crate::validate::validate(
+            &inst,
+            &routing,
+            &sched,
+            crate::validate::Tolerance::default(),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,460 @@
+//! Schedule feasibility validation.
+//!
+//! Every rounding path in this crate ends in a [`Schedule`]; this module
+//! is the independent referee that checks it against the instance and
+//! routing model:
+//!
+//! 1. **Demand** — each flow moves exactly its demand (within tolerance).
+//! 2. **Release** — nothing moves in a slot `t ≤ release`.
+//! 3. **Capacity** — per slot, per edge, aggregated volume `≤ c(e)`.
+//! 4. **Conservation** — per flow and slot, the edge volumes form a valid
+//!    `src → dst` flow of value equal to the slot volume (splitting
+//!    allowed in the free-path model).
+//! 5. **Routing** — single-path flows use exactly their path's edges;
+//!    multi-path flows only use edges from their candidate paths.
+
+use crate::error::CoflowError;
+use crate::model::CoflowInstance;
+use crate::routing::Routing;
+use crate::schedule::{Completions, Schedule};
+use coflow_netgraph::EdgeId;
+
+/// Relative/absolute tolerance for validation comparisons.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Absolute slack.
+    pub abs: f64,
+    /// Relative slack (scaled by the magnitude being compared).
+    pub rel: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            abs: 1e-6,
+            rel: 1e-6,
+        }
+    }
+}
+
+impl Tolerance {
+    #[inline]
+    fn slack(&self, scale: f64) -> f64 {
+        self.abs + self.rel * scale.abs()
+    }
+}
+
+/// Successful validation summary.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// Completion statistics.
+    pub completions: Completions,
+    /// Peak edge utilization (volume / capacity) over all slots/edges.
+    pub peak_utilization: f64,
+}
+
+/// Validates `schedule` against instance + routing; see module docs.
+///
+/// # Errors
+///
+/// [`CoflowError::InvalidSchedule`] naming the first violated property.
+pub fn validate(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    schedule: &Schedule,
+    tol: Tolerance,
+) -> Result<ValidationReport, CoflowError> {
+    if schedule.flows.len() != inst.num_coflows() {
+        return Err(CoflowError::InvalidSchedule(format!(
+            "schedule has {} coflows, instance has {}",
+            schedule.flows.len(),
+            inst.num_coflows()
+        )));
+    }
+
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        if schedule.flows[j].len() != cf.flows.len() {
+            return Err(CoflowError::InvalidSchedule(format!(
+                "coflow {j}: schedule has {} flows, instance has {}",
+                schedule.flows[j].len(),
+                cf.flows.len()
+            )));
+        }
+        for (i, f) in cf.flows.iter().enumerate() {
+            let entries = &schedule.flows[j][i];
+            // Sortedness + uniqueness of slots.
+            for w in entries.windows(2) {
+                if w[0].slot >= w[1].slot {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}): slots out of order"
+                    )));
+                }
+            }
+            let mut total = 0.0;
+            for st in entries {
+                if st.slot == 0 {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}): slot 0 does not exist (slots are 1-based)"
+                    )));
+                }
+                if st.slot <= f.release {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}): transfers in slot {} before release {}",
+                        st.slot, f.release
+                    )));
+                }
+                if st.volume < -tol.slack(f.demand) {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}): negative volume in slot {}",
+                        st.slot
+                    )));
+                }
+                for &(e, v) in &st.edges {
+                    if e.index() >= inst.graph.edge_count() {
+                        return Err(CoflowError::InvalidSchedule(format!(
+                            "flow ({j},{i}): unknown edge {e:?}"
+                        )));
+                    }
+                    if v < -tol.slack(f.demand) {
+                        return Err(CoflowError::InvalidSchedule(format!(
+                            "flow ({j},{i}): negative edge volume in slot {}",
+                            st.slot
+                        )));
+                    }
+                }
+                conservation_check(inst, routing, j, i, st.slot, st.volume, &st.edges, tol)?;
+                total += st.volume;
+            }
+            if (total - f.demand).abs() > tol.slack(f.demand) {
+                return Err(CoflowError::InvalidSchedule(format!(
+                    "flow ({j},{i}): moved {total} of demand {}",
+                    f.demand
+                )));
+            }
+        }
+    }
+
+    // Capacity per (slot, edge).
+    let mut peak = 0.0f64;
+    for ((slot, e), load) in schedule.edge_loads() {
+        let cap = inst.graph.capacity(e);
+        if load > cap + tol.slack(cap) {
+            return Err(CoflowError::InvalidSchedule(format!(
+                "edge {e:?} overloaded in slot {slot}: {load} > capacity {cap}"
+            )));
+        }
+        peak = peak.max(load / cap);
+    }
+
+    let completions = schedule.completions(inst).ok_or_else(|| {
+        CoflowError::InvalidSchedule("some flow never completes".into())
+    })?;
+    Ok(ValidationReport {
+        completions,
+        peak_utilization: peak,
+    })
+}
+
+/// Per-slot conservation and routing-model conformance for one flow.
+#[allow(clippy::too_many_arguments)]
+fn conservation_check(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    j: usize,
+    i: usize,
+    slot: u32,
+    volume: f64,
+    edges: &[(EdgeId, f64)],
+    tol: Tolerance,
+) -> Result<(), CoflowError> {
+    let f = &inst.coflows[j].flows[i];
+    let g = &inst.graph;
+    let slack = tol.slack(f.demand.max(volume));
+
+    match routing {
+        Routing::SinglePath(paths) => {
+            // Exactly the path's edges, each carrying `volume`.
+            let path = &paths[j][i];
+            for &pe in path.edges() {
+                let carried = edges
+                    .iter()
+                    .find(|&&(e, _)| e == pe)
+                    .map_or(0.0, |&(_, v)| v);
+                if (carried - volume).abs() > slack {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}) slot {slot}: path edge {pe:?} carries {carried}, expected {volume}"
+                    )));
+                }
+            }
+            for &(e, v) in edges {
+                if v.abs() > slack && !path.contains_edge(e) {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}) slot {slot}: volume on off-path edge {e:?}"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        Routing::MultiPath(sets) => {
+            // Only candidate-path edges, plus generic conservation.
+            let allowed: std::collections::HashSet<EdgeId> = sets[j][i]
+                .iter()
+                .flat_map(|p| p.edges().iter().copied())
+                .collect();
+            for &(e, v) in edges {
+                if v.abs() > slack && !allowed.contains(&e) {
+                    return Err(CoflowError::InvalidSchedule(format!(
+                        "flow ({j},{i}) slot {slot}: volume on non-candidate edge {e:?}"
+                    )));
+                }
+            }
+            generic_conservation(g, f.src, f.dst, volume, edges, slack, j, i, slot)
+        }
+        Routing::FreePath => {
+            generic_conservation(g, f.src, f.dst, volume, edges, slack, j, i, slot)
+        }
+    }
+}
+
+/// Checks that `edges` form a flow of value `volume` from `src` to `dst`:
+/// net outflow at src = volume, net inflow at dst = volume, zero net flow
+/// elsewhere (paper constraints (7)–(9)).
+#[allow(clippy::too_many_arguments)]
+fn generic_conservation(
+    g: &coflow_netgraph::Graph,
+    src: coflow_netgraph::NodeId,
+    dst: coflow_netgraph::NodeId,
+    volume: f64,
+    edges: &[(EdgeId, f64)],
+    slack: f64,
+    j: usize,
+    i: usize,
+    slot: u32,
+) -> Result<(), CoflowError> {
+    let mut net = vec![0.0f64; g.node_count()];
+    for &(e, v) in edges {
+        net[g.src(e).index()] += v;
+        net[g.dst(e).index()] -= v;
+    }
+    for v in g.nodes() {
+        let expect = if v == src {
+            volume
+        } else if v == dst {
+            -volume
+        } else {
+            0.0
+        };
+        if (net[v.index()] - expect).abs() > slack * (1.0 + g.out_degree(v) as f64) {
+            return Err(CoflowError::InvalidSchedule(format!(
+                "flow ({j},{i}) slot {slot}: conservation violated at {v:?} (net {}, expected {expect})",
+                net[v.index()]
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use crate::schedule::SlotTransfer;
+    use coflow_netgraph::{topology, Path};
+
+    /// Fig-2 instance: blue coflow s->t demand 3 only.
+    fn fig2_blue() -> (CoflowInstance, Routing) {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let path = Path::from_nodes(&g, &[s, v2, t]).unwrap();
+        let inst =
+            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 3.0)])]).unwrap();
+        (inst, Routing::SinglePath(vec![vec![path]]))
+    }
+
+    fn edge(inst: &CoflowInstance, a: &str, b: &str) -> EdgeId {
+        let g = &inst.graph;
+        g.find_edge(
+            g.node_by_label(a).unwrap(),
+            g.node_by_label(b).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_single_path_schedule_passes() {
+        let (inst, routing) = fig2_blue();
+        let sv2 = edge(&inst, "s", "v2");
+        let v2t = edge(&inst, "v2", "t");
+        let sched = Schedule {
+            flows: vec![vec![(1..=3)
+                .map(|t| SlotTransfer {
+                    slot: t,
+                    volume: 1.0,
+                    edges: vec![(sv2, 1.0), (v2t, 1.0)],
+                })
+                .collect()]],
+        };
+        let rep = validate(&inst, &routing, &sched, Tolerance::default()).unwrap();
+        assert_eq!(rep.completions.per_coflow, vec![3]);
+        assert!((rep.peak_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let (inst, routing) = fig2_blue();
+        let sv2 = edge(&inst, "s", "v2");
+        let v2t = edge(&inst, "v2", "t");
+        let sched = Schedule {
+            flows: vec![vec![vec![SlotTransfer {
+                slot: 1,
+                volume: 3.0, // capacity is 1 per slot
+                edges: vec![(sv2, 3.0), (v2t, 3.0)],
+            }]]],
+        };
+        let err = validate(&inst, &routing, &sched, Tolerance::default()).unwrap_err();
+        assert!(err.to_string().contains("overloaded"), "{err}");
+    }
+
+    #[test]
+    fn off_path_edge_detected() {
+        let (inst, routing) = fig2_blue();
+        let sv1 = edge(&inst, "s", "v1");
+        let v1t = edge(&inst, "v1", "t");
+        let sv2 = edge(&inst, "s", "v2");
+        let v2t = edge(&inst, "v2", "t");
+        let mut entries: Vec<SlotTransfer> = (1..=2)
+            .map(|t| SlotTransfer {
+                slot: t,
+                volume: 1.0,
+                edges: vec![(sv2, 1.0), (v2t, 1.0)],
+            })
+            .collect();
+        entries.push(SlotTransfer {
+            slot: 3,
+            volume: 1.0,
+            edges: vec![(sv1, 1.0), (v1t, 1.0)], // wrong path
+        });
+        let sched = Schedule {
+            flows: vec![vec![entries]],
+        };
+        let err = validate(&inst, &routing, &sched, Tolerance::default()).unwrap_err();
+        // The validator may flag this either as the path edge carrying
+        // the wrong volume or as off-path usage; both are correct.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("off-path") || msg.contains("path edge"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn free_path_split_flow_passes_and_conservation_fails_when_broken() {
+        let (inst, _) = fig2_blue();
+        let routing = Routing::FreePath;
+        // Slot 1: split 3 units over the three parallel 2-hop routes.
+        let names = [("s", "v1", "t"), ("s", "v2", "t"), ("s", "v3", "t")];
+        let mut edges = Vec::new();
+        for (a, b, c) in names {
+            edges.push((edge(&inst, a, b), 1.0));
+            edges.push((edge(&inst, b, c), 1.0));
+        }
+        let sched = Schedule {
+            flows: vec![vec![vec![SlotTransfer {
+                slot: 1,
+                volume: 3.0,
+                edges: edges.clone(),
+            }]]],
+        };
+        let rep = validate(&inst, &routing, &sched, Tolerance::default()).unwrap();
+        assert_eq!(rep.completions.per_coflow, vec![1]);
+
+        // Break conservation: drop one middle-hop edge.
+        let broken: Vec<_> = edges
+            .iter()
+            .copied()
+            .filter(|&(e, _)| e != edge(&inst, "v2", "t"))
+            .collect();
+        let sched = Schedule {
+            flows: vec![vec![vec![SlotTransfer {
+                slot: 1,
+                volume: 3.0,
+                edges: broken,
+            }]]],
+        };
+        let err = validate(&inst, &routing, &sched, Tolerance::default()).unwrap_err();
+        assert!(err.to_string().contains("conservation"), "{err}");
+    }
+
+    #[test]
+    fn demand_shortfall_detected() {
+        let (inst, routing) = fig2_blue();
+        let sv2 = edge(&inst, "s", "v2");
+        let v2t = edge(&inst, "v2", "t");
+        let sched = Schedule {
+            flows: vec![vec![vec![SlotTransfer {
+                slot: 1,
+                volume: 1.0,
+                edges: vec![(sv2, 1.0), (v2t, 1.0)],
+            }]]],
+        };
+        let err = validate(&inst, &routing, &sched, Tolerance::default()).unwrap_err();
+        assert!(err.to_string().contains("moved"), "{err}");
+    }
+
+    #[test]
+    fn release_violation_detected() {
+        let topo = topology::line(2, 5.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let e = g.find_edge(v0, v1).unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])],
+        )
+        .unwrap();
+        let routing = Routing::FreePath;
+        let sched = Schedule {
+            flows: vec![vec![vec![SlotTransfer {
+                slot: 2,
+                volume: 1.0,
+                edges: vec![(e, 1.0)],
+            }]]],
+        };
+        let err = validate(&inst, &routing, &sched, Tolerance::default()).unwrap_err();
+        assert!(err.to_string().contains("release"), "{err}");
+    }
+
+    #[test]
+    fn multipath_candidate_edges_enforced() {
+        let (inst, _) = fig2_blue();
+        let g = &inst.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        let p1 = Path::from_nodes(g, &[s, v1, t]).unwrap();
+        let p2 = Path::from_nodes(g, &[s, v2, t]).unwrap();
+        let routing = Routing::MultiPath(vec![vec![vec![p1, p2]]]);
+        // Uses v3 route: not a candidate.
+        let sched = Schedule {
+            flows: vec![vec![vec![SlotTransfer {
+                slot: 1,
+                volume: 3.0,
+                edges: vec![
+                    (edge(&inst, "s", "v1"), 1.0),
+                    (edge(&inst, "v1", "t"), 1.0),
+                    (edge(&inst, "s", "v2"), 1.0),
+                    (edge(&inst, "v2", "t"), 1.0),
+                    (edge(&inst, "s", "v3"), 1.0),
+                    (edge(&inst, "v3", "t"), 1.0),
+                ],
+            }]]],
+        };
+        let err = validate(&inst, &routing, &sched, Tolerance::default()).unwrap_err();
+        assert!(err.to_string().contains("non-candidate"), "{err}");
+    }
+}

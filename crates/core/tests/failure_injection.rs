@@ -1,0 +1,198 @@
+//! Failure injection: the validator must reject every corruption of a
+//! known-good schedule. A validator that silently accepts broken
+//! schedules would invalidate every experimental claim, so it gets the
+//! adversarial treatment.
+
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::routing::Routing;
+use coflow_core::schedule::Schedule;
+use coflow_core::stretch::{stretch_schedule, StretchOptions};
+use coflow_core::timeidx::solve_time_indexed;
+use coflow_core::validate::{validate, Tolerance};
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn good_schedule() -> (CoflowInstance, Schedule) {
+    let topo = topology::swan().scale_capacity(5.0);
+    let g = topo.graph;
+    let nodes: Vec<_> = g.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(404);
+    let coflows = (0..4)
+        .map(|_| {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let mut b = nodes[rng.gen_range(0..nodes.len())];
+            while b == a {
+                b = nodes[rng.gen_range(0..nodes.len())];
+            }
+            Coflow::weighted(
+                rng.gen_range(1.0..10.0),
+                vec![Flow::released(a, b, rng.gen_range(20.0..80.0), rng.gen_range(0..3))],
+            )
+        })
+        .collect();
+    let inst = CoflowInstance::new(g, coflows).unwrap();
+    let t = coflow_core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_core::horizon::HorizonMode::Greedy { margin: 1.3 },
+    )
+    .unwrap();
+    let lp =
+        solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
+    let sched = stretch_schedule(&inst, &lp.plan, 1.0, StretchOptions::default());
+    (inst, sched)
+}
+
+fn assert_rejected(inst: &CoflowInstance, sched: &Schedule, what: &str) {
+    let err = validate(inst, &Routing::FreePath, sched, Tolerance::default());
+    assert!(err.is_err(), "validator accepted a schedule with {what}");
+}
+
+#[test]
+fn baseline_is_accepted() {
+    let (inst, sched) = good_schedule();
+    validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+}
+
+#[test]
+fn rejects_inflated_edge_volume() {
+    let (inst, mut sched) = good_schedule();
+    // Blow one edge volume far past capacity.
+    'outer: for row in &mut sched.flows {
+        for fl in row {
+            for st in fl.iter_mut() {
+                if let Some((_, v)) = st.edges.first_mut() {
+                    *v += 10.0 * inst.graph.total_capacity();
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_rejected(&inst, &sched, "an overloaded edge");
+}
+
+#[test]
+fn rejects_missing_volume() {
+    let (inst, mut sched) = good_schedule();
+    // Halve one flow's transfers: demand unmet.
+    for st in &mut sched.flows[0][0] {
+        st.volume *= 0.5;
+        for (_, v) in &mut st.edges {
+            *v *= 0.5;
+        }
+    }
+    assert_rejected(&inst, &sched, "unmet demand");
+}
+
+#[test]
+fn rejects_pre_release_transfer() {
+    let (inst, mut sched) = good_schedule();
+    // Find a flow with a positive release and move a transfer before it.
+    let mut target = None;
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for (i, f) in cf.flows.iter().enumerate() {
+            if f.release > 0 {
+                target = Some((j, i, f.release));
+            }
+        }
+    }
+    let (j, i, rel) = target.expect("instance has releases by construction");
+    sched.flows[j][i][0].slot = rel; // slot <= release is illegal
+    // Re-sort to keep slots ordered in case of collisions.
+    sched.flows[j][i].sort_by_key(|st| st.slot);
+    sched.flows[j][i].dedup_by_key(|st| st.slot);
+    assert_rejected(&inst, &sched, "a pre-release transfer");
+}
+
+#[test]
+fn rejects_broken_conservation() {
+    let (inst, mut sched) = good_schedule();
+    // Drop one edge entry from a multi-edge transfer (breaks the flow).
+    'outer: for row in &mut sched.flows {
+        for fl in row {
+            for st in fl.iter_mut() {
+                if st.edges.len() >= 2 {
+                    st.edges.pop();
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_rejected(&inst, &sched, "broken flow conservation");
+}
+
+#[test]
+fn rejects_negative_volume() {
+    let (inst, mut sched) = good_schedule();
+    sched.flows[0][0][0].volume = -1.0;
+    assert_rejected(&inst, &sched, "a negative volume");
+}
+
+#[test]
+fn rejects_unknown_edge() {
+    let (inst, mut sched) = good_schedule();
+    let bogus = coflow_netgraph::EdgeId::from_index(inst.graph.edge_count() + 7);
+    sched.flows[0][0][0].edges.push((bogus, 1.0));
+    assert_rejected(&inst, &sched, "an unknown edge id");
+}
+
+#[test]
+fn rejects_shape_mismatch() {
+    let (inst, mut sched) = good_schedule();
+    sched.flows.pop();
+    assert_rejected(&inst, &sched, "a missing coflow row");
+}
+
+#[test]
+fn rejects_slot_zero() {
+    let (inst, mut sched) = good_schedule();
+    // Slot numbering is 1-based; slot 0 must be rejected. Pick a flow
+    // with release 0 so the release check cannot fire first.
+    let mut target = None;
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for (i, f) in cf.flows.iter().enumerate() {
+            if f.release == 0 {
+                target = Some((j, i));
+            }
+        }
+    }
+    let (j, i) = target.expect("some flow has release 0");
+    sched.flows[j][i][0].slot = 0;
+    assert_rejected(&inst, &sched, "a transfer in slot 0");
+}
+
+#[test]
+fn random_mutations_never_pass() {
+    // Fuzz-lite: random small perturbations of volumes must be caught
+    // (either as demand mismatch or capacity/conservation breakage).
+    let (inst, sched) = good_schedule();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut caught = 0;
+    const TRIALS: usize = 30;
+    for _ in 0..TRIALS {
+        let mut bad = sched.clone();
+        let j = rng.gen_range(0..bad.flows.len());
+        let i = rng.gen_range(0..bad.flows[j].len());
+        if bad.flows[j][i].is_empty() {
+            continue;
+        }
+        let k = rng.gen_range(0..bad.flows[j][i].len());
+        let st = &mut bad.flows[j][i][k];
+        // Volume perturbations large enough to exceed tolerances.
+        let delta = rng.gen_range(0.05..0.5) * inst.coflows[j].flows[i].demand;
+        if rng.gen_bool(0.5) {
+            st.volume += delta;
+        } else {
+            st.volume = (st.volume - delta).max(0.0);
+        }
+        if validate(&inst, &Routing::FreePath, &bad, Tolerance::default()).is_err() {
+            caught += 1;
+        }
+    }
+    assert!(
+        caught >= TRIALS * 9 / 10 - 3,
+        "validator caught only {caught}/{TRIALS} volume perturbations"
+    );
+}

@@ -1,0 +1,133 @@
+//! Robustness tests for the `.coflow` parser: random corruptions of a
+//! valid file must never panic — every malformed input is a clean
+//! `CoflowError` (or, rarely, still parses when the corruption happened
+//! to be harmless, e.g. inside a comment).
+
+use coflow_core::io::{read_instance, write_instance};
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_netgraph::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn valid_text() -> String {
+    let topo = topology::swan();
+    let g = topo.graph;
+    let nodes: Vec<_> = g.nodes().collect();
+    let inst = CoflowInstance::new(
+        g,
+        vec![
+            Coflow::weighted(
+                2.0,
+                vec![
+                    Flow::new(nodes[0], nodes[2], 10.0),
+                    Flow::released(nodes[1], nodes[3], 5.5, 2),
+                ],
+            ),
+            Coflow::new(vec![Flow::new(nodes[4], nodes[0], 7.0)]),
+        ],
+    )
+    .unwrap();
+    write_instance(&inst).unwrap()
+}
+
+#[test]
+fn byte_level_mutations_never_panic() {
+    let base = valid_text();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    let printable: Vec<char> = " abcdefgh0123456789.#-\n".chars().collect();
+    for _ in 0..500 {
+        let mut chars: Vec<char> = base.chars().collect();
+        for _ in 0..rng.gen_range(1..4) {
+            let pos = rng.gen_range(0..chars.len());
+            match rng.gen_range(0..3) {
+                0 => chars[pos] = printable[rng.gen_range(0..printable.len())],
+                1 => {
+                    chars.remove(pos);
+                }
+                _ => chars.insert(pos, printable[rng.gen_range(0..printable.len())]),
+            }
+        }
+        let text: String = chars.into_iter().collect();
+        // Must return, not panic; both Ok and Err are acceptable.
+        let _ = read_instance(&text);
+    }
+}
+
+#[test]
+fn line_level_shuffles_never_panic() {
+    let base = valid_text();
+    let mut rng = StdRng::seed_from_u64(0xF023);
+    let lines: Vec<&str> = base.lines().collect();
+    for _ in 0..300 {
+        let mut shuffled: Vec<&str> = lines.clone();
+        // Swap a few random line pairs (may move edges after coflows,
+        // flows before nodes, duplicate semantics, etc.).
+        for _ in 0..rng.gen_range(1..4) {
+            let a = rng.gen_range(0..shuffled.len());
+            let b = rng.gen_range(0..shuffled.len());
+            shuffled.swap(a, b);
+        }
+        let text = shuffled.join("\n");
+        let _ = read_instance(&text);
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    let base = valid_text();
+    for cut in 0..base.len() {
+        let _ = read_instance(&base[..cut]);
+    }
+}
+
+#[test]
+fn numeric_edge_values_are_policed() {
+    // NaN / inf / negative demands must be rejected by validation, not
+    // crash the parser or silently build a bad instance.
+    for bad in ["NaN", "inf", "-inf", "-3", "0"] {
+        let text = format!(
+            "coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow a b {bad} 0\n"
+        );
+        let result = read_instance(&text);
+        assert!(
+            result.is_err(),
+            "demand {bad:?} should be rejected, got an instance"
+        );
+    }
+    for bad_cap in ["NaN", "-1", "0"] {
+        let text = format!(
+            "coflow-instance v1\nnode a\nnode b\nedge a b {bad_cap}\ncoflow 1\nflow a b 1 0\n"
+        );
+        assert!(
+            read_instance(&text).is_err(),
+            "capacity {bad_cap:?} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn huge_but_valid_instances_roundtrip() {
+    // Many coflows: the parser must be linear-ish, not quadratic-choke.
+    let topo = topology::gscale();
+    let g = topo.graph;
+    let nodes: Vec<_> = g.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(12);
+    let coflows: Vec<Coflow> = (0..500)
+        .map(|_| {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let mut b = nodes[rng.gen_range(0..nodes.len())];
+            while b == a {
+                b = nodes[rng.gen_range(0..nodes.len())];
+            }
+            Coflow::weighted(
+                rng.gen_range(1.0..100.0),
+                vec![Flow::released(a, b, rng.gen_range(0.1..1e6), rng.gen_range(0..1000))],
+            )
+        })
+        .collect();
+    let inst = CoflowInstance::new(g, coflows).unwrap();
+    let text = write_instance(&inst).unwrap();
+    let back = read_instance(&text).unwrap();
+    assert_eq!(back.num_coflows(), 500);
+    assert_eq!(text, write_instance(&back).unwrap());
+}

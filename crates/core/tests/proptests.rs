@@ -1,0 +1,242 @@
+//! Property-based tests for the core scheduling pipeline.
+
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::rateplan::{FlowPlan, RatePlan, Segment};
+use coflow_core::routing::Routing;
+use coflow_core::stretch::{stretch_schedule, StretchOptions};
+use coflow_core::timeidx::solve_time_indexed;
+use coflow_core::validate::{validate, Tolerance};
+use coflow_lp::SolverOptions;
+use coflow_netgraph::{topology, EdgeId};
+use proptest::prelude::*;
+
+/// Strategy: a small random instance on the Fig-2 network (fixed graph,
+/// random flows) — small enough that the LP solves in milliseconds.
+fn small_instance() -> impl Strategy<Value = CoflowInstance> {
+    proptest::collection::vec(
+        (
+            0usize..5,   // src selector
+            0usize..5,   // dst selector
+            0.5f64..4.0, // demand
+            0u32..4,     // release
+            1.0f64..10.0, // weight
+        ),
+        1..5,
+    )
+    .prop_filter_map("needs distinct endpoints", |specs| {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let nodes: Vec<_> = g.nodes().collect();
+        let mut coflows = Vec::new();
+        for (a, b, demand, release, weight) in specs {
+            if a == b {
+                return None;
+            }
+            coflows.push(Coflow::weighted(
+                weight,
+                vec![Flow::released(nodes[a], nodes[b], demand, release)],
+            ));
+        }
+        CoflowInstance::new(g, coflows).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full pipeline holds its invariants on arbitrary instances:
+    /// LP bound ≤ heuristic cost, schedule feasible and complete.
+    #[test]
+    fn pipeline_invariants_hold(inst in small_instance()) {
+        let t = coflow_core::horizon::horizon(
+            &inst,
+            &Routing::FreePath,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        ).expect("horizon");
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+            .expect("LP solves");
+        let sched = stretch_schedule(&inst, &lp.plan, 1.0, StretchOptions::default());
+        let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default())
+            .expect("heuristic schedule is feasible");
+        prop_assert!(rep.completions.weighted_total >= lp.objective - 1e-6);
+        prop_assert!(rep.peak_utilization <= 1.0 + 1e-6);
+    }
+
+    /// Stretch at any λ keeps schedules feasible.
+    #[test]
+    fn stretch_feasible_for_all_lambda(inst in small_instance(), lambda in 0.05f64..1.0) {
+        let t = coflow_core::horizon::horizon(
+            &inst,
+            &Routing::FreePath,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        ).expect("horizon");
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+            .expect("LP solves");
+        let sched = stretch_schedule(&inst, &lp.plan, lambda, StretchOptions::default());
+        validate(&inst, &Routing::FreePath, &sched, Tolerance::default())
+            .expect("stretched schedule is feasible");
+    }
+
+    /// Lemma 4.3's per-coflow bound: the stretched schedule completes
+    /// coflow j by ⌈C*_j(λ)/λ⌉, where C*_j(λ) is the earliest time the
+    /// LP schedule had a λ fraction of every flow of j.
+    #[test]
+    fn stretched_completion_matches_alpha_point_bound(inst in small_instance(),
+                                                      lambda in 0.1f64..1.0) {
+        let t = coflow_core::horizon::horizon(
+            &inst,
+            &Routing::FreePath,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        ).expect("horizon");
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+            .expect("LP solves");
+        let sched = stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact: false });
+        let got = sched.completions(&inst).expect("complete");
+        for (j, cf) in inst.coflows.iter().enumerate() {
+            // C*_j(λ) = max over flows of the λσ_i point in the LP plan.
+            let mut c_lambda: f64 = 0.0;
+            for (i, f) in cf.flows.iter().enumerate() {
+                let c = lp.plan.flows[j][i]
+                    .completion(lambda * f.demand)
+                    .expect("LP plan moves the full demand");
+                c_lambda = c_lambda.max(c);
+            }
+            let bound = (c_lambda / lambda).ceil() as u32;
+            prop_assert!(
+                got.per_coflow[j] <= bound + 1, // +1 for float boundary snap
+                "coflow {j}: completed {} > bound {bound} (λ={lambda})",
+                got.per_coflow[j]
+            );
+        }
+    }
+}
+
+/// Strategy for standalone rate plans (no LP involved).
+fn arbitrary_flow_plan() -> impl Strategy<Value = FlowPlan> {
+    proptest::collection::vec((0.0f64..20.0, 0.05f64..3.0, 0.05f64..2.0), 1..6).prop_map(
+        |segs| {
+            let mut t = 0.0;
+            let segments = segs
+                .into_iter()
+                .map(|(gap, len, rate)| {
+                    let t0 = t + gap;
+                    let t1 = t0 + len;
+                    t = t1;
+                    Segment {
+                        t0,
+                        t1,
+                        rate,
+                        edges: vec![(EdgeId::from_index(0), rate)],
+                    }
+                })
+                .collect();
+            FlowPlan { segments }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Discretization preserves total volume exactly.
+    #[test]
+    fn discretize_preserves_volume(fp in arbitrary_flow_plan()) {
+        let total = fp.total_volume();
+        let plan = RatePlan { flows: vec![vec![fp]] };
+        let sched = plan.discretize();
+        let slotted: f64 = sched.flows[0][0].iter().map(|st| st.volume).sum();
+        prop_assert!((slotted - total).abs() < 1e-9 * (1.0 + total));
+    }
+
+    /// Truncation is exact: the truncated plan moves exactly the target
+    /// volume (when the plan had at least that much).
+    #[test]
+    fn truncate_is_exact(fp in arbitrary_flow_plan(), frac in 0.05f64..1.0) {
+        let demand = fp.total_volume() * frac;
+        let cut = fp.truncate_at(demand);
+        prop_assert!((cut.total_volume() - demand).abs() < 1e-9 * (1.0 + demand));
+    }
+
+    /// Stretch followed by completion equals completion divided by λ for
+    /// the volume actually demanded: C_stretched(σλ·..) relation — the
+    /// α-point identity C_stretch(σ) = C_orig(λ·fraction)/λ.
+    #[test]
+    fn stretch_alpha_point_identity(fp in arbitrary_flow_plan(), lambda in 0.1f64..1.0) {
+        let sigma = fp.total_volume();
+        let plan = RatePlan { flows: vec![vec![fp.clone()]] };
+        let stretched = plan.stretch(lambda);
+        // Completion of demand σ in the stretched plan...
+        let c_stretch = stretched.flows[0][0].completion(sigma);
+        // ...equals (time the original plan reached λσ) / λ.
+        let c_alpha = fp.completion(lambda * sigma).map(|c| c / lambda);
+        match (c_stretch, c_alpha) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * (1.0 + b)),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+
+    /// Stretch preserves per-segment volumes scaled by 1/λ overall.
+    #[test]
+    fn stretch_scales_total_volume(fp in arbitrary_flow_plan(), lambda in 0.1f64..1.0) {
+        let plan = RatePlan { flows: vec![vec![fp.clone()]] };
+        let stretched = plan.stretch(lambda);
+        let expect = fp.total_volume() / lambda;
+        let got = stretched.flows[0][0].total_volume();
+        prop_assert!((got - expect).abs() < 1e-9 * (1.0 + expect));
+    }
+
+    /// The completion profile's inverse agrees with the plan's forward
+    /// completion query for every fraction.
+    #[test]
+    fn derand_profile_inverts_the_plan(fp in arbitrary_flow_plan(), lambda in 0.01f64..1.0) {
+        let sigma = fp.total_volume();
+        let profile = coflow_core::derand::CompletionProfile::from_flow(&fp, sigma);
+        let via_plan = fp.completion(lambda * sigma).expect("within volume");
+        let via_profile = profile.value(lambda);
+        prop_assert!(
+            (via_plan - via_profile).abs() < 1e-6 * (1.0 + via_plan),
+            "λ={lambda}: plan {via_plan} vs profile {via_profile}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Derandomization invariants on LP-solved instances: the exact best
+    /// is no worse than the λ=1 heuristic, the exact expectation honors
+    /// Theorem 4.4 (E ≤ 2·LP), and the profile cost at the reported best
+    /// λ reproduces a materialized schedule's cost.
+    #[test]
+    fn derand_invariants_hold(inst in small_instance()) {
+        let t = coflow_core::horizon::horizon(
+            &inst,
+            &Routing::FreePath,
+            coflow_core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        ).expect("horizon");
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+            .expect("LP solves");
+        let d = coflow_core::derand::derandomize(&inst, &lp.plan);
+        prop_assert!(d.best_cost <= d.heuristic_cost + 1e-9);
+        prop_assert!(d.best_lambda > 0.0 && d.best_lambda <= 1.0);
+        prop_assert!(
+            d.expected_cost - d.expected_cost_error <= 2.0 * lp.objective + 1e-6,
+            "E = {} ± {} vs 2·LP = {}",
+            d.expected_cost, d.expected_cost_error, 2.0 * lp.objective
+        );
+        prop_assert!(d.expected_cost + d.expected_cost_error >= lp.objective - 1e-6);
+        // Materialize the schedule at the winning λ and compare cost.
+        let sched = stretch_schedule(&inst, &lp.plan, d.best_lambda,
+                                     StretchOptions { compact: false });
+        let cost = sched.completions(&inst).expect("complete").weighted_total;
+        prop_assert!(
+            (cost - d.best_cost).abs() < 1e-6 * (1.0 + cost),
+            "materialized {cost} vs exact {}", d.best_cost
+        );
+        // The sampled sweep can never beat the exact minimum.
+        let sweep = coflow_core::stretch::lambda_sweep(
+            &inst, &lp.plan, 12, 7, StretchOptions { compact: false });
+        prop_assert!(sweep.best().weighted_cost >= d.best_cost - 1e-9);
+    }
+}

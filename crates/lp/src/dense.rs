@@ -1,0 +1,360 @@
+//! A dense tableau simplex used as a differential-testing oracle.
+//!
+//! This implementation trades every efficiency for obviousness: explicit
+//! bound rows, variable shifting/splitting to `x ≥ 0`, artificial
+//! variables with a two-phase tableau, and Bland's rule throughout (which
+//! guarantees termination). It is intended for LPs with at most a few
+//! hundred variables — the randomized tests cross-check the sparse
+//! revised simplex against it.
+
+use crate::error::LpError;
+use crate::model::{Cmp, Model, Sense};
+use crate::solution::{Solution, Status};
+
+const EPS: f64 = 1e-9;
+
+/// Solves `model` with the dense oracle.
+///
+/// # Errors
+///
+/// Mirrors [`Model::solve`]: infeasible, unbounded, or an iteration limit.
+pub fn solve(model: &Model) -> Result<Solution, LpError> {
+    // --- Transform variables to x' >= 0. ---
+    // For each original var, record how to map back:
+    //   Shift(lb, col): x = lb + t[col]
+    //   Neg(ub, col): x = ub - t[col]
+    //   Split(p, n): x = t[p] - t[n]
+    enum Map {
+        Shift(f64, usize),
+        Neg(f64, usize),
+        Split(usize, usize),
+    }
+    let mut maps = Vec::with_capacity(model.num_vars());
+    let mut ncols = 0usize;
+    // Extra rows for finite "other side" bounds.
+    let mut extra_rows: Vec<(usize, f64)> = Vec::new(); // t[col] <= span
+    for v in 0..model.num_vars() {
+        let (lb, ub) = model.var_bounds(crate::model::VarId(v as u32));
+        if lb.is_finite() {
+            maps.push(Map::Shift(lb, ncols));
+            if ub.is_finite() {
+                extra_rows.push((ncols, ub - lb));
+            }
+            ncols += 1;
+        } else if ub.is_finite() {
+            maps.push(Map::Neg(ub, ncols));
+            ncols += 1;
+        } else {
+            maps.push(Map::Split(ncols, ncols + 1));
+            ncols += 2;
+        }
+    }
+
+    // --- Assemble rows in t-space: (coeffs, cmp, rhs). ---
+    let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+    for c in &model.constraints {
+        let mut coef = vec![0.0; ncols];
+        let mut rhs = c.rhs;
+        for &(vid, a) in &c.terms {
+            match maps[vid as usize] {
+                Map::Shift(lb, col) => {
+                    coef[col] += a;
+                    rhs -= a * lb;
+                }
+                Map::Neg(ub, col) => {
+                    coef[col] -= a;
+                    rhs -= a * ub;
+                }
+                Map::Split(p, n) => {
+                    coef[p] += a;
+                    coef[n] -= a;
+                }
+            }
+        }
+        rows.push((coef, c.cmp, rhs));
+    }
+    for &(col, span) in &extra_rows {
+        let mut coef = vec![0.0; ncols];
+        coef[col] = 1.0;
+        rows.push((coef, Cmp::Le, span));
+    }
+
+    // Costs in t-space (minimization).
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; ncols];
+    let mut cost_offset = 0.0;
+    for v in 0..model.num_vars() {
+        let obj = sign * model.var_obj(crate::model::VarId(v as u32));
+        match maps[v] {
+            Map::Shift(lb, col) => {
+                cost[col] += obj;
+                cost_offset += obj * lb;
+            }
+            Map::Neg(ub, col) => {
+                cost[col] -= obj;
+                cost_offset += obj * ub;
+            }
+            Map::Split(p, n) => {
+                cost[p] += obj;
+                cost[n] -= obj;
+            }
+        }
+    }
+
+    // --- Standard form with slacks and artificials; b >= 0. ---
+    let m = rows.len();
+    let mut nslack = 0usize;
+    for (_, cmp, _) in &rows {
+        if !matches!(cmp, Cmp::Eq) {
+            nslack += 1;
+        }
+    }
+    let ntotal = ncols + nslack + m; // artificials on every row for simplicity
+    // Tableau: m rows x (ntotal + 1) (last col = rhs).
+    let mut t = vec![vec![0.0; ntotal + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut slack_cursor = ncols;
+    for (i, (coef, cmp, rhs)) in rows.iter().enumerate() {
+        let flip = if *rhs < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..ncols {
+            t[i][j] = flip * coef[j];
+        }
+        t[i][ntotal] = flip * rhs;
+        match cmp {
+            Cmp::Le => {
+                t[i][slack_cursor] = flip;
+                slack_cursor += 1;
+            }
+            Cmp::Ge => {
+                t[i][slack_cursor] = -flip;
+                slack_cursor += 1;
+            }
+            Cmp::Eq => {}
+        }
+        // Artificial for the row.
+        t[i][ncols + nslack + i] = 1.0;
+        basis[i] = ncols + nslack + i;
+    }
+
+    // --- Phase 1: minimize sum of artificials. ---
+    let mut phase1_cost = vec![0.0; ntotal];
+    for j in ncols + nslack..ntotal {
+        phase1_cost[j] = 1.0;
+    }
+    let max_iter = 200 * (m + ntotal) + 1000;
+    run_phase(&mut t, &mut basis, &phase1_cost, max_iter)?;
+    let infeas: f64 = (0..m)
+        .filter(|&i| basis[i] >= ncols + nslack)
+        .map(|i| t[i][ntotal])
+        .sum();
+    if infeas > 1e-7 {
+        return Err(LpError::Infeasible);
+    }
+    // Pivot remaining artificials out (or their rows are redundant).
+    for i in 0..m {
+        if basis[i] >= ncols + nslack {
+            if let Some(j) = (0..ncols + nslack).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut basis, i, j);
+            }
+            // Otherwise the row is all-zero (redundant): leave it.
+        }
+    }
+
+    // --- Phase 2 with artificials banned. ---
+    let mut phase2_cost = vec![0.0; ntotal];
+    phase2_cost[..ncols].copy_from_slice(&cost);
+    // Ban artificials by infinite cost surrogate: simply exclude them in
+    // pricing via a validity mask encoded as cost = f64::NAN (checked).
+    run_phase_masked(&mut t, &mut basis, &phase2_cost, ncols + nslack, max_iter)?;
+
+    // --- Extract t-space solution and map back. ---
+    let mut tvals = vec![0.0; ntotal];
+    for i in 0..m {
+        if basis[i] < ntotal {
+            tvals[basis[i]] = t[i][ntotal];
+        }
+    }
+    let mut x = vec![0.0; model.num_vars()];
+    for v in 0..model.num_vars() {
+        x[v] = match maps[v] {
+            Map::Shift(lb, col) => lb + tvals[col],
+            Map::Neg(ub, col) => ub - tvals[col],
+            Map::Split(p, n) => tvals[p] - tvals[n],
+        };
+    }
+    let objective = model.objective_at(&x);
+    let _ = cost_offset;
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        duals: None, // the oracle only certifies primal objectives
+        iterations: 0,
+    })
+}
+
+/// Bland-rule tableau iterations for the given cost vector.
+fn run_phase(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    max_iter: usize,
+) -> Result<(), LpError> {
+    run_phase_masked(t, basis, cost, usize::MAX, max_iter)
+}
+
+/// Same as [`run_phase`] but columns `>= ban_from` may not enter.
+fn run_phase_masked(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    ban_from: usize,
+    max_iter: usize,
+) -> Result<(), LpError> {
+    let m = t.len();
+    if m == 0 {
+        return Ok(());
+    }
+    let ntotal = cost.len();
+    for _ in 0..max_iter {
+        // Reduced costs: z_j = c_j - c_B . column_j.
+        let cb: Vec<f64> = basis.iter().map(|&b| cost[b]).collect();
+        // Entering: lowest index with z_j < -EPS (Bland).
+        let mut entering = None;
+        for j in 0..ntotal.min(ban_from) {
+            if basis.contains(&j) {
+                continue;
+            }
+            let zj = cost[j] - (0..m).map(|i| cb[i] * t[i][j]).sum::<f64>();
+            if zj < -EPS {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(q) = entering else {
+            return Ok(());
+        };
+        // Leaving: min ratio, Bland tie-break on basis index.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][q] > EPS {
+                let ratio = t[i][ntotal] / t[i][q];
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - EPS || (ratio < br + EPS && basis[i] < basis[bi]) {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = best else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, r, q);
+    }
+    Err(LpError::IterationLimit {
+        iterations: max_iter,
+    })
+}
+
+/// Gauss-Jordan pivot on (row, col).
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], r: usize, q: usize) {
+    let m = t.len();
+    let width = t[0].len();
+    let pv = t[r][q];
+    debug_assert!(pv.abs() > 1e-12);
+    for j in 0..width {
+        t[r][j] /= pv;
+    }
+    for i in 0..m {
+        if i != r && t[i][q].abs() > 0.0 {
+            let f = t[i][q];
+            for j in 0..width {
+                t[i][j] -= f * t[r][j];
+            }
+        }
+    }
+    basis[r] = q;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::solve;
+    use crate::model::{Cmp, Model, Sense};
+    use crate::LpError;
+
+    #[test]
+    fn dantzig_example() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x", 3.0);
+        let y = m.add_nonneg("y", 5.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint([(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint([(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve(&m).unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_bounds() {
+        // min x + 2y with x in [-3, 5], y in [-1, 4], x + y >= 1.
+        // Push y down first (costlier), then x: optimum y=-1 is not
+        // allowed by x+y>=1 unless x>=2; trade-off: cost(x, 1-x) = 2 - x
+        // decreasing in x, so x = 5, y = -1 hits x+y = 4 >= 1 with cost 3.
+        // Check candidates: (5,-1): 5-2=3. (2,-1): 0. Wait x=2,y=-1 also
+        // satisfies x+y=1, cost 2-2=0. Continue down x: x in [-3,5],
+        // y >= 1-x and y >= -1: for x <= 2 need y = 1-x: cost 2-x, best
+        // at x=2 -> 0; for x > 2, y = -1: cost x-2 > 0. Optimum 0.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -3.0, 5.0, 1.0);
+        let y = m.add_var("y", -1.0, 4.0, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        let s = solve(&m).unwrap();
+        assert!(s.objective.abs() < 1e-7, "objective {}", s.objective);
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+        assert!((s.value(y) + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_var_reaches_negative_optimum() {
+        // min y st y >= -7 (y free otherwise).
+        let mut m = Model::new(Sense::Minimize);
+        let y = m.add_var("y", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint([(y, 1.0)], Cmp::Ge, -7.0);
+        let s = solve(&m).unwrap();
+        assert!((s.objective + 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unbounded_via_free_var() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 5.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 3.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn equality_rows() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg("x", 1.0);
+        let y = m.add_nonneg("y", 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Eq, 4.0);
+        let s = solve(&m).unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-7);
+        assert!((s.value(x) - 7.0).abs() < 1e-7);
+    }
+}

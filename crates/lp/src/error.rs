@@ -1,0 +1,35 @@
+//! Solver error taxonomy.
+
+use std::fmt;
+
+/// Errors returned by [`Model::solve`](crate::Model::solve).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// Iteration limit reached before optimality was proven.
+    IterationLimit {
+        /// Iterations performed across both phases.
+        iterations: usize,
+    },
+    /// The basis factorization became numerically singular and recovery
+    /// (refactorization with a fresh crash basis) also failed.
+    NumericalFailure(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "LP is infeasible"),
+            LpError::Unbounded => write!(f, "LP is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "iteration limit reached after {iterations} iterations")
+            }
+            LpError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,344 @@
+//! Light presolve: fixed-variable substitution, empty and singleton rows,
+//! unconstrained columns.
+//!
+//! The reductions are primal-only (this solver does not report duals), so
+//! postsolve merely re-inserts eliminated variables' values. Presolve can
+//! already decide infeasibility/unboundedness; those escape early as
+//! [`LpError`].
+
+use crate::error::LpError;
+use crate::model::{Cmp, Model, Sense};
+
+/// Tolerance for bound-crossing detection during presolve.
+const TOL: f64 = 1e-9;
+
+/// Outcome of presolving a [`Model`].
+#[derive(Debug)]
+pub struct Presolved {
+    /// The reduced model handed to the simplex.
+    pub reduced: Model,
+    /// For each original variable: `Fixed(v)` or `Kept(index in reduced)`.
+    pub disposition: Vec<Disposition>,
+}
+
+/// What happened to an original variable during presolve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Disposition {
+    /// Variable was eliminated with this value.
+    Fixed(f64),
+    /// Variable survives at this index in the reduced model.
+    Kept(usize),
+}
+
+/// Runs presolve on `model`.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] or [`LpError::Unbounded`] when presolve can
+/// already prove either.
+pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
+    let n = model.num_vars();
+    let mut lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    let mut row_alive = vec![true; model.num_constraints()];
+
+    // Pass 1: singleton rows become bound tightenings, iterated to a
+    // fixpoint (each pass can fix variables that empty further rows).
+    // The iteration count is bounded by the number of rows.
+    let mut changed = true;
+    let mut passes = 0;
+    while changed && passes <= model.num_constraints() + 1 {
+        changed = false;
+        passes += 1;
+        for (ri, c) in model.constraints.iter().enumerate() {
+            if !row_alive[ri] {
+                continue;
+            }
+            // Count live terms (terms on fixed variables contribute rhs).
+            let live: Vec<(usize, f64)> = c
+                .terms
+                .iter()
+                .map(|&(v, a)| (v as usize, a))
+                .filter(|&(v, _)| ub[v] - lb[v] > TOL)
+                .collect();
+            let fixed_sum: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, a)| (v as usize, a))
+                .filter(|&(v, _)| ub[v] - lb[v] <= TOL)
+                .map(|(v, a)| a * 0.5 * (lb[v] + ub[v]))
+                .sum();
+            let rhs = c.rhs - fixed_sum;
+            match live.len() {
+                0 => {
+                    let ok = match c.cmp {
+                        Cmp::Le => rhs >= -TOL * (1.0 + c.rhs.abs()),
+                        Cmp::Ge => rhs <= TOL * (1.0 + c.rhs.abs()),
+                        Cmp::Eq => rhs.abs() <= TOL * (1.0 + c.rhs.abs()),
+                    };
+                    if !ok {
+                        return Err(LpError::Infeasible);
+                    }
+                    row_alive[ri] = false;
+                    changed = true;
+                }
+                1 => {
+                    let (v, a) = live[0];
+                    debug_assert!(a != 0.0);
+                    let bound = rhs / a;
+                    let tightens_ub = match c.cmp {
+                        Cmp::Le => a > 0.0,
+                        Cmp::Ge => a < 0.0,
+                        Cmp::Eq => true,
+                    };
+                    let tightens_lb = match c.cmp {
+                        Cmp::Le => a < 0.0,
+                        Cmp::Ge => a > 0.0,
+                        Cmp::Eq => true,
+                    };
+                    if tightens_ub && bound < ub[v] {
+                        ub[v] = bound;
+                        changed = true;
+                    }
+                    if tightens_lb && bound > lb[v] {
+                        lb[v] = bound;
+                        changed = true;
+                    }
+                    if lb[v] > ub[v] + TOL * (1.0 + lb[v].abs()) {
+                        return Err(LpError::Infeasible);
+                    }
+                    // Snap crossing caused by roundoff.
+                    if lb[v] > ub[v] {
+                        let mid = 0.5 * (lb[v] + ub[v]);
+                        lb[v] = mid;
+                        ub[v] = mid;
+                    }
+                    row_alive[ri] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pass 2: fix variables with equal bounds; detect unconstrained
+    // columns and fix them at their objective-favored bound.
+    let min_sense = model.sense == Sense::Minimize;
+    let mut appears = vec![false; n];
+    for (ri, c) in model.constraints.iter().enumerate() {
+        if !row_alive[ri] {
+            continue;
+        }
+        for &(v, _) in &c.terms {
+            if ub[v as usize] - lb[v as usize] > TOL {
+                appears[v as usize] = true;
+            }
+        }
+    }
+
+    let mut disposition = Vec::with_capacity(n);
+    let mut kept = 0usize;
+    for v in 0..n {
+        if ub[v] - lb[v] <= TOL {
+            disposition.push(Disposition::Fixed(0.5 * (lb[v] + ub[v])));
+        } else if !appears[v] {
+            // Unconstrained: push to the favored bound.
+            let c = model.vars[v].obj * if min_sense { 1.0 } else { -1.0 };
+            let val = if c > 0.0 {
+                lb[v]
+            } else if c < 0.0 {
+                ub[v]
+            } else if lb[v].is_finite() {
+                lb[v]
+            } else if ub[v].is_finite() {
+                ub[v]
+            } else {
+                0.0
+            };
+            if !val.is_finite() {
+                return Err(LpError::Unbounded);
+            }
+            disposition.push(Disposition::Fixed(val));
+        } else {
+            disposition.push(Disposition::Kept(kept));
+            kept += 1;
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut reduced = Model::new(model.sense);
+    for v in 0..n {
+        if let Disposition::Kept(_) = disposition[v] {
+            reduced.add_var(
+                model.vars[v].name.clone(),
+                lb[v],
+                ub[v],
+                model.vars[v].obj,
+            );
+        }
+    }
+    for (ri, c) in model.constraints.iter().enumerate() {
+        if !row_alive[ri] {
+            continue;
+        }
+        let mut rhs = c.rhs;
+        let mut terms = Vec::with_capacity(c.terms.len());
+        for &(v, a) in &c.terms {
+            match disposition[v as usize] {
+                Disposition::Fixed(val) => rhs -= a * val,
+                Disposition::Kept(idx) => {
+                    terms.push((crate::model::VarId(idx as u32), a));
+                }
+            }
+        }
+        if terms.is_empty() {
+            let ok = match c.cmp {
+                Cmp::Le => rhs >= -TOL * (1.0 + c.rhs.abs()),
+                Cmp::Ge => rhs <= TOL * (1.0 + c.rhs.abs()),
+                Cmp::Eq => rhs.abs() <= TOL * (1.0 + c.rhs.abs()),
+            };
+            if !ok {
+                return Err(LpError::Infeasible);
+            }
+            continue;
+        }
+        reduced.add_constraint(terms, c.cmp, rhs);
+    }
+
+    Ok(Presolved {
+        reduced,
+        disposition,
+    })
+}
+
+/// Maps a reduced-model solution vector back to the original variables.
+pub fn postsolve(pre: &Presolved, x_reduced: &[f64]) -> Vec<f64> {
+    pre.disposition
+        .iter()
+        .map(|d| match *d {
+            Disposition::Fixed(v) => v,
+            Disposition::Kept(i) => x_reduced[i],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    #[test]
+    fn fixed_vars_are_substituted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 2.0, 2.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let p = presolve(&m).unwrap();
+        // After substituting x=2 the row is a singleton, becomes the bound
+        // y >= 3, and y (now appearing in no row, cost +1) is fixed at its
+        // tightened lower bound. Presolve solves this LP outright.
+        assert_eq!(p.reduced.num_vars(), 0);
+        assert_eq!(p.reduced.num_constraints(), 0);
+        assert_eq!(p.disposition[0], Disposition::Fixed(2.0));
+        assert_eq!(p.disposition[1], Disposition::Fixed(3.0));
+        let x_full = postsolve(&p, &[]);
+        assert_eq!(x_full, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn singleton_row_tightens_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 100.0, 1.0);
+        let y = m.add_var("y", 0.0, 100.0, 1.0);
+        m.add_constraint([(x, 2.0)], Cmp::Le, 10.0); // x <= 5
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        let p = presolve(&m).unwrap();
+        // Singleton row removed; x's upper bound is now 5.
+        assert_eq!(p.reduced.num_constraints(), 1);
+        let xi = match p.disposition[0] {
+            Disposition::Kept(i) => i,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(p.reduced.var_bounds(crate::model::VarId(xi as u32)), (0.0, 5.0));
+    }
+
+    #[test]
+    fn singleton_eq_fixes_variable() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 100.0, 1.0);
+        let y = m.add_var("y", 0.0, 100.0, 0.0);
+        m.add_constraint([(x, 4.0)], Cmp::Eq, 8.0); // x = 2
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.disposition[0], Disposition::Fixed(2.0));
+        // Row 2 collapses to the bound y <= 8; y, zero-cost and now
+        // unconstrained, is fixed at its finite lower bound 0.
+        assert_eq!(p.reduced.num_constraints(), 0);
+        assert_eq!(p.disposition[1], Disposition::Fixed(0.0));
+    }
+
+    #[test]
+    fn detects_infeasible_singletons() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_empty_infeasible_row() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 1.0, 1.0, 0.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 3.0);
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unconstrained_column_goes_to_favored_bound() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 7.0, 3.0);
+        let _ = x;
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.disposition[0], Disposition::Fixed(7.0));
+    }
+
+    #[test]
+    fn unconstrained_unbounded_column_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("x", f64::NEG_INFINITY, 0.0, 1.0);
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_cost_free_column_fixed_at_zero() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.disposition[0], Disposition::Fixed(0.0));
+    }
+
+    #[test]
+    fn chain_of_singletons_reaches_fixpoint() {
+        // x = 3 (eq singleton), then y - x <= 0 becomes y <= 3 (singleton
+        // after substitution), then z + y >= 1 survives.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 0.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        let z = m.add_var("z", 0.0, 10.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Eq, 3.0);
+        m.add_constraint([(y, 1.0), (x, -1.0)], Cmp::Le, 0.0);
+        m.add_constraint([(z, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.disposition[0], Disposition::Fixed(3.0));
+        assert_eq!(p.reduced.num_constraints(), 1);
+        // y kept with ub 3.
+        let yi = match p.disposition[1] {
+            Disposition::Kept(i) => i,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            p.reduced.var_bounds(crate::model::VarId(yi as u32)).1,
+            3.0
+        );
+        let _ = (y, z);
+    }
+}

@@ -1,0 +1,135 @@
+//! Geometric-mean equilibration scaling.
+//!
+//! Time-indexed coflow LPs mix coefficients of very different magnitudes:
+//! flow demands (up to terabytes) multiply rate variables while the
+//! completion-time rows have unit coefficients. Equilibration brings every
+//! row and column's nonzeros toward magnitude 1, which keeps the simplex
+//! pivots well conditioned.
+
+/// Row/column scale factors such that the scaled matrix entry is
+/// `row_scale[i] * a_ij * col_scale[j]`.
+#[derive(Clone, Debug)]
+pub struct Scaling {
+    /// Multiplier applied to each row.
+    pub row_scale: Vec<f64>,
+    /// Multiplier applied to each column.
+    pub col_scale: Vec<f64>,
+}
+
+impl Scaling {
+    /// Identity scaling.
+    pub fn identity(nrows: usize, ncols: usize) -> Self {
+        Scaling {
+            row_scale: vec![1.0; nrows],
+            col_scale: vec![1.0; ncols],
+        }
+    }
+}
+
+/// Computes geometric-mean scaling from triplet data with `passes`
+/// alternating row/column sweeps (2 is the customary number).
+///
+/// Scale factors are rounded to powers of two so that scaling is exact in
+/// floating point and introduces no rounding error of its own.
+pub fn geometric_mean(
+    nrows: usize,
+    ncols: usize,
+    entries: impl Iterator<Item = (u32, u32, f64)> + Clone,
+    passes: usize,
+) -> Scaling {
+    let mut s = Scaling::identity(nrows, ncols);
+    for _ in 0..passes {
+        // Row pass: scale each row by 1/sqrt(min*max) of scaled magnitudes.
+        let mut row_min = vec![f64::INFINITY; nrows];
+        let mut row_max = vec![0.0f64; nrows];
+        for (i, j, v) in entries.clone() {
+            let av = (v * s.row_scale[i as usize] * s.col_scale[j as usize]).abs();
+            if av > 0.0 {
+                let i = i as usize;
+                row_min[i] = row_min[i].min(av);
+                row_max[i] = row_max[i].max(av);
+            }
+        }
+        for i in 0..nrows {
+            if row_max[i] > 0.0 {
+                let target = 1.0 / (row_min[i] * row_max[i]).sqrt();
+                s.row_scale[i] *= pow2_round(target);
+            }
+        }
+        // Column pass.
+        let mut col_min = vec![f64::INFINITY; ncols];
+        let mut col_max = vec![0.0f64; ncols];
+        for (i, j, v) in entries.clone() {
+            let av = (v * s.row_scale[i as usize] * s.col_scale[j as usize]).abs();
+            if av > 0.0 {
+                let j = j as usize;
+                col_min[j] = col_min[j].min(av);
+                col_max[j] = col_max[j].max(av);
+            }
+        }
+        for j in 0..ncols {
+            if col_max[j] > 0.0 {
+                let target = 1.0 / (col_min[j] * col_max[j]).sqrt();
+                s.col_scale[j] *= pow2_round(target);
+            }
+        }
+    }
+    s
+}
+
+/// Nearest power of two (keeps scaling exact in binary floating point).
+fn pow2_round(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0);
+    let e = x.log2().round();
+    // Clamp to avoid overflow on pathological inputs.
+    (2.0f64).powi(e.clamp(-512.0, 512.0) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_for_unit_matrix() {
+        let entries = [(0u32, 0u32, 1.0), (1, 1, 1.0)];
+        let s = geometric_mean(2, 2, entries.iter().copied(), 2);
+        assert_eq!(s.row_scale, vec![1.0, 1.0]);
+        assert_eq!(s.col_scale, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn extreme_magnitudes_are_compressed() {
+        // One row with entries 1e6 and 1e-6, another with 1e3.
+        let entries = vec![
+            (0u32, 0u32, 1e6),
+            (0, 1, 1e-6),
+            (1, 0, 1e3),
+            (1, 1, 1e3),
+        ];
+        let s = geometric_mean(2, 2, entries.iter().copied(), 2);
+        let mut worst: f64 = 0.0;
+        for &(i, j, v) in &entries {
+            let scaled = (v * s.row_scale[i as usize] * s.col_scale[j as usize]).abs();
+            worst = worst.max(scaled.max(1.0 / scaled));
+        }
+        // Unscaled worst ratio is 1e6; scaled should be far closer to 1.
+        assert!(worst < 1e4, "worst scaled magnitude ratio {worst}");
+    }
+
+    #[test]
+    fn scales_are_powers_of_two() {
+        let entries = [(0u32, 0u32, 3.7), (0, 1, 0.02), (1, 1, 950.0)];
+        let s = geometric_mean(2, 2, entries.iter().copied(), 2);
+        for &f in s.row_scale.iter().chain(s.col_scale.iter()) {
+            let l = f.log2();
+            assert!((l - l.round()).abs() < 1e-12, "{f} is not a power of two");
+        }
+    }
+
+    #[test]
+    fn pow2_round_basics() {
+        assert_eq!(pow2_round(1.0), 1.0);
+        assert_eq!(pow2_round(3.0), 4.0);
+        assert_eq!(pow2_round(0.3), 0.25);
+    }
+}

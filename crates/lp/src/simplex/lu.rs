@@ -1,0 +1,624 @@
+//! Sparse LU factorization of the simplex basis (Gilbert–Peierls) with
+//! product-form-of-the-inverse (eta) updates between refactorizations.
+//!
+//! The basis matrix `B` consists of `m` columns of the constraint matrix.
+//! We factorize `P·B·Q = L·U` where `P` permutes rows (partial pivoting by
+//! maximum magnitude) and `Q` orders columns by increasing nonzero count
+//! (a static Markowitz-style heuristic that keeps fill low for the
+//! near-triangular bases produced by time-indexed LPs).
+//!
+//! After each simplex pivot the factorization is *updated*, not rebuilt:
+//! the update `B' = B·E` is recorded as an eta matrix `E` (identity with
+//! one replaced column). FTRAN/BTRAN apply the eta file around the LU
+//! solve. The file is discarded and `B` refactorized every
+//! [`SolverOptions::refactor_interval`](crate::SolverOptions) pivots.
+
+use crate::sparse::CscMatrix;
+
+/// Index marker for "not yet pivoted".
+const UNSET: u32 = u32::MAX;
+
+/// A singular basis: the step at which no acceptable pivot existed.
+#[derive(Clone, Copy, Debug)]
+pub struct Singular {
+    /// Elimination step that failed.
+    pub step: usize,
+    /// Basis position of the offending column.
+    pub basis_pos: usize,
+}
+
+/// One product-form update: basis position `pos` was replaced by a column
+/// whose FTRAN image (in basis-position space) is `d`.
+struct Eta {
+    pos: usize,
+    /// Sparse `d`, excluding the `pos` entry.
+    d: Vec<(u32, f64)>,
+    /// `d[pos]`, the pivot element.
+    dp: f64,
+}
+
+/// LU factors plus eta file. All `solve_*` methods work on dense vectors
+/// in *basis-position* space except where noted.
+pub struct Factorization {
+    m: usize,
+    /// orig row -> elimination step.
+    rpos: Vec<u32>,
+    /// step -> orig row.
+    rinv: Vec<u32>,
+    /// step -> basis position.
+    cinv: Vec<u32>,
+    // L columns (per step): original-row indices and values; implicit unit
+    // diagonal. Entries' rows are pivoted at later steps.
+    l_start: Vec<usize>,
+    l_rows: Vec<u32>,
+    l_vals: Vec<f64>,
+    // U columns (per step): step indices (< k) and values; diagonal apart.
+    u_start: Vec<usize>,
+    u_steps: Vec<u32>,
+    u_vals: Vec<f64>,
+    u_diag: Vec<f64>,
+    etas: Vec<Eta>,
+    // Scratch buffers reused across factorizations and solves.
+    work: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Factorization {
+    /// Creates an empty factorization sized for `m` rows.
+    pub fn new(m: usize) -> Self {
+        Factorization {
+            m,
+            rpos: vec![UNSET; m],
+            rinv: vec![0; m],
+            cinv: vec![0; m],
+            l_start: vec![0],
+            l_rows: Vec::new(),
+            l_vals: Vec::new(),
+            u_start: vec![0],
+            u_steps: Vec::new(),
+            u_vals: Vec::new(),
+            u_diag: Vec::new(),
+            etas: Vec::new(),
+            work: vec![0.0; m],
+            stamp: vec![0; m],
+            epoch: 0,
+        }
+    }
+
+    /// Number of eta updates since the last refactorization.
+    #[inline]
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Total nonzeros across the eta file (fill indicator for the
+    /// update chain; drives early refactorization).
+    pub fn eta_nnz(&self) -> usize {
+        self.etas.iter().map(|e| e.d.len() + 1).sum()
+    }
+
+    /// Total nonzeros in L and U (fill indicator).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_steps.len() + self.u_diag.len()
+    }
+
+    /// Refactorizes from scratch: `basis[pos]` is the column index of `a`
+    /// occupying basis position `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`Singular`] when a column turns out linearly dependent (pivot
+    /// below `pivot_tol`).
+    pub fn refactor(
+        &mut self,
+        a: &CscMatrix,
+        basis: &[usize],
+        pivot_tol: f64,
+    ) -> Result<(), Singular> {
+        let m = self.m;
+        assert_eq!(basis.len(), m, "basis size must equal row count");
+        self.rpos.iter_mut().for_each(|r| *r = UNSET);
+        self.l_start.clear();
+        self.l_start.push(0);
+        self.l_rows.clear();
+        self.l_vals.clear();
+        self.u_start.clear();
+        self.u_start.push(0);
+        self.u_steps.clear();
+        self.u_vals.clear();
+        self.u_diag.clear();
+        self.etas.clear();
+
+        // Static column order: increasing nonzero count.
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_by_key(|&p| a.col_nnz(basis[p as usize]));
+
+        // Gilbert–Peierls per column.
+        let mut pattern: Vec<u32> = Vec::with_capacity(64);
+        let mut dfs_stack: Vec<(u32, usize)> = Vec::with_capacity(64);
+        for (k, &p) in order.iter().enumerate() {
+            let col = basis[p as usize];
+            self.epoch += 1;
+            let epoch = self.epoch;
+            pattern.clear();
+
+            // Symbolic: reach of the column's pattern through pivoted rows,
+            // collected in DFS postorder. A pivoted row `i` (eliminated at
+            // step `rpos[i]`) propagates to the rows of L's column
+            // `rpos[i]`; unpivoted rows are leaves.
+            for (row, _) in a.col(col) {
+                if self.stamp[row as usize] == epoch {
+                    continue;
+                }
+                self.stamp[row as usize] = epoch;
+                dfs_stack.push((row, 0));
+                while let Some(&(node, cursor)) = dfs_stack.last() {
+                    let step = self.rpos[node as usize];
+                    let (lo, hi) = if step == UNSET {
+                        (0, 0) // leaf
+                    } else {
+                        (self.l_start[step as usize], self.l_start[step as usize + 1])
+                    };
+                    let mut c = cursor;
+                    let mut next_child = None;
+                    while lo + c < hi {
+                        let child = self.l_rows[lo + c];
+                        c += 1;
+                        if self.stamp[child as usize] != epoch {
+                            next_child = Some(child);
+                            break;
+                        }
+                    }
+                    dfs_stack.last_mut().expect("non-empty").1 = c;
+                    match next_child {
+                        Some(child) => {
+                            self.stamp[child as usize] = epoch;
+                            dfs_stack.push((child, 0));
+                        }
+                        None => {
+                            dfs_stack.pop();
+                            pattern.push(node);
+                        }
+                    }
+                }
+            }
+
+            // Numeric: scatter, then eliminate in topological order
+            // (reverse postorder).
+            for (row, val) in a.col(col) {
+                self.work[row as usize] += val;
+            }
+            for idx in (0..pattern.len()).rev() {
+                let node = pattern[idx];
+                let step = self.rpos[node as usize];
+                if step == UNSET {
+                    continue;
+                }
+                let x = self.work[node as usize];
+                if x != 0.0 {
+                    let lo = self.l_start[step as usize];
+                    let hi = self.l_start[step as usize + 1];
+                    for t in lo..hi {
+                        let r = self.l_rows[t] as usize;
+                        self.work[r] -= self.l_vals[t] * x;
+                    }
+                }
+            }
+
+            // Pivot: max |work| over unpivoted pattern rows.
+            let mut piv_row = UNSET;
+            let mut piv_val = 0.0f64;
+            for &node in &pattern {
+                if self.rpos[node as usize] == UNSET {
+                    let v = self.work[node as usize].abs();
+                    if v > piv_val {
+                        piv_val = v;
+                        piv_row = node;
+                    }
+                }
+            }
+            if piv_row == UNSET || piv_val < pivot_tol {
+                // Clear work before bailing.
+                for &node in &pattern {
+                    self.work[node as usize] = 0.0;
+                }
+                return Err(Singular {
+                    step: k,
+                    basis_pos: p as usize,
+                });
+            }
+            let diag = self.work[piv_row as usize];
+
+            // Emit U column k (pivoted rows) and L column k (unpivoted).
+            for &node in &pattern {
+                let v = self.work[node as usize];
+                self.work[node as usize] = 0.0;
+                if v == 0.0 || node == piv_row {
+                    continue;
+                }
+                let step = self.rpos[node as usize];
+                if step != UNSET {
+                    self.u_steps.push(step);
+                    self.u_vals.push(v);
+                } else {
+                    self.l_rows.push(node);
+                    self.l_vals.push(v / diag);
+                }
+            }
+            self.u_diag.push(diag);
+            self.u_start.push(self.u_steps.len());
+            self.l_start.push(self.l_rows.len());
+            self.rpos[piv_row as usize] = k as u32;
+            self.rinv[k] = piv_row;
+            self.cinv[k] = p;
+        }
+        Ok(())
+    }
+
+    /// FTRAN: solves `B x = a_col` where `a_col` is column `col` of `a`.
+    /// Output `x` is dense in basis-position space (length `m`).
+    pub fn ftran_col(&mut self, a: &CscMatrix, col: usize, x: &mut Vec<f64>) {
+        x.clear();
+        x.resize(self.m, 0.0);
+        // wstep[k] = a[rinv[k]]
+        for (row, val) in a.col(col) {
+            let k = self.rpos[row as usize];
+            debug_assert_ne!(k, UNSET);
+            x[k as usize] = val;
+        }
+        self.lu_solve_in_step_space(x);
+        // Map step -> position space, in place via scratch.
+        self.steps_to_positions(x);
+        // Apply eta inverses in chronological order.
+        for eta in &self.etas {
+            let t = x[eta.pos] / eta.dp;
+            if t != 0.0 {
+                for &(i, di) in &eta.d {
+                    x[i as usize] -= di * t;
+                }
+            }
+            x[eta.pos] = t;
+        }
+    }
+
+    /// FTRAN with a dense right-hand side: solves `B x = rhs` where `rhs`
+    /// is dense in original-row space. Output `x` is dense in
+    /// basis-position space.
+    pub fn ftran_dense(&mut self, rhs: &[f64], x: &mut Vec<f64>) {
+        debug_assert_eq!(rhs.len(), self.m);
+        x.clear();
+        x.resize(self.m, 0.0);
+        for k in 0..self.m {
+            x[k] = rhs[self.rinv[k] as usize];
+        }
+        self.lu_solve_in_step_space(x);
+        self.steps_to_positions(x);
+        for eta in &self.etas {
+            let t = x[eta.pos] / eta.dp;
+            if t != 0.0 {
+                for &(i, di) in &eta.d {
+                    x[i as usize] -= di * t;
+                }
+            }
+            x[eta.pos] = t;
+        }
+    }
+
+    /// BTRAN: solves `Bᵀ y = c` where `c` is dense in basis-position
+    /// space. Output `y` is dense in *original row* space.
+    pub fn btran(&mut self, c: &[f64], y: &mut Vec<f64>) {
+        debug_assert_eq!(c.len(), self.m);
+        y.clear();
+        y.extend_from_slice(c);
+        // Eta transposes, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut acc = y[eta.pos];
+            for &(i, di) in &eta.d {
+                acc -= di * y[i as usize];
+            }
+            y[eta.pos] = acc / eta.dp;
+        }
+        // Position -> step space: z[k] = y[cinv[k]].
+        self.positions_to_steps(y);
+        // U^T forward solve.
+        for k in 0..self.m {
+            let lo = self.u_start[k];
+            let hi = self.u_start[k + 1];
+            let mut acc = y[k];
+            for t in lo..hi {
+                acc -= self.u_vals[t] * y[self.u_steps[t] as usize];
+            }
+            y[k] = acc / self.u_diag[k];
+        }
+        // L^T backward solve.
+        for k in (0..self.m).rev() {
+            let lo = self.l_start[k];
+            let hi = self.l_start[k + 1];
+            let mut acc = y[k];
+            for t in lo..hi {
+                let step = self.rpos[self.l_rows[t] as usize];
+                debug_assert_ne!(step, UNSET);
+                acc -= self.l_vals[t] * y[step as usize];
+            }
+            y[k] = acc;
+        }
+        // Step -> original-row space: out[rinv[k]] = y[k].
+        let m = self.m;
+        self.work[..m].copy_from_slice(&y[..m]);
+        for k in 0..m {
+            y[self.rinv[k] as usize] = self.work[k];
+        }
+        for k in 0..m {
+            self.work[k] = 0.0;
+        }
+    }
+
+    /// Records the pivot `basis[pos] := entering`, given the entering
+    /// column's FTRAN image `d` (position space).
+    ///
+    /// `d[pos]` must be the pivot element (caller guarantees it exceeds
+    /// the pivot tolerance).
+    pub fn push_eta(&mut self, pos: usize, d: &[f64], keep_tol: f64) {
+        let dp = d[pos];
+        debug_assert!(dp != 0.0);
+        let mut sparse = Vec::with_capacity(8);
+        for (i, &v) in d.iter().enumerate() {
+            if i != pos && v.abs() > keep_tol {
+                sparse.push((i as u32, v));
+            }
+        }
+        self.etas.push(Eta {
+            pos,
+            d: sparse,
+            dp,
+        });
+    }
+
+    /// Forward+backward LU solve with the vector in step space.
+    fn lu_solve_in_step_space(&self, x: &mut [f64]) {
+        // L forward.
+        for k in 0..self.m {
+            let v = x[k];
+            if v != 0.0 {
+                let lo = self.l_start[k];
+                let hi = self.l_start[k + 1];
+                for t in lo..hi {
+                    let step = self.rpos[self.l_rows[t] as usize] as usize;
+                    x[step] -= self.l_vals[t] * v;
+                }
+            }
+        }
+        // U backward.
+        for k in (0..self.m).rev() {
+            let v = x[k] / self.u_diag[k];
+            x[k] = v;
+            if v != 0.0 {
+                let lo = self.u_start[k];
+                let hi = self.u_start[k + 1];
+                for t in lo..hi {
+                    x[self.u_steps[t] as usize] -= self.u_vals[t] * v;
+                }
+            }
+        }
+    }
+
+    /// In-place permute: step-space vector to position space.
+    fn steps_to_positions(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        self.work[..m].copy_from_slice(&x[..m]);
+        for k in 0..m {
+            x[self.cinv[k] as usize] = self.work[k];
+        }
+        for k in 0..m {
+            self.work[k] = 0.0;
+        }
+    }
+
+    /// In-place permute: position-space vector to step space.
+    fn positions_to_steps(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        self.work[..m].copy_from_slice(&x[..m]);
+        for k in 0..m {
+            x[k] = self.work[self.cinv[k] as usize];
+        }
+        for k in 0..m {
+            self.work[k] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds an m x n CSC matrix from dense rows.
+    fn csc_from_dense(rows: &[Vec<f64>]) -> CscMatrix {
+        let m = rows.len();
+        let n = rows[0].len();
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    cols[j].push((i as u32, v));
+                }
+            }
+        }
+        CscMatrix::from_columns(m, &cols)
+    }
+
+    /// Dense B·x for basis columns of a.
+    fn basis_matvec(a: &CscMatrix, basis: &[usize], x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.nrows];
+        for (pos, &col) in basis.iter().enumerate() {
+            a.axpy_col(col, x[pos], &mut y);
+        }
+        y
+    }
+
+    /// Dense Bᵀ·y.
+    fn basis_matvec_t(a: &CscMatrix, basis: &[usize], y: &[f64]) -> Vec<f64> {
+        basis.iter().map(|&col| a.dot_col(col, y)).collect()
+    }
+
+    #[test]
+    fn identity_basis() {
+        let a = csc_from_dense(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let mut f = Factorization::new(3);
+        f.refactor(&a, &[0, 1, 2], 1e-10).unwrap();
+        let mut x = Vec::new();
+        // Solve B x = e_1 via a column equal to e_1 (column 0).
+        f.ftran_col(&a, 1, &mut x);
+        assert_eq!(x, vec![0.0, 1.0, 0.0]);
+        let mut y = Vec::new();
+        f.btran(&[3.0, -1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn random_dense_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..30 {
+            let m = rng.gen_range(2..12);
+            // Random well-conditioned-ish matrix: diag dominant.
+            let mut rows = vec![vec![0.0; m + 3]; m];
+            for i in 0..m {
+                for j in 0..m + 3 {
+                    if rng.gen_bool(0.4) {
+                        rows[i][j] = rng.gen_range(-2.0..2.0);
+                    }
+                }
+                rows[i][i] += 4.0; // ensure the first m columns invertible
+            }
+            let a = csc_from_dense(&rows);
+            let basis: Vec<usize> = (0..m).collect();
+            let mut f = Factorization::new(m);
+            f.refactor(&a, &basis, 1e-10)
+                .unwrap_or_else(|s| panic!("trial {trial}: singular at {s:?}"));
+
+            // FTRAN against every column of A (including non-basis ones).
+            let mut x = Vec::new();
+            for col in 0..m + 3 {
+                f.ftran_col(&a, col, &mut x);
+                let bx = basis_matvec(&a, &basis, &x);
+                let mut expect = vec![0.0; m];
+                a.axpy_col(col, 1.0, &mut expect);
+                for i in 0..m {
+                    assert!(
+                        (bx[i] - expect[i]).abs() < 1e-8,
+                        "trial {trial} col {col}: Bx={bx:?} expect={expect:?}"
+                    );
+                }
+            }
+            // BTRAN on random rhs.
+            let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let mut y = Vec::new();
+            f.btran(&c, &mut y);
+            let bty = basis_matvec_t(&a, &basis, &y);
+            for i in 0..m {
+                assert!((bty[i] - c[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_basis_detected() {
+        let a = csc_from_dense(&[
+            vec![1.0, 2.0, 0.0],
+            vec![2.0, 4.0, 0.0], // col1 = 2*col0 in these two rows
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let mut f = Factorization::new(3);
+        let err = f.refactor(&a, &[0, 1, 2], 1e-10);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn eta_update_matches_refactor() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let m = rng.gen_range(3..10);
+            let ncols = m + 5;
+            let mut rows = vec![vec![0.0; ncols]; m];
+            for i in 0..m {
+                for j in 0..ncols {
+                    if rng.gen_bool(0.5) {
+                        rows[i][j] = rng.gen_range(-2.0..2.0);
+                    }
+                }
+                rows[i][i] += 4.0;
+                rows[i][m + (i % 5).min(4)] += 1.0;
+            }
+            let a = csc_from_dense(&rows);
+            let mut basis: Vec<usize> = (0..m).collect();
+            let mut f = Factorization::new(m);
+            f.refactor(&a, &basis, 1e-10).unwrap();
+
+            // Replace a couple of basis columns via eta updates.
+            for _ in 0..2 {
+                let entering = rng.gen_range(m..ncols);
+                if basis.contains(&entering) {
+                    continue;
+                }
+                let mut d = Vec::new();
+                f.ftran_col(&a, entering, &mut d);
+                // Pick the position with the largest |d| as the pivot.
+                let (pos, dp) = d
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap())
+                    .map(|(i, &v)| (i, v))
+                    .unwrap();
+                if dp.abs() < 1e-6 {
+                    continue;
+                }
+                f.push_eta(pos, &d, 1e-14);
+                basis[pos] = entering;
+
+                // Updated factorization must solve against the new basis.
+                let mut x = Vec::new();
+                for col in 0..ncols {
+                    f.ftran_col(&a, col, &mut x);
+                    let bx = basis_matvec(&a, &basis, &x);
+                    let mut expect = vec![0.0; m];
+                    a.axpy_col(col, 1.0, &mut expect);
+                    for i in 0..m {
+                        assert!(
+                            (bx[i] - expect[i]).abs() < 1e-7,
+                            "col {col}: {bx:?} vs {expect:?}"
+                        );
+                    }
+                }
+                let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+                let mut y = Vec::new();
+                f.btran(&c, &mut y);
+                let bty = basis_matvec_t(&a, &basis, &y);
+                for i in 0..m {
+                    assert!((bty[i] - c[i]).abs() < 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_identity_with_scaling() {
+        // Rows hit in scrambled order with non-unit values.
+        let a = csc_from_dense(&[
+            vec![0.0, 0.0, 5.0],
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, -3.0, 0.0],
+        ]);
+        let mut f = Factorization::new(3);
+        f.refactor(&a, &[0, 1, 2], 1e-10).unwrap();
+        let mut x = Vec::new();
+        f.ftran_col(&a, 0, &mut x); // B x = col0 -> x = e_0
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12 && x[2].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,968 @@
+//! The bounded-variable two-phase revised simplex method.
+//!
+//! Phase 1 starts from the all-slack basis and minimizes the sum of primal
+//! infeasibilities of basic variables (composite objective, recomputed
+//! every iteration — no artificial columns). Phase 2 minimizes the real
+//! objective with Devex pricing and incrementally-updated reduced costs.
+//! Degeneracy is handled by falling back to Bland's rule after a streak of
+//! degenerate pivots, which restores a termination guarantee.
+//!
+//! Variable bounds are implicit: a nonbasic variable rests at its lower or
+//! upper bound (or at zero if free) and may *bound-flip* without a basis
+//! change when the ratio test is won by the entering variable's opposite
+//! bound — essential for time-indexed coflow LPs where every `x_j^i(t)`
+//! has bounds `[0, 1]`.
+
+pub mod dual;
+mod lu;
+
+use crate::error::LpError;
+use crate::model::Model;
+use crate::presolve;
+use crate::solution::{Solution, Status};
+use crate::standard::StdForm;
+use lu::Factorization;
+
+/// Entering-variable pricing rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pricing {
+    /// Devex reference weights (default): approximates steepest edge,
+    /// far fewer iterations on degenerate time-indexed LPs.
+    Devex,
+    /// Classic most-negative-reduced-cost. Kept for ablation benches.
+    Dantzig,
+}
+
+/// Tuning knobs for [`Model::solve_with`].
+#[derive(Clone, Debug)]
+pub struct SolverOptions {
+    /// Maximum simplex iterations across both phases; `0` chooses
+    /// `max(20_000, 40·(m+n))` automatically.
+    pub max_iterations: usize,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost (dual feasibility) tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude in the ratio test and LU.
+    pub pivot_tol: f64,
+    /// Refactorize after this many eta updates.
+    pub refactor_interval: usize,
+    /// Apply geometric-mean equilibration scaling.
+    pub scale: bool,
+    /// Run presolve reductions first.
+    pub presolve: bool,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: usize,
+    /// Entering-variable pricing rule.
+    pub pricing: Pricing,
+    /// Partial (cyclic block) pricing: examine candidate columns in
+    /// blocks of this size and enter the best of the first block that
+    /// offers any improvement. `0` (default) scans every column each
+    /// iteration (full pricing). Blocks of a few thousand speed up
+    /// column-heavy single-path LPs by ~30%, but can increase iteration
+    /// counts on free-path LPs whose cost is FTRAN-bound — measure with
+    /// the `pricing/` bench group before enabling.
+    pub partial_pricing_block: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_iterations: 0,
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-8,
+            refactor_interval: 100,
+            scale: true,
+            presolve: true,
+            bland_trigger: 500,
+            pricing: Pricing::Devex,
+            partial_pricing_block: 0,
+        }
+    }
+}
+
+/// Column status in the bounded-variable simplex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CStat {
+    Basic,
+    /// Nonbasic at lower bound.
+    Lower,
+    /// Nonbasic at upper bound.
+    Upper,
+    /// Nonbasic free variable, held at zero.
+    Free,
+}
+
+/// Entry point used by [`Model::solve_with`].
+pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, LpError> {
+    // Presolve (also decides trivial infeasibility/unboundedness).
+    let pre = if options.presolve {
+        Some(presolve::presolve(model)?)
+    } else {
+        None
+    };
+    let work_model: &Model = pre.as_ref().map_or(model, |p| &p.reduced);
+
+    let sf = StdForm::build(work_model, options.scale);
+    let x_scaled = if sf.m == 0 {
+        // No constraints survive: every variable sits at its favored
+        // bound. (With presolve on, the reduced model has no variables
+        // either; without presolve this resolves columns directly.)
+        trivial_solve(&sf)?
+    } else {
+        let mut s = Simplex::new(&sf, options);
+        s.run()?
+    };
+
+    let x_reduced = sf.unscale_solution(&x_scaled.x);
+    // Duals map 1:1 only when no presolve transformed the rows.
+    let duals = if pre.is_none() {
+        Some(sf.unscale_duals(&x_scaled.y, model.sense))
+    } else {
+        None
+    };
+    let x_full = match &pre {
+        Some(p) => presolve::postsolve(p, &x_reduced),
+        None => x_reduced,
+    };
+    let objective = model.objective_at(&x_full);
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        x: x_full,
+        duals,
+        iterations: x_scaled.iterations,
+    })
+}
+
+struct ScaledSolution {
+    x: Vec<f64>,
+    /// Row duals of the *scaled minimization* problem (`B⁻ᵀ c_B`).
+    y: Vec<f64>,
+    iterations: usize,
+}
+
+/// Handles the constraint-free case.
+fn trivial_solve(sf: &StdForm) -> Result<ScaledSolution, LpError> {
+    let mut x = vec![0.0; sf.n];
+    for j in 0..sf.n_struct {
+        let c = sf.c[j];
+        x[j] = if c > 0.0 {
+            sf.lb[j]
+        } else if c < 0.0 {
+            sf.ub[j]
+        } else if sf.lb[j].is_finite() {
+            sf.lb[j]
+        } else if sf.ub[j].is_finite() {
+            sf.ub[j]
+        } else {
+            0.0
+        };
+        if !x[j].is_finite() {
+            return Err(LpError::Unbounded);
+        }
+    }
+    Ok(ScaledSolution {
+        x,
+        y: Vec::new(),
+        iterations: 0,
+    })
+}
+
+struct Simplex<'a> {
+    sf: &'a StdForm,
+    opt: &'a SolverOptions,
+    max_iterations: usize,
+    /// Column occupying each basis position.
+    basis: Vec<usize>,
+    /// Status per column; `pos_of` gives the basis position of basic cols.
+    stat: Vec<CStat>,
+    pos_of: Vec<u32>,
+    /// Current value of every column.
+    x: Vec<f64>,
+    facto: Factorization,
+    /// Reduced costs (phase 2, incrementally maintained).
+    z: Vec<f64>,
+    /// Devex reference weights.
+    devex: Vec<f64>,
+    /// Consecutive degenerate pivots; Bland mode when past the trigger.
+    degen_streak: usize,
+    bland: bool,
+    iterations: usize,
+    // Scratch
+    col_buf: Vec<f64>,
+    row_buf: Vec<f64>,
+    rhs_buf: Vec<f64>,
+    alpha_buf: Vec<f64>,
+    alpha_touched: Vec<u32>,
+    /// Dense m-vector reused by phase-1 costs and pivot-row unit vectors.
+    m_buf: Vec<f64>,
+    /// Cyclic partial-pricing cursor.
+    price_cursor: usize,
+}
+
+/// Outcome of one pivot step.
+enum StepOutcome {
+    Moved,
+    OptimalOrFeasible,
+    Unbounded,
+}
+
+impl<'a> Simplex<'a> {
+    fn new(sf: &'a StdForm, opt: &'a SolverOptions) -> Self {
+        let n = sf.n;
+        let m = sf.m;
+        let max_iterations = if opt.max_iterations == 0 {
+            (40 * (m + n)).max(20_000)
+        } else {
+            opt.max_iterations
+        };
+        // All-slack crash basis; structural columns nonbasic at a bound.
+        let mut stat = Vec::with_capacity(n);
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            if j >= sf.n_struct {
+                stat.push(CStat::Basic);
+                continue;
+            }
+            if sf.lb[j].is_finite() {
+                stat.push(CStat::Lower);
+                x[j] = sf.lb[j];
+            } else if sf.ub[j].is_finite() {
+                stat.push(CStat::Upper);
+                x[j] = sf.ub[j];
+            } else {
+                stat.push(CStat::Free);
+                x[j] = 0.0;
+            }
+        }
+        let basis: Vec<usize> = (0..m).map(|i| sf.n_struct + i).collect();
+        let mut pos_of = vec![u32::MAX; n];
+        for (i, &j) in basis.iter().enumerate() {
+            pos_of[j] = i as u32;
+        }
+        Simplex {
+            sf,
+            opt,
+            max_iterations,
+            basis,
+            stat,
+            pos_of,
+            x,
+            facto: Factorization::new(m),
+            z: vec![0.0; n],
+            devex: vec![1.0; n],
+            degen_streak: 0,
+            bland: false,
+            iterations: 0,
+            col_buf: Vec::new(),
+            row_buf: Vec::new(),
+            rhs_buf: Vec::new(),
+            alpha_buf: vec![0.0; n],
+            alpha_touched: Vec::new(),
+            m_buf: vec![0.0; m],
+            price_cursor: 0,
+        }
+    }
+
+    fn run(&mut self) -> Result<ScaledSolution, LpError> {
+        self.refactor_and_recompute(true)?;
+
+        // ---- Phase 1 ----
+        let mut phase1_retried = false;
+        while self.max_infeasibility() > self.opt.feas_tol {
+            if self.iterations >= self.max_iterations {
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            self.maybe_refactor(true)?;
+            match self.phase1_step()? {
+                StepOutcome::Moved => {
+                    phase1_retried = false;
+                }
+                StepOutcome::OptimalOrFeasible => {
+                    // Phase-1 optimum with residual infeasibility. Rule
+                    // out stale-factorization drift before declaring the
+                    // model infeasible.
+                    if !phase1_retried {
+                        phase1_retried = true;
+                        self.refactor_and_recompute(true)?;
+                        continue;
+                    }
+                    if self.max_infeasibility() > self.opt.feas_tol {
+                        return Err(LpError::Infeasible);
+                    }
+                    break;
+                }
+                StepOutcome::Unbounded => {
+                    return Err(LpError::NumericalFailure(
+                        "phase-1 objective unbounded; tolerance breakdown".into(),
+                    ));
+                }
+            }
+        }
+
+        // ---- Phase 2 ----
+        self.refactor_and_recompute(false)?;
+        loop {
+            if self.iterations >= self.max_iterations {
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            self.maybe_refactor(false)?;
+            match self.phase2_step()? {
+                StepOutcome::Moved => {}
+                StepOutcome::OptimalOrFeasible => break,
+                StepOutcome::Unbounded => return Err(LpError::Unbounded),
+            }
+        }
+
+        // Final hygiene: refactor and recompute basic values.
+        self.refactor_and_recompute(false)?;
+        let y = self.scaled_duals();
+        Ok(ScaledSolution {
+            x: std::mem::take(&mut self.x),
+            y,
+            iterations: self.iterations,
+        })
+    }
+
+    /// Row duals of the scaled problem at the current basis:
+    /// `y = B⁻ᵀ c_B`.
+    fn scaled_duals(&mut self) -> Vec<f64> {
+        let mut cb = vec![0.0; self.sf.m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            cb[i] = self.sf.c[j];
+        }
+        let mut y = Vec::new();
+        self.facto.btran(&cb, &mut y);
+        y
+    }
+
+    /// Largest bound violation among basic variables.
+    fn max_infeasibility(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for &j in &self.basis {
+            let v = self.x[j];
+            worst = worst.max(v - self.sf.ub[j]).max(self.sf.lb[j] - v);
+        }
+        worst
+    }
+
+    fn maybe_refactor(&mut self, phase1: bool) -> Result<(), LpError> {
+        // Refactor on the fixed cadence, or early when the eta file's
+        // fill has outgrown the LU factors (FTRAN/BTRAN then cost more
+        // through the update chain than a fresh factorization would).
+        let eta_heavy = self.facto.eta_nnz() > 2 * self.facto.factor_nnz() + 4 * self.sf.m;
+        if self.facto.eta_count() >= self.opt.refactor_interval
+            || (self.facto.eta_count() >= 16 && eta_heavy)
+        {
+            self.refactor_and_recompute(phase1)?;
+        }
+        Ok(())
+    }
+
+    /// Refactorizes the basis and recomputes basic values (and reduced
+    /// costs when in phase 2).
+    fn refactor_and_recompute(&mut self, phase1: bool) -> Result<(), LpError> {
+        if self
+            .facto
+            .refactor(&self.sf.a, &self.basis, self.opt.pivot_tol)
+            .is_err()
+        {
+            // Recovery: replace dependent columns with their rows' slacks.
+            self.repair_basis()?;
+        }
+        // x_B = B^{-1} (b - A_N x_N)
+        self.rhs_buf.clear();
+        self.rhs_buf.extend_from_slice(&self.sf.b);
+        for j in 0..self.sf.n {
+            if self.stat[j] != CStat::Basic && self.x[j] != 0.0 {
+                let xj = self.x[j];
+                for (r, v) in self.sf.a.col(j) {
+                    self.rhs_buf[r as usize] -= v * xj;
+                }
+            }
+        }
+        let mut xb = std::mem::take(&mut self.col_buf);
+        self.facto.ftran_dense(&self.rhs_buf, &mut xb);
+        for (i, &j) in self.basis.iter().enumerate() {
+            self.x[j] = xb[i];
+        }
+        self.col_buf = xb;
+
+        if !phase1 {
+            self.recompute_reduced_costs();
+        }
+        // Reset Devex reference framework.
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
+        Ok(())
+    }
+
+    /// Replaces linearly-dependent basis columns with slacks of rows not
+    /// yet covered, then refactorizes; errors out if still singular.
+    fn repair_basis(&mut self) -> Result<(), LpError> {
+        // Greedy: try to factor; on failure, swap the offending column for
+        // the slack of an uncovered row. Bounded by m attempts.
+        for _ in 0..self.sf.m + 1 {
+            match self
+                .facto
+                .refactor(&self.sf.a, &self.basis, self.opt.pivot_tol)
+            {
+                Ok(()) => return Ok(()),
+                Err(sing) => {
+                    // Find a row whose slack is nonbasic and swap it in.
+                    let out_col = self.basis[sing.basis_pos];
+                    let mut swapped = false;
+                    for r in 0..self.sf.m {
+                        let slack = self.sf.n_struct + r;
+                        if self.stat[slack] != CStat::Basic {
+                            // Heuristic: prefer a slack whose row the
+                            // outgoing column touches.
+                            let touches =
+                                self.sf.a.col(out_col).any(|(row, _)| row as usize == r);
+                            if touches || r == self.sf.m - 1 {
+                                self.stat[out_col] = if self.sf.lb[out_col].is_finite() {
+                                    self.x[out_col] = self.sf.lb[out_col];
+                                    CStat::Lower
+                                } else if self.sf.ub[out_col].is_finite() {
+                                    self.x[out_col] = self.sf.ub[out_col];
+                                    CStat::Upper
+                                } else {
+                                    self.x[out_col] = 0.0;
+                                    CStat::Free
+                                };
+                                self.pos_of[out_col] = u32::MAX;
+                                self.basis[sing.basis_pos] = slack;
+                                self.pos_of[slack] = sing.basis_pos as u32;
+                                self.stat[slack] = CStat::Basic;
+                                swapped = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !swapped {
+                        return Err(LpError::NumericalFailure(format!(
+                            "basis repair failed at elimination step {}: no replacement slack",
+                            sing.step
+                        )));
+                    }
+                }
+            }
+        }
+        Err(LpError::NumericalFailure(
+            "basis repair did not converge".into(),
+        ))
+    }
+
+    /// Full reduced-cost recomputation: `z = c - Aᵀ B⁻ᵀ c_B`.
+    fn recompute_reduced_costs(&mut self) {
+        let m = self.sf.m;
+        let mut cb = vec![0.0; m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            cb[i] = self.sf.c[j];
+        }
+        let mut y = std::mem::take(&mut self.row_buf);
+        self.facto.btran(&cb, &mut y);
+        for j in 0..self.sf.n {
+            self.z[j] = if self.stat[j] == CStat::Basic {
+                0.0
+            } else {
+                self.sf.c[j] - self.sf.a.dot_col(j, &y)
+            };
+        }
+        self.row_buf = y;
+    }
+
+    // ---------------- Phase 1 ----------------
+
+    fn phase1_step(&mut self) -> Result<StepOutcome, LpError> {
+        // Phase-1 costs: +1 above upper bound, -1 below lower bound.
+        let tol = self.opt.feas_tol;
+        let mut db = std::mem::take(&mut self.m_buf);
+        db.iter_mut().for_each(|v| *v = 0.0);
+        let mut any = false;
+        for (i, &j) in self.basis.iter().enumerate() {
+            let v = self.x[j];
+            if v > self.sf.ub[j] + tol {
+                db[i] = 1.0;
+                any = true;
+            } else if v < self.sf.lb[j] - tol {
+                db[i] = -1.0;
+                any = true;
+            }
+        }
+        if !any {
+            self.m_buf = db;
+            return Ok(StepOutcome::OptimalOrFeasible);
+        }
+        let mut y = std::mem::take(&mut self.row_buf);
+        self.facto.btran(&db, &mut y);
+        self.m_buf = db;
+
+        // Price nonbasic columns on the phase-1 reduced cost -y·a_j,
+        // scanning cyclic blocks (Bland mode scans everything from 0 so
+        // its anti-cycling order stays fixed).
+        let n = self.sf.n;
+        let block = if self.bland || self.opt.partial_pricing_block == 0 {
+            n
+        } else {
+            self.opt.partial_pricing_block
+        };
+        let mut best: Option<(usize, f64, f64)> = None; // (col, zj, score)
+        let mut pos = if self.bland { 0 } else { self.price_cursor % n };
+        let mut scanned = 0;
+        while scanned < n {
+            let j = pos;
+            pos += 1;
+            if pos == n {
+                pos = 0;
+            }
+            scanned += 1;
+            if self.stat[j] != CStat::Basic {
+                let zj = -self.sf.a.dot_col(j, &y);
+                if self.eligible_direction(j, zj) != 0.0 {
+                    if self.bland {
+                        best = Some((j, zj, 0.0));
+                        break;
+                    }
+                    let score = match self.opt.pricing {
+                        Pricing::Devex => zj * zj / self.devex[j],
+                        Pricing::Dantzig => zj.abs(),
+                    };
+                    if best.is_none_or(|(_, _, s)| score > s) {
+                        best = Some((j, zj, score));
+                    }
+                }
+            }
+            if scanned % block == 0 && best.is_some() {
+                break;
+            }
+        }
+        if !self.bland {
+            self.price_cursor = pos;
+        }
+        self.row_buf = y;
+        let Some((q, zq, _)) = best else {
+            return Ok(StepOutcome::OptimalOrFeasible);
+        };
+        self.pivot(q, zq, true)
+    }
+
+    // ---------------- Phase 2 ----------------
+
+    fn phase2_step(&mut self) -> Result<StepOutcome, LpError> {
+        let n = self.sf.n;
+        let block = if self.bland || self.opt.partial_pricing_block == 0 {
+            n
+        } else {
+            self.opt.partial_pricing_block
+        };
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pos = if self.bland { 0 } else { self.price_cursor % n };
+        let mut scanned = 0;
+        while scanned < n {
+            let j = pos;
+            pos += 1;
+            if pos == n {
+                pos = 0;
+            }
+            scanned += 1;
+            if self.stat[j] != CStat::Basic {
+                let zj = self.z[j];
+                if self.eligible_direction(j, zj) != 0.0 {
+                    if self.bland {
+                        best = Some((j, zj, 0.0));
+                        break;
+                    }
+                    let score = match self.opt.pricing {
+                        Pricing::Devex => zj * zj / self.devex[j],
+                        Pricing::Dantzig => zj.abs(),
+                    };
+                    if best.is_none_or(|(_, _, s)| score > s) {
+                        best = Some((j, zj, score));
+                    }
+                }
+            }
+            if scanned % block == 0 && best.is_some() {
+                break;
+            }
+        }
+        if !self.bland {
+            self.price_cursor = pos;
+        }
+        let Some((q, zq, _)) = best else {
+            return Ok(StepOutcome::OptimalOrFeasible);
+        };
+        self.pivot(q, zq, false)
+    }
+
+    /// Direction of improvement for nonbasic `j` with reduced cost `zj`,
+    /// or 0.0 when ineligible.
+    #[inline]
+    fn eligible_direction(&self, j: usize, zj: f64) -> f64 {
+        let tol = self.opt.opt_tol * (1.0 + self.sf.c[j].abs());
+        match self.stat[j] {
+            CStat::Lower => {
+                if zj < -tol {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            CStat::Upper => {
+                if zj > tol {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            CStat::Free => {
+                if zj < -tol {
+                    1.0
+                } else if zj > tol {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            CStat::Basic => 0.0,
+        }
+    }
+
+    /// Executes one pivot (or bound flip) with entering column `q`.
+    fn pivot(&mut self, q: usize, zq: f64, phase1: bool) -> Result<StepOutcome, LpError> {
+        self.iterations += 1;
+        let sigma = self.eligible_direction(q, zq);
+        debug_assert!(sigma != 0.0);
+
+        // d = B^{-1} a_q in basis-position space.
+        let mut d = std::mem::take(&mut self.col_buf);
+        self.facto.ftran_col(&self.sf.a, q, &mut d);
+
+        // Ratio test.
+        let feas_tol = self.opt.feas_tol;
+        let mut theta = f64::INFINITY;
+        let mut leave: Option<(usize, f64, bool)> = None; // (pos, |d|, hit_upper)
+        for (i, &di) in d.iter().enumerate() {
+            if di.abs() <= self.opt.pivot_tol {
+                continue;
+            }
+            let j = self.basis[i];
+            let xi = self.x[j];
+            let (lbi, ubi) = (self.sf.lb[j], self.sf.ub[j]);
+            let delta = sigma * di; // xi moves at rate -delta per unit theta
+            let infeasible_above = phase1 && xi > ubi + feas_tol;
+            let infeasible_below = phase1 && xi < lbi - feas_tol;
+
+            let (ti, hits_upper) = if infeasible_above {
+                if delta > 0.0 {
+                    ((xi - ubi) / delta, true)
+                } else {
+                    continue; // moving further above; no block in phase 1
+                }
+            } else if infeasible_below {
+                if delta < 0.0 {
+                    ((xi - lbi) / delta, false)
+                } else {
+                    continue;
+                }
+            } else if delta > 0.0 {
+                if lbi.is_finite() {
+                    ((xi - lbi) / delta, false)
+                } else {
+                    continue;
+                }
+            } else if ubi.is_finite() {
+                ((xi - ubi) / delta, true)
+            } else {
+                continue;
+            };
+            let ti = ti.max(0.0);
+            let better = match leave {
+                None => ti < theta,
+                Some((_, best_abs, _)) => {
+                    if self.bland {
+                        // Bland: strictly smaller theta, tie -> smaller col.
+                        ti < theta - 1e-12
+                            || (ti < theta + 1e-12 && self.basis[i] < self.basis[leave.expect("set").0])
+                    } else {
+                        ti < theta - 1e-12 || (ti < theta + 1e-12 && di.abs() > best_abs)
+                    }
+                }
+            };
+            if better {
+                theta = ti.min(theta);
+                leave = Some((i, di.abs(), hits_upper));
+            }
+        }
+
+        // Entering variable's own bound flip.
+        let span = self.sf.ub[q] - self.sf.lb[q];
+        let flip_theta = if self.stat[q] == CStat::Free {
+            f64::INFINITY
+        } else {
+            span // infinite if a bound is infinite
+        };
+
+        if flip_theta < theta {
+            // Bound flip: no basis change.
+            let theta = flip_theta;
+            for (i, &di) in d.iter().enumerate() {
+                if di != 0.0 {
+                    let j = self.basis[i];
+                    self.x[j] -= sigma * theta * di;
+                }
+            }
+            match self.stat[q] {
+                CStat::Lower => {
+                    self.stat[q] = CStat::Upper;
+                    self.x[q] = self.sf.ub[q];
+                }
+                CStat::Upper => {
+                    self.stat[q] = CStat::Lower;
+                    self.x[q] = self.sf.lb[q];
+                }
+                _ => unreachable!("flip requires finite bounds"),
+            }
+            self.col_buf = d;
+            self.note_progress(theta);
+            return Ok(StepOutcome::Moved);
+        }
+
+        let Some((r, _, hit_upper)) = leave else {
+            self.col_buf = d;
+            return Ok(StepOutcome::Unbounded);
+        };
+        if !theta.is_finite() {
+            self.col_buf = d;
+            return Ok(StepOutcome::Unbounded);
+        }
+
+        // Apply the step.
+        for (i, &di) in d.iter().enumerate() {
+            if di != 0.0 {
+                let j = self.basis[i];
+                self.x[j] -= sigma * theta * di;
+            }
+        }
+        let enter_from = self.x[q];
+        self.x[q] = enter_from + sigma * theta;
+
+        let jl = self.basis[r];
+        // Snap the leaving variable exactly onto its bound.
+        self.x[jl] = if hit_upper { self.sf.ub[jl] } else { self.sf.lb[jl] };
+
+        // Reduced-cost and Devex updates (phase 2 only) need the pivot row
+        // of the OLD basis: rho = B^{-T} e_r, alpha_j = rho·a_j.
+        if !phase1 {
+            self.update_duals_after_pivot(q, r, zq, d[r]);
+        }
+
+        // Basis bookkeeping + eta.
+        self.facto.push_eta(r, &d, 1e-14);
+        self.stat[jl] = if hit_upper { CStat::Upper } else { CStat::Lower };
+        self.pos_of[jl] = u32::MAX;
+        self.basis[r] = q;
+        self.pos_of[q] = r as u32;
+        self.stat[q] = CStat::Basic;
+        self.z[q] = 0.0;
+
+        self.col_buf = d;
+        self.note_progress(theta);
+        Ok(StepOutcome::Moved)
+    }
+
+    /// Incremental reduced-cost + Devex update for a pivot with entering
+    /// `q`, leaving position `r`, entering reduced cost `zq`, pivot
+    /// element `dr = d[r]`.
+    fn update_duals_after_pivot(&mut self, q: usize, r: usize, zq: f64, dr: f64) {
+        // rho = B^{-T} e_r.
+        let mut e = std::mem::take(&mut self.m_buf);
+        e.iter_mut().for_each(|v| *v = 0.0);
+        e[r] = 1.0;
+        let mut rho = std::mem::take(&mut self.row_buf);
+        self.facto.btran(&e, &mut rho);
+        self.m_buf = e;
+
+        // alpha_j = rho · a_j for nonbasic j, via CSR rows of nonzero rho.
+        self.alpha_touched.clear();
+        for (i, &ri) in rho.iter().enumerate() {
+            if ri.abs() <= 1e-12 {
+                continue;
+            }
+            for (jcol, v) in self.sf.a_csr.row(i) {
+                let j = jcol as usize;
+                if self.alpha_buf[j] == 0.0 {
+                    self.alpha_touched.push(jcol);
+                }
+                self.alpha_buf[j] += ri * v;
+            }
+        }
+        let ratio = zq / dr;
+        let wq = self.devex[q];
+        // Pre-read the touched list to appease the borrow checker.
+        let touched = std::mem::take(&mut self.alpha_touched);
+        for &jcol in &touched {
+            let j = jcol as usize;
+            let alpha = self.alpha_buf[j];
+            self.alpha_buf[j] = 0.0;
+            if self.stat[j] == CStat::Basic || j == q {
+                continue;
+            }
+            self.z[j] -= ratio * alpha;
+            // Devex weight propagation.
+            let cand = (alpha / dr) * (alpha / dr) * wq;
+            if cand > self.devex[j] {
+                self.devex[j] = cand;
+            }
+        }
+        self.alpha_touched = touched;
+        // Leaving variable becomes nonbasic with reduced cost -zq/dr.
+        let jl = self.basis[r];
+        self.z[jl] = -ratio;
+        self.devex[jl] = (wq / (dr * dr)).max(1.0);
+        self.row_buf = rho;
+    }
+
+    /// Tracks degeneracy and toggles Bland's rule.
+    fn note_progress(&mut self, theta: f64) {
+        if theta <= 1e-10 {
+            self.degen_streak += 1;
+            if self.degen_streak >= self.opt.bland_trigger {
+                self.bland = true;
+            }
+        } else {
+            self.degen_streak = 0;
+            self.bland = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Cmp, Model, Sense};
+    use crate::LpError;
+
+    fn opts_no_presolve() -> super::SolverOptions {
+        super::SolverOptions {
+            presolve: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dantzig_example() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x", 3.0);
+        let y = m.add_nonneg("y", 5.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint([(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint([(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-7);
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+        assert!((s.value(y) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + y = 10, x - y = 4  ->  x=7, y=3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg("x", 1.0);
+        let y = m.add_nonneg("y", 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Eq, 4.0);
+        let s = m.solve_with(&opts_no_presolve()).unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-7);
+        assert!((s.value(x) - 7.0).abs() < 1e-7);
+        assert!((s.value(y) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+        // Same but past presolve's reach: two conflicting rows.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg("x", 1.0);
+        let y = m.add_nonneg("y", 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x", 1.0);
+        let y = m.add_nonneg("y", 1.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn bounded_variables_and_flips() {
+        // max x + y with 0<=x<=1, 0<=y<=1, x + y <= 1.5
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 1.5);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min |style| objective via free var: min x st x >= -5 encoded with
+        // free x and constraint x >= -5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, -5.0);
+        let s = m.solve_with(&opts_no_presolve()).unwrap();
+        assert!((s.objective + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_le_rows() {
+        // x <= -2 with x in [-10, 0]: feasible, phase 1 must fix slack.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", -10.0, 0.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, -2.0);
+        let s = m.solve_with(&opts_no_presolve()).unwrap();
+        assert!((s.value(x) + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate diamond; multiple optimal bases.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x", 1.0);
+        let y = m.add_nonneg("y", 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(x, 2.0), (y, 2.0)], Cmp::Le, 2.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn maximize_with_ge_rows() {
+        // max 2x + 3y st x + y >= 2, x + 2y <= 8, x <= 3
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x", 2.0);
+        let y = m.add_nonneg("y", 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Le, 8.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+        let s = m.solve().unwrap();
+        // Optimum at x=3, y=2.5 -> 13.5
+        assert!((s.objective - 13.5).abs() < 1e-7, "obj={}", s.objective);
+    }
+}

@@ -1,0 +1,45 @@
+//! Solve results.
+
+use crate::model::VarId;
+
+/// Termination status of a successful solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic solution was found.
+    Optimal,
+}
+
+/// An optimal solution to a [`Model`](crate::Model).
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Termination status.
+    pub status: Status,
+    /// Objective value in the model's original sense.
+    pub objective: f64,
+    /// Primal values, indexed by [`VarId::index`].
+    pub x: Vec<f64>,
+    /// Row duals (shadow prices), indexed by
+    /// [`ConstraintId::index`](crate::ConstraintId::index), in the
+    /// model's original sense and units: `duals[i] ≈ ∂objective/∂rhs_i`
+    /// at the optimal basis. `None` when the solve path cannot map duals
+    /// back to the original rows (currently: solves that ran presolve —
+    /// use [`Model::solve_warm`](crate::Model::solve_warm) or disable
+    /// presolve to obtain them).
+    pub duals: Option<Vec<f64>>,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Value of variable `v`.
+    #[inline]
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.index()]
+    }
+
+    /// Shadow price of constraint `c`, if duals are available.
+    #[inline]
+    pub fn dual(&self, c: crate::ConstraintId) -> Option<f64> {
+        self.duals.as_ref().map(|d| d[c.index()])
+    }
+}

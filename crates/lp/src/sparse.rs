@@ -1,0 +1,247 @@
+//! Sparse matrix storage: CSC and CSR with conversion.
+//!
+//! The simplex keeps the constraint matrix in both layouts: CSC for
+//! FTRAN-side column access (entering columns, LU factorization of the
+//! basis) and CSR for BTRAN-side row access (pivot-row computation during
+//! incremental reduced-cost updates).
+
+/// Compressed sparse column matrix.
+#[derive(Clone, Debug, Default)]
+pub struct CscMatrix {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// `col_start[j]..col_start[j+1]` indexes column `j`'s entries.
+    pub col_start: Vec<usize>,
+    /// Row index of each entry.
+    pub row_idx: Vec<u32>,
+    /// Value of each entry.
+    pub values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds from per-column `(row, value)` lists. Rows within a column
+    /// need not be sorted; duplicates are summed.
+    pub fn from_columns(nrows: usize, columns: &[Vec<(u32, f64)>]) -> Self {
+        let ncols = columns.len();
+        let mut col_start = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_start.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for col in columns {
+            scratch.clear();
+            scratch.extend_from_slice(col);
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut write: Option<(u32, f64)> = None;
+            for &(r, v) in scratch.iter() {
+                debug_assert!((r as usize) < nrows, "row index out of range");
+                match write {
+                    Some((wr, wv)) if wr == r => write = Some((wr, wv + v)),
+                    Some((wr, wv)) => {
+                        if wv != 0.0 {
+                            row_idx.push(wr);
+                            values.push(wv);
+                        }
+                        write = Some((r, v));
+                    }
+                    None => write = Some((r, v)),
+                }
+            }
+            if let Some((wr, wv)) = write {
+                if wv != 0.0 {
+                    row_idx.push(wr);
+                    values.push(wv);
+                }
+            }
+            col_start.push(row_idx.len());
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_start,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(row, value)` pairs of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.col_start[j];
+        let hi = self.col_start[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of nonzeros in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_start[j + 1] - self.col_start[j]
+    }
+
+    /// Dense `y += alpha * A[:, j]` scatter.
+    #[inline]
+    pub fn axpy_col(&self, j: usize, alpha: f64, y: &mut [f64]) {
+        for (r, v) in self.col(j) {
+            y[r as usize] += alpha * v;
+        }
+    }
+
+    /// Sparse dot product `A[:, j] · x`.
+    #[inline]
+    pub fn dot_col(&self, j: usize, x: &[f64]) -> f64 {
+        self.col(j).map(|(r, v)| v * x[r as usize]).sum()
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_start = vec![0usize; self.nrows + 1];
+        for &r in &self.row_idx {
+            row_start[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_start[i + 1] += row_start[i];
+        }
+        let nnz = self.nnz();
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0; nnz];
+        let mut cursor = row_start.clone();
+        for j in 0..self.ncols {
+            for (r, v) in self.col(j) {
+                let slot = cursor[r as usize];
+                col_idx[slot] = u32::try_from(j).expect("column index fits u32");
+                values[slot] = v;
+                cursor[r as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_start,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Dense matrix-vector product `A x` (tests and the dense oracle).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj != 0.0 {
+                self.axpy_col(j, xj, &mut y);
+            }
+        }
+        y
+    }
+}
+
+/// Compressed sparse row matrix (mirror of [`CscMatrix`]).
+#[derive(Clone, Debug, Default)]
+pub struct CsrMatrix {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// `row_start[i]..row_start[i+1]` indexes row `i`'s entries.
+    pub row_start: Vec<usize>,
+    /// Column index of each entry.
+    pub col_idx: Vec<u32>,
+    /// Value of each entry.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.row_start[i];
+        let hi = self.row_start[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        CscMatrix::from_columns(
+            3,
+            &[
+                vec![(0, 1.0), (2, 4.0)],
+                vec![(1, 3.0)],
+                vec![(2, 5.0), (0, 2.0)], // unsorted on purpose
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_counts() {
+        let a = example();
+        assert_eq!(a.nnz(), 5);
+        let col2: Vec<_> = a.col(2).collect();
+        assert_eq!(col2, vec![(0, 2.0), (2, 5.0)]);
+        assert_eq!(a.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let a = CscMatrix::from_columns(2, &[vec![(0, 1.0), (0, 2.0), (1, 5.0), (1, -5.0)]]);
+        assert_eq!(a.nnz(), 1);
+        let col: Vec<_> = a.col(0).collect();
+        assert_eq!(col, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let a = example();
+        let r = a.to_csr();
+        assert_eq!(r.nnz(), a.nnz());
+        let row0: Vec<_> = r.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+        let row1: Vec<_> = r.row(1).collect();
+        assert_eq!(row1, vec![(1, 3.0)]);
+        let row2: Vec<_> = r.row(2).collect();
+        assert_eq!(row2, vec![(0, 4.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let a = example();
+        let mut y = vec![0.0; 3];
+        a.axpy_col(0, 2.0, &mut y);
+        assert_eq!(y, vec![2.0, 0.0, 8.0]);
+        assert_eq!(a.dot_col(0, &[1.0, 1.0, 1.0]), 5.0);
+    }
+}

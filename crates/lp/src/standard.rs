@@ -1,0 +1,237 @@
+//! Conversion of a [`Model`] into the simplex's computational form.
+//!
+//! The computational form is
+//!
+//! ```text
+//! minimize c·x   subject to   A x = b,   l ≤ x ≤ u
+//! ```
+//!
+//! where the first `n_struct` columns are the model's variables and the
+//! remaining `m` columns are one slack per row:
+//!
+//! * `≤` rows get a slack with bounds `[0, ∞)`;
+//! * `≥` rows get a slack with bounds `(-∞, 0]`;
+//! * `=` rows get a slack fixed to `[0, 0]` (keeps the all-slack crash
+//!   basis square without artificial columns).
+//!
+//! Maximization is handled by negating the cost vector. Row/column
+//! equilibration scaling (powers of two, hence exact) is folded in here;
+//! [`StdForm::unscale_solution`] maps a scaled solution back.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::scaling;
+use crate::sparse::{CscMatrix, CsrMatrix};
+
+/// The simplex's computational form. See module docs.
+pub struct StdForm {
+    /// Number of rows (equalities after slacks).
+    pub m: usize,
+    /// Total columns: structural + slack.
+    pub n: usize,
+    /// Number of structural (model) columns.
+    pub n_struct: usize,
+    /// Scaled constraint matrix, including slack columns.
+    pub a: CscMatrix,
+    /// CSR mirror of [`StdForm::a`].
+    pub a_csr: CsrMatrix,
+    /// Scaled right-hand side.
+    pub b: Vec<f64>,
+    /// Scaled minimization costs (slack costs are 0).
+    pub c: Vec<f64>,
+    /// Scaled lower bounds.
+    pub lb: Vec<f64>,
+    /// Scaled upper bounds.
+    pub ub: Vec<f64>,
+    /// Column scale factors (structural + slack).
+    col_scale: Vec<f64>,
+}
+
+impl StdForm {
+    /// Builds the computational form from `model`. `scale` toggles
+    /// geometric-mean equilibration.
+    pub fn build(model: &Model, scale: bool) -> StdForm {
+        let m = model.num_constraints();
+        let n_struct = model.num_vars();
+        let n = n_struct + m;
+
+        let s = if scale && m > 0 && n_struct > 0 {
+            let mut triplets = Vec::with_capacity(model.num_nonzeros());
+            for (ri, c) in model.constraints.iter().enumerate() {
+                for &(v, coef) in &c.terms {
+                    triplets.push((ri as u32, v, coef));
+                }
+            }
+            scaling::geometric_mean(m, n_struct, triplets.iter().copied(), 2)
+        } else {
+            scaling::Scaling::identity(m, n_struct)
+        };
+
+        // Columns: structural then slacks. Slack column scale is chosen as
+        // 1/row_scale so the slack entry stays exactly 1.0.
+        let mut columns: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (ri, cons) in model.constraints.iter().enumerate() {
+            for &(v, coef) in &cons.terms {
+                columns[v as usize].push((
+                    ri as u32,
+                    coef * s.row_scale[ri] * s.col_scale[v as usize],
+                ));
+            }
+            columns[n_struct + ri].push((ri as u32, 1.0));
+        }
+        let a = CscMatrix::from_columns(m, &columns);
+        let a_csr = a.to_csr();
+
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+
+        let mut col_scale = Vec::with_capacity(n);
+        let mut c = Vec::with_capacity(n);
+        let mut lb = Vec::with_capacity(n);
+        let mut ub = Vec::with_capacity(n);
+        for (j, v) in model.vars.iter().enumerate() {
+            // x_orig = col_scale * x_scaled, so bounds divide and the cost
+            // multiplies by the scale.
+            let cs = s.col_scale[j];
+            col_scale.push(cs);
+            c.push(sign * v.obj * cs);
+            lb.push(div_bound(v.lb, cs));
+            ub.push(div_bound(v.ub, cs));
+        }
+        let mut b = Vec::with_capacity(m);
+        for (ri, cons) in model.constraints.iter().enumerate() {
+            let rs = s.row_scale[ri];
+            b.push(cons.rhs * rs);
+            let cs = 1.0 / rs;
+            col_scale.push(cs);
+            c.push(0.0);
+            let (slo, shi) = match cons.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lb.push(div_bound(slo, cs));
+            ub.push(div_bound(shi, cs));
+        }
+
+        StdForm {
+            m,
+            n,
+            n_struct,
+            a,
+            a_csr,
+            b,
+            c,
+            lb,
+            ub,
+            col_scale,
+        }
+    }
+
+    /// Maps scaled solution values back to original structural variables.
+    pub fn unscale_solution(&self, x_scaled: &[f64]) -> Vec<f64> {
+        (0..self.n_struct)
+            .map(|j| x_scaled[j] * self.col_scale[j])
+            .collect()
+    }
+
+    /// Maps duals of the scaled minimization problem back to the
+    /// original rows and sense: `∂obj/∂rhs_i`.
+    ///
+    /// Scaled row `i` is `r_i ×` the original row and the scaled cost is
+    /// `sign ×` the original, so `y_i = sign · ŷ_i · r_i` where the row
+    /// scale is recovered from the slack column's scale (`1 / r_i`).
+    pub fn unscale_duals(&self, y_scaled: &[f64], sense: Sense) -> Vec<f64> {
+        let sign = match sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        (0..self.m)
+            .map(|i| sign * y_scaled[i] / self.col_scale[self.n_struct + i])
+            .collect()
+    }
+}
+
+/// Bound division that preserves infinities exactly.
+#[inline]
+fn div_bound(bound: f64, scale: f64) -> f64 {
+    if bound.is_infinite() {
+        bound
+    } else {
+        bound / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn sample_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 4.0, 3.0);
+        let y = m.add_var("y", 1.0, f64::INFINITY, 5.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Le, 14.0);
+        m.add_constraint([(x, 3.0), (y, -1.0)], Cmp::Ge, 0.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 6.0);
+        m
+    }
+
+    #[test]
+    fn shapes_and_slack_bounds() {
+        let sf = StdForm::build(&sample_model(), false);
+        assert_eq!(sf.m, 3);
+        assert_eq!(sf.n_struct, 2);
+        assert_eq!(sf.n, 5);
+        // Slack bounds by row type.
+        assert_eq!((sf.lb[2], sf.ub[2]), (0.0, f64::INFINITY)); // Le
+        assert_eq!((sf.lb[3], sf.ub[3]), (f64::NEG_INFINITY, 0.0)); // Ge
+        assert_eq!((sf.lb[4], sf.ub[4]), (0.0, 0.0)); // Eq
+        // Maximize flips the cost sign.
+        assert_eq!(sf.c[0], -3.0);
+        assert_eq!(sf.c[1], -5.0);
+        assert_eq!(sf.c[2], 0.0);
+    }
+
+    #[test]
+    fn slack_columns_are_unit() {
+        let sf = StdForm::build(&sample_model(), true);
+        for r in 0..sf.m {
+            let col: Vec<_> = sf.a.col(sf.n_struct + r).collect();
+            assert_eq!(col, vec![(r as u32, 1.0)]);
+        }
+    }
+
+    #[test]
+    fn scaling_roundtrip_preserves_feasibility_mapping() {
+        let model = sample_model();
+        let sf = StdForm::build(&model, true);
+        // The point (x=2, y=4) satisfies the Eq row; map it to scaled
+        // space, check A x_s + slack = b_s is attainable, and map back.
+        let x_orig = [2.0f64, 4.0];
+        let x_scaled: Vec<f64> = (0..2).map(|j| x_orig[j] / sf.col_scale[j]).collect();
+        // Row residuals (structural part only) must equal b - slack·scale.
+        let mut resid = sf.b.clone();
+        for j in 0..2 {
+            for (r, v) in sf.a.col(j) {
+                resid[r as usize] -= v * x_scaled[j];
+            }
+        }
+        // Eq row residual must be ~0 since x satisfies it exactly.
+        assert!(resid[2].abs() < 1e-12);
+        let back = sf.unscale_solution(&x_scaled);
+        assert!((back[0] - 2.0).abs() < 1e-12);
+        assert!((back[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_mirror_matches() {
+        let sf = StdForm::build(&sample_model(), false);
+        assert_eq!(sf.a.nnz(), sf.a_csr.nnz());
+        // Row 0 of A: x + 2y + slack0.
+        let row0: Vec<_> = sf.a_csr.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (1, 2.0), (2, 1.0)]);
+    }
+
+}

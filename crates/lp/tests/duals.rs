@@ -1,0 +1,202 @@
+//! Tests for row duals (shadow prices): textbook values, complementary
+//! slackness, sign conventions, and the predictive property
+//! `Δobjective ≈ y·Δrhs` checked against actual re-solves.
+
+use coflow_lp::{Cmp, Model, Sense, SolverOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn no_presolve() -> SolverOptions {
+    SolverOptions {
+        presolve: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn dantzig_example_duals_are_textbook() {
+    // max 3x + 5y st x ≤ 4 (y₁), 2y ≤ 12 (y₂), 3x + 2y ≤ 18 (y₃).
+    // Known optimal duals: y₁ = 0, y₂ = 3/2, y₃ = 1.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_nonneg("x", 3.0);
+    let y = m.add_nonneg("y", 5.0);
+    let c1 = m.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+    let c2 = m.add_constraint([(y, 2.0)], Cmp::Le, 12.0);
+    let c3 = m.add_constraint([(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    let s = m.solve_with(&no_presolve()).unwrap();
+    let duals = s.duals.as_ref().expect("presolve off → duals available");
+    assert_eq!(duals.len(), 3);
+    assert!((s.dual(c1).unwrap() - 0.0).abs() < 1e-7, "y1 = {:?}", s.dual(c1));
+    assert!((s.dual(c2).unwrap() - 1.5).abs() < 1e-7, "y2 = {:?}", s.dual(c2));
+    assert!((s.dual(c3).unwrap() - 1.0).abs() < 1e-7, "y3 = {:?}", s.dual(c3));
+    // Strong duality (all variables at lower bound 0 contribute nothing):
+    // yᵀb = objective.
+    let ytb = 0.0 * 4.0 + 1.5 * 12.0 + 1.0 * 18.0;
+    assert!((ytb - s.objective).abs() < 1e-7);
+}
+
+#[test]
+fn duals_from_warm_solves_match_plain_solves() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..40 {
+        let mut m = Model::new(Sense::Minimize);
+        let n = rng.gen_range(2..6);
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_var(format!("x{j}"), 0.0, 5.0, rng.gen_range(0.1..3.0)))
+            .collect();
+        for _ in 0..rng.gen_range(1..5) {
+            let terms: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(0.1..2.0)))
+                .collect();
+            m.add_constraint(terms, Cmp::Ge, rng.gen_range(0.5..4.0));
+        }
+        let plain = m.solve_with(&no_presolve()).unwrap();
+        let (warm, _) = m.solve_warm(None, &SolverOptions::default()).unwrap();
+        let (dp, dw) = (plain.duals.unwrap(), warm.duals.unwrap());
+        // Degenerate LPs can have several optimal dual vectors, but
+        // yᵀb must agree by strong duality.
+        let ytb = |d: &[f64]| -> f64 {
+            d.iter()
+                .zip(m.constraints_iter())
+                .map(|(y, c)| y * c.rhs())
+                .sum()
+        };
+        assert!(
+            (ytb(&dp) - ytb(&dw)).abs() < 1e-6 * (1.0 + plain.objective.abs()),
+            "dual objectives differ: {} vs {}",
+            ytb(&dp),
+            ytb(&dw)
+        );
+    }
+}
+
+#[test]
+fn complementary_slackness_on_random_lps() {
+    let mut rng = StdRng::seed_from_u64(55);
+    for trial in 0..60 {
+        let mut m = Model::new(Sense::Minimize);
+        let n = rng.gen_range(2..6);
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_var(format!("x{j}"), 0.0, 4.0, rng.gen_range(-1.0..3.0)))
+            .collect();
+        let mut rows = Vec::new();
+        for _ in 0..rng.gen_range(1..5) {
+            let mut terms = Vec::new();
+            for &v in &vars {
+                if rng.gen_bool(0.7) {
+                    terms.push((v, rng.gen_range(0.2..2.0)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            rows.push(m.add_constraint(terms, Cmp::Le, rng.gen_range(1.0..6.0)));
+        }
+        let Ok(s) = m.solve_with(&no_presolve()) else {
+            continue;
+        };
+        let duals = s.duals.as_ref().unwrap();
+        for (i, c) in m.constraints_iter().enumerate() {
+            let lhs: f64 = c.terms().map(|(v, a)| a * s.value(v)).sum();
+            let slack = c.rhs() - lhs;
+            // Le row in a minimize problem: dual ≤ 0; slack > 0 ⇒ dual = 0.
+            assert!(
+                duals[i] <= 1e-7,
+                "trial {trial} row {i}: Le dual {} > 0 in minimize",
+                duals[i]
+            );
+            if slack > 1e-5 {
+                assert!(
+                    duals[i].abs() < 1e-6,
+                    "trial {trial} row {i}: slack {slack} but dual {}",
+                    duals[i]
+                );
+            }
+        }
+        let _ = rows;
+    }
+}
+
+#[test]
+fn duals_predict_objective_change_under_rhs_nudge() {
+    // Non-degenerate production LP: nudging a binding rhs by δ moves the
+    // objective by y·δ while the basis stays optimal.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_nonneg("x", 3.0);
+    let y = m.add_nonneg("y", 5.0);
+    m.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+    let c2 = m.add_constraint([(y, 2.0)], Cmp::Le, 12.0);
+    let c3 = m.add_constraint([(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    let opts = SolverOptions::default();
+    let (base, basis) = m.solve_warm(None, &opts).unwrap();
+    let duals = base.duals.clone().unwrap();
+    for (c, delta) in [(c2, 0.5), (c3, -0.4), (c2, -0.25)] {
+        let mut m2 = m.clone();
+        m2.set_rhs(c, m.constraint(c).rhs() + delta);
+        let (nudged, _) = m2.solve_warm(Some(&basis), &opts).unwrap();
+        let predicted = base.objective + duals[c.index()] * delta;
+        assert!(
+            (nudged.objective - predicted).abs() < 1e-6,
+            "rhs {c:?} {delta:+}: predicted {predicted}, got {}",
+            nudged.objective
+        );
+    }
+}
+
+#[test]
+fn ge_rows_have_nonnegative_duals_in_minimize() {
+    // min x + y st x + y ≥ 4 (binding, dual 1), x ≥ 1 (binding, dual 0
+    // via degeneracy or positive — must be ≥ 0 either way).
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_nonneg("x", 1.0);
+    let y = m.add_nonneg("y", 1.0);
+    let c1 = m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+    let c2 = m.add_constraint([(x, 1.0)], Cmp::Ge, 1.0);
+    let s = m.solve_with(&no_presolve()).unwrap();
+    assert!(s.dual(c1).unwrap() >= -1e-9);
+    assert!(s.dual(c2).unwrap() >= -1e-9);
+    // Raising the ≥ 4 rhs by 1 costs exactly 1 (the objective slope).
+    assert!((s.dual(c1).unwrap() - 1.0).abs() < 1e-7);
+}
+
+#[test]
+fn scaling_does_not_change_duals() {
+    // Coefficients spanning orders of magnitude: duals must come back in
+    // original units whether or not equilibration ran.
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_nonneg("x", 1e4);
+    let y = m.add_nonneg("y", 1.0);
+    let c = m.add_constraint([(x, 1e5), (y, 1e-4)], Cmp::Ge, 10.0);
+    let scaled = m
+        .solve_with(&SolverOptions {
+            presolve: false,
+            scale: true,
+            ..Default::default()
+        })
+        .unwrap();
+    let unscaled = m
+        .solve_with(&SolverOptions {
+            presolve: false,
+            scale: false,
+            ..Default::default()
+        })
+        .unwrap();
+    let (a, b) = (scaled.dual(c).unwrap(), unscaled.dual(c).unwrap());
+    assert!(
+        (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+        "scaled {a} vs unscaled {b}"
+    );
+    // The analytic shadow price: cheapest satisfaction is x = 1e-4 at
+    // cost 1e4·1e-4 = 1 per 10 rhs units → 0.1 per unit.
+    assert!((a - 0.1).abs() < 1e-6, "dual {a}");
+}
+
+#[test]
+fn presolved_solves_report_no_duals() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_nonneg("x", 1.0);
+    m.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+    let s = m.solve().unwrap(); // default: presolve on
+    assert!(s.duals.is_none());
+}

@@ -1,0 +1,103 @@
+//! Property-based tests (proptest) for the LP solver.
+
+use coflow_lp::{Cmp, Model, Sense};
+use proptest::prelude::*;
+
+/// Strategy: a bounded-feasible LP built around a known interior point.
+/// Returns (model, witness point).
+fn bounded_feasible_lp() -> impl Strategy<Value = (Model, Vec<f64>)> {
+    let dims = (1usize..6, 0usize..6);
+    dims.prop_flat_map(|(nvars, nrows)| {
+        let var_strat = proptest::collection::vec(
+            (
+                -5.0f64..5.0,  // lb
+                0.1f64..6.0,   // span
+                -3.0f64..3.0,  // obj
+                0.0f64..1.0,   // witness position within [lb, ub]
+            ),
+            nvars,
+        );
+        let row_strat = proptest::collection::vec(
+            (
+                proptest::collection::vec((-2.0f64..2.0, 0usize..nvars), 1..4),
+                0u8..3,        // cmp selector
+                0.0f64..2.0,   // slack margin
+            ),
+            nrows,
+        );
+        (var_strat, row_strat).prop_map(|(vars, rows)| {
+            let mut m = Model::new(Sense::Minimize);
+            let mut ids = Vec::new();
+            let mut x0 = Vec::new();
+            for (lb, span, obj, pos) in &vars {
+                let ub = lb + span;
+                ids.push(m.add_var("v", *lb, ub, *obj));
+                x0.push(lb + pos * span);
+            }
+            for (terms, cmp, margin) in &rows {
+                let mut lhs = 0.0;
+                let t: Vec<_> = terms
+                    .iter()
+                    .map(|&(a, j)| {
+                        lhs += a * x0[j];
+                        (ids[j], a)
+                    })
+                    .collect();
+                match cmp % 3 {
+                    0 => m.add_constraint(t, Cmp::Le, lhs + margin),
+                    1 => m.add_constraint(t, Cmp::Ge, lhs - margin),
+                    _ => m.add_constraint(t, Cmp::Eq, lhs),
+                };
+            }
+            (m, x0)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bounded feasible LPs must solve; the solution must be feasible and
+    /// at least as good as the construction witness.
+    #[test]
+    fn solves_feasible_bounded_lps((model, x0) in bounded_feasible_lp()) {
+        let sol = model.solve().expect("bounded feasible LP must solve");
+        prop_assert!(model.max_violation(&sol.x) < 1e-6,
+            "violation {}", model.max_violation(&sol.x));
+        let obj0 = model.objective_at(&x0);
+        prop_assert!(sol.objective <= obj0 + 1e-6 * (1.0 + obj0.abs()),
+            "solver {} worse than witness {}", sol.objective, obj0);
+    }
+
+    /// The sparse solver agrees with the dense oracle wherever both
+    /// return an optimum.
+    #[test]
+    fn agrees_with_dense_oracle((model, _x0) in bounded_feasible_lp()) {
+        let a = model.solve().expect("solvable");
+        let b = coflow_lp::dense::solve(&model).expect("oracle solvable");
+        let scale = 1.0 + a.objective.abs().max(b.objective.abs());
+        prop_assert!((a.objective - b.objective).abs() / scale < 1e-6,
+            "sparse {} oracle {}", a.objective, b.objective);
+    }
+
+    /// Scaling a model's objective by a positive constant scales the
+    /// optimum by the same constant (sanity on cost handling).
+    #[test]
+    fn objective_scaling_is_linear((model, _x0) in bounded_feasible_lp(), k in 0.1f64..10.0) {
+        let base = model.solve().expect("solvable").objective;
+        let mut scaled = Model::new(Sense::Minimize);
+        for j in 0..model.num_vars() {
+            let v = coflow_lp::VarId::from_index(j);
+            let (lb, ub) = model.var_bounds(v);
+            scaled.add_var("v", lb, ub, k * model.var_obj(v));
+        }
+        // Rebuild rows verbatim.
+        for c in model.constraints_iter() {
+            let terms: Vec<_> = c.terms().collect();
+            scaled.add_constraint(terms, c.cmp(), c.rhs());
+        }
+        let s = scaled.solve().expect("solvable").objective;
+        prop_assert!((s - k * base).abs() < 1e-5 * (1.0 + s.abs()),
+            "scaled {} base {}", s, base);
+    }
+}

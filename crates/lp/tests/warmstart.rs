@@ -1,0 +1,232 @@
+//! Differential tests for warm-started re-solves.
+//!
+//! Strategy: build a random feasible LP, solve it cold to obtain a basis
+//! snapshot, apply a random perturbation (right-hand sides, objective
+//! coefficients, or variable bounds), then require the warm re-solve to
+//! agree with a cold solve of the perturbed model — same objective, same
+//! feasibility, same infeasible/unbounded verdicts.
+
+use coflow_lp::{Basis, BasisStatus, Cmp, LpError, Model, Sense, SolverOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random feasible-by-construction LP with finite bounds on every
+/// variable (feasible AND bounded, so the cold solve must succeed).
+fn random_lp(rng: &mut StdRng, nvars: usize, nrows: usize) -> (Model, Vec<coflow_lp::VarId>, Vec<coflow_lp::ConstraintId>) {
+    let sense = if rng.gen_bool(0.5) {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut m = Model::new(sense);
+    let mut x0 = Vec::with_capacity(nvars);
+    let mut vars = Vec::with_capacity(nvars);
+    for j in 0..nvars {
+        let lb = rng.gen_range(-4.0..1.0);
+        let ub = lb + rng.gen_range(0.5..6.0);
+        vars.push(m.add_var(format!("x{j}"), lb, ub, rng.gen_range(-3.0..3.0)));
+        x0.push(rng.gen_range(lb..ub));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let nnz = rng.gen_range(1..=nvars.min(4));
+        let mut terms = Vec::with_capacity(nnz);
+        let mut lhs = 0.0;
+        for _ in 0..nnz {
+            let j = rng.gen_range(0..nvars);
+            let a = rng.gen_range(-2.0..2.0);
+            if a == 0.0 {
+                continue;
+            }
+            terms.push((vars[j], a));
+            lhs += a * x0[j];
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let id = match rng.gen_range(0..3) {
+            0 => m.add_constraint(terms, Cmp::Le, lhs + rng.gen_range(0.0..2.0)),
+            1 => m.add_constraint(terms, Cmp::Ge, lhs - rng.gen_range(0.0..2.0)),
+            _ => m.add_constraint(terms, Cmp::Eq, lhs),
+        };
+        rows.push(id);
+    }
+    (m, vars, rows)
+}
+
+/// Applies a random perturbation; the result may be infeasible, which
+/// both solvers must then agree on.
+fn perturb(rng: &mut StdRng, m: &mut Model, vars: &[coflow_lp::VarId], rows: &[coflow_lp::ConstraintId]) {
+    for _ in 0..rng.gen_range(1..4) {
+        match rng.gen_range(0..3) {
+            0 if !rows.is_empty() => {
+                let c = rows[rng.gen_range(0..rows.len())];
+                let old = m.constraint(c).rhs();
+                m.set_rhs(c, old + rng.gen_range(-1.5..1.5));
+            }
+            1 => {
+                let v = vars[rng.gen_range(0..vars.len())];
+                m.set_obj(v, rng.gen_range(-3.0..3.0));
+            }
+            _ => {
+                let v = vars[rng.gen_range(0..vars.len())];
+                let (lb, ub) = m.var_bounds(v);
+                let nlb = lb + rng.gen_range(-0.5..0.5);
+                let nub = (ub + rng.gen_range(-0.5..0.5)).max(nlb);
+                m.set_bounds(v, nlb, nub);
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_resolve_matches_cold_after_random_perturbations() {
+    let mut rng = StdRng::seed_from_u64(0xC0F10);
+    let opts = SolverOptions::default();
+    let mut solved = 0;
+    let mut infeasible = 0;
+    for trial in 0..300 {
+        let nvars = rng.gen_range(2..8);
+        let nrows = rng.gen_range(1..8);
+        let (mut m, vars, rows) = random_lp(&mut rng, nvars, nrows);
+        let Ok((_, basis)) = m.solve_warm(None, &opts) else {
+            continue; // random row subset degenerated to empty
+        };
+        perturb(&mut rng, &mut m, &vars, &rows);
+        let warm = m.solve_warm(Some(&basis), &opts);
+        let cold = m.solve_with(&SolverOptions {
+            presolve: false, // match the warm path's model view
+            ..Default::default()
+        });
+        match (warm, cold) {
+            (Ok((w, _)), Ok(c)) => {
+                solved += 1;
+                let scale = 1.0 + w.objective.abs().max(c.objective.abs());
+                assert!(
+                    (w.objective - c.objective).abs() / scale < 1e-6,
+                    "trial {trial}: warm {} vs cold {}",
+                    w.objective,
+                    c.objective
+                );
+                assert!(
+                    m.max_violation(&w.x) < 1e-6,
+                    "trial {trial}: warm solution infeasible"
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {
+                infeasible += 1;
+            }
+            (w, c) => panic!("trial {trial}: verdict mismatch warm={w:?} cold={c:?}"),
+        }
+    }
+    assert!(solved > 150, "only {solved} optimal trials — generator broken?");
+    assert!(infeasible > 5, "perturbations never went infeasible");
+}
+
+#[test]
+fn chained_warm_resolves_track_a_moving_rhs() {
+    // One model, twenty successive RHS nudges, basis carried through the
+    // whole chain; each step compared against a cold solve.
+    let mut rng = StdRng::seed_from_u64(42);
+    let (mut m, _, rows) = random_lp(&mut rng, 6, 6);
+    if rows.is_empty() {
+        return;
+    }
+    let opts = SolverOptions::default();
+    let (_, mut basis) = m.solve_warm(None, &opts).unwrap();
+    let mut checked = 0;
+    for step in 0..20 {
+        let c = rows[step % rows.len()];
+        let old = m.constraint(c).rhs();
+        m.set_rhs(c, old + if step % 2 == 0 { 0.4 } else { -0.3 });
+        match (m.solve_warm(Some(&basis), &opts), m.solve()) {
+            (Ok((w, nb)), Ok(c)) => {
+                basis = nb;
+                let scale = 1.0 + c.objective.abs();
+                assert!(
+                    (w.objective - c.objective).abs() / scale < 1e-6,
+                    "step {step}: warm {} cold {}",
+                    w.objective,
+                    c.objective
+                );
+                checked += 1;
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {
+                // Chain broken by infeasibility: restart cold.
+                let (_, nb) = match m.solve_warm(None, &opts) {
+                    Ok(v) => v,
+                    Err(_) => return,
+                };
+                basis = nb;
+            }
+            (w, c) => panic!("step {step}: warm={w:?} cold={c:?}"),
+        }
+    }
+    assert!(checked >= 10, "chain rarely solvable ({checked})");
+}
+
+#[test]
+fn basis_snapshot_shape_and_count_invariants() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        let nvars = rng.gen_range(2..8);
+        let nrows = rng.gen_range(1..8);
+        let (m, _, _) = random_lp(&mut rng, nvars, nrows);
+        let Ok((_, basis)) = m.solve_warm(None, &SolverOptions::default()) else {
+            continue;
+        };
+        assert_eq!(basis.vars.len(), m.num_vars());
+        assert_eq!(basis.rows.len(), m.num_constraints());
+        // A basic solution has exactly one basic column per row.
+        assert_eq!(basis.num_basic(), m.num_constraints());
+    }
+}
+
+#[test]
+fn all_slack_snapshot_is_a_valid_warm_start() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..50 {
+        let (m, _, _) = random_lp(&mut rng, 5, 5);
+        let cold = m.solve();
+        let warm = m.solve_warm(
+            Some(&Basis::all_slack(m.num_vars(), m.num_constraints())),
+            &SolverOptions::default(),
+        );
+        match (cold, warm) {
+            (Ok(a), Ok((b, _))) => {
+                let scale = 1.0 + a.objective.abs();
+                assert!((a.objective - b.objective).abs() / scale < 1e-6);
+            }
+            (Err(ea), Err(eb)) => {
+                assert_eq!(std::mem::discriminant(&ea), std::mem::discriminant(&eb));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn degenerate_snapshot_statuses_are_sanitized() {
+    // Feed a deliberately nonsensical snapshot: everything Basic, or
+    // everything Upper on variables without finite upper bounds.
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_nonneg("x", 1.0);
+    let y = m.add_nonneg("y", 2.0);
+    m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+    let every_basic = Basis {
+        vars: vec![BasisStatus::Basic; 2],
+        rows: vec![BasisStatus::Basic; 1],
+    };
+    let (s, _) = m
+        .solve_warm(Some(&every_basic), &SolverOptions::default())
+        .unwrap();
+    assert!((s.objective - 4.0).abs() < 1e-7);
+    let every_upper = Basis {
+        vars: vec![BasisStatus::Upper; 2], // ub = ∞: must be sanitized
+        rows: vec![BasisStatus::Basic; 1],
+    };
+    let (s, _) = m
+        .solve_warm(Some(&every_upper), &SolverOptions::default())
+        .unwrap();
+    assert!((s.objective - 4.0).abs() < 1e-7);
+}

@@ -1,0 +1,144 @@
+//! Graphviz DOT export for capacitated digraphs.
+//!
+//! Handy for documenting topologies and debugging routing decisions:
+//! `dot -Tsvg swan.dot -o swan.svg` renders the WAN with per-link
+//! bandwidth labels. Bi-directed link pairs are merged into one
+//! undirected edge when their capacities match, mirroring the figures in
+//! the WAN papers.
+
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Clone, Copy, Debug)]
+pub struct DotOptions {
+    /// Merge `u→v` / `v→u` pairs with equal capacity into one
+    /// undirected-looking edge (`dir=none`).
+    pub merge_bidirected: bool,
+    /// Include capacities as edge labels.
+    pub capacity_labels: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            merge_bidirected: true,
+            capacity_labels: true,
+        }
+    }
+}
+
+/// Renders the graph in Graphviz DOT syntax.
+pub fn to_dot(g: &Graph, name: &str, opts: DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, style=rounded];");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", v.index(), sanitize(g.label(v)));
+    }
+    let mut merged = vec![false; g.edge_count()];
+    for e in g.edges() {
+        if merged[e.id.index()] {
+            continue;
+        }
+        let mut attrs: Vec<String> = Vec::new();
+        if opts.capacity_labels {
+            attrs.push(format!("label=\"{}\"", trim_float(e.capacity)));
+        }
+        if opts.merge_bidirected {
+            if let Some(back) = g.find_edge(e.dst, e.src) {
+                if !merged[back.index()] && (g.capacity(back) - e.capacity).abs() < 1e-12 {
+                    merged[back.index()] = true;
+                    attrs.push("dir=none".into());
+                }
+            }
+        }
+        let attr_str = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{}{};",
+            e.src.index(),
+            e.dst.index(),
+            attr_str
+        );
+        merged[e.id.index()] = true;
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn swan_renders_with_merged_links() {
+        let t = topology::swan();
+        let dot = to_dot(&t.graph, "SWAN", DotOptions::default());
+        assert!(dot.starts_with("digraph \"SWAN\""));
+        // 5 node lines.
+        assert_eq!(dot.matches("[label=\"").count() - 7, 5, "{dot}");
+        // 7 merged physical links -> 7 edge lines with dir=none.
+        assert_eq!(dot.matches("dir=none").count(), 7);
+        assert!(dot.contains("label=\"40\""));
+    }
+
+    #[test]
+    fn asymmetric_capacities_stay_directed() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node("u");
+        let v = b.add_node("v");
+        b.add_edge(u, v, 5.0).unwrap();
+        b.add_edge(v, u, 9.0).unwrap();
+        let g = b.build();
+        let dot = to_dot(&g, "asym", DotOptions::default());
+        assert!(!dot.contains("dir=none"));
+        assert!(dot.contains("label=\"5\""));
+        assert!(dot.contains("label=\"9\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node("evil\"node");
+        let v = b.add_node("ok");
+        b.add_edge(u, v, 1.0).unwrap();
+        let g = b.build();
+        let dot = to_dot(&g, "x", DotOptions::default());
+        assert!(dot.contains("evil\\\"node"));
+    }
+
+    #[test]
+    fn options_disable_labels() {
+        let t = topology::line(3, 2.5);
+        let dot = to_dot(
+            &t.graph,
+            "line",
+            DotOptions {
+                merge_bidirected: false,
+                capacity_labels: false,
+            },
+        );
+        assert!(!dot.contains("label=\"2.5\""));
+        assert!(!dot.contains("dir=none"));
+    }
+}

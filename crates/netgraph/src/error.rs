@@ -1,0 +1,43 @@
+//! Error types for graph construction and routing.
+
+use crate::graph::NodeId;
+use std::fmt;
+
+/// Errors raised by graph construction and path/routing utilities.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// An endpoint does not belong to the graph being built.
+    UnknownNode,
+    /// Edge capacity must be finite and strictly positive.
+    BadCapacity(f64),
+    /// Self-loops are rejected; they cannot carry coflow traffic.
+    SelfLoop(NodeId),
+    /// No path exists between the requested endpoints.
+    NoPath {
+        /// Requested source.
+        src: NodeId,
+        /// Requested destination.
+        dst: NodeId,
+    },
+    /// A path failed validation (non-adjacent consecutive nodes, wrong
+    /// endpoints, or an edge that does not exist in the graph).
+    InvalidPath(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode => write!(f, "node does not belong to this graph"),
+            GraphError::BadCapacity(c) => {
+                write!(f, "edge capacity must be finite and positive, got {c}")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v:?} rejected"),
+            GraphError::NoPath { src, dst } => {
+                write!(f, "no path from {src:?} to {dst:?}")
+            }
+            GraphError::InvalidPath(msg) => write!(f, "invalid path: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,181 @@
+//! The I/O-limit gadget of the paper's footnote 1.
+//!
+//! The big-switch coflow model constrains each machine's aggregate send
+//! and receive rates. The graph model has only per-edge capacities, so the
+//! paper describes a gadget: *"replace every datacenter with a gadget of
+//! two nodes. The first node has exactly the same neighbors and edges that
+//! the original node for the datacenter has, plus links from and to the
+//! second node. The second node is only connected to the first node, and
+//! is the true source and destination for all demands involving this
+//! datacenter. By setting capacity on the links between these two nodes,
+//! we can enforce I/O limit for the whole datacenter like in the switch
+//! model."*
+//!
+//! [`with_io_gadget`] applies this transformation; together with
+//! [`crate::topology::bipartite_switch`] it embeds classic switch-model
+//! instances (Varys/Sincronia style) into the network model, which is how
+//! the integration tests cross-check against concurrent open shop.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Per-node I/O limits for [`with_io_gadget`].
+#[derive(Clone, Copy, Debug)]
+pub struct IoLimit {
+    /// Maximum aggregate egress rate of the node.
+    pub egress: f64,
+    /// Maximum aggregate ingress rate of the node.
+    pub ingress: f64,
+}
+
+impl IoLimit {
+    /// Symmetric I/O limit.
+    pub fn symmetric(rate: f64) -> Self {
+        IoLimit {
+            egress: rate,
+            ingress: rate,
+        }
+    }
+}
+
+/// Result of applying the footnote-1 gadget.
+#[derive(Clone, Debug)]
+pub struct GadgetGraph {
+    /// The transformed graph. Node ids `0..n` are the original ("router")
+    /// nodes with identical adjacency; ids `n..2n` are the inner nodes.
+    pub graph: Graph,
+    /// `inner[v]` is the inner node that must be used as the true source
+    /// and destination for all demands of original node `v`.
+    pub inner: Vec<NodeId>,
+}
+
+/// Applies the I/O gadget to every node of `g`.
+///
+/// `limits[v]` gives the egress/ingress budget of original node `v`; the
+/// function panics if `limits.len() != g.node_count()` or any limit is not
+/// finite and positive.
+pub fn with_io_gadget(g: &Graph, limits: &[IoLimit]) -> GadgetGraph {
+    assert_eq!(
+        limits.len(),
+        g.node_count(),
+        "one IoLimit required per node"
+    );
+    let mut b = GraphBuilder::new();
+    // Router nodes first so original NodeIds stay valid in the new graph.
+    for v in g.nodes() {
+        b.add_node(g.label(v));
+    }
+    let inner: Vec<NodeId> = g
+        .nodes()
+        .map(|v| b.add_node(format!("{}#inner", g.label(v))))
+        .collect();
+    for e in g.edges() {
+        b.add_edge(e.src, e.dst, e.capacity)
+            .expect("copying a valid graph");
+    }
+    for v in g.nodes() {
+        let lim = limits[v.index()];
+        assert!(
+            lim.egress.is_finite() && lim.egress > 0.0,
+            "bad egress limit at {v:?}"
+        );
+        assert!(
+            lim.ingress.is_finite() && lim.ingress > 0.0,
+            "bad ingress limit at {v:?}"
+        );
+        // inner -> router carries egress traffic; router -> inner ingress.
+        b.add_edge(inner[v.index()], v, lim.egress).expect("valid");
+        b.add_edge(v, inner[v.index()], lim.ingress).expect("valid");
+    }
+    GadgetGraph {
+        graph: b.build(),
+        inner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::max_flow;
+    use crate::topology;
+
+    #[test]
+    fn gadget_shape() {
+        let topo = topology::swan();
+        let g = &topo.graph;
+        let limits = vec![IoLimit::symmetric(25.0); g.node_count()];
+        let gg = with_io_gadget(g, &limits);
+        assert_eq!(gg.graph.node_count(), 2 * g.node_count());
+        assert_eq!(gg.graph.edge_count(), g.edge_count() + 2 * g.node_count());
+        // Inner nodes have degree exactly 1 in, 1 out.
+        for &iv in &gg.inner {
+            assert_eq!(gg.graph.out_degree(iv), 1);
+            assert_eq!(gg.graph.in_degree(iv), 1);
+        }
+        // Original adjacency preserved between router nodes.
+        for e in g.edges() {
+            assert!(gg.graph.find_edge(e.src, e.dst).is_some());
+        }
+    }
+
+    #[test]
+    fn io_limit_caps_throughput() {
+        // SWAN's US-West has 60 Gbps of attached link bandwidth; an I/O
+        // limit of 5 must cap any single-source throughput at 5.
+        let topo = topology::swan();
+        let g = &topo.graph;
+        let src = g.node_by_label("US-West").unwrap();
+        let dst = g.node_by_label("Europe").unwrap();
+        let unlimited = max_flow(g, src, dst).value;
+        assert!(unlimited > 5.0);
+
+        let limits = vec![IoLimit::symmetric(5.0); g.node_count()];
+        let gg = with_io_gadget(g, &limits);
+        let s_in = gg.inner[src.index()];
+        let t_in = gg.inner[dst.index()];
+        let capped = max_flow(&gg.graph, s_in, t_in).value;
+        assert!((capped - 5.0).abs() < 1e-9, "capped flow = {capped}");
+    }
+
+    #[test]
+    fn switch_model_embedding_is_one_to_one() {
+        // A 2-port switch with unit port rates: inner-to-inner max flow
+        // between any (in, out) pair is exactly 1.
+        let topo = topology::bipartite_switch(2, 1.0);
+        let g = &topo.graph;
+        let limits = vec![IoLimit::symmetric(1.0); g.node_count()];
+        let gg = with_io_gadget(g, &limits);
+        for &i in &topo.sources {
+            for &o in &topo.sinks {
+                let v = max_flow(&gg.graph, gg.inner[i.index()], gg.inner[o.index()]).value;
+                assert!((v - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one IoLimit required per node")]
+    fn wrong_limit_count_panics() {
+        let topo = topology::swan();
+        with_io_gadget(&topo.graph, &[IoLimit::symmetric(1.0)]);
+    }
+
+    #[test]
+    fn asymmetric_limits() {
+        let topo = topology::ring(4, 100.0);
+        let g = &topo.graph;
+        let mut limits = vec![IoLimit::symmetric(50.0); g.node_count()];
+        limits[0] = IoLimit {
+            egress: 3.0,
+            ingress: 7.0,
+        };
+        let gg = with_io_gadget(g, &limits);
+        let v0 = crate::NodeId::from_index(0);
+        let v2 = crate::NodeId::from_index(2);
+        let out_flow = max_flow(&gg.graph, gg.inner[0], gg.inner[2]).value;
+        assert!((out_flow - 3.0).abs() < 1e-9);
+        let in_flow = max_flow(&gg.graph, gg.inner[2], gg.inner[0]).value;
+        assert!((in_flow - 7.0).abs() < 1e-9);
+        let _ = (v0, v2);
+    }
+}

@@ -1,0 +1,344 @@
+//! The core CSR directed-graph type.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indices `0..graph.node_count()` assigned in insertion
+/// order by [`crate::GraphBuilder::add_node`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a directed edge in a [`Graph`].
+///
+/// Edge ids are dense indices `0..graph.edge_count()` assigned in insertion
+/// order by [`crate::GraphBuilder::add_edge`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index into `0..node_count`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// The index is not validated against any particular graph; passing an
+    /// out-of-range id to graph methods panics there.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl EdgeId {
+    /// Returns the edge id as a `usize` index into `0..edge_count`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A borrowed view of one directed edge: endpoints plus capacity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeRef {
+    /// The edge's identifier.
+    pub id: EdgeId,
+    /// Tail (source) node.
+    pub src: NodeId,
+    /// Head (destination) node.
+    pub dst: NodeId,
+    /// Bandwidth `c(e) > 0`, in the instance's rate unit (e.g. Gbps).
+    pub capacity: f64,
+}
+
+/// An immutable capacitated directed graph in CSR form.
+///
+/// Both out-adjacency and in-adjacency are materialized so that flow
+/// conservation constraints (which need `δ_in(v)` and `δ_out(v)`) and
+/// path routing (which needs `δ_out(v)`) are equally cheap.
+///
+/// Construct via [`crate::GraphBuilder`].
+#[derive(Clone, Debug)]
+pub struct Graph {
+    pub(crate) labels: Vec<String>,
+    pub(crate) src: Vec<NodeId>,
+    pub(crate) dst: Vec<NodeId>,
+    pub(crate) capacity: Vec<f64>,
+    // CSR over out-edges: out_edges[out_start[v] .. out_start[v+1]]
+    pub(crate) out_start: Vec<u32>,
+    pub(crate) out_edges: Vec<EdgeId>,
+    // CSR over in-edges.
+    pub(crate) in_start: Vec<u32>,
+    pub(crate) in_edges: Vec<EdgeId>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Iterator over all node ids in increasing order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all edges in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeRef> + '_ {
+        (0..self.edge_count()).map(move |i| self.edge(EdgeId::from_index(i)))
+    }
+
+    /// The human-readable label of `v` (datacenter name, etc.).
+    #[inline]
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// Looks a node up by label. O(V).
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::from_index)
+    }
+
+    /// Full edge view for `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> EdgeRef {
+        EdgeRef {
+            id: e,
+            src: self.src[e.index()],
+            dst: self.dst[e.index()],
+            capacity: self.capacity[e.index()],
+        }
+    }
+
+    /// Tail node of `e`.
+    #[inline]
+    pub fn src(&self, e: EdgeId) -> NodeId {
+        self.src[e.index()]
+    }
+
+    /// Head node of `e`.
+    #[inline]
+    pub fn dst(&self, e: EdgeId) -> NodeId {
+        self.dst[e.index()]
+    }
+
+    /// Capacity (bandwidth) of `e`.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.capacity[e.index()]
+    }
+
+    /// Edges leaving `v` (`δ_out(v)`).
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.out_start[v.index()] as usize;
+        let hi = self.out_start[v.index() + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Edges entering `v` (`δ_in(v)`).
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.in_start[v.index()] as usize;
+        let hi = self.in_start[v.index() + 1] as usize;
+        &self.in_edges[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// First edge from `u` to `v` in insertion order, if any.
+    ///
+    /// Parallel edges are allowed; use [`Graph::edges_between`] to get all.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.out_edges(u).iter().copied().find(|&e| self.dst(e) == v)
+    }
+
+    /// All parallel edges from `u` to `v` in insertion order.
+    pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+        self.out_edges(u)
+            .iter()
+            .copied()
+            .filter(|&e| self.dst(e) == v)
+            .collect()
+    }
+
+    /// Sum of all edge capacities. Useful as a crude bandwidth budget.
+    pub fn total_capacity(&self) -> f64 {
+        self.capacity.iter().sum()
+    }
+
+    /// Minimum edge capacity; `None` for an edgeless graph.
+    pub fn min_capacity(&self) -> Option<f64> {
+        self.capacity.iter().copied().reduce(f64::min)
+    }
+
+    /// Whether every node can reach every other node (strong connectivity).
+    ///
+    /// Runs two BFS traversals (forward from node 0, backward from node 0).
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let n = self.node_count();
+        let root = NodeId::from_index(0);
+        let fwd = self.reachable_from(root);
+        if fwd.iter().filter(|&&r| r).count() != n {
+            return false;
+        }
+        // Backward reachability: BFS over in-edges.
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root.index()] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &e in self.in_edges(v) {
+                let u = self.src(e);
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        seen.iter().filter(|&&r| r).count() == n
+    }
+
+    /// Forward reachability set from `root` as a boolean mask.
+    pub fn reachable_from(&self, root: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root.index()] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &e in self.out_edges(v) {
+                let w = self.dst(e);
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let d = b.add_node("c");
+        let e0 = b.add_edge(a, c, 1.0).unwrap();
+        let e1 = b.add_edge(a, d, 2.0).unwrap();
+        let e2 = b.add_edge(c, d, 3.0).unwrap();
+        let g = b.build();
+
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_edges(a), &[e0, e1]);
+        assert_eq!(g.out_edges(c), &[e2]);
+        assert_eq!(g.out_edges(d), &[]);
+        assert_eq!(g.in_edges(d), &[e1, e2]);
+        assert_eq!(g.in_edges(a), &[]);
+        assert_eq!(g.capacity(e2), 3.0);
+        assert_eq!(g.src(e2), c);
+        assert_eq!(g.dst(e2), d);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let mut b = GraphBuilder::new();
+        let ny = b.add_node("NY");
+        let la = b.add_node("LA");
+        b.add_edge(ny, la, 10.0).unwrap();
+        let g = b.build();
+        assert_eq!(g.label(ny), "NY");
+        assert_eq!(g.node_by_label("LA"), Some(la));
+        assert_eq!(g.node_by_label("SF"), None);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let e0 = b.add_edge(a, c, 1.0).unwrap();
+        let e1 = b.add_edge(a, c, 2.0).unwrap();
+        let g = b.build();
+        assert_eq!(g.edges_between(a, c), vec![e0, e1]);
+        assert_eq!(g.find_edge(a, c), Some(e0));
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, 1.0).unwrap();
+        let g = b.build();
+        assert!(!g.is_strongly_connected());
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_bidirected(a, c, 1.0).unwrap();
+        let g = b.build();
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn capacity_aggregates() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, 1.5).unwrap();
+        b.add_edge(c, a, 2.5).unwrap();
+        let g = b.build();
+        assert_eq!(g.total_capacity(), 4.0);
+        assert_eq!(g.min_capacity(), Some(1.5));
+    }
+}

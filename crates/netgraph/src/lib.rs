@@ -1,0 +1,64 @@
+//! Capacitated directed-graph substrate for coflow scheduling.
+//!
+//! This crate provides the network model used by the SPAA 2019 paper
+//! *Near Optimal Coflow Scheduling in Networks*: a directed graph
+//! `G = (V, E)` with a capacity (bandwidth) function `c : E → R+`.
+//!
+//! It contains:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) directed graph with
+//!   per-edge capacities and O(1) access to both out- and in-adjacency,
+//!   built through [`GraphBuilder`].
+//! * [`topology`] — the two WAN topologies evaluated in the paper
+//!   (Microsoft SWAN and Google G-Scale/B4) plus parametric generators
+//!   (line, ring, star, grid, random connected, the paper's Figure 2
+//!   example, and a big-switch bipartite fabric).
+//! * [`shortest`] — BFS shortest paths, the shortest-path DAG, exact path
+//!   counting, and uniform sampling of a random shortest path (the paper
+//!   assigns "one of the shortest paths" chosen at random to each flow in
+//!   the single-path experiments).
+//! * [`ksp`] — Yen's k-shortest loopless paths, used by the multi-path
+//!   transmission model.
+//! * [`maxflow`] — Dinic's maximum-flow algorithm, used to compute
+//!   standalone completion times of single-flow coflows and to validate
+//!   routability.
+//! * [`gadget`] — the I/O-constrained datacenter gadget of the paper's
+//!   footnote 1, which embeds big-switch instances into the graph model.
+//!
+//! # Example
+//!
+//! ```
+//! use coflow_netgraph::{GraphBuilder, shortest};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node("a");
+//! let c = b.add_node("c");
+//! let d = b.add_node("d");
+//! b.add_edge(a, c, 10.0).unwrap();
+//! b.add_edge(c, d, 5.0).unwrap();
+//! let g = b.build();
+//!
+//! let dist = shortest::bfs_distances(&g, a);
+//! assert_eq!(dist[d.index()], Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod error;
+mod graph;
+
+pub mod dot;
+pub mod gadget;
+pub mod ksp;
+pub mod maxflow;
+pub mod paths;
+pub mod random;
+pub mod shortest;
+pub mod topology;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
+pub use paths::Path;

@@ -1,0 +1,202 @@
+//! Path representation and validation.
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A simple directed path: an ordered list of edges whose endpoints chain.
+///
+/// Paths are the routing unit of the *single path* model and the candidate
+/// set of the *multi path* model. A path with zero edges is permitted only
+/// when source equals destination, which the coflow model never produces
+/// (flows with `src == dst` are filtered out at instance construction).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Creates a path from a chained edge list, validating against `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidPath`] when consecutive edges do not chain
+    /// (`dst(e_i) != src(e_{i+1})`), when the edge list is empty, or when a
+    /// node repeats (the path is not simple).
+    pub fn new(g: &Graph, edges: Vec<EdgeId>) -> Result<Self, GraphError> {
+        if edges.is_empty() {
+            return Err(GraphError::InvalidPath("empty edge list".into()));
+        }
+        for w in edges.windows(2) {
+            if g.dst(w[0]) != g.src(w[1]) {
+                return Err(GraphError::InvalidPath(format!(
+                    "edges {:?} and {:?} do not chain",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(g.src(edges[0]));
+        for &e in &edges {
+            if !seen.insert(g.dst(e)) {
+                return Err(GraphError::InvalidPath(format!(
+                    "node {:?} repeats; path is not simple",
+                    g.dst(e)
+                )));
+            }
+        }
+        Ok(Path { edges })
+    }
+
+    /// Builds a path from a node sequence, resolving each hop to the first
+    /// edge between consecutive nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidPath`] if some consecutive pair has no edge.
+    pub fn from_nodes(g: &Graph, nodes: &[NodeId]) -> Result<Self, GraphError> {
+        if nodes.len() < 2 {
+            return Err(GraphError::InvalidPath(
+                "need at least two nodes".into(),
+            ));
+        }
+        let mut edges = Vec::with_capacity(nodes.len() - 1);
+        for w in nodes.windows(2) {
+            let e = g.find_edge(w[0], w[1]).ok_or_else(|| {
+                GraphError::InvalidPath(format!("no edge {:?} → {:?}", w[0], w[1]))
+            })?;
+            edges.push(e);
+        }
+        Path::new(g, edges)
+    }
+
+    /// The edges of the path in order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of hops (edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Always false: empty paths cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Source node (tail of the first edge).
+    #[inline]
+    pub fn source(&self, g: &Graph) -> NodeId {
+        g.src(self.edges[0])
+    }
+
+    /// Destination node (head of the last edge).
+    #[inline]
+    pub fn dest(&self, g: &Graph) -> NodeId {
+        g.dst(*self.edges.last().expect("paths are non-empty"))
+    }
+
+    /// The node sequence `src, ..., dst` of the path.
+    pub fn nodes(&self, g: &Graph) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        out.push(self.source(g));
+        for &e in &self.edges {
+            out.push(g.dst(e));
+        }
+        out
+    }
+
+    /// Bottleneck (minimum) capacity along the path.
+    pub fn bottleneck(&self, g: &Graph) -> f64 {
+        self.edges
+            .iter()
+            .map(|&e| g.capacity(e))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether the path uses edge `e`.
+    #[inline]
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Renders the path as `a -> b -> c` using graph labels.
+    pub fn display(&self, g: &Graph) -> String {
+        let nodes = self.nodes(g);
+        nodes
+            .iter()
+            .map(|&v| g.label(v).to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        // s -> a -> t and s -> b -> t
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let bb = b.add_node("b");
+        let t = b.add_node("t");
+        b.add_edge(s, a, 2.0).unwrap();
+        b.add_edge(a, t, 3.0).unwrap();
+        b.add_edge(s, bb, 5.0).unwrap();
+        b.add_edge(bb, t, 1.0).unwrap();
+        (b.build(), vec![s, a, bb, t])
+    }
+
+    #[test]
+    fn from_nodes_resolves_edges() {
+        let (g, n) = diamond();
+        let p = Path::from_nodes(&g, &[n[0], n[1], n[3]]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.source(&g), n[0]);
+        assert_eq!(p.dest(&g), n[3]);
+        assert_eq!(p.bottleneck(&g), 2.0);
+        assert_eq!(p.display(&g), "s -> a -> t");
+    }
+
+    #[test]
+    fn rejects_disconnected_chain() {
+        let (g, n) = diamond();
+        assert!(Path::from_nodes(&g, &[n[1], n[2]]).is_err());
+        assert!(Path::from_nodes(&g, &[n[0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_nonchaining_edges() {
+        let (g, _) = diamond();
+        let e_sa = EdgeId::from_index(0);
+        let e_bt = EdgeId::from_index(3);
+        assert!(Path::new(&g, vec![e_sa, e_bt]).is_err());
+        assert!(Path::new(&g, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_repeated_nodes() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node("u");
+        let v = b.add_node("v");
+        let (uv, vu) = b.add_bidirected(u, v, 1.0).unwrap();
+        let g = b.build();
+        // u -> v -> u revisits u.
+        assert!(Path::new(&g, vec![uv, vu]).is_err());
+    }
+
+    #[test]
+    fn nodes_roundtrip() {
+        let (g, n) = diamond();
+        let p = Path::from_nodes(&g, &[n[0], n[2], n[3]]).unwrap();
+        assert_eq!(p.nodes(&g), vec![n[0], n[2], n[3]]);
+        assert!(p.contains_edge(EdgeId::from_index(2)));
+        assert!(!p.contains_edge(EdgeId::from_index(0)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Random topology generators for scalability studies.
+//!
+//! The paper evaluates on two fixed WANs; studying how the LP size, the
+//! simplex, and the rounding algorithms *scale* needs families of graphs
+//! with a tunable size knob. This module provides the two standard
+//! models from the network-topology literature plus a classic stress
+//! shape:
+//!
+//! * [`waxman`] — the Waxman (1988) spatial model: nodes in the unit
+//!   square, link probability decaying with distance
+//!   (`α·exp(−d/(β·√2))`). Produces WAN-like graphs: mostly short
+//!   regional links, a few long-haul ones.
+//! * [`gnp`] — Erdős–Rényi `G(n, p)` over bi-directed links; the
+//!   structureless control case.
+//! * [`dumbbell`] — two full-mesh clusters joined by one thin link; the
+//!   canonical congestion scenario (every cross-cluster coflow fights
+//!   for the waist).
+//!
+//! All generators guarantee **strong connectivity** by first laying a
+//! random bi-directed spanning tree and only then sprinkling the
+//! model-specific links — an instance with unroutable flows is useless
+//! for scheduling experiments. All are deterministic given the `Rng`
+//! state; experiments pass seeded [`rand::rngs::StdRng`]s.
+
+use crate::builder::GraphBuilder;
+use crate::graph::NodeId;
+use crate::topology::Topology;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of the [`waxman`] model.
+#[derive(Clone, Copy, Debug)]
+pub struct WaxmanParams {
+    /// Overall link density, `0 < α ≤ 1`. Typical: 0.4.
+    pub alpha: f64,
+    /// Distance decay, `0 < β ≤ 1`; larger β keeps long links alive.
+    /// Typical: 0.3.
+    pub beta: f64,
+    /// Uniform capacity range for generated links.
+    pub cap_range: (f64, f64),
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        WaxmanParams {
+            alpha: 0.4,
+            beta: 0.3,
+            cap_range: (10.0, 40.0),
+        }
+    }
+}
+
+/// Waxman random WAN on `n` nodes. See module docs.
+///
+/// Returns the topology together with the node coordinates (useful for
+/// plotting or distance-aware workloads).
+pub fn waxman<R: Rng + ?Sized>(
+    n: usize,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> (Topology, Vec<(f64, f64)>) {
+    assert!(n >= 2, "waxman needs at least 2 nodes");
+    assert!(params.alpha > 0.0 && params.alpha <= 1.0, "bad alpha");
+    assert!(params.beta > 0.0 && params.beta <= 1.0, "bad beta");
+    let (clo, chi) = params.cap_range;
+    assert!(clo > 0.0 && chi >= clo, "bad capacity range");
+
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let mut b = GraphBuilder::with_nodes(n);
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.node(i).expect("exists")).collect();
+    let mut have = vec![false; n * n];
+    let link = |b: &mut GraphBuilder, have: &mut Vec<bool>, i: usize, j: usize, cap: f64| {
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        if !have[i * n + j] {
+            have[i * n + j] = true;
+            b.add_bidirected(nodes[i], nodes[j], cap).expect("valid");
+        }
+    };
+
+    // Connectivity backbone: random spanning tree.
+    let mut order: Vec<usize> = (1..n).collect();
+    order.shuffle(rng);
+    for &i in &order {
+        let j = rng.gen_range(0..i);
+        let cap = rng.gen_range(clo..=chi);
+        link(&mut b, &mut have, i, j, cap);
+    }
+    // Waxman links. L = √2 is the max distance in the unit square.
+    let l = std::f64::consts::SQRT_2;
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = ((coords[i].0 - coords[j].0).powi(2) + (coords[i].1 - coords[j].1).powi(2))
+                .sqrt();
+            let p = params.alpha * (-d / (params.beta * l)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let cap = rng.gen_range(clo..=chi);
+                link(&mut b, &mut have, i, j, cap);
+            }
+        }
+    }
+    (Topology::all_nodes("Waxman", b.build()), coords)
+}
+
+/// Erdős–Rényi `G(n, p)` over bi-directed links with a spanning-tree
+/// connectivity backbone. See module docs.
+pub fn gnp<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    cap_range: (f64, f64),
+    rng: &mut R,
+) -> Topology {
+    assert!(n >= 2, "gnp needs at least 2 nodes");
+    assert!((0.0..=1.0).contains(&p), "bad probability");
+    let (clo, chi) = cap_range;
+    assert!(clo > 0.0 && chi >= clo, "bad capacity range");
+    let mut b = GraphBuilder::with_nodes(n);
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.node(i).expect("exists")).collect();
+    let mut have = vec![false; n * n];
+    let mut order: Vec<usize> = (1..n).collect();
+    order.shuffle(rng);
+    for &i in &order {
+        let j = rng.gen_range(0..i);
+        have[j * n + i] = true;
+        b.add_bidirected(nodes[i], nodes[j], rng.gen_range(clo..=chi))
+            .expect("valid");
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if !have[i * n + j] && rng.gen_bool(p) {
+                b.add_bidirected(nodes[i], nodes[j], rng.gen_range(clo..=chi))
+                    .expect("valid");
+            }
+        }
+    }
+    Topology::all_nodes("Gnp", b.build())
+}
+
+/// Two `k`-node full-mesh clusters joined by a single bi-directed link
+/// of capacity `waist_cap`; intra-cluster links carry `mesh_cap`.
+///
+/// Sources are the left cluster, sinks the right one, so every flow of a
+/// generated workload crosses the waist — the sharpest possible
+/// contention for completion-time experiments.
+pub fn dumbbell(k: usize, mesh_cap: f64, waist_cap: f64) -> Topology {
+    assert!(k >= 1, "dumbbell needs at least 1 node per side");
+    assert!(mesh_cap > 0.0 && waist_cap > 0.0);
+    let mut b = GraphBuilder::new();
+    let left: Vec<NodeId> = (0..k).map(|i| b.add_node(format!("L{i}"))).collect();
+    let right: Vec<NodeId> = (0..k).map(|i| b.add_node(format!("R{i}"))).collect();
+    for side in [&left, &right] {
+        for i in 0..k {
+            for j in i + 1..k {
+                b.add_bidirected(side[i], side[j], mesh_cap).expect("valid");
+            }
+        }
+    }
+    b.add_bidirected(left[0], right[0], waist_cap).expect("valid");
+    let g = b.build();
+    Topology {
+        name: "Dumbbell".into(),
+        graph: g,
+        sources: left,
+        sinks: right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn waxman_is_strongly_connected_and_deterministic() {
+        for seed in [1u64, 2, 40] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (t, coords) = waxman(20, WaxmanParams::default(), &mut rng);
+            assert_eq!(t.graph.node_count(), 20);
+            assert_eq!(coords.len(), 20);
+            assert!(t.graph.is_strongly_connected(), "seed {seed}");
+            // Bi-directed: edge count even, both directions present.
+            assert_eq!(t.graph.edge_count() % 2, 0);
+            // Determinism.
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let (t2, coords2) = waxman(20, WaxmanParams::default(), &mut rng2);
+            assert_eq!(t.graph.edge_count(), t2.graph.edge_count());
+            assert_eq!(coords, coords2);
+        }
+    }
+
+    #[test]
+    fn waxman_prefers_short_links() {
+        // Beyond the spanning tree, Waxman links should be biased toward
+        // short distances: mean link length below mean pairwise distance.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (t, coords) = waxman(
+            40,
+            WaxmanParams {
+                alpha: 0.6,
+                beta: 0.15, // strong locality
+                cap_range: (1.0, 1.0),
+            },
+            &mut rng,
+        );
+        let dist = |a: (f64, f64), b: (f64, f64)| -> f64 {
+            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+        };
+        let mut link_len = 0.0;
+        let mut links = 0.0;
+        for e in t.graph.edges() {
+            link_len += dist(coords[e.src.index()], coords[e.dst.index()]);
+            links += 1.0;
+        }
+        let mut pair_len = 0.0;
+        let mut pairs = 0.0;
+        for i in 0..coords.len() {
+            for j in i + 1..coords.len() {
+                pair_len += dist(coords[i], coords[j]);
+                pairs += 1.0;
+            }
+        }
+        assert!(
+            link_len / links < pair_len / pairs,
+            "links not shorter on average: {} vs {}",
+            link_len / links,
+            pair_len / pairs
+        );
+    }
+
+    #[test]
+    fn gnp_connected_at_any_probability() {
+        for p in [0.0, 0.1, 0.9] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let t = gnp(15, p, (1.0, 5.0), &mut rng);
+            assert!(t.graph.is_strongly_connected(), "p={p}");
+        }
+        // p = 0 leaves exactly the spanning tree.
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = gnp(15, 0.0, (1.0, 5.0), &mut rng);
+        assert_eq!(t.graph.edge_count(), 28); // 14 tree links x 2
+    }
+
+    #[test]
+    fn gnp_density_increases_with_p() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let sparse = gnp(30, 0.05, (1.0, 2.0), &mut r1);
+        let dense = gnp(30, 0.6, (1.0, 2.0), &mut r2);
+        assert!(dense.graph.edge_count() > sparse.graph.edge_count());
+    }
+
+    #[test]
+    fn dumbbell_waist_is_the_only_crossing() {
+        let t = dumbbell(4, 100.0, 1.0);
+        assert_eq!(t.graph.node_count(), 8);
+        assert!(t.graph.is_strongly_connected());
+        assert_eq!(t.sources.len(), 4);
+        assert_eq!(t.sinks.len(), 4);
+        // Exactly one link (2 directed edges) crosses the clusters.
+        let crossing = t
+            .graph
+            .edges()
+            .filter(|e| {
+                let sl = t.graph.label(e.src).starts_with('L');
+                let dl = t.graph.label(e.dst).starts_with('L');
+                sl != dl
+            })
+            .count();
+        assert_eq!(crossing, 2);
+        // The waist carries the thin capacity.
+        for e in t.graph.edges() {
+            let cross =
+                t.graph.label(e.src).starts_with('L') != t.graph.label(e.dst).starts_with('L');
+            if cross {
+                assert_eq!(e.capacity, 1.0);
+            } else {
+                assert_eq!(e.capacity, 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_clusters_still_work() {
+        let t = dumbbell(1, 5.0, 2.0);
+        assert_eq!(t.graph.node_count(), 2);
+        assert_eq!(t.graph.edge_count(), 2);
+        assert!(t.graph.is_strongly_connected());
+    }
+}

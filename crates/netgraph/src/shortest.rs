@@ -1,0 +1,399 @@
+//! Shortest-path machinery: BFS, the shortest-path DAG, exact path
+//! counting, and uniform random sampling of shortest paths.
+//!
+//! The single-path experiments in the paper (§6.2) state: *"For a source
+//! sink pair `(s, t)`, we randomly select one of the shortest paths as the
+//! path for flow `f`."* [`random_shortest_path`] implements exactly that —
+//! each shortest path is returned with equal probability — by counting
+//! suffix paths over the shortest-path DAG and sampling proportionally.
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::paths::Path;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Hop distances from `src` to every node; `None` when unreachable.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        for &e in g.out_edges(v) {
+            let w = g.dst(e);
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(dv + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distances from every node *to* `dst` (BFS over reversed edges).
+pub fn bfs_distances_to(g: &Graph, dst: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[dst.index()] = Some(0);
+    queue.push_back(dst);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        for &e in g.in_edges(v) {
+            let u = g.src(e);
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// One arbitrary shortest path from `src` to `dst` (deterministic:
+/// follows lowest-id DAG edges).
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Result<Path, GraphError> {
+    let dag = ShortestPathDag::new(g, src, dst)?;
+    let mut edges = Vec::new();
+    let mut v = src;
+    while v != dst {
+        let e = dag.dag_out_edges(v)[0];
+        edges.push(e);
+        v = g.dst(e);
+    }
+    Path::new(g, edges)
+}
+
+/// The DAG of edges that lie on at least one shortest `src → dst` path,
+/// together with the count of shortest paths through each node.
+///
+/// Counts are exact `u128` values; WAN-scale graphs cannot overflow them
+/// (the count is bounded by `max_out_degree^diameter`).
+pub struct ShortestPathDag {
+    src: NodeId,
+    dst: NodeId,
+    /// `dag_edges[v]` lists out-edges of `v` that lie on a shortest path.
+    dag_edges: Vec<Vec<EdgeId>>,
+    /// `suffix_count[v]` = number of shortest `v → dst` paths, or 0 when
+    /// `v` is not on any shortest `src → dst` path.
+    suffix_count: Vec<u128>,
+}
+
+impl ShortestPathDag {
+    /// Builds the shortest-path DAG between `src` and `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NoPath`] when `dst` is unreachable from `src`.
+    pub fn new(g: &Graph, src: NodeId, dst: NodeId) -> Result<Self, GraphError> {
+        let d_from = bfs_distances(g, src);
+        let d_to = bfs_distances_to(g, dst);
+        let total = match d_from[dst.index()] {
+            Some(d) => d,
+            None => return Err(GraphError::NoPath { src, dst }),
+        };
+
+        let n = g.node_count();
+        let mut dag_edges = vec![Vec::new(); n];
+        for v in g.nodes() {
+            let (Some(dv), Some(_)) = (d_from[v.index()], d_to[v.index()]) else {
+                continue;
+            };
+            for &e in g.out_edges(v) {
+                let w = g.dst(e);
+                if let Some(tw) = d_to[w.index()] {
+                    if dv + 1 + tw == total {
+                        dag_edges[v.index()].push(e);
+                    }
+                }
+            }
+        }
+
+        // Suffix counts in decreasing distance-from-src order; every DAG
+        // edge goes from distance d to d+1, so this is a topological order
+        // processed backwards.
+        let mut order: Vec<NodeId> = g
+            .nodes()
+            .filter(|v| d_from[v.index()].is_some() && d_to[v.index()].is_some())
+            .collect();
+        order.sort_by_key(|v| std::cmp::Reverse(d_from[v.index()]));
+        let mut suffix_count = vec![0u128; n];
+        suffix_count[dst.index()] = 1;
+        for v in order {
+            if v == dst {
+                continue;
+            }
+            let mut c: u128 = 0;
+            for &e in &dag_edges[v.index()] {
+                c = c.saturating_add(suffix_count[g.dst(e).index()]);
+            }
+            suffix_count[v.index()] = c;
+        }
+
+        Ok(ShortestPathDag {
+            src,
+            dst,
+            dag_edges,
+            suffix_count,
+        })
+    }
+
+    /// Shortest-path hop count between the endpoints.
+    pub fn path_len(&self, g: &Graph) -> usize {
+        // Follow any DAG chain; equivalently recompute from counts.
+        let mut v = self.src;
+        let mut hops = 0;
+        while v != self.dst {
+            let e = self.dag_edges[v.index()][0];
+            v = g.dst(e);
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Number of distinct shortest `src → dst` paths.
+    pub fn path_count(&self) -> u128 {
+        self.suffix_count[self.src.index()]
+    }
+
+    /// Out-edges of `v` that lie on some shortest path.
+    pub fn dag_out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.dag_edges[v.index()]
+    }
+
+    /// Samples one shortest path uniformly at random.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Path {
+        let mut edges = Vec::new();
+        let mut v = self.src;
+        while v != self.dst {
+            let total = self.suffix_count[v.index()];
+            debug_assert!(total > 0);
+            // Draw r in [0, total) and walk the CDF over DAG out-edges.
+            let r = rng.gen_range(0..total);
+            let mut acc: u128 = 0;
+            let mut chosen = None;
+            for &e in &self.dag_edges[v.index()] {
+                acc += self.suffix_count[g.dst(e).index()];
+                if r < acc {
+                    chosen = Some(e);
+                    break;
+                }
+            }
+            let e = chosen.expect("suffix counts cover all DAG edges");
+            edges.push(e);
+            v = g.dst(e);
+        }
+        Path::new(g, edges).expect("DAG walks produce valid simple paths")
+    }
+
+    /// Enumerates all shortest paths. Exponential in the worst case — only
+    /// for small graphs and tests; guarded by `limit`.
+    pub fn enumerate(&self, g: &Graph, limit: usize) -> Vec<Path> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.enumerate_rec(g, self.src, &mut stack, &mut out, limit);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        g: &Graph,
+        v: NodeId,
+        stack: &mut Vec<EdgeId>,
+        out: &mut Vec<Path>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if v == self.dst {
+            out.push(Path::new(g, stack.clone()).expect("valid DAG path"));
+            return;
+        }
+        for &e in &self.dag_edges[v.index()] {
+            stack.push(e);
+            self.enumerate_rec(g, g.dst(e), stack, out, limit);
+            stack.pop();
+        }
+    }
+}
+
+/// Convenience wrapper: a uniformly random shortest path from `src` to
+/// `dst`, or [`GraphError::NoPath`].
+pub fn random_shortest_path<R: Rng + ?Sized>(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    rng: &mut R,
+) -> Result<Path, GraphError> {
+    Ok(ShortestPathDag::new(g, src, dst)?.sample_uniform(g, rng))
+}
+
+/// Dijkstra distances with per-edge costs given by `cost`; `None` when
+/// unreachable. Used by the weighted variant of Yen's algorithm.
+pub fn dijkstra(g: &Graph, src: NodeId, cost: &dyn Fn(EdgeId) -> f64) -> Vec<Option<f64>> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Item(f64, NodeId);
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on cost.
+            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let mut dist: Vec<Option<f64>> = vec![None; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = Some(0.0);
+    heap.push(Item(0.0, src));
+    while let Some(Item(d, v)) = heap.pop() {
+        if dist[v.index()].is_none_or(|best| d > best + 1e-12) {
+            continue;
+        }
+        for &e in g.out_edges(v) {
+            let w = g.dst(e);
+            let c = cost(e);
+            debug_assert!(c >= 0.0, "dijkstra requires non-negative costs");
+            let nd = d + c;
+            if dist[w.index()].is_none_or(|best| nd < best - 1e-12) {
+                dist[w.index()] = Some(nd);
+                heap.push(Item(nd, w));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 2x2 grid-ish graph with two shortest s->t paths.
+    fn two_path_graph() -> (Graph, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let t = b.add_node("t");
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, t, 1.0).unwrap();
+        b.add_edge(s, c, 1.0).unwrap();
+        b.add_edge(c, t, 1.0).unwrap();
+        // A longer 3-hop detour that must never be sampled.
+        let d = b.add_node("d");
+        b.add_edge(s, d, 1.0).unwrap();
+        b.add_edge(d, a, 1.0).unwrap();
+        let g = b.build();
+        (g, s, t)
+    }
+
+    #[test]
+    fn bfs_both_directions() {
+        let (g, s, t) = two_path_graph();
+        let df = bfs_distances(&g, s);
+        assert_eq!(df[t.index()], Some(2));
+        let dt = bfs_distances_to(&g, t);
+        assert_eq!(dt[s.index()], Some(2));
+        assert_eq!(dt[t.index()], Some(0));
+    }
+
+    #[test]
+    fn dag_counts_paths_exactly() {
+        let (g, s, t) = two_path_graph();
+        let dag = ShortestPathDag::new(&g, s, t).unwrap();
+        assert_eq!(dag.path_count(), 2);
+        assert_eq!(dag.path_len(&g), 2);
+        let all = dag.enumerate(&g, 100);
+        assert_eq!(all.len(), 2);
+        for p in &all {
+            assert_eq!(p.len(), 2);
+            assert_eq!(p.source(&g), s);
+            assert_eq!(p.dest(&g), t);
+        }
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_shortest_paths() {
+        let (g, s, t) = two_path_graph();
+        let dag = ShortestPathDag::new(&g, s, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        const N: usize = 4000;
+        for _ in 0..N {
+            let p = dag.sample_uniform(&g, &mut rng);
+            assert_eq!(p.len(), 2, "sampled a non-shortest path");
+            *counts.entry(p.edges().to_vec()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 2);
+        for &c in counts.values() {
+            // Each path should appear ~N/2 times; 4 sigma ≈ 126.
+            assert!((c as i64 - (N / 2) as i64).abs() < 300, "count {c}");
+        }
+    }
+
+    #[test]
+    fn no_path_is_an_error() {
+        let b = GraphBuilder::with_nodes(2);
+        let g = b.clone().build();
+        let (u, v) = (b.node(0).unwrap(), b.node(1).unwrap());
+        assert!(matches!(
+            ShortestPathDag::new(&g, u, v),
+            Err(GraphError::NoPath { .. })
+        ));
+        assert!(random_shortest_path(&g, u, v, &mut StdRng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn deterministic_shortest_path() {
+        let (g, s, t) = two_path_graph();
+        let p1 = shortest_path(&g, s, t).unwrap();
+        let p2 = shortest_path(&g, s, t).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 2);
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bfs_on_unit_costs() {
+        let g = topology::gscale().graph;
+        for src in g.nodes() {
+            let bfs = bfs_distances(&g, src);
+            let dij = dijkstra(&g, src, &|_| 1.0);
+            for v in g.nodes() {
+                match (bfs[v.index()], dij[v.index()]) {
+                    (Some(b), Some(d)) => assert!((b as f64 - d).abs() < 1e-9),
+                    (None, None) => {}
+                    other => panic!("reachability mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_count_on_switch_fabric() {
+        // In a 3x3 big-switch bipartite fabric every (in, out) pair has
+        // exactly one shortest path (the direct edge).
+        let topo = topology::bipartite_switch(3, 1.0);
+        let g = &topo.graph;
+        for i in 0..3 {
+            for j in 0..3 {
+                let s = g.node_by_label(&format!("in{i}")).unwrap();
+                let t = g.node_by_label(&format!("out{j}")).unwrap();
+                let dag = ShortestPathDag::new(g, s, t).unwrap();
+                assert_eq!(dag.path_count(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Network topologies: the two WANs evaluated in the paper plus
+//! parametric generators used by tests and benchmarks.
+//!
+//! The paper evaluates on:
+//!
+//! * **SWAN** — Microsoft's inter-datacenter WAN "with 5 datacenters and
+//!   7 inter-datacenter links" (Hong et al., SIGCOMM 2013).
+//! * **G-Scale** — Google's B4 inter-datacenter WAN "with 12 datacenters
+//!   and 19 inter-datacenter links" (Jain et al., SIGCOMM 2013).
+//!
+//! Neither paper publishes a machine-readable adjacency list, so
+//! [`swan`] and [`gscale`] reconstruct the published maps: node/link
+//! counts are exact, the shape (path diversity, continental clusters,
+//! express links) follows the published figures, and link bandwidths use
+//! the tens-of-Gbps range described by Hong et al. The reconstruction is
+//! documented inline and in `DESIGN.md` §4; every capacity can be
+//! rescaled with [`Topology::scale_capacity`].
+//!
+//! All WAN links are *bi-directed*: each direction is an independent
+//! directed edge with its own bandwidth, as in the paper's Figure 2.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A named graph plus the node sets eligible as flow endpoints.
+///
+/// For WAN topologies every node is a datacenter and may source or sink
+/// flows. For the bipartite switch fabric, sources are the input ports and
+/// sinks the output ports.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Human-readable topology name (used in experiment output).
+    pub name: String,
+    /// The underlying capacitated digraph.
+    pub graph: Graph,
+    /// Nodes eligible as flow sources.
+    pub sources: Vec<NodeId>,
+    /// Nodes eligible as flow sinks.
+    pub sinks: Vec<NodeId>,
+}
+
+impl Topology {
+    pub(crate) fn all_nodes(name: &str, graph: Graph) -> Self {
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        Topology {
+            name: name.to_string(),
+            graph,
+            sources: nodes.clone(),
+            sinks: nodes,
+        }
+    }
+
+    /// Returns a copy with every edge capacity multiplied by `factor`.
+    ///
+    /// Useful to convert Gbps capacities into per-slot volumes (capacity ×
+    /// slot seconds) or to stress-test at lower bandwidth.
+    pub fn scale_capacity(&self, factor: f64) -> Topology {
+        assert!(factor.is_finite() && factor > 0.0, "bad scale factor");
+        let mut b = GraphBuilder::new();
+        for v in self.graph.nodes() {
+            b.add_node(self.graph.label(v));
+        }
+        for e in self.graph.edges() {
+            b.add_edge(e.src, e.dst, e.capacity * factor)
+                .expect("rescaling preserves validity");
+        }
+        Topology {
+            name: self.name.clone(),
+            graph: b.build(),
+            sources: self.sources.clone(),
+            sinks: self.sinks.clone(),
+        }
+    }
+}
+
+/// Microsoft SWAN-like inter-datacenter WAN: 5 datacenters, 7 links
+/// (each link = 2 directed edges).
+///
+/// Reconstruction: a US-Europe-Asia layout in which the US datacenters
+/// form a triangle and each overseas site multi-homes to two US sites —
+/// matching the path diversity visible in Hong et al.'s figure. Link
+/// bandwidths alternate 10/40 Gbps as in their mixed-capacity deployment.
+pub fn swan() -> Topology {
+    let mut b = GraphBuilder::new();
+    let us_w = b.add_node("US-West");
+    let us_c = b.add_node("US-Central");
+    let us_e = b.add_node("US-East");
+    let eu = b.add_node("Europe");
+    let asia = b.add_node("Asia");
+    // 7 physical links.
+    for (u, v, cap) in [
+        (us_w, us_c, 40.0),
+        (us_c, us_e, 40.0),
+        (us_w, us_e, 10.0),
+        (us_e, eu, 10.0),
+        (us_c, eu, 10.0),
+        (us_w, asia, 10.0),
+        (us_c, asia, 10.0),
+    ] {
+        b.add_bidirected(u, v, cap).expect("static topology is valid");
+    }
+    Topology::all_nodes("SWAN", b.build())
+}
+
+/// Google G-Scale (B4)-like inter-datacenter WAN: 12 datacenters,
+/// 19 links (each link = 2 directed edges).
+///
+/// Reconstruction of the B4 site map (Jain et al., Figure 1): an Asia
+/// cluster, a US West triangle, central/east pairs, a coast-to-coast
+/// express link, and a dual-homed Europe cluster. Bandwidths follow the
+/// 10–100 Gbps mix described for B4.
+pub fn gscale() -> Topology {
+    let mut b = GraphBuilder::new();
+    let asia1 = b.add_node("Asia-1");
+    let asia2 = b.add_node("Asia-2");
+    let asia3 = b.add_node("Asia-3");
+    let usw1 = b.add_node("US-West-1");
+    let usw2 = b.add_node("US-West-2");
+    let usw3 = b.add_node("US-West-3");
+    let usc1 = b.add_node("US-Central-1");
+    let usc2 = b.add_node("US-Central-2");
+    let use1 = b.add_node("US-East-1");
+    let use2 = b.add_node("US-East-2");
+    let eu1 = b.add_node("EU-1");
+    let eu2 = b.add_node("EU-2");
+    // 19 physical links.
+    for (u, v, cap) in [
+        // Asia cluster.
+        (asia1, asia2, 40.0),
+        (asia1, asia3, 10.0),
+        (asia2, asia3, 40.0),
+        // Transpacific.
+        (asia1, usw1, 10.0),
+        (asia2, usw1, 10.0),
+        (asia3, usw2, 10.0),
+        // US West triangle.
+        (usw1, usw2, 100.0),
+        (usw1, usw3, 40.0),
+        (usw2, usw3, 100.0),
+        // West to central.
+        (usw2, usc1, 40.0),
+        (usw3, usc2, 40.0),
+        // Central pair, central to east.
+        (usc1, usc2, 100.0),
+        (usc1, use1, 40.0),
+        (usc2, use2, 40.0),
+        // East pair and coast-to-coast express.
+        (use1, use2, 100.0),
+        (usw1, use1, 10.0),
+        // Transatlantic, dual-homed Europe.
+        (use1, eu1, 10.0),
+        (use2, eu2, 10.0),
+        (eu1, eu2, 40.0),
+    ] {
+        b.add_bidirected(u, v, cap).expect("static topology is valid");
+    }
+    Topology::all_nodes("G-Scale", b.build())
+}
+
+/// Internet2 Abilene research backbone: 11 PoPs, 14 links (each link =
+/// 2 directed edges), uniform 10 Gbps (OC-192) trunks.
+///
+/// Unlike SWAN/G-Scale this adjacency is published exactly; it is a
+/// popular third WAN for scheduling experiments and serves here as an
+/// out-of-paper topology for robustness checks.
+pub fn abilene() -> Topology {
+    let mut b = GraphBuilder::new();
+    let sea = b.add_node("Seattle");
+    let snv = b.add_node("Sunnyvale");
+    let lax = b.add_node("Los-Angeles");
+    let den = b.add_node("Denver");
+    let kc = b.add_node("Kansas-City");
+    let hou = b.add_node("Houston");
+    let ind = b.add_node("Indianapolis");
+    let atl = b.add_node("Atlanta");
+    let chi = b.add_node("Chicago");
+    let nyc = b.add_node("New-York");
+    let dc = b.add_node("Washington-DC");
+    for (u, v) in [
+        (sea, snv),
+        (sea, den),
+        (snv, lax),
+        (snv, den),
+        (lax, hou),
+        (den, kc),
+        (kc, hou),
+        (kc, ind),
+        (hou, atl),
+        (atl, ind),
+        (atl, dc),
+        (ind, chi),
+        (chi, nyc),
+        (nyc, dc),
+    ] {
+        b.add_bidirected(u, v, 10.0).expect("static topology is valid");
+    }
+    Topology::all_nodes("Abilene", b.build())
+}
+
+/// NSFNET T1 backbone: 14 nodes, 21 links (each link = 2 directed
+/// edges), uniform capacity.
+///
+/// Reconstruction of the widely used 14-node/21-link NSFNET map from the
+/// optical-networking literature (variants differ in 1–2 links); node
+/// and link counts are exact and every node is at least 2-connected, as
+/// in the original. Capacities are uniform at 10 units; rescale with
+/// [`Topology::scale_capacity`].
+pub fn nsfnet() -> Topology {
+    let mut b = GraphBuilder::new();
+    let wa = b.add_node("WA");
+    let ca1 = b.add_node("CA1");
+    let ca2 = b.add_node("CA2");
+    let ut = b.add_node("UT");
+    let co = b.add_node("CO");
+    let tx = b.add_node("TX");
+    let ne = b.add_node("NE");
+    let il = b.add_node("IL");
+    let pa = b.add_node("PA");
+    let ga = b.add_node("GA");
+    let mi = b.add_node("MI");
+    let ny = b.add_node("NY");
+    let nj = b.add_node("NJ");
+    let md = b.add_node("MD");
+    for (u, v) in [
+        (wa, ca1),
+        (wa, ca2),
+        (wa, il),
+        (ca1, ca2),
+        (ca1, ut),
+        (ca2, tx),
+        (ut, co),
+        (ut, mi),
+        (co, tx),
+        (co, ne),
+        (tx, ga),
+        (tx, md),
+        (ne, il),
+        (il, pa),
+        (pa, ga),
+        (pa, md),
+        (ga, nj),
+        (mi, ny),
+        (mi, nj),
+        (ny, nj),
+        (ny, md),
+    ] {
+        b.add_bidirected(u, v, 10.0).expect("static topology is valid");
+    }
+    Topology::all_nodes("NSFNET", b.build())
+}
+
+/// The example network of the paper's Figure 2: source `s`, relays
+/// `v1, v2, v3`, sink `t`, every edge bi-directed with independent
+/// capacity 1.
+///
+/// Optimal total weighted completion time is 7 in the single-path model
+/// (Figure 3) and 5 in the free-path model (Figure 4) for the four
+/// unit-weight coflows described there.
+pub fn fig2_example() -> Topology {
+    let mut b = GraphBuilder::new();
+    let s = b.add_node("s");
+    let v1 = b.add_node("v1");
+    let v2 = b.add_node("v2");
+    let v3 = b.add_node("v3");
+    let t = b.add_node("t");
+    for v in [v1, v2, v3] {
+        b.add_bidirected(s, v, 1.0).expect("valid");
+        b.add_bidirected(v, t, 1.0).expect("valid");
+    }
+    Topology::all_nodes("Fig2", b.build())
+}
+
+/// A directed line `v0 → v1 → … → v{n-1}` with uniform capacity.
+pub fn line(n: usize, capacity: f64) -> Topology {
+    assert!(n >= 2, "line needs at least 2 nodes");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n - 1 {
+        b.add_edge(
+            b.node(i).expect("exists"),
+            b.node(i + 1).expect("exists"),
+            capacity,
+        )
+        .expect("valid");
+    }
+    Topology::all_nodes("Line", b.build())
+}
+
+/// A bi-directed ring on `n` nodes with uniform capacity.
+pub fn ring(n: usize, capacity: f64) -> Topology {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        let u = b.node(i).expect("exists");
+        let v = b.node((i + 1) % n).expect("exists");
+        b.add_bidirected(u, v, capacity).expect("valid");
+    }
+    Topology::all_nodes("Ring", b.build())
+}
+
+/// A bi-directed star: `hub` in the middle, `n` leaves.
+pub fn star(n_leaves: usize, capacity: f64) -> Topology {
+    assert!(n_leaves >= 1);
+    let mut b = GraphBuilder::new();
+    let hub = b.add_node("hub");
+    for i in 0..n_leaves {
+        let leaf = b.add_node(format!("leaf{i}"));
+        b.add_bidirected(hub, leaf, capacity).expect("valid");
+    }
+    let g = b.build();
+    let leaves: Vec<NodeId> = g.nodes().skip(1).collect();
+    Topology {
+        name: "Star".into(),
+        graph: g,
+        sources: leaves.clone(),
+        sinks: leaves,
+    }
+}
+
+/// A bi-directed `rows × cols` grid with uniform capacity.
+pub fn grid(rows: usize, cols: usize, capacity: f64) -> Topology {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut b = GraphBuilder::new();
+    let mut ids = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            ids.push(b.add_node(format!("g{r}_{c}")));
+        }
+    }
+    let at = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_bidirected(at(r, c), at(r, c + 1), capacity)
+                    .expect("valid");
+            }
+            if r + 1 < rows {
+                b.add_bidirected(at(r, c), at(r + 1, c), capacity)
+                    .expect("valid");
+            }
+        }
+    }
+    Topology::all_nodes("Grid", b.build())
+}
+
+/// The classical big-switch datacenter fabric as a graph: `n` input ports
+/// `in0..`, `n` output ports `out0..`, and a unit-capacity directed edge
+/// from every input to every output.
+///
+/// Coflow scheduling on this topology specializes to the switch model of
+/// Chowdhury & Stoica (HotNets 2012) when every port also carries a unit
+/// I/O constraint — see [`crate::gadget::with_io_gadget`] for the paper's
+/// footnote-1 construction that enforces those I/O limits.
+pub fn bipartite_switch(n_ports: usize, capacity: f64) -> Topology {
+    assert!(n_ports >= 1);
+    let mut b = GraphBuilder::new();
+    let ins: Vec<NodeId> = (0..n_ports).map(|i| b.add_node(format!("in{i}"))).collect();
+    let outs: Vec<NodeId> = (0..n_ports)
+        .map(|i| b.add_node(format!("out{i}")))
+        .collect();
+    for &i in &ins {
+        for &o in &outs {
+            b.add_edge(i, o, capacity).expect("valid");
+        }
+    }
+    Topology {
+        name: "Switch".into(),
+        graph: b.build(),
+        sources: ins,
+        sinks: outs,
+    }
+}
+
+/// A random strongly-connected topology: a random bi-directed spanning
+/// tree plus `extra_links` random bi-directed chords, capacities drawn
+/// uniformly from `cap_range`.
+///
+/// Used by property tests and scaling benchmarks where WAN realism is not
+/// needed but structural variety is.
+pub fn random_connected<R: Rng + ?Sized>(
+    n: usize,
+    extra_links: usize,
+    cap_range: (f64, f64),
+    rng: &mut R,
+) -> Topology {
+    assert!(n >= 2);
+    assert!(cap_range.0 > 0.0 && cap_range.1 >= cap_range.0);
+    let mut b = GraphBuilder::with_nodes(n);
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.node(i).expect("exists")).collect();
+
+    // Random spanning tree: attach each node to a random earlier node.
+    let mut order: Vec<usize> = (1..n).collect();
+    order.shuffle(rng);
+    for &i in &order {
+        let j = rng.gen_range(0..i);
+        let cap = rng.gen_range(cap_range.0..=cap_range.1);
+        b.add_bidirected(nodes[i], nodes[j], cap).expect("valid");
+    }
+    // Random chords; duplicates allowed (parallel links exist in WANs).
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_links && attempts < extra_links * 20 + 100 {
+        attempts += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let cap = rng.gen_range(cap_range.0..=cap_range.1);
+        b.add_bidirected(nodes[i], nodes[j], cap).expect("valid");
+        added += 1;
+    }
+    Topology::all_nodes("Random", b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn swan_matches_paper_counts() {
+        let t = swan();
+        assert_eq!(t.graph.node_count(), 5);
+        assert_eq!(t.graph.edge_count(), 14); // 7 links x 2 directions
+        assert!(t.graph.is_strongly_connected());
+    }
+
+    #[test]
+    fn gscale_matches_paper_counts() {
+        let t = gscale();
+        assert_eq!(t.graph.node_count(), 12);
+        assert_eq!(t.graph.edge_count(), 38); // 19 links x 2 directions
+        assert!(t.graph.is_strongly_connected());
+    }
+
+    #[test]
+    fn abilene_matches_published_counts() {
+        let t = abilene();
+        assert_eq!(t.graph.node_count(), 11);
+        assert_eq!(t.graph.edge_count(), 28); // 14 links x 2 directions
+        assert!(t.graph.is_strongly_connected());
+        // Every PoP has at least 2 neighbors (the backbone is a ring of
+        // rings, no stub sites).
+        for v in t.graph.nodes() {
+            assert!(t.graph.out_degree(v) >= 2, "{} is a stub", t.graph.label(v));
+        }
+        // Spot-check a known adjacency: Chicago–New-York.
+        let chi = t.graph.node_by_label("Chicago").unwrap();
+        let nyc = t.graph.node_by_label("New-York").unwrap();
+        assert!(t.graph.find_edge(chi, nyc).is_some());
+        assert!(t.graph.find_edge(nyc, chi).is_some());
+    }
+
+    #[test]
+    fn nsfnet_matches_published_counts() {
+        let t = nsfnet();
+        assert_eq!(t.graph.node_count(), 14);
+        assert_eq!(t.graph.edge_count(), 42); // 21 links x 2 directions
+        assert!(t.graph.is_strongly_connected());
+        for v in t.graph.nodes() {
+            assert!(t.graph.out_degree(v) >= 2, "{} is a stub", t.graph.label(v));
+        }
+    }
+
+    #[test]
+    fn fig2_structure() {
+        let t = fig2_example();
+        assert_eq!(t.graph.node_count(), 5);
+        assert_eq!(t.graph.edge_count(), 12); // 6 links x 2 directions
+        let s = t.graph.node_by_label("s").unwrap();
+        let tt = t.graph.node_by_label("t").unwrap();
+        let dag = crate::shortest::ShortestPathDag::new(&t.graph, s, tt).unwrap();
+        assert_eq!(dag.path_count(), 3); // via v1, v2, v3
+    }
+
+    #[test]
+    fn generators_are_connected() {
+        assert!(ring(6, 1.0).graph.is_strongly_connected());
+        assert!(grid(3, 4, 2.0).graph.is_strongly_connected());
+        assert!(star(5, 1.0).graph.is_strongly_connected());
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2, 5, 17] {
+            let t = random_connected(n, n, (1.0, 10.0), &mut rng);
+            assert!(t.graph.is_strongly_connected(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn line_is_weakly_connected_only() {
+        let t = line(4, 1.0);
+        assert!(!t.graph.is_strongly_connected());
+        assert_eq!(t.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn switch_fabric_shape() {
+        let t = bipartite_switch(4, 1.0);
+        assert_eq!(t.graph.node_count(), 8);
+        assert_eq!(t.graph.edge_count(), 16);
+        assert_eq!(t.sources.len(), 4);
+        assert_eq!(t.sinks.len(), 4);
+        // No in->in or out->out edges.
+        for e in t.graph.edges() {
+            assert!(t.sources.contains(&e.src));
+            assert!(t.sinks.contains(&e.dst));
+        }
+    }
+
+    #[test]
+    fn scale_capacity_scales_everything() {
+        let t = swan();
+        let t2 = t.scale_capacity(3.0);
+        assert_eq!(t.graph.edge_count(), t2.graph.edge_count());
+        for (a, b) in t.graph.edges().zip(t2.graph.edges()) {
+            assert!((b.capacity - 3.0 * a.capacity).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the graph substrate.
+
+use coflow_netgraph::ksp::{k_shortest_paths, PathCost};
+use coflow_netgraph::maxflow::max_flow;
+use coflow_netgraph::shortest::{bfs_distances, ShortestPathDag};
+use coflow_netgraph::{topology, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_topology(seed: u64, n: usize, extra: usize) -> topology::Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    topology::random_connected(n, extra, (1.0, 20.0), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-flow satisfies conservation and capacity on random graphs,
+    /// and never exceeds the source's out-capacity or sink's in-capacity.
+    #[test]
+    fn maxflow_is_a_feasible_flow(seed in 0u64..5000, n in 3usize..12, extra in 0usize..8) {
+        let topo = random_topology(seed, n, extra);
+        let g = &topo.graph;
+        let s = NodeId::from_index(0);
+        let t = NodeId::from_index(n - 1);
+        let mf = max_flow(g, s, t);
+        // Capacity.
+        for e in g.edges() {
+            let f = mf.edge_flow[e.id.index()];
+            prop_assert!(f >= -1e-9 && f <= e.capacity + 1e-9);
+        }
+        // Conservation.
+        for v in g.nodes() {
+            let out: f64 = g.out_edges(v).iter().map(|&e| mf.edge_flow[e.index()]).sum();
+            let inn: f64 = g.in_edges(v).iter().map(|&e| mf.edge_flow[e.index()]).sum();
+            let expect = if v == s { mf.value } else if v == t { -mf.value } else { 0.0 };
+            prop_assert!((out - inn - expect).abs() < 1e-6);
+        }
+        // Trivial cut bounds.
+        let out_cap: f64 = g.out_edges(s).iter().map(|&e| g.capacity(e)).sum();
+        let in_cap: f64 = g.in_edges(t).iter().map(|&e| g.capacity(e)).sum();
+        prop_assert!(mf.value <= out_cap + 1e-9);
+        prop_assert!(mf.value <= in_cap + 1e-9);
+    }
+
+    /// The shortest-path DAG's sampled paths are shortest and its count
+    /// matches explicit enumeration on small graphs.
+    #[test]
+    fn dag_count_matches_enumeration(seed in 0u64..5000, n in 3usize..9, extra in 0usize..6) {
+        let topo = random_topology(seed, n, extra);
+        let g = &topo.graph;
+        let s = NodeId::from_index(0);
+        let t = NodeId::from_index(n - 1);
+        let Ok(dag) = ShortestPathDag::new(g, s, t) else { return Ok(()); };
+        let dist = bfs_distances(g, s)[t.index()].expect("reachable");
+        let all = dag.enumerate(g, 10_000);
+        prop_assert_eq!(all.len() as u128, dag.path_count());
+        for p in &all {
+            prop_assert_eq!(p.len() as u32, dist);
+        }
+        // A sampled path is one of the enumerated ones.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let sample = dag.sample_uniform(g, &mut rng);
+        prop_assert!(all.contains(&sample));
+    }
+
+    /// Yen's paths are simple, distinct, sorted by length, and start
+    /// with the BFS-shortest length.
+    #[test]
+    fn yen_properties(seed in 0u64..5000, n in 3usize..10, extra in 0usize..8, k in 1usize..6) {
+        let topo = random_topology(seed, n, extra);
+        let g = &topo.graph;
+        let s = NodeId::from_index(0);
+        let t = NodeId::from_index(n - 1);
+        let Ok(paths) = k_shortest_paths(g, s, t, k, PathCost::Hops) else { return Ok(()); };
+        prop_assert!(!paths.is_empty() && paths.len() <= k);
+        let dist = bfs_distances(g, s)[t.index()].expect("reachable");
+        prop_assert_eq!(paths[0].len() as u32, dist);
+        let mut seen = std::collections::HashSet::new();
+        for w in paths.windows(2) {
+            prop_assert!(w[0].len() <= w[1].len());
+        }
+        for p in &paths {
+            prop_assert!(seen.insert(p.edges().to_vec()), "duplicate path");
+            prop_assert_eq!(p.source(g), s);
+            prop_assert_eq!(p.dest(g), t);
+            // Simplicity: node count == hop count + 1 and all distinct.
+            let nodes = p.nodes(g);
+            let set: std::collections::HashSet<_> = nodes.iter().collect();
+            prop_assert_eq!(set.len(), nodes.len());
+        }
+    }
+
+    /// The I/O gadget never increases reachable throughput and enforces
+    /// the configured cap exactly when it binds.
+    #[test]
+    fn gadget_caps_throughput(seed in 0u64..5000, n in 3usize..8, cap in 0.5f64..4.0) {
+        use coflow_netgraph::gadget::{with_io_gadget, IoLimit};
+        let topo = random_topology(seed, n, n);
+        let g = &topo.graph;
+        let s = NodeId::from_index(0);
+        let t = NodeId::from_index(n - 1);
+        let base = max_flow(g, s, t).value;
+        let limits = vec![IoLimit::symmetric(cap); g.node_count()];
+        let gg = with_io_gadget(g, &limits);
+        let gated = max_flow(&gg.graph, gg.inner[s.index()], gg.inner[t.index()]).value;
+        prop_assert!(gated <= base + 1e-9);
+        prop_assert!(gated <= cap + 1e-9);
+        prop_assert!((gated - base.min(cap)).abs() < 1e-6,
+            "expected min(maxflow={base}, cap={cap}), got {gated}");
+    }
+
+    /// Every random-generator output is strongly connected and carries
+    /// positive finite capacities, for arbitrary seeds and parameters.
+    #[test]
+    fn generators_always_produce_usable_wans(seed in 0u64..5000, n in 2usize..25,
+                                             p in 0.0f64..1.0, alpha in 0.05f64..1.0,
+                                             beta in 0.05f64..1.0) {
+        use coflow_netgraph::random::{gnp, waxman, WaxmanParams};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let er = gnp(n, p, (0.5, 8.0), &mut rng);
+        prop_assert!(er.graph.is_strongly_connected());
+        let (wax, coords) = waxman(n, WaxmanParams { alpha, beta, cap_range: (0.5, 8.0) },
+                                   &mut rng);
+        prop_assert!(wax.graph.is_strongly_connected());
+        prop_assert_eq!(coords.len(), n);
+        for t in [&er, &wax] {
+            for e in t.graph.edges() {
+                prop_assert!(e.capacity.is_finite() && e.capacity > 0.0);
+            }
+            // Bi-directed by construction: every edge has a reverse.
+            for e in t.graph.edges() {
+                prop_assert!(t.graph.find_edge(e.dst, e.src).is_some());
+            }
+        }
+    }
+}

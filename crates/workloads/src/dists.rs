@@ -1,0 +1,113 @@
+//! Distribution primitives used by the workload generators.
+//!
+//! `rand` alone (without `rand_distr`) ships only uniform sampling, so
+//! the handful of distributions the generators need are implemented
+//! here: exponential (inter-arrival times), normal via Box–Muller,
+//! log-normal (transfer sizes), and bounded Pareto (heavy-tailed coflow
+//! widths and the Facebook size tail).
+
+use rand::Rng;
+
+/// Exponential with rate `lambda` (mean `1/lambda`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal: `exp(mu + sigma · Z)`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0);
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Bounded Pareto on `[lo, hi]` with shape `alpha` (heavier tail for
+/// smaller `alpha`).
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+    bounded_pareto_icdf(alpha, lo, hi, rng.gen_range(0.0..1.0))
+}
+
+/// Inverse CDF of the bounded Pareto:
+/// `x = lo · (1 − u·(1 − (lo/hi)^α))^(−1/α)`.
+pub fn bounded_pareto_icdf(alpha: f64, lo: f64, hi: f64, u: f64) -> f64 {
+    let ratio = (lo / hi).powf(alpha);
+    lo * (1.0 - u * (1.0 - ratio)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.06, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 3.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // Median of log-normal = e^mu ≈ 20.09.
+        assert!((median - 20.09f64).abs() / 20.09 < 0.08, "median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5000 {
+            let x = bounded_pareto(&mut rng, 1.2, 2.0, 500.0);
+            assert!(
+                (2.0 - 1e-9..=500.0 + 1e-9).contains(&x),
+                "out of range: {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| bounded_pareto(&mut rng, 1.0, 1.0, 1000.0))
+            .collect();
+        let below_10 = xs.iter().filter(|&&x| x < 10.0).count() as f64 / n as f64;
+        // For alpha=1 truncated at 1000, ~90% of mass is below 10.
+        assert!((below_10 - 0.90).abs() < 0.03, "P(<10) = {below_10}");
+    }
+
+    #[test]
+    fn icdf_matches_sampler_edges() {
+        // u=0 -> lo, u→1 -> hi.
+        let lo = bounded_pareto_icdf(1.5, 3.0, 300.0, 0.0);
+        assert!((lo - 3.0).abs() < 1e-9, "{lo}");
+        let hi = bounded_pareto_icdf(1.5, 3.0, 300.0, 0.999999);
+        assert!(hi > 250.0, "{hi}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Job generation and instance assembly.
+
+use crate::dists::{bounded_pareto, exponential, log_normal};
+use crate::spec::{WorkloadConfig, WorkloadKind};
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::CoflowError;
+use coflow_netgraph::topology::Topology;
+use coflow_netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated job before placement: sizes in Gb, release in slots.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Coflow weight (`[1, 100]` uniform or 1.0).
+    pub weight: f64,
+    /// Release slot.
+    pub release: u32,
+    /// Flow demands in Gb.
+    pub flow_sizes: Vec<f64>,
+}
+
+/// Generates `cfg.num_jobs` jobs with the workload's width/size/arrival
+/// distributions (placement-independent).
+pub fn generate_jobs(cfg: &WorkloadConfig) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(splitmix(cfg.seed, cfg.kind));
+    let p = cfg.kind.params();
+    let mut jobs = Vec::with_capacity(cfg.num_jobs);
+    let mut arrival = 0.0f64;
+    for _ in 0..cfg.num_jobs {
+        if cfg.mean_interarrival_slots > 0.0 {
+            arrival += exponential(&mut rng, 1.0 / cfg.mean_interarrival_slots);
+        }
+        let width = (bounded_pareto(&mut rng, p.width_alpha, 1.0, p.width_max as f64 + 0.999)
+            .floor() as usize)
+            .clamp(1, p.width_max);
+        let flow_sizes = (0..width)
+            .map(|_| {
+                let gb = if rng.gen_bool(p.size_tail_prob) {
+                    bounded_pareto(
+                        &mut rng,
+                        p.size_tail_alpha,
+                        p.size_mu.exp(),
+                        p.size_tail_max,
+                    )
+                } else {
+                    log_normal(&mut rng, p.size_mu, p.size_sigma)
+                };
+                (gb * cfg.demand_scale).max(1e-3)
+            })
+            .collect();
+        let weight = if cfg.weighted {
+            rng.gen_range(1.0..=100.0)
+        } else {
+            1.0
+        };
+        jobs.push(JobSpec {
+            weight,
+            release: arrival.floor() as u32,
+            flow_sizes,
+        });
+    }
+    jobs
+}
+
+/// Places jobs onto a topology and assembles a validated instance.
+///
+/// Each flow's endpoints are drawn uniformly from the topology's source
+/// and sink node sets with `src ≠ dst` (the paper: "we randomly assign
+/// these jobs to nodes in the datacenter"). Edge capacities are scaled
+/// from Gbps to Gb-per-slot using `cfg.slot_seconds`.
+///
+/// # Errors
+///
+/// Propagates [`CoflowError::BadInstance`] from instance validation
+/// (cannot occur for strongly-connected WAN topologies).
+pub fn build_instance(
+    topo: &Topology,
+    cfg: &WorkloadConfig,
+) -> Result<CoflowInstance, CoflowError> {
+    let jobs = generate_jobs(cfg);
+    let mut rng = StdRng::seed_from_u64(splitmix(cfg.seed ^ 0x9e37_79b9, cfg.kind));
+    let scaled = topo.scale_capacity(cfg.slot_seconds);
+    let coflows = place_jobs(&jobs, &scaled.sources, &scaled.sinks, &mut rng);
+    CoflowInstance::new(scaled.graph, coflows)
+}
+
+/// Maps job specs to coflows with random distinct endpoints.
+pub fn place_jobs<R: Rng + ?Sized>(
+    jobs: &[JobSpec],
+    sources: &[NodeId],
+    sinks: &[NodeId],
+    rng: &mut R,
+) -> Vec<Coflow> {
+    assert!(!sources.is_empty() && !sinks.is_empty());
+    jobs.iter()
+        .map(|job| {
+            let flows = job
+                .flow_sizes
+                .iter()
+                .map(|&size| {
+                    let src = sources[rng.gen_range(0..sources.len())];
+                    let mut dst = sinks[rng.gen_range(0..sinks.len())];
+                    // WAN topologies share the node set between sources
+                    // and sinks; resample until distinct.
+                    while dst == src {
+                        dst = sinks[rng.gen_range(0..sinks.len())];
+                    }
+                    Flow::released(src, dst, size, job.release)
+                })
+                .collect();
+            Coflow::weighted(job.weight, flows)
+        })
+        .collect()
+}
+
+/// Mixes the seed with the workload kind so different benchmarks of the
+/// same seed do not correlate.
+fn splitmix(seed: u64, kind: WorkloadKind) -> u64 {
+    let k = match kind {
+        WorkloadKind::BigBench => 1,
+        WorkloadKind::TpcDs => 2,
+        WorkloadKind::TpcH => 3,
+        WorkloadKind::Facebook => 4,
+    };
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(k);
+    z ^= z >> 31;
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadKind;
+    use coflow_netgraph::topology;
+
+    fn cfg(kind: WorkloadKind, n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            kind,
+            num_jobs: n,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_jobs(&cfg(WorkloadKind::TpcH, 50));
+        let b = generate_jobs(&cfg(WorkloadKind::TpcH, 50));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weight, y.weight);
+            assert_eq!(x.release, y.release);
+            assert_eq!(x.flow_sizes, y.flow_sizes);
+        }
+    }
+
+    #[test]
+    fn different_kinds_differ() {
+        let a = generate_jobs(&cfg(WorkloadKind::TpcH, 20));
+        let b = generate_jobs(&cfg(WorkloadKind::TpcDs, 20));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.flow_sizes != y.flow_sizes));
+    }
+
+    #[test]
+    fn facebook_is_mostly_narrow() {
+        let jobs = generate_jobs(&cfg(WorkloadKind::Facebook, 2000));
+        let narrow = jobs.iter().filter(|j| j.flow_sizes.len() == 1).count();
+        // The FB trace characterization: a majority of coflows have a
+        // single flow.
+        assert!(
+            narrow as f64 / jobs.len() as f64 > 0.5,
+            "narrow fraction {}",
+            narrow as f64 / jobs.len() as f64
+        );
+        // But the tail must exist.
+        assert!(jobs.iter().any(|j| j.flow_sizes.len() >= 10));
+    }
+
+    #[test]
+    fn tpch_is_heavier_than_tpcds() {
+        let h = generate_jobs(&cfg(WorkloadKind::TpcH, 3000));
+        let ds = generate_jobs(&cfg(WorkloadKind::TpcDs, 3000));
+        let total = |jobs: &[JobSpec]| -> f64 {
+            jobs.iter().flat_map(|j| j.flow_sizes.iter()).sum::<f64>()
+                / jobs.iter().map(|j| j.flow_sizes.len()).sum::<usize>() as f64
+        };
+        assert!(
+            total(&h) > total(&ds),
+            "TPC-H mean {} <= TPC-DS mean {}",
+            total(&h),
+            total(&ds)
+        );
+    }
+
+    #[test]
+    fn releases_increase_and_follow_mean() {
+        let mut c = cfg(WorkloadKind::BigBench, 4000);
+        c.mean_interarrival_slots = 2.0;
+        let jobs = generate_jobs(&c);
+        let mut last = 0;
+        for j in &jobs {
+            assert!(j.release >= last);
+            last = j.release;
+        }
+        let span = jobs.last().unwrap().release as f64;
+        let expected = 2.0 * jobs.len() as f64;
+        assert!(
+            (span - expected).abs() / expected < 0.1,
+            "span {span} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn weights_span_the_paper_range() {
+        let jobs = generate_jobs(&cfg(WorkloadKind::TpcDs, 3000));
+        let min = jobs.iter().map(|j| j.weight).fold(f64::INFINITY, f64::min);
+        let max = jobs.iter().map(|j| j.weight).fold(0.0, f64::max);
+        assert!(min >= 1.0 && max <= 100.0);
+        assert!(min < 5.0 && max > 95.0, "weights should fill [1,100]");
+        let mut c = cfg(WorkloadKind::TpcDs, 10);
+        c.weighted = false;
+        assert!(generate_jobs(&c).iter().all(|j| j.weight == 1.0));
+    }
+
+    #[test]
+    fn build_instance_places_and_scales() {
+        let topo = topology::swan();
+        let mut c = cfg(WorkloadKind::Facebook, 15);
+        c.slot_seconds = 50.0;
+        let inst = build_instance(&topo, &c).unwrap();
+        assert_eq!(inst.num_coflows(), 15);
+        // Capacities scaled: SWAN links are 10/40 Gbps -> 500/2000 per slot.
+        let caps: Vec<f64> = inst.graph.edges().map(|e| e.capacity).collect();
+        assert!(caps.iter().all(|&c| (c - 500.0).abs() < 1e-9
+            || (c - 2000.0).abs() < 1e-9));
+        // All endpoints distinct.
+        for (_, f) in inst.flows() {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn demand_scale_shrinks_sizes() {
+        let base = generate_jobs(&cfg(WorkloadKind::TpcH, 30));
+        let mut c = cfg(WorkloadKind::TpcH, 30);
+        c.demand_scale = 0.1;
+        let scaled = generate_jobs(&c);
+        for (a, b) in base.iter().zip(&scaled) {
+            for (x, y) in a.flow_sizes.iter().zip(&b.flow_sizes) {
+                assert!((y - 0.1 * x).abs() < 1e-9);
+            }
+        }
+    }
+}

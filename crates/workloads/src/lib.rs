@@ -1,0 +1,41 @@
+//! Synthetic coflow workloads shaped after the paper's four benchmarks.
+//!
+//! The paper (§6) evaluates on "jobs from public benchmarks — TPC-DS,
+//! TPC-H, and BigBench — and from Facebook (FB) production traces",
+//! placed randomly onto WAN nodes, with Poisson-like release times and
+//! weights drawn uniformly from `[1, 100]`. The original shuffle traces
+//! are not redistributable, so this crate provides *parametric
+//! generators* that reproduce the published coarse statistics of each
+//! workload (coflow width mix, heavy-tailed transfer sizes, arrival
+//! process); see `DESIGN.md` §4 for the substitution rationale.
+//!
+//! Units follow `coflow-core`: demands in gigabits (Gb), capacities in
+//! Gb per slot (topology capacities in Gbps × slot seconds — use
+//! [`WorkloadConfig::slot_seconds`], the paper uses 50 s slots).
+//!
+//! # Example
+//!
+//! ```
+//! use coflow_workloads::{WorkloadConfig, WorkloadKind, build_instance};
+//! use coflow_netgraph::topology;
+//!
+//! let topo = topology::swan();
+//! let cfg = WorkloadConfig {
+//!     kind: WorkloadKind::Facebook,
+//!     num_jobs: 10,
+//!     seed: 1,
+//!     ..Default::default()
+//! };
+//! let inst = build_instance(&topo, &cfg).unwrap();
+//! assert_eq!(inst.num_coflows(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dists;
+mod generate;
+mod spec;
+
+pub use generate::{build_instance, generate_jobs, JobSpec};
+pub use spec::{WorkloadConfig, WorkloadKind, WorkloadParams};

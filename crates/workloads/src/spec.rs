@@ -1,0 +1,144 @@
+//! Workload configuration and per-benchmark parameter tables.
+
+/// Which benchmark shape to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// BigBench (TPCx-BB): mixed analytic/ML queries — moderate-width
+    /// shuffles with a few very large aggregation stages.
+    BigBench,
+    /// TPC-DS: many short decision-support queries — narrow coflows with
+    /// small-to-medium shuffle volumes.
+    TpcDs,
+    /// TPC-H: ad-hoc join-heavy queries — wider coflows with large
+    /// shuffle volumes.
+    TpcH,
+    /// Facebook production trace shape (Varys/coflow-benchmark
+    /// statistics): majority single-flow coflows, heavy-tailed widths
+    /// and sizes spanning several orders of magnitude.
+    Facebook,
+}
+
+impl WorkloadKind {
+    /// All four workloads in the paper's presentation order.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::BigBench,
+        WorkloadKind::TpcDs,
+        WorkloadKind::TpcH,
+        WorkloadKind::Facebook,
+    ];
+
+    /// Display name matching the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::BigBench => "BigBench",
+            WorkloadKind::TpcDs => "TPC-DS",
+            WorkloadKind::TpcH => "TPC-H",
+            WorkloadKind::Facebook => "FB",
+        }
+    }
+
+    /// Shape parameters for this workload.
+    pub fn params(self) -> WorkloadParams {
+        match self {
+            // Width: lognormal-ish moderate; sizes with big aggregates.
+            WorkloadKind::BigBench => WorkloadParams {
+                width_alpha: 1.6,
+                width_max: 8,
+                size_mu: 6.2, // median e^6.2 ≈ 490 Gb ≈ 49 s on a 10 Gbps link
+                size_sigma: 1.1,
+                size_tail_prob: 0.15,
+                size_tail_alpha: 1.1,
+                size_tail_max: 2.0e4,
+            },
+            WorkloadKind::TpcDs => WorkloadParams {
+                width_alpha: 2.2,
+                width_max: 5,
+                size_mu: 5.6, // median ≈ 270 Gb
+                size_sigma: 0.9,
+                size_tail_prob: 0.08,
+                size_tail_alpha: 1.3,
+                size_tail_max: 8.0e3,
+            },
+            WorkloadKind::TpcH => WorkloadParams {
+                width_alpha: 1.4,
+                width_max: 10,
+                size_mu: 6.6, // median ≈ 735 Gb
+                size_sigma: 1.0,
+                size_tail_prob: 0.20,
+                size_tail_alpha: 1.1,
+                size_tail_max: 3.0e4,
+            },
+            WorkloadKind::Facebook => WorkloadParams {
+                width_alpha: 1.1, // heaviest width tail; most coflows narrow
+                width_max: 20,
+                size_mu: 5.0, // median ≈ 148 Gb, widest spread
+                size_sigma: 1.6,
+                size_tail_prob: 0.10,
+                size_tail_alpha: 0.9,
+                size_tail_max: 5.0e4,
+            },
+        }
+    }
+}
+
+/// Shape parameters of one workload's generator.
+///
+/// Widths follow a bounded Pareto (`width_alpha`, truncated at
+/// `width_max`); flow sizes are log-normal (`size_mu`, `size_sigma` — in
+/// ln-gigabits) with probability `size_tail_prob` of being replaced by a
+/// bounded-Pareto "elephant" (`size_tail_alpha`, up to `size_tail_max`
+/// Gb). These reproduce the qualitative statistics reported for the
+/// respective benchmarks (see module docs of [`crate`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Pareto shape for coflow width (number of flows).
+    pub width_alpha: f64,
+    /// Maximum coflow width.
+    pub width_max: usize,
+    /// Log-normal location for flow sizes (ln Gb).
+    pub size_mu: f64,
+    /// Log-normal scale for flow sizes.
+    pub size_sigma: f64,
+    /// Probability a flow is an "elephant" drawn from the Pareto tail.
+    pub size_tail_prob: f64,
+    /// Pareto shape of the elephant tail.
+    pub size_tail_alpha: f64,
+    /// Maximum elephant size (Gb).
+    pub size_tail_max: f64,
+}
+
+/// Full generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Which benchmark shape.
+    pub kind: WorkloadKind,
+    /// Number of jobs (coflows); the paper uses 200 per experiment.
+    pub num_jobs: usize,
+    /// RNG seed; every run is a pure function of `(kind, seed, …)`.
+    pub seed: u64,
+    /// Slot length in seconds (capacities are Gbps × this). Paper: 50 s.
+    pub slot_seconds: f64,
+    /// Mean job inter-arrival time in slots (Poisson arrivals "similar
+    /// to production traces"). 0 disables release times.
+    pub mean_interarrival_slots: f64,
+    /// Draw weights uniformly from `[1, 100]` (paper) or set all to 1
+    /// (the unweighted Terra comparisons, Figures 11–12).
+    pub weighted: bool,
+    /// Global multiplier on all flow demands — used to scale experiments
+    /// down to LP-tractable sizes while preserving shape.
+    pub demand_scale: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            kind: WorkloadKind::Facebook,
+            num_jobs: 200,
+            seed: 0,
+            slot_seconds: 50.0,
+            mean_interarrival_slots: 1.0,
+            weighted: true,
+            demand_scale: 1.0,
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the coflow scheduling suite.
+//!
+//! Re-exports the workspace crates under one roof so that the repository's
+//! `examples/` and `tests/` can exercise the whole system through a single
+//! dependency. Downstream users should depend on the individual crates:
+//!
+//! * [`netgraph`] — capacitated digraphs, WAN topologies, paths, max-flow.
+//! * [`lp`] — the sparse revised-simplex linear-programming solver.
+//! * [`core`] — coflow instances, the time-indexed and geometric-interval
+//!   LPs, the Stretch 2-approximation, and the λ=1 LP heuristic.
+//! * [`workloads`] — BigBench / TPC-DS / TPC-H / Facebook-shaped synthetic
+//!   workload generators.
+//! * [`baselines`] — Jahanjou et al., Terra offline, SJF, and the
+//!   concurrent open shop reduction.
+
+pub use coflow_baselines as baselines;
+pub use coflow_core as core;
+pub use coflow_lp as lp;
+pub use coflow_netgraph as netgraph;
+pub use coflow_workloads as workloads;

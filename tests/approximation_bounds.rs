@@ -1,0 +1,132 @@
+//! Integration tests of Theorem 4.4's guarantee: the expected weighted
+//! completion time of the stretched schedule is at most twice the LP
+//! optimum. The expectation over λ ~ 2v is computed by deterministic
+//! grid integration (the sample mean of 1/λ has infinite variance, so
+//! Monte-Carlo checks would flake).
+
+use coflow_suite::core::model::{Coflow, CoflowInstance, Flow};
+use coflow_suite::core::routing::{self, Routing};
+use coflow_suite::core::stretch::{stretch_schedule, StretchOptions};
+use coflow_suite::core::timeidx::solve_time_indexed;
+use coflow_suite::lp::SolverOptions;
+use coflow_suite::netgraph::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// E_λ[cost(stretch(λ))] over λ∈[lo,1] by midpoint rule, plus an upper
+/// bound on the [0,lo] tail (cost(λ) ≤ Σw·(T/λ+1) ⇒ tail ≤ Σw·(2·lo·T)).
+fn expected_stretch_cost(
+    inst: &CoflowInstance,
+    plan: &coflow_suite::core::rateplan::RatePlan,
+    horizon: u32,
+    grid: usize,
+) -> f64 {
+    let lo = 0.02;
+    let mut expectation = 0.0;
+    for k in 0..grid {
+        let lambda = lo + (1.0 - lo) * (k as f64 + 0.5) / grid as f64;
+        let sched = stretch_schedule(inst, plan, lambda, StretchOptions { compact: false });
+        let cost = sched
+            .completions(inst)
+            .expect("stretched schedules complete")
+            .weighted_total;
+        expectation += 2.0 * lambda * cost * (1.0 - lo) / grid as f64;
+    }
+    let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
+    expectation + w_sum * (horizon as f64 * 2.0 * lo + lo * lo)
+}
+
+fn random_instance(seed: u64, n: usize) -> CoflowInstance {
+    let topo = topology::swan().scale_capacity(5.0);
+    let g = topo.graph;
+    let nodes: Vec<_> = g.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coflows = (0..n)
+        .map(|_| {
+            let flows = (0..rng.gen_range(1..=3))
+                .map(|_| {
+                    let a = nodes[rng.gen_range(0..nodes.len())];
+                    let mut b = nodes[rng.gen_range(0..nodes.len())];
+                    while b == a {
+                        b = nodes[rng.gen_range(0..nodes.len())];
+                    }
+                    Flow::new(a, b, rng.gen_range(5.0..60.0))
+                })
+                .collect();
+            Coflow::weighted(rng.gen_range(1.0..100.0), flows)
+        })
+        .collect();
+    CoflowInstance::new(g, coflows).unwrap()
+}
+
+#[test]
+fn stretch_expectation_within_twice_lp_free_path() {
+    for seed in [1u64, 2, 3] {
+        let inst = random_instance(seed, 5);
+        let t = coflow_suite::core::horizon::horizon(
+            &inst,
+            &Routing::FreePath,
+            coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        )
+        .unwrap();
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+            .unwrap();
+        let expectation = expected_stretch_cost(&inst, &lp.plan, t, 160);
+        // Theorem 4.4 plus at most one slot of ceiling per coflow.
+        let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
+        assert!(
+            expectation <= 2.0 * lp.objective + w_sum + 1e-6,
+            "seed {seed}: E[cost] {expectation} vs 2·LP {} (+{w_sum} rounding)",
+            2.0 * lp.objective
+        );
+    }
+}
+
+#[test]
+fn stretch_expectation_within_twice_lp_single_path() {
+    for seed in [4u64, 5] {
+        let inst = random_instance(seed, 5);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xffff);
+        let r = routing::random_shortest_paths(&inst, &mut rng).unwrap();
+        let t = coflow_suite::core::horizon::horizon(
+            &inst,
+            &r,
+            coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        )
+        .unwrap();
+        let lp = solve_time_indexed(&inst, &r, t, &SolverOptions::default()).unwrap();
+        let expectation = expected_stretch_cost(&inst, &lp.plan, t, 160);
+        let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
+        assert!(
+            expectation <= 2.0 * lp.objective + w_sum + 1e-6,
+            "seed {seed}: E[cost] {expectation} vs 2·LP {}",
+            2.0 * lp.objective
+        );
+    }
+}
+
+#[test]
+fn every_lambda_yields_a_feasible_complete_schedule() {
+    let inst = random_instance(9, 4);
+    let t = coflow_suite::core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
+    )
+    .unwrap();
+    let lp =
+        solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
+    for k in 1..=25 {
+        let lambda = k as f64 / 25.0;
+        for compact in [false, true] {
+            let sched = stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact });
+            coflow_suite::core::validate::validate(
+                &inst,
+                &Routing::FreePath,
+                &sched,
+                coflow_suite::core::validate::Tolerance::default(),
+            )
+            .unwrap_or_else(|e| panic!("λ={lambda}, compact={compact}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-model invariants: relaxation values must order consistently
+//! with the models' expressive power — free path ≤ multi path ≤ single
+//! path, when the path sets nest.
+
+use coflow_suite::core::model::{Coflow, CoflowInstance, Flow};
+use coflow_suite::core::routing::Routing;
+use coflow_suite::core::timeidx::solve_time_indexed;
+use coflow_suite::lp::SolverOptions;
+use coflow_suite::netgraph::ksp::{k_shortest_paths, PathCost};
+use coflow_suite::netgraph::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds nested routings for the same instance: single = first of each
+/// flow's k-shortest paths; multi = all k of them.
+fn nested_routings(inst: &CoflowInstance, k: usize) -> (Routing, Routing) {
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    for cf in &inst.coflows {
+        let mut srow = Vec::new();
+        let mut mrow = Vec::new();
+        for f in &cf.flows {
+            let paths = k_shortest_paths(&inst.graph, f.src, f.dst, k, PathCost::Hops)
+                .expect("paths exist");
+            srow.push(paths[0].clone());
+            mrow.push(paths);
+        }
+        single.push(srow);
+        multi.push(mrow);
+    }
+    (Routing::SinglePath(single), Routing::MultiPath(multi))
+}
+
+fn random_instance(seed: u64) -> CoflowInstance {
+    let topo = topology::gscale().scale_capacity(2.0);
+    let g = topo.graph;
+    let nodes: Vec<_> = g.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coflows = (0..4)
+        .map(|_| {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let mut b = nodes[rng.gen_range(0..nodes.len())];
+            while b == a {
+                b = nodes[rng.gen_range(0..nodes.len())];
+            }
+            Coflow::weighted(
+                rng.gen_range(1.0..10.0),
+                vec![Flow::new(a, b, rng.gen_range(20.0..120.0))],
+            )
+        })
+        .collect();
+    CoflowInstance::new(g, coflows).unwrap()
+}
+
+#[test]
+fn relaxation_values_order_by_model_power() {
+    for seed in [10u64, 20, 30] {
+        let inst = random_instance(seed);
+        let (single, multi) = nested_routings(&inst, 3);
+        // One shared horizon large enough for the weakest model.
+        let t = coflow_suite::core::horizon::horizon(
+            &inst,
+            &single,
+            coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.5 },
+        )
+        .unwrap();
+        let opts = SolverOptions::default();
+        let lp_single = solve_time_indexed(&inst, &single, t, &opts).unwrap();
+        let lp_multi = solve_time_indexed(&inst, &multi, t, &opts).unwrap();
+        let lp_free = solve_time_indexed(&inst, &Routing::FreePath, t, &opts).unwrap();
+        let tol = 1e-6 * (1.0 + lp_single.objective.abs());
+        assert!(
+            lp_multi.objective <= lp_single.objective + tol,
+            "seed {seed}: multi {} > single {}",
+            lp_multi.objective,
+            lp_single.objective
+        );
+        assert!(
+            lp_free.objective <= lp_multi.objective + tol,
+            "seed {seed}: free {} > multi {}",
+            lp_free.objective,
+            lp_multi.objective
+        );
+    }
+}
+
+#[test]
+fn interval_bound_is_weaker_but_cheaper() {
+    // The ε-interval LP must be no tighter than the unit-slot LP when
+    // its start rule is not binding (no releases) and should be much
+    // smaller at large ε.
+    let inst = random_instance(40);
+    let (single, _) = nested_routings(&inst, 2);
+    let t = coflow_suite::core::horizon::horizon(
+        &inst,
+        &single,
+        coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.5 },
+    )
+    .unwrap();
+    let opts = SolverOptions::default();
+    let unit = solve_time_indexed(&inst, &single, t, &opts).unwrap();
+    let coarse =
+        coflow_suite::core::interval::solve_interval(&inst, &single, t, 0.8, &opts).unwrap();
+    assert!(
+        coarse.lp.objective <= unit.objective + 1e-6 * (1.0 + unit.objective),
+        "coarse {} should not exceed unit-slot bound {}",
+        coarse.lp.objective,
+        unit.objective
+    );
+    assert!(
+        coarse.lp.size.cols < unit.size.cols,
+        "interval LP should be smaller: {} vs {}",
+        coarse.lp.size.cols,
+        unit.size.cols
+    );
+}

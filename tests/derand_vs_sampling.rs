@@ -1,0 +1,120 @@
+//! Cross-crate tests for derandomized Stretch on realistic workloads:
+//! the exact best-λ/expectation machinery against the paper's sampled
+//! estimates, end to end from the workload generator.
+
+use coflow_suite::core::derand::{coflow_profiles, derandomize, profile_cost};
+use coflow_suite::core::routing::Routing;
+use coflow_suite::core::solver::{Algorithm, Scheduler};
+use coflow_suite::core::stretch::{lambda_sweep, stretch_schedule, StretchOptions};
+use coflow_suite::core::validate::{validate, Tolerance};
+use coflow_suite::netgraph::topology;
+use coflow_suite::workloads::{build_instance, WorkloadConfig, WorkloadKind};
+
+fn workload(kind: WorkloadKind, seed: u64) -> coflow_suite::core::model::CoflowInstance {
+    let topo = topology::swan();
+    build_instance(
+        &topo,
+        &WorkloadConfig {
+            kind,
+            num_jobs: 6,
+            seed,
+            slot_seconds: 50.0,
+            mean_interarrival_slots: 1.0,
+            weighted: true,
+            demand_scale: 1.0,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn exact_best_dominates_sampling_on_every_workload() {
+    let pure = StretchOptions { compact: false };
+    for kind in WorkloadKind::ALL {
+        let inst = workload(kind, 13);
+        let lp = Scheduler::new(Algorithm::LpHeuristic)
+            .relax(&inst, &Routing::FreePath)
+            .unwrap();
+        let d = derandomize(&inst, &lp.plan);
+        let sweep = lambda_sweep(&inst, &lp.plan, 20, 7, pure);
+        assert!(
+            d.best_cost <= sweep.best().weighted_cost + 1e-9,
+            "{}: exact {} vs sampled best {}",
+            kind.name(),
+            d.best_cost,
+            sweep.best().weighted_cost
+        );
+        assert!(
+            d.expected_cost - d.expected_cost_error <= 2.0 * lp.objective + 1e-6,
+            "{}: Theorem 4.4 violated: E = {} vs 2·LP = {}",
+            kind.name(),
+            d.expected_cost,
+            2.0 * lp.objective
+        );
+        assert!(d.expected_cost + d.expected_cost_error >= lp.objective - 1e-6);
+    }
+}
+
+#[test]
+fn materialized_best_lambda_schedule_is_feasible_and_matches() {
+    let inst = workload(WorkloadKind::Facebook, 29);
+    let lp = Scheduler::new(Algorithm::LpHeuristic)
+        .relax(&inst, &Routing::FreePath)
+        .unwrap();
+    let d = derandomize(&inst, &lp.plan);
+    let sched = stretch_schedule(
+        &inst,
+        &lp.plan,
+        d.best_lambda,
+        StretchOptions { compact: false },
+    );
+    let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+    assert!(
+        (rep.completions.weighted_total - d.best_cost).abs() < 1e-6 * (1.0 + d.best_cost),
+        "profile cost {} vs schedule cost {}",
+        d.best_cost,
+        rep.completions.weighted_total
+    );
+    assert!(rep.peak_utilization <= 1.0 + 1e-6);
+}
+
+#[test]
+fn profile_cost_agrees_with_schedules_across_lambdas() {
+    let inst = workload(WorkloadKind::TpcH, 41);
+    let lp = Scheduler::new(Algorithm::LpHeuristic)
+        .relax(&inst, &Routing::FreePath)
+        .unwrap();
+    let profiles = coflow_profiles(&inst, &lp.plan);
+    for &lambda in &[0.231, 0.417, 0.583, 0.7749, 0.91, 1.0] {
+        let via_profile = profile_cost(&inst, &profiles, lambda);
+        let sched = stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact: false });
+        let via_schedule = sched.completions(&inst).unwrap().weighted_total;
+        assert!(
+            (via_profile - via_schedule).abs() < 1e-6 * (1.0 + via_schedule),
+            "λ={lambda}: profile {via_profile} vs schedule {via_schedule}"
+        );
+    }
+}
+
+#[test]
+fn compaction_can_only_improve_on_the_derand_optimum() {
+    // The derand optimum is over *pure* stretches; compacting the same
+    // λ must do at least as well (the §6.1 trick is never harmful).
+    let inst = workload(WorkloadKind::BigBench, 53);
+    let lp = Scheduler::new(Algorithm::LpHeuristic)
+        .relax(&inst, &Routing::FreePath)
+        .unwrap();
+    let d = derandomize(&inst, &lp.plan);
+    let compacted = stretch_schedule(
+        &inst,
+        &lp.plan,
+        d.best_lambda,
+        StretchOptions { compact: true },
+    );
+    let cost = compacted.completions(&inst).unwrap().weighted_total;
+    assert!(
+        cost <= d.best_cost + 1e-9,
+        "compaction worsened {} -> {cost}",
+        d.best_cost
+    );
+}

@@ -1,0 +1,88 @@
+//! Integration tests of the §5 hardness reduction: concurrent open shop
+//! and coflow scheduling are cost-equivalent under the paper's mapping,
+//! and our algorithms respect the implied bounds against exact optima.
+
+use coflow_suite::baselines::openshop::{
+    coflow_schedule_cost_to_openshop, exact_optimum, permutation_to_coflow_schedule,
+    to_coflow_instance, OpenShopInstance,
+};
+use coflow_suite::core::solver::{Algorithm, Scheduler};
+use coflow_suite::core::validate::{validate, Tolerance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn optimum_costs_transfer_in_both_directions() {
+    let mut rng = StdRng::seed_from_u64(2019);
+    for trial in 0..12 {
+        let os = OpenShopInstance::random(&mut rng, 3, 5, 4, 0.3, true);
+        let (opt, order) = exact_optimum(&os);
+        let (inst, routing) = to_coflow_instance(&os).unwrap();
+
+        // Open shop -> coflow: equal cost, feasible.
+        let sched = permutation_to_coflow_schedule(&os, &inst, &order);
+        let rep = validate(&inst, &routing, &sched, Tolerance::default())
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        assert!(
+            (rep.completions.weighted_total - opt).abs() < 1e-9,
+            "trial {trial}: {} != {opt}",
+            rep.completions.weighted_total
+        );
+
+        // Coflow -> open shop from that same schedule: cannot increase,
+        // cannot beat the optimum => exactly opt.
+        let back = coflow_schedule_cost_to_openshop(&os, &sched);
+        assert!((back - opt).abs() < 1e-9, "trial {trial}: back {back}");
+    }
+}
+
+#[test]
+fn lp_bound_sandwiches_the_exact_optimum() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    for trial in 0..8 {
+        let os = OpenShopInstance::random(&mut rng, 2, 4, 3, 0.25, true);
+        let (opt, _) = exact_optimum(&os);
+        let (inst, routing) = to_coflow_instance(&os).unwrap();
+        let report = Scheduler::new(Algorithm::LpHeuristic)
+            .solve(&inst, &routing)
+            .unwrap();
+        // LP lower bound <= exact optimum <= any feasible schedule.
+        assert!(
+            report.lower_bound <= opt + 1e-6,
+            "trial {trial}: LP {} > OPT {opt}",
+            report.lower_bound
+        );
+        assert!(
+            report.cost >= opt - 1e-6,
+            "trial {trial}: heuristic {} beats OPT {opt}",
+            report.cost
+        );
+        // Mapping our schedule back can only help, and stays >= OPT.
+        let back = coflow_schedule_cost_to_openshop(&os, &report.schedule);
+        assert!(back <= report.cost + 1e-6);
+        assert!(back >= opt - 1e-6);
+    }
+}
+
+#[test]
+fn our_algorithms_stay_near_exact_optima() {
+    // Empirical approximation quality on reduced instances: the λ=1
+    // heuristic lands within 1.6x of the exact optimum on this seed set
+    // (the theoretical guarantee for Stretch is 2x in expectation).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut worst: f64 = 1.0;
+    for _ in 0..8 {
+        let os = OpenShopInstance::random(&mut rng, 3, 5, 4, 0.3, false);
+        let (opt, _) = exact_optimum(&os);
+        let (inst, routing) = to_coflow_instance(&os).unwrap();
+        let report = Scheduler::new(Algorithm::LpHeuristic)
+            .solve(&inst, &routing)
+            .unwrap();
+        let back = coflow_schedule_cost_to_openshop(&os, &report.schedule);
+        worst = worst.max(back / opt);
+    }
+    assert!(
+        worst <= 1.6,
+        "heuristic wandered to {worst}x of optimum on the fixed seeds"
+    );
+}

@@ -1,0 +1,160 @@
+//! Theorem 4.5's (2+ε)-approximation: Stretch applied to the
+//! geometric-interval relaxation. The rate-plan abstraction makes this
+//! literally a composition — `solve_interval(...).lp.plan` piped through
+//! `stretch_schedule` — and these tests verify the composed algorithm's
+//! guarantee and feasibility, including super-polynomially large
+//! demands where the unit-slot LP would be impossibly big.
+
+use coflow_suite::core::model::{Coflow, CoflowInstance, Flow};
+use coflow_suite::core::routing::Routing;
+use coflow_suite::core::stretch::{stretch_schedule, StretchOptions};
+use coflow_suite::core::validate::{validate, Tolerance};
+use coflow_suite::lp::SolverOptions;
+use coflow_suite::netgraph::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(seed: u64, demand_scale: f64) -> CoflowInstance {
+    let topo = topology::swan().scale_capacity(5.0);
+    let g = topo.graph;
+    let nodes: Vec<_> = g.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coflows = (0..5)
+        .map(|_| {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let mut b = nodes[rng.gen_range(0..nodes.len())];
+            while b == a {
+                b = nodes[rng.gen_range(0..nodes.len())];
+            }
+            Coflow::weighted(
+                rng.gen_range(1.0..20.0),
+                vec![Flow::new(a, b, rng.gen_range(10.0..50.0) * demand_scale)],
+            )
+        })
+        .collect();
+    CoflowInstance::new(g, coflows).unwrap()
+}
+
+#[test]
+fn interval_stretch_expectation_within_two_plus_eps() {
+    let epsilon = 0.3;
+    for seed in [21u64, 22] {
+        let inst = random_instance(seed, 1.0);
+        let t = coflow_suite::core::horizon::horizon(
+            &inst,
+            &Routing::FreePath,
+            coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
+        )
+        .unwrap();
+        let rel = coflow_suite::core::interval::solve_interval(
+            &inst,
+            &Routing::FreePath,
+            t,
+            epsilon,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        // Grid-integrate E_λ[cost(stretch(interval plan, λ))].
+        let lo = 0.02;
+        let grid = 120;
+        let mut expectation = 0.0;
+        for k in 0..grid {
+            let lambda = lo + (1.0 - lo) * (k as f64 + 0.5) / grid as f64;
+            let sched = stretch_schedule(
+                &inst,
+                &rel.lp.plan,
+                lambda,
+                StretchOptions { compact: false },
+            );
+            let cost = sched
+                .completions(&inst)
+                .expect("complete")
+                .weighted_total;
+            expectation += 2.0 * lambda * cost * (1.0 - lo) / grid as f64;
+        }
+        let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
+        let horizon_cont = *rel.boundaries.last().unwrap();
+        expectation += w_sum * (horizon_cont * 2.0 * lo + lo * lo); // tail bound
+        // Lemma A.4: E ≤ 2(1+ε)·C*; plus one ceiling slot per coflow.
+        let bound = 2.0 * (1.0 + epsilon) * rel.lp.objective + w_sum;
+        assert!(
+            expectation <= bound + 1e-6,
+            "seed {seed}: E[cost] {expectation} > 2(1+ε)·LP + slack = {bound}"
+        );
+    }
+}
+
+#[test]
+fn huge_demands_solve_via_intervals_only() {
+    // Demands scaled 2000x: the unit-slot horizon climbs to the
+    // thousands; the interval LP needs only O(log T) periods.
+    let inst = random_instance(33, 2000.0);
+    let t = coflow_suite::core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.2 },
+    )
+    .unwrap();
+    assert!(t > 500, "demands should force a long horizon, got {t}");
+    let rel = coflow_suite::core::interval::solve_interval(
+        &inst,
+        &Routing::FreePath,
+        t,
+        0.25,
+        &SolverOptions::default(),
+    )
+    .unwrap();
+    // Interval count is logarithmic in t.
+    let nk = rel.boundaries.len() - 1;
+    assert!(
+        nk <= ((t as f64).ln() / 0.25_f64.ln_1p()).ceil() as usize + 4,
+        "needed {nk} intervals for horizon {t}"
+    );
+    // Rounded schedules at several λ remain feasible and complete.
+    for lambda in [0.4, 0.8, 1.0] {
+        let sched = stretch_schedule(&inst, &rel.lp.plan, lambda, StretchOptions::default());
+        let rep =
+            validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+        assert!(rep.completions.weighted_total >= rel.lp.objective - 1e-6);
+    }
+}
+
+#[test]
+fn interval_heuristic_tracks_unit_slot_heuristic() {
+    // At small ε the interval pipeline should land within ~(1+ε)-ish of
+    // the unit-slot pipeline (sanity that nothing is off by a factor).
+    let inst = random_instance(44, 1.0);
+    let t = coflow_suite::core::horizon::horizon(
+        &inst,
+        &Routing::FreePath,
+        coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
+    )
+    .unwrap();
+    let unit = coflow_suite::core::timeidx::solve_time_indexed(
+        &inst,
+        &Routing::FreePath,
+        t,
+        &SolverOptions::default(),
+    )
+    .unwrap();
+    let rel = coflow_suite::core::interval::solve_interval(
+        &inst,
+        &Routing::FreePath,
+        t,
+        0.1,
+        &SolverOptions::default(),
+    )
+    .unwrap();
+    let unit_cost = stretch_schedule(&inst, &unit.plan, 1.0, StretchOptions::default())
+        .completions(&inst)
+        .unwrap()
+        .weighted_total;
+    let iv_cost = stretch_schedule(&inst, &rel.lp.plan, 1.0, StretchOptions::default())
+        .completions(&inst)
+        .unwrap()
+        .weighted_total;
+    assert!(
+        iv_cost <= unit_cost * 1.6 + 1e-6,
+        "interval heuristic {iv_cost} vs unit-slot {unit_cost}"
+    );
+}

@@ -1,0 +1,130 @@
+//! End-to-end pipeline tests: every workload kind on both WAN
+//! topologies, through the relaxation, the rounding algorithms, and the
+//! baselines, with full feasibility validation at each step.
+
+use coflow_suite::baselines::{sjf, terra};
+use coflow_suite::core::routing::{self, Routing};
+use coflow_suite::core::solver::{Algorithm, Scheduler};
+use coflow_suite::core::validate::{validate, Tolerance};
+use coflow_suite::netgraph::topology;
+use coflow_suite::workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(kind: WorkloadKind, weighted: bool) -> WorkloadConfig {
+    WorkloadConfig {
+        kind,
+        num_jobs: 6,
+        seed: 77,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 1.0,
+        weighted,
+        demand_scale: 1.0,
+    }
+}
+
+#[test]
+fn all_workloads_free_path_on_swan() {
+    let topo = topology::swan();
+    for kind in WorkloadKind::ALL {
+        let inst = build_instance(&topo, &cfg(kind, true)).unwrap();
+        let report = Scheduler::new(Algorithm::LpHeuristic)
+            .solve(&inst, &Routing::FreePath)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert!(
+            report.cost >= report.lower_bound - 1e-6,
+            "{}: cost below LP bound",
+            kind.name()
+        );
+        // The whole schedule was validated inside solve(); re-validate
+        // here as an independent check.
+        validate(
+            &inst,
+            &Routing::FreePath,
+            &report.schedule,
+            Tolerance::default(),
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn all_workloads_single_path_on_gscale() {
+    let topo = topology::gscale();
+    for kind in WorkloadKind::ALL {
+        let inst = build_instance(&topo, &cfg(kind, true)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = routing::random_shortest_paths(&inst, &mut rng).unwrap();
+        let report = Scheduler::new(Algorithm::LpHeuristic)
+            .solve(&inst, &r)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert!(report.cost >= report.lower_bound - 1e-6);
+
+        // SJF greedy is feasible and no better than the LP bound.
+        let greedy = sjf::weighted_sjf(&inst, &r).unwrap();
+        let rep = validate(&inst, &r, &greedy, Tolerance::default()).unwrap();
+        assert!(rep.completions.weighted_total >= report.lower_bound - 1e-6);
+    }
+}
+
+#[test]
+fn terra_beats_nothing_below_the_bound() {
+    let topo = topology::swan();
+    let inst = build_instance(&topo, &cfg(WorkloadKind::Facebook, false)).unwrap();
+    let report = Scheduler::new(Algorithm::LpHeuristic)
+        .solve(&inst, &Routing::FreePath)
+        .unwrap();
+    let out = terra::terra_offline(&inst).unwrap();
+    let rep = validate(
+        &inst,
+        &Routing::FreePath,
+        &out.schedule,
+        Tolerance::default(),
+    )
+    .unwrap();
+    assert!(
+        rep.completions.unweighted_total >= report.lower_bound - 1e-6,
+        "Terra {} beats the LP bound {}",
+        rep.completions.unweighted_total,
+        report.lower_bound
+    );
+}
+
+#[test]
+fn multipath_pipeline_end_to_end() {
+    let topo = topology::gscale();
+    let inst = build_instance(&topo, &cfg(WorkloadKind::BigBench, true)).unwrap();
+    let r = routing::k_shortest_path_sets(&inst, 3).unwrap();
+    let report = Scheduler::new(Algorithm::Stretch {
+        samples: 6,
+        seed: 3,
+    })
+    .solve(&inst, &r)
+    .unwrap();
+    assert!(report.sweep.is_some());
+    assert!(report.cost >= report.lower_bound - 1e-6);
+}
+
+#[test]
+fn pipeline_is_deterministic_for_fixed_seeds() {
+    let topo = topology::swan();
+    let inst = build_instance(&topo, &cfg(WorkloadKind::TpcH, true)).unwrap();
+    let run = || {
+        Scheduler::new(Algorithm::Stretch {
+            samples: 5,
+            seed: 11,
+        })
+        .solve(&inst, &Routing::FreePath)
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.lower_bound, b.lower_bound);
+    assert_eq!(a.cost, b.cost);
+    let sa = a.sweep.unwrap();
+    let sb = b.sweep.unwrap();
+    for (x, y) in sa.samples.iter().zip(&sb.samples) {
+        assert_eq!(x.lambda, y.lambda);
+        assert_eq!(x.weighted_cost, y.weighted_cost);
+    }
+}
