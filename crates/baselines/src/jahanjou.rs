@@ -169,9 +169,9 @@ pub fn jahanjou_schedule(
 }
 
 fn batch_done(alloc: &SlotAllocator<'_>, inst: &CoflowInstance, batch: &[usize]) -> bool {
-    batch.iter().all(|&j| {
-        (0..inst.coflows[j].flows.len()).all(|i| alloc.flow_remaining(j, i) <= 1e-9)
-    })
+    batch
+        .iter()
+        .all(|&j| (0..inst.coflows[j].flows.len()).all(|i| alloc.flow_remaining(j, i) <= 1e-9))
 }
 
 #[cfg(test)]

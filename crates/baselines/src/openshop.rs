@@ -112,10 +112,7 @@ impl OpenShopInstance {
                 }
             })
             .collect();
-        OpenShopInstance {
-            machines,
-            jobs,
-        }
+        OpenShopInstance { machines, jobs }
     }
 
     /// Cost of the permutation schedule given by `order` (§5 proof: jobs
@@ -180,9 +177,7 @@ fn heaps(k: usize, perm: &mut Vec<usize>, inst: &OpenShopInstance, best: &mut (f
 /// # Errors
 ///
 /// Propagates validation errors (none for valid open shop instances).
-pub fn to_coflow_instance(
-    os: &OpenShopInstance,
-) -> Result<(CoflowInstance, Routing), CoflowError> {
+pub fn to_coflow_instance(os: &OpenShopInstance) -> Result<(CoflowInstance, Routing), CoflowError> {
     let mut b = GraphBuilder::new();
     let mut xs = Vec::with_capacity(os.machines);
     let mut ys = Vec::with_capacity(os.machines);
@@ -288,7 +283,10 @@ pub fn permutation_to_coflow_schedule(
                 (p - p.round()).abs() < 1e-9,
                 "integer processing times required for exact slot alignment"
             );
-            let fi = os.jobs[j].processing[..i].iter().filter(|&&q| q > 0.0).count();
+            let fi = os.jobs[j].processing[..i]
+                .iter()
+                .filter(|&&q| q > 0.0)
+                .count();
             for _ in 0..p.round() as u32 {
                 t += 1;
                 schedule.flows[j][fi].push(SlotTransfer {

@@ -319,8 +319,7 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst =
-            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 1.0)])]).unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 1.0)])]).unwrap();
         assert!(matches!(
             primal_dual(&inst, &Routing::FreePath),
             Err(CoflowError::BadRouting(_))

@@ -241,8 +241,13 @@ mod tests {
     fn terra_matches_fig4_on_the_example() {
         let inst = fig2_instance();
         let out = terra_offline(&inst).unwrap();
-        let rep = validate(&inst, &Routing::FreePath, &out.schedule, Tolerance::default())
-            .unwrap();
+        let rep = validate(
+            &inst,
+            &Routing::FreePath,
+            &out.schedule,
+            Tolerance::default(),
+        )
+        .unwrap();
         // SRTF: three unit coflows (CCT 1/3) go first and finish in slot
         // 1; blue finishes in slot 2 -> total completion 5 (Figure 4).
         assert_eq!(rep.completions.unweighted_total, 5.0);
@@ -263,8 +268,13 @@ mod tests {
         )
         .unwrap();
         let out = terra_offline(&inst).unwrap();
-        let rep = validate(&inst, &Routing::FreePath, &out.schedule, Tolerance::default())
-            .unwrap();
+        let rep = validate(
+            &inst,
+            &Routing::FreePath,
+            &out.schedule,
+            Tolerance::default(),
+        )
+        .unwrap();
         assert_eq!(rep.completions.per_coflow, vec![3, 1]);
     }
 }

@@ -73,5 +73,9 @@ fn bench_profiles_scale_with_jobs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_derand_vs_sweep, bench_profiles_scale_with_jobs);
+criterion_group!(
+    benches,
+    bench_derand_vs_sweep,
+    bench_profiles_scale_with_jobs
+);
 criterion_main!(benches);

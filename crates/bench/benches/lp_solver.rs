@@ -27,11 +27,7 @@ fn transportation(suppliers: usize, consumers: usize, seed: u64) -> Model {
     }
     let supply = 10.0 * consumers as f64 / suppliers as f64;
     for row in vars.iter().take(suppliers) {
-        m.add_constraint(
-            row.iter().map(|v| (v.unwrap(), 1.0)),
-            Cmp::Eq,
-            supply,
-        );
+        m.add_constraint(row.iter().map(|v| (v.unwrap(), 1.0)), Cmp::Eq, supply);
     }
     for j in 0..consumers {
         m.add_constraint(
@@ -93,9 +89,7 @@ fn bench_pricing_ablation(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| {
-                solve_time_indexed(&inst, &Routing::FreePath, t, &opts).expect("solves")
-            })
+            b.iter(|| solve_time_indexed(&inst, &Routing::FreePath, t, &opts).expect("solves"))
         });
     }
     group.finish();
@@ -133,11 +127,7 @@ fn bench_bounds_ablation(c: &mut Criterion) {
             }
         }
         for terms in &data {
-            m.add_constraint(
-                terms.iter().map(|&(j, a)| (vars[j], a)),
-                Cmp::Le,
-                3.0,
-            );
+            m.add_constraint(terms.iter().map(|&(j, a)| (vars[j], a)), Cmp::Le, 3.0);
         }
         m
     };

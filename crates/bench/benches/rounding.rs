@@ -59,10 +59,7 @@ fn bench_compaction_ablation(c: &mut Criterion) {
     let with = stretch_schedule(&inst, &plan, 0.6, StretchOptions { compact: true });
     let without = stretch_schedule(&inst, &plan, 0.6, StretchOptions { compact: false });
     let cw = with.completions(&inst).expect("complete").weighted_total;
-    let cwo = without
-        .completions(&inst)
-        .expect("complete")
-        .weighted_total;
+    let cwo = without.completions(&inst).expect("complete").weighted_total;
     eprintln!("compaction quality: {cw:.1} (on) vs {cwo:.1} (off) weighted completion");
     group.finish();
 }

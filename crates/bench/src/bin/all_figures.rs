@@ -1,66 +1,53 @@
 //! Regenerates every figure (6–12) plus the three ablations in one run
-//! with shared options, computing figures in parallel (one scoped
-//! thread per figure — each figure's LP solves are independent).
+//! with shared options.
+//!
+//! All ten figures are described as [`FigureSpec`]s and handed to one
+//! [`compute_figures`] call, which flattens their ~46 scenario points
+//! into a single batch for the work-stealing [`SweepPool`] — a slow
+//! point in one figure never idles workers that could be computing
+//! another figure. Per-point seeded RNG keeps the output byte-identical
+//! for a given `--seed`, regardless of worker count.
 //!
 //! `cargo run -p coflow-bench --release --bin all_figures -- --jobs 16`
 
+use coflow_bench::parallel::SweepPool;
 use coflow_bench::runner::{
-    run_epsilon_figure, run_free_unweighted_figure, run_lambda_figure, run_online_ablation,
-    run_ordering_ablation, run_single_path_figure, run_slot_length_ablation, FigureResult,
+    compute_figures, epsilon_figure_spec, free_unweighted_figure_spec, lambda_figure_spec,
+    online_ablation_spec, ordering_ablation_spec, single_path_figure_spec,
+    slot_length_ablation_spec, FigureSpec,
 };
 use coflow_bench::{print_figure, write_csv, HarnessConfig};
-use coflow_netgraph::topology::{self, Topology};
-
-type FigureJob = (&'static str, fn(&Topology, &HarnessConfig) -> FigureResult);
+use coflow_netgraph::topology;
 
 fn main() {
     let cfg = HarnessConfig::from_args(12);
     let swan = topology::swan();
     let gscale = topology::gscale();
 
-    // Presentation order; each job owns its topology reference.
-    let jobs: Vec<(FigureJob, &Topology)> = vec![
-        (("fig06_lambda_swan", |t, c| run_lambda_figure(t, c, 6)), &swan),
-        (("fig07_lambda_gscale", |t, c| run_lambda_figure(t, c, 7)), &gscale),
-        (("fig08_epsilon", run_epsilon_figure), &swan),
-        (("fig09_single_swan", |t, c| run_single_path_figure(t, c, 9)), &swan),
-        (
-            ("fig10_single_gscale", |t, c| run_single_path_figure(t, c, 10)),
-            &gscale,
-        ),
-        (
-            ("fig11_free_unweighted_swan", |t, c| {
-                run_free_unweighted_figure(t, c, 11)
-            }),
-            &swan,
-        ),
-        (
-            ("fig12_free_unweighted_gscale", |t, c| {
-                run_free_unweighted_figure(t, c, 12)
-            }),
-            &gscale,
-        ),
-        (("ablation_slotlen", run_slot_length_ablation), &swan),
-        (("ablation_ordering", run_ordering_ablation), &swan),
-        (("ablation_online", run_online_ablation), &swan),
+    // Presentation order; stems are fixed by each spec.
+    let specs: Vec<FigureSpec> = vec![
+        lambda_figure_spec(&swan, &cfg, 6),
+        lambda_figure_spec(&gscale, &cfg, 7),
+        epsilon_figure_spec(&swan, &cfg),
+        single_path_figure_spec(&swan, &cfg, 9),
+        single_path_figure_spec(&gscale, &cfg, 10),
+        free_unweighted_figure_spec(&swan, &cfg, 11),
+        free_unweighted_figure_spec(&gscale, &cfg, 12),
+        slot_length_ablation_spec(&swan, &cfg),
+        ordering_ablation_spec(&swan, &cfg),
+        online_ablation_spec(&swan, &cfg),
     ];
 
-    // Fan out: figures are embarrassingly parallel (pure functions of
-    // (topology, cfg)); join in order so output stays deterministic.
-    let figures: Vec<(&'static str, FigureResult)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&((stem, f), topo)| {
-                let cfg = &cfg;
-                scope.spawn(move |_| (stem, f(topo, cfg)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("figure worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+    let pool = SweepPool::new();
+    if cfg.verbose {
+        eprintln!(
+            "[all_figures] {} figures, {} points, {} workers",
+            specs.len(),
+            specs.iter().map(|s| s.points.len()).sum::<usize>(),
+            pool.workers()
+        );
+    }
+    let figures = compute_figures(specs, &pool);
 
     for (stem, fig) in figures {
         print_figure(&fig);

@@ -1,6 +1,21 @@
-//! Experiment orchestration: one function per figure family.
+//! Experiment orchestration: one *scenario-sweep spec* per figure
+//! family, executed by the work-stealing [`SweepPool`].
+//!
+//! Each figure is described as a [`FigureSpec`]: static metadata (title,
+//! legend) plus a list of independent [`PointSpec`]s — one per row
+//! (workload, ε value, slot length, …). [`compute_figures`] flattens
+//! every point of every spec into one batch and runs them concurrently;
+//! a point's RNG is seeded from `(base seed, figure stem, point index)`
+//! via [`point_seed`], never from execution order, so sweeps are
+//! deterministic for a given `--seed` no matter how many workers run
+//! them (byte-identical CSVs, run to run).
+//!
+//! The `run_*` functions are thin wrappers computing a single figure;
+//! `all_figures` passes every spec to one [`compute_figures`] call so
+//! the pool can interleave points across figures.
 
 use crate::cli::HarnessConfig;
+use crate::parallel::SweepPool;
 use coflow_baselines::jahanjou::{jahanjou_schedule, JahanjouConfig, EPSILON_OPT};
 use coflow_baselines::terra::terra_offline;
 use coflow_core::horizon::{horizon, HorizonMode};
@@ -15,6 +30,7 @@ use coflow_netgraph::topology::Topology;
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// One series value (NaN renders as "-").
 pub type SeriesValue = f64;
@@ -39,6 +55,128 @@ pub struct FigureResult {
     pub series_names: Vec<String>,
     /// Rows in presentation order.
     pub rows: Vec<FigureRow>,
+}
+
+/// What one scenario point produces: its series values, plus an
+/// optional sentence appended to the figure's notes (in point order).
+#[derive(Clone, Debug)]
+pub struct PointOutcome {
+    /// One value per series.
+    pub values: Vec<SeriesValue>,
+    /// Extra note text (e.g. online re-solve counts).
+    pub note: Option<String>,
+}
+
+impl From<Vec<SeriesValue>> for PointOutcome {
+    fn from(values: Vec<SeriesValue>) -> Self {
+        PointOutcome { values, note: None }
+    }
+}
+
+/// A point's computation: pure function of its captured scenario inputs
+/// and the per-point seeded RNG it receives.
+pub type PointFn<'a> = Box<dyn Fn(&mut StdRng) -> PointOutcome + Send + Sync + 'a>;
+
+/// One independently-computable row of a figure.
+pub struct PointSpec<'a> {
+    /// Row label (workload name, ε value, …).
+    pub label: String,
+    /// RNG seed for this point (derive with [`point_seed`]).
+    pub seed: u64,
+    /// The computation.
+    pub compute: PointFn<'a>,
+}
+
+/// A figure, described but not yet computed.
+pub struct FigureSpec<'a> {
+    /// CSV file stem (`fig06_lambda_swan`, …).
+    pub stem: &'static str,
+    /// Figure title (matches the paper's caption).
+    pub title: String,
+    /// Free-form notes (instance sizes etc.).
+    pub notes: String,
+    /// Legend entries.
+    pub series_names: Vec<String>,
+    /// Rows in presentation order.
+    pub points: Vec<PointSpec<'a>>,
+}
+
+/// Derives a point's RNG seed from the harness base seed, the figure
+/// stem, and the point's index — *not* from scheduling, so parallel
+/// sweeps stay deterministic (FNV-1a over the stem, mixed with index
+/// and base).
+pub fn point_seed(base: u64, stem: &str, index: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in stem.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= index as u64;
+    h = h.wrapping_mul(0x1000_0000_01b3);
+    h ^ base.rotate_left(17)
+}
+
+/// Runs every point of every spec through `pool` as one flattened batch
+/// and reassembles the figures in spec order.
+pub fn compute_figures<'a>(
+    specs: Vec<FigureSpec<'a>>,
+    pool: &SweepPool,
+) -> Vec<(&'static str, FigureResult)> {
+    let tasks: Vec<(usize, usize)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, s)| (0..s.points.len()).map(move |pi| (fi, pi)))
+        .collect();
+    let outcomes: Vec<PointOutcome> = pool.run(&tasks, |_, &(fi, pi)| {
+        let point = &specs[fi].points[pi];
+        let mut rng = StdRng::seed_from_u64(point.seed);
+        (point.compute)(&mut rng)
+    });
+
+    // Tasks were flattened in (figure, point) order, so grouping back by
+    // figure preserves each figure's row order.
+    let mut per_fig: Vec<Vec<PointOutcome>> = specs.iter().map(|_| Vec::new()).collect();
+    for (&(fi, _), out) in tasks.iter().zip(outcomes) {
+        per_fig[fi].push(out);
+    }
+    specs
+        .into_iter()
+        .zip(per_fig)
+        .map(|(spec, outs)| {
+            let rows = spec
+                .points
+                .iter()
+                .zip(&outs)
+                .map(|(p, o)| FigureRow {
+                    label: p.label.clone(),
+                    values: o.values.clone(),
+                })
+                .collect();
+            let mut notes = spec.notes;
+            for o in &outs {
+                if let Some(n) = &o.note {
+                    notes.push(' ');
+                    notes.push_str(n);
+                }
+            }
+            (
+                spec.stem,
+                FigureResult {
+                    title: spec.title,
+                    notes,
+                    series_names: spec.series_names,
+                    rows,
+                },
+            )
+        })
+        .collect()
+}
+
+fn single_figure(spec: FigureSpec<'_>) -> FigureResult {
+    compute_figures(vec![spec], &SweepPool::new())
+        .pop()
+        .expect("one spec in, one figure out")
+        .1
 }
 
 const HORIZON: HorizonMode = HorizonMode::Greedy { margin: 1.25 };
@@ -67,38 +205,59 @@ fn instance_for(
 
 /// Figures 6 and 7: free-path model, weighted. Series: LP lower bound,
 /// Heuristic(λ=1.0), Best λ, Average λ.
-pub fn run_lambda_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> FigureResult {
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
-        if cfg.verbose {
-            eprintln!("[fig{fig_no}] {} …", kind.name());
-        }
-        let inst = instance_for(topo, kind, cfg, true);
-        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-        let lp = sched
-            .relax(&inst, &Routing::FreePath)
-            .expect("relaxation solves");
-        let heuristic = coflow_core::heuristic::lp_heuristic(
-            &inst,
-            &lp.plan,
-            StretchOptions::default(),
-        );
-        let h_cost = heuristic
-            .completions(&inst)
-            .expect("heuristic schedules complete")
-            .weighted_total;
-        let sweep = lambda_sweep(&inst, &lp.plan, cfg.samples, cfg.seed, StretchOptions::default());
-        rows.push(FigureRow {
+pub fn lambda_figure_spec<'a>(
+    topo: &'a Topology,
+    cfg: &'a HarnessConfig,
+    fig_no: u8,
+) -> FigureSpec<'a> {
+    let stem: &'static str = match fig_no {
+        6 => "fig06_lambda_swan",
+        7 => "fig07_lambda_gscale",
+        other => unreachable!("lambda figures are 6 and 7, not {other}"),
+    };
+    let points = WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PointSpec {
             label: kind.name().to_string(),
-            values: vec![
-                lp.objective,
-                h_cost,
-                sweep.best().weighted_cost,
-                sweep.average(),
-            ],
-        });
-    }
-    FigureResult {
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |_rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[fig{fig_no}] {} …", kind.name());
+                }
+                let inst = instance_for(topo, kind, cfg, true);
+                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+                let lp = sched
+                    .relax(&inst, &Routing::FreePath)
+                    .expect("relaxation solves");
+                let heuristic = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &lp.plan,
+                    StretchOptions::default(),
+                );
+                let h_cost = heuristic
+                    .completions(&inst)
+                    .expect("heuristic schedules complete")
+                    .weighted_total;
+                let sweep = lambda_sweep(
+                    &inst,
+                    &lp.plan,
+                    cfg.samples,
+                    cfg.seed,
+                    StretchOptions::default(),
+                );
+                vec![
+                    lp.objective,
+                    h_cost,
+                    sweep.best().weighted_cost,
+                    sweep.average(),
+                ]
+                .into()
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Figure {fig_no}: Free path model on {} — weighted completion time (less is better)",
             topo.name
@@ -113,44 +272,58 @@ pub fn run_lambda_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> Fi
             "Best λ".into(),
             "Average λ".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`lambda_figure_spec`].
+pub fn run_lambda_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> FigureResult {
+    single_figure(lambda_figure_spec(topo, cfg, fig_no))
 }
 
 /// Figure 8: effect of the interval parameter ε (free path, FB on SWAN).
 /// Series: interval LP lower bound and its λ=1 heuristic, per ε.
-pub fn run_epsilon_figure(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
-    let inst = instance_for(topo, WorkloadKind::Facebook, cfg, true);
+pub fn epsilon_figure_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    let stem = "fig08_epsilon";
+    // All ε points share one instance and horizon; solve them once here
+    // and hand the points an `Arc` so the sweep only pays the LP solves.
+    let inst = Arc::new(instance_for(topo, WorkloadKind::Facebook, cfg, true));
     let t = horizon(&inst, &Routing::FreePath, HORIZON).expect("horizon");
-    let mut rows = Vec::new();
-    for k in 1..=10 {
-        let epsilon = k as f64 / 10.0;
-        if cfg.verbose {
-            eprintln!("[fig8] ε = {epsilon} …");
-        }
-        let rel = solve_interval(
-            &inst,
-            &Routing::FreePath,
-            t,
-            epsilon,
-            &SolverOptions::default(),
-        )
-        .expect("interval LP solves");
-        let heuristic = coflow_core::heuristic::lp_heuristic(
-            &inst,
-            &rel.lp.plan,
-            StretchOptions::default(),
-        );
-        let h_cost = heuristic
-            .completions(&inst)
-            .expect("heuristic schedules complete")
-            .weighted_total;
-        rows.push(FigureRow {
-            label: format!("ε={epsilon:.1}"),
-            values: vec![rel.lp.objective, h_cost],
-        });
-    }
-    FigureResult {
+    let points = (1..=10)
+        .map(|k| {
+            let epsilon = k as f64 / 10.0;
+            let inst = Arc::clone(&inst);
+            PointSpec {
+                label: format!("ε={epsilon:.1}"),
+                seed: point_seed(cfg.seed, stem, k),
+                compute: Box::new(move |_rng: &mut StdRng| {
+                    if cfg.verbose {
+                        eprintln!("[fig8] ε = {epsilon} …");
+                    }
+                    let rel = solve_interval(
+                        &inst,
+                        &Routing::FreePath,
+                        t,
+                        epsilon,
+                        &SolverOptions::default(),
+                    )
+                    .expect("interval LP solves");
+                    let heuristic = coflow_core::heuristic::lp_heuristic(
+                        &inst,
+                        &rel.lp.plan,
+                        StretchOptions::default(),
+                    );
+                    let h_cost = heuristic
+                        .completions(&inst)
+                        .expect("heuristic schedules complete")
+                        .weighted_total;
+                    vec![rel.lp.objective, h_cost].into()
+                }),
+            }
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Figure 8: Free path model on {} (workload FB) — interval parameter ε sweep",
             topo.name
@@ -160,78 +333,90 @@ pub fn run_epsilon_figure(topo: &Topology, cfg: &HarnessConfig) -> FigureResult 
             "Time interval LP(lower bound)".into(),
             "heuristic(λ=1.0)".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`epsilon_figure_spec`].
+pub fn run_epsilon_figure(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    single_figure(epsilon_figure_spec(topo, cfg))
 }
 
 /// Figures 9 and 10: single-path model with random shortest paths.
 /// Series: time-indexed LP + heuristic, interval LP (ε=0.2) + heuristic,
 /// Jahanjou et al. (ε=0.5436, strict α-point batches).
-pub fn run_single_path_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> FigureResult {
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
-        if cfg.verbose {
-            eprintln!("[fig{fig_no}] {} …", kind.name());
-        }
-        let inst = instance_for(topo, kind, cfg, true);
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000));
-        let r = routing::random_shortest_paths(&inst, &mut rng).expect("paths exist");
-        let t = horizon(&inst, &r, HORIZON).expect("horizon");
-
-        // Time-indexed LP + λ=1 heuristic.
-        let ti = coflow_core::timeidx::solve_time_indexed(
-            &inst,
-            &r,
-            t,
-            &SolverOptions::default(),
-        )
-        .expect("time-indexed LP solves");
-        let ti_h = coflow_core::heuristic::lp_heuristic(
-            &inst,
-            &ti.plan,
-            StretchOptions::default(),
-        );
-        let ti_h_cost = ti_h
-            .completions(&inst)
-            .expect("complete")
-            .weighted_total;
-
-        // Interval LP (ε = 0.2) + λ=1 heuristic.
-        let iv = solve_interval(&inst, &r, t, 0.2, &SolverOptions::default())
-            .expect("interval LP solves");
-        let iv_h = coflow_core::heuristic::lp_heuristic(
-            &inst,
-            &iv.lp.plan,
-            StretchOptions::default(),
-        );
-        let iv_h_cost = iv_h
-            .completions(&inst)
-            .expect("complete")
-            .weighted_total;
-
-        // Jahanjou et al. at their optimized ε.
-        let jj = jahanjou_schedule(
-            &inst,
-            &r,
-            t,
-            &JahanjouConfig {
-                epsilon: EPSILON_OPT,
-                ..Default::default()
-            },
-            &SolverOptions::default(),
-        )
-        .expect("baseline runs");
-        let jj_cost = validate(&inst, &r, &jj.schedule, Tolerance::default())
-            .expect("baseline schedule feasible")
-            .completions
-            .weighted_total;
-
-        rows.push(FigureRow {
+pub fn single_path_figure_spec<'a>(
+    topo: &'a Topology,
+    cfg: &'a HarnessConfig,
+    fig_no: u8,
+) -> FigureSpec<'a> {
+    let stem: &'static str = match fig_no {
+        9 => "fig09_single_swan",
+        10 => "fig10_single_gscale",
+        other => unreachable!("single-path figures are 9 and 10, not {other}"),
+    };
+    let points = WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PointSpec {
             label: kind.name().to_string(),
-            values: vec![ti.objective, ti_h_cost, iv.lp.objective, iv_h_cost, jj_cost],
-        });
-    }
-    FigureResult {
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[fig{fig_no}] {} …", kind.name());
+                }
+                let inst = instance_for(topo, kind, cfg, true);
+                let r = routing::random_shortest_paths(&inst, rng).expect("paths exist");
+                let t = horizon(&inst, &r, HORIZON).expect("horizon");
+
+                // Time-indexed LP + λ=1 heuristic.
+                let ti = coflow_core::timeidx::solve_time_indexed(
+                    &inst,
+                    &r,
+                    t,
+                    &SolverOptions::default(),
+                )
+                .expect("time-indexed LP solves");
+                let ti_h = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &ti.plan,
+                    StretchOptions::default(),
+                );
+                let ti_h_cost = ti_h.completions(&inst).expect("complete").weighted_total;
+
+                // Interval LP (ε = 0.2) + λ=1 heuristic.
+                let iv = solve_interval(&inst, &r, t, 0.2, &SolverOptions::default())
+                    .expect("interval LP solves");
+                let iv_h = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &iv.lp.plan,
+                    StretchOptions::default(),
+                );
+                let iv_h_cost = iv_h.completions(&inst).expect("complete").weighted_total;
+
+                // Jahanjou et al. at their optimized ε.
+                let jj = jahanjou_schedule(
+                    &inst,
+                    &r,
+                    t,
+                    &JahanjouConfig {
+                        epsilon: EPSILON_OPT,
+                        ..Default::default()
+                    },
+                    &SolverOptions::default(),
+                )
+                .expect("baseline runs");
+                let jj_cost = validate(&inst, &r, &jj.schedule, Tolerance::default())
+                    .expect("baseline schedule feasible")
+                    .completions
+                    .weighted_total;
+
+                vec![ti.objective, ti_h_cost, iv.lp.objective, iv_h_cost, jj_cost].into()
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Figure {fig_no}: Single path model on {} — weighted completion time (less is better)",
             topo.name
@@ -247,64 +432,86 @@ pub fn run_single_path_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) 
             "interval heuristic(λ=1.0)".into(),
             "Jahanjou et al.".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`single_path_figure_spec`].
+pub fn run_single_path_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> FigureResult {
+    single_figure(single_path_figure_spec(topo, cfg, fig_no))
 }
 
 /// Figures 11 and 12: free-path model, unweighted (all weights 1), with
 /// Terra. Values are *total* completion times.
-pub fn run_free_unweighted_figure(
-    topo: &Topology,
-    cfg: &HarnessConfig,
+pub fn free_unweighted_figure_spec<'a>(
+    topo: &'a Topology,
+    cfg: &'a HarnessConfig,
     fig_no: u8,
-) -> FigureResult {
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
-        if cfg.verbose {
-            eprintln!("[fig{fig_no}] {} …", kind.name());
-        }
-        let inst = instance_for(topo, kind, cfg, false);
-        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-        let lp = sched
-            .relax(&inst, &Routing::FreePath)
-            .expect("relaxation solves");
-        let heuristic = coflow_core::heuristic::lp_heuristic(
-            &inst,
-            &lp.plan,
-            StretchOptions::default(),
-        );
-        let h_cost = heuristic
-            .completions(&inst)
-            .expect("complete")
-            .unweighted_total;
-        let sweep = lambda_sweep(&inst, &lp.plan, cfg.samples, cfg.seed, StretchOptions::default());
-        let best = sweep
-            .samples
-            .iter()
-            .map(|s| s.unweighted_cost)
-            .fold(f64::INFINITY, f64::min);
-        let terra = terra_offline(&inst).expect("terra runs");
-        let terra_cost = validate(
-            &inst,
-            &Routing::FreePath,
-            &terra.schedule,
-            Tolerance::default(),
-        )
-        .expect("terra schedule feasible")
-        .completions
-        .unweighted_total;
-        rows.push(FigureRow {
+) -> FigureSpec<'a> {
+    let stem: &'static str = match fig_no {
+        11 => "fig11_free_unweighted_swan",
+        12 => "fig12_free_unweighted_gscale",
+        other => unreachable!("free-unweighted figures are 11 and 12, not {other}"),
+    };
+    let points = WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PointSpec {
             label: kind.name().to_string(),
-            values: vec![
-                lp.objective, // weights are all 1, so this is the total-CCT bound
-                h_cost,
-                best,
-                sweep.average_unweighted(),
-                terra_cost,
-            ],
-        });
-    }
-    FigureResult {
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |_rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[fig{fig_no}] {} …", kind.name());
+                }
+                let inst = instance_for(topo, kind, cfg, false);
+                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+                let lp = sched
+                    .relax(&inst, &Routing::FreePath)
+                    .expect("relaxation solves");
+                let heuristic = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &lp.plan,
+                    StretchOptions::default(),
+                );
+                let h_cost = heuristic
+                    .completions(&inst)
+                    .expect("complete")
+                    .unweighted_total;
+                let sweep = lambda_sweep(
+                    &inst,
+                    &lp.plan,
+                    cfg.samples,
+                    cfg.seed,
+                    StretchOptions::default(),
+                );
+                let best = sweep
+                    .samples
+                    .iter()
+                    .map(|s| s.unweighted_cost)
+                    .fold(f64::INFINITY, f64::min);
+                let terra = terra_offline(&inst).expect("terra runs");
+                let terra_cost = validate(
+                    &inst,
+                    &Routing::FreePath,
+                    &terra.schedule,
+                    Tolerance::default(),
+                )
+                .expect("terra schedule feasible")
+                .completions
+                .unweighted_total;
+                vec![
+                    lp.objective, // weights are all 1, so this is the total-CCT bound
+                    h_cost,
+                    best,
+                    sweep.average_unweighted(),
+                    terra_cost,
+                ]
+                .into()
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Figure {fig_no}: Free path model with no weight on {} — total completion time (less is better)",
             topo.name
@@ -320,8 +527,17 @@ pub fn run_free_unweighted_figure(
             "Average λ".into(),
             "Terra".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`free_unweighted_figure_spec`].
+pub fn run_free_unweighted_figure(
+    topo: &Topology,
+    cfg: &HarnessConfig,
+    fig_no: u8,
+) -> FigureResult {
+    single_figure(free_unweighted_figure_spec(topo, cfg, fig_no))
 }
 
 /// Slot-length ablation: §6.1 "Time Index" — "if the length of a time
@@ -329,44 +545,55 @@ pub fn run_free_unweighted_figure(
 /// larger LP". Rows are slot lengths in seconds; series report the LP
 /// size, the bound, and the heuristic cost (all costs rescaled to
 /// 50-second-slot units so rows are comparable).
-pub fn run_slot_length_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
-    let mut rows = Vec::new();
-    for slot_seconds in [200.0, 100.0, 50.0, 25.0] {
-        if cfg.verbose {
-            eprintln!("[slotlen] {slot_seconds} s …");
-        }
-        let wl = WorkloadConfig {
-            kind: WorkloadKind::Facebook,
-            num_jobs: cfg.jobs,
-            seed: cfg.seed,
-            slot_seconds,
-            // Keep *wall-clock* arrivals fixed: the mean interarrival in
-            // slots scales inversely with the slot length.
-            mean_interarrival_slots: cfg.mean_interarrival * 50.0 / slot_seconds,
-            weighted: true,
-            demand_scale: 1.0,
-        };
-        let inst = build_instance(topo, &wl).expect("workload placement validates");
-        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-        let lp = sched
-            .relax(&inst, &Routing::FreePath)
-            .expect("relaxation solves");
-        let h = coflow_core::heuristic::lp_heuristic(&inst, &lp.plan, StretchOptions::default());
-        let h_cost = h.completions(&inst).expect("complete").weighted_total;
-        // Rescale slot-unit costs to the common 50 s yardstick.
-        let to_50s = slot_seconds / 50.0;
-        rows.push(FigureRow {
+pub fn slot_length_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    let stem = "ablation_slotlen";
+    let points = [200.0, 100.0, 50.0, 25.0]
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot_seconds): (usize, f64)| PointSpec {
             label: format!("{slot_seconds:.0} s"),
-            values: vec![
-                lp.objective * to_50s,
-                h_cost * to_50s,
-                lp.size.rows as f64,
-                lp.size.cols as f64,
-                lp.lp_iterations as f64,
-            ],
-        });
-    }
-    FigureResult {
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |_rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[slotlen] {slot_seconds} s …");
+                }
+                let wl = WorkloadConfig {
+                    kind: WorkloadKind::Facebook,
+                    num_jobs: cfg.jobs,
+                    seed: cfg.seed,
+                    slot_seconds,
+                    // Keep *wall-clock* arrivals fixed: the mean interarrival in
+                    // slots scales inversely with the slot length.
+                    mean_interarrival_slots: cfg.mean_interarrival * 50.0 / slot_seconds,
+                    weighted: true,
+                    demand_scale: 1.0,
+                };
+                let inst = build_instance(topo, &wl).expect("workload placement validates");
+                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+                let lp = sched
+                    .relax(&inst, &Routing::FreePath)
+                    .expect("relaxation solves");
+                let h = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &lp.plan,
+                    StretchOptions::default(),
+                );
+                let h_cost = h.completions(&inst).expect("complete").weighted_total;
+                // Rescale slot-unit costs to the common 50 s yardstick.
+                let to_50s = slot_seconds / 50.0;
+                vec![
+                    lp.objective * to_50s,
+                    h_cost * to_50s,
+                    lp.size.rows as f64,
+                    lp.size.cols as f64,
+                    lp.lp_iterations as f64,
+                ]
+                .into()
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Slot-length ablation: free path, FB on {} — accuracy vs LP size (§6.1 Time Index)",
             topo.name
@@ -383,8 +610,13 @@ pub fn run_slot_length_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureR
             "LP cols".into(),
             "simplex iterations".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`slot_length_ablation_spec`].
+pub fn run_slot_length_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    single_figure(slot_length_ablation_spec(topo, cfg))
 }
 
 /// Ordering ablation (not a paper figure): how far do LP-free
@@ -392,38 +624,51 @@ pub fn run_slot_length_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureR
 /// time-indexed LP bound, the λ=1 heuristic, the exact-best-λ pure
 /// Stretch (derandomized), the primal-dual/BSSI ordering, and weighted
 /// SJF.
-pub fn run_ordering_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
-        if cfg.verbose {
-            eprintln!("[ordering] {} …", kind.name());
-        }
-        let inst = instance_for(topo, kind, cfg, true);
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000));
-        let r = routing::random_shortest_paths(&inst, &mut rng).expect("paths exist");
-        let t = horizon(&inst, &r, HORIZON).expect("horizon");
-        let lp =
-            coflow_core::timeidx::solve_time_indexed(&inst, &r, t, &SolverOptions::default())
-                .expect("time-indexed LP solves");
-        let h = coflow_core::heuristic::lp_heuristic(&inst, &lp.plan, StretchOptions::default());
-        let h_cost = h.completions(&inst).expect("complete").weighted_total;
-        let d = coflow_core::derand::derandomize(&inst, &lp.plan);
-        let pd = coflow_baselines::primal_dual::primal_dual(&inst, &r).expect("runs");
-        let pd_cost = validate(&inst, &r, &pd, Tolerance::default())
-            .expect("primal-dual schedule feasible")
-            .completions
-            .weighted_total;
-        let sjf = coflow_baselines::sjf::weighted_sjf(&inst, &r).expect("runs");
-        let sjf_cost = validate(&inst, &r, &sjf, Tolerance::default())
-            .expect("sjf schedule feasible")
-            .completions
-            .weighted_total;
-        rows.push(FigureRow {
+pub fn ordering_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    let stem = "ablation_ordering";
+    let points = WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PointSpec {
             label: kind.name().to_string(),
-            values: vec![lp.objective, h_cost, d.best_cost, pd_cost, sjf_cost],
-        });
-    }
-    FigureResult {
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[ordering] {} …", kind.name());
+                }
+                let inst = instance_for(topo, kind, cfg, true);
+                let r = routing::random_shortest_paths(&inst, rng).expect("paths exist");
+                let t = horizon(&inst, &r, HORIZON).expect("horizon");
+                let lp = coflow_core::timeidx::solve_time_indexed(
+                    &inst,
+                    &r,
+                    t,
+                    &SolverOptions::default(),
+                )
+                .expect("time-indexed LP solves");
+                let h = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &lp.plan,
+                    StretchOptions::default(),
+                );
+                let h_cost = h.completions(&inst).expect("complete").weighted_total;
+                let d = coflow_core::derand::derandomize(&inst, &lp.plan);
+                let pd = coflow_baselines::primal_dual::primal_dual(&inst, &r).expect("runs");
+                let pd_cost = validate(&inst, &r, &pd, Tolerance::default())
+                    .expect("primal-dual schedule feasible")
+                    .completions
+                    .weighted_total;
+                let sjf = coflow_baselines::sjf::weighted_sjf(&inst, &r).expect("runs");
+                let sjf_cost = validate(&inst, &r, &sjf, Tolerance::default())
+                    .expect("sjf schedule feasible")
+                    .completions
+                    .weighted_total;
+                vec![lp.objective, h_cost, d.best_cost, pd_cost, sjf_cost].into()
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Ordering ablation: single path on {} — LP methods vs LP-free orderings (less is better)",
             topo.name
@@ -440,68 +685,92 @@ pub fn run_ordering_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResu
             "Primal-dual (BSSI)".into(),
             "Weighted SJF".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`ordering_ablation_spec`].
+pub fn run_ordering_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    single_figure(ordering_ablation_spec(topo, cfg))
 }
 
 /// Online ablation (the paper's §7 direction): offline bound and
 /// heuristic vs the event-driven re-solver and the doubling-batch
 /// framework, free-path model with Poisson releases.
-pub fn run_online_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
-    let mut rows = Vec::new();
-    let mut notes_extra = String::new();
-    for kind in WorkloadKind::ALL {
-        if cfg.verbose {
-            eprintln!("[online] {} …", kind.name());
-        }
-        let inst = instance_for(topo, kind, cfg, true);
-        let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-        let lp = sched
-            .relax(&inst, &Routing::FreePath)
-            .expect("relaxation solves");
-        let h = coflow_core::heuristic::lp_heuristic(&inst, &lp.plan, StretchOptions::default());
-        let h_cost = h.completions(&inst).expect("complete").weighted_total;
-        let online =
-            coflow_core::online::online_heuristic(&inst, &Routing::FreePath, &SolverOptions::default())
-                .expect("online runs");
-        let online_cost = validate(&inst, &Routing::FreePath, &online.schedule, Tolerance::default())
-            .expect("online schedule feasible")
-            .completions
-            .weighted_total;
-        let batched = coflow_core::flowtime::interval_batch_online(
-            &inst,
-            &Routing::FreePath,
-            &SolverOptions::default(),
-        )
-        .expect("batch online runs");
-        let batch_cost = validate(
-            &inst,
-            &Routing::FreePath,
-            &batched.schedule,
-            Tolerance::default(),
-        )
-        .expect("batched schedule feasible")
-        .completions
-        .weighted_total;
-        notes_extra.push_str(&format!(
-            " {}: {} re-solves vs {} batches.",
-            kind.name(),
-            online.resolves,
-            batched.batches
-        ));
-        rows.push(FigureRow {
+pub fn online_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    let stem = "ablation_online";
+    let points = WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PointSpec {
             label: kind.name().to_string(),
-            values: vec![lp.objective, h_cost, online_cost, batch_cost],
-        });
-    }
-    FigureResult {
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |_rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[online] {} …", kind.name());
+                }
+                let inst = instance_for(topo, kind, cfg, true);
+                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
+                let lp = sched
+                    .relax(&inst, &Routing::FreePath)
+                    .expect("relaxation solves");
+                let h = coflow_core::heuristic::lp_heuristic(
+                    &inst,
+                    &lp.plan,
+                    StretchOptions::default(),
+                );
+                let h_cost = h.completions(&inst).expect("complete").weighted_total;
+                let online = coflow_core::online::online_heuristic(
+                    &inst,
+                    &Routing::FreePath,
+                    &SolverOptions::default(),
+                )
+                .expect("online runs");
+                let online_cost = validate(
+                    &inst,
+                    &Routing::FreePath,
+                    &online.schedule,
+                    Tolerance::default(),
+                )
+                .expect("online schedule feasible")
+                .completions
+                .weighted_total;
+                let batched = coflow_core::flowtime::interval_batch_online(
+                    &inst,
+                    &Routing::FreePath,
+                    &SolverOptions::default(),
+                )
+                .expect("batch online runs");
+                let batch_cost = validate(
+                    &inst,
+                    &Routing::FreePath,
+                    &batched.schedule,
+                    Tolerance::default(),
+                )
+                .expect("batched schedule feasible")
+                .completions
+                .weighted_total;
+                PointOutcome {
+                    values: vec![lp.objective, h_cost, online_cost, batch_cost],
+                    note: Some(format!(
+                        "{}: {} re-solves vs {} batches.",
+                        kind.name(),
+                        online.resolves,
+                        batched.batches
+                    )),
+                }
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
         title: format!(
             "Online ablation: free path on {} — clairvoyant offline vs online frameworks (less is better)",
             topo.name
         ),
         notes: format!(
             "{} jobs/workload, seed {}, Poisson releases (mean interarrival {} slots). \
-             Offline knows all arrivals; online algorithms learn them at release.{notes_extra}",
+             Offline knows all arrivals; online algorithms learn them at release.",
             cfg.jobs, cfg.seed, cfg.mean_interarrival
         ),
         series_names: vec![
@@ -510,8 +779,13 @@ pub fn run_online_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult
             "Online re-solving".into(),
             "Doubling batches".into(),
         ],
-        rows,
+        points,
     }
+}
+
+/// See [`online_ablation_spec`].
+pub fn run_online_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    single_figure(online_ablation_spec(topo, cfg))
 }
 
 /// The core invariant every figure must satisfy: no algorithm beats the
@@ -529,5 +803,73 @@ pub fn assert_sound(fig: &FigureResult, lower_bound_col: usize, algo_cols: &[usi
                 row.label
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_seed_depends_on_all_inputs() {
+        let a = point_seed(1, "fig06_lambda_swan", 0);
+        assert_ne!(a, point_seed(2, "fig06_lambda_swan", 0), "base seed");
+        assert_ne!(a, point_seed(1, "fig07_lambda_gscale", 0), "stem");
+        assert_ne!(a, point_seed(1, "fig06_lambda_swan", 1), "index");
+        assert_eq!(a, point_seed(1, "fig06_lambda_swan", 0), "stable");
+    }
+
+    #[test]
+    fn compute_figures_preserves_row_order_across_workers() {
+        let mk = |stem: &'static str| FigureSpec {
+            stem,
+            title: stem.to_string(),
+            notes: String::new(),
+            series_names: vec!["v".into()],
+            points: (0..7)
+                .map(|i| PointSpec {
+                    label: format!("row{i}"),
+                    seed: point_seed(3, stem, i),
+                    compute: Box::new(move |rng: &mut StdRng| {
+                        use rand::Rng;
+                        vec![i as f64 + rng.gen_range(0.0..1.0)].into()
+                    }),
+                })
+                .collect(),
+        };
+        let serial = compute_figures(vec![mk("a"), mk("b")], &SweepPool::with_workers(1));
+        let parallel = compute_figures(vec![mk("a"), mk("b")], &SweepPool::with_workers(8));
+        for ((s_stem, s_fig), (p_stem, p_fig)) in serial.iter().zip(&parallel) {
+            assert_eq!(s_stem, p_stem);
+            for (s_row, p_row) in s_fig.rows.iter().zip(&p_fig.rows) {
+                assert_eq!(s_row.label, p_row.label);
+                assert_eq!(s_row.values, p_row.values, "worker count changed a value");
+            }
+        }
+    }
+
+    #[test]
+    fn notes_are_appended_in_point_order() {
+        let spec = FigureSpec {
+            stem: "notes",
+            title: "t".into(),
+            notes: "base.".into(),
+            series_names: vec!["v".into()],
+            points: (0..4)
+                .map(|i| PointSpec {
+                    label: format!("p{i}"),
+                    seed: i as u64,
+                    compute: Box::new(move |_rng: &mut StdRng| PointOutcome {
+                        values: vec![0.0],
+                        note: Some(format!("n{i}")),
+                    }),
+                })
+                .collect(),
+        };
+        let fig = compute_figures(vec![spec], &SweepPool::with_workers(4))
+            .pop()
+            .unwrap()
+            .1;
+        assert_eq!(fig.notes, "base. n0 n1 n2 n3");
     }
 }

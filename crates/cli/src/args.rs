@@ -64,7 +64,9 @@ impl Args {
 
     /// Whether switch `--name` was given.
     pub fn switch(&self, name: &str) -> bool {
-        self.consumed.borrow_mut().push(name.trim_start_matches('-').to_string());
+        self.consumed
+            .borrow_mut()
+            .push(name.trim_start_matches('-').to_string());
         self.switches.iter().any(|s| s == name)
     }
 

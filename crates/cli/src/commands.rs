@@ -59,7 +59,12 @@ pub fn info(args: &Args) -> Result<(), String> {
     args.finish()?;
     let g = &inst.graph;
     let total_demand: f64 = inst.coflows.iter().map(|c| c.total_demand()).sum();
-    let max_release = inst.coflows.iter().map(|c| c.full_release()).max().unwrap_or(0);
+    let max_release = inst
+        .coflows
+        .iter()
+        .map(|c| c.full_release())
+        .max()
+        .unwrap_or(0);
     let widths: Vec<usize> = inst.coflows.iter().map(|c| c.flows.len()).collect();
     let max_width = widths.iter().copied().max().unwrap_or(0);
     let singles = widths.iter().filter(|&&w| w == 1).count();
@@ -136,7 +141,10 @@ pub fn solve(args: &Args) -> Result<(), String> {
                 report.cost,
                 &report.validation.completions,
             );
-            println!("lp rows/cols   {} / {}", report.lp_size.rows, report.lp_size.cols);
+            println!(
+                "lp rows/cols   {} / {}",
+                report.lp_size.rows, report.lp_size.cols
+            );
             println!("lp iterations  {}", report.lp_iterations);
             if let Some(sweep) = &report.sweep {
                 println!("best lambda    {:.4}", sweep.best().lambda);
@@ -144,7 +152,9 @@ pub fn solve(args: &Args) -> Result<(), String> {
             }
         }
         "derand" => {
-            let lp = scheduler.relax(&inst, &routing).map_err(|e| e.to_string())?;
+            let lp = scheduler
+                .relax(&inst, &routing)
+                .map_err(|e| e.to_string())?;
             let d = derand::derandomize(&inst, &lp.plan);
             let report = Scheduler::new(Algorithm::FixedLambda(d.best_lambda))
                 .solve(&inst, &routing)
@@ -155,8 +165,14 @@ pub fn solve(args: &Args) -> Result<(), String> {
                 report.cost,
                 &report.validation.completions,
             );
-            println!("best lambda    {:.6} (exact, {} candidates)", d.best_lambda, d.candidates);
-            println!("pure-stretch   best {:.3} / heuristic {:.3}", d.best_cost, d.heuristic_cost);
+            println!(
+                "best lambda    {:.6} (exact, {} candidates)",
+                d.best_lambda, d.candidates
+            );
+            println!(
+                "pure-stretch   best {:.3} / heuristic {:.3}",
+                d.best_cost, d.heuristic_cost
+            );
             println!(
                 "E[cost]        {:.3} ± {:.1e} (2·LP = {:.3})",
                 d.expected_cost,
@@ -170,18 +186,32 @@ pub fn solve(args: &Args) -> Result<(), String> {
             } else {
                 sjf::weighted_sjf(&inst, &routing).map_err(|e| e.to_string())?
             };
-            let rep =
-                validate(&inst, &routing, &sched, Tolerance::default()).map_err(|e| e.to_string())?;
-            let lp = scheduler.relax(&inst, &routing).map_err(|e| e.to_string())?;
-            print_outcome(&inst, lp.objective, rep.completions.weighted_total, &rep.completions);
+            let rep = validate(&inst, &routing, &sched, Tolerance::default())
+                .map_err(|e| e.to_string())?;
+            let lp = scheduler
+                .relax(&inst, &routing)
+                .map_err(|e| e.to_string())?;
+            print_outcome(
+                &inst,
+                lp.objective,
+                rep.completions.weighted_total,
+                &rep.completions,
+            );
         }
         "batch-online" => {
             let out = interval_batch_online(&inst, &routing, &SolverOptions::default())
                 .map_err(|e| e.to_string())?;
             let rep = validate(&inst, &routing, &out.schedule, Tolerance::default())
                 .map_err(|e| e.to_string())?;
-            let lp = scheduler.relax(&inst, &routing).map_err(|e| e.to_string())?;
-            print_outcome(&inst, lp.objective, rep.completions.weighted_total, &rep.completions);
+            let lp = scheduler
+                .relax(&inst, &routing)
+                .map_err(|e| e.to_string())?;
+            print_outcome(
+                &inst,
+                lp.objective,
+                rep.completions.weighted_total,
+                &rep.completions,
+            );
             println!("batches        {}", out.batches);
         }
         other => {
@@ -205,7 +235,10 @@ fn print_outcome(
     println!("cost           {cost:.3}");
     println!("ratio          {:.4}", cost / lower_bound.max(1e-12));
     println!("makespan       {}", completions.makespan);
-    println!("flow time      {:.3} (max {:.0})", ft.weighted_total, ft.max);
+    println!(
+        "flow time      {:.3} (max {:.0})",
+        ft.weighted_total, ft.max
+    );
 }
 
 fn load(args: &Args) -> Result<CoflowInstance, String> {

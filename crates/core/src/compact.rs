@@ -156,10 +156,7 @@ mod tests {
         )
         .unwrap();
         let mut sched = Schedule {
-            flows: vec![
-                vec![vec![transfer(1, 1.0)]],
-                vec![vec![transfer(3, 1.0)]],
-            ],
+            flows: vec![vec![vec![transfer(1, 1.0)]], vec![vec![transfer(3, 1.0)]]],
         };
         compact(&mut sched, &inst);
         let s0 = sched.flows[0][0][0].slot;

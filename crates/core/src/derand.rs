@@ -336,7 +336,11 @@ pub fn derandomize(inst: &CoflowInstance, plan: &RatePlan) -> Derandomized {
             // i.e. this piece has a ≤ 0; the ratio is then bounded by b.
             (ratio_at(1e-300), ratio_at(p.hi))
         };
-        let (rmin, rmax) = if r_lo < r_hi { (r_lo, r_hi) } else { (r_hi, r_lo) };
+        let (rmin, rmax) = if r_lo < r_hi {
+            (r_lo, r_hi)
+        } else {
+            (r_hi, r_lo)
+        };
         let k_first = ceil_tol(rmin).max(1.0);
         let k_last = ceil_tol(rmax) - 1.0;
         if k_last < k_first || !(k_last - k_first).is_finite() {
@@ -648,8 +652,8 @@ mod tests {
         let mut numeric = 0.0;
         for k in 0..n {
             let lambda = eps + (1.0 - eps) * (k as f64 + 0.5) / n as f64;
-            numeric += 2.0 * lambda * profile_cost(&inst, &profiles, lambda) * (1.0 - eps)
-                / n as f64;
+            numeric +=
+                2.0 * lambda * profile_cost(&inst, &profiles, lambda) * (1.0 - eps) / n as f64;
         }
         // Tail [0, eps]: cost ≤ Σ w_j(C*_j(eps)/eps + 1) there, mass 2λdλ.
         let tail_hi: f64 = inst
@@ -674,13 +678,7 @@ mod tests {
         let lp =
             solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         let d = derandomize(&inst, &lp.plan);
-        let sweep = lambda_sweep(
-            &inst,
-            &lp.plan,
-            40,
-            2019,
-            StretchOptions { compact: false },
-        );
+        let sweep = lambda_sweep(&inst, &lp.plan, 40, 2019, StretchOptions { compact: false });
         // The exact minimum can only improve on sampling.
         assert!(
             d.best_cost <= sweep.best().weighted_cost + 1e-9,
@@ -704,11 +702,8 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst = CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 5)])],
-        )
-        .unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 5)])])
+            .unwrap();
         let lp =
             solve_time_indexed(&inst, &Routing::FreePath, 10, &SolverOptions::default()).unwrap();
         let d = derandomize(&inst, &lp.plan);

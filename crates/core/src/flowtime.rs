@@ -170,7 +170,11 @@ pub fn interval_batch_online(
         };
         let sub_inst = CoflowInstance::new(inst.graph.clone(), coflows)
             .expect("batch of a valid instance is valid");
-        let t = horizon(&sub_inst, &sub_routing, HorizonMode::Greedy { margin: 1.25 })?;
+        let t = horizon(
+            &sub_inst,
+            &sub_routing,
+            HorizonMode::Greedy { margin: 1.25 },
+        )?;
         let lp = solve_time_indexed(&sub_inst, &sub_routing, t, lp_opts)?;
         let plan = lp_heuristic(&sub_inst, &lp.plan, StretchOptions::default());
 
@@ -250,8 +254,7 @@ mod tests {
         assert_eq!(ft.per_coflow, vec![3.0, 5.0]);
         assert_eq!(ft.unweighted_total, 8.0);
         assert_eq!(ft.max, 5.0);
-        let expect_weighted =
-            inst.coflows[0].weight * 3.0 + inst.coflows[1].weight * 5.0;
+        let expect_weighted = inst.coflows[0].weight * 3.0 + inst.coflows[1].weight * 5.0;
         assert!((ft.weighted_total - expect_weighted).abs() < 1e-12);
     }
 
@@ -262,8 +265,13 @@ mod tests {
             interval_batch_online(&inst, &Routing::FreePath, &SolverOptions::default()).unwrap();
         assert_eq!(out.batches, 1);
         assert_eq!(out.dispatched_at, vec![0]);
-        let rep = validate(&inst, &Routing::FreePath, &out.schedule, Tolerance::default())
-            .unwrap();
+        let rep = validate(
+            &inst,
+            &Routing::FreePath,
+            &out.schedule,
+            Tolerance::default(),
+        )
+        .unwrap();
         let offline = Scheduler::new(Algorithm::LpHeuristic)
             .solve(&inst, &Routing::FreePath)
             .unwrap();
@@ -286,8 +294,13 @@ mod tests {
         assert_eq!(out.dispatched_at[0], 0);
         assert!(out.dispatched_at[1] >= 4);
         assert!(out.dispatched_at[2] >= 16);
-        let rep = validate(&inst, &Routing::FreePath, &out.schedule, Tolerance::default())
-            .unwrap();
+        let rep = validate(
+            &inst,
+            &Routing::FreePath,
+            &out.schedule,
+            Tolerance::default(),
+        )
+        .unwrap();
         // No coflow starts before its release.
         for (j, &c) in rep.completions.per_coflow.iter().enumerate() {
             assert!(c > inst.coflows[j].release());
@@ -302,14 +315,24 @@ mod tests {
         let opts = SolverOptions::default();
         let batched = interval_batch_online(&inst, &Routing::FreePath, &opts).unwrap();
         let event = crate::online::online_heuristic(&inst, &Routing::FreePath, &opts).unwrap();
-        let bat = validate(&inst, &Routing::FreePath, &batched.schedule, Tolerance::default())
-            .unwrap()
-            .completions
-            .weighted_total;
-        let evt = validate(&inst, &Routing::FreePath, &event.schedule, Tolerance::default())
-            .unwrap()
-            .completions
-            .weighted_total;
+        let bat = validate(
+            &inst,
+            &Routing::FreePath,
+            &batched.schedule,
+            Tolerance::default(),
+        )
+        .unwrap()
+        .completions
+        .weighted_total;
+        let evt = validate(
+            &inst,
+            &Routing::FreePath,
+            &event.schedule,
+            Tolerance::default(),
+        )
+        .unwrap()
+        .completions
+        .weighted_total;
         let offline = Scheduler::new(Algorithm::LpHeuristic)
             .solve(&inst, &Routing::FreePath)
             .unwrap();
@@ -329,8 +352,13 @@ mod tests {
         let inst = staggered(5, &[0, 6]);
         let out =
             interval_batch_online(&inst, &Routing::FreePath, &SolverOptions::default()).unwrap();
-        let rep = validate(&inst, &Routing::FreePath, &out.schedule, Tolerance::default())
-            .unwrap();
+        let rep = validate(
+            &inst,
+            &Routing::FreePath,
+            &out.schedule,
+            Tolerance::default(),
+        )
+        .unwrap();
         let ft = flow_times(&inst, &rep.completions);
         // Flow times are at least 1 and releases were subtracted.
         for (j, &f) in ft.per_coflow.iter().enumerate() {

@@ -39,7 +39,11 @@ pub fn greedy_schedule(
     routing: &Routing,
     order: &[usize],
 ) -> Result<Schedule, CoflowError> {
-    assert_eq!(order.len(), inst.num_coflows(), "order must be a permutation");
+    assert_eq!(
+        order.len(),
+        inst.num_coflows(),
+        "order must be a permutation"
+    );
     let mut alloc = SlotAllocator::new(inst, routing)?;
     while !alloc.is_done() {
         alloc.step(order)?;
@@ -397,11 +401,8 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst = CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::released(v0, v1, 2.0, 3)])],
-        )
-        .unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::released(v0, v1, 2.0, 3)])])
+            .unwrap();
         let sched = greedy_schedule(&inst, &Routing::FreePath, &[0]).unwrap();
         let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
         assert_eq!(rep.completions.per_coflow, vec![5]); // slots 4 and 5

@@ -37,15 +37,9 @@ mod tests {
         let g = topo.graph;
         let s = g.node_by_label("s").unwrap();
         let t = g.node_by_label("t").unwrap();
-        let inst =
-            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 3.0)])]).unwrap();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            4,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 3.0)])]).unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 4, &SolverOptions::default()).unwrap();
         let h = lp_heuristic(&inst, &lp.plan, StretchOptions::default());
         let s1 = stretch_schedule(&inst, &lp.plan, 1.0, StretchOptions::default());
         assert_eq!(h, s1);

@@ -157,6 +157,10 @@ mod tests {
     #[should_panic(expected = "margin")]
     fn rejects_sub_unit_margin() {
         let inst = two_coflow_instance();
-        let _ = horizon(&inst, &Routing::FreePath, HorizonMode::Greedy { margin: 0.5 });
+        let _ = horizon(
+            &inst,
+            &Routing::FreePath,
+            HorizonMode::Greedy { margin: 0.5 },
+        );
     }
 }

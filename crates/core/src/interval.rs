@@ -499,14 +499,8 @@ mod tests {
     #[test]
     fn interval_lp_bounds_and_discretizes() {
         let inst = fig2_instance();
-        let rel = solve_interval(
-            &inst,
-            &Routing::FreePath,
-            6,
-            0.5,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let rel =
+            solve_interval(&inst, &Routing::FreePath, 6, 0.5, &SolverOptions::default()).unwrap();
         // Coarser relaxation, still at most the optimal 5 plus the
         // coarsening slack; and at least the trivial 4.
         assert!(rel.lp.objective >= 4.0 - 1e-6);
@@ -519,14 +513,8 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let inst = fig2_instance();
-        let rel = solve_interval(
-            &inst,
-            &Routing::FreePath,
-            6,
-            0.3,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let rel =
+            solve_interval(&inst, &Routing::FreePath, 6, 0.3, &SolverOptions::default()).unwrap();
         for row in &rel.flow_fractions {
             for fr in row {
                 let total: f64 = fr.iter().sum();
@@ -543,22 +531,10 @@ mod tests {
         // value (a lower bound) is non-increasing in ε — the effect the
         // paper studies in Figure 8.
         let inst = fig2_instance();
-        let coarse = solve_interval(
-            &inst,
-            &Routing::FreePath,
-            8,
-            1.0,
-            &SolverOptions::default(),
-        )
-        .unwrap();
-        let fine = solve_interval(
-            &inst,
-            &Routing::FreePath,
-            8,
-            0.1,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let coarse =
+            solve_interval(&inst, &Routing::FreePath, 8, 1.0, &SolverOptions::default()).unwrap();
+        let fine =
+            solve_interval(&inst, &Routing::FreePath, 8, 0.1, &SolverOptions::default()).unwrap();
         assert!(
             fine.lp.objective >= coarse.lp.objective - 1e-6,
             "fine {} vs coarse {}",
@@ -576,11 +552,8 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst = CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])],
-        )
-        .unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])])
+            .unwrap();
         let rel = solve_interval(
             &inst,
             &Routing::FreePath,

@@ -59,7 +59,12 @@ pub fn write_instance(inst: &CoflowInstance) -> Result<String, CoflowError> {
             e.capacity
         );
     }
-    let _ = writeln!(out, "# {} coflows, {} flows", inst.num_coflows(), inst.num_flows());
+    let _ = writeln!(
+        out,
+        "# {} coflows, {} flows",
+        inst.num_coflows(),
+        inst.num_flows()
+    );
     for cf in &inst.coflows {
         let _ = writeln!(out, "coflow {}", cf.weight);
         for f in &cf.flows {
@@ -121,9 +126,7 @@ pub fn read_instance(text: &str) -> Result<CoflowInstance, CoflowError> {
                 if graph.is_some() {
                     return Err(bad(lineno, "node after the first coflow"));
                 }
-                let label = it
-                    .next()
-                    .ok_or_else(|| bad(lineno, "node needs a label"))?;
+                let label = it.next().ok_or_else(|| bad(lineno, "node needs a label"))?;
                 if labels.contains_key(label) {
                     return Err(bad(lineno, &format!("duplicate node {label:?}")));
                 }
@@ -150,9 +153,8 @@ pub fn read_instance(text: &str) -> Result<CoflowInstance, CoflowError> {
                                 .get(&dst)
                                 .ok_or_else(|| bad(eline, &format!("unknown node {dst:?}")))?,
                         );
-                        b.add_edge(su, sv, cap).map_err(|e| {
-                            bad(eline, &format!("invalid edge: {e}"))
-                        })?;
+                        b.add_edge(su, sv, cap)
+                            .map_err(|e| bad(eline, &format!("invalid edge: {e}")))?;
                     }
                     graph = Some(std::mem::take(&mut b).build());
                 }
@@ -308,12 +310,7 @@ mod tests {
                             while c == a {
                                 c = nodes[rng.gen_range(0..nodes.len())];
                             }
-                            Flow::released(
-                                a,
-                                c,
-                                rng.gen_range(0.1..50.0),
-                                rng.gen_range(0..9),
-                            )
+                            Flow::released(a, c, rng.gen_range(0.1..50.0), rng.gen_range(0..9))
                         })
                         .collect();
                     Coflow::weighted(rng.gen_range(0.5..100.0), flows)
@@ -340,12 +337,27 @@ mod tests {
         let cases = [
             ("coflow-instance v2\n", "unknown header"),
             ("coflow-instance v1\nnode a\nnode a\n", "duplicate node"),
-            ("coflow-instance v1\nnode a\nedge a zzz 1\ncoflow 1\nflow a a 1 0\n", "unknown node"),
-            ("coflow-instance v1\nnode a\nflow a a 1 0\n", "flow before any coflow"),
+            (
+                "coflow-instance v1\nnode a\nedge a zzz 1\ncoflow 1\nflow a a 1 0\n",
+                "unknown node",
+            ),
+            (
+                "coflow-instance v1\nnode a\nflow a a 1 0\n",
+                "flow before any coflow",
+            ),
             ("coflow-instance v1\nbogus x\n", "unknown keyword"),
-            ("coflow-instance v1\nnode a\nnode b\nedge a b oops\n", "unparsable edge capacity"),
-            ("coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow a b 1 0 extra\n", "trailing tokens"),
-            ("coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nnode c\n", "node after the first coflow"),
+            (
+                "coflow-instance v1\nnode a\nnode b\nedge a b oops\n",
+                "unparsable edge capacity",
+            ),
+            (
+                "coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow a b 1 0 extra\n",
+                "trailing tokens",
+            ),
+            (
+                "coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nnode c\n",
+                "node after the first coflow",
+            ),
         ];
         for (text, expect) in cases {
             let err = read_instance(text).unwrap_err();
@@ -364,11 +376,8 @@ mod tests {
         let a = b.add_node("a node");
         let c = b.add_node("c");
         b.add_edge(a, c, 1.0).unwrap();
-        let inst = CoflowInstance::new(
-            b.build(),
-            vec![Coflow::new(vec![Flow::new(a, c, 1.0)])],
-        )
-        .unwrap();
+        let inst =
+            CoflowInstance::new(b.build(), vec![Coflow::new(vec![Flow::new(a, c, 1.0)])]).unwrap();
         assert!(write_instance(&inst).is_err());
     }
 

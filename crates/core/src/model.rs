@@ -62,10 +62,7 @@ pub struct Coflow {
 impl Coflow {
     /// A unit-weight coflow.
     pub fn new(flows: Vec<Flow>) -> Self {
-        Coflow {
-            weight: 1.0,
-            flows,
-        }
+        Coflow { weight: 1.0, flows }
     }
 
     /// A weighted coflow.
@@ -252,17 +249,13 @@ mod tests {
         // Empty coflow.
         assert!(CoflowInstance::new(g.clone(), vec![Coflow::new(vec![])]).is_err());
         // Zero demand.
-        assert!(CoflowInstance::new(
-            g.clone(),
-            vec![Coflow::new(vec![Flow::new(s, t, 0.0)])]
-        )
-        .is_err());
+        assert!(
+            CoflowInstance::new(g.clone(), vec![Coflow::new(vec![Flow::new(s, t, 0.0)])]).is_err()
+        );
         // Equal endpoints.
-        assert!(CoflowInstance::new(
-            g.clone(),
-            vec![Coflow::new(vec![Flow::new(s, s, 1.0)])]
-        )
-        .is_err());
+        assert!(
+            CoflowInstance::new(g.clone(), vec![Coflow::new(vec![Flow::new(s, s, 1.0)])]).is_err()
+        );
         // Non-positive weight.
         assert!(CoflowInstance::new(
             g.clone(),
@@ -270,11 +263,9 @@ mod tests {
         )
         .is_err());
         // NaN demand.
-        assert!(CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::new(s, t, f64::NAN)])]
-        )
-        .is_err());
+        assert!(
+            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, f64::NAN)])]).is_err()
+        );
     }
 
     #[test]
@@ -284,16 +275,11 @@ mod tests {
         let v0 = g.node_by_label("v0").unwrap();
         let v2 = g.node_by_label("v2").unwrap();
         // Backwards on a directed line: unreachable.
-        assert!(CoflowInstance::new(
-            g.clone(),
-            vec![Coflow::new(vec![Flow::new(v2, v0, 1.0)])]
-        )
-        .is_err());
-        assert!(CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::new(v0, v2, 1.0)])]
-        )
-        .is_ok());
+        assert!(
+            CoflowInstance::new(g.clone(), vec![Coflow::new(vec![Flow::new(v2, v0, 1.0)])])
+                .is_err()
+        );
+        assert!(CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v2, 1.0)])]).is_ok());
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn online_heuristic(
             continue; // nothing pending at this epoch
         };
         resolves += 1;
-        let t = horizon(&sub_inst, &sub_routing, HorizonMode::Greedy { margin: 1.25 })?;
+        let t = horizon(
+            &sub_inst,
+            &sub_routing,
+            HorizonMode::Greedy { margin: 1.25 },
+        )?;
         let lp = solve_time_indexed(&sub_inst, &sub_routing, t, lp_opts)?;
         let plan = lp_heuristic(&sub_inst, &lp.plan, StretchOptions::default());
 
@@ -208,8 +212,8 @@ mod tests {
         let offline = Scheduler::new(Algorithm::LpHeuristic)
             .solve(&inst, &Routing::FreePath)
             .unwrap();
-        let online = online_heuristic(&inst, &Routing::FreePath, &SolverOptions::default())
-            .unwrap();
+        let online =
+            online_heuristic(&inst, &Routing::FreePath, &SolverOptions::default()).unwrap();
         assert_eq!(online.resolves, 1);
         let rep = validate(
             &inst,
@@ -229,8 +233,8 @@ mod tests {
     #[test]
     fn staggered_arrivals_validate_and_respect_the_offline_bound() {
         let inst = staggered_instance(2, &[0, 3, 3, 7]);
-        let online = online_heuristic(&inst, &Routing::FreePath, &SolverOptions::default())
-            .unwrap();
+        let online =
+            online_heuristic(&inst, &Routing::FreePath, &SolverOptions::default()).unwrap();
         assert_eq!(online.resolves, 3, "three distinct arrival epochs");
         let rep = validate(
             &inst,

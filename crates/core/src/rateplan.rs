@@ -365,8 +365,7 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst =
-            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 1.0)])]).unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 1.0)])]).unwrap();
         let plan = RatePlan {
             flows: vec![vec![fp]],
         };
@@ -386,8 +385,7 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst =
-            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 5.0)])]).unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(v0, v1, 5.0)])]).unwrap();
         let plan = RatePlan {
             flows: vec![vec![FlowPlan {
                 segments: vec![unit_segment(0.0, 1.0, 1.0)],

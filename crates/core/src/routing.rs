@@ -186,9 +186,8 @@ mod tests {
         // Each path length equals the BFS distance.
         for (j, cf) in inst.coflows.iter().enumerate() {
             for (i, f) in cf.flows.iter().enumerate() {
-                let d = coflow_netgraph::shortest::bfs_distances(&inst.graph, f.src)
-                    [f.dst.index()]
-                .unwrap();
+                let d = coflow_netgraph::shortest::bfs_distances(&inst.graph, f.src)[f.dst.index()]
+                    .unwrap();
                 assert_eq!(t[j][i].len(), d as usize);
             }
         }
@@ -218,8 +217,7 @@ mod tests {
         assert!(bad.validate(&inst).is_err());
         // Wrong endpoints: use coflow 1's path for coflow 0's first flow.
         let mut rng = StdRng::seed_from_u64(2);
-        let Routing::SinglePath(mut t) = random_shortest_paths(&inst, &mut rng).unwrap()
-        else {
+        let Routing::SinglePath(mut t) = random_shortest_paths(&inst, &mut rng).unwrap() else {
             panic!()
         };
         t[0][0] = t[1][0].clone();

@@ -226,10 +226,7 @@ mod tests {
     #[test]
     fn edge_loads_aggregate_across_flows() {
         let sched = Schedule {
-            flows: vec![
-                vec![vec![transfer(1, 0.6)]],
-                vec![vec![transfer(1, 0.3)]],
-            ],
+            flows: vec![vec![vec![transfer(1, 0.6)]], vec![vec![transfer(1, 0.3)]]],
         };
         let loads = sched.edge_loads();
         assert_eq!(loads.len(), 1);

@@ -309,8 +309,7 @@ mod tests {
         let inst = small_instance();
         let opts = SolverOptions::default();
         let factors = [1.0, 0.9, 0.8, 0.7, 0.6];
-        let sweep =
-            capacity_sweep(&inst, &Routing::FreePath, 10, &factors, &opts).unwrap();
+        let sweep = capacity_sweep(&inst, &Routing::FreePath, 10, &factors, &opts).unwrap();
         for pt in &sweep {
             // Cold reference: rebuild the instance with scaled capacities.
             let topo = topology::fig2_example().scale_capacity(pt.factor);
@@ -328,8 +327,7 @@ mod tests {
                 ],
             )
             .unwrap();
-            let cold =
-                solve_time_indexed(&cold_inst, &Routing::FreePath, 10, &opts).unwrap();
+            let cold = solve_time_indexed(&cold_inst, &Routing::FreePath, 10, &opts).unwrap();
             let warm = pt.lp_bound.expect("feasible at these factors");
             assert!(
                 (warm - cold.objective).abs() < 1e-5 * (1.0 + cold.objective.abs()),
@@ -346,8 +344,7 @@ mod tests {
         let inst = small_instance();
         let opts = SolverOptions::default();
         let factors = [1.0, 0.8, 0.6, 0.5];
-        let sweep =
-            capacity_sweep(&inst, &Routing::FreePath, 12, &factors, &opts).unwrap();
+        let sweep = capacity_sweep(&inst, &Routing::FreePath, 12, &factors, &opts).unwrap();
         let bounds: Vec<f64> = sweep.iter().map(|p| p.lp_bound.unwrap()).collect();
         for w in bounds.windows(2) {
             assert!(
@@ -365,11 +362,8 @@ mod tests {
         let v1 = g.node_by_label("v1").unwrap();
         let v3 = g.node_by_label("v3").unwrap();
         let t = g.node_by_label("t").unwrap();
-        let inst = CoflowInstance::new(
-            g.clone(),
-            vec![Coflow::new(vec![Flow::new(v1, t, 1.0)])],
-        )
-        .unwrap();
+        let inst =
+            CoflowInstance::new(g.clone(), vec![Coflow::new(vec![Flow::new(v1, t, 1.0)])]).unwrap();
         let opts = SolverOptions::default();
         let mut sens = Sensitivity::new(&inst, &Routing::FreePath, 6).unwrap();
         let base = sens.solve(&opts).unwrap().objective;
@@ -493,16 +487,12 @@ mod tests {
         let opts = SolverOptions::default();
         // Demand 3 through a unit edge in horizon 6; factor 0.01 cannot
         // fit (needs 300 slots).
-        let sweep = capacity_sweep(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &[1.0, 0.01, 1.0],
-            &opts,
-        )
-        .unwrap();
+        let sweep = capacity_sweep(&inst, &Routing::FreePath, 6, &[1.0, 0.01, 1.0], &opts).unwrap();
         assert!(sweep[0].lp_bound.is_some());
-        assert!(sweep[1].lp_bound.is_none(), "1% capacity must be infeasible");
+        assert!(
+            sweep[1].lp_bound.is_none(),
+            "1% capacity must be infeasible"
+        );
         // Recovery after the infeasible point.
         let a = sweep[0].lp_bound.unwrap();
         let b = sweep[2].lp_bound.unwrap();

@@ -133,11 +133,11 @@ pub fn lambda_sweep(
         }
     } else {
         let chunks: Vec<(usize, f64)> = lambdas.iter().copied().enumerate().collect();
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in chunks.chunks(n_samples.div_ceil(threads)) {
                 let chunk = chunk.to_vec();
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     chunk
                         .into_iter()
                         .map(|(k, lambda)| (k, evaluate(inst, plan, lambda, opts)))
@@ -148,8 +148,7 @@ pub fn lambda_sweep(
                 .into_iter()
                 .flat_map(|h| h.join().expect("stretch worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope");
+        });
         for (k, s) in results {
             samples[k] = Some(s);
         }
@@ -183,8 +182,8 @@ mod tests {
     use crate::routing::Routing;
     use crate::timeidx::solve_time_indexed;
     use crate::validate::{validate, Tolerance};
-    use coflow_netgraph::topology;
     use coflow_lp::SolverOptions;
+    use coflow_netgraph::topology;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -232,21 +231,11 @@ mod tests {
     #[test]
     fn stretched_schedules_are_feasible_for_many_lambdas() {
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         for lambda in [0.1, 0.3, 0.5, 0.77, 0.99, 1.0] {
             for compact in [false, true] {
-                let sched = stretch_schedule(
-                    &inst,
-                    &lp.plan,
-                    lambda,
-                    StretchOptions { compact },
-                );
+                let sched = stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact });
                 let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default())
                     .unwrap_or_else(|e| panic!("λ={lambda} compact={compact}: {e}"));
                 assert!(rep.peak_utilization <= 1.0 + 1e-6);
@@ -257,20 +246,11 @@ mod tests {
     #[test]
     fn compaction_never_hurts() {
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         for lambda in [0.25, 0.5, 0.9] {
-            let plain = stretch_schedule(
-                &inst,
-                &lp.plan,
-                lambda,
-                StretchOptions { compact: false },
-            );
+            let plain =
+                stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact: false });
             let packed =
                 stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact: true });
             let c_plain = plain.completions(&inst).unwrap().weighted_total;
@@ -285,13 +265,8 @@ mod tests {
     #[test]
     fn sweep_statistics_are_consistent() {
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         let sweep = lambda_sweep(&inst, &lp.plan, 20, 7, StretchOptions::default());
         assert_eq!(sweep.samples.len(), 20);
         let best = sweep.best().weighted_cost;
@@ -311,24 +286,15 @@ mod tests {
         // a deterministic check of the expectation itself. Compaction is
         // disabled: the theorem is about the pure stretched schedule.
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         let grid = 400;
         let lo = 0.02; // tail [0, lo] bounded separately below
         let mut expectation = 0.0;
         for k in 0..grid {
             let lambda = lo + (1.0 - lo) * (k as f64 + 0.5) / grid as f64;
-            let sched = stretch_schedule(
-                &inst,
-                &lp.plan,
-                lambda,
-                StretchOptions { compact: false },
-            );
+            let sched =
+                stretch_schedule(&inst, &lp.plan, lambda, StretchOptions { compact: false });
             let cost = sched.completions(&inst).unwrap().weighted_total;
             expectation += 2.0 * lambda * cost * (1.0 - lo) / grid as f64;
         }
@@ -347,13 +313,8 @@ mod tests {
     #[test]
     fn sweep_is_deterministic_given_seed() {
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         let a = lambda_sweep(&inst, &lp.plan, 8, 123, StretchOptions::default());
         let b = lambda_sweep(&inst, &lp.plan, 8, 123, StretchOptions::default());
         for (x, y) in a.samples.iter().zip(&b.samples) {

@@ -266,11 +266,7 @@ pub(crate) fn build(
                 let sidx = (t - fv.start) as usize; // t >= start since rj >= release
                 debug_assert!(t >= fv.start);
                 let _ = f;
-                model.add_constraint(
-                    [(fv.s[sidx], 1.0), (xvar, -1.0)],
-                    Cmp::Ge,
-                    0.0,
-                );
+                model.add_constraint([(fv.s[sidx], 1.0), (xvar, -1.0)], Cmp::Ge, 0.0);
             }
         }
         // C_j + Σ X_j(t) >= 1 + T.
@@ -408,11 +404,7 @@ pub(crate) fn extract(
                     Routing::SinglePath(paths) => {
                         let frac = sol.value(fv.x[idx]);
                         let rate = frac * f.demand;
-                        let edges = paths[j][i]
-                            .edges()
-                            .iter()
-                            .map(|&e| (e, rate))
-                            .collect();
+                        let edges = paths[j][i].edges().iter().map(|&e| (e, rate)).collect();
                         (frac, edges)
                     }
                     Routing::MultiPath(sets) => {
@@ -502,13 +494,8 @@ mod tests {
     #[test]
     fn free_path_lower_bound_at_most_fig4_optimum() {
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         // Figure 4's optimal schedule costs 5; LP must not exceed it.
         assert!(lp.objective <= 5.0 + 1e-6, "LP bound {}", lp.objective);
         // And it cannot be absurdly small: every coflow needs >= 1 slot.
@@ -527,13 +514,8 @@ mod tests {
     #[test]
     fn lp_plan_is_capacity_feasible() {
         let inst = fig2_instance();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         let sched = lp.plan.discretize();
         let rep = crate::validate::validate(
             &inst,
@@ -565,8 +547,7 @@ mod tests {
             vec![mk(&[v3, t])],
             vec![mk(&[s, v2, t])],
         ]);
-        let lp =
-            solve_time_indexed(&inst, &routing, 8, &SolverOptions::default()).unwrap();
+        let lp = solve_time_indexed(&inst, &routing, 8, &SolverOptions::default()).unwrap();
         // Figure 3's optimum is 7; the LP lower-bounds it. The blue
         // coflow alone needs 3 slots (demand 3, bottleneck 1) and shares
         // an edge with green, so the bound is strictly above 4-ish.
@@ -581,13 +562,8 @@ mod tests {
         let inst = fig2_instance();
         let routing = routing::k_shortest_path_sets(&inst, 3).unwrap();
         let mp = solve_time_indexed(&inst, &routing, 6, &SolverOptions::default()).unwrap();
-        let fp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            6,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let fp =
+            solve_time_indexed(&inst, &Routing::FreePath, 6, &SolverOptions::default()).unwrap();
         assert!(
             (mp.objective - fp.objective).abs() < 1e-5,
             "multi {} vs free {}",
@@ -602,18 +578,10 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let inst = CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])],
-        )
-        .unwrap();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            8,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])])
+            .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 8, &SolverOptions::default()).unwrap();
         // Released after slot 3 -> earliest completion slot 4.
         assert!(lp.completions[0] >= 4.0 - 1e-6, "C = {}", lp.completions[0]);
     }
@@ -628,11 +596,8 @@ mod tests {
         let g = topo.graph;
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
-        let late = CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 9)])],
-        )
-        .unwrap();
+        let late = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 9)])])
+            .unwrap();
         assert!(matches!(
             solve_time_indexed(&late, &Routing::FreePath, 5, &SolverOptions::default()),
             Err(CoflowError::BadInstance(_))
@@ -660,13 +625,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let lp = solve_time_indexed(
-            &inst,
-            &Routing::FreePath,
-            4,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, 4, &SolverOptions::default()).unwrap();
         assert!(
             lp.completions[1] < lp.completions[0],
             "heavy coflow should finish first: {:?}",

@@ -146,9 +146,9 @@ pub fn validate(
         peak = peak.max(load / cap);
     }
 
-    let completions = schedule.completions(inst).ok_or_else(|| {
-        CoflowError::InvalidSchedule("some flow never completes".into())
-    })?;
+    let completions = schedule
+        .completions(inst)
+        .ok_or_else(|| CoflowError::InvalidSchedule("some flow never completes".into()))?;
     Ok(ValidationReport {
         completions,
         peak_utilization: peak,
@@ -269,18 +269,14 @@ mod tests {
         let t = g.node_by_label("t").unwrap();
         let v2 = g.node_by_label("v2").unwrap();
         let path = Path::from_nodes(&g, &[s, v2, t]).unwrap();
-        let inst =
-            CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 3.0)])]).unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 3.0)])]).unwrap();
         (inst, Routing::SinglePath(vec![vec![path]]))
     }
 
     fn edge(inst: &CoflowInstance, a: &str, b: &str) -> EdgeId {
         let g = &inst.graph;
-        g.find_edge(
-            g.node_by_label(a).unwrap(),
-            g.node_by_label(b).unwrap(),
-        )
-        .unwrap()
+        g.find_edge(g.node_by_label(a).unwrap(), g.node_by_label(b).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -411,11 +407,8 @@ mod tests {
         let v0 = g.node_by_label("v0").unwrap();
         let v1 = g.node_by_label("v1").unwrap();
         let e = g.find_edge(v0, v1).unwrap();
-        let inst = CoflowInstance::new(
-            g,
-            vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])],
-        )
-        .unwrap();
+        let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::released(v0, v1, 1.0, 3)])])
+            .unwrap();
         let routing = Routing::FreePath;
         let sched = Schedule {
             flows: vec![vec![vec![SlotTransfer {

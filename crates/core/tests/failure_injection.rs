@@ -28,7 +28,12 @@ fn good_schedule() -> (CoflowInstance, Schedule) {
             }
             Coflow::weighted(
                 rng.gen_range(1.0..10.0),
-                vec![Flow::released(a, b, rng.gen_range(20.0..80.0), rng.gen_range(0..3))],
+                vec![Flow::released(
+                    a,
+                    b,
+                    rng.gen_range(20.0..80.0),
+                    rng.gen_range(0..3),
+                )],
             )
         })
         .collect();
@@ -39,8 +44,7 @@ fn good_schedule() -> (CoflowInstance, Schedule) {
         coflow_core::horizon::HorizonMode::Greedy { margin: 1.3 },
     )
     .unwrap();
-    let lp =
-        solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
+    let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
     let sched = stretch_schedule(&inst, &lp.plan, 1.0, StretchOptions::default());
     (inst, sched)
 }
@@ -100,7 +104,7 @@ fn rejects_pre_release_transfer() {
     }
     let (j, i, rel) = target.expect("instance has releases by construction");
     sched.flows[j][i][0].slot = rel; // slot <= release is illegal
-    // Re-sort to keep slots ordered in case of collisions.
+                                     // Re-sort to keep slots ordered in case of collisions.
     sched.flows[j][i].sort_by_key(|st| st.slot);
     sched.flows[j][i].dedup_by_key(|st| st.slot);
     assert_rejected(&inst, &sched, "a pre-release transfer");

@@ -85,9 +85,8 @@ fn numeric_edge_values_are_policed() {
     // NaN / inf / negative demands must be rejected by validation, not
     // crash the parser or silently build a bad instance.
     for bad in ["NaN", "inf", "-inf", "-3", "0"] {
-        let text = format!(
-            "coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow a b {bad} 0\n"
-        );
+        let text =
+            format!("coflow-instance v1\nnode a\nnode b\nedge a b 1\ncoflow 1\nflow a b {bad} 0\n");
         let result = read_instance(&text);
         assert!(
             result.is_err(),
@@ -121,7 +120,12 @@ fn huge_but_valid_instances_roundtrip() {
             }
             Coflow::weighted(
                 rng.gen_range(1.0..100.0),
-                vec![Flow::released(a, b, rng.gen_range(0.1..1e6), rng.gen_range(0..1000))],
+                vec![Flow::released(
+                    a,
+                    b,
+                    rng.gen_range(0.1..1e6),
+                    rng.gen_range(0..1000),
+                )],
             )
         })
         .collect();

@@ -15,10 +15,10 @@ use proptest::prelude::*;
 fn small_instance() -> impl Strategy<Value = CoflowInstance> {
     proptest::collection::vec(
         (
-            0usize..5,   // src selector
-            0usize..5,   // dst selector
-            0.5f64..4.0, // demand
-            0u32..4,     // release
+            0usize..5,    // src selector
+            0usize..5,    // dst selector
+            0.5f64..4.0,  // demand
+            0u32..4,      // release
             1.0f64..10.0, // weight
         ),
         1..5,
@@ -113,26 +113,24 @@ proptest! {
 
 /// Strategy for standalone rate plans (no LP involved).
 fn arbitrary_flow_plan() -> impl Strategy<Value = FlowPlan> {
-    proptest::collection::vec((0.0f64..20.0, 0.05f64..3.0, 0.05f64..2.0), 1..6).prop_map(
-        |segs| {
-            let mut t = 0.0;
-            let segments = segs
-                .into_iter()
-                .map(|(gap, len, rate)| {
-                    let t0 = t + gap;
-                    let t1 = t0 + len;
-                    t = t1;
-                    Segment {
-                        t0,
-                        t1,
-                        rate,
-                        edges: vec![(EdgeId::from_index(0), rate)],
-                    }
-                })
-                .collect();
-            FlowPlan { segments }
-        },
-    )
+    proptest::collection::vec((0.0f64..20.0, 0.05f64..3.0, 0.05f64..2.0), 1..6).prop_map(|segs| {
+        let mut t = 0.0;
+        let segments = segs
+            .into_iter()
+            .map(|(gap, len, rate)| {
+                let t0 = t + gap;
+                let t1 = t0 + len;
+                t = t1;
+                Segment {
+                    t0,
+                    t1,
+                    rate,
+                    edges: vec![(EdgeId::from_index(0), rate)],
+                }
+            })
+            .collect();
+        FlowPlan { segments }
+    })
 }
 
 proptest! {

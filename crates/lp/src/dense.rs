@@ -113,7 +113,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         }
     }
     let ntotal = ncols + nslack + m; // artificials on every row for simplicity
-    // Tableau: m rows x (ntotal + 1) (last col = rhs).
+                                     // Tableau: m rows x (ntotal + 1) (last col = rhs).
     let mut t = vec![vec![0.0; ntotal + 1]; m];
     let mut basis = vec![0usize; m];
     let mut slack_cursor = ncols;

@@ -133,7 +133,10 @@ impl Model {
     /// `lb > ub`, or a NaN anywhere, panics immediately — those are always
     /// construction bugs.
     pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64) -> VarId {
-        assert!(!lb.is_nan() && !ub.is_nan() && !obj.is_nan(), "NaN in variable");
+        assert!(
+            !lb.is_nan() && !ub.is_nan() && !obj.is_nan(),
+            "NaN in variable"
+        );
         assert!(lb <= ub, "variable lower bound exceeds upper bound");
         assert!(obj.is_finite(), "objective coefficient must be finite");
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
@@ -252,11 +255,7 @@ impl Model {
     /// Evaluates the objective at a point (no feasibility check).
     pub fn objective_at(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.vars.len());
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, &xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
     /// Maximum constraint violation of `x` (0 when feasible); also checks

@@ -168,12 +168,7 @@ pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
     let mut reduced = Model::new(model.sense);
     for v in 0..n {
         if let Disposition::Kept(_) = disposition[v] {
-            reduced.add_var(
-                model.vars[v].name.clone(),
-                lb[v],
-                ub[v],
-                model.vars[v].obj,
-            );
+            reduced.add_var(model.vars[v].name.clone(), lb[v], ub[v], model.vars[v].obj);
         }
     }
     for (ri, c) in model.constraints.iter().enumerate() {
@@ -258,7 +253,10 @@ mod tests {
             Disposition::Kept(i) => i,
             other => panic!("{other:?}"),
         };
-        assert_eq!(p.reduced.var_bounds(crate::model::VarId(xi as u32)), (0.0, 5.0));
+        assert_eq!(
+            p.reduced.var_bounds(crate::model::VarId(xi as u32)),
+            (0.0, 5.0)
+        );
     }
 
     #[test]
@@ -335,10 +333,7 @@ mod tests {
             Disposition::Kept(i) => i,
             other => panic!("{other:?}"),
         };
-        assert_eq!(
-            p.reduced.var_bounds(crate::model::VarId(yi as u32)).1,
-            3.0
-        );
+        assert_eq!(p.reduced.var_bounds(crate::model::VarId(yi as u32)).1, 3.0);
         let _ = (y, z);
     }
 }

@@ -100,12 +100,7 @@ mod tests {
     #[test]
     fn extreme_magnitudes_are_compressed() {
         // One row with entries 1e6 and 1e-6, another with 1e3.
-        let entries = vec![
-            (0u32, 0u32, 1e6),
-            (0, 1, 1e-6),
-            (1, 0, 1e3),
-            (1, 1, 1e3),
-        ];
+        let entries = vec![(0u32, 0u32, 1e6), (0, 1, 1e-6), (1, 0, 1e3), (1, 1, 1e3)];
         let s = geometric_mean(2, 2, entries.iter().copied(), 2);
         let mut worst: f64 = 0.0;
         for &(i, j, v) in &entries {

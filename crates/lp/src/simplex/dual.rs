@@ -242,7 +242,9 @@ impl Simplex<'_> {
             CStat::Free => BasisStatus::Free,
         };
         Basis {
-            vars: (0..self.sf.n_struct).map(|j| to_pub(self.stat[j])).collect(),
+            vars: (0..self.sf.n_struct)
+                .map(|j| to_pub(self.stat[j]))
+                .collect(),
             rows: (self.sf.n_struct..self.sf.n)
                 .map(|j| to_pub(self.stat[j]))
                 .collect(),
@@ -386,7 +388,11 @@ impl Simplex<'_> {
         }
         self.iterations += 1;
         let jl = self.basis[r];
-        let target = if to_upper { self.sf.ub[jl] } else { self.sf.lb[jl] };
+        let target = if to_upper {
+            self.sf.ub[jl]
+        } else {
+            self.sf.lb[jl]
+        };
         // `s`: +1 when the leaving variable sits above its upper bound
         // (x_Br must decrease), -1 when below its lower bound.
         let s = if to_upper { 1.0 } else { -1.0 };
@@ -544,7 +550,11 @@ mod tests {
     use super::*;
     use crate::model::{Cmp, Sense};
 
-    fn production_lp() -> (Model, crate::model::ConstraintId, crate::model::ConstraintId) {
+    fn production_lp() -> (
+        Model,
+        crate::model::ConstraintId,
+        crate::model::ConstraintId,
+    ) {
         // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18.
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_nonneg("x", 3.0);

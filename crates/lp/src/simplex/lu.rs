@@ -368,11 +368,7 @@ impl Factorization {
                 sparse.push((i as u32, v));
             }
         }
-        self.etas.push(Eta {
-            pos,
-            d: sparse,
-            dp,
-        });
+        self.etas.push(Eta { pos, d: sparse, dp });
     }
 
     /// Forward+backward LU solve with the vector in step space.

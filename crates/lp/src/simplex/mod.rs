@@ -422,8 +422,7 @@ impl<'a> Simplex<'a> {
                         if self.stat[slack] != CStat::Basic {
                             // Heuristic: prefer a slack whose row the
                             // outgoing column touches.
-                            let touches =
-                                self.sf.a.col(out_col).any(|(row, _)| row as usize == r);
+                            let touches = self.sf.a.col(out_col).any(|(row, _)| row as usize == r);
                             if touches || r == self.sf.m - 1 {
                                 self.stat[out_col] = if self.sf.lb[out_col].is_finite() {
                                     self.x[out_col] = self.sf.lb[out_col];
@@ -688,7 +687,8 @@ impl<'a> Simplex<'a> {
                     if self.bland {
                         // Bland: strictly smaller theta, tie -> smaller col.
                         ti < theta - 1e-12
-                            || (ti < theta + 1e-12 && self.basis[i] < self.basis[leave.expect("set").0])
+                            || (ti < theta + 1e-12
+                                && self.basis[i] < self.basis[leave.expect("set").0])
                     } else {
                         ti < theta - 1e-12 || (ti < theta + 1e-12 && di.abs() > best_abs)
                     }
@@ -754,7 +754,11 @@ impl<'a> Simplex<'a> {
 
         let jl = self.basis[r];
         // Snap the leaving variable exactly onto its bound.
-        self.x[jl] = if hit_upper { self.sf.ub[jl] } else { self.sf.lb[jl] };
+        self.x[jl] = if hit_upper {
+            self.sf.ub[jl]
+        } else {
+            self.sf.lb[jl]
+        };
 
         // Reduced-cost and Devex updates (phase 2 only) need the pivot row
         // of the OLD basis: rho = B^{-T} e_r, alpha_j = rho·a_j.
@@ -764,7 +768,11 @@ impl<'a> Simplex<'a> {
 
         // Basis bookkeeping + eta.
         self.facto.push_eta(r, &d, 1e-14);
-        self.stat[jl] = if hit_upper { CStat::Upper } else { CStat::Lower };
+        self.stat[jl] = if hit_upper {
+            CStat::Upper
+        } else {
+            CStat::Lower
+        };
         self.pos_of[jl] = u32::MAX;
         self.basis[r] = q;
         self.pos_of[q] = r as u32;

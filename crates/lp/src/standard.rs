@@ -71,10 +71,8 @@ impl StdForm {
         let mut columns: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
         for (ri, cons) in model.constraints.iter().enumerate() {
             for &(v, coef) in &cons.terms {
-                columns[v as usize].push((
-                    ri as u32,
-                    coef * s.row_scale[ri] * s.col_scale[v as usize],
-                ));
+                columns[v as usize]
+                    .push((ri as u32, coef * s.row_scale[ri] * s.col_scale[v as usize]));
             }
             columns[n_struct + ri].push((ri as u32, 1.0));
         }
@@ -188,7 +186,7 @@ mod tests {
         assert_eq!((sf.lb[2], sf.ub[2]), (0.0, f64::INFINITY)); // Le
         assert_eq!((sf.lb[3], sf.ub[3]), (f64::NEG_INFINITY, 0.0)); // Ge
         assert_eq!((sf.lb[4], sf.ub[4]), (0.0, 0.0)); // Eq
-        // Maximize flips the cost sign.
+                                                      // Maximize flips the cost sign.
         assert_eq!(sf.c[0], -3.0);
         assert_eq!(sf.c[1], -5.0);
         assert_eq!(sf.c[2], 0.0);
@@ -233,5 +231,4 @@ mod tests {
         let row0: Vec<_> = sf.a_csr.row(0).collect();
         assert_eq!(row0, vec![(0, 1.0), (1, 2.0), (2, 1.0)]);
     }
-
 }

@@ -49,8 +49,16 @@ fn random_feasible_lp_with(
         let obj = rng.gen_range(-3.0..3.0);
         vars.push(m.add_var(format!("x{j}"), lb, ub, obj));
         // A point within bounds.
-        let lo = if lb.is_finite() { lb } else { ub.min(0.0) - 2.0 };
-        let hi = if ub.is_finite() { ub } else { lb.max(0.0) + 2.0 };
+        let lo = if lb.is_finite() {
+            lb
+        } else {
+            ub.min(0.0) - 2.0
+        };
+        let hi = if ub.is_finite() {
+            ub
+        } else {
+            lb.max(0.0) + 2.0
+        };
         x0.push(if lo < hi { rng.gen_range(lo..hi) } else { lo });
     }
     for _ in 0..nrows {
@@ -228,13 +236,21 @@ fn transportation_problem_known_optimum() {
         }
     }
     for i in 0..2 {
-        m.add_constraint((0..3).map(|j| (x[i][j].unwrap(), 1.0)), Cmp::Eq, supplies[i]);
+        m.add_constraint(
+            (0..3).map(|j| (x[i][j].unwrap(), 1.0)),
+            Cmp::Eq,
+            supplies[i],
+        );
     }
     for j in 0..3 {
         m.add_constraint((0..2).map(|i| (x[i][j].unwrap(), 1.0)), Cmp::Eq, demands[j]);
     }
     let s = m.solve().unwrap();
-    assert!((s.objective - 465.0).abs() < 1e-6, "objective {}", s.objective);
+    assert!(
+        (s.objective - 465.0).abs() < 1e-6,
+        "objective {}",
+        s.objective
+    );
 }
 
 #[test]
@@ -249,7 +265,11 @@ fn lp_with_wide_magnitude_range_needs_scaling() {
     assert!(m.max_violation(&s.x) < 1e-6);
     // Cheapest: satisfy row 1 with x = 1e-4 (cost 1.0) vs y = 1e5 (cost
     // 1e5). So x = 1e-4, objective 1.0.
-    assert!((s.objective - 1.0).abs() < 1e-4, "objective {}", s.objective);
+    assert!(
+        (s.objective - 1.0).abs() < 1e-4,
+        "objective {}",
+        s.objective
+    );
 }
 
 #[test]
@@ -365,10 +385,9 @@ fn partial_pricing_matches_full_pricing() {
                     b.objective
                 );
             }
-            (Err(ea), Err(eb)) => assert_eq!(
-                std::mem::discriminant(&ea),
-                std::mem::discriminant(&eb)
-            ),
+            (Err(ea), Err(eb)) => {
+                assert_eq!(std::mem::discriminant(&ea), std::mem::discriminant(&eb))
+            }
             other => panic!("trial {trial}: {other:?}"),
         }
     }
@@ -387,5 +406,9 @@ fn kuhn_degenerate_lp() {
     m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
     let s = m.solve().expect("terminates");
     // Optimum: x = y = 2 (z = 0): objective -10.
-    assert!((s.objective + 10.0).abs() < 1e-7, "objective {}", s.objective);
+    assert!(
+        (s.objective + 10.0).abs() < 1e-7,
+        "objective {}",
+        s.objective
+    );
 }

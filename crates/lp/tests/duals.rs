@@ -26,9 +26,21 @@ fn dantzig_example_duals_are_textbook() {
     let s = m.solve_with(&no_presolve()).unwrap();
     let duals = s.duals.as_ref().expect("presolve off → duals available");
     assert_eq!(duals.len(), 3);
-    assert!((s.dual(c1).unwrap() - 0.0).abs() < 1e-7, "y1 = {:?}", s.dual(c1));
-    assert!((s.dual(c2).unwrap() - 1.5).abs() < 1e-7, "y2 = {:?}", s.dual(c2));
-    assert!((s.dual(c3).unwrap() - 1.0).abs() < 1e-7, "y3 = {:?}", s.dual(c3));
+    assert!(
+        (s.dual(c1).unwrap() - 0.0).abs() < 1e-7,
+        "y1 = {:?}",
+        s.dual(c1)
+    );
+    assert!(
+        (s.dual(c2).unwrap() - 1.5).abs() < 1e-7,
+        "y2 = {:?}",
+        s.dual(c2)
+    );
+    assert!(
+        (s.dual(c3).unwrap() - 1.0).abs() < 1e-7,
+        "y3 = {:?}",
+        s.dual(c3)
+    );
     // Strong duality (all variables at lower bound 0 contribute nothing):
     // yᵀb = objective.
     let ytb = 0.0 * 4.0 + 1.5 * 12.0 + 1.0 * 18.0;
@@ -45,11 +57,14 @@ fn duals_from_warm_solves_match_plain_solves() {
             .map(|j| m.add_var(format!("x{j}"), 0.0, 5.0, rng.gen_range(0.1..3.0)))
             .collect();
         for _ in 0..rng.gen_range(1..5) {
-            let terms: Vec<_> = vars
-                .iter()
-                .map(|&v| (v, rng.gen_range(0.1..2.0)))
-                .collect();
-            m.add_constraint(terms, Cmp::Ge, rng.gen_range(0.5..4.0));
+            let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.1..2.0))).collect();
+            // Keep the row satisfiable: an independent rhs draw can exceed
+            // the best achievable lhs (e.g. two 0.1 coefficients cap the
+            // lhs at 1.0 with x ≤ 5), making the whole LP infeasible. Draw
+            // the rhs as a fraction of the lhs at the upper bounds so
+            // x = ub is always a witness.
+            let max_lhs: f64 = terms.iter().map(|&(_, a)| a * 5.0).sum();
+            m.add_constraint(terms, Cmp::Ge, max_lhs * rng.gen_range(0.05..0.8));
         }
         let plain = m.solve_with(&no_presolve()).unwrap();
         let (warm, _) = m.solve_warm(None, &SolverOptions::default()).unwrap();

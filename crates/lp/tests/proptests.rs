@@ -10,18 +10,18 @@ fn bounded_feasible_lp() -> impl Strategy<Value = (Model, Vec<f64>)> {
     dims.prop_flat_map(|(nvars, nrows)| {
         let var_strat = proptest::collection::vec(
             (
-                -5.0f64..5.0,  // lb
-                0.1f64..6.0,   // span
-                -3.0f64..3.0,  // obj
-                0.0f64..1.0,   // witness position within [lb, ub]
+                -5.0f64..5.0, // lb
+                0.1f64..6.0,  // span
+                -3.0f64..3.0, // obj
+                0.0f64..1.0,  // witness position within [lb, ub]
             ),
             nvars,
         );
         let row_strat = proptest::collection::vec(
             (
                 proptest::collection::vec((-2.0f64..2.0, 0usize..nvars), 1..4),
-                0u8..3,        // cmp selector
-                0.0f64..2.0,   // slack margin
+                0u8..3,      // cmp selector
+                0.0f64..2.0, // slack margin
             ),
             nrows,
         );

@@ -12,7 +12,11 @@ use rand::{Rng, SeedableRng};
 
 /// Random feasible-by-construction LP with finite bounds on every
 /// variable (feasible AND bounded, so the cold solve must succeed).
-fn random_lp(rng: &mut StdRng, nvars: usize, nrows: usize) -> (Model, Vec<coflow_lp::VarId>, Vec<coflow_lp::ConstraintId>) {
+fn random_lp(
+    rng: &mut StdRng,
+    nvars: usize,
+    nrows: usize,
+) -> (Model, Vec<coflow_lp::VarId>, Vec<coflow_lp::ConstraintId>) {
     let sense = if rng.gen_bool(0.5) {
         Sense::Minimize
     } else {
@@ -56,7 +60,12 @@ fn random_lp(rng: &mut StdRng, nvars: usize, nrows: usize) -> (Model, Vec<coflow
 
 /// Applies a random perturbation; the result may be infeasible, which
 /// both solvers must then agree on.
-fn perturb(rng: &mut StdRng, m: &mut Model, vars: &[coflow_lp::VarId], rows: &[coflow_lp::ConstraintId]) {
+fn perturb(
+    rng: &mut StdRng,
+    m: &mut Model,
+    vars: &[coflow_lp::VarId],
+    rows: &[coflow_lp::ConstraintId],
+) {
     for _ in 0..rng.gen_range(1..4) {
         match rng.gen_range(0..3) {
             0 if !rows.is_empty() => {
@@ -119,7 +128,10 @@ fn warm_resolve_matches_cold_after_random_perturbations() {
             (w, c) => panic!("trial {trial}: verdict mismatch warm={w:?} cold={c:?}"),
         }
     }
-    assert!(solved > 150, "only {solved} optimal trials — generator broken?");
+    assert!(
+        solved > 150,
+        "only {solved} optimal trials — generator broken?"
+    );
     assert!(infeasible > 5, "perturbations never went infeasible");
 }
 

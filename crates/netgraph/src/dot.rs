@@ -35,7 +35,12 @@ pub fn to_dot(g: &Graph, name: &str, opts: DotOptions) -> String {
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [shape=box, style=rounded];");
     for v in g.nodes() {
-        let _ = writeln!(out, "  n{} [label=\"{}\"];", v.index(), sanitize(g.label(v)));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            v.index(),
+            sanitize(g.label(v))
+        );
     }
     let mut merged = vec![false; g.edge_count()];
     for e in g.edges() {

@@ -191,7 +191,10 @@ impl Graph {
     ///
     /// Parallel edges are allowed; use [`Graph::edges_between`] to get all.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.out_edges(u).iter().copied().find(|&e| self.dst(e) == v)
+        self.out_edges(u)
+            .iter()
+            .copied()
+            .find(|&e| self.dst(e) == v)
     }
 
     /// All parallel edges from `u` to `v` in insertion order.

@@ -22,9 +22,9 @@ pub struct MaxFlow {
 
 struct Arc {
     to: u32,
-    rev: u32,   // index of the reverse arc in adj[to]
-    cap: f64,   // residual capacity
-    edge: i64,  // original EdgeId index, or -1 for reverse arcs
+    rev: u32,  // index of the reverse arc in adj[to]
+    cap: f64,  // residual capacity
+    edge: i64, // original EdgeId index, or -1 for reverse arcs
 }
 
 /// Dinic max-flow solver; reusable across runs on the same graph.
@@ -183,7 +183,11 @@ mod tests {
         }
         // Conservation at internal nodes; net supply at s equals value.
         for v in g.nodes() {
-            let out: f64 = g.out_edges(v).iter().map(|&e| mf.edge_flow[e.index()]).sum();
+            let out: f64 = g
+                .out_edges(v)
+                .iter()
+                .map(|&e| mf.edge_flow[e.index()])
+                .sum();
             let inn: f64 = g.in_edges(v).iter().map(|&e| mf.edge_flow[e.index()]).sum();
             let net = out - inn;
             if v == s {

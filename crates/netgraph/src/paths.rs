@@ -55,9 +55,7 @@ impl Path {
     /// [`GraphError::InvalidPath`] if some consecutive pair has no edge.
     pub fn from_nodes(g: &Graph, nodes: &[NodeId]) -> Result<Self, GraphError> {
         if nodes.len() < 2 {
-            return Err(GraphError::InvalidPath(
-                "need at least two nodes".into(),
-            ));
+            return Err(GraphError::InvalidPath("need at least two nodes".into()));
         }
         let mut edges = Vec::with_capacity(nodes.len() - 1);
         for w in nodes.windows(2) {

@@ -91,8 +91,8 @@ pub fn waxman<R: Rng + ?Sized>(
     let l = std::f64::consts::SQRT_2;
     for i in 0..n {
         for j in i + 1..n {
-            let d = ((coords[i].0 - coords[j].0).powi(2) + (coords[i].1 - coords[j].1).powi(2))
-                .sqrt();
+            let d =
+                ((coords[i].0 - coords[j].0).powi(2) + (coords[i].1 - coords[j].1).powi(2)).sqrt();
             let p = params.alpha * (-d / (params.beta * l)).exp();
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
                 let cap = rng.gen_range(clo..=chi);
@@ -105,12 +105,7 @@ pub fn waxman<R: Rng + ?Sized>(
 
 /// Erdős–Rényi `G(n, p)` over bi-directed links with a spanning-tree
 /// connectivity backbone. See module docs.
-pub fn gnp<R: Rng + ?Sized>(
-    n: usize,
-    p: f64,
-    cap_range: (f64, f64),
-    rng: &mut R,
-) -> Topology {
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, cap_range: (f64, f64), rng: &mut R) -> Topology {
     assert!(n >= 2, "gnp needs at least 2 nodes");
     assert!((0.0..=1.0).contains(&p), "bad probability");
     let (clo, chi) = cap_range;
@@ -156,7 +151,8 @@ pub fn dumbbell(k: usize, mesh_cap: f64, waist_cap: f64) -> Topology {
             }
         }
     }
-    b.add_bidirected(left[0], right[0], waist_cap).expect("valid");
+    b.add_bidirected(left[0], right[0], waist_cap)
+        .expect("valid");
     let g = b.build();
     Topology {
         name: "Dumbbell".into(),

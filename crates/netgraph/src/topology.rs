@@ -99,7 +99,8 @@ pub fn swan() -> Topology {
         (us_w, asia, 10.0),
         (us_c, asia, 10.0),
     ] {
-        b.add_bidirected(u, v, cap).expect("static topology is valid");
+        b.add_bidirected(u, v, cap)
+            .expect("static topology is valid");
     }
     Topology::all_nodes("SWAN", b.build())
 }
@@ -154,7 +155,8 @@ pub fn gscale() -> Topology {
         (use2, eu2, 10.0),
         (eu1, eu2, 40.0),
     ] {
-        b.add_bidirected(u, v, cap).expect("static topology is valid");
+        b.add_bidirected(u, v, cap)
+            .expect("static topology is valid");
     }
     Topology::all_nodes("G-Scale", b.build())
 }
@@ -194,7 +196,8 @@ pub fn abilene() -> Topology {
         (chi, nyc),
         (nyc, dc),
     ] {
-        b.add_bidirected(u, v, 10.0).expect("static topology is valid");
+        b.add_bidirected(u, v, 10.0)
+            .expect("static topology is valid");
     }
     Topology::all_nodes("Abilene", b.build())
 }
@@ -246,7 +249,8 @@ pub fn nsfnet() -> Topology {
         (ny, nj),
         (ny, md),
     ] {
-        b.add_bidirected(u, v, 10.0).expect("static topology is valid");
+        b.add_bidirected(u, v, 10.0)
+            .expect("static topology is valid");
     }
     Topology::all_nodes("NSFNET", b.build())
 }

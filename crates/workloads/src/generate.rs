@@ -162,10 +162,7 @@ mod tests {
     fn different_kinds_differ() {
         let a = generate_jobs(&cfg(WorkloadKind::TpcH, 20));
         let b = generate_jobs(&cfg(WorkloadKind::TpcDs, 20));
-        assert!(a
-            .iter()
-            .zip(&b)
-            .any(|(x, y)| x.flow_sizes != y.flow_sizes));
+        assert!(a.iter().zip(&b).any(|(x, y)| x.flow_sizes != y.flow_sizes));
     }
 
     #[test]
@@ -238,8 +235,9 @@ mod tests {
         assert_eq!(inst.num_coflows(), 15);
         // Capacities scaled: SWAN links are 10/40 Gbps -> 500/2000 per slot.
         let caps: Vec<f64> = inst.graph.edges().map(|e| e.capacity).collect();
-        assert!(caps.iter().all(|&c| (c - 500.0).abs() < 1e-9
-            || (c - 2000.0).abs() < 1e-9));
+        assert!(caps
+            .iter()
+            .all(|&c| (c - 500.0).abs() < 1e-9 || (c - 2000.0).abs() < 1e-9));
         // All endpoints distinct.
         for (_, f) in inst.flows() {
             assert_ne!(f.src, f.dst);

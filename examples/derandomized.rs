@@ -59,7 +59,10 @@ fn main() {
     // ---- The paper's sampled estimate, for comparison ----
     let pure = StretchOptions { compact: false };
     let sweep = lambda_sweep(&inst, &lp.plan, 20, 7, pure);
-    println!("20-sample best λ cost   {:>10.2}", sweep.best().weighted_cost);
+    println!(
+        "20-sample best λ cost   {:>10.2}",
+        sweep.best().weighted_cost
+    );
     println!("20-sample average       {:>10.2}", sweep.average());
     assert!(sweep.best().weighted_cost >= d.best_cost - 1e-9);
     println!(

@@ -50,13 +50,7 @@ fn main() {
         );
         if compaction {
             println!("\nper-wave completions (release -> completion slots):");
-            for (j, c) in report
-                .validation
-                .completions
-                .per_coflow
-                .iter()
-                .enumerate()
-            {
+            for (j, c) in report.validation.completions.per_coflow.iter().enumerate() {
                 let rel = inst.coflows[j].release();
                 println!("  coflow {j:2} (released {rel:2}): done at {c}");
                 assert!(*c > rel, "nothing can complete before its release");

@@ -10,7 +10,9 @@ use coflow_suite::core::routing::Routing;
 use coflow_suite::core::solver::{Algorithm, Scheduler};
 use coflow_suite::netgraph::topology;
 
-fn main() {
+// `pub` so `tests/umbrella_smoke.rs` can include this file as a module
+// and run it end to end.
+pub fn main() {
     // The network of the paper's Figure 2: s, three relays, t; every
     // link bi-directed with capacity 1 per slot.
     let topo = topology::fig2_example();
@@ -48,9 +50,18 @@ fn main() {
         .expect("pipeline succeeds");
 
     println!("LP lower bound : {:.3}", report.lower_bound);
-    println!("schedule cost  : {:.3} (optimal for this instance is 5)", report.cost);
-    println!("per-coflow completions: {:?}", report.validation.completions.per_coflow);
-    println!("peak link utilization : {:.0}%", report.validation.peak_utilization * 100.0);
+    println!(
+        "schedule cost  : {:.3} (optimal for this instance is 5)",
+        report.cost
+    );
+    println!(
+        "per-coflow completions: {:?}",
+        report.validation.completions.per_coflow
+    );
+    println!(
+        "peak link utilization : {:.0}%",
+        report.validation.peak_utilization * 100.0
+    );
 
     // Show the blue coflow's slot-by-slot transfers.
     println!("\nblue coflow (s -> t, demand 3) transfer plan:");
@@ -67,7 +78,12 @@ fn main() {
                 )
             })
             .collect();
-        println!("  slot {}: {:.2} units via [{}]", st.slot, st.volume, edges.join(", "));
+        println!(
+            "  slot {}: {:.2} units via [{}]",
+            st.slot,
+            st.volume,
+            edges.join(", ")
+        );
     }
 
     // And the randomized Stretch algorithm with 20 λ samples.

@@ -39,11 +39,14 @@ fn main() {
     .expect("horizon");
 
     // ---- Uniform degradation sweep (warm-started) ----
-    println!("uniform capacity sweep on {} ({} coflows):\n", topo.name, inst.num_coflows());
+    println!(
+        "uniform capacity sweep on {} ({} coflows):\n",
+        topo.name,
+        inst.num_coflows()
+    );
     println!("{:>8} {:>14} {:>10}", "factor", "LP bound", "pivots");
     let factors = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5];
-    let sweep = capacity_sweep(&inst, &Routing::FreePath, t, &factors, &opts)
-        .expect("sweep runs");
+    let sweep = capacity_sweep(&inst, &Routing::FreePath, t, &factors, &opts).expect("sweep runs");
     let mut prev = 0.0;
     for pt in &sweep {
         match pt.lp_bound {

@@ -69,8 +69,8 @@ fn stretch_expectation_within_twice_lp_free_path() {
             coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
         )
         .unwrap();
-        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
-            .unwrap();
+        let lp =
+            solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
         let expectation = expected_stretch_cost(&inst, &lp.plan, t, 160);
         // Theorem 4.4 plus at most one slot of ceiling per coflow.
         let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
@@ -114,8 +114,7 @@ fn every_lambda_yields_a_feasible_complete_schedule() {
         coflow_suite::core::horizon::HorizonMode::Greedy { margin: 1.3 },
     )
     .unwrap();
-    let lp =
-        solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
+    let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default()).unwrap();
     for k in 1..=25 {
         let lambda = k as f64 / 25.0;
         for compact in [false, true] {

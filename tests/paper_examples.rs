@@ -56,8 +56,16 @@ fn figure3_single_path_optimum_is_seven() {
         .unwrap();
     // The LP lower-bounds the optimal 7; the rounded schedule must be
     // feasible and cannot beat the optimum.
-    assert!(report.lower_bound <= 7.0 + 1e-6, "LP {}", report.lower_bound);
-    assert!(report.cost >= 7.0 - 1e-6, "cost {} below optimum", report.cost);
+    assert!(
+        report.lower_bound <= 7.0 + 1e-6,
+        "LP {}",
+        report.lower_bound
+    );
+    assert!(
+        report.cost >= 7.0 - 1e-6,
+        "cost {} below optimum",
+        report.cost
+    );
     // And the heuristic actually achieves the optimum here.
     assert!(report.cost <= 7.0 + 1e-6, "cost {}", report.cost);
     validate(&inst, &routing, &report.schedule, Tolerance::default()).unwrap();
@@ -71,7 +79,11 @@ fn figure4_free_path_optimum_is_five() {
         .unwrap();
     assert!(report.lower_bound <= 5.0 + 1e-6);
     assert!(report.cost >= 5.0 - 1e-6);
-    assert!(report.cost <= 5.0 + 1e-6, "heuristic should hit 5, got {}", report.cost);
+    assert!(
+        report.cost <= 5.0 + 1e-6,
+        "heuristic should hit 5, got {}",
+        report.cost
+    );
     // Figure 4's structure: the three unit coflows complete in slot 1,
     // blue in slot 2.
     let c = &report.validation.completions.per_coflow;

@@ -66,16 +66,13 @@ fn interval_stretch_expectation_within_two_plus_eps() {
                 lambda,
                 StretchOptions { compact: false },
             );
-            let cost = sched
-                .completions(&inst)
-                .expect("complete")
-                .weighted_total;
+            let cost = sched.completions(&inst).expect("complete").weighted_total;
             expectation += 2.0 * lambda * cost * (1.0 - lo) / grid as f64;
         }
         let w_sum: f64 = inst.coflows.iter().map(|c| c.weight).sum();
         let horizon_cont = *rel.boundaries.last().unwrap();
         expectation += w_sum * (horizon_cont * 2.0 * lo + lo * lo); // tail bound
-        // Lemma A.4: E ≤ 2(1+ε)·C*; plus one ceiling slot per coflow.
+                                                                    // Lemma A.4: E ≤ 2(1+ε)·C*; plus one ceiling slot per coflow.
         let bound = 2.0 * (1.0 + epsilon) * rel.lp.objective + w_sum;
         assert!(
             expectation <= bound + 1e-6,
@@ -113,8 +110,7 @@ fn huge_demands_solve_via_intervals_only() {
     // Rounded schedules at several λ remain feasible and complete.
     for lambda in [0.4, 0.8, 1.0] {
         let sched = stretch_schedule(&inst, &rel.lp.plan, lambda, StretchOptions::default());
-        let rep =
-            validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
+        let rep = validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).unwrap();
         assert!(rep.completions.weighted_total >= rel.lp.objective - 1e-6);
     }
 }

@@ -1,0 +1,58 @@
+//! Smoke tests for the `coflow_suite` umbrella crate: every re-export
+//! must resolve and be usable, and the quickstart example must run to
+//! completion.
+
+// Compile the real example file as a module so the test exercises the
+// exact code `cargo run --example quickstart` runs.
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+/// Each re-exported crate resolves and exposes a representative item.
+#[test]
+fn reexports_resolve() {
+    // netgraph
+    let topo = coflow_suite::netgraph::topology::fig2_example();
+    assert!(topo.graph.node_count() > 0);
+
+    // lp
+    let mut m = coflow_suite::lp::Model::new(coflow_suite::lp::Sense::Minimize);
+    let x = m.add_nonneg("x", 1.0);
+    m.add_constraint([(x, 1.0)], coflow_suite::lp::Cmp::Ge, 2.0);
+    let sol = m.solve().expect("trivial LP solves");
+    assert!((sol.objective - 2.0).abs() < 1e-9);
+
+    // core
+    use coflow_suite::core::model::{Coflow, CoflowInstance, Flow};
+    let g = coflow_suite::netgraph::topology::fig2_example().graph;
+    let s = g.node_by_label("s").unwrap();
+    let t = g.node_by_label("t").unwrap();
+    let inst = CoflowInstance::new(g, vec![Coflow::new(vec![Flow::new(s, t, 1.0)])])
+        .expect("valid instance");
+    assert_eq!(inst.num_coflows(), 1);
+
+    // workloads
+    use coflow_suite::workloads::{build_instance, WorkloadConfig, WorkloadKind};
+    let topo = coflow_suite::netgraph::topology::swan();
+    let wl = WorkloadConfig {
+        kind: WorkloadKind::Facebook,
+        num_jobs: 3,
+        seed: 1,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 1.0,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    let generated = build_instance(&topo, &wl).expect("workload builds");
+    assert_eq!(generated.num_coflows(), 3);
+
+    // baselines
+    let terra = coflow_suite::baselines::terra::terra_offline(&inst).expect("terra runs");
+    assert!(!terra.schedule.flows.is_empty());
+}
+
+/// `examples/quickstart.rs` runs to completion (it asserts internally
+/// via `expect`s and exercises the full pipeline).
+#[test]
+fn quickstart_runs_to_completion() {
+    quickstart::main();
+}

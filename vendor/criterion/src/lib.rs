@@ -1,0 +1,177 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the surface the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of statistical sampling it runs each benchmark body a small
+//! fixed number of times and reports the best observed wall-clock time —
+//! enough to smoke-test the benches and get a rough relative ordering,
+//! without upstream criterion's warm-up and analysis machinery.
+
+use std::time::Instant;
+
+/// Number of timed runs per benchmark (the best is reported).
+const RUNS: u32 = 3;
+
+/// Opaque benchmark identifier (`name`, optional parameter).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `group/name/param` style id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    best_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `body` a few times, recording the fastest run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let out = body();
+            let elapsed = start.elapsed().as_nanos();
+            std::mem::drop(out); // drop outside the timed section, like upstream
+            self.best_nanos = self.best_nanos.min(elapsed);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub always runs a fixed number
+    /// of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            best_nanos: u128::MAX,
+        };
+        f(&mut b);
+        report(&self.name, &id.name, b.best_nanos);
+        self
+    }
+
+    /// Times `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            best_nanos: u128::MAX,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.name, b.best_nanos);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, bench: &str, nanos: u128) {
+    if nanos == u128::MAX {
+        println!("{group}/{bench}: no measurement");
+    } else if nanos >= 1_000_000 {
+        println!("{group}/{bench}: {:.3} ms", nanos as f64 / 1e6);
+    } else {
+        println!("{group}/{bench}: {:.3} µs", nanos as f64 / 1e3);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Times `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Identity function that defeats trivial constant-folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; ignore all arguments.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,297 @@
+//! Minimal, dependency-free stand-in for the `rand` crate (0.8 API).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the surface the workspace uses: [`Rng::gen_range`]
+//! over integer/float ranges (including `u128`), [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom`].
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha12, but every consumer in this
+//! workspace only relies on determinism-for-a-seed, not on a specific
+//! stream.
+
+/// Low-level source of random `u64`s. All generators implement this.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                let r = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                lo.wrapping_add((r % span) as $t)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let r = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                lo.wrapping_add((r % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let span = hi - lo;
+        let r = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        lo + r % span
+    }
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+        if lo == 0 && hi == u128::MAX {
+            return ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        }
+        let span = hi - lo + 1;
+        let r = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        lo + r % span
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                let u = unit_f64(rng) as $t; // in [0, 1)
+                let v = lo + (hi - lo) * u;
+                // lo + span*u can round up to exactly hi; step below it
+                // (next_down, unlike bit tricks, is sign-correct).
+                if v >= hi { hi.next_down().max(lo) } else { v }
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                let u = unit_f64(rng) as $t;
+                (lo + (hi - lo) * u).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from this range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // xoshiro must not start at the all-zero state.
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(0.5..4.0);
+            assert!((0.5..4.0).contains(&x));
+            let y: usize = rng.gen_range(0..10);
+            assert!(y < 10);
+            let z: f64 = rng.gen_range(1.0..=100.0);
+            assert!((1.0..=100.0).contains(&z));
+            let w: u128 = rng.gen_range(0..7u128);
+            assert!(w < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

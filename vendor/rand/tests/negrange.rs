@@ -1,0 +1,15 @@
+#[test]
+fn negative_and_zero_hi_ranges_stay_in_bounds() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..200_000 {
+        let x: f64 = rng.gen_range(-0.87..-0.5);
+        assert!((-0.87..-0.5).contains(&x), "{x}");
+        let y: f64 = rng.gen_range(-2.0..0.0);
+        assert!((-2.0..0.0).contains(&y), "{y}");
+        let z: f32 = rng.gen_range(-1.0f32..-0.9999999);
+        assert!((-1.0f32..-0.9999999).contains(&z), "{z}");
+    }
+    assert!(0.0f64.next_down().max(-1.0) < 0.0);
+}
