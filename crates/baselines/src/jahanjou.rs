@@ -30,6 +30,7 @@ use coflow_core::interval::{solve_interval, IntervalRelaxation};
 use coflow_core::model::CoflowInstance;
 use coflow_core::routing::Routing;
 use coflow_core::schedule::Schedule;
+use coflow_core::solve::{CoflowSolver, SolveContext, SolveOutcome};
 use coflow_core::CoflowError;
 use coflow_lp::SolverOptions;
 
@@ -77,6 +78,26 @@ pub struct JahanjouOutcome {
     pub alpha_interval: Vec<usize>,
 }
 
+/// Just the rounding half's products ([`jahanjou_round`]); the caller
+/// already holds the relaxation.
+#[derive(Clone, Debug)]
+pub struct JahanjouRounding {
+    /// The rounded, feasible schedule.
+    pub schedule: Schedule,
+    /// α-point interval index per coflow (1-based interval number).
+    pub alpha_interval: Vec<usize>,
+}
+
+fn require_single_path(routing: &Routing) -> Result<(), CoflowError> {
+    if matches!(routing, Routing::SinglePath(_)) {
+        Ok(())
+    } else {
+        Err(CoflowError::BadRouting(
+            "Jahanjou et al. applies to the single-path model".into(),
+        ))
+    }
+}
+
 /// Runs the baseline. `routing` must be [`Routing::SinglePath`].
 ///
 /// # Errors
@@ -90,16 +111,36 @@ pub fn jahanjou_schedule(
     cfg: &JahanjouConfig,
     lp_opts: &SolverOptions,
 ) -> Result<JahanjouOutcome, CoflowError> {
-    if !matches!(routing, Routing::SinglePath(_)) {
-        return Err(CoflowError::BadRouting(
-            "Jahanjou et al. applies to the single-path model".into(),
-        ));
-    }
+    require_single_path(routing)?;
+    let relaxation = solve_interval(inst, routing, horizon, cfg.epsilon, lp_opts)?;
+    let rounded = jahanjou_round(inst, routing, &relaxation, cfg)?;
+    Ok(JahanjouOutcome {
+        schedule: rounded.schedule,
+        relaxation,
+        alpha_interval: rounded.alpha_interval,
+    })
+}
+
+/// The α-point rounding half of the baseline, for callers that already
+/// hold the geometric-interval relaxation (e.g. a
+/// [`coflow_core::solve::SolveContext`] cache). `relaxation` must have
+/// been solved on `routing` with `cfg.epsilon`.
+///
+/// # Errors
+///
+/// [`CoflowError::BadRouting`] unless single-path routing is given;
+/// otherwise propagates allocator errors.
+pub fn jahanjou_round(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    relaxation: &IntervalRelaxation,
+    cfg: &JahanjouConfig,
+) -> Result<JahanjouRounding, CoflowError> {
+    require_single_path(routing)?;
     assert!(
         cfg.alpha > 0.0 && cfg.alpha <= 1.0,
         "alpha must lie in (0, 1]"
     );
-    let relaxation = solve_interval(inst, routing, horizon, cfg.epsilon, lp_opts)?;
 
     // α-point interval per coflow: the first interval by whose end an α
     // fraction of EVERY flow is scheduled (coflow progress is the min of
@@ -161,11 +202,43 @@ pub fn jahanjou_schedule(
         }
     };
 
-    Ok(JahanjouOutcome {
+    Ok(JahanjouRounding {
         schedule,
-        relaxation,
         alpha_interval,
     })
+}
+
+/// Jahanjou et al. as a [`CoflowSolver`]: the context supplies the
+/// horizon and the cached interval relaxation at `config.epsilon`, so a
+/// comparison harness that also plots the interval LP at the same ε pays
+/// for it once. The outcome's lower bound is the interval LP optimum;
+/// extras carry `alpha` (the α-point used).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JahanjouSolver {
+    /// ε, α, and the batch discipline.
+    pub config: JahanjouConfig,
+}
+
+impl CoflowSolver for JahanjouSolver {
+    fn solve(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+        ctx: &mut SolveContext,
+    ) -> Result<SolveOutcome, CoflowError> {
+        // Fast-fail before paying for the interval LP.
+        require_single_path(routing)?;
+        let relaxation = ctx.interval(inst, routing, self.config.epsilon)?;
+        let rounded = jahanjou_round(inst, routing, &relaxation, &self.config)?;
+        let mut out =
+            SolveOutcome::from_schedule(inst, routing, rounded.schedule, ctx.tolerance())?;
+        out.lower_bound = Some(relaxation.lp.objective);
+        out.lp_size = Some(relaxation.lp.size);
+        out.lp_iterations = Some(relaxation.lp.lp_iterations);
+        out.horizon = Some(relaxation.lp.horizon);
+        out.aux = vec![("alpha", self.config.alpha)];
+        Ok(out)
+    }
 }
 
 fn batch_done(alloc: &SlotAllocator<'_>, inst: &CoflowInstance, batch: &[usize]) -> bool {

@@ -17,6 +17,11 @@
 //!   the §5 reduction, and an exact brute-force optimum for tiny
 //!   instances (used to test the (2−ε)-hardness reduction's
 //!   objective-preservation and to sanity-check approximation factors).
+//! * [`registry`] — the name→constructor table over every
+//!   [`coflow_core::solve::CoflowSolver`] in the suite (paper pipeline
+//!   and baselines), with per-algorithm descriptions and capability
+//!   flags. Figure harnesses and `coflow solve --algo` dispatch through
+//!   it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,5 +29,6 @@
 pub mod jahanjou;
 pub mod openshop;
 pub mod primal_dual;
+pub mod registry;
 pub mod sjf;
 pub mod terra;

@@ -39,6 +39,7 @@ use coflow_core::greedy::greedy_schedule;
 use coflow_core::model::CoflowInstance;
 use coflow_core::routing::Routing;
 use coflow_core::schedule::Schedule;
+use coflow_core::solve::{CoflowSolver, SolveContext, SolveOutcome};
 use coflow_core::CoflowError;
 
 /// Load below which a job is treated as absent from a machine.
@@ -156,6 +157,23 @@ pub fn bssi_order(inst: &CoflowInstance, routing: &Routing) -> Result<Vec<usize>
 pub fn primal_dual(inst: &CoflowInstance, routing: &Routing) -> Result<Schedule, CoflowError> {
     let order = bssi_order(inst, routing)?;
     greedy_schedule(inst, routing, &order)
+}
+
+/// The primal-dual baseline as a [`CoflowSolver`] (single-path only; no
+/// LP, so the outcome carries no lower bound).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrimalDualSolver;
+
+impl CoflowSolver for PrimalDualSolver {
+    fn solve(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+        ctx: &mut SolveContext,
+    ) -> Result<SolveOutcome, CoflowError> {
+        let schedule = primal_dual(inst, routing)?;
+        SolveOutcome::from_schedule(inst, routing, schedule, ctx.tolerance())
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,29 @@ use coflow_core::greedy::{greedy_schedule, sjf_order, weighted_sjf_order};
 use coflow_core::model::CoflowInstance;
 use coflow_core::routing::Routing;
 use coflow_core::schedule::Schedule;
+use coflow_core::solve::{CoflowSolver, SolveContext, SolveOutcome};
 use coflow_core::CoflowError;
+
+/// The one greedy implementation behind both SJF flavours: visit coflows
+/// in ascending total demand (`weighted = false`) or descending
+/// Smith ratio `weight / total demand` (`weighted = true`) and let the
+/// work-conserving allocator hand idle capacity to later jobs.
+///
+/// # Errors
+///
+/// Propagates allocator errors (unroutable flows).
+pub fn smith_greedy(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    weighted: bool,
+) -> Result<Schedule, CoflowError> {
+    let order = if weighted {
+        weighted_sjf_order(inst)
+    } else {
+        sjf_order(inst)
+    };
+    greedy_schedule(inst, routing, &order)
+}
 
 /// Shortest-job-first greedy schedule (total coflow demand ascending).
 ///
@@ -19,7 +41,7 @@ use coflow_core::CoflowError;
 ///
 /// Propagates allocator errors (unroutable flows).
 pub fn sjf(inst: &CoflowInstance, routing: &Routing) -> Result<Schedule, CoflowError> {
-    greedy_schedule(inst, routing, &sjf_order(inst))
+    smith_greedy(inst, routing, false)
 }
 
 /// Weighted SJF: coflows ordered by descending `weight / total demand`
@@ -29,7 +51,28 @@ pub fn sjf(inst: &CoflowInstance, routing: &Routing) -> Result<Schedule, CoflowE
 ///
 /// Propagates allocator errors.
 pub fn weighted_sjf(inst: &CoflowInstance, routing: &Routing) -> Result<Schedule, CoflowError> {
-    greedy_schedule(inst, routing, &weighted_sjf_order(inst))
+    smith_greedy(inst, routing, true)
+}
+
+/// Both SJF flavours as one parameterized [`CoflowSolver`] — registered
+/// in the registry under `sjf` (unweighted) and `weighted-sjf`
+/// (Smith-ratio order).
+#[derive(Clone, Copy, Debug)]
+pub struct SmithGreedySolver {
+    /// Order by Smith ratio (`true`) or plain total demand (`false`).
+    pub weighted: bool,
+}
+
+impl CoflowSolver for SmithGreedySolver {
+    fn solve(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+        ctx: &mut SolveContext,
+    ) -> Result<SolveOutcome, CoflowError> {
+        let schedule = smith_greedy(inst, routing, self.weighted)?;
+        SolveOutcome::from_schedule(inst, routing, schedule, ctx.tolerance())
+    }
 }
 
 #[cfg(test)]

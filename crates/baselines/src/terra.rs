@@ -29,6 +29,7 @@ use coflow_core::greedy::SlotAllocator;
 use coflow_core::model::{Coflow, CoflowInstance};
 use coflow_core::routing::Routing;
 use coflow_core::schedule::Schedule;
+use coflow_core::solve::{CoflowSolver, SolveContext, SolveOutcome};
 use coflow_core::CoflowError;
 use coflow_lp::{Cmp, Model, Sense, SolverOptions, VarId};
 use coflow_netgraph::{maxflow, Graph};
@@ -90,6 +91,29 @@ pub fn terra_offline(inst: &CoflowInstance) -> Result<TerraOutcome, CoflowError>
         schedule: alloc.finish(),
         standalone_cct,
     })
+}
+
+/// Terra as a [`CoflowSolver`] (free-path only; unweighted by design —
+/// compare on `unweighted_cost`). No single big LP is solved, so the
+/// outcome carries no lower bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TerraSolver;
+
+impl CoflowSolver for TerraSolver {
+    fn solve(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+        ctx: &mut SolveContext,
+    ) -> Result<SolveOutcome, CoflowError> {
+        if !matches!(routing, Routing::FreePath) {
+            return Err(CoflowError::BadRouting(
+                "Terra's offline algorithm applies to the free path model".into(),
+            ));
+        }
+        let run = terra_offline(inst)?;
+        SolveOutcome::from_schedule(inst, routing, run.schedule, ctx.tolerance())
+    }
 }
 
 /// Minimum standalone completion time of one coflow (continuous slots):

@@ -1,0 +1,68 @@
+//! Dispatch-overhead benchmark for the algorithm registry: calling a
+//! scheduler through `registry::build(name)` + the `CoflowSolver` trait
+//! object must cost essentially the same as calling its free function
+//! directly. The LP-free weighted-SJF baseline is the probe — its solve
+//! is cheap enough (no LP) that any registry overhead would show up;
+//! pure lookup+construction is measured separately and should be in the
+//! nanoseconds.
+
+use coflow_baselines::registry::{self, AlgoParams};
+use coflow_baselines::sjf::weighted_sjf;
+use coflow_core::model::CoflowInstance;
+use coflow_core::routing::Routing;
+use coflow_core::solve::SolveContext;
+use coflow_core::validate::{validate, Tolerance};
+use coflow_netgraph::topology;
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn instance() -> CoflowInstance {
+    let topo = topology::swan();
+    let cfg = WorkloadConfig {
+        kind: WorkloadKind::Facebook,
+        num_jobs: 10,
+        seed: 5,
+        slot_seconds: 50.0,
+        mean_interarrival_slots: 1.0,
+        weighted: true,
+        demand_scale: 1.0,
+    };
+    build_instance(&topo, &cfg).expect("valid")
+}
+
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    let inst = instance();
+    let params = AlgoParams::default();
+    let mut group = c.benchmark_group("registry");
+
+    // Direct call: free function + explicit validation (what the figure
+    // harness did before the registry).
+    group.bench_function("weighted_sjf_direct", |b| {
+        b.iter(|| {
+            let sched = weighted_sjf(&inst, &Routing::FreePath).expect("runs");
+            validate(&inst, &Routing::FreePath, &sched, Tolerance::default()).expect("valid")
+        })
+    });
+
+    // Same algorithm through name lookup, boxed construction, and the
+    // trait object (validation included in the outcome).
+    group.bench_function("weighted_sjf_via_registry", |b| {
+        b.iter(|| {
+            let solver = registry::build("weighted-sjf", &params).expect("registered");
+            let mut ctx = SolveContext::new();
+            solver
+                .solve(&inst, &Routing::FreePath, &mut ctx)
+                .expect("runs")
+        })
+    });
+
+    // The registry machinery alone: lookup + boxed construction.
+    group.bench_function("lookup_and_build", |b| {
+        b.iter(|| registry::build(black_box("weighted-sjf"), &params).expect("registered"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_overhead);
+criterion_main!(benches);

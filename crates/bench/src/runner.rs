@@ -10,22 +10,23 @@
 //! deterministic for a given `--seed` no matter how many workers run
 //! them (byte-identical CSVs, run to run).
 //!
+//! Comparator series are declared as **registry names** plus a
+//! [`Metric`] read off the resulting [`SolveOutcome`] — no per-figure
+//! dispatch or validation code. [`run_series`] runs each distinct
+//! algorithm once through one shared [`SolveContext`], so a point that
+//! plots five algorithms solves each LP relaxation once.
+//!
 //! The `run_*` functions are thin wrappers computing a single figure;
 //! `all_figures` passes every spec to one [`compute_figures`] call so
 //! the pool can interleave points across figures.
 
 use crate::cli::HarnessConfig;
 use crate::parallel::SweepPool;
-use coflow_baselines::jahanjou::{jahanjou_schedule, JahanjouConfig, EPSILON_OPT};
-use coflow_baselines::terra::terra_offline;
-use coflow_core::horizon::{horizon, HorizonMode};
-use coflow_core::interval::solve_interval;
+use coflow_baselines::registry::{self, AlgoParams};
+use coflow_core::horizon::HorizonMode;
 use coflow_core::model::CoflowInstance;
 use coflow_core::routing::{self, Routing};
-use coflow_core::solver::{Algorithm, Scheduler};
-use coflow_core::stretch::{lambda_sweep, StretchOptions};
-use coflow_core::validate::{validate, Tolerance};
-use coflow_lp::SolverOptions;
+use coflow_core::solve::{SolveContext, SolveOutcome};
 use coflow_netgraph::topology::Topology;
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
 use rand::rngs::StdRng;
@@ -181,6 +182,158 @@ fn single_figure(spec: FigureSpec<'_>) -> FigureResult {
 
 const HORIZON: HorizonMode = HorizonMode::Greedy { margin: 1.25 };
 
+// ---------------------------------------------------------------------
+// Registry-driven comparator series
+// ---------------------------------------------------------------------
+
+/// What a series reads off a [`SolveOutcome`].
+#[derive(Clone, Copy, Debug)]
+pub enum Metric {
+    /// The algorithm's own LP lower bound.
+    LowerBound,
+    /// Weighted completion time of the schedule.
+    Cost,
+    /// Unweighted total completion time.
+    UnweightedCost,
+    /// Best weighted cost over the λ sweep ("Best λ").
+    SweepBest,
+    /// Mean weighted cost over the λ sweep ("Average λ").
+    SweepAverage,
+    /// Best unweighted cost over the λ sweep.
+    SweepBestUnweighted,
+    /// Mean unweighted cost over the λ sweep.
+    SweepAverageUnweighted,
+    /// Constraint rows of the LP the algorithm solved.
+    LpRows,
+    /// Variables of the LP the algorithm solved.
+    LpCols,
+    /// Simplex iterations of the LP solve.
+    LpIterations,
+    /// An algorithm-specific extra, by key (e.g. derand's `best_cost`).
+    Aux(&'static str),
+}
+
+/// One comparator series: a registry name, the metric to read off its
+/// outcome, and an optional scale (slot-length rescaling).
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesDef {
+    /// Legend entry (matches the paper's series names).
+    pub label: &'static str,
+    /// Registry name of the algorithm producing this series.
+    pub algo: &'static str,
+    /// What to read off the outcome.
+    pub metric: Metric,
+    /// Multiplier applied to the extracted value (default 1.0).
+    pub scale: f64,
+}
+
+impl SeriesDef {
+    /// A series with no rescaling.
+    pub const fn new(label: &'static str, algo: &'static str, metric: Metric) -> SeriesDef {
+        SeriesDef {
+            label,
+            algo,
+            metric,
+            scale: 1.0,
+        }
+    }
+}
+
+/// Reads one metric off an outcome; panics (figure points are
+/// infallible by contract) when the algorithm cannot produce it.
+pub fn extract(out: &SolveOutcome, s: &SeriesDef) -> SeriesValue {
+    let sweep = |what: &str| {
+        out.sweep
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no λ sweep for {what}", s.algo))
+    };
+    let value = match s.metric {
+        Metric::LowerBound => out
+            .lower_bound
+            .unwrap_or_else(|| panic!("{}: no LP lower bound", s.algo)),
+        Metric::Cost => out.cost,
+        Metric::UnweightedCost => out.unweighted_cost,
+        Metric::SweepBest => sweep("best").best().weighted_cost,
+        Metric::SweepAverage => sweep("average").average(),
+        Metric::SweepBestUnweighted => sweep("best")
+            .samples
+            .iter()
+            .map(|x| x.unweighted_cost)
+            .fold(f64::INFINITY, f64::min),
+        Metric::SweepAverageUnweighted => sweep("average").average_unweighted(),
+        Metric::LpRows => {
+            out.lp_size
+                .unwrap_or_else(|| panic!("{}: no LP", s.algo))
+                .rows as f64
+        }
+        Metric::LpCols => {
+            out.lp_size
+                .unwrap_or_else(|| panic!("{}: no LP", s.algo))
+                .cols as f64
+        }
+        Metric::LpIterations => out
+            .lp_iterations
+            .unwrap_or_else(|| panic!("{}: no LP", s.algo)) as f64,
+        Metric::Aux(key) => out
+            .aux(key)
+            .unwrap_or_else(|| panic!("{}: no aux value {key:?}", s.algo)),
+    };
+    s.scale * value
+}
+
+/// Runs every *distinct* algorithm referenced by `series` once, through
+/// the given shared context (LP relaxations and the horizon are solved
+/// once per point, not once per series), then reads the series values
+/// off the outcomes. Also returns the outcomes so callers can build
+/// notes from algorithm extras.
+pub fn run_series_with(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    series: &[SeriesDef],
+    params: &AlgoParams,
+    ctx: &mut SolveContext,
+) -> (Vec<SeriesValue>, Vec<(&'static str, SolveOutcome)>) {
+    let mut outcomes: Vec<(&'static str, SolveOutcome)> = Vec::new();
+    for s in series {
+        if outcomes.iter().any(|(n, _)| *n == s.algo) {
+            continue;
+        }
+        let solver = registry::build(s.algo, params)
+            .unwrap_or_else(|| panic!("algorithm {:?} is not registered", s.algo));
+        let out = solver
+            .solve(inst, routing, ctx)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.algo));
+        outcomes.push((s.algo, out));
+    }
+    let values = series
+        .iter()
+        .map(|s| {
+            let (_, out) = outcomes
+                .iter()
+                .find(|(n, _)| *n == s.algo)
+                .expect("ran above");
+            extract(out, s)
+        })
+        .collect();
+    (values, outcomes)
+}
+
+/// [`run_series_with`] under a fresh default context (greedy horizon,
+/// margin 1.25 — the harness-wide setting).
+pub fn run_series(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    series: &[SeriesDef],
+    params: &AlgoParams,
+) -> (Vec<SeriesValue>, Vec<(&'static str, SolveOutcome)>) {
+    let mut ctx = SolveContext::new().with_horizon_mode(HORIZON);
+    run_series_with(inst, routing, series, params, &mut ctx)
+}
+
+fn labels(series: &[SeriesDef]) -> Vec<String> {
+    series.iter().map(|s| s.label.to_string()).collect()
+}
+
 fn workload_cfg(kind: WorkloadKind, cfg: &HarnessConfig, weighted: bool) -> WorkloadConfig {
     WorkloadConfig {
         kind,
@@ -203,6 +356,55 @@ fn instance_for(
         .expect("workload placement on a WAN topology always validates")
 }
 
+/// How a workload-sweep figure routes its flows.
+#[derive(Clone, Copy, Debug)]
+enum FigureRouting {
+    /// Free-path model.
+    Free,
+    /// Random shortest paths drawn from the point's seeded RNG.
+    RandomShortest,
+}
+
+/// Shared shape of the workload-sweep figures (6, 7, 9–12, ordering
+/// ablation): one point per [`WorkloadKind`], comparator series by
+/// registry name.
+fn workload_sweep_points<'a>(
+    stem: &'static str,
+    topo: &'a Topology,
+    cfg: &'a HarnessConfig,
+    weighted: bool,
+    fig_routing: FigureRouting,
+    series: &'static [SeriesDef],
+    tag: &'static str,
+) -> Vec<PointSpec<'a>> {
+    WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PointSpec {
+            label: kind.name().to_string(),
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[{tag}] {} …", kind.name());
+                }
+                let inst = instance_for(topo, kind, cfg, weighted);
+                let r = match fig_routing {
+                    FigureRouting::Free => Routing::FreePath,
+                    FigureRouting::RandomShortest => {
+                        routing::random_shortest_paths(&inst, rng).expect("paths exist")
+                    }
+                };
+                let params = AlgoParams {
+                    samples: cfg.samples,
+                    seed: cfg.seed,
+                    ..Default::default()
+                };
+                run_series(&inst, &r, series, &params).0.into()
+            }),
+        })
+        .collect()
+}
+
 /// Figures 6 and 7: free-path model, weighted. Series: LP lower bound,
 /// Heuristic(λ=1.0), Best λ, Average λ.
 pub fn lambda_figure_spec<'a>(
@@ -210,52 +412,17 @@ pub fn lambda_figure_spec<'a>(
     cfg: &'a HarnessConfig,
     fig_no: u8,
 ) -> FigureSpec<'a> {
-    let stem: &'static str = match fig_no {
-        6 => "fig06_lambda_swan",
-        7 => "fig07_lambda_gscale",
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new("LP(lower bound)", "heuristic", Metric::LowerBound),
+        SeriesDef::new("Heuristic(λ=1.0)", "heuristic", Metric::Cost),
+        SeriesDef::new("Best λ", "stretch", Metric::SweepBest),
+        SeriesDef::new("Average λ", "stretch", Metric::SweepAverage),
+    ];
+    let (stem, tag): (&'static str, &'static str) = match fig_no {
+        6 => ("fig06_lambda_swan", "fig6"),
+        7 => ("fig07_lambda_gscale", "fig7"),
         other => unreachable!("lambda figures are 6 and 7, not {other}"),
     };
-    let points = WorkloadKind::ALL
-        .iter()
-        .enumerate()
-        .map(|(i, &kind)| PointSpec {
-            label: kind.name().to_string(),
-            seed: point_seed(cfg.seed, stem, i),
-            compute: Box::new(move |_rng: &mut StdRng| {
-                if cfg.verbose {
-                    eprintln!("[fig{fig_no}] {} …", kind.name());
-                }
-                let inst = instance_for(topo, kind, cfg, true);
-                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-                let lp = sched
-                    .relax(&inst, &Routing::FreePath)
-                    .expect("relaxation solves");
-                let heuristic = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &lp.plan,
-                    StretchOptions::default(),
-                );
-                let h_cost = heuristic
-                    .completions(&inst)
-                    .expect("heuristic schedules complete")
-                    .weighted_total;
-                let sweep = lambda_sweep(
-                    &inst,
-                    &lp.plan,
-                    cfg.samples,
-                    cfg.seed,
-                    StretchOptions::default(),
-                );
-                vec![
-                    lp.objective,
-                    h_cost,
-                    sweep.best().weighted_cost,
-                    sweep.average(),
-                ]
-                .into()
-            }),
-        })
-        .collect();
     FigureSpec {
         stem,
         title: format!(
@@ -266,13 +433,8 @@ pub fn lambda_figure_spec<'a>(
             "{} jobs/workload, seed {}, {} lambda samples, 50 s slots",
             cfg.jobs, cfg.seed, cfg.samples
         ),
-        series_names: vec![
-            "LP(lower bound)".into(),
-            "Heuristic(λ=1.0)".into(),
-            "Best λ".into(),
-            "Average λ".into(),
-        ],
-        points,
+        series_names: labels(SERIES),
+        points: workload_sweep_points(stem, topo, cfg, true, FigureRouting::Free, SERIES, tag),
     }
 }
 
@@ -284,11 +446,19 @@ pub fn run_lambda_figure(topo: &Topology, cfg: &HarnessConfig, fig_no: u8) -> Fi
 /// Figure 8: effect of the interval parameter ε (free path, FB on SWAN).
 /// Series: interval LP lower bound and its λ=1 heuristic, per ε.
 pub fn epsilon_figure_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new(
+            "Time interval LP(lower bound)",
+            "interval-heuristic",
+            Metric::LowerBound,
+        ),
+        SeriesDef::new("heuristic(λ=1.0)", "interval-heuristic", Metric::Cost),
+    ];
     let stem = "fig08_epsilon";
-    // All ε points share one instance and horizon; solve them once here
+    // All ε points share one instance and horizon; compute them once here
     // and hand the points an `Arc` so the sweep only pays the LP solves.
     let inst = Arc::new(instance_for(topo, WorkloadKind::Facebook, cfg, true));
-    let t = horizon(&inst, &Routing::FreePath, HORIZON).expect("horizon");
+    let t = coflow_core::horizon::horizon(&inst, &Routing::FreePath, HORIZON).expect("horizon");
     let points = (1..=10)
         .map(|k| {
             let epsilon = k as f64 / 10.0;
@@ -300,24 +470,14 @@ pub fn epsilon_figure_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> Fi
                     if cfg.verbose {
                         eprintln!("[fig8] ε = {epsilon} …");
                     }
-                    let rel = solve_interval(
-                        &inst,
-                        &Routing::FreePath,
-                        t,
+                    let params = AlgoParams {
                         epsilon,
-                        &SolverOptions::default(),
-                    )
-                    .expect("interval LP solves");
-                    let heuristic = coflow_core::heuristic::lp_heuristic(
-                        &inst,
-                        &rel.lp.plan,
-                        StretchOptions::default(),
-                    );
-                    let h_cost = heuristic
-                        .completions(&inst)
-                        .expect("heuristic schedules complete")
-                        .weighted_total;
-                    vec![rel.lp.objective, h_cost].into()
+                        ..Default::default()
+                    };
+                    let mut ctx = SolveContext::new().with_horizon_mode(HorizonMode::Fixed(t));
+                    run_series_with(&inst, &Routing::FreePath, SERIES, &params, &mut ctx)
+                        .0
+                        .into()
                 }),
             }
         })
@@ -329,10 +489,7 @@ pub fn epsilon_figure_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> Fi
             topo.name
         ),
         notes: format!("{} jobs, seed {}, 50 s slots", cfg.jobs, cfg.seed),
-        series_names: vec![
-            "Time interval LP(lower bound)".into(),
-            "heuristic(λ=1.0)".into(),
-        ],
+        series_names: labels(SERIES),
         points,
     }
 }
@@ -350,71 +507,30 @@ pub fn single_path_figure_spec<'a>(
     cfg: &'a HarnessConfig,
     fig_no: u8,
 ) -> FigureSpec<'a> {
-    let stem: &'static str = match fig_no {
-        9 => "fig09_single_swan",
-        10 => "fig10_single_gscale",
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new(
+            "Time indexed LP(lower bound)",
+            "heuristic",
+            Metric::LowerBound,
+        ),
+        SeriesDef::new("heuristic(λ=1.0)", "heuristic", Metric::Cost),
+        SeriesDef::new(
+            "Time interval LP(lower bound, ε=0.2)",
+            "interval-heuristic",
+            Metric::LowerBound,
+        ),
+        SeriesDef::new(
+            "interval heuristic(λ=1.0)",
+            "interval-heuristic",
+            Metric::Cost,
+        ),
+        SeriesDef::new("Jahanjou et al.", "jahanjou", Metric::Cost),
+    ];
+    let (stem, tag): (&'static str, &'static str) = match fig_no {
+        9 => ("fig09_single_swan", "fig9"),
+        10 => ("fig10_single_gscale", "fig10"),
         other => unreachable!("single-path figures are 9 and 10, not {other}"),
     };
-    let points = WorkloadKind::ALL
-        .iter()
-        .enumerate()
-        .map(|(i, &kind)| PointSpec {
-            label: kind.name().to_string(),
-            seed: point_seed(cfg.seed, stem, i),
-            compute: Box::new(move |rng: &mut StdRng| {
-                if cfg.verbose {
-                    eprintln!("[fig{fig_no}] {} …", kind.name());
-                }
-                let inst = instance_for(topo, kind, cfg, true);
-                let r = routing::random_shortest_paths(&inst, rng).expect("paths exist");
-                let t = horizon(&inst, &r, HORIZON).expect("horizon");
-
-                // Time-indexed LP + λ=1 heuristic.
-                let ti = coflow_core::timeidx::solve_time_indexed(
-                    &inst,
-                    &r,
-                    t,
-                    &SolverOptions::default(),
-                )
-                .expect("time-indexed LP solves");
-                let ti_h = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &ti.plan,
-                    StretchOptions::default(),
-                );
-                let ti_h_cost = ti_h.completions(&inst).expect("complete").weighted_total;
-
-                // Interval LP (ε = 0.2) + λ=1 heuristic.
-                let iv = solve_interval(&inst, &r, t, 0.2, &SolverOptions::default())
-                    .expect("interval LP solves");
-                let iv_h = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &iv.lp.plan,
-                    StretchOptions::default(),
-                );
-                let iv_h_cost = iv_h.completions(&inst).expect("complete").weighted_total;
-
-                // Jahanjou et al. at their optimized ε.
-                let jj = jahanjou_schedule(
-                    &inst,
-                    &r,
-                    t,
-                    &JahanjouConfig {
-                        epsilon: EPSILON_OPT,
-                        ..Default::default()
-                    },
-                    &SolverOptions::default(),
-                )
-                .expect("baseline runs");
-                let jj_cost = validate(&inst, &r, &jj.schedule, Tolerance::default())
-                    .expect("baseline schedule feasible")
-                    .completions
-                    .weighted_total;
-
-                vec![ti.objective, ti_h_cost, iv.lp.objective, iv_h_cost, jj_cost].into()
-            }),
-        })
-        .collect();
     FigureSpec {
         stem,
         title: format!(
@@ -425,14 +541,16 @@ pub fn single_path_figure_spec<'a>(
             "{} jobs/workload, seed {}, random shortest paths, 50 s slots",
             cfg.jobs, cfg.seed
         ),
-        series_names: vec![
-            "Time indexed LP(lower bound)".into(),
-            "heuristic(λ=1.0)".into(),
-            "Time interval LP(lower bound, ε=0.2)".into(),
-            "interval heuristic(λ=1.0)".into(),
-            "Jahanjou et al.".into(),
-        ],
-        points,
+        series_names: labels(SERIES),
+        points: workload_sweep_points(
+            stem,
+            topo,
+            cfg,
+            true,
+            FigureRouting::RandomShortest,
+            SERIES,
+            tag,
+        ),
     }
 }
 
@@ -448,68 +566,24 @@ pub fn free_unweighted_figure_spec<'a>(
     cfg: &'a HarnessConfig,
     fig_no: u8,
 ) -> FigureSpec<'a> {
-    let stem: &'static str = match fig_no {
-        11 => "fig11_free_unweighted_swan",
-        12 => "fig12_free_unweighted_gscale",
+    // Weights are all 1, so the heuristic's LP bound is the total-CCT
+    // bound and every series reads the unweighted cost.
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new(
+            "Time indexed LP(lower bound)",
+            "heuristic",
+            Metric::LowerBound,
+        ),
+        SeriesDef::new("heuristic(λ=1.0)", "heuristic", Metric::UnweightedCost),
+        SeriesDef::new("Best λ", "stretch", Metric::SweepBestUnweighted),
+        SeriesDef::new("Average λ", "stretch", Metric::SweepAverageUnweighted),
+        SeriesDef::new("Terra", "terra", Metric::UnweightedCost),
+    ];
+    let (stem, tag): (&'static str, &'static str) = match fig_no {
+        11 => ("fig11_free_unweighted_swan", "fig11"),
+        12 => ("fig12_free_unweighted_gscale", "fig12"),
         other => unreachable!("free-unweighted figures are 11 and 12, not {other}"),
     };
-    let points = WorkloadKind::ALL
-        .iter()
-        .enumerate()
-        .map(|(i, &kind)| PointSpec {
-            label: kind.name().to_string(),
-            seed: point_seed(cfg.seed, stem, i),
-            compute: Box::new(move |_rng: &mut StdRng| {
-                if cfg.verbose {
-                    eprintln!("[fig{fig_no}] {} …", kind.name());
-                }
-                let inst = instance_for(topo, kind, cfg, false);
-                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-                let lp = sched
-                    .relax(&inst, &Routing::FreePath)
-                    .expect("relaxation solves");
-                let heuristic = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &lp.plan,
-                    StretchOptions::default(),
-                );
-                let h_cost = heuristic
-                    .completions(&inst)
-                    .expect("complete")
-                    .unweighted_total;
-                let sweep = lambda_sweep(
-                    &inst,
-                    &lp.plan,
-                    cfg.samples,
-                    cfg.seed,
-                    StretchOptions::default(),
-                );
-                let best = sweep
-                    .samples
-                    .iter()
-                    .map(|s| s.unweighted_cost)
-                    .fold(f64::INFINITY, f64::min);
-                let terra = terra_offline(&inst).expect("terra runs");
-                let terra_cost = validate(
-                    &inst,
-                    &Routing::FreePath,
-                    &terra.schedule,
-                    Tolerance::default(),
-                )
-                .expect("terra schedule feasible")
-                .completions
-                .unweighted_total;
-                vec![
-                    lp.objective, // weights are all 1, so this is the total-CCT bound
-                    h_cost,
-                    best,
-                    sweep.average_unweighted(),
-                    terra_cost,
-                ]
-                .into()
-            }),
-        })
-        .collect();
     FigureSpec {
         stem,
         title: format!(
@@ -520,14 +594,8 @@ pub fn free_unweighted_figure_spec<'a>(
             "{} jobs/workload, seed {}, {} lambda samples, unit weights",
             cfg.jobs, cfg.seed, cfg.samples
         ),
-        series_names: vec![
-            "Time indexed LP(lower bound)".into(),
-            "heuristic(λ=1.0)".into(),
-            "Best λ".into(),
-            "Average λ".into(),
-            "Terra".into(),
-        ],
-        points,
+        series_names: labels(SERIES),
+        points: workload_sweep_points(stem, topo, cfg, false, FigureRouting::Free, SERIES, tag),
     }
 }
 
@@ -569,26 +637,28 @@ pub fn slot_length_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig)
                     demand_scale: 1.0,
                 };
                 let inst = build_instance(topo, &wl).expect("workload placement validates");
-                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-                let lp = sched
-                    .relax(&inst, &Routing::FreePath)
-                    .expect("relaxation solves");
-                let h = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &lp.plan,
-                    StretchOptions::default(),
-                );
-                let h_cost = h.completions(&inst).expect("complete").weighted_total;
                 // Rescale slot-unit costs to the common 50 s yardstick.
                 let to_50s = slot_seconds / 50.0;
-                vec![
-                    lp.objective * to_50s,
-                    h_cost * to_50s,
-                    lp.size.rows as f64,
-                    lp.size.cols as f64,
-                    lp.lp_iterations as f64,
-                ]
-                .into()
+                let series = [
+                    SeriesDef {
+                        scale: to_50s,
+                        ..SeriesDef::new(
+                            "LP(lower bound, 50s units)",
+                            "heuristic",
+                            Metric::LowerBound,
+                        )
+                    },
+                    SeriesDef {
+                        scale: to_50s,
+                        ..SeriesDef::new("heuristic(λ=1.0, 50s units)", "heuristic", Metric::Cost)
+                    },
+                    SeriesDef::new("LP rows", "heuristic", Metric::LpRows),
+                    SeriesDef::new("LP cols", "heuristic", Metric::LpCols),
+                    SeriesDef::new("simplex iterations", "heuristic", Metric::LpIterations),
+                ];
+                run_series(&inst, &Routing::FreePath, &series, &AlgoParams::default())
+                    .0
+                    .into()
             }),
         })
         .collect();
@@ -625,48 +695,18 @@ pub fn run_slot_length_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureR
 /// Stretch (derandomized), the primal-dual/BSSI ordering, and weighted
 /// SJF.
 pub fn ordering_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new(
+            "Time indexed LP(lower bound)",
+            "heuristic",
+            Metric::LowerBound,
+        ),
+        SeriesDef::new("heuristic(λ=1.0)", "heuristic", Metric::Cost),
+        SeriesDef::new("Derandomized best λ", "derand", Metric::Aux("best_cost")),
+        SeriesDef::new("Primal-dual (BSSI)", "primal-dual", Metric::Cost),
+        SeriesDef::new("Weighted SJF", "weighted-sjf", Metric::Cost),
+    ];
     let stem = "ablation_ordering";
-    let points = WorkloadKind::ALL
-        .iter()
-        .enumerate()
-        .map(|(i, &kind)| PointSpec {
-            label: kind.name().to_string(),
-            seed: point_seed(cfg.seed, stem, i),
-            compute: Box::new(move |rng: &mut StdRng| {
-                if cfg.verbose {
-                    eprintln!("[ordering] {} …", kind.name());
-                }
-                let inst = instance_for(topo, kind, cfg, true);
-                let r = routing::random_shortest_paths(&inst, rng).expect("paths exist");
-                let t = horizon(&inst, &r, HORIZON).expect("horizon");
-                let lp = coflow_core::timeidx::solve_time_indexed(
-                    &inst,
-                    &r,
-                    t,
-                    &SolverOptions::default(),
-                )
-                .expect("time-indexed LP solves");
-                let h = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &lp.plan,
-                    StretchOptions::default(),
-                );
-                let h_cost = h.completions(&inst).expect("complete").weighted_total;
-                let d = coflow_core::derand::derandomize(&inst, &lp.plan);
-                let pd = coflow_baselines::primal_dual::primal_dual(&inst, &r).expect("runs");
-                let pd_cost = validate(&inst, &r, &pd, Tolerance::default())
-                    .expect("primal-dual schedule feasible")
-                    .completions
-                    .weighted_total;
-                let sjf = coflow_baselines::sjf::weighted_sjf(&inst, &r).expect("runs");
-                let sjf_cost = validate(&inst, &r, &sjf, Tolerance::default())
-                    .expect("sjf schedule feasible")
-                    .completions
-                    .weighted_total;
-                vec![lp.objective, h_cost, d.best_cost, pd_cost, sjf_cost].into()
-            }),
-        })
-        .collect();
     FigureSpec {
         stem,
         title: format!(
@@ -678,14 +718,16 @@ pub fn ordering_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) ->
              pure Stretch (no compaction); primal-dual = BSSI on the edge-machine open shop",
             cfg.jobs, cfg.seed
         ),
-        series_names: vec![
-            "Time indexed LP(lower bound)".into(),
-            "heuristic(λ=1.0)".into(),
-            "Derandomized best λ".into(),
-            "Primal-dual (BSSI)".into(),
-            "Weighted SJF".into(),
-        ],
-        points,
+        series_names: labels(SERIES),
+        points: workload_sweep_points(
+            stem,
+            topo,
+            cfg,
+            true,
+            FigureRouting::RandomShortest,
+            SERIES,
+            "ordering",
+        ),
     }
 }
 
@@ -698,6 +740,12 @@ pub fn run_ordering_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResu
 /// heuristic vs the event-driven re-solver and the doubling-batch
 /// framework, free-path model with Poisson releases.
 pub fn online_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new("Offline LP(lower bound)", "heuristic", Metric::LowerBound),
+        SeriesDef::new("Offline heuristic(λ=1.0)", "heuristic", Metric::Cost),
+        SeriesDef::new("Online re-solving", "online", Metric::Cost),
+        SeriesDef::new("Doubling batches", "batch-online", Metric::Cost),
+    ];
     let stem = "ablation_online";
     let points = WorkloadKind::ALL
         .iter()
@@ -710,53 +758,22 @@ pub fn online_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> F
                     eprintln!("[online] {} …", kind.name());
                 }
                 let inst = instance_for(topo, kind, cfg, true);
-                let sched = Scheduler::new(Algorithm::LpHeuristic).with_horizon(HORIZON);
-                let lp = sched
-                    .relax(&inst, &Routing::FreePath)
-                    .expect("relaxation solves");
-                let h = coflow_core::heuristic::lp_heuristic(
-                    &inst,
-                    &lp.plan,
-                    StretchOptions::default(),
-                );
-                let h_cost = h.completions(&inst).expect("complete").weighted_total;
-                let online = coflow_core::online::online_heuristic(
-                    &inst,
-                    &Routing::FreePath,
-                    &SolverOptions::default(),
-                )
-                .expect("online runs");
-                let online_cost = validate(
-                    &inst,
-                    &Routing::FreePath,
-                    &online.schedule,
-                    Tolerance::default(),
-                )
-                .expect("online schedule feasible")
-                .completions
-                .weighted_total;
-                let batched = coflow_core::flowtime::interval_batch_online(
-                    &inst,
-                    &Routing::FreePath,
-                    &SolverOptions::default(),
-                )
-                .expect("batch online runs");
-                let batch_cost = validate(
-                    &inst,
-                    &Routing::FreePath,
-                    &batched.schedule,
-                    Tolerance::default(),
-                )
-                .expect("batched schedule feasible")
-                .completions
-                .weighted_total;
+                let (values, outcomes) =
+                    run_series(&inst, &Routing::FreePath, SERIES, &AlgoParams::default());
+                let stat = |name: &str, key: &str| {
+                    outcomes
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .and_then(|(_, o)| o.aux(key))
+                        .expect("online solvers report their solve counts")
+                };
                 PointOutcome {
-                    values: vec![lp.objective, h_cost, online_cost, batch_cost],
+                    values,
                     note: Some(format!(
                         "{}: {} re-solves vs {} batches.",
                         kind.name(),
-                        online.resolves,
-                        batched.batches
+                        stat("online", "resolves"),
+                        stat("batch-online", "batches"),
                     )),
                 }
             }),
@@ -773,12 +790,7 @@ pub fn online_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> F
              Offline knows all arrivals; online algorithms learn them at release.",
             cfg.jobs, cfg.seed, cfg.mean_interarrival
         ),
-        series_names: vec![
-            "Offline LP(lower bound)".into(),
-            "Offline heuristic(λ=1.0)".into(),
-            "Online re-solving".into(),
-            "Doubling batches".into(),
-        ],
+        series_names: labels(SERIES),
         points,
     }
 }
@@ -871,5 +883,44 @@ mod tests {
             .unwrap()
             .1;
         assert_eq!(fig.notes, "base. n0 n1 n2 n3");
+    }
+
+    #[test]
+    fn run_series_shares_one_lp_across_series() {
+        use coflow_core::model::{Coflow, Flow};
+        use coflow_netgraph::topology;
+
+        let topo = topology::line(2, 1.0);
+        let g = topo.graph;
+        let v0 = g.node_by_label("v0").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let inst = CoflowInstance::new(
+            g,
+            vec![
+                Coflow::new(vec![Flow::new(v0, v1, 2.0)]),
+                Coflow::new(vec![Flow::new(v0, v1, 1.0)]),
+            ],
+        )
+        .unwrap();
+        let series = [
+            SeriesDef::new("lb", "heuristic", Metric::LowerBound),
+            SeriesDef::new("cost", "heuristic", Metric::Cost),
+            SeriesDef::new("best", "stretch", Metric::SweepBest),
+        ];
+        let params = AlgoParams {
+            samples: 4,
+            ..Default::default()
+        };
+        let (values, outcomes) = run_series(&inst, &Routing::FreePath, &series, &params);
+        assert_eq!(values.len(), 3);
+        // Two distinct algorithms ran (heuristic appears twice in the
+        // series but is solved once).
+        assert_eq!(outcomes.len(), 2);
+        // Both used the same cached LP, so their bounds agree exactly.
+        assert_eq!(
+            outcomes[0].1.lower_bound.unwrap(),
+            outcomes[1].1.lower_bound.unwrap()
+        );
+        assert!(values[1] >= values[0] - 1e-9);
     }
 }

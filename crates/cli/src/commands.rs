@@ -1,15 +1,16 @@
-//! The three subcommands: `generate`, `info`, `solve`.
+//! The four subcommands: `generate`, `info`, `solve`, `algos`.
+//!
+//! `solve` dispatches through the algorithm registry
+//! ([`coflow_baselines::registry`]): any registered name works with
+//! `--algo NAME`, and `algos` prints the full table.
 
 use crate::args::Args;
-use coflow_baselines::{primal_dual, sjf};
-use coflow_core::derand;
-use coflow_core::flowtime::{flow_times, interval_batch_online};
+use coflow_baselines::registry::{self, AlgoParams};
 use coflow_core::io::{read_instance, write_instance};
 use coflow_core::model::CoflowInstance;
 use coflow_core::routing::{self, Routing};
-use coflow_core::solver::{Algorithm, Relaxation, Scheduler};
-use coflow_core::validate::{validate, Tolerance};
-use coflow_lp::SolverOptions;
+use coflow_core::solve::SolveContext;
+use coflow_core::solver::Relaxation;
 use coflow_netgraph::topology::{self, Topology};
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
 use rand::rngs::StdRng;
@@ -87,7 +88,36 @@ pub fn info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `coflow solve FILE`: run an algorithm and report the outcome.
+/// `coflow algos`: print the algorithm registry.
+///
+/// # Errors
+///
+/// Unknown flags.
+pub fn algos(args: &Args) -> Result<(), String> {
+    args.finish()?;
+    let entries = registry::all();
+    let name_w = entries.iter().map(|e| e.name.len()).max().unwrap_or(4);
+    println!(
+        "{:<name_w$}  {:<11}  {:<11}  {:<8}  {:<3}  description",
+        "name", "kind", "routing", "weighted", "lp",
+    );
+    for e in entries {
+        println!(
+            "{:<name_w$}  {:<11}  {:<11}  {:<8}  {:<3}  {}",
+            e.name,
+            e.kind.label(),
+            e.caps.routing.label(),
+            if e.caps.weighted { "yes" } else { "no" },
+            if e.caps.lp_based { "yes" } else { "no" },
+            e.description,
+        );
+    }
+    println!("\nrun with: coflow solve FILE --algo NAME");
+    Ok(())
+}
+
+/// `coflow solve FILE`: run any registered algorithm and report the
+/// outcome against an LP lower bound.
 ///
 /// # Errors
 ///
@@ -95,13 +125,18 @@ pub fn info(args: &Args) -> Result<(), String> {
 pub fn solve(args: &Args) -> Result<(), String> {
     let inst = load(args)?;
     let model: String = args.get("model", "free".into())?;
+    let algo_flag: String = args.get("algo", String::new())?;
     let algorithm: String = args.get("algorithm", "heuristic".into())?;
     let seed: u64 = args.get("seed", 1)?;
     let samples: usize = args.get("samples", 20)?;
     let lambda: f64 = args.get("lambda", 1.0)?;
     let k: usize = args.get("k", 3)?;
     let epsilon: f64 = args.get("epsilon", 0.0)?;
+    let alpha: f64 = args.get("alpha", 0.5)?;
     args.finish()?;
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(format!("--alpha must lie in (0, 1], got {alpha}"));
+    }
 
     let routing = match model.as_str() {
         "free" => Routing::FreePath,
@@ -113,115 +148,103 @@ pub fn solve(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown model {other:?} (free|single|multi)")),
     };
 
-    let mut scheduler = Scheduler::new(Algorithm::LpHeuristic);
-    if epsilon > 0.0 {
-        scheduler = scheduler.with_relaxation(Relaxation::Interval { epsilon });
-    }
+    // `--algo` takes any registry name; the legacy `--algorithm`
+    // spellings map onto registry names (with `--epsilon > 0` selecting
+    // the interval-LP variants, as before).
+    let name = if algo_flag.is_empty() {
+        legacy_name(&algorithm, epsilon)?
+    } else {
+        algo_flag
+    };
+    let entry = registry::by_name(&name).ok_or(format!(
+        "unknown algorithm {name:?} — run `coflow algos` for the list"
+    ))?;
+    let params = AlgoParams {
+        samples,
+        seed,
+        lambda,
+        epsilon: if epsilon > 0.0 {
+            epsilon
+        } else {
+            AlgoParams::default().epsilon
+        },
+        jahanjou_epsilon: if epsilon > 0.0 {
+            epsilon
+        } else {
+            AlgoParams::default().jahanjou_epsilon
+        },
+        alpha,
+        ..Default::default()
+    };
 
     println!("model          {model}");
-    println!("algorithm      {algorithm}");
-    match algorithm.as_str() {
-        "heuristic" | "stretch" | "lambda" => {
-            let alg = match algorithm.as_str() {
-                "heuristic" => Algorithm::LpHeuristic,
-                "stretch" => Algorithm::Stretch { samples, seed },
-                _ => Algorithm::FixedLambda(lambda),
-            };
-            let report = Scheduler::new(alg)
-                .with_relaxation(if epsilon > 0.0 {
-                    Relaxation::Interval { epsilon }
-                } else {
-                    Relaxation::TimeIndexed
-                })
-                .solve(&inst, &routing)
-                .map_err(|e| e.to_string())?;
-            print_outcome(
-                &inst,
-                report.lower_bound,
-                report.cost,
-                &report.validation.completions,
-            );
-            println!(
-                "lp rows/cols   {} / {}",
-                report.lp_size.rows, report.lp_size.cols
-            );
-            println!("lp iterations  {}", report.lp_iterations);
-            if let Some(sweep) = &report.sweep {
-                println!("best lambda    {:.4}", sweep.best().lambda);
-                println!("average cost   {:.3}", sweep.average());
-            }
-        }
-        "derand" => {
-            let lp = scheduler
-                .relax(&inst, &routing)
-                .map_err(|e| e.to_string())?;
-            let d = derand::derandomize(&inst, &lp.plan);
-            let report = Scheduler::new(Algorithm::FixedLambda(d.best_lambda))
-                .solve(&inst, &routing)
-                .map_err(|e| e.to_string())?;
-            print_outcome(
-                &inst,
-                lp.objective,
-                report.cost,
-                &report.validation.completions,
-            );
-            println!(
-                "best lambda    {:.6} (exact, {} candidates)",
-                d.best_lambda, d.candidates
-            );
-            println!(
-                "pure-stretch   best {:.3} / heuristic {:.3}",
-                d.best_cost, d.heuristic_cost
-            );
-            println!(
-                "E[cost]        {:.3} ± {:.1e} (2·LP = {:.3})",
-                d.expected_cost,
-                d.expected_cost_error,
-                2.0 * lp.objective
-            );
-        }
-        "primal-dual" | "sjf" => {
-            let sched = if algorithm == "primal-dual" {
-                primal_dual::primal_dual(&inst, &routing).map_err(|e| e.to_string())?
+    println!("algorithm      {}", entry.name);
+    let mut ctx = SolveContext::new();
+    let out = entry
+        .build(&params)
+        .solve(&inst, &routing, &mut ctx)
+        .map_err(|e| e.to_string())?;
+
+    // LP-free algorithms carry no bound of their own; report their cost
+    // against the relaxation an LP method would solve on this instance
+    // (cheap here: the context caches it for any later solve).
+    let lower_bound = match out.lower_bound {
+        Some(lb) => lb,
+        None => {
+            let relaxation = if epsilon > 0.0 {
+                Relaxation::Interval { epsilon }
             } else {
-                sjf::weighted_sjf(&inst, &routing).map_err(|e| e.to_string())?
+                Relaxation::TimeIndexed
             };
-            let rep = validate(&inst, &routing, &sched, Tolerance::default())
-                .map_err(|e| e.to_string())?;
-            let lp = scheduler
-                .relax(&inst, &routing)
-                .map_err(|e| e.to_string())?;
-            print_outcome(
-                &inst,
-                lp.objective,
-                rep.completions.weighted_total,
-                &rep.completions,
-            );
+            ctx.relaxation(&inst, &routing, relaxation)
+                .map_err(|e| e.to_string())?
+                .objective
         }
-        "batch-online" => {
-            let out = interval_batch_online(&inst, &routing, &SolverOptions::default())
-                .map_err(|e| e.to_string())?;
-            let rep = validate(&inst, &routing, &out.schedule, Tolerance::default())
-                .map_err(|e| e.to_string())?;
-            let lp = scheduler
-                .relax(&inst, &routing)
-                .map_err(|e| e.to_string())?;
-            print_outcome(
-                &inst,
-                lp.objective,
-                rep.completions.weighted_total,
-                &rep.completions,
-            );
-            println!("batches        {}", out.batches);
-        }
-        other => {
-            return Err(format!(
-                "unknown algorithm {other:?} \
-                 (heuristic|stretch|lambda|derand|primal-dual|sjf|batch-online)"
-            ))
-        }
+    };
+    print_outcome(&inst, lower_bound, out.cost, &out.validation.completions);
+    if let Some(size) = out.lp_size {
+        println!("lp rows/cols   {} / {}", size.rows, size.cols);
+    }
+    if let Some(iters) = out.lp_iterations {
+        println!("lp iterations  {iters}");
+    }
+    if let Some(sweep) = &out.sweep {
+        println!("best lambda    {:.4}", sweep.best().lambda);
+        println!("average cost   {:.3}", sweep.average());
+    }
+    for (key, value) in &out.aux {
+        println!("{key:<14} {value:.6}");
     }
     Ok(())
+}
+
+/// Maps the pre-registry `--algorithm` spellings onto registry names.
+fn legacy_name(algorithm: &str, epsilon: f64) -> Result<String, String> {
+    let interval = epsilon > 0.0;
+    Ok(match algorithm {
+        "heuristic" if interval => "interval-heuristic",
+        "heuristic" => "heuristic",
+        "stretch" if interval => "interval-stretch",
+        "stretch" => "stretch",
+        "lambda" if interval => "interval-fixed-lambda",
+        "lambda" => "fixed-lambda",
+        "derand" if interval => "interval-derand",
+        "derand" => "derand",
+        "primal-dual" => "primal-dual",
+        // The legacy `sjf` always ran the Smith-ratio variant.
+        "sjf" => "weighted-sjf",
+        "batch-online" => "batch-online",
+        other => {
+            if registry::by_name(other).is_some() {
+                other
+            } else {
+                return Err(format!(
+                    "unknown algorithm {other:?} — run `coflow algos` for the list"
+                ));
+            }
+        }
+    }
+    .to_string())
 }
 
 fn print_outcome(
@@ -230,7 +253,7 @@ fn print_outcome(
     cost: f64,
     completions: &coflow_core::schedule::Completions,
 ) {
-    let ft = flow_times(inst, completions);
+    let ft = coflow_core::flowtime::flow_times(inst, completions);
     println!("lp bound       {lower_bound:.3}");
     println!("cost           {cost:.3}");
     println!("ratio          {:.4}", cost / lower_bound.max(1e-12));

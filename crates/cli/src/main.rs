@@ -27,12 +27,17 @@ commands:
              --interarrival SLOTS (1.0)  --slot-seconds S (50)
              --demand-scale X (0.05)     --output FILE|- (-)
   info FILE  print instance statistics
+  algos      list every registered algorithm (name, kind, capabilities)
   solve FILE run an algorithm and report cost vs the LP bound
              --model free|single|multi                    (free)
+             --algo NAME    any registry name (see `coflow algos`)
              --algorithm heuristic|stretch|lambda|derand|
-                         primal-dual|sjf|batch-online     (heuristic)
+                         primal-dual|sjf|batch-online     (heuristic;
+                         legacy spellings — --epsilon > 0 selects the
+                         interval-LP variants)
              --samples N (20)  --lambda X (1.0)  --k PATHS (3)
              --epsilon E (0 = time-indexed LP)  --seed S (1)
+             --alpha A (0.5, jahanjou)
 
 FILE may be '-' for stdin.
 ";
@@ -46,6 +51,7 @@ fn main() {
     let result = Args::parse(&raw[1..]).and_then(|args| match command.as_str() {
         "generate" => commands::generate(&args),
         "info" => commands::info(&args),
+        "algos" => commands::algos(&args),
         "solve" => commands::solve(&args),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");

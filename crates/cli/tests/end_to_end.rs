@@ -165,6 +165,112 @@ fn every_algorithm_runs_on_a_tiny_instance() {
 }
 
 #[test]
+fn algos_lists_the_registry() {
+    let (out, _) = run(coflow().arg("algos"));
+    for name in [
+        "heuristic",
+        "stretch",
+        "jahanjou",
+        "terra",
+        "primal-dual",
+        "sjf",
+        "weighted-sjf",
+        "batch-online",
+    ] {
+        assert!(
+            out.lines()
+                .any(|l| l.split_whitespace().next() == Some(name)),
+            "{name} missing from:\n{out}"
+        );
+    }
+    // Capability columns are rendered.
+    assert!(out.contains("lp-rounding"), "{out}");
+    assert!(out.contains("single-path"), "{out}");
+}
+
+#[test]
+fn algo_flag_dispatches_any_registry_name() {
+    let file = temp_file("registry.coflow");
+    run(coflow().args([
+        "generate",
+        "--topology",
+        "swan",
+        "--jobs",
+        "3",
+        "--seed",
+        "11",
+        "--interarrival",
+        "0.5",
+        "--demand-scale",
+        "0.01",
+        "--output",
+        file.to_str().unwrap(),
+    ]));
+    for (model, algo) in [
+        ("free", "terra"),
+        ("free", "sjf"),
+        ("single", "jahanjou"),
+        ("single", "jahanjou-wc"),
+        ("free", "interval-heuristic"),
+        ("free", "online"),
+    ] {
+        let (out, _) = run(coflow().args([
+            "solve",
+            file.to_str().unwrap(),
+            "--model",
+            model,
+            "--algo",
+            algo,
+        ]));
+        assert!(out.contains("cost"), "{model}/{algo}: {out}");
+        assert!(out.contains("lp bound"), "{model}/{algo}: {out}");
+    }
+    // Capability mismatches fail loudly instead of mis-scheduling.
+    let out = coflow()
+        .args([
+            "solve",
+            file.to_str().unwrap(),
+            "--model",
+            "free",
+            "--algo",
+            "jahanjou",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("single-path"));
+    // Unknown names point at the listing.
+    let out = coflow()
+        .args([
+            "solve",
+            file.to_str().unwrap(),
+            "--algo",
+            "no-such-algorithm",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("coflow algos"));
+    // Out-of-range --alpha is a clean error, not a panic.
+    let out = coflow()
+        .args([
+            "solve",
+            file.to_str().unwrap(),
+            "--model",
+            "single",
+            "--algo",
+            "jahanjou",
+            "--alpha",
+            "1.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--alpha"));
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let out = coflow().arg("frobnicate").output().unwrap();

@@ -13,6 +13,7 @@
 //! ```text
 //! CoflowInstance + Routing
 //!        │  crate::timeidx (§3) or crate::interval (Appendix A)
+//!        │  (cached per instance by crate::solve::SolveContext)
 //!        ▼
 //! LpRelaxation { objective = lower bound, plan: RatePlan }
 //!        │  crate::stretch (§4.1, λ ~ 2v)  /  crate::heuristic (λ = 1)
@@ -23,8 +24,13 @@
 //! Completions { Σ w_j C_j }
 //! ```
 //!
-//! The high-level entry point is [`solver::Scheduler`], which wires the
-//! pipeline together; each stage is public for direct use.
+//! Every algorithm — this pipeline in all its `Algorithm` ×
+//! `Relaxation` combinations, and every baseline in `coflow-baselines`
+//! — implements the [`solve::CoflowSolver`] trait and returns a
+//! validated [`solve::SolveOutcome`]; the name→constructor registry
+//! over all of them lives in `coflow-baselines::registry`. The
+//! builder-style front end is [`solver::Scheduler`]; each stage is also
+//! public for direct use.
 //!
 //! # Example
 //!
@@ -71,6 +77,7 @@ pub mod rateplan;
 pub mod routing;
 pub mod schedule;
 pub mod sensitivity;
+pub mod solve;
 pub mod solver;
 pub mod stretch;
 pub mod timeidx;

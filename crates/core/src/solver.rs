@@ -12,9 +12,10 @@ use crate::interval::solve_interval;
 use crate::model::CoflowInstance;
 use crate::routing::Routing;
 use crate::schedule::Schedule;
-use crate::stretch::{lambda_sweep, stretch_schedule, LambdaSweep, StretchOptions};
+use crate::solve::{CoflowSolver, LpRoundingSolver, SolveContext};
+use crate::stretch::{LambdaSweep, StretchOptions};
 use crate::timeidx::{solve_time_indexed, LpRelaxation, LpSize};
-use crate::validate::{validate, Tolerance, ValidationReport};
+use crate::validate::{Tolerance, ValidationReport};
 use coflow_lp::SolverOptions;
 
 /// Which relaxation to solve.
@@ -154,37 +155,26 @@ impl Scheduler {
         inst: &CoflowInstance,
         routing: &Routing,
     ) -> Result<SolveReport, CoflowError> {
-        let lp = self.relax(inst, routing)?;
-        let (schedule, sweep) = match self.algorithm {
-            Algorithm::LpHeuristic => (
-                stretch_schedule(inst, &lp.plan, 1.0, self.stretch_opts),
-                None,
-            ),
-            Algorithm::FixedLambda(lambda) => (
-                stretch_schedule(inst, &lp.plan, lambda, self.stretch_opts),
-                None,
-            ),
-            Algorithm::Stretch { samples, seed } => {
-                let sweep = lambda_sweep(inst, &lp.plan, samples, seed, self.stretch_opts);
-                // Return the best sample's schedule (re-round at its λ).
-                let best = sweep.best().lambda;
-                (
-                    stretch_schedule(inst, &lp.plan, best, self.stretch_opts),
-                    Some(sweep),
-                )
-            }
+        let mut ctx = SolveContext::new()
+            .with_horizon_mode(self.horizon_mode)
+            .with_lp_options(self.lp_opts.clone())
+            .with_tolerance(self.tolerance);
+        let solver = LpRoundingSolver {
+            relaxation: self.relaxation,
+            rounding: self.algorithm,
+            options: self.stretch_opts,
         };
-        let validation = validate(inst, routing, &schedule, self.tolerance)?;
+        let out = solver.solve(inst, routing, &mut ctx)?;
         Ok(SolveReport {
-            lower_bound: lp.objective,
-            cost: validation.completions.weighted_total,
-            unweighted_cost: validation.completions.unweighted_total,
-            schedule,
-            validation,
-            sweep,
-            horizon: lp.horizon,
-            lp_size: lp.size,
-            lp_iterations: lp.lp_iterations,
+            lower_bound: out.lower_bound.expect("LP pipeline reports a bound"),
+            cost: out.cost,
+            unweighted_cost: out.unweighted_cost,
+            schedule: out.schedule,
+            validation: out.validation,
+            sweep: out.sweep,
+            horizon: out.horizon.expect("LP pipeline reports a horizon"),
+            lp_size: out.lp_size.expect("LP pipeline reports LP dimensions"),
+            lp_iterations: out.lp_iterations.expect("LP pipeline reports iterations"),
         })
     }
 }

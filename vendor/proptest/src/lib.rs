@@ -219,7 +219,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed `usize` or a
+    /// Length specification for [`vec()`]: a fixed `usize` or a
     /// `Range<usize>`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
@@ -254,7 +254,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
