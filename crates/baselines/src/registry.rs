@@ -18,6 +18,42 @@
 //! Construction is parameterized by [`AlgoParams`] (λ samples, seed,
 //! interval ε, …) so harnesses can pin per-point settings without
 //! per-algorithm plumbing; every field has the suite-wide default.
+//!
+//! # Example
+//!
+//! Dispatch by name, filtering on capability flags — the same loop the
+//! figure harnesses and `coflow trace replay --model auto` run:
+//!
+//! ```
+//! use coflow_baselines::registry::{self, AlgoParams, RoutingSupport};
+//! use coflow_core::model::{Coflow, CoflowInstance, Flow};
+//! use coflow_core::routing::Routing;
+//! use coflow_core::solve::SolveContext;
+//! use coflow_netgraph::topology;
+//!
+//! let topo = topology::fig2_example();
+//! let g = topo.graph;
+//! let (s, t) = (g.node_by_label("s").unwrap(), g.node_by_label("t").unwrap());
+//! let inst = CoflowInstance::new(
+//!     g,
+//!     vec![Coflow::new(vec![Flow::new(s, t, 2.0)])],
+//! )
+//! .unwrap();
+//!
+//! // One shared context: every free-path entry reuses the same LPs.
+//! let mut ctx = SolveContext::new();
+//! for name in ["heuristic", "weighted-sjf", "terra"] {
+//!     let entry = registry::by_name(name).expect("registered");
+//!     assert_ne!(entry.caps.routing, RoutingSupport::SinglePathOnly);
+//!     let out = entry
+//!         .build(&AlgoParams::default())
+//!         .solve(&inst, &Routing::FreePath, &mut ctx)
+//!         .unwrap();
+//!     // Free path splits the 2 units over the three disjoint unit
+//!     // paths, so the coflow finishes in the first slot: cost 1.
+//!     assert_eq!(out.cost, 1.0);
+//! }
+//! ```
 
 use crate::jahanjou::JahanjouSolver;
 use crate::primal_dual::PrimalDualSolver;

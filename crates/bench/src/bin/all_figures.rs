@@ -1,10 +1,11 @@
-//! Regenerates every figure (6–12) plus the three ablations in one run
-//! with shared options.
+//! Regenerates every figure (6–12), the three ablations, and the two
+//! scenario figures (scenario library + trace replay) in one run with
+//! shared options.
 //!
-//! All ten figures are described as [`FigureSpec`]s and handed to one
-//! [`compute_figures`] call, which flattens their ~46 scenario points
-//! into a single batch for the work-stealing [`SweepPool`] — a slow
-//! point in one figure never idles workers that could be computing
+//! All twelve figures are described as [`FigureSpec`]s and handed to
+//! one [`compute_figures`] call, which flattens their ~55 scenario
+//! points into a single batch for the work-stealing [`SweepPool`] — a
+//! slow point in one figure never idles workers that could be computing
 //! another figure. Per-point seeded RNG keeps the output byte-identical
 //! for a given `--seed`, regardless of worker count.
 //!
@@ -13,8 +14,8 @@
 use coflow_bench::parallel::SweepPool;
 use coflow_bench::runner::{
     compute_figures, epsilon_figure_spec, free_unweighted_figure_spec, lambda_figure_spec,
-    online_ablation_spec, ordering_ablation_spec, single_path_figure_spec,
-    slot_length_ablation_spec, FigureSpec,
+    online_ablation_spec, ordering_ablation_spec, scenario_library_spec, single_path_figure_spec,
+    slot_length_ablation_spec, trace_replay_spec, FigureSpec,
 };
 use coflow_bench::{print_figure, write_csv, HarnessConfig};
 use coflow_netgraph::topology;
@@ -36,6 +37,8 @@ fn main() {
         slot_length_ablation_spec(&swan, &cfg),
         ordering_ablation_spec(&swan, &cfg),
         online_ablation_spec(&swan, &cfg),
+        scenario_library_spec(&swan, &cfg),
+        trace_replay_spec(&cfg),
     ];
 
     let pool = SweepPool::new();

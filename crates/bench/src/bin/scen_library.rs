@@ -1,0 +1,18 @@
+//! Scenario-library sweep: incast, broadcast, multi-stage shuffle,
+//! ring all-reduce, and hot-spot skew on SWAN (free path, weighted) —
+//! LP bound, heuristic, Best λ, and weighted SJF.
+
+use coflow_bench::runner::{assert_sound, run_scenario_library};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+use coflow_netgraph::topology;
+
+fn main() {
+    let cfg = HarnessConfig::from_args(12);
+    let fig = run_scenario_library(&topology::swan(), &cfg);
+    assert_sound(&fig, 0, &[1, 2, 3]);
+    print_figure(&fig);
+    match write_csv(&fig, "scen_library") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

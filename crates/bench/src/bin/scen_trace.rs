@@ -1,0 +1,17 @@
+//! Trace replay: growing prefixes of the bundled FB2010-format sample
+//! trace on the I/O-gadgeted big switch — LP bound, heuristic, Best λ,
+//! Terra, and SJF on total completion time.
+
+use coflow_bench::runner::{assert_sound, run_trace_replay};
+use coflow_bench::{print_figure, write_csv, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args(12);
+    let fig = run_trace_replay(&cfg);
+    assert_sound(&fig, 0, &[1, 2, 3, 4]);
+    print_figure(&fig);
+    match write_csv(&fig, "scen_trace") {
+        Ok(p) => println!("\ncsv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

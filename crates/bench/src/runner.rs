@@ -28,6 +28,8 @@ use coflow_core::model::CoflowInstance;
 use coflow_core::routing::{self, Routing};
 use coflow_core::solve::{SolveContext, SolveOutcome};
 use coflow_netgraph::topology::Topology;
+use coflow_workloads::scenarios::{build_scenario_instance, Scenario, ScenarioConfig};
+use coflow_workloads::trace::{ReplayOptions, Trace, FB2010_SAMPLE};
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -798,6 +800,160 @@ pub fn online_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> F
 /// See [`online_ablation_spec`].
 pub fn run_online_ablation(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
     single_figure(online_ablation_spec(topo, cfg))
+}
+
+/// Scenario-library sweep: one row per [`Scenario`] (incast, broadcast,
+/// multi-stage shuffle, ring all-reduce, hot-spot skew), free-path
+/// model, weighted. The shapes are scaled so every row schedules about
+/// `cfg.jobs` coflows regardless of how many coflows a scenario emits
+/// per job (shuffle emits one per stage).
+pub fn scenario_library_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> FigureSpec<'a> {
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new("LP(lower bound)", "heuristic", Metric::LowerBound),
+        SeriesDef::new("Heuristic(λ=1.0)", "heuristic", Metric::Cost),
+        SeriesDef::new("Best λ", "stretch", Metric::SweepBest),
+        SeriesDef::new("Weighted SJF", "weighted-sjf", Metric::Cost),
+    ];
+    let stem = "scen_library";
+    // Figure-scale shapes: small fan so rows stay LP-comparable to the
+    // workload figures (the library defaults target bigger fabrics).
+    let scenarios: [Scenario; 5] = [
+        Scenario::Incast { fanin: 4 },
+        Scenario::Broadcast { fanout: 4 },
+        Scenario::Shuffle {
+            mappers: 3,
+            reducers: 3,
+            stages: 2,
+        },
+        Scenario::AllReduce { workers: 4 },
+        Scenario::HotSpot {
+            width: 4,
+            hot_fraction: 0.8,
+        },
+    ];
+    let points = scenarios
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| PointSpec {
+            label: scenario.name().to_string(),
+            seed: point_seed(cfg.seed, stem, i),
+            compute: Box::new(move |_rng: &mut StdRng| {
+                if cfg.verbose {
+                    eprintln!("[scen] {} …", scenario.name());
+                }
+                let coflows_per_job = match scenario {
+                    Scenario::Shuffle { stages, .. } => stages.max(1),
+                    _ => 1,
+                };
+                let scen_cfg = ScenarioConfig {
+                    scenario,
+                    num_jobs: (cfg.jobs / coflows_per_job).max(2),
+                    seed: cfg.seed,
+                    mean_interarrival_slots: cfg.mean_interarrival,
+                    weighted: true,
+                    ..Default::default()
+                };
+                let inst =
+                    build_scenario_instance(topo, &scen_cfg).expect("scenario placement validates");
+                let params = AlgoParams {
+                    samples: cfg.samples,
+                    seed: cfg.seed,
+                    ..Default::default()
+                };
+                run_series(&inst, &Routing::FreePath, SERIES, &params)
+                    .0
+                    .into()
+            }),
+        })
+        .collect();
+    FigureSpec {
+        stem,
+        title: format!(
+            "Scenario library: free path on {} — structured patterns, weighted completion time (less is better)",
+            topo.name
+        ),
+        notes: format!(
+            "≈{} coflows/scenario, seed {}, {} λ samples; incast/broadcast fan 4, \
+             shuffle 3×3×2 stages (release-staged), all-reduce ring 4, hot-spot 80% skew",
+            cfg.jobs, cfg.seed, cfg.samples
+        ),
+        series_names: labels(SERIES),
+        points,
+    }
+}
+
+/// See [`scenario_library_spec`].
+pub fn run_scenario_library(topo: &Topology, cfg: &HarnessConfig) -> FigureResult {
+    single_figure(scenario_library_spec(topo, cfg))
+}
+
+/// Trace-replay sweep: growing prefixes of the bundled FB2010-format
+/// sample trace ([`FB2010_SAMPLE`]) replayed on the I/O-gadgeted big
+/// switch, unit weights — the classic trace-driven evaluation setup.
+/// Series report total completion time, the objective every
+/// trace-driven coflow paper uses.
+pub fn trace_replay_spec(cfg: &HarnessConfig) -> FigureSpec<'static> {
+    const SERIES: &[SeriesDef] = &[
+        SeriesDef::new("LP(lower bound)", "heuristic", Metric::LowerBound),
+        SeriesDef::new("Heuristic(λ=1.0)", "heuristic", Metric::UnweightedCost),
+        SeriesDef::new("Best λ", "stretch", Metric::SweepBestUnweighted),
+        SeriesDef::new("Terra", "terra", Metric::UnweightedCost),
+        SeriesDef::new("SJF", "sjf", Metric::UnweightedCost),
+    ];
+    let stem = "scen_trace";
+    let trace = Trace::parse(FB2010_SAMPLE).expect("the bundled fixture parses");
+    let total = trace.coflows.len();
+    // Copies, so the point closures are `'static` (the trace is bundled,
+    // not borrowed from the config).
+    let (verbose, samples, seed) = (cfg.verbose, cfg.samples, cfg.seed);
+    let points = [total / 4, total / 2, 3 * total / 4, total]
+        .into_iter()
+        .enumerate()
+        .map(|(i, limit)| {
+            let trace = trace.clone();
+            PointSpec {
+                label: format!("first {limit}"),
+                seed: point_seed(seed, stem, i),
+                compute: Box::new(move |_rng: &mut StdRng| {
+                    if verbose {
+                        eprintln!("[trace] first {limit} coflows …");
+                    }
+                    let inst = trace
+                        .switch_instance(&ReplayOptions {
+                            limit,
+                            ..Default::default()
+                        })
+                        .expect("the bundled fixture replays");
+                    let params = AlgoParams {
+                        samples,
+                        seed,
+                        ..Default::default()
+                    };
+                    run_series(&inst, &Routing::FreePath, SERIES, &params)
+                        .0
+                        .into()
+                }),
+            }
+        })
+        .collect();
+    FigureSpec {
+        stem,
+        title: "Trace replay: FB2010-format sample on the big switch — total completion time \
+                (less is better)"
+            .to_string(),
+        notes: format!(
+            "prefixes of the bundled {total}-coflow fixture, 16 ports with I/O gadget, \
+             1 s slots, 1 Gbps ports, unit weights, {} λ samples, seed {}",
+            cfg.samples, cfg.seed
+        ),
+        series_names: labels(SERIES),
+        points,
+    }
+}
+
+/// See [`trace_replay_spec`].
+pub fn run_trace_replay(cfg: &HarnessConfig) -> FigureResult {
+    single_figure(trace_replay_spec(cfg))
 }
 
 /// The core invariant every figure must satisfy: no algorithm beats the

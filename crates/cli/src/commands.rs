@@ -1,44 +1,92 @@
-//! The four subcommands: `generate`, `info`, `solve`, `algos`.
+//! The five subcommands: `generate`, `info`, `solve`, `algos`, `trace`.
 //!
-//! `solve` dispatches through the algorithm registry
+//! `solve` and `trace replay` dispatch through the algorithm registry
 //! ([`coflow_baselines::registry`]): any registered name works with
-//! `--algo NAME`, and `algos` prints the full table.
+//! `--algo NAME`, and `algos` prints the full table. `trace` works with
+//! FB2010-format coflow traces ([`coflow_workloads::trace`]).
 
 use crate::args::Args;
-use coflow_baselines::registry::{self, AlgoParams};
-use coflow_core::io::{read_instance, write_instance};
+use coflow_baselines::registry::{self, AlgoParams, RoutingSupport};
+use coflow_core::io::{read_instance_path, write_instance_path};
 use coflow_core::model::CoflowInstance;
 use coflow_core::routing::{self, Routing};
 use coflow_core::solve::SolveContext;
 use coflow_core::solver::Relaxation;
 use coflow_netgraph::topology::{self, Topology};
+use coflow_workloads::scenarios::{build_scenario_instance, Scenario, ScenarioConfig};
+use coflow_workloads::trace::{ReplayOptions, Trace, TraceStream, WeightRule};
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// `coflow generate`: synthesize an instance file.
+/// `coflow generate`: synthesize an instance file — a benchmark-shaped
+/// workload (`--workload`) or a structured scenario (`--scenario`).
 ///
 /// # Errors
 ///
 /// Usage or generation problems, as a printable message.
 pub fn generate(args: &Args) -> Result<(), String> {
-    let topo = parse_topology(&args.get::<String>("topology", "swan".into())?)?;
-    let kind = parse_workload(&args.get::<String>("workload", "fb".into())?)?;
-    let cfg = WorkloadConfig {
-        kind,
-        num_jobs: args.get("jobs", 20)?,
-        seed: args.get("seed", 1)?,
-        slot_seconds: args.get("slot-seconds", 50.0)?,
-        mean_interarrival_slots: args.get("interarrival", 1.0)?,
-        weighted: !args.switch("--unweighted"),
-        demand_scale: args.get("demand-scale", 0.05)?,
-    };
+    let ports: usize = args.get("ports", 8)?;
+    let topo = parse_topology(&args.get::<String>("topology", "swan".into())?, ports)?;
+    let scenario_name: String = args.get("scenario", String::new())?;
+    let num_jobs = args.get("jobs", 20)?;
+    let seed = args.get("seed", 1)?;
+    let slot_seconds = args.get("slot-seconds", 50.0)?;
+    let mean_interarrival_slots = args.get("interarrival", 1.0)?;
+    let weighted = !args.switch("--unweighted");
+    let demand_scale = args.get("demand-scale", 0.05)?;
     let output: String = args.get("output", "-".into())?;
-    args.finish()?;
 
-    let inst = build_instance(&topo, &cfg).map_err(|e| e.to_string())?;
-    let text = write_instance(&inst).map_err(|e| e.to_string())?;
-    emit(&output, &text)?;
+    let inst = if scenario_name.is_empty() {
+        let kind = parse_workload(&args.get::<String>("workload", "fb".into())?)?;
+        args.finish()?;
+        build_instance(
+            &topo,
+            &WorkloadConfig {
+                kind,
+                num_jobs,
+                seed,
+                slot_seconds,
+                mean_interarrival_slots,
+                weighted,
+                demand_scale,
+            },
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        let mut scenario = Scenario::by_name(&scenario_name).ok_or(format!(
+            "unknown scenario {scenario_name:?} (incast|broadcast|shuffle|allreduce|hotspot)"
+        ))?;
+        let fan: usize = args.get("fan", 0)?;
+        let stages: usize = args.get("stages", 3)?;
+        if fan > 0 {
+            scenario = scenario.with_fan(fan);
+        }
+        if let Scenario::Shuffle {
+            mappers, reducers, ..
+        } = scenario
+        {
+            scenario = Scenario::Shuffle {
+                mappers,
+                reducers,
+                stages,
+            };
+        }
+        let cfg = ScenarioConfig {
+            scenario,
+            num_jobs,
+            seed,
+            slot_seconds,
+            mean_interarrival_slots,
+            weighted,
+            flow_gb: args.get("flow-gb", 300.0)?,
+            demand_scale,
+            ..Default::default()
+        };
+        args.finish()?;
+        build_scenario_instance(&topo, &cfg).map_err(|e| e.to_string())?
+    };
+    write_instance_path(&inst, &output).map_err(|e| e.to_string())?;
     eprintln!(
         "generated {} coflows / {} flows on {} ({} nodes, {} edges)",
         inst.num_coflows(),
@@ -127,24 +175,13 @@ pub fn solve(args: &Args) -> Result<(), String> {
     let model: String = args.get("model", "free".into())?;
     let algo_flag: String = args.get("algo", String::new())?;
     let algorithm: String = args.get("algorithm", "heuristic".into())?;
-    let seed: u64 = args.get("seed", 1)?;
-    let samples: usize = args.get("samples", 20)?;
-    let lambda: f64 = args.get("lambda", 1.0)?;
-    let k: usize = args.get("k", 3)?;
-    let epsilon: f64 = args.get("epsilon", 0.0)?;
-    let alpha: f64 = args.get("alpha", 0.5)?;
+    let knobs = solver_knobs(args)?;
     args.finish()?;
-    if !(alpha > 0.0 && alpha <= 1.0) {
-        return Err(format!("--alpha must lie in (0, 1], got {alpha}"));
-    }
 
     let routing = match model.as_str() {
         "free" => Routing::FreePath,
-        "single" => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            routing::random_shortest_paths(&inst, &mut rng).map_err(|e| e.to_string())?
-        }
-        "multi" => routing::k_shortest_path_sets(&inst, k).map_err(|e| e.to_string())?,
+        "single" => single_path_routing(&inst, knobs.seed)?,
+        "multi" => routing::k_shortest_path_sets(&inst, knobs.k).map_err(|e| e.to_string())?,
         other => return Err(format!("unknown model {other:?} (free|single|multi)")),
     };
 
@@ -152,37 +189,81 @@ pub fn solve(args: &Args) -> Result<(), String> {
     // spellings map onto registry names (with `--epsilon > 0` selecting
     // the interval-LP variants, as before).
     let name = if algo_flag.is_empty() {
-        legacy_name(&algorithm, epsilon)?
+        legacy_name(&algorithm, knobs.epsilon)?
     } else {
         algo_flag
     };
     let entry = registry::by_name(&name).ok_or(format!(
         "unknown algorithm {name:?} — run `coflow algos` for the list"
     ))?;
-    let params = AlgoParams {
-        samples,
-        seed,
-        lambda,
-        epsilon: if epsilon > 0.0 {
-            epsilon
-        } else {
-            AlgoParams::default().epsilon
-        },
-        jahanjou_epsilon: if epsilon > 0.0 {
-            epsilon
-        } else {
-            AlgoParams::default().jahanjou_epsilon
-        },
-        alpha,
-        ..Default::default()
-    };
 
     println!("model          {model}");
+    dispatch(&inst, &routing, entry, &knobs.params, knobs.epsilon)
+}
+
+/// The solver knobs `solve` and `trace replay` share:
+/// `--seed/--samples/--lambda/--k/--epsilon/--alpha`, validated and
+/// assembled into [`AlgoParams`] exactly once so the two commands
+/// cannot drift (`--epsilon` maps onto both the interval-LP ε and
+/// Jahanjou's ε, as `solve` has always done).
+struct SolverKnobs {
+    seed: u64,
+    k: usize,
+    epsilon: f64,
+    params: AlgoParams,
+}
+
+fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
+    let seed: u64 = args.get("seed", 1)?;
+    let samples: usize = args.get("samples", 20)?;
+    let lambda: f64 = args.get("lambda", 1.0)?;
+    let k: usize = args.get("k", 3)?;
+    let epsilon: f64 = args.get("epsilon", 0.0)?;
+    let alpha: f64 = args.get("alpha", 0.5)?;
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(format!("--alpha must lie in (0, 1], got {alpha}"));
+    }
+    let dflt = AlgoParams::default();
+    Ok(SolverKnobs {
+        seed,
+        k,
+        epsilon,
+        params: AlgoParams {
+            samples,
+            seed,
+            lambda,
+            epsilon: if epsilon > 0.0 { epsilon } else { dflt.epsilon },
+            jahanjou_epsilon: if epsilon > 0.0 {
+                epsilon
+            } else {
+                dflt.jahanjou_epsilon
+            },
+            alpha,
+            ..dflt
+        },
+    })
+}
+
+/// Random shortest paths seeded from `--seed` (the `single` model).
+fn single_path_routing(inst: &CoflowInstance, seed: u64) -> Result<Routing, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    routing::random_shortest_paths(inst, &mut rng).map_err(|e| e.to_string())
+}
+
+/// Runs `entry` on `(inst, routing)` and prints the outcome against an
+/// LP lower bound — the shared tail of `solve` and `trace replay`.
+fn dispatch(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    entry: &registry::AlgorithmEntry,
+    params: &AlgoParams,
+    epsilon: f64,
+) -> Result<(), String> {
     println!("algorithm      {}", entry.name);
     let mut ctx = SolveContext::new();
     let out = entry
-        .build(&params)
-        .solve(&inst, &routing, &mut ctx)
+        .build(params)
+        .solve(inst, routing, &mut ctx)
         .map_err(|e| e.to_string())?;
 
     // LP-free algorithms carry no bound of their own; report their cost
@@ -196,12 +277,12 @@ pub fn solve(args: &Args) -> Result<(), String> {
             } else {
                 Relaxation::TimeIndexed
             };
-            ctx.relaxation(&inst, &routing, relaxation)
+            ctx.relaxation(inst, routing, relaxation)
                 .map_err(|e| e.to_string())?
                 .objective
         }
     };
-    print_outcome(&inst, lower_bound, out.cost, &out.validation.completions);
+    print_outcome(inst, lower_bound, out.cost, &out.validation.completions);
     if let Some(size) = out.lp_size {
         println!("lp rows/cols   {} / {}", size.rows, size.cols);
     }
@@ -216,6 +297,174 @@ pub fn solve(args: &Args) -> Result<(), String> {
         println!("{key:<14} {value:.6}");
     }
     Ok(())
+}
+
+/// `coflow trace <summarize|convert|replay> FILE`: work with
+/// FB2010-format coflow traces.
+///
+/// # Errors
+///
+/// I/O, parse, or solver problems, as a printable message.
+pub fn trace(args: &Args) -> Result<(), String> {
+    let action = args
+        .positional
+        .first()
+        .cloned()
+        .ok_or("trace needs an action (summarize|convert|replay)")?;
+    let path = args
+        .positional
+        .get(1)
+        .cloned()
+        .ok_or("a trace file is required (use '-' for stdin)")?;
+    match action.as_str() {
+        "summarize" => trace_summarize(args, &path),
+        "convert" => trace_convert(args, &path),
+        "replay" => trace_replay(args, &path),
+        other => Err(format!(
+            "unknown trace action {other:?} (summarize|convert|replay)"
+        )),
+    }
+}
+
+/// Streams a trace file (or stdin) into memory; returns the trace and
+/// the header's declared coflow count.
+fn load_trace(path: &str) -> Result<(Trace, usize), String> {
+    fn collect<B: std::io::BufRead>(r: B) -> Result<(Trace, usize), String> {
+        let stream = TraceStream::new(r).map_err(|e| e.to_string())?;
+        let num_ports = stream.num_ports();
+        let declared = stream.declared_coflows();
+        let coflows = stream
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        Ok((Trace { num_ports, coflows }, declared))
+    }
+    if path == "-" {
+        collect(std::io::stdin().lock())
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        collect(std::io::BufReader::new(f))
+    }
+}
+
+/// Parses the shared replay knobs; unspecified flags fall back to the
+/// library's [`ReplayOptions::default`] so the CLI cannot drift from
+/// library/bench replays.
+fn replay_options(args: &Args) -> Result<ReplayOptions, String> {
+    let dflt = ReplayOptions::default();
+    // Consumed unconditionally: --seed is a documented shared knob, and
+    // only consumed flags survive Args::finish.
+    let seed: u64 = args.get("seed", 1)?;
+    let weights = match args.get::<String>("weights", "unit".into())?.as_str() {
+        "unit" => WeightRule::Unit,
+        "uniform" => WeightRule::Uniform { seed },
+        other => return Err(format!("unknown weight rule {other:?} (unit|uniform)")),
+    };
+    Ok(ReplayOptions {
+        ms_per_slot: args.get("ms-per-slot", dflt.ms_per_slot)?,
+        mb_per_slot: args.get("mb-per-slot", dflt.mb_per_slot)?,
+        demand_scale: args.get("demand-scale", dflt.demand_scale)?,
+        limit: args.get("limit", dflt.limit)?,
+        weights,
+    })
+}
+
+/// Builds the replay instance on the `--on` target: the I/O-gadgeted
+/// big switch, or a WAN topology with ports mapped round-robin
+/// (capacities scaled to per-slot volumes from `--ms-per-slot`).
+fn trace_instance(tr: &Trace, args: &Args, opts: &ReplayOptions) -> Result<CoflowInstance, String> {
+    let on: String = args.get("on", "switch".into())?;
+    if on == "switch" {
+        tr.switch_instance(opts).map_err(|e| e.to_string())
+    } else {
+        let topo = parse_topology(&on, tr.num_ports)?.scale_capacity(opts.ms_per_slot / 1000.0);
+        tr.place(&topo, opts).map_err(|e| e.to_string())
+    }
+}
+
+/// `coflow trace summarize FILE`.
+fn trace_summarize(args: &Args, path: &str) -> Result<(), String> {
+    args.finish()?;
+    let (tr, declared) = load_trace(path)?;
+    let s = tr.summary();
+    println!("ports          {}", s.num_ports);
+    if s.coflows == declared {
+        println!("coflows        {}", s.coflows);
+    } else {
+        println!("coflows        {} (header declares {declared})", s.coflows);
+    }
+    println!("flows          {}", s.flows);
+    println!(
+        "single-flow    {} ({:.0}%)",
+        s.single_flow,
+        100.0 * s.single_flow as f64 / s.coflows.max(1) as f64
+    );
+    println!("max width      {}", s.max_width);
+    println!("total shuffle  {:.1} MB", s.total_mb);
+    println!("arrival span   {} ms", s.span_ms);
+    println!(
+        "port ids       {}-based",
+        tr.port_base().map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// `coflow trace convert FILE --output OUT`.
+fn trace_convert(args: &Args, path: &str) -> Result<(), String> {
+    let opts = replay_options(args)?;
+    let (tr, _) = load_trace(path)?;
+    let inst = trace_instance(&tr, args, &opts)?;
+    let output: String = args.get("output", "-".into())?;
+    args.finish()?;
+    write_instance_path(&inst, &output).map_err(|e| e.to_string())?;
+    eprintln!(
+        "converted {} coflows / {} flows onto {} nodes",
+        inst.num_coflows(),
+        inst.num_flows(),
+        inst.graph.node_count()
+    );
+    Ok(())
+}
+
+/// `coflow trace replay FILE --algo NAME`: replay the trace through any
+/// registry algorithm. `--model auto` (the default) picks a routing
+/// model from the algorithm's capability flags, so every registry entry
+/// replays without per-algorithm knowledge.
+fn trace_replay(args: &Args, path: &str) -> Result<(), String> {
+    let opts = replay_options(args)?;
+    let (tr, _) = load_trace(path)?;
+    let inst = trace_instance(&tr, args, &opts)?;
+    let algo: String = args.get("algo", "heuristic".into())?;
+    let model: String = args.get("model", "auto".into())?;
+    let knobs = solver_knobs(args)?;
+    args.finish()?;
+
+    let entry = registry::by_name(&algo).ok_or(format!(
+        "unknown algorithm {algo:?} — run `coflow algos` for the list"
+    ))?;
+    let (routing, model_label) = match model.as_str() {
+        "auto" => match entry.caps.routing {
+            RoutingSupport::SinglePathOnly => {
+                (single_path_routing(&inst, knobs.seed)?, "single (auto)")
+            }
+            RoutingSupport::FreePathOnly | RoutingSupport::Any => {
+                (Routing::FreePath, "free (auto)")
+            }
+        },
+        "free" => (Routing::FreePath, "free"),
+        "single" => (single_path_routing(&inst, knobs.seed)?, "single"),
+        "multi" => (
+            routing::k_shortest_path_sets(&inst, knobs.k).map_err(|e| e.to_string())?,
+            "multi",
+        ),
+        other => return Err(format!("unknown model {other:?} (auto|free|single|multi)")),
+    };
+    println!(
+        "replaying      {} coflows / {} flows",
+        inst.num_coflows(),
+        inst.num_flows()
+    );
+    println!("model          {model_label}");
+    dispatch(&inst, &routing, entry, &knobs.params, knobs.epsilon)
 }
 
 /// Maps the pre-registry `--algorithm` spellings onto registry names.
@@ -269,38 +518,22 @@ fn load(args: &Args) -> Result<CoflowInstance, String> {
         .positional
         .first()
         .ok_or("an instance file is required (use '-' for stdin)")?;
-    let text = if path == "-" {
-        use std::io::Read;
-        let mut s = String::new();
-        std::io::stdin()
-            .read_to_string(&mut s)
-            .map_err(|e| e.to_string())?;
-        s
-    } else {
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
-    };
-    read_instance(&text).map_err(|e| e.to_string())
+    read_instance_path(path).map_err(|e| e.to_string())
 }
 
-fn emit(output: &str, text: &str) -> Result<(), String> {
-    if output == "-" {
-        print!("{text}");
-        Ok(())
-    } else {
-        std::fs::write(output, text).map_err(|e| format!("{output}: {e}"))
-    }
-}
-
-fn parse_topology(name: &str) -> Result<Topology, String> {
+fn parse_topology(name: &str, ports: usize) -> Result<Topology, String> {
     Ok(match name {
         "swan" => topology::swan(),
         "gscale" | "g-scale" => topology::gscale(),
         "abilene" => topology::abilene(),
         "nsfnet" => topology::nsfnet(),
         "fig2" => topology::fig2_example(),
+        // 10 Gbps port-to-port fabric; `--slot-seconds` scales it like
+        // the WANs.
+        "switch" => topology::bipartite_switch(ports.max(1), 10.0),
         other => {
             return Err(format!(
-                "unknown topology {other:?} (swan|gscale|abilene|nsfnet|fig2)"
+                "unknown topology {other:?} (swan|gscale|abilene|nsfnet|fig2|switch)"
             ))
         }
     })

@@ -21,8 +21,13 @@ usage: coflow <command> [options]
 
 commands:
   generate   synthesize a workload instance
-             --topology swan|gscale|abilene|nsfnet|fig2   (swan)
+             --topology swan|gscale|abilene|nsfnet|fig2|switch (swan)
              --workload bigbench|tpcds|tpch|fb            (fb)
+             --scenario incast|broadcast|shuffle|allreduce|hotspot
+                        (structured pattern instead of --workload)
+             --fan N    scenario cardinality (fanin/fanout/workers/width)
+             --stages K shuffle stages (3)  --flow-gb X (300)
+             --ports N  switch port count (8)
              --jobs N (20)  --seed S (1)  --unweighted
              --interarrival SLOTS (1.0)  --slot-seconds S (50)
              --demand-scale X (0.05)     --output FILE|- (-)
@@ -38,6 +43,22 @@ commands:
              --samples N (20)  --lambda X (1.0)  --k PATHS (3)
              --epsilon E (0 = time-indexed LP)  --seed S (1)
              --alpha A (0.5, jahanjou)
+  trace <action> FILE   work with FB2010-format coflow traces
+             summarize  stream the trace and print statistics
+             convert    write the replayed instance as a .coflow file
+                        --output FILE|- (-)
+             replay     run a registry algorithm over the trace
+                        --algo NAME (heuristic)
+                        --model auto|free|single|multi (auto: pick from
+                        the algorithm's capability flags)
+                        solver knobs as for `solve`: --samples --lambda
+                        --k --epsilon --alpha --seed
+             shared replay knobs:
+             --on switch|swan|gscale|abilene|nsfnet (switch)
+             --ms-per-slot X (1000)  --mb-per-slot X (125; 125 MB = 1 Gb,
+                        so demands are in Gb and 1 Gbps ports saturate)
+             --demand-scale X (1.0)  --limit N (0 = all coflows)
+             --weights unit|uniform (unit)  --seed S (1)
 
 FILE may be '-' for stdin.
 ";
@@ -53,6 +74,7 @@ fn main() {
         "info" => commands::info(&args),
         "algos" => commands::algos(&args),
         "solve" => commands::solve(&args),
+        "trace" => commands::trace(&args),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())

@@ -270,6 +270,170 @@ fn algo_flag_dispatches_any_registry_name() {
     let _ = std::fs::remove_file(&file);
 }
 
+/// The bundled FB2010-format sample trace (also embedded as
+/// `coflow_workloads::trace::FB2010_SAMPLE`).
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../workloads/fixtures/fb2010_sample.txt"
+);
+
+#[test]
+fn trace_summarize_reports_the_fixture() {
+    let (out, _) = run(coflow().args(["trace", "summarize", FIXTURE]));
+    assert!(out.contains("ports          16"), "{out}");
+    assert!(out.contains("coflows        20"), "{out}");
+    assert!(out.contains("flows          58"), "{out}");
+    assert!(out.contains("1-based"), "{out}");
+}
+
+#[test]
+fn trace_convert_produces_a_solvable_instance() {
+    let file = temp_file("trace-convert.coflow");
+    // --seed is a shared replay knob and must be accepted even with the
+    // default unit weights (regression: it was only consumed by
+    // --weights uniform).
+    run(coflow().args([
+        "trace",
+        "convert",
+        FIXTURE,
+        "--limit",
+        "6",
+        "--seed",
+        "5",
+        "--output",
+        file.to_str().unwrap(),
+    ]));
+    let (out, _) = run(coflow().args(["info", file.to_str().unwrap()]));
+    assert!(out.contains("coflows        6"), "{out}");
+    let (out, _) = run(coflow().args(["solve", file.to_str().unwrap(), "--algo", "weighted-sjf"]));
+    assert!(out.contains("cost"), "{out}");
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn trace_replay_auto_model_covers_every_registry_entry() {
+    // The acceptance contract: `coflow trace replay --algo NAME` must
+    // produce a validated schedule for every registry entry, with
+    // `--model auto` resolving each entry's routing capability.
+    for entry in coflow_baselines::registry::all() {
+        let (out, _) = run(coflow().args([
+            "trace",
+            "replay",
+            FIXTURE,
+            "--algo",
+            entry.name,
+            "--limit",
+            "6",
+            "--samples",
+            "3",
+        ]));
+        assert!(out.contains("cost"), "{}: {out}", entry.name);
+        assert!(out.contains("lp bound"), "{}: {out}", entry.name);
+        // Solvers never beat the LP bound of their own model.
+        let ratio_line = out
+            .lines()
+            .find(|l| l.starts_with("ratio"))
+            .unwrap_or_else(|| panic!("{}: no ratio in {out}", entry.name));
+        let ratio: f64 = ratio_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ratio >= 1.0 - 1e-6, "{}: {ratio_line}", entry.name);
+    }
+}
+
+#[test]
+fn trace_replay_on_wan_and_with_uniform_weights() {
+    let (out, _) = run(coflow().args([
+        "trace",
+        "replay",
+        FIXTURE,
+        "--on",
+        "swan",
+        "--algo",
+        "weighted-sjf",
+        "--weights",
+        "uniform",
+        "--limit",
+        "8",
+    ]));
+    assert!(out.contains("model          free (auto)"), "{out}");
+    // Bad trace inputs fail with line numbers.
+    use std::io::Write;
+    let mut child = coflow()
+        .args(["trace", "summarize", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"4 1\n1 0 1 9 1 1:5\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 2"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn scenario_generation_covers_the_library() {
+    for scenario in ["incast", "broadcast", "shuffle", "allreduce", "hotspot"] {
+        let file = temp_file(&format!("scen-{scenario}.coflow"));
+        let (_, gen_err) = run(coflow().args([
+            "generate",
+            "--scenario",
+            scenario,
+            "--topology",
+            "gscale",
+            "--jobs",
+            "3",
+            "--seed",
+            "5",
+            "--demand-scale",
+            "0.02",
+            "--output",
+            file.to_str().unwrap(),
+        ]));
+        assert!(gen_err.contains("generated"), "{scenario}: {gen_err}");
+        let (out, _) = run(coflow().args(["solve", file.to_str().unwrap(), "--algo", "heuristic"]));
+        assert!(out.contains("lp bound"), "{scenario}: {out}");
+        let _ = std::fs::remove_file(&file);
+    }
+    // Shuffle emits one coflow per stage.
+    let file = temp_file("scen-stages.coflow");
+    run(coflow().args([
+        "generate",
+        "--scenario",
+        "shuffle",
+        "--stages",
+        "4",
+        "--jobs",
+        "2",
+        "--demand-scale",
+        "0.02",
+        "--output",
+        file.to_str().unwrap(),
+    ]));
+    let (out, _) = run(coflow().args(["info", file.to_str().unwrap()]));
+    assert!(out.contains("coflows        8"), "{out}");
+    let _ = std::fs::remove_file(&file);
+    // Unknown scenario names fail loudly.
+    let out = coflow()
+        .args(["generate", "--scenario", "gossip"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.

@@ -15,6 +15,8 @@ pub enum CoflowError {
     Lp(String),
     /// A schedule failed feasibility validation.
     InvalidSchedule(String),
+    /// Reading or writing an instance file failed.
+    Io(String),
 }
 
 impl fmt::Display for CoflowError {
@@ -24,6 +26,7 @@ impl fmt::Display for CoflowError {
             CoflowError::BadRouting(m) => write!(f, "bad routing: {m}"),
             CoflowError::Lp(m) => write!(f, "LP failure: {m}"),
             CoflowError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+            CoflowError::Io(m) => write!(f, "I/O: {m}"),
         }
     }
 }

@@ -25,6 +25,49 @@
 //! per algorithm. The name→constructor registry over these solvers lives
 //! in `coflow-baselines::registry` (it can see both this crate and the
 //! baselines).
+//!
+//! # Example
+//!
+//! Run two pipeline variants on the paper's Figure-2 network through
+//! one shared context — the second solve reuses the first's cached
+//! time-indexed LP:
+//!
+//! ```
+//! use coflow_core::model::{Coflow, CoflowInstance, Flow};
+//! use coflow_core::routing::Routing;
+//! use coflow_core::solve::{CoflowSolver, LpRoundingSolver, SolveContext};
+//! use coflow_core::solver::Algorithm;
+//! use coflow_netgraph::topology;
+//!
+//! let topo = topology::fig2_example();
+//! let g = topo.graph;
+//! let (s, t) = (g.node_by_label("s").unwrap(), g.node_by_label("t").unwrap());
+//! let inst = CoflowInstance::new(
+//!     g,
+//!     vec![
+//!         Coflow::new(vec![Flow::new(s, t, 3.0)]),
+//!         Coflow::weighted(2.0, vec![Flow::new(s, t, 1.0)]),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! // One context per (instance, routing) pair.
+//! let mut ctx = SolveContext::new();
+//! let heuristic = LpRoundingSolver::new(Algorithm::LpHeuristic)
+//!     .solve(&inst, &Routing::FreePath, &mut ctx)
+//!     .unwrap();
+//! let stretch = LpRoundingSolver::new(Algorithm::Stretch { samples: 4, seed: 7 })
+//!     .solve(&inst, &Routing::FreePath, &mut ctx)
+//!     .unwrap();
+//!
+//! // Outcomes are validated certificates: both respect the shared LP
+//! // lower bound, and both report it identically (same cached LP).
+//! let lb = heuristic.lower_bound.unwrap();
+//! assert_eq!(stretch.lower_bound, Some(lb));
+//! assert!(heuristic.cost >= lb - 1e-9);
+//! assert!(stretch.cost >= lb - 1e-9);
+//! assert_eq!(stretch.sweep.as_ref().unwrap().samples.len(), 4);
+//! ```
 
 use crate::derand::derandomize;
 use crate::error::CoflowError;

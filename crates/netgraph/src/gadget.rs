@@ -65,9 +65,12 @@ pub fn with_io_gadget(g: &Graph, limits: &[IoLimit]) -> GadgetGraph {
     for v in g.nodes() {
         b.add_node(g.label(v));
     }
+    // `.inner` rather than `#inner`: `#` starts a comment in the
+    // `.coflow` text format, so labels containing it cannot round-trip
+    // through `coflow_core::io`.
     let inner: Vec<NodeId> = g
         .nodes()
-        .map(|v| b.add_node(format!("{}#inner", g.label(v))))
+        .map(|v| b.add_node(format!("{}.inner", g.label(v))))
         .collect();
     for e in g.edges() {
         b.add_edge(e.src, e.dst, e.capacity)

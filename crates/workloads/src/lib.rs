@@ -1,13 +1,25 @@
-//! Synthetic coflow workloads shaped after the paper's four benchmarks.
+//! Coflow workloads: synthetic benchmark shapes, replayed traces, and
+//! structured scenarios.
 //!
-//! The paper (§6) evaluates on "jobs from public benchmarks — TPC-DS,
-//! TPC-H, and BigBench — and from Facebook (FB) production traces",
-//! placed randomly onto WAN nodes, with Poisson-like release times and
-//! weights drawn uniformly from `[1, 100]`. The original shuffle traces
-//! are not redistributable, so this crate provides *parametric
-//! generators* that reproduce the published coarse statistics of each
-//! workload (coflow width mix, heavy-tailed transfer sizes, arrival
-//! process); see `DESIGN.md` §4 for the substitution rationale.
+//! Three ways to obtain instances, all pure functions of their
+//! configuration:
+//!
+//! * **Benchmark generators** ([`generate_jobs`] / [`build_instance`])
+//!   — the paper (§6) evaluates on "jobs from public benchmarks —
+//!   TPC-DS, TPC-H, and BigBench — and from Facebook (FB) production
+//!   traces", placed randomly onto WAN nodes, with Poisson-like release
+//!   times and weights drawn uniformly from `[1, 100]`. The original
+//!   shuffle traces are not redistributable, so these are *parametric
+//!   generators* reproducing the published coarse statistics of each
+//!   workload (coflow width mix, heavy-tailed transfer sizes, arrival
+//!   process); see `DESIGN.md` §4 for the substitution rationale.
+//! * **Trace replay** ([`trace`]) — parse the FB2010/coflow-benchmark
+//!   text format (streaming or eager) and replay it on the classic big
+//!   switch or any topology, with normalization and scaling knobs. A
+//!   sample trace ships as [`trace::FB2010_SAMPLE`].
+//! * **Structured scenarios** ([`scenarios`]) — incast, broadcast,
+//!   multi-stage shuffle DAGs, ring all-reduce, and skewed hot-port
+//!   mixes, placeable on both the switch model and WAN topologies.
 //!
 //! Units follow `coflow-core`: demands in gigabits (Gb), capacities in
 //! Gb per slot (topology capacities in Gbps × slot seconds — use
@@ -35,7 +47,9 @@
 
 pub mod dists;
 mod generate;
+pub mod scenarios;
 mod spec;
+pub mod trace;
 
 pub use generate::{build_instance, generate_jobs, JobSpec};
 pub use spec::{WorkloadConfig, WorkloadKind, WorkloadParams};

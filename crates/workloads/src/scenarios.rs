@@ -1,0 +1,565 @@
+//! Structured communication scenarios beyond iid benchmark sampling.
+//!
+//! The distribution-sampled generators behind [`crate::build_instance`]
+//! reproduce *aggregate* trace statistics, but real datacenter traffic is shaped
+//! by application structure: gather stages funnel into one machine,
+//! broadcasts fan out of one, MapReduce shuffles run in dependent
+//! stages, ML training synchronizes over rings, and popular services
+//! turn single ports hot. Each [`Scenario`] emits jobs with exactly
+//! that structure, placeable on any [`Topology`] — the WANs, the
+//! bipartite switch fabric, or anything built with `coflow_netgraph` —
+//! because endpoints are drawn from the topology's declared
+//! source/sink sets.
+//!
+//! Flow sizes are log-normal around [`ScenarioConfig::flow_gb`] (a
+//! scenario stresses *where* traffic goes, not how sizes spread), and
+//! everything is a pure function of the seed.
+//!
+//! ```
+//! use coflow_workloads::scenarios::{build_scenario_instance, Scenario, ScenarioConfig};
+//! use coflow_netgraph::topology;
+//!
+//! let cfg = ScenarioConfig {
+//!     scenario: Scenario::by_name("incast").unwrap(),
+//!     num_jobs: 4,
+//!     seed: 7,
+//!     ..Default::default()
+//! };
+//! let inst = build_scenario_instance(&topology::swan(), &cfg).unwrap();
+//! assert_eq!(inst.num_coflows(), 4);
+//! // Every coflow of an incast converges on a single machine.
+//! for cf in &inst.coflows {
+//!     let dst = cf.flows[0].dst;
+//!     assert!(cf.flows.iter().all(|f| f.dst == dst));
+//! }
+//! ```
+
+use crate::dists::{exponential, log_normal};
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::CoflowError;
+use coflow_netgraph::topology::Topology;
+use coflow_netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A structured communication pattern. Cardinalities are *requested*
+/// sizes; they clamp to what the topology's endpoint sets can host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scenario {
+    /// Many-to-one gather: `fanin` distinct sources converge on one
+    /// sink (aggregation stages, parameter-server pushes).
+    Incast {
+        /// Requested number of senders per job.
+        fanin: usize,
+    },
+    /// One-to-many: a single source replicates to `fanout` distinct
+    /// sinks (block replication, model broadcast).
+    Broadcast {
+        /// Requested number of receivers per job.
+        fanout: usize,
+    },
+    /// A multi-stage MapReduce shuffle DAG: each job runs `stages`
+    /// dependent `mappers × reducers` shuffles. The model has no
+    /// precedence constraints, so stage `k` is released
+    /// `k · stage_gap_slots` after the job arrives — the release-time
+    /// emulation of a pipeline DAG. A reducer co-located with a mapper
+    /// (possible on WANs, whose endpoint sets coincide) reads that
+    /// partition locally, so the pair contributes no network flow.
+    Shuffle {
+        /// Map-side machines per stage.
+        mappers: usize,
+        /// Reduce-side machines per stage.
+        reducers: usize,
+        /// Dependent stages per job (each is its own coflow).
+        stages: usize,
+    },
+    /// Ring all-reduce over `workers` machines: one flow to each
+    /// successor, each carrying the bandwidth-optimal `2(k−1)/k` share
+    /// of the payload (ML data-parallel synchronization).
+    AllReduce {
+        /// Ring size.
+        workers: usize,
+    },
+    /// A skewed mix: `width` flows per job, each landing on one fixed
+    /// hot sink with probability `hot_fraction` (hot-object storage
+    /// ports, celebrity shards).
+    HotSpot {
+        /// Flows per job.
+        width: usize,
+        /// Probability a flow targets the hot port.
+        hot_fraction: f64,
+    },
+}
+
+impl Scenario {
+    /// The library's five scenarios in presentation order, with their
+    /// default shapes (what `Scenario::by_name` returns and the
+    /// `scen_library` figure sweeps).
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Incast { fanin: 8 },
+        Scenario::Broadcast { fanout: 8 },
+        Scenario::Shuffle {
+            mappers: 4,
+            reducers: 4,
+            stages: 3,
+        },
+        Scenario::AllReduce { workers: 8 },
+        Scenario::HotSpot {
+            width: 6,
+            hot_fraction: 0.8,
+        },
+    ];
+
+    /// Registry name (CLI `--scenario`, figure row labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Incast { .. } => "incast",
+            Scenario::Broadcast { .. } => "broadcast",
+            Scenario::Shuffle { .. } => "shuffle",
+            Scenario::AllReduce { .. } => "allreduce",
+            Scenario::HotSpot { .. } => "hotspot",
+        }
+    }
+
+    /// One-line description (CLI help, figure notes).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Scenario::Incast { .. } => "many-to-one gather into a single sink",
+            Scenario::Broadcast { .. } => "one-to-many replication out of a single source",
+            Scenario::Shuffle { .. } => "multi-stage MapReduce shuffle DAG (release-staged)",
+            Scenario::AllReduce { .. } => "ring all-reduce with the 2(k-1)/k optimal volume",
+            Scenario::HotSpot { .. } => "skewed mix concentrating on one hot port",
+        }
+    }
+
+    /// Looks up a scenario by its registry name, with the default shape.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL
+            .into_iter()
+            .find(|s| s.name() == name.to_ascii_lowercase())
+    }
+
+    /// Returns a copy with the primary cardinality (fanin, fanout,
+    /// mappers=reducers, workers, width) set to `n` — the CLI's
+    /// `--fan` knob.
+    pub fn with_fan(self, n: usize) -> Scenario {
+        assert!(n >= 1, "fan must be at least 1");
+        match self {
+            Scenario::Incast { .. } => Scenario::Incast { fanin: n },
+            Scenario::Broadcast { .. } => Scenario::Broadcast { fanout: n },
+            Scenario::Shuffle { stages, .. } => Scenario::Shuffle {
+                mappers: n,
+                reducers: n,
+                stages,
+            },
+            Scenario::AllReduce { .. } => Scenario::AllReduce { workers: n },
+            Scenario::HotSpot { hot_fraction, .. } => Scenario::HotSpot {
+                width: n,
+                hot_fraction,
+            },
+        }
+    }
+}
+
+/// Full scenario-generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioConfig {
+    /// Which pattern to generate.
+    pub scenario: Scenario,
+    /// Number of jobs. Every scenario emits one coflow per job except
+    /// `shuffle`, which emits one per stage.
+    pub num_jobs: usize,
+    /// RNG seed; generation is a pure function of the config.
+    pub seed: u64,
+    /// Slot length in seconds — topology capacities (per-second units)
+    /// are scaled to per-slot volumes, as in [`crate::build_instance`].
+    pub slot_seconds: f64,
+    /// Mean Poisson inter-arrival in slots (0 releases everything at 0).
+    pub mean_interarrival_slots: f64,
+    /// Draw weights uniformly from `[1, 100]`, or unit weights.
+    pub weighted: bool,
+    /// Mean flow size in Gb (log-normal, σ = 0.5 in ln-space).
+    pub flow_gb: f64,
+    /// Global demand multiplier (LP-tractability scaling).
+    pub demand_scale: f64,
+    /// Release offset between dependent shuffle stages, in slots.
+    pub stage_gap_slots: u32,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            scenario: Scenario::ALL[0],
+            num_jobs: 12,
+            seed: 0,
+            slot_seconds: 50.0,
+            mean_interarrival_slots: 1.0,
+            weighted: true,
+            flow_gb: 300.0,
+            demand_scale: 1.0,
+            stage_gap_slots: 2,
+        }
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (requires `k <= n`).
+fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// One log-normal flow size around `flow_gb`, scaled.
+fn size<R: Rng + ?Sized>(rng: &mut R, cfg: &ScenarioConfig) -> f64 {
+    const SIGMA: f64 = 0.5;
+    let mu = cfg.flow_gb.ln() - SIGMA * SIGMA / 2.0; // mean ≈ flow_gb
+    (log_normal(rng, mu, SIGMA) * cfg.demand_scale).max(1e-3)
+}
+
+/// Steps `dst` forward through `sinks` until it differs from `src`
+/// (WAN topologies share the endpoint sets, so collisions happen).
+/// Falls back to the original pick after one full cycle — instance
+/// validation then reports the degenerate topology cleanly.
+fn avoid(src: NodeId, k: usize, sinks: &[NodeId]) -> NodeId {
+    for step in 0..sinks.len() {
+        let cand = sinks[(k + step) % sinks.len()];
+        if cand != src {
+            return cand;
+        }
+    }
+    sinks[k]
+}
+
+/// Generates the instance: jobs with the scenario's structure, placed
+/// on `topo` with capacities scaled to per-slot volumes.
+///
+/// # Errors
+///
+/// [`CoflowError::BadInstance`] when the topology cannot host the
+/// pattern (fewer than two distinct endpoints) or on validation
+/// failures (impossible for the bundled topologies).
+pub fn build_scenario_instance(
+    topo: &Topology,
+    cfg: &ScenarioConfig,
+) -> Result<CoflowInstance, CoflowError> {
+    let sources = &topo.sources;
+    let sinks = &topo.sinks;
+    if sources.is_empty() || sinks.is_empty() {
+        return Err(CoflowError::BadInstance(
+            "topology has no eligible endpoints".into(),
+        ));
+    }
+    let distinct_pairs = sources.iter().any(|s| sinks.iter().any(|t| t != s));
+    if !distinct_pairs {
+        return Err(CoflowError::BadInstance(
+            "topology needs at least one distinct source/sink pair".into(),
+        ));
+    }
+    let scaled = topo.scale_capacity(cfg.slot_seconds);
+    // FNV-1a over the scenario name, mixed with the seed, so different
+    // scenarios at the same seed draw uncorrelated streams.
+    let mut tag: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cfg.scenario.name().bytes() {
+        tag ^= b as u64;
+        tag = tag.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ tag);
+    // The hot sink is fixed per instance — that is the skew.
+    let hot = rng.gen_range(0..sinks.len());
+    let mut coflows = Vec::new();
+    let mut arrival = 0.0f64;
+    for _ in 0..cfg.num_jobs {
+        if cfg.mean_interarrival_slots > 0.0 {
+            arrival += exponential(&mut rng, 1.0 / cfg.mean_interarrival_slots);
+        }
+        let release = arrival.floor() as u32;
+        let weight = if cfg.weighted {
+            rng.gen_range(1.0..=100.0)
+        } else {
+            1.0
+        };
+        emit_job(
+            cfg,
+            &mut rng,
+            sources,
+            sinks,
+            hot,
+            weight,
+            release,
+            &mut coflows,
+        );
+    }
+    CoflowInstance::new(scaled.graph, coflows)
+}
+
+/// Emits one job's coflow(s) into `out`.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
+fn emit_job(
+    cfg: &ScenarioConfig,
+    rng: &mut StdRng,
+    sources: &[NodeId],
+    sinks: &[NodeId],
+    hot: usize,
+    weight: f64,
+    release: u32,
+    out: &mut Vec<Coflow>,
+) {
+    match cfg.scenario {
+        Scenario::Incast { fanin } => {
+            let t = sinks[rng.gen_range(0..sinks.len())];
+            let cands: Vec<NodeId> = sources.iter().copied().filter(|&s| s != t).collect();
+            let k = fanin.clamp(1, cands.len());
+            let flows = sample_distinct(rng, cands.len(), k)
+                .into_iter()
+                .map(|i| Flow::released(cands[i], t, size(rng, cfg), release))
+                .collect();
+            out.push(Coflow::weighted(weight, flows));
+        }
+        Scenario::Broadcast { fanout } => {
+            let s = sources[rng.gen_range(0..sources.len())];
+            let cands: Vec<NodeId> = sinks.iter().copied().filter(|&t| t != s).collect();
+            let k = fanout.clamp(1, cands.len());
+            // One replica payload, identical to every receiver.
+            let payload = size(rng, cfg);
+            let flows = sample_distinct(rng, cands.len(), k)
+                .into_iter()
+                .map(|i| Flow::released(s, cands[i], payload, release))
+                .collect();
+            out.push(Coflow::weighted(weight, flows));
+        }
+        Scenario::Shuffle {
+            mappers,
+            reducers,
+            stages,
+        } => {
+            let m = mappers.clamp(1, sources.len());
+            let r = reducers.clamp(1, sinks.len());
+            let maps = sample_distinct(rng, sources.len(), m);
+            let reds = sample_distinct(rng, sinks.len(), r);
+            for stage in 0..stages.max(1) as u32 {
+                let rel = release + stage * cfg.stage_gap_slots;
+                let mut flows = Vec::with_capacity(m * r);
+                for &mi in &maps {
+                    let src = sources[mi];
+                    for &ri in &reds {
+                        // A reducer co-located with a mapper reads that
+                        // partition locally — no network flow (WAN
+                        // topologies share the endpoint sets, so
+                        // overlaps are routine).
+                        let dst = sinks[ri];
+                        if dst == src {
+                            continue;
+                        }
+                        flows.push(Flow::released(src, dst, size(rng, cfg), rel));
+                    }
+                }
+                // Degenerate tiny topologies can co-locate everything;
+                // an all-local stage needs no coflow.
+                if !flows.is_empty() {
+                    out.push(Coflow::weighted(weight, flows));
+                }
+            }
+        }
+        Scenario::AllReduce { workers } => {
+            let n = sources.len().min(sinks.len());
+            let k = workers.clamp(2.min(n), n);
+            let ring = sample_distinct(rng, n, k);
+            let payload = size(rng, cfg);
+            // Bandwidth-optimal ring all-reduce moves 2(k−1)/k of the
+            // payload over every ring edge.
+            let share = payload * 2.0 * (k as f64 - 1.0) / k as f64;
+            let flows = (0..k)
+                .map(|i| {
+                    let src = sources[ring[i]];
+                    let dst = avoid(src, ring[(i + 1) % k], sinks);
+                    Flow::released(src, dst, share.max(1e-3), release)
+                })
+                .collect();
+            out.push(Coflow::weighted(weight, flows));
+        }
+        Scenario::HotSpot {
+            width,
+            hot_fraction,
+        } => {
+            let flows = (0..width.max(1))
+                .map(|_| {
+                    let k = if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                        hot
+                    } else {
+                        rng.gen_range(0..sinks.len())
+                    };
+                    let mut src = sources[rng.gen_range(0..sources.len())];
+                    if src == sinks[k] {
+                        // Bounded rejection: scan for any distinct source.
+                        src = sources
+                            .iter()
+                            .copied()
+                            .find(|&s| s != sinks[k])
+                            .unwrap_or(src);
+                    }
+                    Flow::released(src, sinks[k], size(rng, cfg), release)
+                })
+                .collect();
+            out.push(Coflow::weighted(weight, flows));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_netgraph::topology;
+
+    fn cfg(scenario: Scenario) -> ScenarioConfig {
+        ScenarioConfig {
+            scenario,
+            num_jobs: 6,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_shapes_clamp() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::by_name(s.name()), Some(s));
+            assert!(!s.description().is_empty());
+        }
+        assert!(Scenario::by_name("nope").is_none());
+        assert_eq!(
+            Scenario::by_name("incast").unwrap().with_fan(3),
+            Scenario::Incast { fanin: 3 }
+        );
+    }
+
+    #[test]
+    fn every_scenario_builds_on_wan_and_switch() {
+        let wan = topology::swan();
+        let switch = topology::bipartite_switch(8, 10.0);
+        for s in Scenario::ALL {
+            for topo in [&wan, &switch] {
+                let inst = build_scenario_instance(topo, &cfg(s)).unwrap();
+                assert!(inst.num_coflows() >= 6, "{} on {}", s.name(), topo.name);
+                for (_, f) in inst.flows() {
+                    assert_ne!(f.src, f.dst, "{} placed src==dst", s.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topo = topology::gscale();
+        for s in Scenario::ALL {
+            let a = build_scenario_instance(&topo, &cfg(s)).unwrap();
+            let b = build_scenario_instance(&topo, &cfg(s)).unwrap();
+            assert_eq!(a.coflows, b.coflows, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn incast_converges_and_broadcast_diverges() {
+        let topo = topology::gscale();
+        let inc = build_scenario_instance(&topo, &cfg(Scenario::Incast { fanin: 5 })).unwrap();
+        for cf in &inc.coflows {
+            assert_eq!(cf.flows.len(), 5);
+            let dst = cf.flows[0].dst;
+            assert!(cf.flows.iter().all(|f| f.dst == dst));
+            let mut srcs: Vec<_> = cf.flows.iter().map(|f| f.src).collect();
+            srcs.dedup();
+            assert_eq!(srcs.len(), 5, "incast sources must be distinct");
+        }
+        let bc = build_scenario_instance(&topo, &cfg(Scenario::Broadcast { fanout: 5 })).unwrap();
+        for cf in &bc.coflows {
+            let src = cf.flows[0].src;
+            assert!(cf.flows.iter().all(|f| f.src == src));
+            // Replication: every receiver gets the same payload.
+            assert!(cf
+                .flows
+                .iter()
+                .all(|f| (f.demand - cf.flows[0].demand).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn shuffle_emits_release_staged_coflows() {
+        let topo = topology::gscale();
+        let mut c = cfg(Scenario::Shuffle {
+            mappers: 3,
+            reducers: 2,
+            stages: 3,
+        });
+        c.num_jobs = 4;
+        c.stage_gap_slots = 5;
+        let inst = build_scenario_instance(&topo, &c).unwrap();
+        assert_eq!(inst.num_coflows(), 12); // 4 jobs × 3 stages
+        for job in inst.coflows.chunks(3) {
+            let base = job[0].release();
+            // 3×2 pairs minus co-located mapper/reducer nodes (at most
+            // min(3, 2) of them on a shared-endpoint WAN).
+            let width = job[0].flows.len();
+            assert!((4..=6).contains(&width), "stage width {width}");
+            for (k, stage) in job.iter().enumerate() {
+                assert_eq!(stage.flows.len(), width, "stages share placement");
+                assert_eq!(stage.release(), base + 5 * k as u32);
+                assert_eq!(stage.weight, job[0].weight);
+                // The faithful shuffle: every remaining pair is a real
+                // cross-machine transfer.
+                for f in &stage.flows {
+                    assert_ne!(f.src, f.dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_forms_a_ring_with_optimal_volume() {
+        let topo = topology::bipartite_switch(8, 10.0);
+        let inst =
+            build_scenario_instance(&topo, &cfg(Scenario::AllReduce { workers: 6 })).unwrap();
+        for cf in &inst.coflows {
+            assert_eq!(cf.flows.len(), 6);
+            // Ring: in-degree and out-degree 1 in port space; all
+            // shares equal 2(k−1)/k × payload.
+            let d0 = cf.flows[0].demand;
+            assert!(cf.flows.iter().all(|f| (f.demand - d0).abs() < 1e-9));
+            let mut dsts: Vec<_> = cf.flows.iter().map(|f| f.dst).collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            assert_eq!(dsts.len(), 6, "each worker receives exactly once");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_one_sink() {
+        let topo = topology::gscale();
+        let mut c = cfg(Scenario::HotSpot {
+            width: 6,
+            hot_fraction: 0.9,
+        });
+        c.num_jobs = 40;
+        let inst = build_scenario_instance(&topo, &c).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for (_, f) in inst.flows() {
+            *counts.entry(f.dst).or_insert(0usize) += 1;
+        }
+        let total: usize = counts.values().sum();
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max as f64 / total as f64 > 0.6,
+            "hot sink got only {max}/{total}"
+        );
+    }
+
+    #[test]
+    fn degenerate_topologies_are_rejected() {
+        let lonely = topology::star(1, 1.0); // one leaf: sources == sinks == [leaf]
+        let e = build_scenario_instance(&lonely, &cfg(Scenario::ALL[0]));
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,783 @@
+//! Replaying production coflow traces — the FB2010 benchmark format.
+//!
+//! The coflow literature evaluates on a replayed Facebook MapReduce
+//! trace distributed as the *coflow-benchmark* format (Chowdhury et
+//! al.'s Varys artifacts, reused by Sincronia and most follow-ups). It
+//! is line-oriented:
+//!
+//! ```text
+//! <num_ports> <num_coflows>
+//! <id> <arrival_ms> <m> <mapper_1> … <mapper_m> <r> <reducer_1:mb_1> … <reducer_r:mb_r>
+//! ```
+//!
+//! One line per coflow: arrival time in milliseconds, the `m` ports
+//! hosting map tasks, and `r` reducer entries `port:MB` giving the
+//! shuffle volume received by each reducer. As in Varys, a reducer's
+//! volume is divided evenly across the mappers, so a trace coflow with
+//! `m` mappers and `r` reducers expands to `m·r` flows.
+//!
+//! Two entry points:
+//!
+//! * [`Trace::parse`] — eager, whole-file, strict (declared coflow
+//!   count must match);
+//! * [`TraceStream`] — streaming iteration over any [`std::io::BufRead`],
+//!   one [`TraceCoflow`] at a time, for traces too large to buffer.
+//!
+//! Both report [`TraceError`]s with the offending line number. Port ids
+//! may be 0- or 1-based (real traces differ); [`Trace`] detects and
+//! rebases 1-based ids when a port equals `num_ports`.
+//!
+//! Replay is controlled by [`ReplayOptions`] — milliseconds per slot,
+//! port bandwidth (MB per slot), a demand multiplier, a coflow-count
+//! limit, and a weight rule — and lands either on the classic big
+//! switch ([`Trace::switch_instance`], which applies the paper's
+//! footnote-1 I/O gadget so per-port ingress/egress limits bind) or on
+//! any [`Topology`] ([`Trace::place`], ports mapped round-robin onto
+//! the topology's endpoint sets).
+//!
+//! ```
+//! use coflow_workloads::trace::{ReplayOptions, Trace, FB2010_SAMPLE};
+//!
+//! let trace = Trace::parse(FB2010_SAMPLE).unwrap();
+//! assert_eq!(trace.num_ports, 16);
+//! assert_eq!(trace.coflows.len(), 20);
+//! let inst = trace.switch_instance(&ReplayOptions::default()).unwrap();
+//! assert_eq!(inst.num_coflows(), 20);
+//! ```
+
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::CoflowError;
+use coflow_netgraph::gadget::{with_io_gadget, IoLimit};
+use coflow_netgraph::topology::{self, Topology};
+use coflow_netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bundled 16-port, 20-coflow sample in the FB2010 format: the same
+/// width mix as the published trace statistics (majority single-flow,
+/// a few wide shuffles), sized so every registered algorithm replays it
+/// in well under a second. Used by the golden regression test, the
+/// `scen_trace` figure, and the documentation examples; also on disk at
+/// `crates/workloads/fixtures/fb2010_sample.txt` for CLI runs.
+pub const FB2010_SAMPLE: &str = include_str!("../fixtures/fb2010_sample.txt");
+
+/// A parse failure, pointing at the offending trace line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number (0 when the input ended prematurely).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, msg: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// One trace coflow, as written: arrival time plus mapper and reducer
+/// port lists. Ports are kept exactly as parsed (0- or 1-based);
+/// rebasing happens when an instance is built.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceCoflow {
+    /// The coflow id token (kept verbatim; real traces use integers).
+    pub id: String,
+    /// Arrival time in milliseconds.
+    pub arrival_ms: u64,
+    /// Ports hosting map tasks.
+    pub mappers: Vec<usize>,
+    /// `(port, shuffle MB)` per reducer; the MB is split evenly across
+    /// the mappers.
+    pub reducers: Vec<(usize, f64)>,
+}
+
+impl TraceCoflow {
+    /// Number of flows this coflow expands to (`mappers × reducers`).
+    pub fn width(&self) -> usize {
+        self.mappers.len() * self.reducers.len()
+    }
+
+    /// Total shuffle volume in MB.
+    pub fn total_mb(&self) -> f64 {
+        self.reducers.iter().map(|&(_, mb)| mb).sum()
+    }
+}
+
+/// A fully-parsed trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Number of ports (racks) declared in the header.
+    pub num_ports: usize,
+    /// The coflows, in file order (the format sorts by arrival).
+    pub coflows: Vec<TraceCoflow>,
+}
+
+/// Aggregate statistics of a trace (`coflow trace summarize`).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSummary {
+    /// Ports declared in the header.
+    pub num_ports: usize,
+    /// Number of coflows.
+    pub coflows: usize,
+    /// Total flows after mapper×reducer expansion.
+    pub flows: usize,
+    /// Coflows expanding to a single flow.
+    pub single_flow: usize,
+    /// Widest coflow (flows).
+    pub max_width: usize,
+    /// Total shuffle volume in MB.
+    pub total_mb: f64,
+    /// Largest arrival time in milliseconds.
+    pub span_ms: u64,
+}
+
+/// How replay assigns coflow weights (`w_j`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightRule {
+    /// All weights 1 (traces carry no priorities; this is the
+    /// total-CCT objective every trace-driven paper reports).
+    Unit,
+    /// Weights drawn uniformly from `[1, 100]` per coflow, in file
+    /// order, from the given seed — the paper's §6 weighting.
+    Uniform {
+        /// RNG seed; replay is a pure function of `(trace, options)`.
+        seed: u64,
+    },
+}
+
+/// Normalization and scaling knobs for turning a trace into a
+/// [`CoflowInstance`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Slot length in milliseconds (release slot = `arrival_ms / ms_per_slot`).
+    pub ms_per_slot: f64,
+    /// Port (or reference link) bandwidth in MB per slot; demands are
+    /// `MB / mb_per_slot`, so `1.0` is one slot of one saturated port.
+    /// The default `125.0` models 1 Gbps ports with 1 s slots.
+    pub mb_per_slot: f64,
+    /// Extra multiplier on every demand (LP-tractability scaling).
+    pub demand_scale: f64,
+    /// Replay only the first `limit` coflows; `0` replays everything.
+    pub limit: usize,
+    /// Weight assignment.
+    pub weights: WeightRule,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            ms_per_slot: 1000.0,
+            mb_per_slot: 125.0,
+            demand_scale: 1.0,
+            limit: 0,
+            weights: WeightRule::Unit,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Parses one header line `<num_ports> <num_coflows>`.
+fn parse_header(line: &str, lineno: usize) -> Result<(usize, usize), TraceError> {
+    let mut it = line.split_whitespace();
+    let ports: usize = parse_tok(it.next(), lineno, "port count")?;
+    let coflows: usize = parse_tok(it.next(), lineno, "coflow count")?;
+    if it.next().is_some() {
+        return Err(err(lineno, "trailing tokens after header"));
+    }
+    if ports == 0 {
+        return Err(err(lineno, "port count must be positive"));
+    }
+    Ok((ports, coflows))
+}
+
+/// Parses one coflow line (everything after the header).
+fn parse_coflow(line: &str, lineno: usize, num_ports: usize) -> Result<TraceCoflow, TraceError> {
+    let mut it = line.split_whitespace();
+    let id = it
+        .next()
+        .ok_or_else(|| err(lineno, "missing coflow id"))?
+        .to_string();
+    let arrival_ms: u64 = parse_tok(it.next(), lineno, "arrival time")?;
+    let m: usize = parse_tok(it.next(), lineno, "mapper count")?;
+    if m == 0 {
+        return Err(err(lineno, "coflow has no mappers"));
+    }
+    let mut mappers = Vec::with_capacity(m);
+    for _ in 0..m {
+        let port: usize = parse_tok(it.next(), lineno, "mapper port")?;
+        check_port(port, num_ports, lineno)?;
+        mappers.push(port);
+    }
+    let r: usize = parse_tok(it.next(), lineno, "reducer count")?;
+    if r == 0 {
+        return Err(err(lineno, "coflow has no reducers"));
+    }
+    let mut reducers = Vec::with_capacity(r);
+    for _ in 0..r {
+        let tok = it
+            .next()
+            .ok_or_else(|| err(lineno, "missing reducer entry"))?;
+        let (port_s, mb_s) = tok
+            .split_once(':')
+            .ok_or_else(|| err(lineno, format!("reducer entry {tok:?} is not port:MB")))?;
+        let port: usize = port_s
+            .parse()
+            .map_err(|_| err(lineno, format!("unparsable reducer port {port_s:?}")))?;
+        check_port(port, num_ports, lineno)?;
+        let mb: f64 = mb_s
+            .parse()
+            .map_err(|_| err(lineno, format!("unparsable shuffle size {mb_s:?}")))?;
+        if !(mb.is_finite() && mb > 0.0) {
+            return Err(err(
+                lineno,
+                format!("shuffle size must be positive, got {mb}"),
+            ));
+        }
+        reducers.push((port, mb));
+    }
+    if it.next().is_some() {
+        return Err(err(lineno, "trailing tokens after the reducer list"));
+    }
+    Ok(TraceCoflow {
+        id,
+        arrival_ms,
+        mappers,
+        reducers,
+    })
+}
+
+fn check_port(port: usize, num_ports: usize, lineno: usize) -> Result<(), TraceError> {
+    // `== num_ports` is legal in 1-based traces; rebasing is resolved
+    // trace-wide by `port_base`.
+    if port > num_ports {
+        return Err(err(
+            lineno,
+            format!("port {port} outside the declared {num_ports} ports"),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_tok<T: std::str::FromStr>(
+    tok: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, TraceError> {
+    tok.ok_or_else(|| err(lineno, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| err(lineno, format!("unparsable {what}")))
+}
+
+/// Strips a trailing `#` comment (an extension over the original
+/// format, handy for annotated fixtures) and whitespace.
+fn strip(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+impl Trace {
+    /// Parses a whole trace, strictly: the header's coflow count must
+    /// match the number of coflow lines.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] with the offending line number.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, strip(l)))
+            .filter(|(_, l)| !l.is_empty());
+        let (lineno, header) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
+        let (num_ports, declared) = parse_header(header, lineno)?;
+        let mut coflows = Vec::with_capacity(declared);
+        for (lineno, line) in lines {
+            if coflows.len() == declared {
+                return Err(err(
+                    lineno,
+                    format!("more than the declared {declared} coflows"),
+                ));
+            }
+            coflows.push(parse_coflow(line, lineno, num_ports)?);
+        }
+        if coflows.len() != declared {
+            return Err(err(
+                0,
+                format!(
+                    "header declares {declared} coflows, found {}",
+                    coflows.len()
+                ),
+            ));
+        }
+        Ok(Trace { num_ports, coflows })
+    }
+
+    /// Aggregate statistics (powering `coflow trace summarize`).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            num_ports: self.num_ports,
+            coflows: self.coflows.len(),
+            flows: self.coflows.iter().map(TraceCoflow::width).sum(),
+            single_flow: self.coflows.iter().filter(|c| c.width() == 1).count(),
+            max_width: self
+                .coflows
+                .iter()
+                .map(TraceCoflow::width)
+                .max()
+                .unwrap_or(0),
+            total_mb: self.coflows.iter().map(TraceCoflow::total_mb).sum(),
+            span_ms: self.coflows.iter().map(|c| c.arrival_ms).max().unwrap_or(0),
+        }
+    }
+
+    /// Detects the port numbering base: `1` when some port id equals
+    /// `num_ports` (necessarily 1-based), else `0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] when the ids are inconsistent
+    /// (a port equal to `num_ports` *and* a port 0 in the same trace).
+    pub fn port_base(&self) -> Result<usize, CoflowError> {
+        let ports = || {
+            self.coflows.iter().flat_map(|c| {
+                c.mappers
+                    .iter()
+                    .copied()
+                    .chain(c.reducers.iter().map(|&(p, _)| p))
+            })
+        };
+        if ports().any(|p| p == self.num_ports) {
+            if ports().any(|p| p == 0) {
+                return Err(CoflowError::BadInstance(
+                    "trace mixes 0-based and 1-based port ids".into(),
+                ));
+            }
+            Ok(1)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Expands the (limited, weighted, scaled) coflows, handing each
+    /// `(mapper_port, reducer_port)` pair to `endpoint` for node
+    /// placement. Ports passed to `endpoint` are rebased to `0..num_ports`.
+    fn expand(
+        &self,
+        opts: &ReplayOptions,
+        mut endpoint: impl FnMut(usize, usize) -> (NodeId, NodeId),
+    ) -> Result<Vec<Coflow>, CoflowError> {
+        if !(opts.ms_per_slot.is_finite() && opts.ms_per_slot > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "ms_per_slot must be positive, got {}",
+                opts.ms_per_slot
+            )));
+        }
+        if !(opts.mb_per_slot.is_finite() && opts.mb_per_slot > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "mb_per_slot must be positive, got {}",
+                opts.mb_per_slot
+            )));
+        }
+        if !(opts.demand_scale.is_finite() && opts.demand_scale > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "demand_scale must be positive, got {}",
+                opts.demand_scale
+            )));
+        }
+        let base = self.port_base()?;
+        let take = if opts.limit == 0 {
+            self.coflows.len()
+        } else {
+            opts.limit.min(self.coflows.len())
+        };
+        let mut weight_rng = match opts.weights {
+            WeightRule::Unit => None,
+            WeightRule::Uniform { seed } => Some(StdRng::seed_from_u64(seed)),
+        };
+        let mut out = Vec::with_capacity(take);
+        for c in &self.coflows[..take] {
+            let release = (c.arrival_ms as f64 / opts.ms_per_slot).floor() as u32;
+            let weight = match &mut weight_rng {
+                None => 1.0,
+                Some(rng) => rng.gen_range(1.0..=100.0),
+            };
+            let mut flows = Vec::with_capacity(c.width());
+            for &(r_port, mb) in &c.reducers {
+                let per_mapper = mb / c.mappers.len() as f64;
+                let demand = (per_mapper / opts.mb_per_slot * opts.demand_scale).max(1e-3);
+                for &m_port in &c.mappers {
+                    let (src, dst) = endpoint(m_port - base, r_port - base);
+                    flows.push(Flow::released(src, dst, demand, release));
+                }
+            }
+            out.push(Coflow::weighted(weight, flows));
+        }
+        Ok(out)
+    }
+
+    /// Replays the trace on the classic big switch: a bipartite
+    /// `num_ports × num_ports` fabric wrapped in the paper's footnote-1
+    /// I/O gadget, so every port's aggregate send and receive rates are
+    /// capped at one `mb_per_slot` unit per slot — the Varys/Sincronia
+    /// switch model. Demands are normalized to those units.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] on bad options, inconsistent port
+    /// ids, or (impossible here) instance validation failures.
+    pub fn switch_instance(&self, opts: &ReplayOptions) -> Result<CoflowInstance, CoflowError> {
+        let fabric = topology::bipartite_switch(self.num_ports, 1.0);
+        let limits = vec![IoLimit::symmetric(1.0); fabric.graph.node_count()];
+        let gg = with_io_gadget(&fabric.graph, &limits);
+        let ins: Vec<NodeId> = fabric.sources.iter().map(|v| gg.inner[v.index()]).collect();
+        let outs: Vec<NodeId> = fabric.sinks.iter().map(|v| gg.inner[v.index()]).collect();
+        let coflows = self.expand(opts, |m, r| (ins[m], outs[r]))?;
+        CoflowInstance::new(gg.graph, coflows)
+    }
+
+    /// Replays the trace on an arbitrary topology: mapper ports map
+    /// round-robin onto `topo.sources`, reducer ports onto
+    /// `topo.sinks`; when both land on the same node (shared WAN
+    /// endpoint sets) the sink steps to the next eligible node.
+    /// Capacities are used as-is — pick `mb_per_slot` relative to the
+    /// topology's units (e.g. Gb per slot after
+    /// [`Topology::scale_capacity`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] when the topology has fewer than
+    /// two distinct endpoints or on bad options / port ids.
+    pub fn place(
+        &self,
+        topo: &Topology,
+        opts: &ReplayOptions,
+    ) -> Result<CoflowInstance, CoflowError> {
+        if topo.sources.is_empty() || topo.sinks.is_empty() {
+            return Err(CoflowError::BadInstance(
+                "topology has no eligible endpoints".into(),
+            ));
+        }
+        // Every source must see at least one distinct sink — otherwise
+        // some flow is forced onto src == dst and the error would blame
+        // the trace data instead of the topology.
+        if topo
+            .sources
+            .iter()
+            .any(|s| topo.sinks.iter().all(|t| t == s))
+        {
+            return Err(CoflowError::BadInstance(
+                "topology needs a distinct sink for every source to host trace flows".into(),
+            ));
+        }
+        let coflows = self.expand(opts, |m, r| {
+            let src = topo.sources[m % topo.sources.len()];
+            let mut k = r % topo.sinks.len();
+            while topo.sinks[k] == src {
+                k = (k + 1) % topo.sinks.len();
+            }
+            (src, topo.sinks[k])
+        })?;
+        CoflowInstance::new(topo.graph.clone(), coflows)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------
+
+/// Streaming trace reader: parses the header eagerly, then yields one
+/// [`TraceCoflow`] per [`Iterator::next`] without buffering the file.
+///
+/// ```
+/// use coflow_workloads::trace::{TraceStream, FB2010_SAMPLE};
+///
+/// let mut stream = TraceStream::new(FB2010_SAMPLE.as_bytes()).unwrap();
+/// assert_eq!(stream.num_ports(), 16);
+/// assert_eq!(stream.declared_coflows(), 20);
+/// let first = stream.next().unwrap().unwrap();
+/// assert_eq!(first.arrival_ms, 0);
+/// assert_eq!(stream.count(), 19); // the rest
+/// ```
+pub struct TraceStream<B> {
+    reader: B,
+    lineno: usize,
+    num_ports: usize,
+    declared: usize,
+}
+
+impl<B: std::io::BufRead> TraceStream<B> {
+    /// Reads the header line and positions the stream at the first
+    /// coflow.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] on I/O problems or a malformed header.
+    pub fn new(mut reader: B) -> Result<Self, TraceError> {
+        let mut lineno = 0;
+        let header = loop {
+            let mut buf = String::new();
+            let n = reader
+                .read_line(&mut buf)
+                .map_err(|e| err(lineno + 1, format!("read error: {e}")))?;
+            if n == 0 {
+                return Err(err(0, "empty trace"));
+            }
+            lineno += 1;
+            if !strip(&buf).is_empty() {
+                break buf;
+            }
+        };
+        let (num_ports, declared) = parse_header(strip(&header), lineno)?;
+        Ok(TraceStream {
+            reader,
+            lineno,
+            num_ports,
+            declared,
+        })
+    }
+
+    /// Port count from the header.
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Coflow count the header declares (the stream itself yields
+    /// however many lines actually follow).
+    pub fn declared_coflows(&self) -> usize {
+        self.declared
+    }
+}
+
+impl<B: std::io::BufRead> Iterator for TraceStream<B> {
+    type Item = Result<TraceCoflow, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut buf = String::new();
+            match self.reader.read_line(&mut buf) {
+                Err(e) => return Some(Err(err(self.lineno + 1, format!("read error: {e}")))),
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.lineno += 1;
+                    let line = strip(&buf);
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return Some(parse_coflow(line, self.lineno, self.num_ports));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bundled_fixture() {
+        let t = Trace::parse(FB2010_SAMPLE).unwrap();
+        assert_eq!(t.num_ports, 16);
+        assert_eq!(t.coflows.len(), 20);
+        let s = t.summary();
+        assert_eq!(s.flows, 58);
+        assert_eq!(s.single_flow, 12);
+        assert_eq!(s.max_width, 12);
+        assert_eq!(s.span_ms, 5200);
+        assert!(s.total_mb > 4000.0 && s.total_mb < 6000.0, "{}", s.total_mb);
+        // The fixture uses 1-based ports (port 16 appears).
+        assert_eq!(t.port_base().unwrap(), 1);
+    }
+
+    #[test]
+    fn streaming_matches_eager_parsing() {
+        let eager = Trace::parse(FB2010_SAMPLE).unwrap();
+        let stream = TraceStream::new(FB2010_SAMPLE.as_bytes()).unwrap();
+        assert_eq!(stream.num_ports(), eager.num_ports);
+        assert_eq!(stream.declared_coflows(), eager.coflows.len());
+        let streamed: Vec<TraceCoflow> = stream.map(|c| c.unwrap()).collect();
+        assert_eq!(streamed, eager.coflows);
+    }
+
+    #[test]
+    fn reducer_volume_splits_across_mappers() {
+        let text = "4 1\n1 0 2 0 1 2 2:100 3:50\n";
+        let t = Trace::parse(text).unwrap();
+        let inst = t
+            .switch_instance(&ReplayOptions {
+                mb_per_slot: 100.0,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(inst.num_coflows(), 1);
+        let demands: Vec<f64> = inst.coflows[0].flows.iter().map(|f| f.demand).collect();
+        // 100 MB reducer split over 2 mappers at 100 MB/slot = 0.5 each;
+        // 50 MB reducer = 0.25 each.
+        assert_eq!(demands, vec![0.5, 0.5, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn arrival_times_become_release_slots() {
+        let text = "2 2\n1 0 1 0 1 1:10\n2 3700 1 1 1 0:10\n";
+        let t = Trace::parse(text).unwrap();
+        let inst = t.switch_instance(&ReplayOptions::default()).unwrap();
+        assert_eq!(inst.coflows[0].release(), 0);
+        assert_eq!(inst.coflows[1].release(), 3); // 3700 ms / 1000 ms-per-slot
+        let halved = t
+            .switch_instance(&ReplayOptions {
+                ms_per_slot: 500.0,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(halved.coflows[1].release(), 7);
+    }
+
+    #[test]
+    fn switch_instance_enforces_port_limits_via_the_gadget() {
+        let t = Trace::parse(FB2010_SAMPLE).unwrap();
+        let inst = t.switch_instance(&ReplayOptions::default()).unwrap();
+        // 16 in + 16 out ports, each doubled by the gadget.
+        assert_eq!(inst.graph.node_count(), 64);
+        // Fabric 16×16 plus 2 gadget edges per port.
+        assert_eq!(inst.graph.edge_count(), 256 + 64);
+        // Endpoints are the gadget's inner nodes.
+        for (_, f) in inst.flows() {
+            assert!(inst.graph.label(f.src).ends_with(".inner"));
+            assert!(inst.graph.label(f.dst).ends_with(".inner"));
+        }
+    }
+
+    #[test]
+    fn limit_weights_and_scale_knobs() {
+        let t = Trace::parse(FB2010_SAMPLE).unwrap();
+        let small = t
+            .switch_instance(&ReplayOptions {
+                limit: 5,
+                demand_scale: 0.5,
+                weights: WeightRule::Uniform { seed: 9 },
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(small.num_coflows(), 5);
+        assert!(small.coflows.iter().any(|c| c.weight > 1.0));
+        let unit = t
+            .switch_instance(&ReplayOptions {
+                limit: 5,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(unit.coflows.iter().all(|c| c.weight == 1.0));
+        for (a, b) in small.coflows.iter().zip(&unit.coflows) {
+            for (fa, fb) in a.flows.iter().zip(&b.flows) {
+                assert!((fa.demand - 0.5 * fb.demand).abs() < 1e-12);
+            }
+        }
+        // Deterministic: same options, same weights.
+        let again = t
+            .switch_instance(&ReplayOptions {
+                limit: 5,
+                demand_scale: 0.5,
+                weights: WeightRule::Uniform { seed: 9 },
+                ..Default::default()
+            })
+            .unwrap();
+        for (a, b) in small.coflows.iter().zip(&again.coflows) {
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn places_on_wan_topologies() {
+        let t = Trace::parse(FB2010_SAMPLE).unwrap();
+        let topo = topology::swan().scale_capacity(50.0);
+        let inst = t
+            .place(
+                &topo,
+                &ReplayOptions {
+                    mb_per_slot: 1000.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(inst.num_coflows(), 20);
+        for (_, f) in inst.flows() {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn place_rejects_topologies_where_a_source_sees_no_distinct_sink() {
+        use coflow_netgraph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_bidirected(a, c, 1.0).unwrap();
+        let topo = Topology {
+            name: "degenerate".into(),
+            graph: b.build(),
+            sources: vec![a, c],
+            sinks: vec![a], // source `a` has no distinct sink
+        };
+        let t = Trace::parse("2 1\n1 0 1 0 1 1:5\n").unwrap();
+        let err = t.place(&topo, &ReplayOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("distinct sink"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("", 0, "empty trace"),
+            ("4\n", 1, "missing coflow count"),
+            ("0 1\n1 0 1 0 1 1:5\n", 1, "port count must be positive"),
+            ("4 1\n1 0 0 1 1:5\n", 2, "no mappers"),
+            ("4 1\n1 0 1 0 0\n", 2, "no reducers"),
+            ("4 1\n1 0 1 9 1 1:5\n", 2, "outside the declared"),
+            ("4 1\n1 0 1 0 1 1:x\n", 2, "unparsable shuffle size"),
+            ("4 1\n1 0 1 0 1 1:-3\n", 2, "must be positive"),
+            ("4 1\n1 0 1 0 1 1\n", 2, "not port:MB"),
+            ("4 1\n1 0 1 0 1 1:5 extra\n", 2, "trailing tokens"),
+            ("4 2\n1 0 1 0 1 1:5\n", 0, "declares 2 coflows, found 1"),
+            (
+                "4 1\n1 0 1 0 1 1:5\n2 0 1 0 1 1:5\n",
+                3,
+                "more than the declared",
+            ),
+        ];
+        for (text, line, expect) in cases {
+            let e = Trace::parse(text).unwrap_err();
+            assert!(e.msg.contains(expect), "for {text:?}: {e}");
+            assert_eq!(e.line, line, "for {text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn mixed_port_bases_are_rejected() {
+        // Port 0 and port 4 (== num_ports) in one 4-port trace.
+        let text = "4 2\n1 0 1 0 1 1:5\n2 0 1 4 1 1:5\n";
+        let t = Trace::parse(text).unwrap();
+        assert!(t.port_base().is_err());
+        assert!(t.switch_instance(&ReplayOptions::default()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_tolerated() {
+        let text = "# annotated fixture\n2 1\n\n1 0 1 0 1 1:5 # tiny\n";
+        let t = Trace::parse(text).unwrap();
+        assert_eq!(t.coflows.len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden regression anchors for the bundled FB2010-format sample
+//! trace: replaying it must cost *exactly* the recorded totals, run
+//! after run.
+//!
+//! The replay path is deterministic end-to-end — fixture → parser →
+//! gadgeted switch instance → LP/combinatorial solve → validated
+//! schedule — and completion times are integral slot counts, so total
+//! costs under unit weights are exact small integers. Any drift in the
+//! parser, the normalization defaults, the gadget construction, the LP
+//! pipeline, or the baselines shows up here as a changed constant, not
+//! as a silent shape change in the figures.
+
+use coflow_suite::baselines::registry::{self, AlgoParams};
+use coflow_suite::core::routing::{self, Routing};
+use coflow_suite::core::solve::{SolveContext, SolveOutcome};
+use coflow_suite::core::validate::{validate, Tolerance};
+use coflow_suite::workloads::trace::{ReplayOptions, Trace, FB2010_SAMPLE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The recorded golden costs (total completion time, unit weights) of
+/// replaying the full 20-coflow fixture with default [`ReplayOptions`].
+const HEURISTIC_COST: f64 = 82.0;
+const PRIMAL_DUAL_COST: f64 = 80.0;
+
+/// Routing seed for the single-path replay (primal-dual needs fixed
+/// paths; on the gadgeted switch every flow's shortest path is unique,
+/// so the seed cannot actually change the paths).
+const PATH_SEED: u64 = 1;
+
+fn replay(algo: &str) -> SolveOutcome {
+    let trace = Trace::parse(FB2010_SAMPLE).expect("fixture parses");
+    let inst = trace
+        .switch_instance(&ReplayOptions::default())
+        .expect("fixture replays");
+    let entry = registry::by_name(algo).expect("registered");
+    let routing = match entry.caps.routing {
+        registry::RoutingSupport::SinglePathOnly => {
+            let mut rng = StdRng::seed_from_u64(PATH_SEED);
+            routing::random_shortest_paths(&inst, &mut rng).expect("paths exist")
+        }
+        _ => Routing::FreePath,
+    };
+    let mut ctx = SolveContext::new();
+    let out = entry
+        .build(&AlgoParams::default())
+        .solve(&inst, &routing, &mut ctx)
+        .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    // Independent feasibility audit — golden numbers must come from
+    // schedules that actually transmit every byte.
+    validate(&inst, &routing, &out.schedule, Tolerance::default())
+        .unwrap_or_else(|e| panic!("{algo}: invalid schedule: {e}"));
+    out
+}
+
+#[test]
+fn lp_pipeline_replay_matches_the_golden_cost() {
+    let out = replay("heuristic");
+    assert_eq!(
+        out.cost, HEURISTIC_COST,
+        "heuristic replay cost drifted from the golden anchor"
+    );
+    // Unit weights: the weighted and unweighted objectives coincide.
+    assert_eq!(out.unweighted_cost, HEURISTIC_COST);
+    // The LP bound must stay a true lower bound on the golden cost.
+    let lb = out.lower_bound.expect("LP pipeline reports its bound");
+    assert!(lb <= HEURISTIC_COST && lb > 0.0, "bound {lb}");
+}
+
+#[test]
+fn primal_dual_replay_matches_the_golden_cost() {
+    let out = replay("primal-dual");
+    assert_eq!(
+        out.cost, PRIMAL_DUAL_COST,
+        "sincronia-style primal-dual replay cost drifted from the golden anchor"
+    );
+}
+
+#[test]
+fn replay_is_byte_stable_across_runs() {
+    // Two independent end-to-end replays (fresh parse, fresh instance,
+    // fresh context) must agree bit-for-bit — the determinism half of
+    // the golden contract, including the LP's floating-point objective.
+    for algo in ["heuristic", "primal-dual"] {
+        let a = replay(algo);
+        let b = replay(algo);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{algo} cost drifted");
+        assert_eq!(
+            a.lower_bound.map(f64::to_bits),
+            b.lower_bound.map(f64::to_bits),
+            "{algo} LP bound drifted"
+        );
+        assert_eq!(
+            a.validation.completions.makespan, b.validation.completions.makespan,
+            "{algo} makespan drifted"
+        );
+    }
+}
