@@ -147,6 +147,9 @@ pub struct AlgoParams {
     pub alpha: f64,
     /// Idle-slot compaction for the LP-rounding pipeline (§6.1).
     pub compact: bool,
+    /// Disable warm-started re-solves in the online frameworks (the
+    /// `--cold` escape hatch for A/B measurements; warm is the default).
+    pub cold: bool,
 }
 
 impl Default for AlgoParams {
@@ -159,6 +162,7 @@ impl Default for AlgoParams {
             jahanjou_epsilon: crate::jahanjou::EPSILON_OPT,
             alpha: 0.5,
             compact: true,
+            cold: false,
         }
     }
 }
@@ -391,14 +395,14 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
         kind: AlgoKind::Online,
         description: "event-driven online re-solver: fresh LP + λ=1 rounding at each arrival",
         caps: LP_ANY,
-        build: |_| Box::new(OnlineSolver),
+        build: |p| Box::new(OnlineSolver { cold: p.cold }),
     },
     AlgorithmEntry {
         name: "batch-online",
         kind: AlgoKind::Online,
         description: "doubling-batch online framework: offline solves at boundaries 1, 2, 4, …",
         caps: LP_ANY,
-        build: |_| Box::new(BatchOnlineSolver),
+        build: |p| Box::new(BatchOnlineSolver { cold: p.cold }),
     },
 ];
 

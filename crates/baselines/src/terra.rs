@@ -44,18 +44,34 @@ pub struct TerraOutcome {
     pub standalone_cct: Vec<f64>,
 }
 
-/// Runs Terra's offline algorithm in the free-path model.
+/// Runs Terra's offline algorithm in the free-path model with default
+/// LP options.
 ///
 /// # Errors
 ///
 /// Propagates LP failures from the per-coflow CCT computations and
 /// allocator errors from the SRTF sweep.
 pub fn terra_offline(inst: &CoflowInstance) -> Result<TerraOutcome, CoflowError> {
+    terra_offline_with(inst, &SolverOptions::default())
+}
+
+/// [`terra_offline`] with explicit LP solver options — the registry path
+/// uses the context's configured options, so `--lp-*` knobs reach the
+/// per-coflow concurrent-flow LPs like every other algorithm.
+///
+/// # Errors
+///
+/// Propagates LP failures from the per-coflow CCT computations and
+/// allocator errors from the SRTF sweep.
+pub fn terra_offline_with(
+    inst: &CoflowInstance,
+    lp_opts: &SolverOptions,
+) -> Result<TerraOutcome, CoflowError> {
     let routing = Routing::FreePath;
     let standalone_cct: Vec<f64> = inst
         .coflows
         .iter()
-        .map(|cf| standalone_cct(&inst.graph, cf))
+        .map(|cf| standalone_cct_with(&inst.graph, cf, lp_opts))
         .collect::<Result<_, _>>()?;
 
     let mut alloc = SlotAllocator::new(inst, &routing)?;
@@ -111,7 +127,7 @@ impl CoflowSolver for TerraSolver {
                 "Terra's offline algorithm applies to the free path model".into(),
             ));
         }
-        let run = terra_offline(inst)?;
+        let run = terra_offline_with(inst, ctx.lp_options())?;
         SolveOutcome::from_schedule(inst, routing, run.schedule, ctx.tolerance())
     }
 }
@@ -124,6 +140,20 @@ impl CoflowSolver for TerraSolver {
 /// [`CoflowError::Lp`] if the concurrent-flow LP fails (cannot happen
 /// for validated instances).
 pub fn standalone_cct(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
+    standalone_cct_with(g, cf, &SolverOptions::default())
+}
+
+/// [`standalone_cct`] with explicit LP solver options.
+///
+/// # Errors
+///
+/// [`CoflowError::Lp`] if the concurrent-flow LP fails (cannot happen
+/// for validated instances).
+pub fn standalone_cct_with(
+    g: &Graph,
+    cf: &Coflow,
+    lp_opts: &SolverOptions,
+) -> Result<f64, CoflowError> {
     if cf.flows.len() == 1 {
         let f = &cf.flows[0];
         let mf = maxflow::max_flow(g, f.src, f.dst);
@@ -132,7 +162,7 @@ pub fn standalone_cct(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
         }
         return Ok(f.demand / mf.value);
     }
-    let theta = max_concurrent_flow(g, cf)?;
+    let theta = max_concurrent_flow(g, cf, lp_opts)?;
     if theta <= 0.0 {
         return Err(CoflowError::Lp("zero concurrent-flow throughput".into()));
     }
@@ -141,7 +171,11 @@ pub fn standalone_cct(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
 
 /// Solves `max θ` s.t. simultaneous flows of value `θ·σ_i` fit in the
 /// capacities (the classic maximum concurrent flow LP).
-fn max_concurrent_flow(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
+fn max_concurrent_flow(
+    g: &Graph,
+    cf: &Coflow,
+    lp_opts: &SolverOptions,
+) -> Result<f64, CoflowError> {
     let mut model = Model::new(Sense::Maximize);
     let theta = model.add_var("theta", 0.0, f64::INFINITY, 1.0);
     // Per flow, per edge rate variables.
@@ -179,7 +213,7 @@ fn max_concurrent_flow(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
         model.add_constraint(terms, Cmp::Le, e.capacity);
     }
     let sol = model
-        .solve_with(&SolverOptions::default())
+        .solve_with(lp_opts)
         .map_err(|e| CoflowError::Lp(format!("concurrent flow LP: {e}")))?;
     Ok(sol.objective)
 }
@@ -187,7 +221,7 @@ fn max_concurrent_flow(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
 /// Exposes the generic concurrent-flow machinery for tests and other
 /// baselines: CCT of a synthetic coflow built from explicit flows.
 pub fn concurrent_throughput(g: &Graph, cf: &Coflow) -> Result<f64, CoflowError> {
-    max_concurrent_flow(g, cf)
+    max_concurrent_flow(g, cf, &SolverOptions::default())
 }
 
 #[cfg(test)]

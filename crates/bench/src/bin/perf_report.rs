@@ -1,0 +1,351 @@
+//! The tracked performance harness: runs a pinned suite of
+//! warm-start-sensitive scenarios and emits `BENCH_PR5.json` — one point
+//! of the repo's performance trajectory.
+//!
+//! Scenarios (all deterministic given `--seed`):
+//!
+//! 1. **online fb2010 replay** — the bundled FB2010-format trace on the
+//!    gadgeted big switch, event-driven online re-solving. The run is
+//!    instrumented with a *shadow cold solve*: every epoch's exact LP is
+//!    additionally solved from the all-slack crash basis, so warm and
+//!    cold iteration counts compare the *same* LP sequence and their
+//!    objectives must agree to LP tolerance. A separate `--cold`
+//!    trajectory run provides the end-to-end wall-clock A/B.
+//! 2. **ε sweep** — the geometric-interval LP across an ε ladder,
+//!    chained (each point crashes from the previous basis) vs cold.
+//! 3. **online ablation** — the figure-harness online ablation at small
+//!    scale, reporting per-point wall-clock and LP effort from the
+//!    runner's [`PointStats`] capture.
+//!
+//! Exit is non-zero when the warm path fails its bar: iterations must be
+//! strictly below cold in `--quick` mode, and at least 2× below on the
+//! full online replay (the PR's acceptance criterion).
+//!
+//! Usage: `perf_report [--quick] [--seed S] [--output PATH]`.
+
+use coflow_bench::runner::{compute_figures, online_ablation_spec, PointStats};
+use coflow_bench::{HarnessConfig, SweepPool};
+use coflow_core::horizon::{horizon, HorizonMode};
+use coflow_core::interval::{solve_interval, solve_interval_chained, IntervalChain};
+use coflow_core::online::{online_heuristic_with, OnlineOptions};
+use coflow_core::routing::Routing;
+use coflow_lp::SolverOptions;
+use coflow_netgraph::topology;
+use coflow_workloads::trace::{ReplayOptions, Trace, FB2010_SAMPLE};
+use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
+use std::time::Instant;
+
+/// One emitted scenario record.
+struct Scenario {
+    name: String,
+    wall_ms: f64,
+    wall_ms_cold: Option<f64>,
+    iterations: u64,
+    iterations_cold: Option<u64>,
+    resolves: u64,
+    objective_max_rel_diff: Option<f64>,
+}
+
+impl Scenario {
+    fn json(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":\"{}\",\"wall_ms\":{:.3},\"iterations\":{},\"resolves\":{}",
+            self.name, self.wall_ms, self.iterations, self.resolves
+        );
+        if let Some(w) = self.wall_ms_cold {
+            s.push_str(&format!(",\"wall_ms_cold\":{w:.3}"));
+        }
+        if let Some(i) = self.iterations_cold {
+            s.push_str(&format!(",\"iterations_cold\":{i}"));
+            let speedup = i as f64 / (self.iterations.max(1)) as f64;
+            s.push_str(&format!(",\"iteration_speedup\":{speedup:.3}"));
+        }
+        if let Some(d) = self.objective_max_rel_diff {
+            s.push_str(&format!(",\"objective_max_rel_diff\":{d:.3e}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut output = String::from("BENCH_PR5.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires a value");
+                    std::process::exit(2);
+                });
+            }
+            "--output" => {
+                i += 1;
+                output = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--output requires a value");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: perf_report [--quick] [--seed S] [--output PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut scenarios = Vec::new();
+    let mut failures = Vec::new();
+
+    // ---- 1. Online fb2010 replay, warm vs cold ----
+    let replay = online_fb2010(quick);
+    let bar = if quick { 1.0 } else { 2.0 };
+    let warm_it = replay.iterations.max(1) as f64;
+    let cold_it = replay.iterations_cold.unwrap_or(0) as f64;
+    println!(
+        "online fb2010 replay: {} resolves, {warm_it} warm vs {cold_it} cold iterations ({:.2}x), \
+         objective drift {:.2e}",
+        replay.resolves,
+        cold_it / warm_it,
+        replay.objective_max_rel_diff.unwrap_or(0.0)
+    );
+    if cold_it <= bar * warm_it {
+        failures.push(format!(
+            "online fb2010 replay: cold {cold_it} iterations is not {bar}x warm {warm_it}"
+        ));
+    }
+    if replay.objective_max_rel_diff.unwrap_or(0.0) > 1e-6 {
+        failures.push("online fb2010 replay: warm/cold objectives diverged beyond 1e-6".into());
+    }
+    scenarios.push(replay);
+
+    // ---- 2. ε sweep, chained vs cold ----
+    let sweep = epsilon_sweep(quick, seed);
+    println!(
+        "epsilon sweep: {} points, {} chained vs {} cold iterations, objective drift {:.2e}",
+        sweep.resolves,
+        sweep.iterations,
+        sweep.iterations_cold.unwrap_or(0),
+        sweep.objective_max_rel_diff.unwrap_or(0.0)
+    );
+    if sweep.objective_max_rel_diff.unwrap_or(0.0) > 1e-6 {
+        failures.push("epsilon sweep: chained/cold objectives diverged beyond 1e-6".into());
+    }
+    scenarios.push(sweep);
+
+    // ---- 3. Online ablation through the figure harness ----
+    for s in online_ablation(quick, seed) {
+        println!(
+            "online ablation [{}]: {:.0} ms, {} LP iterations, {} online solves",
+            s.name, s.wall_ms, s.iterations, s.resolves
+        );
+        scenarios.push(s);
+    }
+
+    // ---- Emit ----
+    let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+    let json = format!(
+        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 5,\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
+        body.join(",\n    ")
+    );
+    std::fs::write(&output, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {output}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {output}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Scenario 1: the bundled trace replayed online, with the shadow cold
+/// probe measuring the same LP sequence from the all-slack basis.
+fn online_fb2010(quick: bool) -> Scenario {
+    let trace = Trace::parse(FB2010_SAMPLE).expect("bundled fixture parses");
+    let opts = ReplayOptions {
+        limit: if quick { 8 } else { 0 },
+        // Half-second slots double the arrival epochs of the fixture,
+        // which is exactly the regime warm starts are for.
+        ms_per_slot: 500.0,
+        ..Default::default()
+    };
+    let inst = trace.switch_instance(&opts).expect("fixture replays");
+    let lp_opts = SolverOptions::default();
+
+    // Pure warm trajectory, timed (no probes inflating the clock).
+    let t0 = Instant::now();
+    let _warm_run = online_heuristic_with(
+        &inst,
+        &Routing::FreePath,
+        &lp_opts,
+        &OnlineOptions {
+            cold: false,
+            shadow_cold: false,
+        },
+    )
+    .expect("online replay solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Instrumented warm trajectory with the shadow cold probe — the
+    // iteration counts compare warm vs cold on identical LPs.
+    let run = online_heuristic_with(
+        &inst,
+        &Routing::FreePath,
+        &lp_opts,
+        &OnlineOptions {
+            cold: false,
+            shadow_cold: true,
+        },
+    )
+    .expect("online replay solves");
+
+    let drift = run
+        .epoch_objectives
+        .iter()
+        .zip(run.cold_objectives.as_deref().unwrap_or(&[]))
+        .map(|(w, c)| (w - c).abs() / (1.0 + c.abs()))
+        .fold(0.0f64, f64::max);
+
+    // Separate cold trajectory for the end-to-end wall-clock A/B.
+    let t0 = Instant::now();
+    let _cold_run = online_heuristic_with(
+        &inst,
+        &Routing::FreePath,
+        &lp_opts,
+        &OnlineOptions {
+            cold: true,
+            shadow_cold: false,
+        },
+    )
+    .expect("cold online replay solves");
+    let wall_ms_cold = t0.elapsed().as_secs_f64() * 1e3;
+
+    Scenario {
+        name: "online_fb2010_replay".into(),
+        wall_ms,
+        wall_ms_cold: Some(wall_ms_cold),
+        iterations: run.lp_iterations as u64,
+        iterations_cold: run.cold_iterations.map(|i| i as u64),
+        resolves: run.resolves as u64,
+        objective_max_rel_diff: Some(drift),
+    }
+}
+
+/// Scenario 2: the interval LP across an ε ladder, basis-chained vs
+/// cold per point.
+fn epsilon_sweep(quick: bool, seed: u64) -> Scenario {
+    let topo = topology::swan();
+    let inst = build_instance(
+        &topo,
+        &WorkloadConfig {
+            kind: WorkloadKind::Facebook,
+            num_jobs: if quick { 4 } else { 8 },
+            seed,
+            slot_seconds: 50.0,
+            mean_interarrival_slots: 1.0,
+            weighted: true,
+            demand_scale: 1.0,
+        },
+    )
+    .expect("workload builds");
+    let t = horizon(
+        &inst,
+        &Routing::FreePath,
+        HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+    let opts = SolverOptions::default();
+    let epsilons: Vec<f64> = if quick {
+        vec![0.2, 0.5, 0.8]
+    } else {
+        (1..=10).map(|k| k as f64 / 10.0).collect()
+    };
+
+    let mut chain: Option<IntervalChain> = None;
+    let mut warm_iters = 0u64;
+    let mut cold_iters = 0u64;
+    let mut drift = 0.0f64;
+    let t0 = Instant::now();
+    for &eps in &epsilons {
+        let (rel, next) =
+            solve_interval_chained(&inst, &Routing::FreePath, t, eps, &opts, chain.as_ref())
+                .expect("interval LP solves");
+        warm_iters += rel.lp.lp_iterations as u64;
+        chain = Some(next);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let mut cold_objectives = Vec::new();
+    for &eps in &epsilons {
+        let rel =
+            solve_interval(&inst, &Routing::FreePath, t, eps, &opts).expect("interval LP solves");
+        cold_iters += rel.lp.lp_iterations as u64;
+        cold_objectives.push(rel.lp.objective);
+    }
+    let wall_ms_cold = t0.elapsed().as_secs_f64() * 1e3;
+    // Re-run the chain to compare objectives pointwise (cheap at this
+    // scale and keeps the two timed loops pure).
+    let mut chain: Option<IntervalChain> = None;
+    for (&eps, &cold_obj) in epsilons.iter().zip(&cold_objectives) {
+        let (rel, next) =
+            solve_interval_chained(&inst, &Routing::FreePath, t, eps, &opts, chain.as_ref())
+                .expect("interval LP solves");
+        drift = drift.max((rel.lp.objective - cold_obj).abs() / (1.0 + cold_obj.abs()));
+        chain = Some(next);
+    }
+
+    Scenario {
+        name: "epsilon_sweep".into(),
+        wall_ms,
+        wall_ms_cold: Some(wall_ms_cold),
+        iterations: warm_iters,
+        iterations_cold: Some(cold_iters),
+        resolves: epsilons.len() as u64,
+        objective_max_rel_diff: Some(drift),
+    }
+}
+
+/// Scenario 3: the figure-harness online ablation, one record per
+/// workload row, stats from the runner's per-point capture.
+fn online_ablation(quick: bool, seed: u64) -> Vec<Scenario> {
+    let topo = topology::swan();
+    let cfg = HarnessConfig {
+        jobs: if quick { 3 } else { 6 },
+        seed,
+        samples: 5,
+        mean_interarrival: 1.0,
+        verbose: false,
+    };
+    let spec = online_ablation_spec(&topo, &cfg);
+    let fig = compute_figures(vec![spec], &SweepPool::new())
+        .pop()
+        .expect("one figure")
+        .1;
+    fig.rows
+        .iter()
+        .zip(&fig.stats)
+        .map(|(row, stats): (_, &PointStats)| Scenario {
+            name: format!("online_ablation_{}", row.label.to_lowercase()),
+            wall_ms: stats.wall_ms,
+            wall_ms_cold: None,
+            iterations: stats.lp_iterations,
+            iterations_cold: None,
+            resolves: stats.resolves,
+            objective_max_rel_diff: None,
+        })
+        .collect()
+}

@@ -38,6 +38,23 @@ use std::sync::Arc;
 /// One series value (NaN renders as "-").
 pub type SeriesValue = f64;
 
+/// Performance counters of one scenario point: wall-clock (filled in by
+/// [`compute_figures`] around the point's closure) plus the LP effort
+/// its solves reported. Kept out of the CSVs — figure values stay
+/// deterministic across runs and worker counts — and consumed by the
+/// `perf_report` harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PointStats {
+    /// Wall-clock milliseconds the point took (measurement, not data —
+    /// varies run to run).
+    pub wall_ms: f64,
+    /// Total simplex iterations across every LP the point solved (only
+    /// solves that report iterations; LP-free algorithms contribute 0).
+    pub lp_iterations: u64,
+    /// LP re-solves/batches the online frameworks performed.
+    pub resolves: u64,
+}
+
 /// One row of a figure (a workload, or an ε value for Figure 8).
 #[derive(Clone, Debug)]
 pub struct FigureRow {
@@ -58,6 +75,10 @@ pub struct FigureResult {
     pub series_names: Vec<String>,
     /// Rows in presentation order.
     pub rows: Vec<FigureRow>,
+    /// Per-row performance counters, aligned with `rows`. Not written
+    /// to the CSVs (wall-clock is non-deterministic); `perf_report`
+    /// reads them.
+    pub stats: Vec<PointStats>,
 }
 
 /// What one scenario point produces: its series values, plus an
@@ -68,12 +89,46 @@ pub struct PointOutcome {
     pub values: Vec<SeriesValue>,
     /// Extra note text (e.g. online re-solve counts).
     pub note: Option<String>,
+    /// Performance counters (wall-clock is overwritten by
+    /// [`compute_figures`]).
+    pub stats: PointStats,
 }
 
 impl From<Vec<SeriesValue>> for PointOutcome {
     fn from(values: Vec<SeriesValue>) -> Self {
-        PointOutcome { values, note: None }
+        PointOutcome {
+            values,
+            note: None,
+            stats: PointStats::default(),
+        }
     }
+}
+
+/// Wraps series values into a [`PointOutcome`] whose stats aggregate
+/// the LP effort of the solves behind them.
+pub fn point_outcome(
+    values: Vec<SeriesValue>,
+    outcomes: &[(&'static str, SolveOutcome)],
+) -> PointOutcome {
+    PointOutcome {
+        values,
+        note: None,
+        stats: stats_of(outcomes),
+    }
+}
+
+/// Sums LP iterations and online solve counts over a point's outcomes.
+pub fn stats_of(outcomes: &[(&'static str, SolveOutcome)]) -> PointStats {
+    let mut stats = PointStats::default();
+    for (_, out) in outcomes {
+        stats.lp_iterations += out.lp_iterations.unwrap_or(0) as u64;
+        for key in ["resolves", "batches"] {
+            if let Some(v) = out.aux(key) {
+                stats.resolves += v as u64;
+            }
+        }
+    }
+    stats
 }
 
 /// A point's computation: pure function of its captured scenario inputs
@@ -133,7 +188,10 @@ pub fn compute_figures<'a>(
     let outcomes: Vec<PointOutcome> = pool.run(&tasks, |_, &(fi, pi)| {
         let point = &specs[fi].points[pi];
         let mut rng = StdRng::seed_from_u64(point.seed);
-        (point.compute)(&mut rng)
+        let t0 = std::time::Instant::now();
+        let mut out = (point.compute)(&mut rng);
+        out.stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        out
     });
 
     // Tasks were flattened in (figure, point) order, so grouping back by
@@ -162,6 +220,7 @@ pub fn compute_figures<'a>(
                     notes.push_str(n);
                 }
             }
+            let stats = outs.iter().map(|o| o.stats).collect();
             (
                 spec.stem,
                 FigureResult {
@@ -169,6 +228,7 @@ pub fn compute_figures<'a>(
                     notes,
                     series_names: spec.series_names,
                     rows,
+                    stats,
                 },
             )
         })
@@ -401,7 +461,8 @@ fn workload_sweep_points<'a>(
                     seed: cfg.seed,
                     ..Default::default()
                 };
-                run_series(&inst, &r, series, &params).0.into()
+                let (values, outcomes) = run_series(&inst, &r, series, &params);
+                point_outcome(values, &outcomes)
             }),
         })
         .collect()
@@ -477,9 +538,9 @@ pub fn epsilon_figure_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> Fi
                         ..Default::default()
                     };
                     let mut ctx = SolveContext::new().with_horizon_mode(HorizonMode::Fixed(t));
-                    run_series_with(&inst, &Routing::FreePath, SERIES, &params, &mut ctx)
-                        .0
-                        .into()
+                    let (values, outcomes) =
+                        run_series_with(&inst, &Routing::FreePath, SERIES, &params, &mut ctx);
+                    point_outcome(values, &outcomes)
                 }),
             }
         })
@@ -658,9 +719,9 @@ pub fn slot_length_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig)
                     SeriesDef::new("LP cols", "heuristic", Metric::LpCols),
                     SeriesDef::new("simplex iterations", "heuristic", Metric::LpIterations),
                 ];
-                run_series(&inst, &Routing::FreePath, &series, &AlgoParams::default())
-                    .0
-                    .into()
+                let (values, outcomes) =
+                    run_series(&inst, &Routing::FreePath, &series, &AlgoParams::default());
+                point_outcome(values, &outcomes)
             }),
         })
         .collect();
@@ -769,14 +830,16 @@ pub fn online_ablation_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> F
                         .and_then(|(_, o)| o.aux(key))
                         .expect("online solvers report their solve counts")
                 };
+                let note = Some(format!(
+                    "{}: {} re-solves vs {} batches.",
+                    kind.name(),
+                    stat("online", "resolves"),
+                    stat("batch-online", "batches"),
+                ));
                 PointOutcome {
                     values,
-                    note: Some(format!(
-                        "{}: {} re-solves vs {} batches.",
-                        kind.name(),
-                        stat("online", "resolves"),
-                        stat("batch-online", "batches"),
-                    )),
+                    note,
+                    stats: stats_of(&outcomes),
                 }
             }),
         })
@@ -860,9 +923,8 @@ pub fn scenario_library_spec<'a>(topo: &'a Topology, cfg: &'a HarnessConfig) -> 
                     seed: cfg.seed,
                     ..Default::default()
                 };
-                run_series(&inst, &Routing::FreePath, SERIES, &params)
-                    .0
-                    .into()
+                let (values, outcomes) = run_series(&inst, &Routing::FreePath, SERIES, &params);
+                point_outcome(values, &outcomes)
             }),
         })
         .collect();
@@ -929,9 +991,8 @@ pub fn trace_replay_spec(cfg: &HarnessConfig) -> FigureSpec<'static> {
                         seed,
                         ..Default::default()
                     };
-                    run_series(&inst, &Routing::FreePath, SERIES, &params)
-                        .0
-                        .into()
+                    let (values, outcomes) = run_series(&inst, &Routing::FreePath, SERIES, &params);
+                    point_outcome(values, &outcomes)
                 }),
             }
         })
@@ -1030,6 +1091,7 @@ mod tests {
                     compute: Box::new(move |_rng: &mut StdRng| PointOutcome {
                         values: vec![0.0],
                         note: Some(format!("n{i}")),
+                        stats: PointStats::default(),
                     }),
                 })
                 .collect(),

@@ -92,7 +92,7 @@ pub fn write_csv(fig: &FigureResult, stem: &str) -> std::io::Result<std::path::P
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{FigureResult, FigureRow};
+    use crate::runner::{FigureResult, FigureRow, PointStats};
 
     fn sample() -> FigureResult {
         FigureResult {
@@ -109,6 +109,7 @@ mod tests {
                     values: vec![10.25, f64::NAN],
                 },
             ],
+            stats: vec![PointStats::default(); 2],
         }
     }
 

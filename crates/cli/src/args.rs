@@ -16,7 +16,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["--unweighted", "--verbose", "--compact-off"];
+const SWITCHES: &[&str] = &["--unweighted", "--verbose", "--compact-off", "--cold"];
 
 impl Args {
     /// Parses raw arguments (without the program/subcommand names).

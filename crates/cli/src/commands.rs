@@ -202,10 +202,11 @@ pub fn solve(args: &Args) -> Result<(), String> {
 }
 
 /// The solver knobs `solve` and `trace replay` share:
-/// `--seed/--samples/--lambda/--k/--epsilon/--alpha`, validated and
-/// assembled into [`AlgoParams`] exactly once so the two commands
+/// `--seed/--samples/--lambda/--k/--epsilon/--alpha/--cold`, validated
+/// and assembled into [`AlgoParams`] exactly once so the two commands
 /// cannot drift (`--epsilon` maps onto both the interval-LP ε and
-/// Jahanjou's ε, as `solve` has always done).
+/// Jahanjou's ε, as `solve` has always done; `--cold` disables the
+/// online frameworks' warm-started re-solves for A/B runs).
 struct SolverKnobs {
     seed: u64,
     k: usize,
@@ -220,6 +221,7 @@ fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
     let k: usize = args.get("k", 3)?;
     let epsilon: f64 = args.get("epsilon", 0.0)?;
     let alpha: f64 = args.get("alpha", 0.5)?;
+    let cold = args.switch("--cold");
     if !(alpha > 0.0 && alpha <= 1.0) {
         return Err(format!("--alpha must lie in (0, 1], got {alpha}"));
     }
@@ -232,6 +234,7 @@ fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
             samples,
             seed,
             lambda,
+            cold,
             epsilon: if epsilon > 0.0 { epsilon } else { dflt.epsilon },
             jahanjou_epsilon: if epsilon > 0.0 {
                 epsilon

@@ -27,10 +27,11 @@ use crate::error::CoflowError;
 use crate::heuristic::lp_heuristic;
 use crate::horizon::{horizon, HorizonMode};
 use crate::model::{Coflow, CoflowInstance, Flow};
+use crate::rateplan::RatePlan;
+use crate::resolver::TimeIndexedResolver;
 use crate::routing::Routing;
 use crate::schedule::{Completions, Schedule, SlotTransfer};
 use crate::stretch::StretchOptions;
-use crate::timeidx::solve_time_indexed;
 use coflow_lp::SolverOptions;
 
 /// Flow-time statistics (`C_j − r_j`, release-relative latency).
@@ -81,6 +82,8 @@ pub struct BatchedOutcome {
     pub batches: usize,
     /// The boundary slot at which each batch was dispatched.
     pub dispatched_at: Vec<u32>,
+    /// Total simplex iterations across the per-batch solves.
+    pub lp_iterations: usize,
 }
 
 /// The doubling-batch online framework. See module docs.
@@ -98,6 +101,24 @@ pub fn interval_batch_online(
     inst: &CoflowInstance,
     routing: &Routing,
     lp_opts: &SolverOptions,
+) -> Result<BatchedOutcome, CoflowError> {
+    interval_batch_online_with(inst, routing, lp_opts, true)
+}
+
+/// [`interval_batch_online`] with the warm start togglable: each batch
+/// *appends* its coflows to one persistent [`TimeIndexedResolver`] model
+/// (dispatched work stays frozen in place) and re-solves from the
+/// previous batch's basis; `warm = false` re-solves each batch from the
+/// all-slack crash basis instead.
+///
+/// # Errors
+///
+/// Propagates routing and LP errors from the per-batch solves.
+pub fn interval_batch_online_with(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    lp_opts: &SolverOptions,
+    warm: bool,
 ) -> Result<BatchedOutcome, CoflowError> {
     routing.validate(inst)?;
     let max_release = inst
@@ -133,6 +154,10 @@ pub fn interval_batch_online(
     let mut committed_end = 0u32; // last slot used by appended batches
     let mut batches = 0;
     let mut dispatched_at = Vec::new();
+    let mut rebuilds = 0;
+
+    let t0 = horizon(inst, routing, HorizonMode::Greedy { margin: 1.25 })?;
+    let mut resolver = TimeIndexedResolver::new(inst, routing, t0, warm)?;
 
     for (k, &boundary) in boundaries.iter().enumerate() {
         // Members of this batch, with releases reset (the batch starts
@@ -170,23 +195,57 @@ pub fn interval_batch_online(
         };
         let sub_inst = CoflowInstance::new(inst.graph.clone(), coflows)
             .expect("batch of a valid instance is valid");
-        let t = horizon(
+        let t_batch = horizon(
             &sub_inst,
             &sub_routing,
             HorizonMode::Greedy { margin: 1.25 },
         )?;
-        let lp = solve_time_indexed(&sub_inst, &sub_routing, t, lp_opts)?;
-        let plan = lp_heuristic(&sub_inst, &lp.plan, StretchOptions::default());
 
         let start = boundary.max(committed_end);
         dispatched_at.push(start);
+        // Make sure the persistent model reaches the end of this batch
+        // before appending its columns (rebuild replays earlier batches
+        // as frozen history).
+        let needed = start + t_batch;
+        if needed > resolver.horizon() {
+            let grown = needed.max(((resolver.horizon() as f64) * 1.5).ceil() as u32);
+            resolver.rebuild(grown)?;
+        }
+        for &j in &members {
+            for i in 0..inst.coflows[j].flows.len() {
+                resolver.activate_flow(j, i, start + 1)?;
+            }
+        }
+        let lp = loop {
+            match resolver.solve(lp_opts)? {
+                Some(lp) => break lp,
+                None => {
+                    rebuilds += 1;
+                    if rebuilds > 8 {
+                        return Err(CoflowError::Lp(
+                            "batch-online resolver: horizon growth did not restore feasibility"
+                                .into(),
+                        ));
+                    }
+                    let grown = ((resolver.horizon() as f64) * 1.5).ceil() as u32 + 1;
+                    resolver.rebuild(grown)?;
+                }
+            }
+        };
+        let sub_plan = batch_plan(&lp.plan, &members, &sub_inst, start);
+        let plan = lp_heuristic(&sub_inst, &sub_plan, StretchOptions::default());
+
         let mut batch_end = start;
         for (sj, row) in plan.flows.iter().enumerate() {
             let j = members[sj];
             for (i, fl) in row.iter().enumerate() {
+                let demand = inst.coflows[j].flows[i].demand;
                 for st in fl {
                     let slot = start + st.slot;
                     batch_end = batch_end.max(slot);
+                    // Freeze the dispatched transfer in the persistent
+                    // LP: later batches re-solve around it, not over it.
+                    resolver.fix_slot(j, i, slot, st.volume / demand);
                     schedule.flows[j][i].push(SlotTransfer {
                         slot,
                         volume: st.volume,
@@ -207,7 +266,31 @@ pub fn interval_batch_online(
         schedule,
         batches,
         dispatched_at,
+        lp_iterations: resolver.total_iterations(),
     })
+}
+
+/// Slices the resolver's global-timeline plan down to one batch's
+/// sub-instance: the batch's flows only, segments shifted so the batch
+/// timeline starts at 0.
+fn batch_plan(
+    global: &RatePlan,
+    members: &[usize],
+    sub_inst: &CoflowInstance,
+    start: u32,
+) -> RatePlan {
+    let s0 = start as f64;
+    RatePlan {
+        flows: members
+            .iter()
+            .enumerate()
+            .map(|(sj, &j)| {
+                (0..sub_inst.coflows[sj].flows.len())
+                    .map(|i| global.flows[j][i].tail_from(s0))
+                    .collect()
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]

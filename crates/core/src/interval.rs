@@ -28,10 +28,78 @@ use crate::model::CoflowInstance;
 use crate::rateplan::{FlowPlan, RatePlan, Segment};
 use crate::routing::Routing;
 use crate::timeidx::{LpRelaxation, LpSize};
-use coflow_lp::{Cmp, Model, Sense, SolverOptions, VarId};
+use coflow_lp::{Basis, BasisStatus, Cmp, Model, Sense, SolverOptions, VarId};
 use coflow_netgraph::EdgeId;
+use std::collections::HashMap;
 
 const X_EPS: f64 = 1e-9;
+
+/// Logical identity of one variable or row of the interval LP,
+/// independent of the ε that produced it: `(kind, a, b, c, d)` where the
+/// payload fields are flow/coflow indices, path or mask positions,
+/// node/edge indices, and the *global interval ordinal* `k`. Two LPs
+/// built at different ε share keys for structurally-corresponding
+/// entities (early intervals map to early intervals), which is what lets
+/// a basis crash across the sweep.
+type LayoutKey = (u8, u32, u32, u32, u32);
+
+const KV_X: u8 = 0;
+const KV_PATH: u8 = 1;
+const KV_S: u8 = 2;
+const KV_EDGE: u8 = 3;
+const KV_XCOFLOW: u8 = 4;
+const KV_C: u8 = 5;
+const KR_CHAIN: u8 = 10;
+const KR_DEMAND: u8 = 11;
+const KR_PROGRESS: u8 = 12;
+const KR_COMPLETION: u8 = 13;
+const KR_CONSERVE: u8 = 14;
+const KR_CAPACITY: u8 = 15;
+
+/// Warm-start state carried across an ε sweep: the final basis of the
+/// previous interval solve plus the layout keys that give its statuses
+/// ε-independent identities. Produced and consumed by
+/// [`solve_interval_chained`]; [`crate::solve::SolveContext`] threads it
+/// through registry shoot-outs automatically.
+#[derive(Clone, Debug)]
+pub struct IntervalChain {
+    /// The ε whose solve produced this state.
+    pub epsilon: f64,
+    var_keys: Vec<LayoutKey>,
+    row_keys: Vec<LayoutKey>,
+    basis: Basis,
+}
+
+impl IntervalChain {
+    /// Crashes a basis for a model with the given layout from this
+    /// chain's statuses: matching keys copy their status, new variables
+    /// start nonbasic at their lower bound, new rows contribute their
+    /// slack (the warm installer repairs cardinality).
+    fn remap(&self, var_keys: &[LayoutKey], row_keys: &[LayoutKey]) -> Basis {
+        let vmap: HashMap<LayoutKey, BasisStatus> = self
+            .var_keys
+            .iter()
+            .copied()
+            .zip(self.basis.vars.iter().copied())
+            .collect();
+        let rmap: HashMap<LayoutKey, BasisStatus> = self
+            .row_keys
+            .iter()
+            .copied()
+            .zip(self.basis.rows.iter().copied())
+            .collect();
+        Basis {
+            vars: var_keys
+                .iter()
+                .map(|k| vmap.get(k).copied().unwrap_or(BasisStatus::Lower))
+                .collect(),
+            rows: row_keys
+                .iter()
+                .map(|k| rmap.get(k).copied().unwrap_or(BasisStatus::Basic))
+                .collect(),
+        }
+    }
+}
 
 /// Result of the interval relaxation: the generic LP outcome plus the
 /// interval structure (needed by α-point rounding).
@@ -93,6 +161,41 @@ pub fn solve_interval(
     epsilon: f64,
     opts: &SolverOptions,
 ) -> Result<IntervalRelaxation, CoflowError> {
+    Ok(solve_interval_impl(inst, routing, horizon, epsilon, opts, None)?.0)
+}
+
+/// Like [`solve_interval`], but warm-started from (and producing) an
+/// [`IntervalChain`]: adjacent ε points of a sweep crash from the
+/// previous optimal basis instead of the all-slack start. Passing
+/// `chain: None` still returns a chain (seeded from a cold no-presolve
+/// solve) so the *next* point can warm-start.
+///
+/// The objective is the same optimum [`solve_interval`] finds — warm
+/// starts change the pivot path, never the value (beyond LP tolerance).
+///
+/// # Errors
+///
+/// Mirrors [`solve_interval`].
+pub fn solve_interval_chained(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+    epsilon: f64,
+    opts: &SolverOptions,
+    chain: Option<&IntervalChain>,
+) -> Result<(IntervalRelaxation, IntervalChain), CoflowError> {
+    let (rel, chain) = solve_interval_impl(inst, routing, horizon, epsilon, opts, Some(chain))?;
+    Ok((rel, chain.expect("chained mode always returns a chain")))
+}
+
+fn solve_interval_impl(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+    epsilon: f64,
+    opts: &SolverOptions,
+    warm: Option<Option<&IntervalChain>>,
+) -> Result<(IntervalRelaxation, Option<IntervalChain>), CoflowError> {
     routing.validate(inst)?;
     let tau = geometric_boundaries_with_release(horizon, epsilon, inst.max_release());
     let nk = tau.len() - 1; // intervals 1..=nk, index k-1 internally
@@ -119,6 +222,8 @@ pub fn solve_interval(
     }
 
     let mut model = Model::new(Sense::Minimize);
+    let mut var_keys: Vec<LayoutKey> = Vec::new();
+    let mut row_keys: Vec<LayoutKey> = Vec::new();
 
     struct FlowVars {
         first: usize,
@@ -149,61 +254,50 @@ pub fn solve_interval(
             };
             match routing {
                 Routing::SinglePath(_) | Routing::FreePath => {
-                    fv.x = (0..nvars)
-                        .map(|_| model.add_var("", 0.0, 1.0, 0.0))
-                        .collect();
+                    for idx in 0..nvars {
+                        fv.x.push(model.add_var("", 0.0, 1.0, 0.0));
+                        var_keys.push((KV_X, j as u32, i as u32, (first + idx) as u32, 0));
+                    }
                 }
                 Routing::MultiPath(sets) => {
-                    fv.paths = sets[j][i]
-                        .iter()
-                        .map(|_| {
-                            (0..nvars)
-                                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
-                                .collect()
-                        })
-                        .collect();
+                    for (p, _) in sets[j][i].iter().enumerate() {
+                        let mut col = Vec::with_capacity(nvars);
+                        for idx in 0..nvars {
+                            col.push(model.add_var("", 0.0, 1.0, 0.0));
+                            var_keys.push((
+                                KV_PATH,
+                                j as u32,
+                                i as u32,
+                                p as u32,
+                                (first + idx) as u32,
+                            ));
+                        }
+                        fv.paths.push(col);
+                    }
                 }
             }
-            fv.s = (0..nvars)
-                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
-                .collect();
+            for idx in 0..nvars {
+                fv.s.push(model.add_var("", 0.0, 1.0, 0.0));
+                var_keys.push((KV_S, j as u32, i as u32, (first + idx) as u32, 0));
+            }
             if matches!(routing, Routing::FreePath) {
-                let mask = mask_cache.entry((f.src, f.dst)).or_insert_with(|| {
-                    let fwd = g.reachable_from(f.src);
-                    let mut bwd = vec![false; g.node_count()];
-                    let mut q = std::collections::VecDeque::new();
-                    bwd[f.dst.index()] = true;
-                    q.push_back(f.dst);
-                    while let Some(v) = q.pop_front() {
-                        for &e in g.in_edges(v) {
-                            let u = g.src(e);
-                            if !bwd[u.index()] {
-                                bwd[u.index()] = true;
-                                q.push_back(u);
-                            }
-                        }
+                let mask = mask_cache
+                    .entry((f.src, f.dst))
+                    .or_insert_with(|| crate::timeidx::free_path_mask(g, f.src, f.dst));
+                for (pos, &e) in mask.iter().enumerate() {
+                    let mut col = Vec::with_capacity(nvars);
+                    for idx in 0..nvars {
+                        col.push(model.add_var("", 0.0, 1.0, 0.0));
+                        var_keys.push((
+                            KV_EDGE,
+                            j as u32,
+                            i as u32,
+                            pos as u32,
+                            (first + idx) as u32,
+                        ));
                     }
-                    g.edges()
-                        .filter(|e| {
-                            fwd[e.src.index()]
-                                && bwd[e.dst.index()]
-                                && e.dst != f.src
-                                && e.src != f.dst
-                        })
-                        .map(|e| e.id)
-                        .collect()
-                });
-                fv.edges = mask
-                    .iter()
-                    .map(|&e| {
-                        (
-                            e,
-                            (0..nvars)
-                                .map(|_| model.add_var("", 0.0, 1.0, 0.0))
-                                .collect(),
-                        )
-                    })
-                    .collect();
+                    fv.edges.push((e, col));
+                }
             }
             row.push(fv);
         }
@@ -219,11 +313,14 @@ pub fn solve_interval(
             .map(|i| first_k[j][i])
             .max()
             .expect("non-empty");
-        let vars: Vec<VarId> = (kj..=nk)
-            .map(|_| model.add_var("", 0.0, 1.0, 0.0))
-            .collect();
+        let mut vars: Vec<VarId> = Vec::with_capacity(nk + 1 - kj);
+        for k in kj..=nk {
+            vars.push(model.add_var("", 0.0, 1.0, 0.0));
+            var_keys.push((KV_XCOFLOW, j as u32, k as u32, 0, 0));
+        }
         x_coflow.push((kj, vars));
         c_vars.push(model.add_var("", 1.0, f64::INFINITY, cf.weight));
+        var_keys.push((KV_C, j as u32, 0, 0, 0));
     }
 
     // Prefix chains and totals.
@@ -245,8 +342,10 @@ pub fn solve_interval(
                     _ => terms.push((fv.x[idx], -1.0)),
                 }
                 model.add_constraint(terms, Cmp::Eq, 0.0);
+                row_keys.push((KR_CHAIN, j as u32, i as u32, (fv.first + idx) as u32, 0));
             }
             model.add_constraint([(fv.s[nvars - 1], 1.0)], Cmp::Eq, 1.0);
+            row_keys.push((KR_DEMAND, j as u32, i as u32, 0, 0));
         }
     }
 
@@ -259,6 +358,7 @@ pub fn solve_interval(
                 let fv = &flow_vars[j][i];
                 let sidx = k - fv.first;
                 model.add_constraint([(fv.s[sidx], 1.0), (xv, -1.0)], Cmp::Ge, 0.0);
+                row_keys.push((KR_PROGRESS, j as u32, k as u32, i as u32, 0));
             }
         }
         // C_j + Σ_k len_k X_j(k) ≥ 1 + Σ_k len_k (skipped X treated as 0).
@@ -268,6 +368,7 @@ pub fn solve_interval(
             terms.push((xv, tau[k] - tau[k - 1]));
         }
         model.add_constraint(terms, Cmp::Ge, 1.0 + total_len);
+        row_keys.push((KR_COMPLETION, j as u32, 0, 0, 0));
     }
 
     // Capacity (and conservation for free path), scaled by interval length.
@@ -289,6 +390,7 @@ pub fn solve_interval(
             for ((k, e), terms) in buckets {
                 let len = tau[k] - tau[k - 1];
                 model.add_constraint(terms, Cmp::Le, len * g.capacity(e));
+                row_keys.push((KR_CAPACITY, k as u32, e.index() as u32, 0, 0));
             }
         }
         Routing::MultiPath(sets) => {
@@ -310,6 +412,7 @@ pub fn solve_interval(
             for ((k, e), terms) in buckets {
                 let len = tau[k] - tau[k - 1];
                 model.add_constraint(terms, Cmp::Le, len * g.capacity(e));
+                row_keys.push((KR_CAPACITY, k as u32, e.index() as u32, 0, 0));
             }
         }
         Routing::FreePath => {
@@ -349,6 +452,13 @@ pub fn solve_interval(
                                 }
                             }
                             model.add_constraint(terms, Cmp::Eq, 0.0);
+                            row_keys.push((
+                                KR_CONSERVE,
+                                j as u32,
+                                i as u32,
+                                k as u32,
+                                v.index() as u32,
+                            ));
                         }
                         for &(e, ref vars) in &fv.edges {
                             buckets
@@ -362,6 +472,7 @@ pub fn solve_interval(
             for ((k, e), terms) in buckets {
                 let len = tau[k] - tau[k - 1];
                 model.add_constraint(terms, Cmp::Le, len * g.capacity(e));
+                row_keys.push((KR_CAPACITY, k as u32, e.index() as u32, 0, 0));
             }
         }
     }
@@ -371,7 +482,30 @@ pub fn solve_interval(
         cols: model.num_vars(),
         nonzeros: model.num_nonzeros(),
     };
-    let sol = model.solve_with(opts)?;
+    debug_assert_eq!(var_keys.len(), model.num_vars(), "layout keys drifted");
+    debug_assert_eq!(
+        row_keys.len(),
+        model.num_constraints(),
+        "layout keys drifted"
+    );
+    let (sol, chain_out) = match warm {
+        // Plain path: presolved cold solve, bit-identical to the
+        // pre-chaining behavior; no basis comes out.
+        None => (model.solve_with(opts)?, None),
+        Some(chain) => {
+            let crash = chain.map(|c| c.remap(&var_keys, &row_keys));
+            let (sol, basis) = model.solve_warm(crash.as_ref(), opts)?;
+            (
+                sol,
+                Some(IntervalChain {
+                    epsilon,
+                    var_keys,
+                    row_keys,
+                    basis,
+                }),
+            )
+        }
+    };
 
     // ---- Extraction: uniform rate per interval. ----
     let mut plan = RatePlan::empty_like(inst);
@@ -443,19 +577,22 @@ pub fn solve_interval(
     }
 
     let completions = c_vars.iter().map(|&c| sol.value(c)).collect();
-    Ok(IntervalRelaxation {
-        lp: LpRelaxation {
-            objective: sol.objective,
-            completions,
-            plan,
-            horizon,
-            lp_iterations: sol.iterations,
-            size,
+    Ok((
+        IntervalRelaxation {
+            lp: LpRelaxation {
+                objective: sol.objective,
+                completions,
+                plan,
+                horizon,
+                lp_iterations: sol.iterations,
+                size,
+            },
+            boundaries: tau,
+            epsilon,
+            flow_fractions,
         },
-        boundaries: tau,
-        epsilon,
-        flow_fractions,
-    })
+        chain_out,
+    ))
 }
 
 #[cfg(test)]
@@ -544,6 +681,37 @@ mod tests {
         // And the fine bound stays below the true optimum 5 plus the
         // interval-granularity slack.
         assert!(fine.lp.objective <= 5.0 + 1.0, "fine {}", fine.lp.objective);
+    }
+
+    #[test]
+    fn chained_epsilon_sweep_matches_cold_objectives() {
+        // Warm-chaining across an ε sweep must land on the same optima
+        // the presolved cold path finds, for every routing-free point.
+        let inst = fig2_instance();
+        let opts = SolverOptions::default();
+        let mut chain: Option<IntervalChain> = None;
+        for k in 1..=6 {
+            let epsilon = k as f64 * 0.15;
+            let cold = solve_interval(&inst, &Routing::FreePath, 8, epsilon, &opts).unwrap();
+            let (warm, next) = solve_interval_chained(
+                &inst,
+                &Routing::FreePath,
+                8,
+                epsilon,
+                &opts,
+                chain.as_ref(),
+            )
+            .unwrap();
+            assert!(
+                (warm.lp.objective - cold.lp.objective).abs()
+                    < 1e-6 * (1.0 + cold.lp.objective.abs()),
+                "ε={epsilon}: warm {} vs cold {}",
+                warm.lp.objective,
+                cold.lp.objective
+            );
+            assert_eq!(next.epsilon, epsilon);
+            chain = Some(next);
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod io;
 pub mod model;
 pub mod online;
 pub mod rateplan;
+pub mod resolver;
 pub mod routing;
 pub mod schedule;
 pub mod sensitivity;

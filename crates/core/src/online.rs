@@ -5,21 +5,47 @@
 //!
 //! The scheduler is clairvoyant about *demands* but not arrivals: at
 //! every release epoch it re-solves the time-indexed relaxation over the
-//! **remaining** work of all released, unfinished flows and follows the
-//! λ=1 heuristic schedule until the next arrival. The execution trace is
-//! assembled into an ordinary [`Schedule`] over the original instance,
-//! so the standard validator and completion accounting apply unchanged —
-//! and the offline LP bound remains a valid yardstick.
+//! released, unfinished work and follows the λ=1 heuristic schedule
+//! until the next arrival. The execution trace is assembled into an
+//! ordinary [`Schedule`] over the original instance, so the standard
+//! validator and completion accounting apply unchanged — and the
+//! offline LP bound remains a valid yardstick.
+//!
+//! Since the warm-start rework the per-epoch LP is **not** rebuilt: a
+//! persistent [`TimeIndexedResolver`] keeps one model on the global
+//! timeline, each epoch *appends* the newly released flows' columns and
+//! rows, freezes the fractions executed in the window just played, and
+//! re-solves warm from the previous basis. Pass
+//! [`OnlineOptions::cold`] to re-solve every epoch from the all-slack
+//! crash basis instead (the `--cold` A/B escape hatch), and
+//! [`OnlineOptions::shadow_cold`] to *additionally* cold-solve each
+//! epoch's exact model on the side — the rigorous warm-vs-cold
+//! iteration comparison on identical LPs that `perf_report` records.
 
 use crate::error::CoflowError;
 use crate::heuristic::lp_heuristic;
 use crate::horizon::{horizon, HorizonMode};
 use crate::model::{Coflow, CoflowInstance, Flow};
+use crate::rateplan::RatePlan;
+use crate::resolver::TimeIndexedResolver;
 use crate::routing::Routing;
 use crate::schedule::{Schedule, SlotTransfer};
 use crate::stretch::StretchOptions;
-use crate::timeidx::solve_time_indexed;
 use coflow_lp::SolverOptions;
+
+/// Knobs for [`online_heuristic_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineOptions {
+    /// Drop the basis before every epoch re-solve (A/B baseline;
+    /// mutation bookkeeping is unchanged, only the warm start is off).
+    pub cold: bool,
+    /// Additionally solve each epoch's exact model from the all-slack
+    /// crash basis, recording its objective and iteration count in
+    /// [`OnlineOutcome::cold_objectives`] /
+    /// [`OnlineOutcome::cold_iterations`]. This is the apples-to-apples
+    /// measurement: same LP sequence, warm vs cold.
+    pub shadow_cold: bool,
+}
 
 /// Result of an online run.
 #[derive(Clone, Debug)]
@@ -29,9 +55,24 @@ pub struct OnlineOutcome {
     /// Number of LP re-solves performed (one per arrival epoch with
     /// pending work).
     pub resolves: usize,
+    /// Total simplex iterations across all epoch re-solves — the LP
+    /// effort the run actually spent (plotted by the perf harness).
+    pub lp_iterations: usize,
+    /// Objective of each epoch's LP re-solve, in epoch order.
+    pub epoch_objectives: Vec<f64>,
+    /// With [`OnlineOptions::shadow_cold`]: total iterations the same
+    /// LP sequence costs from the all-slack crash basis.
+    pub cold_iterations: Option<usize>,
+    /// With [`OnlineOptions::shadow_cold`]: each epoch's cold objective
+    /// (must match [`OnlineOutcome::epoch_objectives`] to LP tolerance).
+    pub cold_objectives: Option<Vec<f64>>,
+    /// Horizon-growth rebuilds the resolver needed (0 in the common
+    /// case: the initial greedy estimate covered the whole run).
+    pub rebuilds: usize,
 }
 
-/// Runs the online re-solving heuristic. See module docs.
+/// Runs the online re-solving heuristic with default options (warm
+/// re-solves). See module docs.
 ///
 /// # Errors
 ///
@@ -40,6 +81,20 @@ pub fn online_heuristic(
     inst: &CoflowInstance,
     routing: &Routing,
     lp_opts: &SolverOptions,
+) -> Result<OnlineOutcome, CoflowError> {
+    online_heuristic_with(inst, routing, lp_opts, &OnlineOptions::default())
+}
+
+/// Runs the online re-solving heuristic. See module docs.
+///
+/// # Errors
+///
+/// Propagates LP/routing errors from the per-epoch solves.
+pub fn online_heuristic_with(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    lp_opts: &SolverOptions,
+    online_opts: &OnlineOptions,
 ) -> Result<OnlineOutcome, CoflowError> {
     routing.validate(inst)?;
 
@@ -61,27 +116,65 @@ pub fn online_heuristic(
             .collect(),
     };
     let mut resolves = 0;
+    let mut rebuilds = 0;
+    let mut epoch_objectives = Vec::with_capacity(epochs.len());
+    let mut cold_objectives = Vec::new();
+    let mut cold_iterations = 0usize;
+
+    let t0 = horizon(inst, routing, HorizonMode::Greedy { margin: 1.25 })?;
+    let mut resolver = TimeIndexedResolver::new(inst, routing, t0, !online_opts.cold)?;
 
     for (ei, &epoch) in epochs.iter().enumerate() {
+        // Reveal this epoch's arrivals to the persistent LP.
+        for (key, f) in inst.flows() {
+            if f.release == epoch {
+                resolver.activate_flow(key.coflow as usize, key.flow as usize, f.release + 1)?;
+            }
+        }
         // Work available from slot epoch+1 onward.
         let sub = build_residual(inst, routing, &remaining, epoch);
-        let Some((sub_inst, sub_routing, index)) = sub else {
+        let Some((sub_inst, _sub_routing, index)) = sub else {
             continue; // nothing pending at this epoch
         };
         resolves += 1;
-        let t = horizon(
-            &sub_inst,
-            &sub_routing,
-            HorizonMode::Greedy { margin: 1.25 },
-        )?;
-        let lp = solve_time_indexed(&sub_inst, &sub_routing, t, lp_opts)?;
-        let plan = lp_heuristic(&sub_inst, &lp.plan, StretchOptions::default());
+
+        // Warm re-solve; on horizon overflow grow and replay (rare).
+        let lp = loop {
+            match resolver.solve(lp_opts)? {
+                Some(lp) => break lp,
+                None => {
+                    rebuilds += 1;
+                    if rebuilds > 8 {
+                        return Err(CoflowError::Lp(
+                            "online resolver: horizon growth did not restore feasibility".into(),
+                        ));
+                    }
+                    let grown = ((resolver.horizon() as f64) * 1.5).ceil() as u32 + 1;
+                    resolver.rebuild(grown)?;
+                }
+            }
+        };
+        epoch_objectives.push(lp.objective);
+        if online_opts.shadow_cold {
+            let (obj, iters) = resolver
+                .probe_cold(lp_opts)?
+                .expect("warm-feasible model is cold-feasible");
+            cold_objectives.push(obj);
+            cold_iterations += iters;
+        }
+
+        // Local residual plan: the global solution restricted to slots
+        // after this epoch, shifted onto the residual timeline.
+        let sub_plan = residual_plan(&lp.plan, &index, epoch);
+        let plan = lp_heuristic(&sub_inst, &sub_plan, StretchOptions::default());
 
         // Execute until the next epoch (or to completion after the last).
         let window = match epochs.get(ei + 1) {
             Some(&next) => next - epoch,
             None => u32::MAX,
         };
+        let mut executed: std::collections::BTreeMap<(usize, usize, u32), f64> =
+            std::collections::BTreeMap::new();
         for (sj, row) in plan.flows.iter().enumerate() {
             for (si, fl) in row.iter().enumerate() {
                 let (j, i) = index[sj][si];
@@ -94,11 +187,28 @@ pub fn online_heuristic(
                     if remaining[j][i] < 1e-9 {
                         remaining[j][i] = 0.0;
                     }
+                    *executed.entry((j, i, global_slot)).or_insert(0.0) += st.volume;
                     schedule.flows[j][i].push(SlotTransfer {
                         slot: global_slot,
                         volume: st.volume,
                         edges: st.edges.clone(),
                     });
+                }
+            }
+        }
+        // Freeze the window in the persistent LP: every pending flow's
+        // slots in (epoch, next_epoch] are pinned to what actually ran
+        // (including zero), so the next warm re-solve schedules only the
+        // remaining work. After the last epoch nothing is pending.
+        if window != u32::MAX {
+            let next_epoch = epoch + window;
+            for idx_row in &index {
+                for &(j, i) in idx_row {
+                    let demand = inst.coflows[j].flows[i].demand;
+                    for slot in epoch + 1..=next_epoch.min(resolver.horizon()) {
+                        let vol = executed.get(&(j, i, slot)).copied().unwrap_or(0.0);
+                        resolver.fix_slot(j, i, slot, vol / demand);
+                    }
                 }
             }
         }
@@ -119,7 +229,33 @@ pub fn online_heuristic(
             fl.sort_by_key(|st| st.slot);
         }
     }
-    Ok(OnlineOutcome { schedule, resolves })
+    Ok(OnlineOutcome {
+        schedule,
+        resolves,
+        lp_iterations: resolver.total_iterations(),
+        epoch_objectives,
+        cold_iterations: online_opts.shadow_cold.then_some(cold_iterations),
+        cold_objectives: online_opts.shadow_cold.then_some(cold_objectives),
+        rebuilds,
+    })
+}
+
+/// Slices the resolver's global-timeline plan down to the residual
+/// sub-instance: only segments after `epoch`, shifted so the residual
+/// timeline starts at 0, indexed like the sub-instance.
+fn residual_plan(global: &RatePlan, index: &ResidualIndex, epoch: u32) -> RatePlan {
+    let e = epoch as f64;
+    RatePlan {
+        flows: index
+            .iter()
+            .map(|idx_row| {
+                idx_row
+                    .iter()
+                    .map(|&(j, i)| global.flows[j][i].tail_from(e))
+                    .collect()
+            })
+            .collect(),
+    }
 }
 
 type ResidualIndex = Vec<Vec<(usize, usize)>>;

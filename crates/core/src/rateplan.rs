@@ -70,6 +70,28 @@ impl FlowPlan {
         None
     }
 
+    /// The plan's tail from `offset` onward, shifted so the tail's
+    /// timeline starts at 0. Segments are kept whole (the LP plans this
+    /// serves are slot-aligned, so nothing straddles an epoch boundary);
+    /// the 1e-9 slack absorbs float drift in the boundary itself. This
+    /// is how the online frameworks slice a global-timeline resolver
+    /// plan down to one epoch's or batch's residual problem.
+    pub fn tail_from(&self, offset: f64) -> FlowPlan {
+        FlowPlan {
+            segments: self
+                .segments
+                .iter()
+                .filter(|s| s.t0 >= offset - 1e-9)
+                .map(|s| Segment {
+                    t0: s.t0 - offset,
+                    t1: s.t1 - offset,
+                    rate: s.rate,
+                    edges: s.edges.clone(),
+                })
+                .collect(),
+        }
+    }
+
     /// Truncates the plan at the moment `demand` is met ("once σ units
     /// have been scheduled, leave the remaining slots empty", §4.1).
     pub fn truncate_at(&self, demand: f64) -> FlowPlan {

@@ -1,0 +1,674 @@
+//! A persistent, warm-started time-indexed LP that survives across
+//! arrival epochs and batch dispatches.
+//!
+//! The online algorithms solve *sequences* of nearly-identical
+//! time-indexed relaxations: each arrival epoch adds a few flows and
+//! freezes the slots that were just executed, everything else is
+//! unchanged. Rebuilding and cold-solving the LP at every epoch (what
+//! [`crate::online`] did before this module) throws the previous basis
+//! away exactly when it is most useful. [`TimeIndexedResolver`] keeps
+//! one [`Model`] and one [`Basis`] alive instead:
+//!
+//! * **arrival** — the new flows' columns and rows are *appended* to the
+//!   solved model ([`Model::add_var`] / [`Model::add_constraint`] /
+//!   [`Model::add_term`] into the shared capacity rows), the basis is
+//!   patched up with [`Basis::grow`], and the dual simplex pivots back
+//!   to optimality;
+//! * **execution** — the fractions actually transmitted in the window
+//!   just played are frozen with [`fix_slot`](TimeIndexedResolver::fix_slot)
+//!   (bound changes keep the basis dual feasible), so the next re-solve
+//!   schedules only the remaining work.
+//!
+//! The model lives on the *global* timeline of the original instance:
+//! flow variables start at the flow's activation slot, and executed
+//! history stays in the model as fixed variables. The first solve is
+//! built lazily over everything activated so far and goes through the
+//! ordinary presolved cold path — when every flow activates at
+//! `release + 1` before the first solve, the model (and hence the
+//! solution) is bit-for-bit the offline [`crate::timeidx`] relaxation.
+//! Later solves use [`Model::solve_warm`]; construct with `warm = false`
+//! (the `--cold` escape hatch) to re-solve every epoch from the
+//! all-slack crash basis instead, for A/B iteration measurements.
+//!
+//! When capacity or horizon pressure makes an epoch infeasible (the
+//! composed online schedule outgrew the initial horizon estimate), the
+//! caller grows the horizon with
+//! [`rebuild`](TimeIndexedResolver::rebuild): the activation and fix
+//! logs are replayed into a fresh, larger model and solving restarts
+//! cold — rare, bounded, and self-healing.
+
+use crate::error::CoflowError;
+use crate::model::CoflowInstance;
+use crate::routing::Routing;
+use crate::timeidx::{self, Built, FlowVars, LpRelaxation, LpSize};
+use coflow_lp::{Basis, Cmp, ConstraintId, Model, SolverOptions, VarId};
+use coflow_netgraph::EdgeId;
+use std::collections::BTreeMap;
+
+/// Persistent warm-started solver for a growing time-indexed LP.
+/// See the module docs for the epoch loop it serves.
+pub struct TimeIndexedResolver<'a> {
+    inst: &'a CoflowInstance,
+    routing: &'a Routing,
+    horizon: u32,
+    warm: bool,
+    built: Option<Built>,
+    /// `(slot, edge) → capacity row` index mirroring `built.cap_rows`.
+    cap_index: BTreeMap<(u32, EdgeId), ConstraintId>,
+    basis: Option<Basis>,
+    solved_once: bool,
+    // Replay logs for `rebuild`.
+    activations: Vec<(usize, usize, u32)>,
+    fixes: Vec<(usize, usize, u32, f64)>,
+    // Instrumentation.
+    resolves: usize,
+    total_iterations: usize,
+    last_iterations: usize,
+    last_was_warm: bool,
+}
+
+impl<'a> TimeIndexedResolver<'a> {
+    /// Creates an empty resolver over `(inst, routing)` with the given
+    /// global horizon. Flows contribute nothing until
+    /// [`activate_flow`](TimeIndexedResolver::activate_flow)ed.
+    ///
+    /// `warm = false` keeps every mutation but re-solves from the
+    /// all-slack crash basis each time — the measurement baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadRouting`] when routing does not match the
+    /// instance.
+    pub fn new(
+        inst: &'a CoflowInstance,
+        routing: &'a Routing,
+        horizon: u32,
+        warm: bool,
+    ) -> Result<Self, CoflowError> {
+        routing.validate(inst)?;
+        Ok(TimeIndexedResolver {
+            inst,
+            routing,
+            horizon,
+            warm,
+            built: None,
+            cap_index: BTreeMap::new(),
+            basis: None,
+            solved_once: false,
+            activations: Vec::new(),
+            fixes: Vec::new(),
+            resolves: 0,
+            total_iterations: 0,
+            last_iterations: 0,
+            last_was_warm: false,
+        })
+    }
+
+    /// The global horizon `T` the model is built over.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// LP re-solves performed so far.
+    pub fn resolves(&self) -> usize {
+        self.resolves
+    }
+
+    /// Simplex iterations across all solves.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+
+    /// Iterations of the most recent solve.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// Whether the most recent solve started from a kept basis.
+    pub fn last_was_warm(&self) -> bool {
+        self.last_was_warm
+    }
+
+    /// Activates flow `(j, i)`: its variables cover slots
+    /// `first_slot ..= horizon`. Before the first solve this only
+    /// records the activation (the model is built lazily, in offline
+    /// build order); afterwards the flow's columns and rows are appended
+    /// to the solved model and the kept basis is grown to match.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] when `first_slot` lies outside
+    /// `1..=horizon` — grow the horizon with
+    /// [`rebuild`](TimeIndexedResolver::rebuild) first.
+    pub fn activate_flow(
+        &mut self,
+        j: usize,
+        i: usize,
+        first_slot: u32,
+    ) -> Result<(), CoflowError> {
+        if !(1..=self.horizon).contains(&first_slot) {
+            return Err(CoflowError::BadInstance(format!(
+                "activation slot {first_slot} outside horizon {} for flow ({j},{i})",
+                self.horizon
+            )));
+        }
+        self.activations.push((j, i, first_slot));
+        if self.built.is_some() {
+            self.append_flow(j, i, first_slot);
+        }
+        Ok(())
+    }
+
+    /// Freezes the transmitted fraction of flow `(j, i)` in global
+    /// `slot` (a bound change; the kept basis stays dual feasible).
+    /// Fractions are of the flow's *original* demand. Panics when the
+    /// flow is inactive or the slot precedes its activation.
+    pub fn fix_slot(&mut self, j: usize, i: usize, slot: u32, fraction: f64) {
+        assert!(
+            self.built.is_some(),
+            "fix_slot before the first solve — nothing was executed yet"
+        );
+        let fraction = fraction.clamp(0.0, 1.0);
+        self.fixes.push((j, i, slot, fraction));
+        self.apply_fix(j, i, slot, fraction);
+    }
+
+    /// Re-solves the current model, warm-starting from the kept basis
+    /// when one exists (and `warm` is on). `Ok(None)` reports
+    /// infeasibility — the caller should [`rebuild`] with a larger
+    /// horizon.
+    ///
+    /// [`rebuild`]: TimeIndexedResolver::rebuild
+    ///
+    /// # Errors
+    ///
+    /// Any LP failure other than infeasibility.
+    pub fn solve(&mut self, opts: &SolverOptions) -> Result<Option<LpRelaxation>, CoflowError> {
+        self.ensure_built()?;
+        self.resolves += 1;
+        let built = self.built.as_ref().expect("ensured above");
+        let size = LpSize {
+            rows: built.model.num_constraints(),
+            cols: built.model.num_vars(),
+            nonzeros: built.model.num_nonzeros(),
+        };
+        if !self.solved_once {
+            // First solve: the ordinary presolved cold path, so a
+            // resolver whose flows all activated up front reproduces the
+            // offline relaxation exactly.
+            self.last_was_warm = false;
+            return match built.model.solve_with(opts) {
+                Ok(sol) => {
+                    self.solved_once = true;
+                    if self.warm {
+                        // The presolved path captures no basis; crash
+                        // one from the optimal point so the next epoch
+                        // already re-solves warm.
+                        self.basis = Some(Basis::from_point(&built.model, &sol.x));
+                    }
+                    self.last_iterations = sol.iterations;
+                    self.total_iterations += sol.iterations;
+                    Ok(Some(timeidx::extract(
+                        self.inst,
+                        self.routing,
+                        built,
+                        &sol,
+                        self.horizon,
+                        size,
+                    )))
+                }
+                Err(coflow_lp::LpError::Infeasible) => Ok(None),
+                Err(e) => Err(e.into()),
+            };
+        }
+        if let Some(b) = &mut self.basis {
+            b.grow(built.model.num_vars(), built.model.num_constraints());
+        }
+        let warm = if self.warm { self.basis.as_ref() } else { None };
+        self.last_was_warm = warm.is_some();
+        match built.model.solve_warm(warm, opts) {
+            Ok((sol, basis)) => {
+                if self.warm {
+                    self.basis = Some(basis);
+                }
+                self.last_iterations = sol.iterations;
+                self.total_iterations += sol.iterations;
+                Ok(Some(timeidx::extract(
+                    self.inst,
+                    self.routing,
+                    built,
+                    &sol,
+                    self.horizon,
+                    size,
+                )))
+            }
+            Err(coflow_lp::LpError::Infeasible) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Solves the *current* model state from the all-slack crash basis
+    /// without touching the resolver's basis or counters — the shadow
+    /// measurement behind warm-vs-cold iteration comparisons on
+    /// identical LPs. Returns `(objective, iterations)`, or `None` when
+    /// infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Any LP failure other than infeasibility.
+    pub fn probe_cold(&self, opts: &SolverOptions) -> Result<Option<(f64, usize)>, CoflowError> {
+        let Some(built) = &self.built else {
+            return Err(CoflowError::Lp("probe_cold before the first solve".into()));
+        };
+        match built.model.solve_warm(None, opts) {
+            Ok((sol, _)) => Ok(Some((sol.objective, sol.iterations))),
+            Err(coflow_lp::LpError::Infeasible) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Rebuilds the model over a larger horizon, replaying every
+    /// activation and executed-slot fix. The basis is dropped (the next
+    /// solve is cold). Panics if the horizon shrinks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] if a replayed activation no longer
+    /// fits (cannot happen when the horizon grew).
+    pub fn rebuild(&mut self, new_horizon: u32) -> Result<(), CoflowError> {
+        assert!(
+            new_horizon >= self.horizon,
+            "resolver horizon cannot shrink ({} -> {new_horizon})",
+            self.horizon
+        );
+        self.horizon = new_horizon;
+        self.built = None;
+        self.cap_index.clear();
+        self.basis = None;
+        self.solved_once = false;
+        self.ensure_built()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Builds the model lazily from the activation log (offline build
+    /// order), then replays any executed-slot fixes.
+    fn ensure_built(&mut self) -> Result<(), CoflowError> {
+        if self.built.is_some() {
+            return Ok(());
+        }
+        let mut starts: Vec<Vec<Option<u32>>> = self
+            .inst
+            .coflows
+            .iter()
+            .map(|cf| vec![None; cf.flows.len()])
+            .collect();
+        for &(j, i, first_slot) in &self.activations {
+            starts[j][i] = Some(first_slot);
+        }
+        let built = timeidx::build_with_starts(self.inst, self.routing, self.horizon, &starts)?;
+        self.cap_index = built
+            .cap_rows
+            .iter()
+            .map(|&(t, e, c)| ((t, e), c))
+            .collect();
+        self.built = Some(built);
+        let fixes = std::mem::take(&mut self.fixes);
+        for &(j, i, slot, fraction) in &fixes {
+            self.apply_fix(j, i, slot, fraction);
+        }
+        self.fixes = fixes;
+        Ok(())
+    }
+
+    /// Appends one flow's columns and rows to the built model, stitching
+    /// it into the shared capacity rows and the coflow's completion
+    /// structure.
+    fn append_flow(&mut self, j: usize, i: usize, first_slot: u32) {
+        let t_max = self.horizon;
+        let built = self.built.as_mut().expect("append after build");
+        let model = &mut built.model;
+        let g = &self.inst.graph;
+        let f = &self.inst.coflows[j].flows[i];
+        let nslots = (t_max + 1 - first_slot) as usize;
+
+        // ---- Variables (same per-flow layout as the offline build) ----
+        let mut fv = FlowVars {
+            start: first_slot,
+            x: Vec::new(),
+            s: Vec::new(),
+            paths: Vec::new(),
+            edges: Vec::new(),
+        };
+        match self.routing {
+            Routing::SinglePath(_) | Routing::FreePath => {
+                fv.x = (0..nslots)
+                    .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                    .collect();
+            }
+            Routing::MultiPath(sets) => {
+                fv.paths = sets[j][i]
+                    .iter()
+                    .map(|_| {
+                        (0..nslots)
+                            .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                            .collect()
+                    })
+                    .collect();
+            }
+        }
+        fv.s = (0..nslots)
+            .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+            .collect();
+        if matches!(self.routing, Routing::FreePath) {
+            fv.edges = timeidx::free_path_mask(g, f.src, f.dst)
+                .into_iter()
+                .map(|e| {
+                    (
+                        e,
+                        (0..nslots)
+                            .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                            .collect(),
+                    )
+                })
+                .collect();
+        }
+
+        // ---- Prefix chain + total demand ----
+        for idx in 0..nslots {
+            let mut terms: Vec<(VarId, f64)> = vec![(fv.s[idx], 1.0)];
+            if idx > 0 {
+                terms.push((fv.s[idx - 1], -1.0));
+            }
+            match self.routing {
+                Routing::MultiPath(_) => {
+                    for pv in &fv.paths {
+                        terms.push((pv[idx], -1.0));
+                    }
+                }
+                _ => terms.push((fv.x[idx], -1.0)),
+            }
+            model.add_constraint(terms, Cmp::Eq, 0.0);
+        }
+        model.add_constraint([(fv.s[nslots - 1], 1.0)], Cmp::Eq, 1.0);
+
+        // ---- Capacity (and conservation for free path) ----
+        match self.routing {
+            Routing::SinglePath(paths) => {
+                for (idx, &xv) in fv.x.iter().enumerate() {
+                    let t = first_slot + idx as u32;
+                    for &e in paths[j][i].edges() {
+                        let row = Self::capacity_row(
+                            &mut self.cap_index,
+                            &mut built.cap_rows,
+                            model,
+                            g,
+                            t,
+                            e,
+                        );
+                        model.add_term(row, xv, f.demand);
+                    }
+                }
+            }
+            Routing::MultiPath(sets) => {
+                for (k, path) in sets[j][i].iter().enumerate() {
+                    for (idx, &pv) in fv.paths[k].iter().enumerate() {
+                        let t = first_slot + idx as u32;
+                        for &e in path.edges() {
+                            let row = Self::capacity_row(
+                                &mut self.cap_index,
+                                &mut built.cap_rows,
+                                model,
+                                g,
+                                t,
+                                e,
+                            );
+                            model.add_term(row, pv, f.demand);
+                        }
+                    }
+                }
+            }
+            Routing::FreePath => {
+                let mut incident: BTreeMap<coflow_netgraph::NodeId, (Vec<usize>, Vec<usize>)> =
+                    BTreeMap::new();
+                for (pos, &(e, _)) in fv.edges.iter().enumerate() {
+                    incident.entry(g.src(e)).or_default().1.push(pos); // out
+                    incident.entry(g.dst(e)).or_default().0.push(pos); // in
+                }
+                for idx in 0..nslots {
+                    let t = first_slot + idx as u32;
+                    for (&v, (ins, outs)) in &incident {
+                        let mut terms: Vec<(VarId, f64)> = Vec::new();
+                        if v == f.src {
+                            for &pos in outs {
+                                terms.push((fv.edges[pos].1[idx], 1.0));
+                            }
+                            terms.push((fv.x[idx], -1.0));
+                        } else if v == f.dst {
+                            for &pos in ins {
+                                terms.push((fv.edges[pos].1[idx], 1.0));
+                            }
+                            terms.push((fv.x[idx], -1.0));
+                        } else {
+                            for &pos in ins {
+                                terms.push((fv.edges[pos].1[idx], 1.0));
+                            }
+                            for &pos in outs {
+                                terms.push((fv.edges[pos].1[idx], -1.0));
+                            }
+                        }
+                        model.add_constraint(terms, Cmp::Eq, 0.0);
+                    }
+                    for &(e, ref vars) in &fv.edges {
+                        let row = Self::capacity_row(
+                            &mut self.cap_index,
+                            &mut built.cap_rows,
+                            model,
+                            g,
+                            t,
+                            e,
+                        );
+                        model.add_term(row, vars[idx], f.demand);
+                    }
+                }
+            }
+        }
+
+        // ---- Coflow completion structure ----
+        match &mut built.x_coflow[j] {
+            slot @ None => {
+                // First active flow of this coflow: X_j spans its slots.
+                let xvars: Vec<VarId> = (0..nslots)
+                    .map(|_| model.add_var("", 0.0, 1.0, 0.0))
+                    .collect();
+                let c = model.add_var("", 1.0, f64::INFINITY, self.inst.coflows[j].weight);
+                for (idx, &xv) in xvars.iter().enumerate() {
+                    model.add_constraint([(fv.s[idx], 1.0), (xv, -1.0)], Cmp::Ge, 0.0);
+                }
+                let mut terms: Vec<(VarId, f64)> = vec![(c, 1.0)];
+                terms.extend(xvars.iter().map(|&v| (v, 1.0)));
+                model.add_constraint(terms, Cmp::Ge, 1.0 + t_max as f64);
+                *slot = Some((first_slot, xvars));
+                built.c_vars[j] = Some(c);
+            }
+            Some((xstart, xvars)) => {
+                // A later flow joined: the coflow cannot have completed
+                // before this flow's first slot — clamp earlier X to 0 —
+                // and from then on X is bounded by the new flow's prefix.
+                for t in *xstart..first_slot.max(*xstart) {
+                    let xi = (t - *xstart) as usize;
+                    model.set_bounds(xvars[xi], 0.0, 0.0);
+                }
+                for t in first_slot.max(*xstart)..=t_max {
+                    let xi = (t - *xstart) as usize;
+                    let si = (t - first_slot) as usize;
+                    model.add_constraint([(fv.s[si], 1.0), (xvars[xi], -1.0)], Cmp::Ge, 0.0);
+                }
+            }
+        }
+
+        built.flow_vars[j][i] = fv;
+        if let Some(b) = &mut self.basis {
+            b.grow(model.num_vars(), model.num_constraints());
+        }
+    }
+
+    /// Looks up (or creates, with empty terms) the capacity row of
+    /// `(slot, edge)`.
+    fn capacity_row(
+        cap_index: &mut BTreeMap<(u32, EdgeId), ConstraintId>,
+        cap_rows: &mut Vec<(u32, EdgeId, ConstraintId)>,
+        model: &mut Model,
+        g: &coflow_netgraph::Graph,
+        t: u32,
+        e: EdgeId,
+    ) -> ConstraintId {
+        *cap_index.entry((t, e)).or_insert_with(|| {
+            let row =
+                model.add_constraint(std::iter::empty::<(VarId, f64)>(), Cmp::Le, g.capacity(e));
+            cap_rows.push((t, e, row));
+            row
+        })
+    }
+
+    /// Applies one executed-slot fix to the built model.
+    fn apply_fix(&mut self, j: usize, i: usize, slot: u32, fraction: f64) {
+        let built = self.built.as_mut().expect("fix after build");
+        let fv = &built.flow_vars[j][i];
+        assert!(
+            !fv.s.is_empty() && slot >= fv.start && slot <= self.horizon,
+            "fix_slot({j},{i},{slot}): flow inactive or slot outside its variables"
+        );
+        let idx = (slot - fv.start) as usize;
+        match self.routing {
+            Routing::SinglePath(_) | Routing::FreePath => {
+                built.model.set_bounds(fv.x[idx], fraction, fraction);
+            }
+            Routing::MultiPath(_) => {
+                // No aggregate variable: pin the per-slot path sum with
+                // an appended equality row instead.
+                let terms: Vec<(VarId, f64)> = fv.paths.iter().map(|pv| (pv[idx], 1.0)).collect();
+                built.model.add_constraint(terms, Cmp::Eq, fraction);
+                if let Some(b) = &mut self.basis {
+                    b.grow(built.model.num_vars(), built.model.num_constraints());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::horizon::{horizon, HorizonMode};
+    use crate::model::{Coflow, Flow};
+    use crate::timeidx::solve_time_indexed;
+    use coflow_netgraph::topology;
+
+    fn fig2_instance() -> CoflowInstance {
+        let topo = topology::fig2_example();
+        let g = topo.graph;
+        let s = g.node_by_label("s").unwrap();
+        let t = g.node_by_label("t").unwrap();
+        let v1 = g.node_by_label("v1").unwrap();
+        let v2 = g.node_by_label("v2").unwrap();
+        CoflowInstance::new(
+            g,
+            vec![
+                Coflow::weighted(2.0, vec![Flow::new(v1, t, 1.0)]),
+                Coflow::weighted(1.0, vec![Flow::new(v2, t, 1.0)]),
+                Coflow::weighted(3.0, vec![Flow::new(s, t, 3.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_at_once_first_solve_matches_offline_bitwise() {
+        let inst = fig2_instance();
+        let opts = SolverOptions::default();
+        let t = 8;
+        let offline = solve_time_indexed(&inst, &Routing::FreePath, t, &opts).unwrap();
+        let mut r = TimeIndexedResolver::new(&inst, &Routing::FreePath, t, true).unwrap();
+        for (key, f) in inst.flows() {
+            let _ = f;
+            r.activate_flow(key.coflow as usize, key.flow as usize, f.release + 1)
+                .unwrap();
+        }
+        let lp = r.solve(&opts).unwrap().expect("feasible");
+        assert_eq!(lp.objective.to_bits(), offline.objective.to_bits());
+        assert_eq!(lp.lp_iterations, offline.lp_iterations);
+    }
+
+    #[test]
+    fn appended_flow_resolves_warm_and_matches_cold() {
+        let inst = fig2_instance();
+        let opts = SolverOptions::default();
+        let t = 8;
+        let mut r = TimeIndexedResolver::new(&inst, &Routing::FreePath, t, true).unwrap();
+        // Activate the two unit coflows, solve, then append the heavy one.
+        r.activate_flow(0, 0, 1).unwrap();
+        r.activate_flow(1, 0, 1).unwrap();
+        r.solve(&opts).unwrap().expect("feasible");
+        r.activate_flow(2, 0, 2).unwrap();
+        let warm = r.solve(&opts).unwrap().expect("feasible");
+        assert!(r.last_was_warm());
+        let (cold_obj, _) = r.probe_cold(&opts).unwrap().expect("feasible");
+        assert!(
+            (warm.objective - cold_obj).abs() < 1e-6 * (1.0 + cold_obj.abs()),
+            "warm {} vs cold probe {cold_obj}",
+            warm.objective
+        );
+    }
+
+    #[test]
+    fn fixed_slots_freeze_history() {
+        let inst = fig2_instance();
+        let opts = SolverOptions::default();
+        let mut r = TimeIndexedResolver::new(&inst, &Routing::FreePath, 10, true).unwrap();
+        for (key, f) in inst.flows() {
+            let _ = f;
+            r.activate_flow(key.coflow as usize, key.flow as usize, 1)
+                .unwrap();
+        }
+        r.solve(&opts).unwrap().expect("feasible");
+        // Pretend nothing moved in slot 1 for the heavy coflow.
+        r.fix_slot(2, 0, 1, 0.0);
+        let lp = r.solve(&opts).unwrap().expect("feasible");
+        let seg_in_slot1: f64 = lp.plan.flows[2][0]
+            .segments
+            .iter()
+            .filter(|s| s.t1 <= 1.0 + 1e-9)
+            .map(|s| s.volume())
+            .sum();
+        assert!(seg_in_slot1 < 1e-9, "slot 1 still carries {seg_in_slot1}");
+    }
+
+    #[test]
+    fn rebuild_grows_the_horizon_and_replays_state() {
+        let inst = fig2_instance();
+        let opts = SolverOptions::default();
+        let t0 = horizon(
+            &inst,
+            &Routing::FreePath,
+            HorizonMode::Greedy { margin: 1.25 },
+        )
+        .unwrap();
+        let mut r = TimeIndexedResolver::new(&inst, &Routing::FreePath, t0, true).unwrap();
+        for (key, f) in inst.flows() {
+            let _ = f;
+            r.activate_flow(key.coflow as usize, key.flow as usize, 1)
+                .unwrap();
+        }
+        let a = r.solve(&opts).unwrap().expect("feasible");
+        r.fix_slot(0, 0, 1, 0.5);
+        r.rebuild(t0 * 2).unwrap();
+        let b = r.solve(&opts).unwrap().expect("feasible after rebuild");
+        // The horizon only caps completions, so growing it leaves the
+        // optimum in place, while the replayed fix can only restrict.
+        assert!(b.objective >= a.objective - 1e-6);
+        assert_eq!(r.horizon(), t0 * 2);
+    }
+}

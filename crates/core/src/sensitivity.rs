@@ -128,11 +128,12 @@ impl<'a> Sensitivity<'a> {
             weight.is_finite() && weight >= 0.0,
             "coflow weight must be finite and non-negative"
         );
-        self.built.model.set_obj(self.built.c_vars[j], weight);
+        let c = self.built.c_vars[j].expect("offline build covers every coflow");
+        self.built.model.set_obj(c, weight);
     }
 
     fn apply_capacities(&mut self) {
-        for &(e, row) in &self.built.cap_rows {
+        for &(_, e, row) in &self.built.cap_rows {
             let cap = self.base_cap[e.index()] * self.factor[e.index()];
             self.built.model.set_rhs(row, cap);
         }
@@ -219,7 +220,7 @@ impl<'a> Sensitivity<'a> {
     pub fn shadow_prices(&self) -> Option<Vec<f64>> {
         let duals = self.last_duals.as_ref()?;
         let mut per_edge = vec![0.0; self.base_cap.len()];
-        for &(e, row) in &self.built.cap_rows {
+        for &(_, e, row) in &self.built.cap_rows {
             per_edge[e.index()] -= duals[row.index()];
         }
         Some(per_edge)

@@ -71,11 +71,11 @@
 
 use crate::derand::derandomize;
 use crate::error::CoflowError;
-use crate::flowtime::interval_batch_online;
+use crate::flowtime::interval_batch_online_with;
 use crate::horizon::{horizon, HorizonMode};
-use crate::interval::{solve_interval, IntervalRelaxation};
+use crate::interval::{solve_interval, solve_interval_chained, IntervalChain, IntervalRelaxation};
 use crate::model::CoflowInstance;
-use crate::online::online_heuristic;
+use crate::online::{online_heuristic_with, OnlineOptions};
 use crate::routing::Routing;
 use crate::schedule::Schedule;
 use crate::solver::{Algorithm, Relaxation};
@@ -194,6 +194,14 @@ pub struct SolveContext {
     horizon: Option<u32>,
     time_indexed: Option<Arc<LpRelaxation>>,
     interval: Vec<(u64, Arc<IntervalRelaxation>)>,
+    /// Warm-start state chained across interval solves at different ε
+    /// (the basis cache of this `(relaxation family, routing)` pair): the
+    /// first interval solve takes the ordinary presolved path, every
+    /// later ε crashes from the previous optimal basis. Identical-ε
+    /// re-solves never happen — the `interval` cache above returns the
+    /// `Arc` — so this only fires when a shoot-out mixes ε values.
+    interval_chain: Option<IntervalChain>,
+    interval_solves: usize,
     // The LP half of each interval relaxation, shared so repeated
     // `relaxation()` calls at one ε clone the plan only once.
     interval_lp: Vec<(u64, Arc<LpRelaxation>)>,
@@ -318,7 +326,24 @@ impl SolveContext {
             return Ok(Arc::clone(iv));
         }
         let t = self.horizon(inst, routing)?;
-        let iv = Arc::new(solve_interval(inst, routing, t, epsilon, &self.lp_opts)?);
+        let iv = if self.interval_solves == 0 {
+            // First interval LP of this context: the presolved cold path
+            // (fastest when there is nothing to chain from).
+            Arc::new(solve_interval(inst, routing, t, epsilon, &self.lp_opts)?)
+        } else {
+            // Later ε values crash from the previous optimal basis.
+            let (rel, chain) = solve_interval_chained(
+                inst,
+                routing,
+                t,
+                epsilon,
+                &self.lp_opts,
+                self.interval_chain.as_ref(),
+            )?;
+            self.interval_chain = Some(chain);
+            Arc::new(rel)
+        };
+        self.interval_solves += 1;
         self.interval.push((key, Arc::clone(&iv)));
         Ok(iv)
     }
@@ -466,9 +491,15 @@ impl CoflowSolver for DerandSolver {
 }
 
 /// The event-driven online re-solver ([`crate::online`]) as a
-/// [`CoflowSolver`]. Extras: `resolves` — LP re-solves performed.
+/// [`CoflowSolver`]: a persistent warm-started LP by default, all-slack
+/// re-solves with `cold` (the `--cold` A/B escape hatch). Extras:
+/// `resolves` — LP re-solves performed; `lp_iterations` — total simplex
+/// iterations across them; `rebuilds` — horizon-growth rebuilds.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct OnlineSolver;
+pub struct OnlineSolver {
+    /// Re-solve every epoch from the all-slack crash basis.
+    pub cold: bool,
+}
 
 impl CoflowSolver for OnlineSolver {
     fn solve(
@@ -477,17 +508,32 @@ impl CoflowSolver for OnlineSolver {
         routing: &Routing,
         ctx: &mut SolveContext,
     ) -> Result<SolveOutcome, CoflowError> {
-        let run = online_heuristic(inst, routing, ctx.lp_options())?;
+        let opts = OnlineOptions {
+            cold: self.cold,
+            shadow_cold: false,
+        };
+        let run = online_heuristic_with(inst, routing, ctx.lp_options(), &opts)?;
         let mut out = SolveOutcome::from_schedule(inst, routing, run.schedule, ctx.tolerance())?;
-        out.aux = vec![("resolves", run.resolves as f64)];
+        out.lp_iterations = Some(run.lp_iterations);
+        out.aux = vec![
+            ("resolves", run.resolves as f64),
+            ("lp_iterations", run.lp_iterations as f64),
+            ("rebuilds", run.rebuilds as f64),
+        ];
         Ok(out)
     }
 }
 
 /// The doubling-batch online framework ([`crate::flowtime`]) as a
-/// [`CoflowSolver`]. Extras: `batches` — offline solves performed.
+/// [`CoflowSolver`]: each batch appends onto one persistent warm-started
+/// LP (`cold` re-solves each batch from the all-slack basis). Extras:
+/// `batches` — offline solves performed; `lp_iterations` — total
+/// simplex iterations across them.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct BatchOnlineSolver;
+pub struct BatchOnlineSolver {
+    /// Re-solve every batch from the all-slack crash basis.
+    pub cold: bool,
+}
 
 impl CoflowSolver for BatchOnlineSolver {
     fn solve(
@@ -496,9 +542,13 @@ impl CoflowSolver for BatchOnlineSolver {
         routing: &Routing,
         ctx: &mut SolveContext,
     ) -> Result<SolveOutcome, CoflowError> {
-        let run = interval_batch_online(inst, routing, ctx.lp_options())?;
+        let run = interval_batch_online_with(inst, routing, ctx.lp_options(), !self.cold)?;
         let mut out = SolveOutcome::from_schedule(inst, routing, run.schedule, ctx.tolerance())?;
-        out.aux = vec![("batches", run.batches as f64)];
+        out.lp_iterations = Some(run.lp_iterations);
+        out.aux = vec![
+            ("batches", run.batches as f64),
+            ("lp_iterations", run.lp_iterations as f64),
+        ];
         Ok(out)
     }
 }
@@ -576,8 +626,8 @@ mod tests {
                 seed: 7,
             })),
             Box::new(DerandSolver::default()),
-            Box::new(OnlineSolver),
-            Box::new(BatchOnlineSolver),
+            Box::new(OnlineSolver::default()),
+            Box::new(BatchOnlineSolver::default()),
         ];
         let lb = ctx
             .time_indexed(&inst, &Routing::FreePath)

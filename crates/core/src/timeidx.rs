@@ -65,18 +65,34 @@ pub struct LpRelaxation {
     pub size: LpSize,
 }
 
-/// Per-flow variable bookkeeping.
-struct FlowVars {
-    /// First slot with variables (`release + 1`).
-    start: u32,
+/// Per-flow variable bookkeeping. Shared with [`crate::resolver`], which
+/// appends more of these to an already-solved model.
+pub(crate) struct FlowVars {
+    /// First slot with variables (`release + 1` for offline builds; the
+    /// activation slot + 1 for resolver-appended flows).
+    pub(crate) start: u32,
     /// Total-fraction vars per slot; empty in the multi-path model.
-    x: Vec<VarId>,
+    pub(crate) x: Vec<VarId>,
     /// Prefix vars per slot.
-    s: Vec<VarId>,
+    pub(crate) s: Vec<VarId>,
     /// Multi-path: per candidate path, per slot.
-    paths: Vec<Vec<VarId>>,
+    pub(crate) paths: Vec<Vec<VarId>>,
     /// Free path: per masked edge, per slot.
-    edges: Vec<(EdgeId, Vec<VarId>)>,
+    pub(crate) edges: Vec<(EdgeId, Vec<VarId>)>,
+}
+
+impl FlowVars {
+    /// A placeholder for a flow that has no variables (not yet activated
+    /// in a resolver build). Extraction skips it (`s` is empty).
+    pub(crate) fn inactive() -> FlowVars {
+        FlowVars {
+            start: u32::MAX,
+            x: Vec::new(),
+            s: Vec::new(),
+            paths: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
 }
 
 /// Builds and solves the time-indexed LP.
@@ -103,13 +119,49 @@ pub fn solve_time_indexed(
     Ok(extract(inst, routing, &built, &sol, horizon, size))
 }
 
+/// Free-path edge mask for a `(src, dst)` pair: edges on some
+/// src→dst path (forward-reachable tail, backward-reachable head),
+/// excluding edges into the source or out of the destination. Shared by
+/// the offline builder and the incremental resolver so appended flows
+/// see exactly the mask a from-scratch build would.
+pub(crate) fn free_path_mask(
+    g: &coflow_netgraph::Graph,
+    src: coflow_netgraph::NodeId,
+    dst: coflow_netgraph::NodeId,
+) -> Vec<EdgeId> {
+    let fwd = g.reachable_from(src);
+    let mut bwd = vec![false; g.node_count()];
+    let mut q = std::collections::VecDeque::new();
+    bwd[dst.index()] = true;
+    q.push_back(dst);
+    while let Some(v) = q.pop_front() {
+        for &e in g.in_edges(v) {
+            let u = g.src(e);
+            if !bwd[u.index()] {
+                bwd[u.index()] = true;
+                q.push_back(u);
+            }
+        }
+    }
+    g.edges()
+        .filter(|e| fwd[e.src.index()] && bwd[e.dst.index()] && e.dst != src && e.src != dst)
+        .map(|e| e.id)
+        .collect()
+}
+
 pub(crate) struct Built {
     pub(crate) model: Model,
-    flow_vars: Vec<Vec<FlowVars>>,
-    pub(crate) c_vars: Vec<VarId>,
+    pub(crate) flow_vars: Vec<Vec<FlowVars>>,
+    /// Per-coflow completion variable; `None` when the coflow has no
+    /// active flow (resolver builds over a subset).
+    pub(crate) c_vars: Vec<Option<VarId>>,
+    /// Per-coflow progress variables `X_j(t)` with their first slot;
+    /// `None` when the coflow has no active flow.
+    pub(crate) x_coflow: Vec<Option<(u32, Vec<VarId>)>>,
     /// Capacity rows, one per `(slot, edge)` bucket; used by
-    /// [`crate::sensitivity`] to re-target RHS values for warm re-solves.
-    pub(crate) cap_rows: Vec<(EdgeId, ConstraintId)>,
+    /// [`crate::sensitivity`] to re-target RHS values and by
+    /// [`crate::resolver`] to stitch appended flows into shared rows.
+    pub(crate) cap_rows: Vec<(u32, EdgeId, ConstraintId)>,
 }
 
 pub(crate) fn build(
@@ -117,14 +169,36 @@ pub(crate) fn build(
     routing: &Routing,
     horizon: u32,
 ) -> Result<Built, CoflowError> {
+    let starts: Vec<Vec<Option<u32>>> = inst
+        .coflows
+        .iter()
+        .map(|cf| cf.flows.iter().map(|f| Some(f.release + 1)).collect())
+        .collect();
+    build_with_starts(inst, routing, horizon, &starts)
+}
+
+/// Like [`build`], but over the subset of flows with a `Some(first_slot)`
+/// entry in `starts` (first slot with variables, 1-based). This is the
+/// shared builder behind the offline relaxation and the incremental
+/// [`crate::resolver::TimeIndexedResolver`]: when every flow is active
+/// with `first_slot = release + 1`, the produced model is — variable by
+/// variable, row by row — the offline build.
+pub(crate) fn build_with_starts(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    horizon: u32,
+    starts: &[Vec<Option<u32>>],
+) -> Result<Built, CoflowError> {
     routing.validate(inst)?;
     let t_max = horizon;
     for (key, f) in inst.flows() {
-        if f.release + 1 > t_max {
-            return Err(CoflowError::BadInstance(format!(
-                "horizon {t_max} leaves flow {key:?} (release {}) no slot",
-                f.release
-            )));
+        let _ = f;
+        if let Some(start) = starts[key.coflow as usize][key.flow as usize] {
+            if !(1..=t_max).contains(&start) {
+                return Err(CoflowError::BadInstance(format!(
+                    "horizon {t_max} leaves flow {key:?} (first slot {start}) no slot"
+                )));
+            }
         }
     }
 
@@ -142,8 +216,11 @@ pub(crate) fn build(
     for (j, cf) in inst.coflows.iter().enumerate() {
         let mut row = Vec::with_capacity(cf.flows.len());
         for (i, f) in cf.flows.iter().enumerate() {
-            let start = f.release + 1;
-            let nslots = (t_max - f.release) as usize;
+            let Some(start) = starts[j][i] else {
+                row.push(FlowVars::inactive());
+                continue;
+            };
+            let nslots = (t_max + 1 - start) as usize;
             let mut fv = FlowVars {
                 start,
                 x: Vec::new(),
@@ -172,32 +249,9 @@ pub(crate) fn build(
                 .map(|_| model.add_var("", 0.0, 1.0, 0.0))
                 .collect();
             if matches!(routing, Routing::FreePath) {
-                let mask = mask_cache.entry((f.src, f.dst)).or_insert_with(|| {
-                    let fwd = g.reachable_from(f.src);
-                    // Backward reachability to dst.
-                    let mut bwd = vec![false; g.node_count()];
-                    let mut q = std::collections::VecDeque::new();
-                    bwd[f.dst.index()] = true;
-                    q.push_back(f.dst);
-                    while let Some(v) = q.pop_front() {
-                        for &e in g.in_edges(v) {
-                            let u = g.src(e);
-                            if !bwd[u.index()] {
-                                bwd[u.index()] = true;
-                                q.push_back(u);
-                            }
-                        }
-                    }
-                    g.edges()
-                        .filter(|e| {
-                            fwd[e.src.index()]
-                                && bwd[e.dst.index()]
-                                && e.dst != f.src
-                                && e.src != f.dst
-                        })
-                        .map(|e| e.id)
-                        .collect()
-                });
+                let mask = mask_cache
+                    .entry((f.src, f.dst))
+                    .or_insert_with(|| free_path_mask(g, f.src, f.dst));
                 fv.edges = mask
                     .iter()
                     .map(|&e| {
@@ -215,18 +269,24 @@ pub(crate) fn build(
         flow_vars.push(row);
     }
 
-    // X_j(t) and C_j.
-    let mut x_coflow: Vec<Vec<VarId>> = Vec::with_capacity(inst.num_coflows());
-    let mut c_vars = Vec::with_capacity(inst.num_coflows());
-    for cf in &inst.coflows {
-        let rj = cf.flows.iter().map(|f| f.release).max().expect("non-empty");
-        let nslots = (t_max - rj) as usize;
-        x_coflow.push(
+    // X_j(t) and C_j (only for coflows with at least one active flow;
+    // their X chain starts at the latest active flow's first slot).
+    let mut x_coflow: Vec<Option<(u32, Vec<VarId>)>> = Vec::with_capacity(inst.num_coflows());
+    let mut c_vars: Vec<Option<VarId>> = Vec::with_capacity(inst.num_coflows());
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        let Some(kj) = (0..cf.flows.len()).filter_map(|i| starts[j][i]).max() else {
+            x_coflow.push(None);
+            c_vars.push(None);
+            continue;
+        };
+        let nslots = (t_max + 1 - kj) as usize;
+        x_coflow.push(Some((
+            kj,
             (0..nslots)
                 .map(|_| model.add_var("", 0.0, 1.0, 0.0))
                 .collect(),
-        );
-        c_vars.push(model.add_var("", 1.0, f64::INFINITY, cf.weight));
+        )));
+        c_vars.push(Some(model.add_var("", 1.0, f64::INFINITY, cf.weight)));
     }
 
     // ---- Constraints ----
@@ -235,6 +295,9 @@ pub(crate) fn build(
         for i in 0..cf.flows.len() {
             let fv = &flow_vars[j][i];
             let nslots = fv.s.len();
+            if nslots == 0 {
+                continue; // inactive flow
+            }
             for idx in 0..nslots {
                 // S(t) - S(t-1) - (slot fraction) = 0
                 let mut terms: Vec<(VarId, f64)> = vec![(fv.s[idx], 1.0)];
@@ -257,26 +320,30 @@ pub(crate) fn build(
 
     // Coflow progress (2) and completion (3).
     for (j, cf) in inst.coflows.iter().enumerate() {
-        let rj = cf.flows.iter().map(|f| f.release).max().expect("non-empty");
-        let xj = &x_coflow[j];
+        let Some((kj, ref xj)) = x_coflow[j] else {
+            continue;
+        };
         for (idx, &xvar) in xj.iter().enumerate() {
-            let t = rj + 1 + idx as u32;
-            for (i, f) in cf.flows.iter().enumerate() {
+            let t = kj + idx as u32;
+            for i in 0..cf.flows.len() {
                 let fv = &flow_vars[j][i];
-                let sidx = (t - fv.start) as usize; // t >= start since rj >= release
+                if fv.s.is_empty() {
+                    continue;
+                }
+                let sidx = (t - fv.start) as usize; // t >= start since kj >= start
                 debug_assert!(t >= fv.start);
-                let _ = f;
                 model.add_constraint([(fv.s[sidx], 1.0), (xvar, -1.0)], Cmp::Ge, 0.0);
             }
         }
         // C_j + Σ X_j(t) >= 1 + T.
-        let mut terms: Vec<(VarId, f64)> = vec![(c_vars[j], 1.0)];
+        let mut terms: Vec<(VarId, f64)> =
+            vec![(c_vars[j].expect("active coflow has a C var"), 1.0)];
         terms.extend(xj.iter().map(|&v| (v, 1.0)));
         model.add_constraint(terms, Cmp::Ge, 1.0 + t_max as f64);
     }
 
     // Capacity rows.
-    let mut cap_rows: Vec<(EdgeId, ConstraintId)> = Vec::new();
+    let mut cap_rows: Vec<(u32, EdgeId, ConstraintId)> = Vec::new();
     match routing {
         Routing::SinglePath(paths) => {
             // Bucket terms per (t, e).
@@ -293,8 +360,8 @@ pub(crate) fn build(
                     }
                 }
             }
-            for ((_, e), terms) in buckets {
-                cap_rows.push((e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
+            for ((t, e), terms) in buckets {
+                cap_rows.push((t, e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
             }
         }
         Routing::MultiPath(sets) => {
@@ -303,6 +370,9 @@ pub(crate) fn build(
             for (j, cf) in inst.coflows.iter().enumerate() {
                 for (i, f) in cf.flows.iter().enumerate() {
                     let fv = &flow_vars[j][i];
+                    if fv.s.is_empty() {
+                        continue;
+                    }
                     for (k, path) in sets[j][i].iter().enumerate() {
                         for (idx, &pv) in fv.paths[k].iter().enumerate() {
                             let t = fv.start + idx as u32;
@@ -313,8 +383,8 @@ pub(crate) fn build(
                     }
                 }
             }
-            for ((_, e), terms) in buckets {
-                cap_rows.push((e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
+            for ((t, e), terms) in buckets {
+                cap_rows.push((t, e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
             }
         }
         Routing::FreePath => {
@@ -370,8 +440,8 @@ pub(crate) fn build(
                     }
                 }
             }
-            for ((_, e), terms) in buckets {
-                cap_rows.push((e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
+            for ((t, e), terms) in buckets {
+                cap_rows.push((t, e, model.add_constraint(terms, Cmp::Le, g.capacity(e))));
             }
         }
     }
@@ -380,6 +450,7 @@ pub(crate) fn build(
         model,
         flow_vars,
         c_vars,
+        x_coflow,
         cap_rows,
     })
 }
@@ -451,7 +522,11 @@ pub(crate) fn extract(
             plan.flows[j][i] = FlowPlan { segments };
         }
     }
-    let completions = built.c_vars.iter().map(|&c| sol.value(c)).collect();
+    let completions = built
+        .c_vars
+        .iter()
+        .map(|&c| c.map_or(0.0, |c| sol.value(c)))
+        .collect();
     LpRelaxation {
         objective: sol.objective,
         completions,

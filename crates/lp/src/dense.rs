@@ -193,6 +193,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         x,
         duals: None, // the oracle only certifies primal objectives
         iterations: 0,
+        refactorizations: 0,
     })
 }
 

@@ -194,6 +194,42 @@ impl Model {
         id
     }
 
+    /// Adds `coeff` to the coefficient of variable `v` in constraint
+    /// `c` (inserting the term if absent, dropping it if the sum cancels
+    /// to zero).
+    ///
+    /// Together with [`add_var`](Model::add_var) and
+    /// [`add_constraint`](Model::add_constraint) this is the structural
+    /// half of warm-started re-solves: append new columns, stitch them
+    /// into *existing* rows (a new flow joining shared capacity rows),
+    /// grow the previous basis with [`Basis::grow`](crate::Basis::grow),
+    /// and let [`solve_warm`](Model::solve_warm) pivot back to
+    /// optimality. Mutating the coefficient of a variable that is
+    /// *basic* in the snapshot is allowed — the warm solve refactorizes
+    /// the basis from the current matrix — but appending nonbasic
+    /// columns keeps the re-solve cheapest. NaN panics.
+    pub fn add_term(&mut self, c: ConstraintId, v: VarId, coeff: f64) {
+        assert!(!coeff.is_nan(), "NaN coefficient");
+        assert!(
+            v.index() < self.vars.len(),
+            "constraint references unknown variable"
+        );
+        let terms = &mut self.constraints[c.index()].terms;
+        match terms.binary_search_by_key(&v.0, |&(col, _)| col) {
+            Ok(pos) => {
+                terms[pos].1 += coeff;
+                if terms[pos].1 == 0.0 {
+                    terms.remove(pos);
+                }
+            }
+            Err(pos) => {
+                if coeff != 0.0 {
+                    terms.insert(pos, (v.0, coeff));
+                }
+            }
+        }
+    }
+
     /// Changes the right-hand side of constraint `c`.
     ///
     /// The workhorse of warm-started re-solves: after an RHS change the

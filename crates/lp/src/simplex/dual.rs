@@ -73,6 +73,67 @@ impl Basis {
         }
     }
 
+    /// Grows a snapshot to match a model that gained variables and/or
+    /// constraints since the solve that produced it: appended variables
+    /// enter nonbasic at their lower bound and appended rows contribute
+    /// their slack to the basis, so the grown basis is square again and
+    /// [`Model::solve_warm`](crate::Model::solve_warm) can dual-simplex
+    /// back to optimality instead of treating the snapshot as a cold
+    /// start. Panics if either dimension shrinks — deleting structure
+    /// invalidates a basis and needs a cold solve.
+    pub fn grow(&mut self, num_vars: usize, num_rows: usize) {
+        assert!(
+            num_vars >= self.vars.len() && num_rows >= self.rows.len(),
+            "Basis::grow cannot shrink a snapshot ({}x{} -> {num_vars}x{num_rows})",
+            self.vars.len(),
+            self.rows.len(),
+        );
+        self.vars.resize(num_vars, BasisStatus::Lower);
+        self.rows.resize(num_rows, BasisStatus::Basic);
+    }
+
+    /// Crashes a basis from a primal point (typically an optimal
+    /// solution whose basis was not captured — e.g. a presolved
+    /// [`Model::solve`](crate::Model::solve)): variables sitting on a
+    /// bound become nonbasic there, everything strictly between its
+    /// bounds becomes basic, and each row's slack status is read off the
+    /// row activity. The result is generally *not* the simplex basis
+    /// that produced the point (degenerate vertices leave basic
+    /// variables parked on bounds), but installed via
+    /// [`Model::solve_warm`](crate::Model::solve_warm) it is primal
+    /// feasible at the point, so a warm re-solve starts from a handful
+    /// of pivots instead of the all-slack crash.
+    pub fn from_point(model: &Model, x: &[f64]) -> Basis {
+        let at = |v: f64, bound: f64| (v - bound).abs() <= 1e-9 * (1.0 + bound.abs());
+        let vars = (0..model.num_vars())
+            .map(|j| {
+                let v = crate::VarId::from_index(j);
+                let (lb, ub) = model.var_bounds(v);
+                if lb.is_finite() && at(x[j], lb) {
+                    BasisStatus::Lower
+                } else if ub.is_finite() && at(x[j], ub) {
+                    BasisStatus::Upper
+                } else {
+                    BasisStatus::Basic
+                }
+            })
+            .collect();
+        let rows = model
+            .constraints_iter()
+            .map(|c| {
+                let activity: f64 = c.terms().map(|(v, a)| a * x[v.index()]).sum();
+                let binding = at(activity, c.rhs());
+                match c.cmp() {
+                    crate::Cmp::Le if binding => BasisStatus::Lower,
+                    crate::Cmp::Ge if binding => BasisStatus::Upper,
+                    crate::Cmp::Eq => BasisStatus::Lower,
+                    _ => BasisStatus::Basic,
+                }
+            })
+            .collect();
+        Basis { vars, rows }
+    }
+
     /// Number of `Basic` entries across variables and rows.
     pub fn num_basic(&self) -> usize {
         self.vars
@@ -112,6 +173,7 @@ pub fn solve_warm(
                 x,
                 duals: Some(Vec::new()),
                 iterations: 0,
+                refactorizations: 0,
             },
             Basis {
                 vars,
@@ -139,6 +201,7 @@ pub fn solve_warm(
             x,
             duals,
             iterations: scaled.iterations,
+            refactorizations: scaled.refactorizations,
         },
         basis,
     ))
@@ -321,6 +384,7 @@ impl Simplex<'_> {
             x: std::mem::take(&mut self.x),
             y,
             iterations: self.iterations,
+            refactorizations: self.refactorizations,
         })
     }
 
@@ -686,6 +750,55 @@ mod tests {
             warm.iterations,
             cold_sol.iterations
         );
+    }
+
+    #[test]
+    fn appended_column_and_row_resolve_warm() {
+        // Solve, then append a new variable stitched into an existing
+        // row plus a brand-new row, grow the basis, and re-solve warm.
+        let (mut m, _, c2) = production_lp();
+        let opts = SolverOptions::default();
+        let (_, mut basis) = m.solve_warm(None, &opts).unwrap();
+        // New profitable column z sharing row c2's capacity.
+        let z = m.add_var("z", 0.0, 5.0, 4.0);
+        m.add_term(c2, z, 2.0);
+        let x = crate::model::VarId::from_index(0);
+        m.add_constraint([(x, 1.0), (z, 1.0)], Cmp::Le, 5.0);
+        basis.grow(m.num_vars(), m.num_constraints());
+        let (warm, _) = m.solve_warm(Some(&basis), &opts).unwrap();
+        let cold = m.solve().unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6 * (1.0 + cold.objective.abs()),
+            "warm {} cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(m.max_violation(&warm.x) < 1e-6);
+        assert!(warm.refactorizations >= 1);
+    }
+
+    #[test]
+    fn add_term_merges_and_cancels() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg("x", 1.0);
+        let y = m.add_nonneg("y", 1.0);
+        let c = m.add_constraint([(x, 1.0)], Cmp::Ge, 1.0);
+        m.add_term(c, y, 2.0);
+        m.add_term(c, x, -1.0); // cancels the x term entirely
+        let view = m.constraint(c);
+        let terms: Vec<_> = view.terms().collect();
+        assert_eq!(terms, vec![(y, 2.0)]);
+        // y >= 0.5 is now the binding content; x is free of the row.
+        let sol = m.solve().unwrap();
+        assert!((sol.value(y) - 0.5).abs() < 1e-7);
+        assert!(sol.value(x).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn basis_grow_rejects_shrinking() {
+        let mut b = Basis::all_slack(3, 2);
+        b.grow(2, 2);
     }
 
     #[test]

@@ -133,6 +133,7 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, LpError
         x: x_full,
         duals,
         iterations: x_scaled.iterations,
+        refactorizations: x_scaled.refactorizations,
     })
 }
 
@@ -141,6 +142,7 @@ struct ScaledSolution {
     /// Row duals of the *scaled minimization* problem (`B⁻ᵀ c_B`).
     y: Vec<f64>,
     iterations: usize,
+    refactorizations: usize,
 }
 
 /// Handles the constraint-free case.
@@ -167,6 +169,7 @@ fn trivial_solve(sf: &StdForm) -> Result<ScaledSolution, LpError> {
         x,
         y: Vec::new(),
         iterations: 0,
+        refactorizations: 0,
     })
 }
 
@@ -190,6 +193,7 @@ struct Simplex<'a> {
     degen_streak: usize,
     bland: bool,
     iterations: usize,
+    refactorizations: usize,
     // Scratch
     col_buf: Vec<f64>,
     row_buf: Vec<f64>,
@@ -256,6 +260,7 @@ impl<'a> Simplex<'a> {
             degen_streak: 0,
             bland: false,
             iterations: 0,
+            refactorizations: 0,
             col_buf: Vec::new(),
             row_buf: Vec::new(),
             rhs_buf: Vec::new(),
@@ -327,6 +332,7 @@ impl<'a> Simplex<'a> {
             x: std::mem::take(&mut self.x),
             y,
             iterations: self.iterations,
+            refactorizations: self.refactorizations,
         })
     }
 
@@ -368,6 +374,7 @@ impl<'a> Simplex<'a> {
     /// Refactorizes the basis and recomputes basic values (and reduced
     /// costs when in phase 2).
     fn refactor_and_recompute(&mut self, phase1: bool) -> Result<(), LpError> {
+        self.refactorizations += 1;
         if self
             .facto
             .refactor(&self.sf.a, &self.basis, self.opt.pivot_tol)
@@ -403,7 +410,10 @@ impl<'a> Simplex<'a> {
     }
 
     /// Replaces linearly-dependent basis columns with slacks of rows not
-    /// yet covered, then refactorizes; errors out if still singular.
+    /// yet covered, then refactorizes. If the greedy swaps fail to
+    /// converge (possible for crash bases with long dependent runs), the
+    /// basis falls back to all-slack — always factorizable, so repair
+    /// never hard-errors on a merely *bad* basis.
     fn repair_basis(&mut self) -> Result<(), LpError> {
         // Greedy: try to factor; on failure, swap the offending column for
         // the slack of an uncovered row. Bounded by m attempts.
@@ -414,47 +424,83 @@ impl<'a> Simplex<'a> {
             {
                 Ok(()) => return Ok(()),
                 Err(sing) => {
-                    // Find a row whose slack is nonbasic and swap it in.
+                    // Find a row whose slack is nonbasic and swap it in:
+                    // prefer a slack whose row the outgoing column
+                    // touches, fall back to any nonbasic slack (crash
+                    // bases built from solution points can leave long
+                    // dependent runs with no touching slack available).
                     let out_col = self.basis[sing.basis_pos];
-                    let mut swapped = false;
+                    let mut chosen: Option<usize> = None;
                     for r in 0..self.sf.m {
                         let slack = self.sf.n_struct + r;
                         if self.stat[slack] != CStat::Basic {
-                            // Heuristic: prefer a slack whose row the
-                            // outgoing column touches.
                             let touches = self.sf.a.col(out_col).any(|(row, _)| row as usize == r);
-                            if touches || r == self.sf.m - 1 {
-                                self.stat[out_col] = if self.sf.lb[out_col].is_finite() {
-                                    self.x[out_col] = self.sf.lb[out_col];
-                                    CStat::Lower
-                                } else if self.sf.ub[out_col].is_finite() {
-                                    self.x[out_col] = self.sf.ub[out_col];
-                                    CStat::Upper
-                                } else {
-                                    self.x[out_col] = 0.0;
-                                    CStat::Free
-                                };
-                                self.pos_of[out_col] = u32::MAX;
-                                self.basis[sing.basis_pos] = slack;
-                                self.pos_of[slack] = sing.basis_pos as u32;
-                                self.stat[slack] = CStat::Basic;
-                                swapped = true;
+                            if touches {
+                                chosen = Some(slack);
                                 break;
+                            }
+                            if chosen.is_none() {
+                                chosen = Some(slack);
                             }
                         }
                     }
+                    let swapped = if let Some(slack) = chosen {
+                        self.stat[out_col] = if self.sf.lb[out_col].is_finite() {
+                            self.x[out_col] = self.sf.lb[out_col];
+                            CStat::Lower
+                        } else if self.sf.ub[out_col].is_finite() {
+                            self.x[out_col] = self.sf.ub[out_col];
+                            CStat::Upper
+                        } else {
+                            self.x[out_col] = 0.0;
+                            CStat::Free
+                        };
+                        self.pos_of[out_col] = u32::MAX;
+                        self.basis[sing.basis_pos] = slack;
+                        self.pos_of[slack] = sing.basis_pos as u32;
+                        self.stat[slack] = CStat::Basic;
+                        true
+                    } else {
+                        false
+                    };
                     if !swapped {
-                        return Err(LpError::NumericalFailure(format!(
-                            "basis repair failed at elimination step {}: no replacement slack",
-                            sing.step
-                        )));
+                        break;
                     }
                 }
             }
         }
-        Err(LpError::NumericalFailure(
-            "basis repair did not converge".into(),
-        ))
+        // Last resort: the all-slack basis is the identity and always
+        // factors. The warm start degrades to a crash start, but the
+        // solve stays correct.
+        for j in 0..self.sf.n_struct {
+            if self.stat[j] == CStat::Basic {
+                self.stat[j] = if self.sf.lb[j].is_finite() {
+                    self.x[j] = self.sf.lb[j];
+                    CStat::Lower
+                } else if self.sf.ub[j].is_finite() {
+                    self.x[j] = self.sf.ub[j];
+                    CStat::Upper
+                } else {
+                    self.x[j] = 0.0;
+                    CStat::Free
+                };
+            }
+            self.pos_of[j] = u32::MAX;
+        }
+        for r in 0..self.sf.m {
+            let slack = self.sf.n_struct + r;
+            self.stat[slack] = CStat::Basic;
+            self.basis[r] = slack;
+            self.pos_of[slack] = r as u32;
+        }
+        self.facto
+            .refactor(&self.sf.a, &self.basis, self.opt.pivot_tol)
+            .map_err(|sing| {
+                LpError::NumericalFailure(format!(
+                    "all-slack basis failed to factor at step {}",
+                    sing.step
+                ))
+            })
     }
 
     /// Full reduced-cost recomputation: `z = c - Aᵀ B⁻ᵀ c_B`.

@@ -28,6 +28,11 @@ pub struct Solution {
     pub duals: Option<Vec<f64>>,
     /// Simplex iterations used (both phases).
     pub iterations: usize,
+    /// Basis refactorizations performed (including the initial
+    /// factorization). Together with `iterations` this is the cost
+    /// model of a solve: warm re-solves should show both collapsing
+    /// relative to a cold start on the same model.
+    pub refactorizations: usize,
 }
 
 impl Solution {
