@@ -150,6 +150,10 @@ pub struct AlgoParams {
     /// Disable warm-started re-solves in the online frameworks (the
     /// `--cold` escape hatch for A/B measurements; warm is the default).
     pub cold: bool,
+    /// Which LP engine every relaxation and re-solve runs on (the
+    /// `--lp-engine` escape hatch; the sparse revised simplex is the
+    /// default, `Dense` falls back to the tableau oracle).
+    pub engine: coflow_lp::LpEngine,
 }
 
 impl Default for AlgoParams {
@@ -163,6 +167,7 @@ impl Default for AlgoParams {
             alpha: 0.5,
             compact: true,
             cold: false,
+            engine: coflow_lp::LpEngine::default(),
         }
     }
 }

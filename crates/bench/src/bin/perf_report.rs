@@ -1,5 +1,5 @@
 //! The tracked performance harness: runs a pinned suite of
-//! warm-start-sensitive scenarios and emits `BENCH_PR5.json` — one point
+//! warm-start-sensitive scenarios and emits `BENCH_PR6.json` — one point
 //! of the repo's performance trajectory.
 //!
 //! Scenarios (all deterministic given `--seed`):
@@ -16,12 +16,26 @@
 //! 3. **online ablation** — the figure-harness online ablation at small
 //!    scale, reporting per-point wall-clock and LP effort from the
 //!    runner's [`PointStats`] capture.
+//! 4. **scale sweep** — cold time-indexed LP solves over a
+//!    ports × coflows × horizon-margin grid on the bipartite switch,
+//!    plus the *full* bundled FB2010 trace as an offline LP. Each point
+//!    records model dimensions and the sparse engine's FTRAN/BTRAN
+//!    counters, so hyper-sparsity can be tracked as instances grow.
 //!
 //! Exit is non-zero when the warm path fails its bar: iterations must be
 //! strictly below cold in `--quick` mode, and at least 2× below on the
 //! full online replay (the PR's acceptance criterion).
 //!
-//! Usage: `perf_report [--quick] [--seed S] [--output PATH]`.
+//! With `--compare OLD.json` (an earlier emission, e.g. the committed
+//! `BENCH_PR5.json`) the harness also prints a per-scenario diff and
+//! fails on regressions: for every scenario name present in both files,
+//! wall clock must stay under 2× + 25 ms of the baseline and warm
+//! iterations under 1.5× + 100 (iteration counts are deterministic;
+//! the wall bar is loose on purpose so only order-of-magnitude
+//! slowdowns — the thing this harness exists to catch — trip it).
+//!
+//! Usage: `perf_report [--quick] [--seed S] [--output PATH]
+//! [--compare OLD.json]`.
 
 use coflow_bench::runner::{compute_figures, online_ablation_spec, PointStats};
 use coflow_bench::{HarnessConfig, SweepPool};
@@ -29,7 +43,8 @@ use coflow_core::horizon::{horizon, HorizonMode};
 use coflow_core::interval::{solve_interval, solve_interval_chained, IntervalChain};
 use coflow_core::online::{online_heuristic_with, OnlineOptions};
 use coflow_core::routing::Routing;
-use coflow_lp::SolverOptions;
+use coflow_core::timeidx::{solve_time_indexed, LpSize};
+use coflow_lp::{SolveStats, SolverOptions};
 use coflow_netgraph::topology;
 use coflow_workloads::trace::{ReplayOptions, Trace, FB2010_SAMPLE};
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
@@ -44,6 +59,8 @@ struct Scenario {
     iterations_cold: Option<u64>,
     resolves: u64,
     objective_max_rel_diff: Option<f64>,
+    size: Option<LpSize>,
+    stats: Option<SolveStats>,
 }
 
 impl Scenario {
@@ -63,6 +80,19 @@ impl Scenario {
         if let Some(d) = self.objective_max_rel_diff {
             s.push_str(&format!(",\"objective_max_rel_diff\":{d:.3e}"));
         }
+        if let Some(sz) = self.size {
+            s.push_str(&format!(
+                ",\"rows\":{},\"cols\":{},\"nonzeros\":{}",
+                sz.rows, sz.cols, sz.nonzeros
+            ));
+        }
+        if let Some(st) = self.stats {
+            s.push_str(&format!(
+                ",\"lp_stats\":{{\"ftran_solves\":{},\"ftran_nnz\":{},\"btran_solves\":{},\
+                 \"btran_nnz\":{},\"peak_alloc_bytes\":{}}}",
+                st.ftran_solves, st.ftran_nnz, st.btran_solves, st.btran_nnz, st.peak_alloc_bytes
+            ));
+        }
         s.push('}');
         s
     }
@@ -72,7 +102,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 1u64;
-    let mut output = String::from("BENCH_PR5.json");
+    let mut output = String::from("BENCH_PR6.json");
+    let mut compare: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -91,8 +122,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--compare" => {
+                i += 1;
+                compare = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--compare requires a path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: perf_report [--quick] [--seed S] [--output PATH]");
+                eprintln!(
+                    "usage: perf_report [--quick] [--seed S] [--output PATH] [--compare OLD.json]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -151,10 +191,38 @@ fn main() {
         scenarios.push(s);
     }
 
+    // ---- 4. Scale sweep: cold time-indexed LPs across the grid ----
+    for s in scale_sweep(quick, seed) {
+        let sz = s.size.unwrap_or_default();
+        let st = s.stats.unwrap_or_default();
+        println!(
+            "scale sweep [{}]: {:.0} ms, {} iterations, {}x{} ({} nnz), \
+             ftran avg nnz {:.1}, peak {} KiB",
+            s.name,
+            s.wall_ms,
+            s.iterations,
+            sz.rows,
+            sz.cols,
+            sz.nonzeros,
+            st.ftran_nnz as f64 / st.ftran_solves.max(1) as f64,
+            st.peak_alloc_bytes / 1024,
+        );
+        scenarios.push(s);
+    }
+
+    // ---- Compare against an earlier emission ----
+    if let Some(path) = compare {
+        let old = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        failures.extend(diff_against(&old, &scenarios));
+    }
+
     // ---- Emit ----
     let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
     let json = format!(
-        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 5,\n  \"quick\": {quick},\n  \
+        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 6,\n  \"quick\": {quick},\n  \
          \"seed\": {seed},\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
         body.join(",\n    ")
     );
@@ -170,6 +238,78 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Prints the per-scenario diff against an earlier emission and returns
+/// the regressions that trip the gate (see module docs for the bars).
+fn diff_against(old_json: &str, new: &[Scenario]) -> Vec<String> {
+    let mut failures = Vec::new();
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "compare", "old", "new", "ratio"
+    );
+    for s in new {
+        let Some(obj) = scenario_object(old_json, &s.name) else {
+            println!(
+                "{:<28} {:>12} {:>12.1} {:>8}",
+                s.name, "-", s.wall_ms, "new"
+            );
+            continue;
+        };
+        let old_wall = num_field(obj, "wall_ms").unwrap_or(0.0);
+        let old_iters = num_field(obj, "iterations").unwrap_or(0.0);
+        let ratio = s.wall_ms / old_wall.max(1e-9);
+        println!(
+            "{:<28} {:>9.1} ms {:>9.1} ms {:>7.2}x",
+            s.name, old_wall, s.wall_ms, ratio
+        );
+        if s.wall_ms > 2.0 * old_wall + 25.0 {
+            failures.push(format!(
+                "{}: wall clock regressed {old_wall:.1} ms -> {:.1} ms",
+                s.name, s.wall_ms
+            ));
+        }
+        if s.iterations as f64 > 1.5 * old_iters + 100.0 {
+            failures.push(format!(
+                "{}: iterations regressed {old_iters} -> {}",
+                s.name, s.iterations
+            ));
+        }
+    }
+    failures
+}
+
+/// Slices the `{...}` object for scenario `name` out of an earlier
+/// emission (our own writer's format: one object per scenario, names
+/// unique, at most one level of nesting under `lp_stats`).
+fn scenario_object<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("{{\"name\":\"{name}\"");
+    let start = json.find(&tag)?;
+    let mut depth = 0usize;
+    for (off, ch) in json[start..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..=start + off]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts a top-level numeric field from a scenario object.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = obj.find(&tag)? + tag.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Scenario 1: the bundled trace replayed online, with the shadow cold
@@ -242,6 +382,8 @@ fn online_fb2010(quick: bool) -> Scenario {
         iterations_cold: run.cold_iterations.map(|i| i as u64),
         resolves: run.resolves as u64,
         objective_max_rel_diff: Some(drift),
+        size: None,
+        stats: Some(run.lp_stats),
     }
 }
 
@@ -279,12 +421,14 @@ fn epsilon_sweep(quick: bool, seed: u64) -> Scenario {
     let mut warm_iters = 0u64;
     let mut cold_iters = 0u64;
     let mut drift = 0.0f64;
+    let mut stats = SolveStats::default();
     let t0 = Instant::now();
     for &eps in &epsilons {
         let (rel, next) =
             solve_interval_chained(&inst, &Routing::FreePath, t, eps, &opts, chain.as_ref())
                 .expect("interval LP solves");
         warm_iters += rel.lp.lp_iterations as u64;
+        stats.merge(&rel.lp.stats);
         chain = Some(next);
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -316,6 +460,8 @@ fn epsilon_sweep(quick: bool, seed: u64) -> Scenario {
         iterations_cold: Some(cold_iters),
         resolves: epsilons.len() as u64,
         objective_max_rel_diff: Some(drift),
+        size: None,
+        stats: Some(stats),
     }
 }
 
@@ -346,6 +492,92 @@ fn online_ablation(quick: bool, seed: u64) -> Vec<Scenario> {
             iterations_cold: None,
             resolves: stats.resolves,
             objective_max_rel_diff: None,
+            size: None,
+            stats: None,
         })
         .collect()
+}
+
+/// Scenario 4: cold time-indexed LP solves across a
+/// ports × coflows × horizon-margin grid, plus the full bundled FB2010
+/// trace as one offline LP. Records model dimensions and engine
+/// counters per point.
+fn scale_sweep(quick: bool, seed: u64) -> Vec<Scenario> {
+    // (ports, coflows, horizon margin): each axis doubles while the
+    // others hold, so a regression on any single dimension is visible.
+    let grid: &[(usize, usize, f64)] = if quick {
+        &[(8, 4, 1.25)]
+    } else {
+        &[
+            (8, 8, 1.25),
+            (8, 8, 1.75),
+            (16, 8, 1.25),
+            (16, 16, 1.25),
+            (16, 16, 1.75),
+            (32, 16, 1.25),
+            (32, 32, 1.25),
+        ]
+    };
+    let opts = SolverOptions::default();
+    let mut out = Vec::new();
+    for &(ports, jobs, margin) in grid {
+        let topo = topology::bipartite_switch(ports, 1.0);
+        let inst = build_instance(
+            &topo,
+            &WorkloadConfig {
+                kind: WorkloadKind::Facebook,
+                num_jobs: jobs,
+                seed,
+                slot_seconds: 50.0,
+                mean_interarrival_slots: 1.0,
+                weighted: true,
+                demand_scale: 0.05,
+            },
+        )
+        .expect("workload builds");
+        let t =
+            horizon(&inst, &Routing::FreePath, HorizonMode::Greedy { margin }).expect("horizon");
+        let t0 = Instant::now();
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &opts).expect("LP solves");
+        out.push(Scenario {
+            name: format!("scale_p{ports}_c{jobs}_t{t}"),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms_cold: None,
+            iterations: lp.lp_iterations as u64,
+            iterations_cold: None,
+            resolves: 1,
+            objective_max_rel_diff: None,
+            size: Some(lp.size),
+            stats: Some(lp.stats),
+        });
+    }
+
+    // The whole bundled trace, one offline LP — the largest instance the
+    // suite tracks.
+    if !quick {
+        let trace = Trace::parse(FB2010_SAMPLE).expect("bundled fixture parses");
+        let inst = trace
+            .switch_instance(&ReplayOptions::default())
+            .expect("fixture replays");
+        let t = horizon(
+            &inst,
+            &Routing::FreePath,
+            HorizonMode::Greedy { margin: 1.25 },
+        )
+        .expect("horizon");
+        let t0 = Instant::now();
+        let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &opts).expect("LP solves");
+        out.push(Scenario {
+            name: "scale_fb2010_full".into(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms_cold: None,
+            iterations: lp.lp_iterations as u64,
+            iterations_cold: None,
+            resolves: 1,
+            objective_max_rel_diff: None,
+            size: Some(lp.size),
+            stats: Some(lp.stats),
+        });
+    }
+    out
 }

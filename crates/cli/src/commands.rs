@@ -12,6 +12,7 @@ use coflow_core::model::CoflowInstance;
 use coflow_core::routing::{self, Routing};
 use coflow_core::solve::SolveContext;
 use coflow_core::solver::Relaxation;
+use coflow_lp::{LpEngine, SolverOptions};
 use coflow_netgraph::topology::{self, Topology};
 use coflow_workloads::scenarios::{build_scenario_instance, Scenario, ScenarioConfig};
 use coflow_workloads::trace::{ReplayOptions, Trace, TraceStream, WeightRule};
@@ -202,7 +203,8 @@ pub fn solve(args: &Args) -> Result<(), String> {
 }
 
 /// The solver knobs `solve` and `trace replay` share:
-/// `--seed/--samples/--lambda/--k/--epsilon/--alpha/--cold`, validated
+/// `--seed/--samples/--lambda/--k/--epsilon/--alpha/--cold/--lp-engine`,
+/// validated
 /// and assembled into [`AlgoParams`] exactly once so the two commands
 /// cannot drift (`--epsilon` maps onto both the interval-LP ε and
 /// Jahanjou's ε, as `solve` has always done; `--cold` disables the
@@ -222,6 +224,12 @@ fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
     let epsilon: f64 = args.get("epsilon", 0.0)?;
     let alpha: f64 = args.get("alpha", 0.5)?;
     let cold = args.switch("--cold");
+    let engine_flag: String = args.get("lp-engine", "sparse".into())?;
+    let engine = match engine_flag.as_str() {
+        "sparse" => LpEngine::Sparse,
+        "dense" => LpEngine::Dense,
+        other => return Err(format!("unknown LP engine {other:?} (sparse|dense)")),
+    };
     if !(alpha > 0.0 && alpha <= 1.0) {
         return Err(format!("--alpha must lie in (0, 1], got {alpha}"));
     }
@@ -242,6 +250,7 @@ fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
                 dflt.jahanjou_epsilon
             },
             alpha,
+            engine,
             ..dflt
         },
     })
@@ -263,7 +272,13 @@ fn dispatch(
     epsilon: f64,
 ) -> Result<(), String> {
     println!("algorithm      {}", entry.name);
-    let mut ctx = SolveContext::new();
+    if params.engine == LpEngine::Dense {
+        println!("lp engine      dense (tableau oracle)");
+    }
+    let mut ctx = SolveContext::new().with_lp_options(SolverOptions {
+        engine: params.engine,
+        ..Default::default()
+    });
     let out = entry
         .build(params)
         .solve(inst, routing, &mut ctx)

@@ -585,6 +585,7 @@ fn solve_interval_impl(
                 plan,
                 horizon,
                 lp_iterations: sol.iterations,
+                stats: sol.stats,
                 size,
             },
             boundaries: tau,

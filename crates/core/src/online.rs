@@ -58,6 +58,9 @@ pub struct OnlineOutcome {
     /// Total simplex iterations across all epoch re-solves — the LP
     /// effort the run actually spent (plotted by the perf harness).
     pub lp_iterations: usize,
+    /// Engine counters summed over the epoch re-solves (FTRAN/BTRAN
+    /// solves and nonzeros add; the peak-workspace estimate is the max).
+    pub lp_stats: coflow_lp::SolveStats,
     /// Objective of each epoch's LP re-solve, in epoch order.
     pub epoch_objectives: Vec<f64>,
     /// With [`OnlineOptions::shadow_cold`]: total iterations the same
@@ -117,6 +120,7 @@ pub fn online_heuristic_with(
     };
     let mut resolves = 0;
     let mut rebuilds = 0;
+    let mut lp_stats = coflow_lp::SolveStats::default();
     let mut epoch_objectives = Vec::with_capacity(epochs.len());
     let mut cold_objectives = Vec::new();
     let mut cold_iterations = 0usize;
@@ -154,6 +158,7 @@ pub fn online_heuristic_with(
                 }
             }
         };
+        lp_stats.merge(&lp.stats);
         epoch_objectives.push(lp.objective);
         if online_opts.shadow_cold {
             let (obj, iters) = resolver
@@ -233,6 +238,7 @@ pub fn online_heuristic_with(
         schedule,
         resolves,
         lp_iterations: resolver.total_iterations(),
+        lp_stats,
         epoch_objectives,
         cold_iterations: online_opts.shadow_cold.then_some(cold_iterations),
         cold_objectives: online_opts.shadow_cold.then_some(cold_objectives),

@@ -61,6 +61,9 @@ pub struct LpRelaxation {
     pub horizon: u32,
     /// Simplex iterations.
     pub lp_iterations: usize,
+    /// Sparse-engine effort counters (FTRAN/BTRAN solves and nonzeros,
+    /// peak workspace bytes); all zero under `LpEngine::Dense`.
+    pub stats: coflow_lp::SolveStats,
     /// Model dimensions.
     pub size: LpSize,
 }
@@ -533,6 +536,7 @@ pub(crate) fn extract(
         plan,
         horizon,
         lp_iterations: sol.iterations,
+        stats: sol.stats,
         size,
     }
 }

@@ -194,6 +194,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         duals: None, // the oracle only certifies primal objectives
         iterations: 0,
         refactorizations: 0,
+        stats: Default::default(),
     })
 }
 

@@ -9,17 +9,22 @@
 //! * variable bounds handled implicitly by the simplex (no explicit
 //!   `x ≤ 1` rows), which keeps the basis an order of magnitude smaller
 //!   for time-indexed formulations where *every* variable is bounded;
-//! * sparse LU basis factorization with product-form (eta) updates and
-//!   periodic refactorization;
+//! * sparse LU basis factorization (Gilbert–Peierls with Markowitz-style
+//!   threshold pivoting), product-form (eta) updates, periodic
+//!   refactorization, and **hyper-sparse** FTRAN/BTRAN that walk only
+//!   the symbolic reach of each right-hand side;
 //! * composite phase 1 (minimize total primal infeasibility) starting
 //!   from an all-slack crash basis — coflow LPs start with only a few
 //!   infeasible rows, so phase 1 is short;
 //! * Devex pricing with incremental reduced costs in phase 2, and a
 //!   Bland's-rule fallback that guarantees termination under degeneracy;
+//! * a warm-start dual simplex with a bound-flipping ratio test and
+//!   dual-Devex row pricing for incremental re-solves;
 //! * geometric-mean equilibration scaling and a light presolve.
 //!
 //! A dense tableau simplex ([`dense`]) acts as a differential-testing
-//! oracle for randomized tests.
+//! oracle for randomized tests and remains reachable in production via
+//! [`SolverOptions::engine`] (`LpEngine::Dense`).
 //!
 //! # Example
 //!
@@ -58,6 +63,6 @@ mod standard;
 pub use error::LpError;
 pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
 pub use simplex::dual::{Basis, BasisStatus};
-pub use simplex::{Pricing, SolverOptions};
-pub use solution::{Solution, Status};
-pub use sparse::{CscMatrix, CsrMatrix};
+pub use simplex::{LpEngine, Pricing, SolverOptions};
+pub use solution::{Solution, SolveStats, Status};
+pub use sparse::{CscMatrix, CsrMatrix, WorkVec};

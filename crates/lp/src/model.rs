@@ -34,6 +34,14 @@ impl ConstraintId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a `ConstraintId` from a dense index. The id is only
+    /// meaningful for the model that assigned it; model methods panic on
+    /// out-of-range ids.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ConstraintId(u32::try_from(i).expect("constraint index exceeds u32"))
+    }
 }
 
 impl fmt::Debug for VarId {

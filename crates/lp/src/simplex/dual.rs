@@ -150,6 +150,13 @@ pub fn solve_warm(
     warm: Option<&Basis>,
     options: &SolverOptions,
 ) -> Result<(Solution, Basis), LpError> {
+    if options.engine == super::LpEngine::Dense {
+        // The dense tableau oracle has no basis machinery: every solve
+        // is cold, and the returned snapshot is crashed from the point.
+        let sol = crate::dense::solve(model)?;
+        let basis = Basis::from_point(model, &sol.x);
+        return Ok((sol, basis));
+    }
     let sf = StdForm::build(model, options.scale);
     if sf.m == 0 {
         let xs = trivial_solve(&sf)?;
@@ -174,6 +181,7 @@ pub fn solve_warm(
                 duals: Some(Vec::new()),
                 iterations: 0,
                 refactorizations: 0,
+                stats: Default::default(),
             },
             Basis {
                 vars,
@@ -202,6 +210,7 @@ pub fn solve_warm(
             duals,
             iterations: scaled.iterations,
             refactorizations: scaled.refactorizations,
+            stats: scaled.stats(),
         },
         basis,
     ))
@@ -331,6 +340,15 @@ impl Simplex<'_> {
         self.refactor_and_recompute(false)?;
 
         // ---- Dual simplex until primal feasible ----
+        // Stall guard: a snapshot can be so far from the new optimum
+        // that dual pivoting degenerates into a grind (observed on
+        // resolves that double the model size). Past a budget linear in
+        // the row count, cut losses and restart cold from the all-slack
+        // basis — total work then stays within budget + one cold solve,
+        // so a pathological warm start can never be much *worse* than
+        // cold.
+        let start_iterations = self.iterations;
+        let dual_budget = 3 * self.sf.m + 1000;
         let mut retried = false;
         loop {
             if self.max_infeasibility() <= self.opt.feas_tol {
@@ -340,6 +358,10 @@ impl Simplex<'_> {
                 return Err(LpError::IterationLimit {
                     iterations: self.iterations,
                 });
+            }
+            if self.iterations - start_iterations > dual_budget {
+                self.reset_to_all_slack();
+                return self.run();
             }
             self.maybe_refactor(false)?;
             match self.dual_step()? {
@@ -380,12 +402,7 @@ impl Simplex<'_> {
         }
         self.refactor_and_recompute(false)?;
         let y = self.scaled_duals();
-        Ok(ScaledSolution {
-            x: std::mem::take(&mut self.x),
-            y,
-            iterations: self.iterations,
-            refactorizations: self.refactorizations,
-        })
+        Ok(self.finish(y))
     }
 
     /// Restores dual feasibility by flipping nonbasic variables whose
@@ -423,28 +440,41 @@ impl Simplex<'_> {
         true
     }
 
-    /// One dual-simplex pivot. `Unbounded` means the *dual* is unbounded,
-    /// i.e. the primal is infeasible.
+    /// One dual-simplex pivot with a bound-flipping ratio test (BFRT).
+    /// `Unbounded` means the *dual* is unbounded, i.e. the primal is
+    /// infeasible.
     fn dual_step(&mut self) -> Result<StepOutcome, LpError> {
         let feas_tol = self.opt.feas_tol;
 
-        // 1. Leaving row: most-violated basic variable.
+        // 1. Leaving row: most-violated basic variable, optionally
+        // scaled by the dual-Devex row weights (steepest-edge proxy).
+        let use_devex = self.opt.pricing == super::Pricing::Devex && !self.bland;
         let mut r = usize::MAX;
-        let mut worst = feas_tol;
+        let mut worst = 0.0f64;
+        let mut best_score = 0.0f64;
         let mut to_upper = false;
         for (i, &j) in self.basis.iter().enumerate() {
             let v = self.x[j];
             let above = v - self.sf.ub[j];
             let below = self.sf.lb[j] - v;
-            if above > worst {
-                worst = above;
-                r = i;
-                to_upper = true;
+            let (viol, up) = if above >= below {
+                (above, true)
+            } else {
+                (below, false)
+            };
+            if viol <= feas_tol {
+                continue;
             }
-            if below > worst {
-                worst = below;
+            let score = if use_devex {
+                viol * viol / self.dual_w[i]
+            } else {
+                viol
+            };
+            if score > best_score {
+                best_score = score;
+                worst = viol;
                 r = i;
-                to_upper = false;
+                to_upper = up;
             }
         }
         if r == usize::MAX {
@@ -461,19 +491,16 @@ impl Simplex<'_> {
         // (x_Br must decrease), -1 when below its lower bound.
         let s = if to_upper { 1.0 } else { -1.0 };
 
-        // 2. Pivot row: rho = B^{-T} e_r, alpha_j = rho · a_j via CSR.
-        let mut e = std::mem::take(&mut self.m_buf);
-        e.iter_mut().for_each(|v| *v = 0.0);
-        e[r] = 1.0;
-        let mut rho = std::mem::take(&mut self.row_buf);
-        self.facto.btran(&e, &mut rho);
-        self.m_buf = e;
+        // 2. Pivot row: rho = B^{-T} e_r (hyper-sparse), alpha_j =
+        // rho · a_j via the CSR rows of rho's pattern.
+        let mut rho = std::mem::take(&mut self.rho_work);
+        self.facto.btran_unit(r, &mut rho);
         self.alpha_touched.clear();
-        for (i, &ri) in rho.iter().enumerate() {
+        for (i, ri) in rho.iter() {
             if ri.abs() <= 1e-12 {
                 continue;
             }
-            for (jcol, v) in self.sf.a_csr.row(i) {
+            for (jcol, v) in self.sf.a_csr.row(i as usize) {
                 let j = jcol as usize;
                 if self.alpha_buf[j] == 0.0 {
                     self.alpha_touched.push(jcol);
@@ -481,59 +508,136 @@ impl Simplex<'_> {
                 self.alpha_buf[j] += ri * v;
             }
         }
-        self.row_buf = rho;
+        self.rho_work = rho;
 
-        // 3. Dual ratio test. Fixed columns (lb == ub) cannot absorb any
-        // primal movement and are excluded; if no candidate remains, the
-        // violated row certifies primal infeasibility.
+        // 3. Bound-flipping dual ratio test. Collect every eligible
+        // breakpoint `(ratio, |alpha|, col)`; if none remains, the
+        // violated row certifies primal infeasibility. Fixed columns
+        // (lb == ub) cannot absorb primal movement and are excluded by
+        // `dual_ratio`.
         let touched = std::mem::take(&mut self.alpha_touched);
-        let mut min_ratio = f64::INFINITY;
-        let mut have_candidate = false;
+        let mut bps = std::mem::take(&mut self.breakpoints);
+        bps.clear();
         for &jcol in &touched {
             let j = jcol as usize;
             if let Some(ratio) = self.dual_ratio(j, s) {
-                have_candidate = true;
-                if ratio < min_ratio {
-                    min_ratio = ratio;
-                }
+                bps.push((ratio, self.alpha_buf[j].abs(), jcol));
             }
         }
-        if !have_candidate {
+        if bps.is_empty() {
             for &jcol in &touched {
                 self.alpha_buf[jcol as usize] = 0.0;
             }
             self.alpha_touched = touched;
+            self.breakpoints = bps;
             return Ok(StepOutcome::Unbounded);
         }
-        // Tie band: stability wants the biggest pivot among near-minimal
-        // ratios; Bland mode wants the smallest index for termination.
-        let tie = self.opt.opt_tol * (1.0 + min_ratio.abs()) + 1e-12;
+
+        // Walk breakpoints in ratio order. A boxed column whose capacity
+        // |alpha|·(ub−lb) cannot absorb the remaining violation is
+        // *flipped* to its opposite bound instead of entering — many
+        // breakpoints collapse into one pivot, which is what breaks the
+        // degenerate churn on warm re-solves whose appended columns all
+        // sit at ratio zero. The entering column is the breakpoint where
+        // the violation finally crosses zero. Bland mode keeps the plain
+        // shortest-ratio/smallest-index rule (termination guarantee).
+        bps.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut cross = 0usize;
+        if !self.bland {
+            let mut delta = worst;
+            while cross + 1 < bps.len() {
+                let (_, a, jcol) = bps[cross];
+                let j = jcol as usize;
+                let span = self.sf.ub[j] - self.sf.lb[j];
+                if !span.is_finite() {
+                    break;
+                }
+                let cap = a * span;
+                if delta - cap <= feas_tol {
+                    break;
+                }
+                delta -= cap;
+                cross += 1;
+            }
+        }
+        // Entering choice at the crossing: stability wants the biggest
+        // pivot among near-minimal remaining ratios; Bland mode wants
+        // the smallest index.
+        let cross_ratio = bps[cross].0;
+        let tie = self.opt.opt_tol * (1.0 + cross_ratio.abs()) + 1e-12;
         let mut q = usize::MAX;
         let mut best_abs = 0.0f64;
-        for &jcol in &touched {
-            let j = jcol as usize;
-            let Some(ratio) = self.dual_ratio(j, s) else {
-                continue;
-            };
-            if ratio > min_ratio + tie {
-                continue;
+        for &(ratio, a, jcol) in &bps[cross..] {
+            if ratio > cross_ratio + tie {
+                break;
             }
+            let j = jcol as usize;
             if self.bland {
                 if q == usize::MAX || j < q {
                     q = j;
                 }
-            } else {
-                let a = self.alpha_buf[j].abs();
-                if a > best_abs {
-                    best_abs = a;
-                    q = j;
-                }
+            } else if a > best_abs {
+                best_abs = a;
+                q = j;
             }
         }
         debug_assert!(q != usize::MAX);
         let alpha_q = self.alpha_buf[q];
+        let nflips = cross;
 
-        // 4. Dual update across the pivot row.
+        // 4. Apply the bound flips: each flipped column jumps to its
+        // opposite bound; the basic values absorb the combined movement
+        // through ONE extra FTRAN of the accumulated flip column.
+        if nflips > 0 {
+            self.flip_pairs.clear();
+            for &(_, _, jcol) in &bps[..nflips] {
+                let j = jcol as usize;
+                if j == q {
+                    continue; // tie band can overlap the flip prefix
+                }
+                let (dx, new_stat, new_x) = match self.stat[j] {
+                    CStat::Lower => {
+                        let span = self.sf.ub[j] - self.sf.lb[j];
+                        (span, CStat::Upper, self.sf.ub[j])
+                    }
+                    CStat::Upper => {
+                        let span = self.sf.ub[j] - self.sf.lb[j];
+                        (-span, CStat::Lower, self.sf.lb[j])
+                    }
+                    _ => continue, // free columns have no opposite bound
+                };
+                self.stat[j] = new_stat;
+                self.x[j] = new_x;
+                for (row, v) in self.sf.a.col(j) {
+                    self.flip_pairs.push((row, v * dx));
+                }
+            }
+            if !self.flip_pairs.is_empty() {
+                self.flip_pairs.sort_unstable_by_key(|&(row, _)| row);
+                let mut fv = std::mem::take(&mut self.flip_work);
+                fv.clear_to_dim(self.sf.m);
+                for &(row, v) in &self.flip_pairs {
+                    let ri = row as usize;
+                    if fv.vals[ri] == 0.0 && fv.pattern.last().is_none_or(|&p| p != row) {
+                        fv.pattern.push(row);
+                    }
+                    fv.vals[ri] += v;
+                }
+                self.facto.ftran(&mut fv);
+                for (i, v) in fv.iter() {
+                    if v != 0.0 {
+                        let j = self.basis[i as usize];
+                        self.x[j] -= v;
+                    }
+                }
+                fv.clear();
+                self.flip_work = fv;
+            }
+        }
+
+        // 5. Dual update across the pivot row. Flipped columns cross
+        // their breakpoint, so the same update moves their reduced cost
+        // to the sign matching the new bound — dual feasibility holds.
         let theta_d = self.z[q] / alpha_q;
         for &jcol in &touched {
             let j = jcol as usize;
@@ -545,30 +649,42 @@ impl Simplex<'_> {
             self.z[j] -= theta_d * alpha;
         }
         self.alpha_touched = touched;
+        self.breakpoints = bps;
 
-        // 5. Primal update along the entering column.
-        let mut d = std::mem::take(&mut self.col_buf);
+        // 6. Primal update along the entering column (hyper-sparse).
+        let mut d = std::mem::take(&mut self.d_work);
         self.facto.ftran_col(&self.sf.a, q, &mut d);
-        let dr = d[r];
+        let dr = d.vals[r];
         if dr.abs() <= self.opt.pivot_tol || !theta_d.is_finite() {
-            self.col_buf = d;
+            self.d_work = d;
             return Err(LpError::NumericalFailure(format!(
                 "dual pivot collapsed: |d_r| = {:.3e}",
                 dr.abs()
             )));
         }
         let t = (self.x[jl] - target) / dr;
-        for (i, &di) in d.iter().enumerate() {
+        for (i, di) in d.iter() {
             if di != 0.0 {
-                let j = self.basis[i];
+                let j = self.basis[i as usize];
                 self.x[j] -= t * di;
             }
         }
         self.x[q] += t;
         self.x[jl] = target;
 
-        // 6. Basis bookkeeping.
+        // 7. Basis bookkeeping + dual-Devex row weight propagation.
         self.facto.push_eta(r, &d, 1e-14);
+        let wr = self.dual_w[r];
+        for (i, di) in d.iter() {
+            let i = i as usize;
+            if i != r {
+                let cand = (di / dr) * (di / dr) * wr;
+                if cand > self.dual_w[i] {
+                    self.dual_w[i] = cand;
+                }
+            }
+        }
+        self.dual_w[r] = (wr / (dr * dr)).max(1.0);
         self.stat[jl] = if to_upper { CStat::Upper } else { CStat::Lower };
         self.pos_of[jl] = u32::MAX;
         self.basis[r] = q;
@@ -576,11 +692,17 @@ impl Simplex<'_> {
         self.stat[q] = CStat::Basic;
         self.z[jl] = -theta_d;
         self.z[q] = 0.0;
-        self.col_buf = d;
+        self.d_work = d;
 
         // Dual degeneracy tracking (theta_d ~ 0 makes no dual progress);
-        // reuse the primal degeneracy/Bland machinery.
-        self.note_progress(theta_d.abs());
+        // bound flips move the primal point, so a flipping iteration
+        // counts as progress even at a degenerate breakpoint.
+        if nflips > 0 {
+            self.degen_streak = 0;
+            self.bland = false;
+        } else {
+            self.note_progress(theta_d.abs());
+        }
         Ok(StepOutcome::Moved)
     }
 

@@ -1,22 +1,39 @@
 //! Sparse LU factorization of the simplex basis (Gilbert–Peierls) with
-//! product-form-of-the-inverse (eta) updates between refactorizations.
+//! extended product-form (eta) updates and hyper-sparse solves.
 //!
 //! The basis matrix `B` consists of `m` columns of the constraint matrix.
-//! We factorize `P·B·Q = L·U` where `P` permutes rows (partial pivoting by
-//! maximum magnitude) and `Q` orders columns by increasing nonzero count
-//! (a static Markowitz-style heuristic that keeps fill low for the
-//! near-triangular bases produced by time-indexed LPs).
+//! We factorize `P·B·Q = L·U` where `Q` orders columns by increasing
+//! nonzero count and `P` permutes rows by a Markowitz-style threshold
+//! rule: among rows whose pivot candidate is within a fixed factor of
+//! the largest magnitude, take the one with the fewest nonzeros across
+//! the basis columns (stability first, fill second).
 //!
 //! After each simplex pivot the factorization is *updated*, not rebuilt:
-//! the update `B' = B·E` is recorded as an eta matrix `E` (identity with
-//! one replaced column). FTRAN/BTRAN apply the eta file around the LU
-//! solve. The file is discarded and `B` refactorized every
-//! [`SolverOptions::refactor_interval`](crate::SolverOptions) pivots.
+//! the update `B' = B·E` is recorded as a sparse eta matrix `E`
+//! (identity with one replaced column) — the extended product-form of
+//! the inverse. FTRAN/BTRAN apply the eta file around the LU solve and
+//! the file is discarded at the next refactorization.
+//!
+//! Solves are **hyper-sparse**: right-hand sides, intermediates, and
+//! results live in indexed [`WorkVec`]s. A depth-first symbolic reach
+//! over the triangular factors (both held in forward and transposed
+//! adjacency) enumerates exactly the entries a solve can touch, so the
+//! cost of an FTRAN/BTRAN is proportional to the size of its *result*,
+//! not to `m`. Dense right-hand sides short-circuit to plain dense
+//! triangular solves (the reach would visit everything anyway).
 
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, WorkVec};
 
 /// Index marker for "not yet pivoted".
 const UNSET: u32 = u32::MAX;
+
+/// Relative threshold for Markowitz-style pivoting: candidates within
+/// this factor of the column's largest magnitude compete on row count.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Right-hand sides denser than `m / DENSE_CUTOFF` skip the symbolic
+/// reach and solve densely.
+const DENSE_CUTOFF: usize = 8;
 
 /// A singular basis: the step at which no acceptable pivot existed.
 #[derive(Clone, Copy, Debug)]
@@ -37,8 +54,22 @@ struct Eta {
     dp: f64,
 }
 
-/// LU factors plus eta file. All `solve_*` methods work on dense vectors
-/// in *basis-position* space except where noted.
+/// Running operation counters (monotone across refactorizations).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpCounts {
+    /// Sparse/dense FTRAN solves performed.
+    pub ftran_solves: usize,
+    /// Total result nonzeros across all FTRANs.
+    pub ftran_nnz: usize,
+    /// Sparse/dense BTRAN solves performed.
+    pub btran_solves: usize,
+    /// Total result nonzeros across all BTRANs.
+    pub btran_nnz: usize,
+}
+
+/// LU factors plus eta file. Sparse solves work on [`WorkVec`]s; the
+/// dense entry points remain for inherently dense right-hand sides
+/// (basic-value and reduced-cost recomputation).
 pub struct Factorization {
     m: usize,
     /// orig row -> elimination step.
@@ -47,21 +78,39 @@ pub struct Factorization {
     rinv: Vec<u32>,
     /// step -> basis position.
     cinv: Vec<u32>,
+    /// basis position -> step.
+    cpos: Vec<u32>,
     // L columns (per step): original-row indices and values; implicit unit
     // diagonal. Entries' rows are pivoted at later steps.
     l_start: Vec<usize>,
     l_rows: Vec<u32>,
     l_vals: Vec<f64>,
+    /// `l_rows` mapped through `rpos` once factorization completes:
+    /// the step each L entry updates during a forward solve.
+    l_steps: Vec<u32>,
     // U columns (per step): step indices (< k) and values; diagonal apart.
     u_start: Vec<usize>,
     u_steps: Vec<u32>,
     u_vals: Vec<f64>,
     u_diag: Vec<f64>,
+    // Transposed adjacency (indices only) for BTRAN symbolic reach:
+    // step s -> steps k whose column holds an entry at s.
+    ut_start: Vec<usize>,
+    ut_cols: Vec<u32>,
+    lt_start: Vec<usize>,
+    lt_cols: Vec<u32>,
     etas: Vec<Eta>,
+    counts: OpCounts,
     // Scratch buffers reused across factorizations and solves.
     work: Vec<f64>,
     stamp: Vec<u32>,
     epoch: u32,
+    /// Nonzeros per row across the basis columns (Markowitz row counts).
+    row_count: Vec<u32>,
+    dfs_stack: Vec<(u32, usize)>,
+    reach_out: Vec<u32>,
+    perm_scratch: Vec<(u32, f64)>,
+    dense_out: Vec<f64>,
 }
 
 impl Factorization {
@@ -72,17 +121,29 @@ impl Factorization {
             rpos: vec![UNSET; m],
             rinv: vec![0; m],
             cinv: vec![0; m],
+            cpos: vec![0; m],
             l_start: vec![0],
             l_rows: Vec::new(),
             l_vals: Vec::new(),
+            l_steps: Vec::new(),
             u_start: vec![0],
             u_steps: Vec::new(),
             u_vals: Vec::new(),
             u_diag: Vec::new(),
+            ut_start: Vec::new(),
+            ut_cols: Vec::new(),
+            lt_start: Vec::new(),
+            lt_cols: Vec::new(),
             etas: Vec::new(),
+            counts: OpCounts::default(),
             work: vec![0.0; m],
             stamp: vec![0; m],
             epoch: 0,
+            row_count: vec![0; m],
+            dfs_stack: Vec::new(),
+            reach_out: Vec::new(),
+            perm_scratch: Vec::new(),
+            dense_out: Vec::new(),
         }
     }
 
@@ -101,6 +162,45 @@ impl Factorization {
     /// Total nonzeros in L and U (fill indicator).
     pub fn factor_nnz(&self) -> usize {
         self.l_rows.len() + self.u_steps.len() + self.u_diag.len()
+    }
+
+    /// Monotone FTRAN/BTRAN operation counters.
+    #[inline]
+    pub fn op_counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Heap bytes currently held by factors, eta file, and scratch
+    /// (allocation accounting for the solver's workspace ledger).
+    pub fn heap_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let u = std::mem::size_of::<u32>();
+        let us = std::mem::size_of::<usize>();
+        (self.l_vals.capacity() + self.u_vals.capacity() + self.u_diag.capacity()) * f
+            + (self.l_rows.capacity()
+                + self.l_steps.capacity()
+                + self.u_steps.capacity()
+                + self.ut_cols.capacity()
+                + self.lt_cols.capacity()
+                + self.rpos.capacity()
+                + self.rinv.capacity()
+                + self.cinv.capacity()
+                + self.cpos.capacity()
+                + self.stamp.capacity()
+                + self.row_count.capacity()
+                + self.reach_out.capacity())
+                * u
+            + (self.l_start.capacity()
+                + self.u_start.capacity()
+                + self.ut_start.capacity()
+                + self.lt_start.capacity())
+                * us
+            + (self.work.capacity() + self.dense_out.capacity()) * f
+            + self
+                .etas
+                .iter()
+                .map(|e| e.d.capacity() * (u as usize + f as usize))
+                .sum::<usize>()
     }
 
     /// Refactorizes from scratch: `basis[pos]` is the column index of `a`
@@ -130,13 +230,21 @@ impl Factorization {
         self.u_diag.clear();
         self.etas.clear();
 
+        // Markowitz row counts: nonzeros per row across the basis.
+        self.row_count.iter_mut().for_each(|c| *c = 0);
+        for &col in basis {
+            for (row, _) in a.col(col) {
+                self.row_count[row as usize] += 1;
+            }
+        }
+
         // Static column order: increasing nonzero count.
         let mut order: Vec<u32> = (0..m as u32).collect();
         order.sort_by_key(|&p| a.col_nnz(basis[p as usize]));
 
         // Gilbert–Peierls per column.
         let mut pattern: Vec<u32> = Vec::with_capacity(64);
-        let mut dfs_stack: Vec<(u32, usize)> = Vec::with_capacity(64);
+        let mut dfs_stack = std::mem::take(&mut self.dfs_stack);
         for (k, &p) in order.iter().enumerate() {
             let col = basis[p as usize];
             self.epoch += 1;
@@ -206,13 +314,31 @@ impl Factorization {
                 }
             }
 
-            // Pivot: max |work| over unpivoted pattern rows.
-            let mut piv_row = UNSET;
-            let mut piv_val = 0.0f64;
+            // Pivot: Markowitz-style threshold rule over unpivoted
+            // pattern rows — stability gate on magnitude, fewest row
+            // nonzeros among those admitted, magnitude as tie-break.
+            let mut vmax = 0.0f64;
             for &node in &pattern {
                 if self.rpos[node as usize] == UNSET {
+                    vmax = vmax.max(self.work[node as usize].abs());
+                }
+            }
+            let mut piv_row = UNSET;
+            let mut piv_val = 0.0f64;
+            let mut piv_count = u32::MAX;
+            if vmax >= pivot_tol {
+                let gate = vmax * PIVOT_THRESHOLD;
+                for &node in &pattern {
+                    if self.rpos[node as usize] != UNSET {
+                        continue;
+                    }
                     let v = self.work[node as usize].abs();
-                    if v > piv_val {
+                    if v < gate {
+                        continue;
+                    }
+                    let cnt = self.row_count[node as usize];
+                    if cnt < piv_count || (cnt == piv_count && v > piv_val) {
+                        piv_count = cnt;
                         piv_val = v;
                         piv_row = node;
                     }
@@ -223,6 +349,7 @@ impl Factorization {
                 for &node in &pattern {
                     self.work[node as usize] = 0.0;
                 }
+                self.dfs_stack = dfs_stack;
                 return Err(Singular {
                     step: k,
                     basis_pos: p as usize,
@@ -253,33 +380,141 @@ impl Factorization {
             self.rinv[k] = piv_row;
             self.cinv[k] = p;
         }
+        self.dfs_stack = dfs_stack;
+        for k in 0..m {
+            self.cpos[self.cinv[k] as usize] = k as u32;
+        }
+        // Resolve L entry rows to their elimination steps and build the
+        // transposed adjacency both factors need for BTRAN reach.
+        self.l_steps.clear();
+        self.l_steps
+            .extend(self.l_rows.iter().map(|&r| self.rpos[r as usize]));
+        build_transpose(
+            m,
+            &self.l_start,
+            &self.l_steps,
+            &mut self.lt_start,
+            &mut self.lt_cols,
+        );
+        build_transpose(
+            m,
+            &self.u_start,
+            &self.u_steps,
+            &mut self.ut_start,
+            &mut self.ut_cols,
+        );
         Ok(())
     }
 
-    /// FTRAN: solves `B x = a_col` where `a_col` is column `col` of `a`.
-    /// Output `x` is dense in basis-position space (length `m`).
-    pub fn ftran_col(&mut self, a: &CscMatrix, col: usize, x: &mut Vec<f64>) {
-        x.clear();
-        x.resize(self.m, 0.0);
-        // wstep[k] = a[rinv[k]]
-        for (row, val) in a.col(col) {
-            let k = self.rpos[row as usize];
-            debug_assert_ne!(k, UNSET);
-            x[k as usize] = val;
+    /// Sparse FTRAN: solves `B x = v` in place. Input `v` is in
+    /// original-row space; the result is in basis-position space with
+    /// its nonzero pattern maintained.
+    pub fn ftran(&mut self, v: &mut WorkVec) {
+        debug_assert_eq!(v.dim(), self.m);
+        self.counts.ftran_solves += 1;
+        if v.nnz() * DENSE_CUTOFF >= self.m {
+            self.ftran_dense_branch(v);
+            self.counts.ftran_nnz += v.nnz();
+            return;
         }
-        self.lu_solve_in_step_space(x);
-        // Map step -> position space, in place via scratch.
-        self.steps_to_positions(x);
-        // Apply eta inverses in chronological order.
+        // Row space -> step space.
+        self.permute(v, PermMap::RowToStep);
+        debug_check_pattern(v, "after perm row->step");
+        // L forward, then U backward, each over its symbolic reach.
+        self.solve_lower(v);
+        debug_check_pattern(v, "after L");
+        self.solve_upper(v);
+        debug_check_pattern(v, "after U");
+        // Step space -> position space.
+        self.permute(v, PermMap::StepToPos);
+        debug_check_pattern(v, "after perm step->pos");
+        // Eta file, chronological. New fill is added to the pattern via
+        // stamps so duplicates cannot arise.
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &i in &v.pattern {
+            self.stamp[i as usize] = epoch;
+        }
         for eta in &self.etas {
-            let t = x[eta.pos] / eta.dp;
+            let t = v.vals[eta.pos] / eta.dp;
             if t != 0.0 {
                 for &(i, di) in &eta.d {
-                    x[i as usize] -= di * t;
+                    v.vals[i as usize] -= di * t;
+                    if self.stamp[i as usize] != epoch {
+                        self.stamp[i as usize] = epoch;
+                        v.pattern.push(i);
+                    }
                 }
             }
-            x[eta.pos] = t;
+            v.vals[eta.pos] = t;
         }
+        self.counts.ftran_nnz += v.nnz();
+    }
+
+    /// Sparse FTRAN of constraint-matrix column `col`: seeds the work
+    /// vector from the column and solves in place.
+    pub fn ftran_col(&mut self, a: &CscMatrix, col: usize, v: &mut WorkVec) {
+        v.clear_to_dim(self.m);
+        for (row, val) in a.col(col) {
+            v.vals[row as usize] = val;
+            v.pattern.push(row);
+        }
+        self.ftran(v);
+    }
+
+    /// Sparse BTRAN: solves `Bᵀ y = v` in place. Input `v` is in
+    /// basis-position space; the result is in original-row space with
+    /// its nonzero pattern maintained.
+    pub fn btran_sparse(&mut self, v: &mut WorkVec) {
+        debug_assert_eq!(v.dim(), self.m);
+        self.counts.btran_solves += 1;
+        if v.nnz() * DENSE_CUTOFF >= self.m {
+            self.btran_dense_branch(v);
+            self.counts.btran_nnz += v.nnz();
+            return;
+        }
+        // Eta transposes, newest first (gather form: each eta reads its
+        // own sparse entries, so the pass costs O(eta nnz) regardless of
+        // the vector's density).
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &i in &v.pattern {
+            self.stamp[i as usize] = epoch;
+        }
+        for eta in self.etas.iter().rev() {
+            let mut acc = v.vals[eta.pos];
+            for &(i, di) in &eta.d {
+                acc -= di * v.vals[i as usize];
+            }
+            if acc != 0.0 || self.stamp[eta.pos] == epoch {
+                if self.stamp[eta.pos] != epoch {
+                    self.stamp[eta.pos] = epoch;
+                    v.pattern.push(eta.pos as u32);
+                }
+                v.vals[eta.pos] = acc / eta.dp;
+            }
+        }
+        // Position space -> step space.
+        self.permute(v, PermMap::PosToStep);
+        debug_check_pattern(v, "btran after perm pos->step");
+        // Uᵀ forward, Lᵀ backward, over the transposed-adjacency reach.
+        self.solve_upper_t(v);
+        debug_check_pattern(v, "btran after Ut");
+        self.solve_lower_t(v);
+        debug_check_pattern(v, "btran after Lt");
+        // Step space -> original-row space.
+        self.permute(v, PermMap::StepToRow);
+        debug_check_pattern(v, "btran after perm step->row");
+        self.counts.btran_nnz += v.nnz();
+    }
+
+    /// Sparse BTRAN of the `r`-th unit vector (basis-position space):
+    /// the pivot-row solve `rho = B⁻ᵀ e_r`.
+    pub fn btran_unit(&mut self, r: usize, v: &mut WorkVec) {
+        v.clear_to_dim(self.m);
+        v.vals[r] = 1.0;
+        v.pattern.push(r as u32);
+        self.btran_sparse(v);
     }
 
     /// FTRAN with a dense right-hand side: solves `B x = rhs` where `rhs`
@@ -287,6 +522,8 @@ impl Factorization {
     /// basis-position space.
     pub fn ftran_dense(&mut self, rhs: &[f64], x: &mut Vec<f64>) {
         debug_assert_eq!(rhs.len(), self.m);
+        self.counts.ftran_solves += 1;
+        self.counts.ftran_nnz += self.m;
         x.clear();
         x.resize(self.m, 0.0);
         for k in 0..self.m {
@@ -309,6 +546,8 @@ impl Factorization {
     /// space. Output `y` is dense in *original row* space.
     pub fn btran(&mut self, c: &[f64], y: &mut Vec<f64>) {
         debug_assert_eq!(c.len(), self.m);
+        self.counts.btran_solves += 1;
+        self.counts.btran_nnz += self.m;
         y.clear();
         y.extend_from_slice(c);
         // Eta transposes, newest first.
@@ -337,9 +576,7 @@ impl Factorization {
             let hi = self.l_start[k + 1];
             let mut acc = y[k];
             for t in lo..hi {
-                let step = self.rpos[self.l_rows[t] as usize];
-                debug_assert_ne!(step, UNSET);
-                acc -= self.l_vals[t] * y[step as usize];
+                acc -= self.l_vals[t] * y[self.l_steps[t] as usize];
             }
             y[k] = acc;
         }
@@ -355,23 +592,194 @@ impl Factorization {
     }
 
     /// Records the pivot `basis[pos] := entering`, given the entering
-    /// column's FTRAN image `d` (position space).
+    /// column's FTRAN image `d` (position space, sparse).
     ///
     /// `d[pos]` must be the pivot element (caller guarantees it exceeds
     /// the pivot tolerance).
-    pub fn push_eta(&mut self, pos: usize, d: &[f64], keep_tol: f64) {
-        let dp = d[pos];
+    pub fn push_eta(&mut self, pos: usize, d: &WorkVec, keep_tol: f64) {
+        let dp = d.vals[pos];
         debug_assert!(dp != 0.0);
-        let mut sparse = Vec::with_capacity(8);
-        for (i, &v) in d.iter().enumerate() {
-            if i != pos && v.abs() > keep_tol {
-                sparse.push((i as u32, v));
+        let mut sparse = Vec::with_capacity(d.nnz());
+        for &i in &d.pattern {
+            let v = d.vals[i as usize];
+            if i as usize != pos && v.abs() > keep_tol {
+                sparse.push((i, v));
             }
         }
         self.etas.push(Eta { pos, d: sparse, dp });
     }
 
-    /// Forward+backward LU solve with the vector in step space.
+    // ------------------------------------------------------------------
+    // Hyper-sparse internals
+    // ------------------------------------------------------------------
+
+    /// Dense fallback for [`ftran`](Factorization::ftran): plain dense
+    /// solve, pattern rebuilt by a scan.
+    fn ftran_dense_branch(&mut self, v: &mut WorkVec) {
+        self.counts.ftran_solves -= 1; // ftran_dense re-counts
+        let mut out = std::mem::take(&mut self.dense_out);
+        self.ftran_dense(&v.vals, &mut out);
+        self.counts.ftran_nnz -= self.m; // counted by the caller instead
+        std::mem::swap(&mut v.vals, &mut out);
+        self.dense_out = out;
+        rebuild_pattern(v);
+    }
+
+    /// Dense fallback for [`btran_sparse`](Factorization::btran_sparse).
+    fn btran_dense_branch(&mut self, v: &mut WorkVec) {
+        self.counts.btran_solves -= 1;
+        let mut out = std::mem::take(&mut self.dense_out);
+        self.btran(&v.vals, &mut out);
+        self.counts.btran_nnz -= self.m;
+        std::mem::swap(&mut v.vals, &mut out);
+        self.dense_out = out;
+        rebuild_pattern(v);
+    }
+
+    /// Symbolic reach + numeric forward solve with L (step space).
+    fn solve_lower(&mut self, v: &mut WorkVec) {
+        self.reach(&v.pattern, Graph::L);
+        let mut order = std::mem::take(&mut self.reach_out);
+        for idx in (0..order.len()).rev() {
+            let k = order[idx] as usize;
+            let x = v.vals[k];
+            if x != 0.0 {
+                for t in self.l_start[k]..self.l_start[k + 1] {
+                    v.vals[self.l_steps[t] as usize] -= self.l_vals[t] * x;
+                }
+            }
+        }
+        std::mem::swap(&mut v.pattern, &mut order);
+        self.reach_out = order;
+    }
+
+    /// Symbolic reach + numeric backward solve with U (step space).
+    fn solve_upper(&mut self, v: &mut WorkVec) {
+        self.reach(&v.pattern, Graph::U);
+        let mut order = std::mem::take(&mut self.reach_out);
+        for idx in (0..order.len()).rev() {
+            let k = order[idx] as usize;
+            let x = v.vals[k] / self.u_diag[k];
+            v.vals[k] = x;
+            if x != 0.0 {
+                for t in self.u_start[k]..self.u_start[k + 1] {
+                    v.vals[self.u_steps[t] as usize] -= self.u_vals[t] * x;
+                }
+            }
+        }
+        std::mem::swap(&mut v.pattern, &mut order);
+        self.reach_out = order;
+    }
+
+    /// Symbolic reach + numeric forward solve with Uᵀ (step space).
+    /// Reach follows the transposed adjacency; the numeric pass gathers
+    /// through U's own columns.
+    fn solve_upper_t(&mut self, v: &mut WorkVec) {
+        self.reach(&v.pattern, Graph::Ut);
+        let mut order = std::mem::take(&mut self.reach_out);
+        for idx in (0..order.len()).rev() {
+            let k = order[idx] as usize;
+            let mut acc = v.vals[k];
+            for t in self.u_start[k]..self.u_start[k + 1] {
+                acc -= self.u_vals[t] * v.vals[self.u_steps[t] as usize];
+            }
+            v.vals[k] = acc / self.u_diag[k];
+        }
+        std::mem::swap(&mut v.pattern, &mut order);
+        self.reach_out = order;
+    }
+
+    /// Symbolic reach + numeric backward solve with Lᵀ (step space).
+    fn solve_lower_t(&mut self, v: &mut WorkVec) {
+        self.reach(&v.pattern, Graph::Lt);
+        let mut order = std::mem::take(&mut self.reach_out);
+        for idx in (0..order.len()).rev() {
+            let k = order[idx] as usize;
+            let mut acc = v.vals[k];
+            for t in self.l_start[k]..self.l_start[k + 1] {
+                acc -= self.l_vals[t] * v.vals[self.l_steps[t] as usize];
+            }
+            v.vals[k] = acc;
+        }
+        std::mem::swap(&mut v.pattern, &mut order);
+        self.reach_out = order;
+    }
+
+    /// DFS reach from `seeds` over one of the four triangular-solve
+    /// dependency graphs. Leaves the closed pattern in `self.reach_out`
+    /// in DFS postorder; reverse postorder is a topological order of the
+    /// solve, so numeric passes can finalize each entry before it
+    /// propagates.
+    fn reach(&mut self, seeds: &[u32], graph: Graph) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let (start, idx): (&[usize], &[u32]) = match graph {
+            Graph::L => (&self.l_start, &self.l_steps),
+            Graph::U => (&self.u_start, &self.u_steps),
+            Graph::Ut => (&self.ut_start, &self.ut_cols),
+            Graph::Lt => (&self.lt_start, &self.lt_cols),
+        };
+        let stamp = &mut self.stamp;
+        let stack = &mut self.dfs_stack;
+        let out = &mut self.reach_out;
+        out.clear();
+        for &seed in seeds {
+            if stamp[seed as usize] == epoch {
+                continue;
+            }
+            stamp[seed as usize] = epoch;
+            stack.push((seed, 0));
+            while let Some(&(node, cursor)) = stack.last() {
+                let lo = start[node as usize];
+                let hi = start[node as usize + 1];
+                let mut c = cursor;
+                let mut next_child = None;
+                while lo + c < hi {
+                    let child = idx[lo + c];
+                    c += 1;
+                    if stamp[child as usize] != epoch {
+                        next_child = Some(child);
+                        break;
+                    }
+                }
+                stack.last_mut().expect("non-empty").1 = c;
+                match next_child {
+                    Some(child) => {
+                        stamp[child as usize] = epoch;
+                        stack.push((child, 0));
+                    }
+                    None => {
+                        stack.pop();
+                        out.push(node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Permutes a work vector between index spaces, touching only its
+    /// pattern.
+    fn permute(&mut self, v: &mut WorkVec, map: PermMap) {
+        let scratch = &mut self.perm_scratch;
+        scratch.clear();
+        for &i in &v.pattern {
+            let to = match map {
+                PermMap::RowToStep => self.rpos[i as usize],
+                PermMap::StepToPos => self.cinv[i as usize],
+                PermMap::PosToStep => self.cpos[i as usize],
+                PermMap::StepToRow => self.rinv[i as usize],
+            };
+            scratch.push((to, v.vals[i as usize]));
+            v.vals[i as usize] = 0.0;
+        }
+        v.pattern.clear();
+        for &(i, val) in scratch.iter() {
+            v.vals[i as usize] = val;
+            v.pattern.push(i);
+        }
+    }
+
+    /// Forward+backward dense LU solve with the vector in step space.
     fn lu_solve_in_step_space(&self, x: &mut [f64]) {
         // L forward.
         for k in 0..self.m {
@@ -380,8 +788,7 @@ impl Factorization {
                 let lo = self.l_start[k];
                 let hi = self.l_start[k + 1];
                 for t in lo..hi {
-                    let step = self.rpos[self.l_rows[t] as usize] as usize;
-                    x[step] -= self.l_vals[t] * v;
+                    x[self.l_steps[t] as usize] -= self.l_vals[t] * v;
                 }
             }
         }
@@ -424,6 +831,88 @@ impl Factorization {
     }
 }
 
+/// Which triangular-solve dependency graph a reach runs over.
+#[derive(Clone, Copy)]
+enum Graph {
+    L,
+    U,
+    Ut,
+    Lt,
+}
+
+/// Index-space maps for [`Factorization::permute`].
+#[derive(Clone, Copy)]
+enum PermMap {
+    RowToStep,
+    StepToPos,
+    PosToStep,
+    StepToRow,
+}
+
+/// Test-build invariant check on a hyper-sparse work vector: the
+/// pattern holds no duplicates and every nonzero is on it. Violations
+/// here mean a solve stage leaked values outside its symbolic reach —
+/// the class of bug the stamped-pattern design exists to prevent.
+#[cfg(test)]
+fn debug_check_pattern(v: &WorkVec, stage: &str) {
+    let mut seen = vec![false; v.dim()];
+    for &i in &v.pattern {
+        if seen[i as usize] {
+            panic!("{stage}: duplicate pattern entry {i}");
+        }
+        seen[i as usize] = true;
+    }
+    for (i, &x) in v.vals.iter().enumerate() {
+        if x != 0.0 && !seen[i] {
+            panic!("{stage}: nonzero {x} at {i} off pattern");
+        }
+    }
+}
+
+/// No-op outside test builds: the checks scan the full dimension, which
+/// would defeat hyper-sparsity in production.
+#[cfg(not(test))]
+fn debug_check_pattern(_v: &WorkVec, _stage: &str) {}
+
+/// Rebuilds a work vector's pattern by scanning its dense values.
+fn rebuild_pattern(v: &mut WorkVec) {
+    v.pattern.clear();
+    for (i, &x) in v.vals.iter().enumerate() {
+        if x != 0.0 {
+            v.pattern.push(i as u32);
+        }
+    }
+}
+
+/// Builds the transposed (indices-only) adjacency of a step-indexed
+/// column structure: `out[s]` lists the columns holding an entry at `s`.
+fn build_transpose(
+    m: usize,
+    start: &[usize],
+    idx: &[u32],
+    out_start: &mut Vec<usize>,
+    out_cols: &mut Vec<u32>,
+) {
+    out_start.clear();
+    out_start.resize(m + 1, 0);
+    for &s in idx {
+        out_start[s as usize + 1] += 1;
+    }
+    for i in 0..m {
+        out_start[i + 1] += out_start[i];
+    }
+    out_cols.clear();
+    out_cols.resize(idx.len(), 0);
+    let mut cursor: Vec<usize> = out_start[..m].to_vec();
+    for k in 0..m {
+        for t in start[k]..start[k + 1] {
+            let s = idx[t] as usize;
+            out_cols[cursor[s]] = k as u32;
+            cursor[s] += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +948,22 @@ mod tests {
         basis.iter().map(|&col| a.dot_col(col, y)).collect()
     }
 
+    /// Asserts a work vector's pattern covers all its nonzeros and holds
+    /// no duplicates.
+    fn check_pattern(v: &WorkVec) {
+        let mut seen = vec![false; v.dim()];
+        for &i in &v.pattern {
+            assert!(!seen[i as usize], "duplicate pattern entry {i}");
+            seen[i as usize] = true;
+        }
+        for (i, &x) in v.vals.iter().enumerate() {
+            assert!(
+                x == 0.0 || seen[i],
+                "nonzero {x} at {i} missing from pattern"
+            );
+        }
+    }
+
     #[test]
     fn identity_basis() {
         let a = csc_from_dense(&[
@@ -468,13 +973,17 @@ mod tests {
         ]);
         let mut f = Factorization::new(3);
         f.refactor(&a, &[0, 1, 2], 1e-10).unwrap();
-        let mut x = Vec::new();
-        // Solve B x = e_1 via a column equal to e_1 (column 0).
+        let mut x = WorkVec::with_dim(3);
         f.ftran_col(&a, 1, &mut x);
-        assert_eq!(x, vec![0.0, 1.0, 0.0]);
+        check_pattern(&x);
+        assert_eq!(x.vals, vec![0.0, 1.0, 0.0]);
         let mut y = Vec::new();
         f.btran(&[3.0, -1.0, 2.0], &mut y);
         assert_eq!(y, vec![3.0, -1.0, 2.0]);
+        let mut r = WorkVec::with_dim(3);
+        f.btran_unit(2, &mut r);
+        check_pattern(&r);
+        assert_eq!(r.vals, vec![0.0, 0.0, 1.0]);
     }
 
     #[test]
@@ -498,11 +1007,12 @@ mod tests {
             f.refactor(&a, &basis, 1e-10)
                 .unwrap_or_else(|s| panic!("trial {trial}: singular at {s:?}"));
 
-            // FTRAN against every column of A (including non-basis ones).
-            let mut x = Vec::new();
+            // Sparse FTRAN against every column of A.
+            let mut x = WorkVec::with_dim(m);
             for col in 0..m + 3 {
                 f.ftran_col(&a, col, &mut x);
-                let bx = basis_matvec(&a, &basis, &x);
+                check_pattern(&x);
+                let bx = basis_matvec(&a, &basis, &x.vals);
                 let mut expect = vec![0.0; m];
                 a.axpy_col(col, 1.0, &mut expect);
                 for i in 0..m {
@@ -512,13 +1022,27 @@ mod tests {
                     );
                 }
             }
-            // BTRAN on random rhs.
+            // Dense BTRAN on random rhs.
             let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
             let mut y = Vec::new();
             f.btran(&c, &mut y);
             let bty = basis_matvec_t(&a, &basis, &y);
             for i in 0..m {
                 assert!((bty[i] - c[i]).abs() < 1e-8);
+            }
+            // Sparse BTRAN on every unit vector.
+            let mut r = WorkVec::with_dim(m);
+            for pos in 0..m {
+                f.btran_unit(pos, &mut r);
+                check_pattern(&r);
+                let bty = basis_matvec_t(&a, &basis, &r.vals);
+                for (i, &bi) in bty.iter().enumerate() {
+                    let want = if i == pos { 1.0 } else { 0.0 };
+                    assert!(
+                        (bi - want).abs() < 1e-8,
+                        "trial {trial} unit {pos}: Bᵀrho[{i}]={bi}"
+                    );
+                }
             }
         }
     }
@@ -562,10 +1086,12 @@ mod tests {
                 if basis.contains(&entering) {
                     continue;
                 }
-                let mut d = Vec::new();
+                let mut d = WorkVec::with_dim(m);
                 f.ftran_col(&a, entering, &mut d);
+                check_pattern(&d);
                 // Pick the position with the largest |d| as the pivot.
                 let (pos, dp) = d
+                    .vals
                     .iter()
                     .enumerate()
                     .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap())
@@ -578,16 +1104,18 @@ mod tests {
                 basis[pos] = entering;
 
                 // Updated factorization must solve against the new basis.
-                let mut x = Vec::new();
+                let mut x = WorkVec::with_dim(m);
                 for col in 0..ncols {
                     f.ftran_col(&a, col, &mut x);
-                    let bx = basis_matvec(&a, &basis, &x);
+                    check_pattern(&x);
+                    let bx = basis_matvec(&a, &basis, &x.vals);
                     let mut expect = vec![0.0; m];
                     a.axpy_col(col, 1.0, &mut expect);
                     for i in 0..m {
                         assert!(
                             (bx[i] - expect[i]).abs() < 1e-7,
-                            "col {col}: {bx:?} vs {expect:?}"
+                            "col {col}: {:?} vs {expect:?}",
+                            bx
                         );
                     }
                 }
@@ -597,6 +1125,16 @@ mod tests {
                 let bty = basis_matvec_t(&a, &basis, &y);
                 for i in 0..m {
                     assert!((bty[i] - c[i]).abs() < 1e-7);
+                }
+                let mut r = WorkVec::with_dim(m);
+                for pos in 0..m {
+                    f.btran_unit(pos, &mut r);
+                    check_pattern(&r);
+                    let bty = basis_matvec_t(&a, &basis, &r.vals);
+                    for (i, &bi) in bty.iter().enumerate() {
+                        let want = if i == pos { 1.0 } else { 0.0 };
+                        assert!((bi - want).abs() < 1e-7);
+                    }
                 }
             }
         }
@@ -612,9 +1150,44 @@ mod tests {
         ]);
         let mut f = Factorization::new(3);
         f.refactor(&a, &[0, 1, 2], 1e-10).unwrap();
-        let mut x = Vec::new();
+        let mut x = WorkVec::with_dim(3);
         f.ftran_col(&a, 0, &mut x); // B x = col0 -> x = e_0
-        assert!((x[0] - 1.0).abs() < 1e-12);
-        assert!(x[1].abs() < 1e-12 && x[2].abs() < 1e-12);
+        assert!((x.vals[0] - 1.0).abs() < 1e-12);
+        assert!(x.vals[1].abs() < 1e-12 && x.vals[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyper_sparse_solves_touch_few_entries() {
+        // A bidiagonal basis: solving against a unit vector reaches only
+        // a suffix/prefix, never all of m.
+        let m = 64;
+        let mut cols: Vec<Vec<(u32, f64)>> = Vec::new();
+        for j in 0..m {
+            let mut c = vec![(j as u32, 2.0)];
+            if j + 1 < m {
+                c.push((j as u32 + 1, -1.0));
+            }
+            cols.push(c);
+        }
+        let a = CscMatrix::from_columns(m, &cols);
+        let basis: Vec<usize> = (0..m).collect();
+        let mut f = Factorization::new(m);
+        f.refactor(&a, &basis, 1e-10).unwrap();
+        let before = f.op_counts();
+        let mut x = WorkVec::with_dim(m);
+        f.ftran_col(&a, m - 1, &mut x);
+        let after = f.op_counts();
+        // The last column's solve only involves the final few steps.
+        assert!(
+            after.ftran_nnz - before.ftran_nnz < m / 2,
+            "ftran touched {} of {m} entries",
+            after.ftran_nnz - before.ftran_nnz
+        );
+        let bx = basis_matvec(&a, &basis, &x.vals);
+        let mut expect = vec![0.0; m];
+        a.axpy_col(m - 1, 1.0, &mut expect);
+        for i in 0..m {
+            assert!((bx[i] - expect[i]).abs() < 1e-9);
+        }
     }
 }

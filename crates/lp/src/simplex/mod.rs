@@ -20,10 +20,13 @@ use crate::error::LpError;
 use crate::model::Model;
 use crate::presolve;
 use crate::solution::{Solution, Status};
+use crate::sparse::WorkVec;
 use crate::standard::StdForm;
 use lu::Factorization;
 
-/// Entering-variable pricing rule.
+/// Entering-variable pricing rule. Also selects the dual simplex's
+/// leaving-row rule: `Devex` maintains steepest-edge-style row weights,
+/// `Dantzig` takes the most-violated row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pricing {
     /// Devex reference weights (default): approximates steepest edge,
@@ -31,6 +34,18 @@ pub enum Pricing {
     Devex,
     /// Classic most-negative-reduced-cost. Kept for ablation benches.
     Dantzig,
+}
+
+/// Which LP core executes a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Sparse revised simplex with LU factorization, product-form
+    /// updates, and hyper-sparse FTRAN/BTRAN (default).
+    #[default]
+    Sparse,
+    /// Dense tableau reference implementation. Slow but simple; kept as
+    /// an oracle and as an escape hatch (`--lp-engine dense`).
+    Dense,
 }
 
 /// Tuning knobs for [`Model::solve_with`].
@@ -63,6 +78,8 @@ pub struct SolverOptions {
     /// counts on free-path LPs whose cost is FTRAN-bound — measure with
     /// the `pricing/` bench group before enabling.
     pub partial_pricing_block: usize,
+    /// Which LP core executes the solve.
+    pub engine: LpEngine,
 }
 
 impl Default for SolverOptions {
@@ -78,6 +95,7 @@ impl Default for SolverOptions {
             bland_trigger: 500,
             pricing: Pricing::Devex,
             partial_pricing_block: 0,
+            engine: LpEngine::Sparse,
         }
     }
 }
@@ -96,6 +114,9 @@ enum CStat {
 
 /// Entry point used by [`Model::solve_with`].
 pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, LpError> {
+    if options.engine == LpEngine::Dense {
+        return crate::dense::solve(model);
+    }
     // Presolve (also decides trivial infeasibility/unboundedness).
     let pre = if options.presolve {
         Some(presolve::presolve(model)?)
@@ -134,6 +155,7 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, LpError
         duals,
         iterations: x_scaled.iterations,
         refactorizations: x_scaled.refactorizations,
+        stats: x_scaled.stats(),
     })
 }
 
@@ -143,6 +165,23 @@ struct ScaledSolution {
     y: Vec<f64>,
     iterations: usize,
     refactorizations: usize,
+    /// FTRAN/BTRAN operation counters from the LU engine.
+    ops: lu::OpCounts,
+    /// Workspace high-water estimate (factors + eta file + scratch).
+    peak_bytes: usize,
+}
+
+impl ScaledSolution {
+    /// Converts the engine counters to the public [`SolveStats`].
+    pub(super) fn stats(&self) -> crate::solution::SolveStats {
+        crate::solution::SolveStats {
+            ftran_solves: self.ops.ftran_solves,
+            ftran_nnz: self.ops.ftran_nnz,
+            btran_solves: self.ops.btran_solves,
+            btran_nnz: self.ops.btran_nnz,
+            peak_alloc_bytes: self.peak_bytes,
+        }
+    }
 }
 
 /// Handles the constraint-free case.
@@ -170,6 +209,8 @@ fn trivial_solve(sf: &StdForm) -> Result<ScaledSolution, LpError> {
         y: Vec::new(),
         iterations: 0,
         refactorizations: 0,
+        ops: lu::OpCounts::default(),
+        peak_bytes: 0,
     })
 }
 
@@ -189,6 +230,8 @@ struct Simplex<'a> {
     z: Vec<f64>,
     /// Devex reference weights.
     devex: Vec<f64>,
+    /// Dual-simplex Devex row weights (leaving-row steepest-edge proxy).
+    dual_w: Vec<f64>,
     /// Consecutive degenerate pivots; Bland mode when past the trigger.
     degen_streak: usize,
     bland: bool,
@@ -200,8 +243,15 @@ struct Simplex<'a> {
     rhs_buf: Vec<f64>,
     alpha_buf: Vec<f64>,
     alpha_touched: Vec<u32>,
-    /// Dense m-vector reused by phase-1 costs and pivot-row unit vectors.
-    m_buf: Vec<f64>,
+    /// Entering-column FTRAN image (hyper-sparse).
+    d_work: WorkVec,
+    /// Pivot-row BTRAN image / phase-1 cost vector (hyper-sparse).
+    rho_work: WorkVec,
+    /// BFRT flip-column accumulator (dual simplex).
+    flip_work: WorkVec,
+    flip_pairs: Vec<(u32, f64)>,
+    /// BFRT breakpoint list: `(ratio, |alpha|, column)`.
+    breakpoints: Vec<(f64, f64, u32)>,
     /// Cyclic partial-pricing cursor.
     price_cursor: usize,
 }
@@ -257,6 +307,7 @@ impl<'a> Simplex<'a> {
             facto: Factorization::new(m),
             z: vec![0.0; n],
             devex: vec![1.0; n],
+            dual_w: vec![1.0; m],
             degen_streak: 0,
             bland: false,
             iterations: 0,
@@ -266,9 +317,39 @@ impl<'a> Simplex<'a> {
             rhs_buf: Vec::new(),
             alpha_buf: vec![0.0; n],
             alpha_touched: Vec::new(),
-            m_buf: vec![0.0; m],
+            d_work: WorkVec::with_dim(m),
+            rho_work: WorkVec::with_dim(m),
+            flip_work: WorkVec::with_dim(m),
+            flip_pairs: Vec::new(),
+            breakpoints: Vec::new(),
             price_cursor: 0,
         }
+    }
+
+    /// Resets to the all-slack crash basis (used by the warm-solve stall
+    /// guard when a snapshot turns out pathological).
+    pub(super) fn reset_to_all_slack(&mut self) {
+        for j in 0..self.sf.n_struct {
+            self.stat[j] = if self.sf.lb[j].is_finite() {
+                self.x[j] = self.sf.lb[j];
+                CStat::Lower
+            } else if self.sf.ub[j].is_finite() {
+                self.x[j] = self.sf.ub[j];
+                CStat::Upper
+            } else {
+                self.x[j] = 0.0;
+                CStat::Free
+            };
+            self.pos_of[j] = u32::MAX;
+        }
+        for r in 0..self.sf.m {
+            let slack = self.sf.n_struct + r;
+            self.stat[slack] = CStat::Basic;
+            self.basis[r] = slack;
+            self.pos_of[slack] = r as u32;
+        }
+        self.degen_streak = 0;
+        self.bland = false;
     }
 
     fn run(&mut self) -> Result<ScaledSolution, LpError> {
@@ -328,12 +409,40 @@ impl<'a> Simplex<'a> {
         // Final hygiene: refactor and recompute basic values.
         self.refactor_and_recompute(false)?;
         let y = self.scaled_duals();
-        Ok(ScaledSolution {
+        Ok(self.finish(y))
+    }
+
+    /// Packages the terminal state into a [`ScaledSolution`].
+    pub(super) fn finish(&mut self, y: Vec<f64>) -> ScaledSolution {
+        ScaledSolution {
             x: std::mem::take(&mut self.x),
             y,
             iterations: self.iterations,
             refactorizations: self.refactorizations,
-        })
+            ops: self.facto.op_counts(),
+            peak_bytes: self.workspace_bytes(),
+        }
+    }
+
+    /// Workspace high-water estimate: LU factors + eta file + the
+    /// solver's own dense and indexed scratch, from `Vec` capacities.
+    fn workspace_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        self.facto.heap_bytes()
+            + (self.x.capacity()
+                + self.z.capacity()
+                + self.devex.capacity()
+                + self.dual_w.capacity()
+                + self.alpha_buf.capacity()
+                + self.col_buf.capacity()
+                + self.row_buf.capacity()
+                + self.rhs_buf.capacity())
+                * f
+            + self.d_work.heap_bytes()
+            + self.rho_work.heap_bytes()
+            + self.flip_work.heap_bytes()
+            + self.basis.capacity() * std::mem::size_of::<usize>()
+            + (self.pos_of.capacity() + self.alpha_touched.capacity()) * std::mem::size_of::<u32>()
     }
 
     /// Row duals of the scaled problem at the current basis:
@@ -404,8 +513,9 @@ impl<'a> Simplex<'a> {
         if !phase1 {
             self.recompute_reduced_costs();
         }
-        // Reset Devex reference framework.
+        // Reset Devex reference frameworks (primal column and dual row).
         self.devex.iter_mut().for_each(|w| *w = 1.0);
+        self.dual_w.iter_mut().for_each(|w| *w = 1.0);
         Ok(())
     }
 
@@ -526,71 +636,70 @@ impl<'a> Simplex<'a> {
 
     fn phase1_step(&mut self) -> Result<StepOutcome, LpError> {
         // Phase-1 costs: +1 above upper bound, -1 below lower bound.
+        // Usually only a handful of basics are infeasible, so the cost
+        // vector — and the BTRAN behind the pricing pass — is sparse.
         let tol = self.opt.feas_tol;
-        let mut db = std::mem::take(&mut self.m_buf);
-        db.iter_mut().for_each(|v| *v = 0.0);
-        let mut any = false;
+        let mut db = std::mem::take(&mut self.rho_work);
+        db.clear_to_dim(self.sf.m);
         for (i, &j) in self.basis.iter().enumerate() {
             let v = self.x[j];
             if v > self.sf.ub[j] + tol {
-                db[i] = 1.0;
-                any = true;
+                db.vals[i] = 1.0;
+                db.pattern.push(i as u32);
             } else if v < self.sf.lb[j] - tol {
-                db[i] = -1.0;
-                any = true;
+                db.vals[i] = -1.0;
+                db.pattern.push(i as u32);
             }
         }
-        if !any {
-            self.m_buf = db;
+        if db.nnz() == 0 {
+            self.rho_work = db;
             return Ok(StepOutcome::OptimalOrFeasible);
         }
-        let mut y = std::mem::take(&mut self.row_buf);
-        self.facto.btran(&db, &mut y);
-        self.m_buf = db;
+        self.facto.btran_sparse(&mut db);
 
-        // Price nonbasic columns on the phase-1 reduced cost -y·a_j,
-        // scanning cyclic blocks (Bland mode scans everything from 0 so
-        // its anti-cycling order stays fixed).
-        let n = self.sf.n;
-        let block = if self.bland || self.opt.partial_pricing_block == 0 {
-            n
-        } else {
-            self.opt.partial_pricing_block
-        };
-        let mut best: Option<(usize, f64, f64)> = None; // (col, zj, score)
-        let mut pos = if self.bland { 0 } else { self.price_cursor % n };
-        let mut scanned = 0;
-        while scanned < n {
-            let j = pos;
-            pos += 1;
-            if pos == n {
-                pos = 0;
+        // Phase-1 reduced cost of column j is -y·a_j: only columns
+        // intersecting y's nonzero rows can be eligible, so price
+        // exactly those (row-oriented accumulation through the CSR
+        // mirror). Bland mode takes the smallest eligible index; partial
+        // pricing is moot since the candidate set is already restricted.
+        self.alpha_touched.clear();
+        for (i, ri) in db.iter() {
+            if ri.abs() <= 1e-12 {
+                continue;
             }
-            scanned += 1;
-            if self.stat[j] != CStat::Basic {
-                let zj = -self.sf.a.dot_col(j, &y);
-                if self.eligible_direction(j, zj) != 0.0 {
-                    if self.bland {
-                        best = Some((j, zj, 0.0));
-                        break;
-                    }
-                    let score = match self.opt.pricing {
-                        Pricing::Devex => zj * zj / self.devex[j],
-                        Pricing::Dantzig => zj.abs(),
-                    };
-                    if best.is_none_or(|(_, _, s)| score > s) {
-                        best = Some((j, zj, score));
-                    }
+            for (jcol, v) in self.sf.a_csr.row(i as usize) {
+                let j = jcol as usize;
+                if self.alpha_buf[j] == 0.0 {
+                    self.alpha_touched.push(jcol);
+                }
+                self.alpha_buf[j] += ri * v;
+            }
+        }
+        self.rho_work = db;
+        let touched = std::mem::take(&mut self.alpha_touched);
+        let mut best: Option<(usize, f64, f64)> = None; // (col, zj, score)
+        for &jcol in &touched {
+            let j = jcol as usize;
+            let zj = -self.alpha_buf[j];
+            self.alpha_buf[j] = 0.0;
+            if self.stat[j] == CStat::Basic || self.eligible_direction(j, zj) == 0.0 {
+                continue;
+            }
+            if self.bland {
+                if best.is_none_or(|(bj, _, _)| j < bj) {
+                    best = Some((j, zj, 0.0));
+                }
+            } else {
+                let score = match self.opt.pricing {
+                    Pricing::Devex => zj * zj / self.devex[j],
+                    Pricing::Dantzig => zj.abs(),
+                };
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((j, zj, score));
                 }
             }
-            if scanned % block == 0 && best.is_some() {
-                break;
-            }
         }
-        if !self.bland {
-            self.price_cursor = pos;
-        }
-        self.row_buf = y;
+        self.alpha_touched = touched;
         let Some((q, zq, _)) = best else {
             return Ok(StepOutcome::OptimalOrFeasible);
         };
@@ -684,15 +793,18 @@ impl<'a> Simplex<'a> {
         let sigma = self.eligible_direction(q, zq);
         debug_assert!(sigma != 0.0);
 
-        // d = B^{-1} a_q in basis-position space.
-        let mut d = std::mem::take(&mut self.col_buf);
+        // d = B^{-1} a_q in basis-position space (hyper-sparse: the
+        // ratio test and the x-update below walk only its pattern).
+        let mut d = std::mem::take(&mut self.d_work);
         self.facto.ftran_col(&self.sf.a, q, &mut d);
 
         // Ratio test.
         let feas_tol = self.opt.feas_tol;
         let mut theta = f64::INFINITY;
         let mut leave: Option<(usize, f64, bool)> = None; // (pos, |d|, hit_upper)
-        for (i, &di) in d.iter().enumerate() {
+        for &iu in &d.pattern {
+            let i = iu as usize;
+            let di = d.vals[i];
             if di.abs() <= self.opt.pivot_tol {
                 continue;
             }
@@ -757,9 +869,9 @@ impl<'a> Simplex<'a> {
         if flip_theta < theta {
             // Bound flip: no basis change.
             let theta = flip_theta;
-            for (i, &di) in d.iter().enumerate() {
+            for (i, di) in d.iter() {
                 if di != 0.0 {
-                    let j = self.basis[i];
+                    let j = self.basis[i as usize];
                     self.x[j] -= sigma * theta * di;
                 }
             }
@@ -774,24 +886,24 @@ impl<'a> Simplex<'a> {
                 }
                 _ => unreachable!("flip requires finite bounds"),
             }
-            self.col_buf = d;
+            self.d_work = d;
             self.note_progress(theta);
             return Ok(StepOutcome::Moved);
         }
 
         let Some((r, _, hit_upper)) = leave else {
-            self.col_buf = d;
+            self.d_work = d;
             return Ok(StepOutcome::Unbounded);
         };
         if !theta.is_finite() {
-            self.col_buf = d;
+            self.d_work = d;
             return Ok(StepOutcome::Unbounded);
         }
 
         // Apply the step.
-        for (i, &di) in d.iter().enumerate() {
+        for (i, di) in d.iter() {
             if di != 0.0 {
-                let j = self.basis[i];
+                let j = self.basis[i as usize];
                 self.x[j] -= sigma * theta * di;
             }
         }
@@ -808,9 +920,22 @@ impl<'a> Simplex<'a> {
 
         // Reduced-cost and Devex updates (phase 2 only) need the pivot row
         // of the OLD basis: rho = B^{-T} e_r, alpha_j = rho·a_j.
+        let dr = d.vals[r];
         if !phase1 {
-            self.update_duals_after_pivot(q, r, zq, d[r]);
+            self.update_duals_after_pivot(q, r, zq, dr);
         }
+        // Dual-Devex row weight propagation through the pivot column.
+        let wr = self.dual_w[r];
+        for (i, di) in d.iter() {
+            let i = i as usize;
+            if i != r {
+                let cand = (di / dr) * (di / dr) * wr;
+                if cand > self.dual_w[i] {
+                    self.dual_w[i] = cand;
+                }
+            }
+        }
+        self.dual_w[r] = (wr / (dr * dr)).max(1.0);
 
         // Basis bookkeeping + eta.
         self.facto.push_eta(r, &d, 1e-14);
@@ -825,7 +950,7 @@ impl<'a> Simplex<'a> {
         self.stat[q] = CStat::Basic;
         self.z[q] = 0.0;
 
-        self.col_buf = d;
+        self.d_work = d;
         self.note_progress(theta);
         Ok(StepOutcome::Moved)
     }
@@ -834,21 +959,17 @@ impl<'a> Simplex<'a> {
     /// `q`, leaving position `r`, entering reduced cost `zq`, pivot
     /// element `dr = d[r]`.
     fn update_duals_after_pivot(&mut self, q: usize, r: usize, zq: f64, dr: f64) {
-        // rho = B^{-T} e_r.
-        let mut e = std::mem::take(&mut self.m_buf);
-        e.iter_mut().for_each(|v| *v = 0.0);
-        e[r] = 1.0;
-        let mut rho = std::mem::take(&mut self.row_buf);
-        self.facto.btran(&e, &mut rho);
-        self.m_buf = e;
+        // rho = B^{-T} e_r, hyper-sparse.
+        let mut rho = std::mem::take(&mut self.rho_work);
+        self.facto.btran_unit(r, &mut rho);
 
         // alpha_j = rho · a_j for nonbasic j, via CSR rows of nonzero rho.
         self.alpha_touched.clear();
-        for (i, &ri) in rho.iter().enumerate() {
+        for (i, ri) in rho.iter() {
             if ri.abs() <= 1e-12 {
                 continue;
             }
-            for (jcol, v) in self.sf.a_csr.row(i) {
+            for (jcol, v) in self.sf.a_csr.row(i as usize) {
                 let j = jcol as usize;
                 if self.alpha_buf[j] == 0.0 {
                     self.alpha_touched.push(jcol);
@@ -879,7 +1000,7 @@ impl<'a> Simplex<'a> {
         let jl = self.basis[r];
         self.z[jl] = -ratio;
         self.devex[jl] = (wq / (dr * dr)).max(1.0);
-        self.row_buf = rho;
+        self.rho_work = rho;
     }
 
     /// Tracks degeneracy and toggles Bland's rule.

@@ -33,6 +33,42 @@ pub struct Solution {
     /// model of a solve: warm re-solves should show both collapsing
     /// relative to a cold start on the same model.
     pub refactorizations: usize,
+    /// Engine-level cost counters (zeroed for the dense engine and
+    /// other paths that bypass the sparse LU core).
+    pub stats: SolveStats,
+}
+
+/// Low-level cost counters of the sparse LP engine, accumulated across
+/// every FTRAN/BTRAN of a solve. `*_nnz` totals count result nonzeros —
+/// the work a hyper-sparse solve actually performs — so
+/// `ftran_nnz / ftran_solves` near the row count means the solves ran
+/// dense, while small quotients confirm hyper-sparsity is paying off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// FTRAN (forward) solves performed.
+    pub ftran_solves: usize,
+    /// Total result nonzeros across all FTRANs.
+    pub ftran_nnz: usize,
+    /// BTRAN (transpose) solves performed.
+    pub btran_solves: usize,
+    /// Total result nonzeros across all BTRANs.
+    pub btran_nnz: usize,
+    /// Workspace high-water estimate in bytes (LU factors, eta file,
+    /// and solver scratch, measured from vector capacities).
+    pub peak_alloc_bytes: usize,
+}
+
+impl SolveStats {
+    /// Accumulates another solve's counters into this one (solve/nnz
+    /// totals add; the peak-workspace estimate takes the max). Used by
+    /// harnesses that aggregate effort across a sequence of re-solves.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.ftran_solves += other.ftran_solves;
+        self.ftran_nnz += other.ftran_nnz;
+        self.btran_solves += other.btran_solves;
+        self.btran_nnz += other.btran_nnz;
+        self.peak_alloc_bytes = self.peak_alloc_bytes.max(other.peak_alloc_bytes);
+    }
 }
 
 impl Solution {

@@ -147,6 +147,84 @@ impl CscMatrix {
     }
 }
 
+/// An indexed ("hyper-sparse") work vector: dense storage for O(1)
+/// random access plus an explicit nonzero pattern so solves, ratio
+/// tests, and updates can iterate only the entries that are actually
+/// populated.
+///
+/// The owner is responsible for the invariant that `vals[i] == 0.0` for
+/// every `i` not listed in `pattern`, and that `pattern` holds no
+/// duplicates — [`clear`](WorkVec::clear) restores the empty state in
+/// O(nnz) by walking the pattern. The LU factorization fills these via
+/// symbolic reach; simplex iteration code only reads them.
+#[derive(Clone, Debug, Default)]
+pub struct WorkVec {
+    /// Dense values; zero off-pattern.
+    pub vals: Vec<f64>,
+    /// Indices of the (structurally) nonzero entries, unordered.
+    pub pattern: Vec<u32>,
+}
+
+impl WorkVec {
+    /// An empty work vector of dimension `n`.
+    pub fn with_dim(n: usize) -> Self {
+        WorkVec {
+            vals: vec![0.0; n],
+            pattern: Vec::new(),
+        }
+    }
+
+    /// Dimension of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of pattern entries (structural nonzeros; some may have
+    /// cancelled to exact zero numerically).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Zeroes the vector in O(nnz) and grows it to dimension `n`.
+    pub fn clear_to_dim(&mut self, n: usize) {
+        for &i in &self.pattern {
+            self.vals[i as usize] = 0.0;
+        }
+        self.pattern.clear();
+        if self.vals.len() < n {
+            self.vals.resize(n, 0.0);
+        }
+    }
+
+    /// Zeroes the vector in O(nnz).
+    pub fn clear(&mut self) {
+        for &i in &self.pattern {
+            self.vals[i as usize] = 0.0;
+        }
+        self.pattern.clear();
+    }
+
+    /// Value at `i` (zero off-pattern).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.vals[i]
+    }
+
+    /// `(index, value)` pairs over the pattern.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.pattern.iter().map(|&i| (i, self.vals[i as usize]))
+    }
+
+    /// Heap bytes currently held (allocation accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<f64>()
+            + self.pattern.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
 /// Compressed sparse row matrix (mirror of [`CscMatrix`]).
 #[derive(Clone, Debug, Default)]
 pub struct CsrMatrix {

@@ -8,7 +8,7 @@
 
 #![allow(clippy::needless_range_loop)] // parallel-array test fixtures
 
-use coflow_lp::{dense, Cmp, LpError, Model, Sense, SolverOptions};
+use coflow_lp::{dense, Cmp, LpEngine, LpError, Model, Sense, SolverOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -389,6 +389,122 @@ fn partial_pricing_matches_full_pricing() {
                 assert_eq!(std::mem::discriminant(&ea), std::mem::discriminant(&eb))
             }
             other => panic!("trial {trial}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_presolved_random_lps() {
+    // Full-pipeline equivalence through the public engine knob: the
+    // sparse revised simplex with presolve and scaling on vs the dense
+    // tableau selected via `LpEngine::Dense`. Both land on a vertex
+    // optimum of the same polytope, so objectives must agree to 1e-9
+    // relative — an order of magnitude tighter than the generic oracle
+    // test above.
+    let mut rng = StdRng::seed_from_u64(20_190_624);
+    let sparse_opts = SolverOptions::default();
+    let dense_opts = SolverOptions {
+        engine: LpEngine::Dense,
+        ..Default::default()
+    };
+    let mut optimal = 0;
+    for trial in 0..200 {
+        let nvars = rng.gen_range(2..10);
+        let nrows = rng.gen_range(1..10);
+        let (model, _x0) = random_feasible_lp(&mut rng, nvars, nrows);
+        match (
+            model.solve_with(&sparse_opts),
+            model.solve_with(&dense_opts),
+        ) {
+            (Ok(s), Ok(d)) => {
+                optimal += 1;
+                let scale = 1.0 + s.objective.abs().max(d.objective.abs());
+                assert!(
+                    (s.objective - d.objective).abs() / scale < 1e-9,
+                    "trial {trial}: sparse {} vs dense {}",
+                    s.objective,
+                    d.objective
+                );
+                assert!(
+                    model.max_violation(&s.x) < 1e-7,
+                    "trial {trial}: infeasible sparse solution"
+                );
+                assert!(
+                    model.max_violation(&d.x) < 1e-7,
+                    "trial {trial}: infeasible dense solution"
+                );
+            }
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (s, d) => panic!("trial {trial}: status mismatch sparse={s:?} dense={d:?}"),
+        }
+    }
+    assert!(optimal > 100, "only {optimal} optimal instances");
+}
+
+#[test]
+fn warm_epochs_match_dense_oracle() {
+    // The resolver's epoch loop at the LP layer: grow a feasible LP over
+    // several epochs — append bounded columns stitched into existing
+    // rows, append rows cutting near the current optimum — re-solving
+    // warm from the previous basis each time, exactly like
+    // `TimeIndexedResolver` does at every arrival. After every epoch the
+    // warm objective must match the dense tableau solving the mutated
+    // model from scratch, to 1e-9.
+    let mut rng = StdRng::seed_from_u64(190_617);
+    let opts = SolverOptions::default();
+    for trial in 0..40 {
+        let nvars = rng.gen_range(3..7);
+        let nrows = rng.gen_range(2..6);
+        let (mut model, mut x0) = random_feasible_lp_with(&mut rng, nvars, nrows, true);
+        let Ok((_, mut basis)) = model.solve_warm(None, &opts) else {
+            continue; // bounded by construction, but stay defensive
+        };
+        for epoch in 0..4 {
+            // Append a boxed column, nonbasic at lower bound zero, wired
+            // into up to two existing rows (the resolver's column shape).
+            let nv = model.num_vars();
+            let v = model.add_var(
+                format!("e{epoch}v{nv}"),
+                0.0,
+                rng.gen_range(0.5..3.0),
+                rng.gen_range(-2.0..2.0),
+            );
+            x0.push(0.0);
+            for _ in 0..rng.gen_range(1..=2usize) {
+                let c =
+                    coflow_lp::ConstraintId::from_index(rng.gen_range(0..model.num_constraints()));
+                model.add_term(c, v, rng.gen_range(-2.0..2.0));
+            }
+            // Append a ≤ row that keeps the construction point feasible
+            // but cuts close to it, so the dual step has real work.
+            let nnz = rng.gen_range(1..=3usize);
+            let mut terms = Vec::with_capacity(nnz);
+            let mut lhs = 0.0;
+            for _ in 0..nnz {
+                let j = rng.gen_range(0..model.num_vars());
+                let a = rng.gen_range(-2.0..2.0);
+                terms.push((coflow_lp::VarId::from_index(j), a));
+                lhs += a * x0[j];
+            }
+            model.add_constraint(terms, Cmp::Le, lhs + rng.gen_range(0.1..1.0));
+
+            let (warm, next) = model
+                .solve_warm(Some(&basis), &opts)
+                .unwrap_or_else(|e| panic!("trial {trial} epoch {epoch}: warm failed: {e}"));
+            let cold = dense::solve(&model)
+                .unwrap_or_else(|e| panic!("trial {trial} epoch {epoch}: dense failed: {e}"));
+            let scale = 1.0 + warm.objective.abs().max(cold.objective.abs());
+            assert!(
+                (warm.objective - cold.objective).abs() / scale < 1e-9,
+                "trial {trial} epoch {epoch}: warm {} vs dense {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(
+                model.max_violation(&warm.x) < 1e-7,
+                "trial {trial} epoch {epoch}: warm solution infeasible"
+            );
+            basis = next;
         }
     }
 }
