@@ -1,5 +1,5 @@
 //! The tracked performance harness: runs a pinned suite of
-//! warm-start-sensitive scenarios and emits `BENCH_PR6.json` — one point
+//! warm-start-sensitive scenarios and emits `BENCH_PR7.json` — one point
 //! of the repo's performance trajectory.
 //!
 //! Scenarios (all deterministic given `--seed`):
@@ -21,13 +21,18 @@
 //!    plus the *full* bundled FB2010 trace as an offline LP. Each point
 //!    records model dimensions and the sparse engine's FTRAN/BTRAN
 //!    counters, so hyper-sparsity can be tracked as instances grow.
+//! 5. **service replay** — four tenant fabrics streaming the bundled
+//!    trace through the `coflow-service` daemon epoch loop concurrently
+//!    on the shared runtime, each with a warm per-tenant resolver and
+//!    the shadow cold probe. Reports coflows-admitted/sec and p50/p99
+//!    epoch latency across all tenants' epochs.
 //!
 //! Exit is non-zero when the warm path fails its bar: iterations must be
 //! strictly below cold in `--quick` mode, and at least 2× below on the
 //! full online replay (the PR's acceptance criterion).
 //!
 //! With `--compare OLD.json` (an earlier emission, e.g. the committed
-//! `BENCH_PR5.json`) the harness also prints a per-scenario diff and
+//! `BENCH_PR6.json`) the harness also prints a per-scenario diff and
 //! fails on regressions: for every scenario name present in both files,
 //! wall clock must stay under 2× + 25 ms of the baseline and warm
 //! iterations under 1.5× + 100 (iteration counts are deterministic;
@@ -46,6 +51,9 @@ use coflow_core::routing::Routing;
 use coflow_core::timeidx::{solve_time_indexed, LpSize};
 use coflow_lp::{SolveStats, SolverOptions};
 use coflow_netgraph::topology;
+use coflow_runtime::Runtime;
+use coflow_service::engine::{EngineConfig, PortCoflow, ServiceOutcome, TenantEngine};
+use coflow_service::metrics::{percentile, ServiceMetrics};
 use coflow_workloads::trace::{ReplayOptions, Trace, FB2010_SAMPLE};
 use coflow_workloads::{build_instance, WorkloadConfig, WorkloadKind};
 use std::time::Instant;
@@ -61,6 +69,10 @@ struct Scenario {
     objective_max_rel_diff: Option<f64>,
     size: Option<LpSize>,
     stats: Option<SolveStats>,
+    /// Scenario-specific numeric fields, appended to the JSON object
+    /// verbatim (e.g. the service replay's throughput and latency
+    /// percentiles).
+    extra: Vec<(String, f64)>,
 }
 
 impl Scenario {
@@ -86,6 +98,9 @@ impl Scenario {
                 sz.rows, sz.cols, sz.nonzeros
             ));
         }
+        for (key, value) in &self.extra {
+            s.push_str(&format!(",\"{key}\":{value:.3}"));
+        }
         if let Some(st) = self.stats {
             s.push_str(&format!(
                 ",\"lp_stats\":{{\"ftran_solves\":{},\"ftran_nnz\":{},\"btran_solves\":{},\
@@ -102,7 +117,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 1u64;
-    let mut output = String::from("BENCH_PR6.json");
+    let mut output = String::from("BENCH_PR7.json");
     let mut compare: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -210,6 +225,42 @@ fn main() {
         scenarios.push(s);
     }
 
+    // ---- 5. Multi-tenant service replay ----
+    let service = service_replay(quick);
+    let warm_it = service.iterations.max(1) as f64;
+    let cold_it = service.iterations_cold.unwrap_or(0) as f64;
+    println!(
+        "service replay: {} tenants x fb2010, {:.1} coflows/s, epoch p50 {:.1} ms p99 {:.1} ms, \
+         {warm_it} warm vs {cold_it} cold iterations ({:.2}x)",
+        SERVICE_TENANTS,
+        service
+            .extra
+            .iter()
+            .find(|(k, _)| k == "coflows_per_sec")
+            .map_or(0.0, |(_, v)| *v),
+        service
+            .extra
+            .iter()
+            .find(|(k, _)| k == "epoch_ms_p50")
+            .map_or(0.0, |(_, v)| *v),
+        service
+            .extra
+            .iter()
+            .find(|(k, _)| k == "epoch_ms_p99")
+            .map_or(0.0, |(_, v)| *v),
+        cold_it / warm_it,
+    );
+    if cold_it <= bar * warm_it {
+        failures.push(format!(
+            "service replay: cold {cold_it} iterations is not {bar}x warm {warm_it}"
+        ));
+    }
+    if service.objective_max_rel_diff.unwrap_or(0.0) > 1e-9 {
+        failures
+            .push("service replay: tenant objectives diverged (engine is nondeterministic)".into());
+    }
+    scenarios.push(service);
+
     // ---- Compare against an earlier emission ----
     if let Some(path) = compare {
         let old = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -222,7 +273,7 @@ fn main() {
     // ---- Emit ----
     let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
     let json = format!(
-        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 6,\n  \"quick\": {quick},\n  \
+        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 7,\n  \"quick\": {quick},\n  \
          \"seed\": {seed},\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
         body.join(",\n    ")
     );
@@ -384,6 +435,7 @@ fn online_fb2010(quick: bool) -> Scenario {
         objective_max_rel_diff: Some(drift),
         size: None,
         stats: Some(run.lp_stats),
+        extra: Vec::new(),
     }
 }
 
@@ -462,6 +514,7 @@ fn epsilon_sweep(quick: bool, seed: u64) -> Scenario {
         objective_max_rel_diff: Some(drift),
         size: None,
         stats: Some(stats),
+        extra: Vec::new(),
     }
 }
 
@@ -494,6 +547,7 @@ fn online_ablation(quick: bool, seed: u64) -> Vec<Scenario> {
             objective_max_rel_diff: None,
             size: None,
             stats: None,
+            extra: Vec::new(),
         })
         .collect()
 }
@@ -549,6 +603,7 @@ fn scale_sweep(quick: bool, seed: u64) -> Vec<Scenario> {
             objective_max_rel_diff: None,
             size: Some(lp.size),
             stats: Some(lp.stats),
+            extra: Vec::new(),
         });
     }
 
@@ -577,7 +632,110 @@ fn scale_sweep(quick: bool, seed: u64) -> Vec<Scenario> {
             objective_max_rel_diff: None,
             size: Some(lp.size),
             stats: Some(lp.stats),
+            extra: Vec::new(),
         });
     }
     out
+}
+
+/// Tenant fabrics the service replay runs concurrently.
+const SERVICE_TENANTS: usize = 4;
+
+/// Scenario 5: the bundled trace streamed through the daemon epoch loop
+/// by [`SERVICE_TENANTS`] independent tenants at once, fanned out on the
+/// shared work-stealing runtime. Every tenant keeps one warm resolver
+/// across its epochs; the shadow cold probe prices the same LPs from
+/// the crash basis. Identical workloads must produce identical
+/// objectives across tenants (checked as `objective_max_rel_diff`).
+fn service_replay(quick: bool) -> Scenario {
+    let trace = Trace::parse(FB2010_SAMPLE).expect("bundled fixture parses");
+    let opts = ReplayOptions {
+        limit: if quick { 8 } else { 0 },
+        ms_per_slot: 500.0,
+        ..Default::default()
+    };
+    let base = trace.port_base().expect("fixture is consistent");
+    let take = if opts.limit == 0 {
+        trace.coflows.len()
+    } else {
+        opts.limit.min(trace.coflows.len())
+    };
+    let coflows: Vec<PortCoflow> = trace.coflows[..take]
+        .iter()
+        .map(|c| PortCoflow {
+            id: c.id.clone(),
+            weight: 1.0,
+            release: c.release_slot(&opts),
+            flows: c.port_flows(base, &opts),
+        })
+        .collect();
+
+    let rt = Runtime::new();
+    let tenants: Vec<usize> = (0..SERVICE_TENANTS).collect();
+    let t0 = Instant::now();
+    let runs: Vec<(ServiceOutcome, ServiceMetrics)> = rt
+        .run(&tenants, |_, _| {
+            let mut engine = TenantEngine::new(
+                trace.num_ports,
+                EngineConfig {
+                    shadow_cold: true,
+                    ..EngineConfig::default()
+                },
+            );
+            for pc in &coflows {
+                engine.admit(&rt, pc.clone()).expect("fixture admits");
+            }
+            let outcome = engine.finish(&rt).expect("fixture stream completes");
+            let mut metrics = ServiceMetrics::default();
+            for report in engine.take_reports() {
+                metrics.observe(&report);
+            }
+            (outcome, metrics)
+        })
+        .into_iter()
+        .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let admitted: usize = runs.iter().map(|(o, _)| o.admitted).sum();
+    let warm_iters: u64 = runs.iter().map(|(o, _)| o.lp_iterations as u64).sum();
+    let cold_iters: u64 = runs
+        .iter()
+        .map(|(o, _)| o.cold_iterations.unwrap_or(0) as u64)
+        .sum();
+    let resolves: u64 = runs.iter().map(|(o, _)| o.resolves as u64).sum();
+    let mut stats = SolveStats::default();
+    let mut epoch_ms = Vec::new();
+    for (o, m) in &runs {
+        stats.merge(&o.lp_stats);
+        epoch_ms.extend_from_slice(&m.epoch_ms);
+    }
+    // Same stream, same engine ⇒ every tenant must land on the same
+    // objective; any drift means shared-state contamination.
+    let obj0 = runs[0].0.objective;
+    let drift = runs
+        .iter()
+        .map(|(o, _)| (o.objective - obj0).abs() / (1.0 + obj0.abs()))
+        .fold(0.0f64, f64::max);
+
+    Scenario {
+        name: "service_replay".into(),
+        wall_ms: wall_secs * 1e3,
+        wall_ms_cold: None,
+        iterations: warm_iters,
+        iterations_cold: Some(cold_iters),
+        resolves,
+        objective_max_rel_diff: Some(drift),
+        size: None,
+        stats: Some(stats),
+        extra: vec![
+            ("tenants".into(), SERVICE_TENANTS as f64),
+            ("coflows_admitted".into(), admitted as f64),
+            (
+                "coflows_per_sec".into(),
+                admitted as f64 / wall_secs.max(1e-9),
+            ),
+            ("epoch_ms_p50".into(), percentile(&epoch_ms, 50.0)),
+            ("epoch_ms_p99".into(), percentile(&epoch_ms, 99.0)),
+        ],
+    }
 }

@@ -1,149 +1,10 @@
-//! A work-stealing batch executor for scenario sweeps.
+//! Batch executor for scenario sweeps — re-exported from
+//! [`coflow_runtime`].
 //!
-//! The figure harnesses evaluate many independent *scenario points*
-//! (workload × topology × parameter), each dominated by an LP solve.
-//! [`SweepPool::run`] fans a batch of points out over a fixed set of
-//! worker threads that pull the next unclaimed index from a shared
-//! queue — idle workers "steal" whatever work remains, so one slow LP
-//! (e.g. the FB workload) never serializes the rest of the sweep.
-//!
-//! Determinism: workers only *compute*; every point's inputs (including
-//! its RNG seed, see [`crate::runner::point_seed`]) are fixed before the
-//! batch starts, and results land in their input slot regardless of
-//! which worker ran them or in what order. Running with 1 worker or 64
-//! produces byte-identical output.
-//!
-//! Rayon would be the natural substrate here, but this build
-//! environment has no crates.io access, so the pool is built directly
-//! on `std::thread::scope` (~40 lines, no unsafe).
+//! The pool started life here; PR 7 extracted it into the shared
+//! `coflow-runtime` crate so the scheduler service can run tenants on
+//! the same worker substrate. The `coflow_bench::SweepPool` path (and
+//! its determinism contract: results land in input order, figure CSVs
+//! are byte-identical for any worker count) is unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Environment variable overriding the worker count (useful to pin
-/// `COFLOW_SWEEP_THREADS=1` when profiling a single point).
-pub const THREADS_ENV: &str = "COFLOW_SWEEP_THREADS";
-
-/// A fixed-width pool that maps a batch of items through a function in
-/// parallel, preserving input order in the output.
-#[derive(Clone, Debug)]
-pub struct SweepPool {
-    workers: usize,
-}
-
-impl Default for SweepPool {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SweepPool {
-    /// Pool sized to the machine (or [`THREADS_ENV`] when set).
-    pub fn new() -> Self {
-        let from_env = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1);
-        let workers = from_env.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        SweepPool { workers }
-    }
-
-    /// Pool with an explicit worker count (`>= 1`).
-    pub fn with_workers(workers: usize) -> Self {
-        assert!(workers >= 1, "a pool needs at least one worker");
-        SweepPool { workers }
-    }
-
-    /// Number of worker threads `run` will use.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Computes `f(i, &items[i])` for every item, in parallel, returning
-    /// results in input order. Panics in `f` propagate to the caller.
-    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
-    where
-        I: Sync,
-        T: Send,
-        F: Fn(usize, &I) -> T + Sync,
-    {
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let workers = self.workers.min(n);
-        if workers == 1 {
-            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
-        }
-
-        // Shared claim counter: each worker grabs the next unclaimed
-        // index, computes it, and deposits the result in that index's
-        // slot. Slots are independent mutexes, so there is no contention
-        // on the write path beyond the atomic claim.
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let value = f(i, &items[i]);
-                    *slots[i].lock().expect("slot lock") = Some(value);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("slot lock")
-                    .expect("every claimed slot is filled before scope exit")
-            })
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let pool = SweepPool::with_workers(4);
-        let items: Vec<usize> = (0..97).collect();
-        let out = pool.run(&items, |i, &x| {
-            assert_eq!(i, x);
-            x * 2
-        });
-        assert_eq!(out, (0..97).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn single_worker_matches_parallel() {
-        let items: Vec<u64> = (0..40).collect();
-        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e3779b97f4a7c15) >> 7;
-        let serial = SweepPool::with_workers(1).run(&items, f);
-        let parallel = SweepPool::with_workers(8).run(&items, f);
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn empty_batch() {
-        let pool = SweepPool::with_workers(2);
-        let out: Vec<u32> = pool.run(&[] as &[u32], |_, &x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn more_workers_than_items() {
-        let pool = SweepPool::with_workers(16);
-        let out = pool.run(&[1, 2, 3], |_, &x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-}
+pub use coflow_runtime::{Runtime, SweepPool, TaskScope, THREADS_ENV};

@@ -16,7 +16,15 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["--unweighted", "--verbose", "--compact-off", "--cold"];
+const SWITCHES: &[&str] = &[
+    "--unweighted",
+    "--verbose",
+    "--compact-off",
+    "--cold",
+    "--stdin",
+    "--plans",
+    "--shadow-cold",
+];
 
 impl Args {
     /// Parses raw arguments (without the program/subcommand names).

@@ -1,4 +1,5 @@
-//! The five subcommands: `generate`, `info`, `solve`, `algos`, `trace`.
+//! The subcommands: `generate`, `info`, `solve`, `algos`, `trace`,
+//! `serve`, `feed`.
 //!
 //! `solve` and `trace replay` dispatch through the algorithm registry
 //! ([`coflow_baselines::registry`]): any registered name works with
@@ -569,4 +570,95 @@ fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
             ))
         }
     })
+}
+
+/// `coflow serve`: run the streaming scheduler daemon — one protocol
+/// session on stdin/stdout (the default), or a TCP listener with
+/// `--listen ADDR`. See `coflow_service::protocol` for the line
+/// protocol; `coflow feed` is the matching client.
+///
+/// # Errors
+///
+/// Usage or transport problems, as a printable message.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let listen: String = args.get("listen", String::new())?;
+    let threads: usize = args.get("threads", 0)?;
+    let _ = args.switch("--stdin"); // stdin is the default; flag is documentation
+    args.finish()?;
+    let rt = if threads == 0 {
+        coflow_runtime::Runtime::new()
+    } else {
+        coflow_runtime::Runtime::with_workers(threads)
+    };
+    if listen.is_empty() {
+        let summary = coflow_service::daemon::serve_stdin(&rt).map_err(|e| e.to_string())?;
+        eprintln!(
+            "serve: {} tenants, {} coflows, {} errors",
+            summary.tenants, summary.admitted, summary.errors
+        );
+        Ok(())
+    } else {
+        coflow_service::daemon::serve_tcp(&rt, &listen).map_err(|e| e.to_string())
+    }
+}
+
+/// `coflow feed`: replay a trace file against a running daemon and
+/// echo the server's responses.
+///
+/// # Errors
+///
+/// Usage, parse, or socket problems, as a printable message.
+pub fn feed(args: &Args) -> Result<(), String> {
+    use coflow_service::engine::EpochPolicy;
+    use coflow_service::feed::FeedOptions;
+    use coflow_service::shard::ShardSplit;
+
+    let path = args
+        .positional
+        .first()
+        .cloned()
+        .ok_or("a trace file is required (use '-' for stdin)")?;
+    let addr: String = args.get("addr", "127.0.0.1:7077".into())?;
+    let dflt = FeedOptions::default();
+    let opts = FeedOptions {
+        tenant: args.get("tenant", dflt.tenant)?,
+        policy: match args.get::<String>("policy", "event".into())?.as_str() {
+            "event" => EpochPolicy::Event,
+            "doubling" => EpochPolicy::Doubling,
+            other => return Err(format!("unknown policy {other:?} (event|doubling)")),
+        },
+        shards: args.get("shards", dflt.shards)?,
+        split: match args.get::<String>("split", "equal".into())?.as_str() {
+            "equal" => ShardSplit::Equal,
+            "prop" | "proportional" => ShardSplit::Proportional,
+            other => return Err(format!("unknown split {other:?} (equal|prop)")),
+        },
+        cold: args.switch("--cold"),
+        shadow_cold: args.switch("--shadow-cold"),
+        plans: args.switch("--plans"),
+        limit: args.get("limit", dflt.limit)?,
+        ms_per_slot: args.get("ms-per-slot", dflt.ms_per_slot)?,
+        mb_per_slot: args.get("mb-per-slot", dflt.mb_per_slot)?,
+        scale: args.get("demand-scale", dflt.scale)?,
+    };
+    args.finish()?;
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut s)
+            .map_err(|e| e.to_string())?;
+        s
+    } else {
+        std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let mut stdout = std::io::stdout();
+    let summary =
+        coflow_service::feed::feed(&addr, &text, &opts, &mut stdout).map_err(|e| e.to_string())?;
+    eprintln!(
+        "feed: sent {} coflows, received {} lines, {} errors",
+        summary.sent, summary.received, summary.errors
+    );
+    match summary.done {
+        Some(_) => Ok(()),
+        None => Err(format!("no DONE line for tenant {:?}", opts.tenant)),
+    }
 }

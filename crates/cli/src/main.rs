@@ -62,6 +62,24 @@ commands:
              --demand-scale X (1.0)  --limit N (0 = all coflows)
              --weights unit|uniform (unit)  --seed S (1)
 
+  serve      run the streaming scheduler daemon
+             --listen ADDR  serve the line protocol over TCP
+                        (default: one session on stdin/stdout, so
+                        `coflow serve < trace.txt` replays a trace)
+             --threads N    LP worker threads (0 = all cores)
+             protocol: HELLO <tenant> <ports> [base=0|1]
+                        [policy=event|doubling] [shards=G] [split=equal|prop]
+                        [ms-per-slot=F] [mb-per-slot=F] [scale=F]
+                        [cold] [shadow-cold] [plans],
+                       then FB2010 coflow lines, then BYE
+  feed FILE  replay a trace against a running daemon
+             --addr HOST:PORT (127.0.0.1:7077)  --tenant NAME (feed)
+             --policy event|doubling (event)  --shards G (1)
+             --split equal|prop (equal)  --limit N (0 = all)
+             --cold  --shadow-cold  --plans
+             replay knobs as for `trace`: --ms-per-slot --mb-per-slot
+             --demand-scale
+
 FILE may be '-' for stdin.
 ";
 
@@ -77,6 +95,8 @@ fn main() {
         "algos" => commands::algos(&args),
         "solve" => commands::solve(&args),
         "trace" => commands::trace(&args),
+        "serve" => commands::serve(&args),
+        "feed" => commands::feed(&args),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())

@@ -460,3 +460,80 @@ fn bad_inputs_fail_cleanly() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn serve_replays_a_trace_from_stdin() {
+    use std::io::Write;
+    // The implicit-HELLO path: the raw fixture (header + coflow lines)
+    // is a complete session, and EOF is a clean shutdown.
+    let text = std::fs::read_to_string(FIXTURE).expect("fixture readable");
+    let mut child = coflow()
+        .args(["serve", "--stdin", "--threads", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(text.as_bytes())
+        .expect("writes");
+    let out = child.wait_with_output().expect("finishes");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK tenant=default ports=16"), "{stdout}");
+    assert!(stdout.contains("EPOCH tenant=default"), "{stdout}");
+    assert!(
+        stdout.contains("DONE tenant=default admitted=20 objective="),
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 tenants, 20 coflows, 0 errors"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn serve_and_feed_over_tcp() {
+    use std::io::BufRead;
+    let mut server = coflow()
+        .args(["serve", "--listen", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    // The daemon prints `LISTENING <addr>` once the socket is bound.
+    let mut server_out = std::io::BufReader::new(server.stdout.take().expect("piped"));
+    let mut banner = String::new();
+    server_out.read_line(&mut banner).expect("banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let (out, err) = run(coflow().args([
+        "feed",
+        FIXTURE,
+        "--addr",
+        &addr,
+        "--tenant",
+        "e2e",
+        "--limit",
+        "8",
+        "--shadow-cold",
+    ]));
+    assert!(out.contains("OK tenant=e2e ports=16"), "{out}");
+    assert!(out.contains("EPOCH tenant=e2e"), "{out}");
+    assert!(out.contains("cold-iters="), "{out}");
+    assert!(
+        out.contains("DONE tenant=e2e admitted=8 objective="),
+        "{out}"
+    );
+    assert!(err.contains("sent 8 coflows"), "{err}");
+
+    server.kill().expect("server stops");
+    server.wait().expect("server reaped");
+}

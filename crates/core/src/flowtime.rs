@@ -86,6 +86,19 @@ pub struct BatchedOutcome {
     pub lp_iterations: usize,
 }
 
+/// The batch boundary a coflow with full release `r` joins under the
+/// doubling framework: the first element of `0, 1, 2, 4, 8, …` that is
+/// `≥ r`. This is the closed form of the boundary assignment inside
+/// [`interval_batch_online`], exported so the streaming service can
+/// assign arrivals to batches without materializing the boundary list.
+pub fn doubling_boundary(r: u32) -> u32 {
+    if r == 0 {
+        0
+    } else {
+        r.next_power_of_two()
+    }
+}
+
 /// The doubling-batch online framework. See module docs.
 ///
 /// Batch boundaries are `0, 1, 2, 4, 8, …`; a coflow joins the first
@@ -136,12 +149,15 @@ pub fn interval_batch_online_with(
         b = b.saturating_mul(2);
     }
 
-    // Assign each coflow to the first boundary ≥ its full release.
+    // Assign each coflow to the first boundary ≥ its full release
+    // (equivalently: the boundary is `doubling_boundary(r)`).
     let mut batch_of = Vec::with_capacity(inst.num_coflows());
     for cf in &inst.coflows {
         let r = cf.full_release();
         let k = boundaries.partition_point(|&bd| bd < r);
-        batch_of.push(k.min(boundaries.len() - 1));
+        let k = k.min(boundaries.len() - 1);
+        debug_assert_eq!(boundaries[k], doubling_boundary(r));
+        batch_of.push(k);
     }
 
     let mut schedule = Schedule {
@@ -364,6 +380,20 @@ mod tests {
             rep.completions.weighted_total,
             offline.cost
         );
+    }
+
+    #[test]
+    fn doubling_boundary_closed_form() {
+        // First element of 0, 1, 2, 4, 8, … that is ≥ r.
+        for r in 0..200u32 {
+            let mut b = 0u32;
+            let mut step = 1u32;
+            while b < r {
+                b = step;
+                step *= 2;
+            }
+            assert_eq!(doubling_boundary(r), b, "release {r}");
+        }
     }
 
     #[test]

@@ -125,48 +125,28 @@ impl CoflowInstance {
     /// or fall outside the graph, or a sink is unreachable from its
     /// source (such a flow can never complete in any model).
     pub fn new(graph: Graph, coflows: Vec<Coflow>) -> Result<Self, CoflowError> {
-        let n = graph.node_count();
         // Reachability cache per distinct source actually used.
         let mut reach_cache: std::collections::HashMap<NodeId, Vec<bool>> =
             std::collections::HashMap::new();
         for (j, cf) in coflows.iter().enumerate() {
-            if cf.flows.is_empty() {
-                return Err(CoflowError::BadInstance(format!("coflow {j} has no flows")));
-            }
-            if !(cf.weight.is_finite() && cf.weight > 0.0) {
-                return Err(CoflowError::BadInstance(format!(
-                    "coflow {j} has weight {}",
-                    cf.weight
-                )));
-            }
-            for (i, f) in cf.flows.iter().enumerate() {
-                if f.src.index() >= n || f.dst.index() >= n {
-                    return Err(CoflowError::BadInstance(format!(
-                        "flow {i} of coflow {j} references a node outside the graph"
-                    )));
-                }
-                if f.src == f.dst {
-                    return Err(CoflowError::BadInstance(format!(
-                        "flow {i} of coflow {j} has equal source and sink"
-                    )));
-                }
-                if !(f.demand.is_finite() && f.demand > 0.0) {
-                    return Err(CoflowError::BadInstance(format!(
-                        "flow {i} of coflow {j} has demand {}",
-                        f.demand
-                    )));
-                }
-                let reach = reach_cache
-                    .entry(f.src)
-                    .or_insert_with(|| graph.reachable_from(f.src));
-                if !reach[f.dst.index()] {
-                    return Err(CoflowError::BadInstance(format!(
-                        "flow {i} of coflow {j}: sink unreachable from source"
-                    )));
-                }
-            }
+            validate_coflow(&graph, j, cf, &mut reach_cache)?;
         }
         Ok(CoflowInstance { graph, coflows })
+    }
+
+    /// Validates and appends a coflow to an existing instance, returning
+    /// its index. This is the admission path of the streaming service:
+    /// the graph is fixed at construction, coflows arrive one at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] under the same rules as [`Self::new`].
+    pub fn push_coflow(&mut self, cf: Coflow) -> Result<usize, CoflowError> {
+        let j = self.coflows.len();
+        let mut reach_cache = std::collections::HashMap::new();
+        validate_coflow(&self.graph, j, &cf, &mut reach_cache)?;
+        self.coflows.push(cf);
+        Ok(j)
     }
 
     /// Number of coflows `n`.
@@ -206,6 +186,53 @@ impl CoflowInstance {
             .map(|c| c.weight * c.release() as f64)
             .sum()
     }
+}
+
+/// Shared validation between [`CoflowInstance::new`] (whole batch) and
+/// [`CoflowInstance::push_coflow`] (streaming admission).
+fn validate_coflow(
+    graph: &Graph,
+    j: usize,
+    cf: &Coflow,
+    reach_cache: &mut std::collections::HashMap<NodeId, Vec<bool>>,
+) -> Result<(), CoflowError> {
+    let n = graph.node_count();
+    if cf.flows.is_empty() {
+        return Err(CoflowError::BadInstance(format!("coflow {j} has no flows")));
+    }
+    if !(cf.weight.is_finite() && cf.weight > 0.0) {
+        return Err(CoflowError::BadInstance(format!(
+            "coflow {j} has weight {}",
+            cf.weight
+        )));
+    }
+    for (i, f) in cf.flows.iter().enumerate() {
+        if f.src.index() >= n || f.dst.index() >= n {
+            return Err(CoflowError::BadInstance(format!(
+                "flow {i} of coflow {j} references a node outside the graph"
+            )));
+        }
+        if f.src == f.dst {
+            return Err(CoflowError::BadInstance(format!(
+                "flow {i} of coflow {j} has equal source and sink"
+            )));
+        }
+        if !(f.demand.is_finite() && f.demand > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "flow {i} of coflow {j} has demand {}",
+                f.demand
+            )));
+        }
+        let reach = reach_cache
+            .entry(f.src)
+            .or_insert_with(|| graph.reachable_from(f.src));
+        if !reach[f.dst.index()] {
+            return Err(CoflowError::BadInstance(format!(
+                "flow {i} of coflow {j}: sink unreachable from source"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

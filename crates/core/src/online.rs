@@ -246,10 +246,13 @@ pub fn online_heuristic_with(
     })
 }
 
-/// Slices the resolver's global-timeline plan down to the residual
+/// Slices a resolver's global-timeline plan down to the residual
 /// sub-instance: only segments after `epoch`, shifted so the residual
 /// timeline starts at 0, indexed like the sub-instance.
-fn residual_plan(global: &RatePlan, index: &ResidualIndex, epoch: u32) -> RatePlan {
+///
+/// Public for the streaming service (`coflow-service`), whose epoch
+/// loop replays exactly this transformation.
+pub fn residual_plan(global: &RatePlan, index: &ResidualIndex, epoch: u32) -> RatePlan {
     let e = epoch as f64;
     RatePlan {
         flows: index
@@ -264,13 +267,18 @@ fn residual_plan(global: &RatePlan, index: &ResidualIndex, epoch: u32) -> RatePl
     }
 }
 
-type ResidualIndex = Vec<Vec<(usize, usize)>>;
+/// Maps `(sub coflow, sub flow)` of a residual sub-instance back to
+/// `(orig coflow, orig flow)` of the full instance: `index[j'][i']`.
+pub type ResidualIndex = Vec<Vec<(usize, usize)>>;
 
 /// Builds the residual sub-instance of released, unfinished flows at
 /// `epoch`, with releases reset to 0. Returns `None` when nothing is
 /// pending. The index maps `(sub coflow, sub flow) → (orig coflow,
 /// orig flow)`.
-fn build_residual(
+///
+/// Public for the streaming service (`coflow-service`), whose epoch
+/// loop replays exactly this transformation.
+pub fn build_residual(
     inst: &CoflowInstance,
     routing: &Routing,
     remaining: &[Vec<f64>],

@@ -38,18 +38,25 @@
 //! cold — rare, bounded, and self-healing.
 
 use crate::error::CoflowError;
-use crate::model::CoflowInstance;
+use crate::model::{Coflow, CoflowInstance};
 use crate::routing::Routing;
 use crate::timeidx::{self, Built, FlowVars, LpRelaxation, LpSize};
 use coflow_lp::{Basis, Cmp, ConstraintId, Model, SolverOptions, VarId};
 use coflow_netgraph::EdgeId;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Persistent warm-started solver for a growing time-indexed LP.
 /// See the module docs for the epoch loop it serves.
+///
+/// The instance is held as a [`Cow`]: batch callers borrow it
+/// ([`new`](Self::new), zero-copy, the historical API), while the
+/// streaming service owns it ([`new_owned`](Self::new_owned)) so coflows
+/// can be admitted incrementally with
+/// [`push_coflow`](Self::push_coflow) while the resolver is alive.
 pub struct TimeIndexedResolver<'a> {
-    inst: &'a CoflowInstance,
-    routing: &'a Routing,
+    inst: Cow<'a, CoflowInstance>,
+    routing: Cow<'a, Routing>,
     horizon: u32,
     warm: bool,
     built: Option<Built>,
@@ -86,7 +93,46 @@ impl<'a> TimeIndexedResolver<'a> {
         warm: bool,
     ) -> Result<Self, CoflowError> {
         routing.validate(inst)?;
-        Ok(TimeIndexedResolver {
+        Ok(Self::from_cows(
+            Cow::Borrowed(inst),
+            Cow::Borrowed(routing),
+            horizon,
+            warm,
+        ))
+    }
+
+    /// Like [`new`](Self::new), but the resolver *owns* instance and
+    /// routing — the streaming-service mode. An owned resolver has no
+    /// borrow tying it to a caller frame, so it can live in a tenant map
+    /// across epochs and move between runtime workers; it also unlocks
+    /// [`push_coflow`](Self::push_coflow) for incremental admission.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadRouting`] when routing does not match the
+    /// instance.
+    pub fn new_owned(
+        inst: CoflowInstance,
+        routing: Routing,
+        horizon: u32,
+        warm: bool,
+    ) -> Result<TimeIndexedResolver<'static>, CoflowError> {
+        routing.validate(&inst)?;
+        Ok(TimeIndexedResolver::from_cows(
+            Cow::Owned(inst),
+            Cow::Owned(routing),
+            horizon,
+            warm,
+        ))
+    }
+
+    fn from_cows(
+        inst: Cow<'a, CoflowInstance>,
+        routing: Cow<'a, Routing>,
+        horizon: u32,
+        warm: bool,
+    ) -> Self {
+        TimeIndexedResolver {
             inst,
             routing,
             horizon,
@@ -101,7 +147,56 @@ impl<'a> TimeIndexedResolver<'a> {
             total_iterations: 0,
             last_iterations: 0,
             last_was_warm: false,
-        })
+        }
+    }
+
+    /// Admits a new coflow into an *owned* resolver (see
+    /// [`new_owned`](Self::new_owned)), returning its index. The coflow
+    /// is validated against the graph but contributes nothing to the
+    /// model until its flows are
+    /// [`activate_flow`](Self::activate_flow)ed — mirroring how the
+    /// offline build skips inactive flows, so admission is O(1) on the
+    /// LP.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] when the resolver borrows its
+    /// instance or the coflow fails validation;
+    /// [`CoflowError::BadRouting`] under routing models whose per-flow
+    /// path sets are indexed by the original coflow list (admission is
+    /// supported for [`Routing::FreePath`] only).
+    pub fn push_coflow(&mut self, cf: Coflow) -> Result<usize, CoflowError> {
+        if !matches!(&*self.routing, Routing::FreePath) {
+            return Err(CoflowError::BadRouting(
+                "streaming admission is only supported under free-path routing".into(),
+            ));
+        }
+        let nflows = cf.flows.len();
+        let inst = match &mut self.inst {
+            Cow::Owned(inst) => inst,
+            Cow::Borrowed(_) => {
+                return Err(CoflowError::BadInstance(
+                    "push_coflow needs an owned instance — construct with new_owned".into(),
+                ))
+            }
+        };
+        let j = inst.push_coflow(cf)?;
+        if let Some(built) = &mut self.built {
+            // Mirror the offline build's placeholder layout: a freshly
+            // admitted coflow is all-inactive until activated.
+            built
+                .flow_vars
+                .push((0..nflows).map(|_| FlowVars::inactive()).collect());
+            built.c_vars.push(None);
+            built.x_coflow.push(None);
+        }
+        Ok(j)
+    }
+
+    /// The instance scheduled by this resolver (grows under
+    /// [`push_coflow`](Self::push_coflow)).
+    pub fn instance(&self) -> &CoflowInstance {
+        &self.inst
     }
 
     /// The global horizon `T` the model is built over.
@@ -209,8 +304,8 @@ impl<'a> TimeIndexedResolver<'a> {
                     self.last_iterations = sol.iterations;
                     self.total_iterations += sol.iterations;
                     Ok(Some(timeidx::extract(
-                        self.inst,
-                        self.routing,
+                        &self.inst,
+                        &self.routing,
                         built,
                         &sol,
                         self.horizon,
@@ -234,8 +329,8 @@ impl<'a> TimeIndexedResolver<'a> {
                 self.last_iterations = sol.iterations;
                 self.total_iterations += sol.iterations;
                 Ok(Some(timeidx::extract(
-                    self.inst,
-                    self.routing,
+                    &self.inst,
+                    &self.routing,
                     built,
                     &sol,
                     self.horizon,
@@ -308,7 +403,7 @@ impl<'a> TimeIndexedResolver<'a> {
         for &(j, i, first_slot) in &self.activations {
             starts[j][i] = Some(first_slot);
         }
-        let built = timeidx::build_with_starts(self.inst, self.routing, self.horizon, &starts)?;
+        let built = timeidx::build_with_starts(&self.inst, &self.routing, self.horizon, &starts)?;
         self.cap_index = built
             .cap_rows
             .iter()
@@ -342,7 +437,7 @@ impl<'a> TimeIndexedResolver<'a> {
             paths: Vec::new(),
             edges: Vec::new(),
         };
-        match self.routing {
+        match &*self.routing {
             Routing::SinglePath(_) | Routing::FreePath => {
                 fv.x = (0..nslots)
                     .map(|_| model.add_var("", 0.0, 1.0, 0.0))
@@ -362,7 +457,7 @@ impl<'a> TimeIndexedResolver<'a> {
         fv.s = (0..nslots)
             .map(|_| model.add_var("", 0.0, 1.0, 0.0))
             .collect();
-        if matches!(self.routing, Routing::FreePath) {
+        if matches!(&*self.routing, Routing::FreePath) {
             fv.edges = timeidx::free_path_mask(g, f.src, f.dst)
                 .into_iter()
                 .map(|e| {
@@ -382,7 +477,7 @@ impl<'a> TimeIndexedResolver<'a> {
             if idx > 0 {
                 terms.push((fv.s[idx - 1], -1.0));
             }
-            match self.routing {
+            match &*self.routing {
                 Routing::MultiPath(_) => {
                     for pv in &fv.paths {
                         terms.push((pv[idx], -1.0));
@@ -395,7 +490,7 @@ impl<'a> TimeIndexedResolver<'a> {
         model.add_constraint([(fv.s[nslots - 1], 1.0)], Cmp::Eq, 1.0);
 
         // ---- Capacity (and conservation for free path) ----
-        match self.routing {
+        match &*self.routing {
             Routing::SinglePath(paths) => {
                 for (idx, &xv) in fv.x.iter().enumerate() {
                     let t = first_slot + idx as u32;
@@ -542,7 +637,7 @@ impl<'a> TimeIndexedResolver<'a> {
             "fix_slot({j},{i},{slot}): flow inactive or slot outside its variables"
         );
         let idx = (slot - fv.start) as usize;
-        match self.routing {
+        match &*self.routing {
             Routing::SinglePath(_) | Routing::FreePath => {
                 built.model.set_bounds(fv.x[idx], fraction, fraction);
             }
@@ -644,6 +739,46 @@ mod tests {
             .map(|s| s.volume())
             .sum();
         assert!(seg_in_slot1 < 1e-9, "slot 1 still carries {seg_in_slot1}");
+    }
+
+    #[test]
+    fn pushed_coflow_joins_the_live_model() {
+        let inst = fig2_instance();
+        let opts = SolverOptions::default();
+        // Start from the first two coflows only; the heavy one arrives
+        // later through the streaming admission path.
+        let late = inst.coflows[2].clone();
+        let early = CoflowInstance::new(inst.graph.clone(), inst.coflows[..2].to_vec()).unwrap();
+        let mut r = TimeIndexedResolver::new_owned(early, Routing::FreePath, 8, true).unwrap();
+        r.activate_flow(0, 0, 1).unwrap();
+        r.activate_flow(1, 0, 1).unwrap();
+        r.solve(&opts).unwrap().expect("feasible");
+        let j = r.push_coflow(late).unwrap();
+        assert_eq!(j, 2);
+        assert_eq!(r.instance().num_coflows(), 3);
+        r.activate_flow(j, 0, 2).unwrap();
+        let warm = r.solve(&opts).unwrap().expect("feasible");
+        assert!(r.last_was_warm());
+        // Same model as activating the pre-declared coflow at slot 2.
+        let full = fig2_instance();
+        let mut b = TimeIndexedResolver::new(&full, &Routing::FreePath, 8, true).unwrap();
+        b.activate_flow(0, 0, 1).unwrap();
+        b.activate_flow(1, 0, 1).unwrap();
+        b.solve(&opts).unwrap().expect("feasible");
+        b.activate_flow(2, 0, 2).unwrap();
+        let reference = b.solve(&opts).unwrap().expect("feasible");
+        assert_eq!(warm.objective.to_bits(), reference.objective.to_bits());
+    }
+
+    #[test]
+    fn push_coflow_rejected_on_borrowed_instance() {
+        let inst = fig2_instance();
+        let extra = inst.coflows[0].clone();
+        let mut r = TimeIndexedResolver::new(&inst, &Routing::FreePath, 8, true).unwrap();
+        assert!(matches!(
+            r.push_coflow(extra),
+            Err(CoflowError::BadInstance(_))
+        ));
     }
 
     #[test]

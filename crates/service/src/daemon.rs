@@ -1,0 +1,325 @@
+//! The serve loop: session handling and the multi-tenant map.
+//!
+//! A *session* is one request stream (stdin, or one TCP connection)
+//! speaking the [`crate::protocol`] line protocol. Each session owns a
+//! tenant map — tenant name → live [`TenantEngine`] — and all tenants'
+//! LP work runs on one shared [`Runtime`], so N tenant fabrics solve
+//! concurrently without oversubscribing the machine. `BYE` or EOF
+//! finishes every tenant (remaining epochs, shard merge, validation)
+//! and emits one `DONE` line per tenant in creation order.
+//!
+//! The daemon installs no signal handlers (the workspace forbids
+//! `unsafe`); `SIGTERM` terminates it through the default disposition,
+//! which is exactly the "clean shutdown" contract the CI smoke test
+//! asserts — no partial state survives because sessions hold
+//! everything in memory.
+
+use crate::engine::TenantEngine;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{
+    done_line, epoch_line, parse_request, rate_lines, to_port_coflow, Hello, Request,
+};
+use coflow_runtime::Runtime;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Instant;
+
+/// One tenant's live state inside a session.
+struct Tenant {
+    hello: Hello,
+    engine: TenantEngine,
+    metrics: ServiceMetrics,
+    /// Admitted coflow ids, in admission order (for `RATE` lines).
+    ids: Vec<String>,
+    started: Instant,
+    /// Creation order (for deterministic `DONE` ordering).
+    order: usize,
+    /// A tenant that hit an engine error stops admitting.
+    failed: bool,
+}
+
+/// What a session did, for callers that embed the daemon loop.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Tenants created.
+    pub tenants: usize,
+    /// Coflows admitted across tenants.
+    pub admitted: usize,
+    /// `ERR` responses emitted.
+    pub errors: usize,
+}
+
+/// Runs one protocol session: reads requests from `input`, writes
+/// responses to `out`. Returns when the stream ends or `BYE` arrives.
+///
+/// # Errors
+///
+/// Only transport I/O errors; protocol and engine errors become `ERR`
+/// response lines and the session continues.
+pub fn session<R: BufRead, W: Write>(
+    rt: &Runtime,
+    input: R,
+    out: &mut W,
+) -> std::io::Result<SessionSummary> {
+    let mut tenants: BTreeMap<String, Tenant> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    let mut summary = SessionSummary::default();
+    let mut finished = false;
+
+    for line in input.lines() {
+        let line = line?;
+        let current_ports = current
+            .as_ref()
+            .and_then(|t| tenants.get(t))
+            .map(|t| t.hello.ports);
+        match parse_request(&line, current_ports) {
+            Ok(Request::Empty) => {}
+            Ok(Request::Hello(hello)) => {
+                let name = hello.tenant.clone();
+                match tenants.get(&name) {
+                    Some(existing) if existing.hello.ports != hello.ports => {
+                        summary.errors += 1;
+                        writeln!(
+                            out,
+                            "ERR tenant {name} already has {} ports",
+                            existing.hello.ports
+                        )?;
+                        continue;
+                    }
+                    Some(_) => {} // re-HELLO switches the current tenant
+                    None => {
+                        let config = hello.engine_config();
+                        tenants.insert(
+                            name.clone(),
+                            Tenant {
+                                engine: TenantEngine::new(hello.ports, config),
+                                hello,
+                                metrics: ServiceMetrics::default(),
+                                ids: Vec::new(),
+                                started: Instant::now(),
+                                order: summary.tenants,
+                                failed: false,
+                            },
+                        );
+                        summary.tenants += 1;
+                    }
+                }
+                let t = &tenants[&name];
+                writeln!(
+                    out,
+                    "OK tenant={name} ports={} policy={:?} shards={}",
+                    t.hello.ports,
+                    t.hello.policy,
+                    t.engine.shards()
+                )?;
+                current = Some(name);
+            }
+            Ok(Request::Coflow(c)) => {
+                let name = current.clone().expect("coflow implies a tenant");
+                let tenant = tenants.get_mut(&name).expect("current tenant exists");
+                if tenant.failed {
+                    summary.errors += 1;
+                    writeln!(out, "ERR tenant {name} failed earlier; HELLO a new tenant")?;
+                    continue;
+                }
+                match to_port_coflow(&c, &tenant.hello) {
+                    Err(msg) => {
+                        summary.errors += 1;
+                        writeln!(out, "ERR {msg}")?;
+                    }
+                    Ok(pc) => match tenant.engine.admit(rt, pc) {
+                        Err(e) => {
+                            summary.errors += 1;
+                            tenant.failed = true;
+                            writeln!(out, "ERR {e}")?;
+                        }
+                        Ok(_) => {
+                            summary.admitted += 1;
+                            tenant.ids.push(c.id.clone());
+                            for report in tenant.engine.take_reports() {
+                                tenant.metrics.observe(&report);
+                                writeln!(out, "{}", epoch_line(&name, &report))?;
+                                for rl in rate_lines(&name, &tenant.ids, &report) {
+                                    writeln!(out, "{rl}")?;
+                                }
+                            }
+                        }
+                    },
+                }
+            }
+            Ok(Request::Bye) => {
+                finish_all(rt, &mut tenants, out, &mut summary)?;
+                finished = true;
+                out.flush()?;
+                break;
+            }
+            Err(msg) => {
+                summary.errors += 1;
+                writeln!(out, "ERR {msg}")?;
+            }
+        }
+        out.flush()?;
+    }
+    if !finished {
+        finish_all(rt, &mut tenants, out, &mut summary)?;
+        out.flush()?;
+    }
+    Ok(summary)
+}
+
+/// Finishes every tenant in creation order, emitting `DONE` (or `ERR`)
+/// lines.
+fn finish_all<W: Write>(
+    rt: &Runtime,
+    tenants: &mut BTreeMap<String, Tenant>,
+    out: &mut W,
+    summary: &mut SessionSummary,
+) -> std::io::Result<()> {
+    let mut order: Vec<&String> = tenants.keys().collect();
+    let by_order: BTreeMap<usize, String> = tenants
+        .iter()
+        .map(|(name, t)| (t.order, name.clone()))
+        .collect();
+    order.clear();
+    for name in by_order.values() {
+        let tenant = tenants.get_mut(name).expect("tenant in order map");
+        if tenant.failed {
+            continue; // its ERR already went out
+        }
+        // Epoch reports produced by the final windows still count.
+        match tenant.engine.finish(rt) {
+            Err(e) => {
+                summary.errors += 1;
+                writeln!(out, "ERR tenant {name}: {e}")?;
+            }
+            Ok(outcome) => {
+                for report in tenant.engine.take_reports() {
+                    tenant.metrics.observe(&report);
+                    writeln!(out, "{}", epoch_line(name, &report))?;
+                    for rl in rate_lines(name, &tenant.ids, &report) {
+                        writeln!(out, "{rl}")?;
+                    }
+                }
+                let wall = tenant.started.elapsed().as_secs_f64();
+                writeln!(out, "{}", done_line(name, &outcome, &tenant.metrics, wall))?;
+            }
+        }
+    }
+    tenants.clear();
+    Ok(())
+}
+
+/// Serves one session over stdin/stdout (`coflow serve --stdin`).
+///
+/// # Errors
+///
+/// Transport I/O errors only.
+pub fn serve_stdin(rt: &Runtime) -> std::io::Result<SessionSummary> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    session(rt, stdin.lock(), &mut stdout)
+}
+
+/// Binds `addr` and serves TCP sessions until the process is killed
+/// (`coflow serve --listen addr`). Each connection gets its own
+/// session thread; LP work from all sessions shares `rt`. Prints
+/// `LISTENING <addr>` on stdout once ready (the `coflow feed` client
+/// and the CI smoke test key on it).
+///
+/// # Errors
+///
+/// Bind errors; per-connection errors are reported to stderr and do
+/// not stop the listener.
+pub fn serve_tcp(rt: &Runtime, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    println!("LISTENING {}", listener.local_addr()?);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            match stream {
+                Err(e) => eprintln!("serve: accept failed: {e}"),
+                Ok(stream) => {
+                    scope.spawn(move || {
+                        let peer = stream
+                            .peer_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| "?".to_string());
+                        let reader = BufReader::new(&stream);
+                        let mut writer = &stream;
+                        match session(rt, reader, &mut writer) {
+                            Ok(s) => eprintln!(
+                                "serve: {peer}: {} tenants, {} coflows, {} errors",
+                                s.tenants, s.admitted, s.errors
+                            ),
+                            Err(e) => eprintln!("serve: {peer}: session failed: {e}"),
+                        }
+                    });
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &str) -> (SessionSummary, String) {
+        let rt = Runtime::with_workers(2);
+        let mut out = Vec::new();
+        let summary = session(&rt, input.as_bytes(), &mut out).expect("in-memory session");
+        (summary, String::from_utf8(out).expect("utf8 responses"))
+    }
+
+    #[test]
+    fn stdin_trace_with_implicit_hello() {
+        // 4-port, 1-based mini trace: two coflows, staggered arrivals.
+        let input = "4 2\n1 0 1 1 1 3:250\n2 1000 2 1 2 1 4:250\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.tenants, 1);
+        assert_eq!(summary.admitted, 2);
+        assert_eq!(summary.errors, 0);
+        assert!(out.contains("OK tenant=default ports=4"), "{out}");
+        assert!(out.contains("EPOCH tenant=default epoch=0"), "{out}");
+        assert!(out.contains("DONE tenant=default admitted=2"), "{out}");
+    }
+
+    #[test]
+    fn explicit_hello_two_tenants() {
+        let input = "HELLO a 4 base=0 plans\n\
+                     c1 0 1 0 1 2:125\n\
+                     HELLO b 4 base=0\n\
+                     c2 0 1 1 1 3:125\n\
+                     BYE\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.tenants, 2);
+        assert_eq!(summary.admitted, 2);
+        assert_eq!(summary.errors, 0);
+        assert!(out.contains("DONE tenant=a admitted=1"), "{out}");
+        assert!(out.contains("DONE tenant=b admitted=1"), "{out}");
+        assert!(out.contains("RATE tenant=a coflow=c1"), "{out}");
+        // DONE lines come out in creation order.
+        let a = out.find("DONE tenant=a").expect("tenant a done");
+        let b = out.find("DONE tenant=b").expect("tenant b done");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_session() {
+        let input = "nonsense before hello\n\
+                     HELLO t 4 base=1\n\
+                     c1 0 1 0 1 2:125\n\
+                     HELLO t 8\n\
+                     c2 0 1 1 1 2:125\n\
+                     BYE\n";
+        let (summary, out) = run(input);
+        // port 0 under base=1 and the ports mismatch are both ERRs.
+        assert_eq!(summary.errors, 3, "{out}");
+        assert_eq!(summary.admitted, 1);
+        assert!(out.contains("ERR no tenant"), "{out}");
+        assert!(out.contains("below the tenant's base=1"), "{out}");
+        assert!(out.contains("already has 4 ports"), "{out}");
+        assert!(out.contains("DONE tenant=t admitted=1"), "{out}");
+    }
+}

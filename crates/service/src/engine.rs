@@ -1,0 +1,1060 @@
+//! The per-tenant streaming epoch engine.
+//!
+//! A [`TenantEngine`] is the long-lived scheduling state of one tenant
+//! fabric inside the daemon: it accepts coflow arrivals one at a time
+//! ([`admit`](TenantEngine::admit)), batches them into epochs, keeps a
+//! warm [`TimeIndexedResolver`] alive across those epochs (one per
+//! port-group shard), and streams back per-epoch reports. Calling
+//! [`finish`](TenantEngine::finish) after the last arrival runs the
+//! remaining epochs to completion, merges the shard schedules, and
+//! re-validates the merged schedule against the full unsharded
+//! instance.
+//!
+//! Two epoch policies mirror the two offline-to-online frameworks in
+//! `coflow-core`:
+//!
+//! * [`EpochPolicy::Event`] replays `coflow_core::online`'s
+//!   arrival-epoch loop — an epoch per distinct release, window closed
+//!   by the next arrival. With a single shard and a
+//!   [`horizon_hint`](EngineConfig::horizon_hint) matching the batch
+//!   run's initial horizon, the engine builds bitwise-identical LPs and
+//!   reproduces `online_heuristic_with`'s epoch objectives exactly (the
+//!   determinism test pins this to 1e-6).
+//! * [`EpochPolicy::Doubling`] replays `coflow_core::flowtime`'s
+//!   doubling-batch framework: arrivals buffer until their
+//!   [`doubling_boundary`] passes, then the whole batch dispatches
+//!   after the committed work.
+//!
+//! The streaming engine is *not* clairvoyant: unlike the batch
+//! entry points it sizes its initial horizon from the coflows admitted
+//! by the first dispatch (growing later as needed), and arrivals that
+//! report a release at or before the already-processed frontier are
+//! admitted at the frontier instead (time does not rewind).
+
+use crate::shard::{mapper_shares, shard_fabric, Partition, ShardSplit};
+use coflow_core::flowtime::doubling_boundary;
+use coflow_core::heuristic::lp_heuristic;
+use coflow_core::horizon::{horizon, HorizonMode};
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::online::{build_residual, residual_plan};
+use coflow_core::resolver::TimeIndexedResolver;
+use coflow_core::routing::Routing;
+use coflow_core::schedule::{Schedule, SlotTransfer};
+use coflow_core::stretch::StretchOptions;
+use coflow_core::validate::{validate, Tolerance};
+use coflow_core::CoflowError;
+use coflow_lp::{SolveStats, SolverOptions};
+use coflow_runtime::Runtime;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One shard's slice of an admitted coflow: the flows it hosts plus
+/// their indices in the original flow list (for rate-plan relabeling).
+type ShardSlice = (Vec<(usize, usize, f64)>, Vec<usize>);
+
+/// A per-core result slot for the fan-out in [`TenantEngine::on_cores_indexed`].
+type CoreSlot = Mutex<Option<Result<Option<CoreEpochResult>, CoflowError>>>;
+
+/// How arrivals are grouped into re-solve epochs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EpochPolicy {
+    /// One epoch per distinct release slot; the window closes at the
+    /// next arrival (the `coflow_core::online` loop).
+    #[default]
+    Event,
+    /// Doubling batch boundaries `0, 1, 2, 4, …`; a batch dispatches
+    /// once an arrival passes its boundary (the `coflow_core::flowtime`
+    /// loop).
+    Doubling,
+}
+
+/// Configuration of one tenant's engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Epoch batching policy.
+    pub policy: EpochPolicy,
+    /// Warm-start the per-shard resolvers (the service's raison d'être);
+    /// `false` is the `--cold` A/B escape hatch.
+    pub warm: bool,
+    /// Additionally cold-solve each epoch's exact model on the side and
+    /// report its iteration count — the warm-vs-cold measurement.
+    pub shadow_cold: bool,
+    /// LP solver options for every epoch solve.
+    pub lp: SolverOptions,
+    /// Number of port-group shards (1 = unsharded).
+    pub shards: usize,
+    /// How input-port egress splits across shards.
+    pub split: ShardSplit,
+    /// Record the executed per-slot transfers of every epoch in its
+    /// [`EpochReport`] (the daemon's `RATE` lines).
+    pub emit_plans: bool,
+    /// Initial resolver horizon override. `None` sizes the horizon
+    /// greedily from the coflows admitted when the first epoch
+    /// dispatches; the determinism tests pass the batch run's horizon to
+    /// reproduce it exactly.
+    pub horizon_hint: Option<u32>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: EpochPolicy::Event,
+            warm: true,
+            shadow_cold: false,
+            lp: SolverOptions::default(),
+            shards: 1,
+            split: ShardSplit::Equal,
+            emit_plans: false,
+            horizon_hint: None,
+        }
+    }
+}
+
+/// One admitted coflow, in port coordinates (already rebased to
+/// `0..num_ports` and demand-normalized — see
+/// `coflow_workloads::trace::TraceCoflow::port_flows`).
+#[derive(Clone, Debug)]
+pub struct PortCoflow {
+    /// Caller-side identifier, echoed in reports.
+    pub id: String,
+    /// Objective weight `w_j > 0`.
+    pub weight: f64,
+    /// Release slot.
+    pub release: u32,
+    /// `(in_port, out_port, demand)` per flow.
+    pub flows: Vec<(usize, usize, f64)>,
+}
+
+/// What one epoch (or doubling batch) did.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// The epoch slot (event policy) or dispatch slot (doubling).
+    pub epoch: u32,
+    /// Sum of the shard LPs' objectives at this epoch.
+    pub objective: f64,
+    /// Simplex iterations this epoch across shards.
+    pub iterations: usize,
+    /// Whether every shard solve warm-started from a kept basis.
+    pub warm: bool,
+    /// Iterations the same models cost from the all-slack crash basis
+    /// (with [`EngineConfig::shadow_cold`]).
+    pub cold_iterations: Option<usize>,
+    /// Wall-clock time of the epoch, milliseconds.
+    pub wall_ms: f64,
+    /// Executed transfers `(coflow id index, global slot, volume)` for
+    /// the window just played (with [`EngineConfig::emit_plans`];
+    /// volumes are summed per coflow × slot).
+    pub transfers: Vec<(usize, u32, f64)>,
+}
+
+/// Final accounting returned by [`TenantEngine::finish`].
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// Coflows admitted.
+    pub admitted: usize,
+    /// `Σ w_j C_j` of the merged, validated schedule.
+    pub objective: f64,
+    /// Per-coflow completion slots, in admission order.
+    pub completions: Vec<u32>,
+    /// Epochs (or batches) dispatched.
+    pub epochs: usize,
+    /// Total simplex iterations across all shard solves.
+    pub lp_iterations: usize,
+    /// Total shadow-cold iterations (with [`EngineConfig::shadow_cold`]).
+    pub cold_iterations: Option<usize>,
+    /// LP re-solves across shards.
+    pub resolves: usize,
+    /// Horizon-growth rebuilds across shards.
+    pub rebuilds: usize,
+    /// Engine counters merged over every solve.
+    pub lp_stats: SolveStats,
+    /// Peak edge utilization of the merged schedule (≤ 1 + tolerance).
+    pub peak_utilization: f64,
+    /// Objective of each epoch's LP re-solve, in epoch order (summed
+    /// over shards) — the series the determinism test compares.
+    pub epoch_objectives: Vec<f64>,
+}
+
+/// One shard's persistent scheduling state: a gadgeted switch graph, an
+/// owned warm resolver over the coflows (or parts of coflows) landing
+/// in this shard, and the execution bookkeeping of the epoch loop.
+struct EpochCore {
+    graph: coflow_netgraph::Graph,
+    /// Inner gadget node per port-side node id (`inner[v]`).
+    inner: Vec<coflow_netgraph::NodeId>,
+    num_ports: usize,
+    /// Coflows admitted to this shard before the resolver exists.
+    staged: Vec<Coflow>,
+    resolver: Option<TimeIndexedResolver<'static>>,
+    remaining: Vec<Vec<f64>>,
+    schedule: Schedule,
+    epoch_objectives: Vec<f64>,
+    cold_iterations: usize,
+    lp_stats: SolveStats,
+    rebuilds: usize,
+    committed_end: u32,
+    warm: bool,
+    last_was_warm: bool,
+}
+
+/// A shard solve's per-epoch result, merged by the engine.
+struct CoreEpochResult {
+    objective: f64,
+    iterations: usize,
+    warm: bool,
+    cold_iterations: Option<usize>,
+    /// `(local coflow, global slot, volume)` executed this window.
+    executed: Vec<(usize, u32, f64)>,
+}
+
+impl EpochCore {
+    fn new(num_ports: usize, egress_share: &[f64], warm: bool) -> EpochCore {
+        let gg = shard_fabric(num_ports, egress_share);
+        EpochCore {
+            graph: gg.graph,
+            inner: gg.inner,
+            num_ports,
+            staged: Vec::new(),
+            resolver: None,
+            remaining: Vec::new(),
+            schedule: Schedule::default(),
+            epoch_objectives: Vec::new(),
+            cold_iterations: 0,
+            lp_stats: SolveStats::default(),
+            rebuilds: 0,
+            committed_end: 0,
+            warm,
+            last_was_warm: false,
+        }
+    }
+
+    /// Converts port-level flows into a node-level coflow on this
+    /// shard's gadget graph (mapper `m` sends from `inner[m]`, reducer
+    /// `r` receives at `inner[n + r]` — the same endpoints
+    /// `Trace::switch_instance` uses).
+    fn make_coflow(&self, weight: f64, release: u32, flows: &[(usize, usize, f64)]) -> Coflow {
+        let n = self.num_ports;
+        Coflow::weighted(
+            weight,
+            flows
+                .iter()
+                .map(|&(m, r, d)| Flow::released(self.inner[m], self.inner[n + r], d, release))
+                .collect(),
+        )
+    }
+
+    /// Admits one (sub-)coflow, returning its local index.
+    fn admit(&mut self, cf: Coflow) -> Result<usize, CoflowError> {
+        self.remaining
+            .push(cf.flows.iter().map(|f| f.demand).collect());
+        self.schedule.flows.push(vec![Vec::new(); cf.flows.len()]);
+        match &mut self.resolver {
+            None => {
+                self.staged.push(cf);
+                Ok(self.staged.len() - 1)
+            }
+            Some(r) => r.push_coflow(cf),
+        }
+    }
+
+    /// Builds the resolver lazily over everything admitted so far.
+    fn ensure_resolver(&mut self, horizon_hint: Option<u32>) -> Result<(), CoflowError> {
+        if self.resolver.is_some() {
+            return Ok(());
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let inst = CoflowInstance::new(self.graph.clone(), staged)?;
+        let t0 = match horizon_hint {
+            Some(t) => t,
+            None => horizon(
+                &inst,
+                &Routing::FreePath,
+                HorizonMode::Greedy { margin: 1.25 },
+            )?,
+        };
+        self.resolver = Some(TimeIndexedResolver::new_owned(
+            inst,
+            Routing::FreePath,
+            t0,
+            self.warm,
+        )?);
+        Ok(())
+    }
+
+    fn inst(&self) -> &CoflowInstance {
+        self.resolver
+            .as_ref()
+            .expect("resolver built before epoch runs")
+            .instance()
+    }
+
+    /// Solves the current model, growing the horizon on infeasibility —
+    /// the shared solve loop of both core frameworks.
+    fn solve_growing(
+        &mut self,
+        lp_opts: &SolverOptions,
+    ) -> Result<coflow_core::timeidx::LpRelaxation, CoflowError> {
+        let mut grow_budget = 8;
+        let resolver = self.resolver.as_mut().expect("resolver built");
+        loop {
+            match resolver.solve(lp_opts)? {
+                Some(lp) => {
+                    self.last_was_warm = resolver.last_was_warm();
+                    return Ok(lp);
+                }
+                None => {
+                    self.rebuilds += 1;
+                    grow_budget -= 1;
+                    if grow_budget == 0 {
+                        return Err(CoflowError::Lp(
+                            "service resolver: horizon growth did not restore feasibility".into(),
+                        ));
+                    }
+                    let grown = ((resolver.horizon() as f64) * 1.5).ceil() as u32 + 1;
+                    resolver.rebuild(grown)?;
+                }
+            }
+        }
+    }
+
+    /// The event-policy epoch body — `coflow_core::online`'s loop over
+    /// one epoch: activate this epoch's arrivals, re-solve, follow the
+    /// λ=1 heuristic until `window_end` (exclusive of later slots), and
+    /// freeze the window in the persistent LP. `window_end = None`
+    /// means run to completion (the final epoch).
+    fn run_event_epoch(
+        &mut self,
+        epoch: u32,
+        window_end: Option<u32>,
+        lp_opts: &SolverOptions,
+        shadow_cold: bool,
+    ) -> Result<Option<CoreEpochResult>, CoflowError> {
+        // Reveal this epoch's arrivals to the persistent LP.
+        let activations: Vec<(usize, usize)> = self
+            .inst()
+            .flows()
+            .filter(|(_, f)| f.release == epoch)
+            .map(|(key, _)| (key.coflow as usize, key.flow as usize))
+            .collect();
+        {
+            let resolver = self.resolver.as_mut().expect("resolver built");
+            if !activations.is_empty() && epoch + 1 > resolver.horizon() {
+                let grown = (epoch + 1).max(((resolver.horizon() as f64) * 1.5).ceil() as u32);
+                self.rebuilds += 1;
+                resolver.rebuild(grown)?;
+            }
+            let resolver = self.resolver.as_mut().expect("resolver built");
+            for &(j, i) in &activations {
+                resolver.activate_flow(j, i, epoch + 1)?;
+            }
+        }
+        let sub = build_residual(self.inst(), &Routing::FreePath, &self.remaining, epoch);
+        let Some((sub_inst, _sub_routing, index)) = sub else {
+            return Ok(None); // nothing pending at this epoch
+        };
+        let lp = self.solve_growing(lp_opts)?;
+        self.lp_stats.merge(&lp.stats);
+        self.epoch_objectives.push(lp.objective);
+        let cold = if shadow_cold {
+            let resolver = self.resolver.as_ref().expect("resolver built");
+            let (_, iters) = resolver
+                .probe_cold(lp_opts)?
+                .expect("warm-feasible model is cold-feasible");
+            self.cold_iterations += iters;
+            Some(iters)
+        } else {
+            None
+        };
+
+        // Local residual plan → λ=1 heuristic, exactly as online.rs.
+        let sub_plan = residual_plan(&lp.plan, &index, epoch);
+        let plan = lp_heuristic(&sub_inst, &sub_plan, StretchOptions::default());
+
+        let window = match window_end {
+            Some(next) => next - epoch,
+            None => u32::MAX,
+        };
+        let mut executed: std::collections::BTreeMap<(usize, usize, u32), f64> =
+            std::collections::BTreeMap::new();
+        let mut per_coflow: std::collections::BTreeMap<(usize, u32), f64> =
+            std::collections::BTreeMap::new();
+        for (sj, row) in plan.flows.iter().enumerate() {
+            for (si, fl) in row.iter().enumerate() {
+                let (j, i) = index[sj][si];
+                for st in fl {
+                    if st.slot > window {
+                        continue; // superseded by the next re-solve
+                    }
+                    let global_slot = epoch + st.slot;
+                    self.remaining[j][i] -= st.volume;
+                    if self.remaining[j][i] < 1e-9 {
+                        self.remaining[j][i] = 0.0;
+                    }
+                    *executed.entry((j, i, global_slot)).or_insert(0.0) += st.volume;
+                    *per_coflow.entry((j, global_slot)).or_insert(0.0) += st.volume;
+                    self.schedule.flows[j][i].push(SlotTransfer {
+                        slot: global_slot,
+                        volume: st.volume,
+                        edges: st.edges.clone(),
+                    });
+                }
+            }
+        }
+        if let Some(next_epoch) = window_end {
+            let resolver = self.resolver.as_mut().expect("resolver built");
+            let horizon_now = resolver.horizon();
+            for idx_row in &index {
+                for &(j, i) in idx_row {
+                    let demand = self.inst().coflows[j].flows[i].demand;
+                    let resolver = self.resolver.as_mut().expect("resolver built");
+                    for slot in epoch + 1..=next_epoch.min(horizon_now) {
+                        let vol = executed.get(&(j, i, slot)).copied().unwrap_or(0.0);
+                        resolver.fix_slot(j, i, slot, vol / demand);
+                    }
+                }
+            }
+        }
+        Ok(Some(CoreEpochResult {
+            objective: lp.objective,
+            iterations: lp.lp_iterations,
+            warm: self.last_was_warm,
+            cold_iterations: cold,
+            executed: per_coflow
+                .into_iter()
+                .map(|((j, slot), vol)| (j, slot, vol))
+                .collect(),
+        }))
+    }
+
+    /// The doubling-policy batch body — `coflow_core::flowtime`'s loop
+    /// over one batch: size the batch horizon, append after the
+    /// committed work, solve, and freeze the whole batch schedule.
+    fn run_doubling_batch(
+        &mut self,
+        boundary: u32,
+        members: &[usize],
+        lp_opts: &SolverOptions,
+        shadow_cold: bool,
+    ) -> Result<Option<CoreEpochResult>, CoflowError> {
+        if members.is_empty() {
+            return Ok(None);
+        }
+        // The batch re-plans from scratch at its dispatch slot.
+        let sub_coflows: Vec<Coflow> = members
+            .iter()
+            .map(|&j| {
+                let cf = &self.inst().coflows[j];
+                Coflow::weighted(
+                    cf.weight,
+                    cf.flows
+                        .iter()
+                        .map(|f| Flow::new(f.src, f.dst, f.demand))
+                        .collect(),
+                )
+            })
+            .collect();
+        let sub_inst = CoflowInstance::new(self.graph.clone(), sub_coflows)
+            .expect("batch of a valid instance is valid");
+        let t_batch = horizon(
+            &sub_inst,
+            &Routing::FreePath,
+            HorizonMode::Greedy { margin: 1.25 },
+        )?;
+        let start = boundary.max(self.committed_end);
+        let needed = start + t_batch;
+        {
+            let resolver = self.resolver.as_mut().expect("resolver built");
+            if needed > resolver.horizon() {
+                let grown = needed.max(((resolver.horizon() as f64) * 1.5).ceil() as u32);
+                self.rebuilds += 1;
+                resolver.rebuild(grown)?;
+            }
+            let resolver = self.resolver.as_mut().expect("resolver built");
+            for &j in members {
+                for i in 0..resolver.instance().coflows[j].flows.len() {
+                    resolver.activate_flow(j, i, start + 1)?;
+                }
+            }
+        }
+        let lp = self.solve_growing(lp_opts)?;
+        self.lp_stats.merge(&lp.stats);
+        self.epoch_objectives.push(lp.objective);
+        let cold = if shadow_cold {
+            let resolver = self.resolver.as_ref().expect("resolver built");
+            let (_, iters) = resolver
+                .probe_cold(lp_opts)?
+                .expect("warm-feasible model is cold-feasible");
+            self.cold_iterations += iters;
+            Some(iters)
+        } else {
+            None
+        };
+
+        // Batch-local plan: the batch's flows, shifted to its timeline.
+        let s0 = start as f64;
+        let sub_plan = coflow_core::rateplan::RatePlan {
+            flows: members
+                .iter()
+                .map(|&j| lp.plan.flows[j].iter().map(|fp| fp.tail_from(s0)).collect())
+                .collect(),
+        };
+        let plan = lp_heuristic(&sub_inst, &sub_plan, StretchOptions::default());
+
+        let mut batch_end = start;
+        let mut per_coflow: std::collections::BTreeMap<(usize, u32), f64> =
+            std::collections::BTreeMap::new();
+        for (sj, row) in plan.flows.iter().enumerate() {
+            let j = members[sj];
+            for (i, fl) in row.iter().enumerate() {
+                let demand = self.inst().coflows[j].flows[i].demand;
+                for st in fl {
+                    let slot = start + st.slot;
+                    batch_end = batch_end.max(slot);
+                    self.remaining[j][i] -= st.volume;
+                    if self.remaining[j][i] < 1e-9 {
+                        self.remaining[j][i] = 0.0;
+                    }
+                    let resolver = self.resolver.as_mut().expect("resolver built");
+                    resolver.fix_slot(j, i, slot, st.volume / demand);
+                    *per_coflow.entry((j, slot)).or_insert(0.0) += st.volume;
+                    self.schedule.flows[j][i].push(SlotTransfer {
+                        slot,
+                        volume: st.volume,
+                        edges: st.edges.clone(),
+                    });
+                }
+            }
+        }
+        self.committed_end = batch_end;
+        Ok(Some(CoreEpochResult {
+            objective: lp.objective,
+            iterations: lp.lp_iterations,
+            warm: self.last_was_warm,
+            cold_iterations: cold,
+            executed: per_coflow
+                .into_iter()
+                .map(|((j, slot), vol)| (j, slot, vol))
+                .collect(),
+        }))
+    }
+}
+
+/// The long-lived scheduling engine of one tenant fabric. See module
+/// docs for the lifecycle ([`admit`](Self::admit)* →
+/// [`finish`](Self::finish)).
+pub struct TenantEngine {
+    config: EngineConfig,
+    num_ports: usize,
+    admitted: Vec<PortCoflow>,
+    /// Effective release of each admitted coflow (clamped to the
+    /// processed frontier).
+    releases: Vec<u32>,
+    /// `placement[a]` maps admitted coflow `a` to its shard-local
+    /// sub-coflows: `(core, local_j, original flow indices)`.
+    placement: Vec<Vec<(usize, usize, Vec<usize>)>>,
+    partition: Partition,
+    cores: Option<Vec<EpochCore>>,
+    /// Arrivals admitted before the cores exist (their demands feed the
+    /// proportional egress split).
+    waiting: Vec<usize>,
+    /// Event policy: admitted release slots not yet processed.
+    pending_epochs: BTreeSet<u32>,
+    /// Event policy: highest processed epoch.
+    frontier: Option<u32>,
+    /// Doubling policy: boundary of the currently open batch and the
+    /// admitted indices buffered for it.
+    open_boundary: u32,
+    open_batch: Vec<usize>,
+    reports: Vec<EpochReport>,
+    epochs_run: usize,
+    resolves: usize,
+}
+
+impl TenantEngine {
+    /// A fresh engine for a `num_ports`-port switch tenant.
+    pub fn new(num_ports: usize, config: EngineConfig) -> TenantEngine {
+        let shards = config.shards.clamp(1, num_ports.max(1));
+        let partition = Partition::contiguous(num_ports, shards);
+        TenantEngine {
+            config,
+            num_ports,
+            admitted: Vec::new(),
+            releases: Vec::new(),
+            placement: Vec::new(),
+            partition,
+            cores: None,
+            waiting: Vec::new(),
+            pending_epochs: BTreeSet::new(),
+            frontier: None,
+            open_boundary: 0,
+            open_batch: Vec::new(),
+            reports: Vec::new(),
+            epochs_run: 0,
+            resolves: 0,
+        }
+    }
+
+    /// Ports of this tenant's fabric.
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Coflows admitted so far.
+    pub fn admitted(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Number of shards actually used.
+    pub fn shards(&self) -> usize {
+        self.partition.num_groups()
+    }
+
+    /// Drains the per-epoch reports produced since the last call.
+    pub fn take_reports(&mut self) -> Vec<EpochReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Admits one coflow and runs every epoch whose window the arrival
+    /// closes. Returns the admitted index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] on malformed coflows (port out of
+    /// range, non-positive demand/weight), and LP errors from any epoch
+    /// the arrival triggers.
+    pub fn admit(&mut self, rt: &Runtime, pc: PortCoflow) -> Result<usize, CoflowError> {
+        for &(m, r, d) in &pc.flows {
+            if m >= self.num_ports || r >= self.num_ports {
+                return Err(CoflowError::BadInstance(format!(
+                    "coflow {}: port pair ({m},{r}) outside the {}-port fabric",
+                    pc.id, self.num_ports
+                )));
+            }
+            if !(d.is_finite() && d > 0.0) {
+                return Err(CoflowError::BadInstance(format!(
+                    "coflow {}: demand {d} must be positive",
+                    pc.id
+                )));
+            }
+        }
+        if pc.flows.is_empty() {
+            return Err(CoflowError::BadInstance(format!(
+                "coflow {} has no flows",
+                pc.id
+            )));
+        }
+        // Time does not rewind: a release at or before the processed
+        // frontier is admitted just after it.
+        let release = match (self.config.policy, self.frontier) {
+            (EpochPolicy::Event, Some(f)) if pc.release <= f => f + 1,
+            _ => pc.release,
+        };
+        let a = self.admitted.len();
+        self.releases.push(release);
+        self.admitted.push(pc);
+        match self.config.policy {
+            EpochPolicy::Event => {
+                self.place_or_wait(a)?;
+                self.pending_epochs.insert(release);
+                // Every pending epoch strictly before this arrival now
+                // has a closed window; run them in order.
+                let due: Vec<u32> = self
+                    .pending_epochs
+                    .iter()
+                    .copied()
+                    .filter(|&e| e < release)
+                    .collect();
+                for (k, &epoch) in due.iter().enumerate() {
+                    let window_end = due.get(k + 1).copied().unwrap_or(release);
+                    self.run_event_epoch(rt, epoch, Some(window_end))?;
+                }
+            }
+            EpochPolicy::Doubling => {
+                let b = doubling_boundary(release);
+                if b > self.open_boundary {
+                    self.dispatch_open_batch(rt)?;
+                    self.open_boundary = b;
+                }
+                // Late (out-of-order) arrivals join the open batch.
+                self.place_or_wait(a)?;
+                self.open_batch.push(a);
+            }
+        }
+        Ok(a)
+    }
+
+    /// Runs the remaining epochs to completion, merges the shard
+    /// schedules, and validates the merged schedule against the full
+    /// unsharded instance.
+    ///
+    /// # Errors
+    ///
+    /// LP errors from the final epochs;
+    /// [`CoflowError::InvalidSchedule`] if work was left unmoved or the
+    /// merged schedule fails validation (both indicate engine bugs —
+    /// the validator is the referee).
+    pub fn finish(&mut self, rt: &Runtime) -> Result<ServiceOutcome, CoflowError> {
+        match self.config.policy {
+            EpochPolicy::Event => {
+                let due: Vec<u32> = std::mem::take(&mut self.pending_epochs)
+                    .into_iter()
+                    .collect();
+                for (k, &epoch) in due.iter().enumerate() {
+                    self.pending_epochs = due[k + 1..].iter().copied().collect();
+                    let window_end = due.get(k + 1).copied();
+                    self.run_event_epoch(rt, epoch, window_end)?;
+                }
+                self.pending_epochs.clear();
+            }
+            EpochPolicy::Doubling => {
+                self.dispatch_open_batch(rt)?;
+            }
+        }
+
+        // ---- Coordinator: merge, reconcile, validate. ----
+        let cores = match &mut self.cores {
+            Some(cores) => cores,
+            None => {
+                // No work was ever dispatched (zero admissions).
+                return Ok(ServiceOutcome {
+                    admitted: self.admitted.len(),
+                    objective: 0.0,
+                    completions: Vec::new(),
+                    epochs: 0,
+                    lp_iterations: 0,
+                    cold_iterations: self.config.shadow_cold.then_some(0),
+                    resolves: 0,
+                    rebuilds: 0,
+                    lp_stats: SolveStats::default(),
+                    peak_utilization: 0.0,
+                    epoch_objectives: Vec::new(),
+                });
+            }
+        };
+        for (g, core) in cores.iter().enumerate() {
+            for (j, row) in core.remaining.iter().enumerate() {
+                for (i, &r) in row.iter().enumerate() {
+                    if r > 1e-6 {
+                        return Err(CoflowError::InvalidSchedule(format!(
+                            "shard {g} left flow ({j},{i}) with {r} unmoved"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Full unsharded instance: every shard shares the full fabric's
+        // node/edge ids, so shard-local transfers merge verbatim.
+        let full = shard_fabric(self.num_ports, &vec![1.0; self.num_ports]);
+        let n = self.num_ports;
+        let coflows: Vec<Coflow> = self
+            .admitted
+            .iter()
+            .zip(&self.releases)
+            .map(|(pc, &rel)| {
+                Coflow::weighted(
+                    pc.weight,
+                    pc.flows
+                        .iter()
+                        .map(|&(m, r, d)| Flow::released(full.inner[m], full.inner[n + r], d, rel))
+                        .collect(),
+                )
+            })
+            .collect();
+        let full_inst = CoflowInstance::new(full.graph, coflows)?;
+        let mut merged = Schedule {
+            flows: self
+                .admitted
+                .iter()
+                .map(|pc| vec![Vec::new(); pc.flows.len()])
+                .collect(),
+        };
+        for (a, parts) in self.placement.iter().enumerate() {
+            for &(g, local_j, ref orig) in parts {
+                let core = &mut cores[g];
+                for (local_i, &i) in orig.iter().enumerate() {
+                    let fl = &mut core.schedule.flows[local_j][local_i];
+                    fl.sort_by_key(|st| st.slot);
+                    merged.flows[a][i] = std::mem::take(fl);
+                }
+            }
+        }
+        let report = validate(
+            &full_inst,
+            &Routing::FreePath,
+            &merged,
+            Tolerance::default(),
+        )?;
+
+        // Cross-shard reconciliation of completion times is the
+        // coordinator's `max` over each coflow's sub-coflows — which is
+        // exactly what computing completions on the merged schedule does.
+        let mut epoch_objectives = Vec::new();
+        let mut lp_iterations = 0;
+        let mut cold_iterations = 0;
+        let mut rebuilds = 0;
+        let mut lp_stats = SolveStats::default();
+        for core in cores.iter() {
+            lp_iterations += core
+                .resolver
+                .as_ref()
+                .map(|r| r.total_iterations())
+                .unwrap_or(0);
+            cold_iterations += core.cold_iterations;
+            rebuilds += core.rebuilds;
+            lp_stats.merge(&core.lp_stats);
+            if epoch_objectives.is_empty() {
+                epoch_objectives = core.epoch_objectives.clone();
+            } else {
+                for (k, &o) in core.epoch_objectives.iter().enumerate() {
+                    if k < epoch_objectives.len() {
+                        epoch_objectives[k] += o;
+                    } else {
+                        epoch_objectives.push(o);
+                    }
+                }
+            }
+        }
+        Ok(ServiceOutcome {
+            admitted: self.admitted.len(),
+            objective: report.completions.weighted_total,
+            completions: report.completions.per_coflow.clone(),
+            epochs: self.epochs_run,
+            lp_iterations,
+            cold_iterations: self.config.shadow_cold.then_some(cold_iterations),
+            resolves: self.resolves,
+            rebuilds,
+            lp_stats,
+            peak_utilization: report.peak_utilization,
+            epoch_objectives,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Splits admitted coflow `a` into its shard-local sub-coflows, or
+    /// parks it until the cores exist (they are created at the first
+    /// dispatch so the proportional split can see real demands).
+    fn place_or_wait(&mut self, a: usize) -> Result<(), CoflowError> {
+        self.placement.push(Vec::new());
+        if self.cores.is_none() {
+            self.waiting.push(a);
+            return Ok(());
+        }
+        self.place(a)
+    }
+
+    fn place(&mut self, a: usize) -> Result<(), CoflowError> {
+        let groups = self.partition.num_groups();
+        let pc = &self.admitted[a];
+        let release = self.releases[a];
+        // Group the coflow's flows by owning shard, preserving order.
+        let mut per_shard: Vec<ShardSlice> = vec![(Vec::new(), Vec::new()); groups];
+        for (i, &(m, r, d)) in pc.flows.iter().enumerate() {
+            let g = self.partition.of_port[r];
+            per_shard[g].0.push((m, r, d));
+            per_shard[g].1.push(i);
+        }
+        let weight_share = {
+            // Weighted completion time of a coflow is reconciled as the
+            // max over its sub-coflows; splitting the weight evenly over
+            // the shards that host it keeps the shard LPs' objectives
+            // comparable to the unsharded one without double counting.
+            let hosts = per_shard.iter().filter(|(f, _)| !f.is_empty()).count();
+            self.admitted[a].weight / hosts.max(1) as f64
+        };
+        let cores = self.cores.as_mut().expect("cores exist");
+        for (g, (flows, orig)) in per_shard.into_iter().enumerate() {
+            if flows.is_empty() {
+                continue;
+            }
+            let cf = cores[g].make_coflow(weight_share, release, &flows);
+            let local_j = cores[g].admit(cf)?;
+            self.placement[a].push((g, local_j, orig));
+        }
+        Ok(())
+    }
+
+    /// Creates the shard cores (first dispatch) and places everything
+    /// that was waiting on them.
+    fn ensure_cores(&mut self) -> Result<(), CoflowError> {
+        if self.cores.is_some() {
+            return Ok(());
+        }
+        let shares = mapper_shares(
+            self.num_ports,
+            &self.partition,
+            self.config.split,
+            self.admitted.iter().flat_map(|pc| pc.flows.iter().copied()),
+        );
+        self.cores = Some(
+            shares
+                .iter()
+                .map(|row| EpochCore::new(self.num_ports, row, self.config.warm))
+                .collect(),
+        );
+        for a in std::mem::take(&mut self.waiting) {
+            self.place(a)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one event-policy epoch across all shard cores (in parallel
+    /// when sharded) and folds the results into one [`EpochReport`].
+    fn run_event_epoch(
+        &mut self,
+        rt: &Runtime,
+        epoch: u32,
+        window_end: Option<u32>,
+    ) -> Result<(), CoflowError> {
+        self.ensure_cores()?;
+        self.pending_epochs.remove(&epoch);
+        self.frontier = Some(self.frontier.map_or(epoch, |f| f.max(epoch)));
+        let hint = self.config.horizon_hint;
+        let lp = self.config.lp.clone();
+        let shadow = self.config.shadow_cold;
+        let started = Instant::now();
+        let results = self.on_cores(rt, move |core| {
+            core.ensure_resolver(hint)?;
+            core.run_event_epoch(epoch, window_end, &lp, shadow)
+        })?;
+        self.fold_report(epoch, started, results);
+        Ok(())
+    }
+
+    /// Dispatches the open doubling batch (if any) across all cores.
+    fn dispatch_open_batch(&mut self, rt: &Runtime) -> Result<(), CoflowError> {
+        if self.open_batch.is_empty() {
+            return Ok(());
+        }
+        self.ensure_cores()?;
+        let boundary = self.open_boundary;
+        let members = std::mem::take(&mut self.open_batch);
+        // Per-core member lists, in local coflow order.
+        let groups = self.partition.num_groups();
+        let mut local_members: Vec<Vec<usize>> = vec![Vec::new(); groups];
+        for &a in &members {
+            for &(g, local_j, _) in &self.placement[a] {
+                local_members[g].push(local_j);
+            }
+        }
+        let hint = self.config.horizon_hint;
+        let lp = self.config.lp.clone();
+        let shadow = self.config.shadow_cold;
+        let started = Instant::now();
+        let local_ref = &local_members;
+        let results = self.on_cores_indexed(rt, move |g, core| {
+            core.ensure_resolver(hint)?;
+            core.run_doubling_batch(boundary, &local_ref[g], &lp, shadow)
+        })?;
+        self.fold_report(boundary, started, results);
+        Ok(())
+    }
+
+    /// Applies `f` to every core — inline when unsharded, fanned out on
+    /// the runtime when sharded (each shard's LP solve is independent).
+    fn on_cores<F>(
+        &mut self,
+        rt: &Runtime,
+        f: F,
+    ) -> Result<Vec<Option<CoreEpochResult>>, CoflowError>
+    where
+        F: Fn(&mut EpochCore) -> Result<Option<CoreEpochResult>, CoflowError> + Sync + Send,
+    {
+        self.on_cores_indexed(rt, move |_, core| f(core))
+    }
+
+    fn on_cores_indexed<F>(
+        &mut self,
+        rt: &Runtime,
+        f: F,
+    ) -> Result<Vec<Option<CoreEpochResult>>, CoflowError>
+    where
+        F: Fn(usize, &mut EpochCore) -> Result<Option<CoreEpochResult>, CoflowError> + Sync + Send,
+    {
+        let cores = self.cores.as_mut().expect("cores exist");
+        if cores.len() == 1 || rt.workers() == 1 {
+            let mut out = Vec::with_capacity(cores.len());
+            for (g, core) in cores.iter_mut().enumerate() {
+                out.push(f(g, core)?);
+            }
+            return Ok(out);
+        }
+        let slots: Vec<CoreSlot> = cores.iter().map(|_| Mutex::new(None)).collect();
+        let f_ref = &f;
+        rt.scope(|scope| {
+            for (g, (core, slot)) in cores.iter_mut().zip(&slots).enumerate() {
+                scope.spawn(move || {
+                    *slot.lock().expect("core slot") = Some(f_ref(g, core));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("core slot")
+                    .expect("every core task ran")
+            })
+            .collect()
+    }
+
+    /// Folds per-core epoch results into one report (skipped entirely
+    /// when no core had pending work).
+    fn fold_report(&mut self, epoch: u32, started: Instant, results: Vec<Option<CoreEpochResult>>) {
+        let mut any = false;
+        let mut objective = 0.0;
+        let mut iterations = 0;
+        let mut warm = true;
+        let mut cold: Option<usize> = None;
+        let mut transfers: std::collections::BTreeMap<(usize, u32), f64> =
+            std::collections::BTreeMap::new();
+        // Map shard-local coflow indices back to admitted indices.
+        let mut local_to_admitted: Vec<std::collections::BTreeMap<usize, usize>> =
+            vec![std::collections::BTreeMap::new(); self.partition.num_groups()];
+        if self.config.emit_plans {
+            for (a, parts) in self.placement.iter().enumerate() {
+                for &(g, local_j, _) in parts {
+                    local_to_admitted[g].insert(local_j, a);
+                }
+            }
+        }
+        for (g, res) in results.into_iter().enumerate() {
+            let Some(res) = res else { continue };
+            any = true;
+            self.resolves += 1;
+            objective += res.objective;
+            iterations += res.iterations;
+            warm &= res.warm;
+            if let Some(c) = res.cold_iterations {
+                *cold.get_or_insert(0) += c;
+            }
+            if self.config.emit_plans {
+                for (local_j, slot, vol) in res.executed {
+                    if let Some(&a) = local_to_admitted[g].get(&local_j) {
+                        *transfers.entry((a, slot)).or_insert(0.0) += vol;
+                    }
+                }
+            }
+        }
+        if !any {
+            return;
+        }
+        self.epochs_run += 1;
+        self.reports.push(EpochReport {
+            epoch,
+            objective,
+            iterations,
+            warm,
+            cold_iterations: cold,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            transfers: transfers
+                .into_iter()
+                .map(|((a, slot), vol)| (a, slot, vol))
+                .collect(),
+        });
+    }
+}

@@ -1,0 +1,244 @@
+//! `coflow feed` — replay a trace file against a running daemon.
+//!
+//! The client parses an FB2010 trace eagerly, detects its port base,
+//! opens a TCP connection to a `coflow serve --listen` daemon, and
+//! streams `HELLO` + the reconstructed coflow lines + `BYE`. Server
+//! responses (`EPOCH`/`RATE`/`DONE`/`ERR`) are drained by a concurrent
+//! reader thread — writing the whole trace before reading would
+//! deadlock on the socket buffer once the daemon's epoch chatter backs
+//! up, so the two directions run simultaneously.
+
+use crate::engine::EpochPolicy;
+use crate::shard::ShardSplit;
+use coflow_core::CoflowError;
+use coflow_workloads::trace::{Trace, TraceCoflow};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// Client-side knobs, forwarded to the daemon in the `HELLO` line.
+#[derive(Clone, Debug)]
+pub struct FeedOptions {
+    /// Tenant name to register as.
+    pub tenant: String,
+    /// Epoch policy to request.
+    pub policy: EpochPolicy,
+    /// Port-group shards to request.
+    pub shards: usize,
+    /// Egress split across shards.
+    pub split: ShardSplit,
+    /// Ask for cold (non-warm-started) re-solves.
+    pub cold: bool,
+    /// Ask for shadow-cold iteration counts per epoch.
+    pub shadow_cold: bool,
+    /// Ask for per-epoch `RATE` lines.
+    pub plans: bool,
+    /// Send only the first `limit` coflows (`0` = all).
+    pub limit: usize,
+    /// Slot length in milliseconds.
+    pub ms_per_slot: f64,
+    /// Port bandwidth in MB per slot.
+    pub mb_per_slot: f64,
+    /// Extra demand multiplier.
+    pub scale: f64,
+}
+
+impl Default for FeedOptions {
+    fn default() -> Self {
+        FeedOptions {
+            tenant: "feed".to_string(),
+            policy: EpochPolicy::Event,
+            shards: 1,
+            split: ShardSplit::Equal,
+            cold: false,
+            shadow_cold: false,
+            plans: false,
+            limit: 0,
+            ms_per_slot: 1000.0,
+            mb_per_slot: 125.0,
+            scale: 1.0,
+        }
+    }
+}
+
+/// What the feed run saw.
+#[derive(Clone, Debug, Default)]
+pub struct FeedSummary {
+    /// Coflow lines sent.
+    pub sent: usize,
+    /// Server response lines received.
+    pub received: usize,
+    /// The tenant's `DONE` line, when one arrived.
+    pub done: Option<String>,
+    /// `ERR` lines received.
+    pub errors: usize,
+}
+
+/// Builds the `HELLO` line this feed run opens with.
+pub fn hello_line(num_ports: usize, base: usize, opts: &FeedOptions) -> String {
+    let mut line = format!(
+        "HELLO {} {num_ports} base={base} policy={} shards={}",
+        opts.tenant,
+        match opts.policy {
+            EpochPolicy::Event => "event",
+            EpochPolicy::Doubling => "doubling",
+        },
+        opts.shards,
+    );
+    if opts.split == ShardSplit::Proportional {
+        line.push_str(" split=prop");
+    }
+    line.push_str(&format!(
+        " ms-per-slot={} mb-per-slot={} scale={}",
+        opts.ms_per_slot, opts.mb_per_slot, opts.scale
+    ));
+    if opts.cold {
+        line.push_str(" cold");
+    }
+    if opts.shadow_cold {
+        line.push_str(" shadow-cold");
+    }
+    if opts.plans {
+        line.push_str(" plans");
+    }
+    line
+}
+
+/// Reconstructs one FB2010 coflow line from its parsed form (the exact
+/// inverse of `coflow_workloads::trace::parse_coflow_line`).
+pub fn coflow_line(c: &TraceCoflow) -> String {
+    let mut line = format!("{} {} {}", c.id, c.arrival_ms, c.mappers.len());
+    for m in &c.mappers {
+        line.push_str(&format!(" {m}"));
+    }
+    line.push_str(&format!(" {}", c.reducers.len()));
+    for &(p, mb) in &c.reducers {
+        if mb == mb.trunc() && mb.abs() < 1e15 {
+            line.push_str(&format!(" {p}:{}", mb as i64));
+        } else {
+            line.push_str(&format!(" {p}:{mb}"));
+        }
+    }
+    line
+}
+
+/// Replays `trace_text` against the daemon at `addr`, echoing server
+/// responses to `out`. Returns once the server closes the connection.
+///
+/// # Errors
+///
+/// Trace parse failures ([`CoflowError::Io`]) and socket errors.
+pub fn feed<W: Write + Send>(
+    addr: &str,
+    trace_text: &str,
+    opts: &FeedOptions,
+    out: &mut W,
+) -> Result<FeedSummary, CoflowError> {
+    let trace = Trace::parse(trace_text).map_err(|e| CoflowError::Io(e.to_string()))?;
+    let base = trace.port_base()?;
+    let stream =
+        TcpStream::connect(addr).map_err(|e| CoflowError::Io(format!("connect {addr}: {e}")))?;
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| CoflowError::Io(format!("clone stream: {e}")))?,
+    );
+
+    let take = if opts.limit == 0 {
+        trace.coflows.len()
+    } else {
+        opts.limit.min(trace.coflows.len())
+    };
+    let done_prefix = format!("DONE tenant={}", opts.tenant);
+    let mut summary = FeedSummary::default();
+
+    let io_err = |e: std::io::Error| CoflowError::Io(format!("feed {addr}: {e}"));
+    std::thread::scope(|scope| -> Result<(), CoflowError> {
+        // Reader: drain responses until the server closes.
+        let drain = scope.spawn(move || {
+            let mut received = 0usize;
+            let mut errors = 0usize;
+            let mut done = None;
+            let mut lines = Vec::new();
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                received += 1;
+                if line.starts_with("ERR") {
+                    errors += 1;
+                }
+                if line.starts_with(&done_prefix) {
+                    done = Some(line.clone());
+                }
+                lines.push(line);
+            }
+            (received, errors, done, lines)
+        });
+
+        // Writer: HELLO, coflows, BYE.
+        let mut writer = BufWriter::new(&stream);
+        writeln!(writer, "{}", hello_line(trace.num_ports, base, opts)).map_err(io_err)?;
+        for c in trace.coflows.iter().take(take) {
+            writeln!(writer, "{}", coflow_line(c)).map_err(io_err)?;
+            summary.sent += 1;
+        }
+        writeln!(writer, "BYE").map_err(io_err)?;
+        writer.flush().map_err(io_err)?;
+        drop(writer);
+        stream.shutdown(std::net::Shutdown::Write).map_err(io_err)?;
+
+        let (received, errors, done, lines) = drain.join().expect("reader thread");
+        summary.received = received;
+        summary.errors = errors;
+        summary.done = done;
+        for line in lines {
+            writeln!(out, "{line}").map_err(io_err)?;
+        }
+        Ok(())
+    })?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_workloads::trace::parse_coflow_line;
+
+    #[test]
+    fn coflow_line_round_trips() {
+        for line in [
+            "7 200 1 3 2 1:10 4:5",
+            "1 0 2 1 2 1 3:250",
+            "9 1500 1 4 1 2:0.5",
+        ] {
+            let c = parse_coflow_line(line, 1, 4).expect("fixture parses");
+            let rebuilt = coflow_line(&c);
+            assert_eq!(
+                parse_coflow_line(&rebuilt, 1, 4).expect("rebuilt parses"),
+                c,
+                "{line} → {rebuilt}"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_line_carries_the_options() {
+        let opts = FeedOptions {
+            tenant: "acme".into(),
+            policy: EpochPolicy::Doubling,
+            shards: 4,
+            split: ShardSplit::Proportional,
+            cold: true,
+            plans: true,
+            ..FeedOptions::default()
+        };
+        let line = hello_line(16, 1, &opts);
+        assert!(line.starts_with("HELLO acme 16 base=1 policy=doubling shards=4"));
+        assert!(line.contains("split=prop") && line.ends_with("cold plans"));
+        // And the daemon accepts it verbatim.
+        let req = crate::protocol::parse_request(&line, None).expect("daemon parses");
+        let crate::protocol::Request::Hello(h) = req else {
+            panic!("expected hello")
+        };
+        assert_eq!(h.shards, 4);
+        assert!(h.cold && h.plans);
+    }
+}

@@ -1,0 +1,35 @@
+//! `coflow serve` — a long-running scheduler service with sharded
+//! admission and a multi-tenant runtime.
+//!
+//! This crate turns the batch pipeline of `coflow-core` into a daemon:
+//! coflow arrivals stream in over a line protocol (stdin or TCP), are
+//! batched into epochs by the frameworks of `coflow_core::online`
+//! (arrival events) and `coflow_core::flowtime` (doubling boundaries),
+//! and are re-solved by one warm [`TimeIndexedResolver`] per tenant
+//! fabric that stays alive across epochs. Independent tenants solve
+//! concurrently on a shared [`coflow_runtime::Runtime`], and big
+//! switches can shard by output-port group ([`shard`]) with a
+//! coordinator that merges and re-validates the shard schedules.
+//!
+//! Module map:
+//!
+//! * [`engine`] — the per-tenant streaming epoch engine
+//!   ([`engine::TenantEngine`]) and its shard cores;
+//! * [`shard`] — port-group partitions, egress-share splits, and the
+//!   shared-id shard fabric construction;
+//! * [`metrics`] — epoch latency percentiles and warm/cold counters;
+//! * [`protocol`] — the line protocol spoken on stdin and TCP;
+//! * [`daemon`] — the serve loop (session handling, tenant map);
+//! * [`feed`] — the client that replays a trace file against a daemon.
+//!
+//! [`TimeIndexedResolver`]: coflow_core::resolver::TimeIndexedResolver
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod daemon;
+pub mod engine;
+pub mod feed;
+pub mod metrics;
+pub mod protocol;
+pub mod shard;

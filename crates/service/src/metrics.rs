@@ -1,0 +1,105 @@
+//! Service metrics: latency percentiles and per-tenant counters.
+
+use crate::engine::EpochReport;
+
+/// Linear-interpolation percentile of an unsorted sample (`q` in
+/// `0..=100`). Returns 0 for an empty sample.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let rank = (q / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Rolling per-tenant service metrics, folded from [`EpochReport`]s.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Epoch wall-clock latencies, milliseconds, in arrival order.
+    pub epoch_ms: Vec<f64>,
+    /// Total warm simplex iterations reported by epochs.
+    pub warm_iterations: usize,
+    /// Total shadow-cold iterations (when measured).
+    pub cold_iterations: usize,
+    /// Epochs whose every shard solve warm-started.
+    pub warm_epochs: usize,
+    /// Epochs observed.
+    pub epochs: usize,
+}
+
+impl ServiceMetrics {
+    /// Folds one epoch report into the counters.
+    pub fn observe(&mut self, report: &EpochReport) {
+        self.epochs += 1;
+        self.epoch_ms.push(report.wall_ms);
+        self.warm_iterations += report.iterations;
+        if report.warm {
+            self.warm_epochs += 1;
+        }
+        if let Some(c) = report.cold_iterations {
+            self.cold_iterations += c;
+        }
+    }
+
+    /// p50 epoch latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        percentile(&self.epoch_ms, 50.0)
+    }
+
+    /// p99 epoch latency, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        percentile(&self.epoch_ms, 99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn metrics_fold_reports() {
+        let mut m = ServiceMetrics::default();
+        m.observe(&EpochReport {
+            epoch: 0,
+            objective: 1.0,
+            iterations: 10,
+            warm: false,
+            cold_iterations: Some(10),
+            wall_ms: 2.0,
+            transfers: Vec::new(),
+        });
+        m.observe(&EpochReport {
+            epoch: 1,
+            objective: 1.0,
+            iterations: 3,
+            warm: true,
+            cold_iterations: Some(9),
+            wall_ms: 4.0,
+            transfers: Vec::new(),
+        });
+        assert_eq!(m.epochs, 2);
+        assert_eq!(m.warm_epochs, 1);
+        assert_eq!(m.warm_iterations, 13);
+        assert_eq!(m.cold_iterations, 19);
+        assert!((m.p50_ms() - 3.0).abs() < 1e-12);
+    }
+}

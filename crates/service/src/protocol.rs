@@ -1,0 +1,388 @@
+//! The line protocol spoken by `coflow serve`.
+//!
+//! Requests, one per line:
+//!
+//! ```text
+//! HELLO <tenant> <ports> [base=0|1] [policy=event|doubling] [shards=G]
+//!       [split=equal|prop] [ms-per-slot=F] [mb-per-slot=F] [scale=F]
+//!       [cold] [shadow-cold] [plans]
+//! <id> <arrival_ms> <m> <mappers…> <r> <port:MB…>   # FB2010 coflow line
+//! BYE
+//! ```
+//!
+//! A bare `<ports> <coflows>` header (the first line of an FB2010
+//! trace file) is accepted as an implicit `HELLO` for a default tenant
+//! with 1-based ports, so `coflow serve --stdin < trace.txt` works
+//! unmodified. Coflow lines address the tenant named by the last
+//! `HELLO`; `BYE` (or EOF) finishes every tenant and prints one `DONE`
+//! line each.
+//!
+//! Responses: `OK …` acknowledgements, `EPOCH …` per re-solve,
+//! optional `RATE …` transfer lines (with `plans`), `DONE …` per
+//! tenant, `ERR <msg>` on any rejected line (the session continues).
+
+use crate::engine::{EngineConfig, EpochPolicy, EpochReport, PortCoflow};
+use crate::metrics::ServiceMetrics;
+use crate::shard::ShardSplit;
+use coflow_workloads::trace::{parse_coflow_line, ReplayOptions, TraceCoflow};
+
+/// The tenant name used by the implicit-HELLO stdin path.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A parsed `HELLO` line: tenant name, fabric size, and engine knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hello {
+    /// Tenant name (one fabric + engine per name).
+    pub tenant: String,
+    /// Ports of the tenant's switch fabric.
+    pub ports: usize,
+    /// Port numbering base of this tenant's coflow lines (FB2010 uses 1).
+    pub base: usize,
+    /// Epoch batching policy.
+    pub policy: EpochPolicy,
+    /// Port-group shards.
+    pub shards: usize,
+    /// Egress split across shards.
+    pub split: ShardSplit,
+    /// Disable warm starts (`cold`).
+    pub cold: bool,
+    /// Measure shadow-cold iterations per epoch (`shadow-cold`).
+    pub shadow_cold: bool,
+    /// Emit `RATE` lines (`plans`).
+    pub plans: bool,
+    /// Trace replay scaling (`ms-per-slot`, `mb-per-slot`, `scale`).
+    pub replay: ReplayOptions,
+}
+
+impl Hello {
+    /// An implicit-HELLO tenant for a bare FB2010 header line.
+    pub fn implicit(ports: usize) -> Hello {
+        Hello {
+            tenant: DEFAULT_TENANT.to_string(),
+            ports,
+            base: 1,
+            policy: EpochPolicy::Event,
+            shards: 1,
+            split: ShardSplit::Equal,
+            cold: false,
+            shadow_cold: false,
+            plans: false,
+            replay: ReplayOptions::default(),
+        }
+    }
+
+    /// The engine configuration this handshake asks for.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            policy: self.policy,
+            warm: !self.cold,
+            shadow_cold: self.shadow_cold,
+            shards: self.shards,
+            split: self.split,
+            emit_plans: self.plans,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// A `HELLO` handshake (explicit or implicit header).
+    Hello(Hello),
+    /// An FB2010 coflow line for the current tenant.
+    Coflow(TraceCoflow),
+    /// `BYE`: finish every tenant and report.
+    Bye,
+    /// Blank line or `#` comment — ignored.
+    Empty,
+}
+
+/// Parses one request line. `current_ports` is the active tenant's
+/// fabric size (used to validate coflow lines), or `None` before any
+/// handshake — in that state a bare `<ports> <coflows>` header is
+/// treated as an implicit [`Hello`].
+///
+/// # Errors
+///
+/// A human-readable message for the `ERR` response.
+pub fn parse_request(line: &str, current_ports: Option<usize>) -> Result<Request, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(Request::Empty);
+    }
+    let mut tokens = trimmed.split_whitespace();
+    let head = tokens.next().expect("non-empty line has a token");
+    match head {
+        "HELLO" => parse_hello(tokens).map(Request::Hello),
+        "BYE" => Ok(Request::Bye),
+        _ => {
+            let ports = match current_ports {
+                Some(p) => p,
+                None => {
+                    // Maybe an FB2010 header: `<ports> <coflows>`.
+                    let rest: Vec<&str> = trimmed.split_whitespace().collect();
+                    if rest.len() == 2 {
+                        if let (Ok(p), Ok(_)) = (rest[0].parse::<usize>(), rest[1].parse::<usize>())
+                        {
+                            if p > 0 {
+                                return Ok(Request::Hello(Hello::implicit(p)));
+                            }
+                        }
+                    }
+                    return Err("no tenant: start with HELLO <tenant> <ports>".to_string());
+                }
+            };
+            parse_coflow_line(trimmed, 0, ports)
+                .map(Request::Coflow)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn parse_hello<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Hello, String> {
+    let tenant = tokens
+        .next()
+        .ok_or("HELLO needs a tenant name")?
+        .to_string();
+    let ports: usize = tokens
+        .next()
+        .ok_or("HELLO needs a port count")?
+        .parse()
+        .map_err(|_| "HELLO port count must be an integer".to_string())?;
+    if ports == 0 {
+        return Err("HELLO port count must be positive".to_string());
+    }
+    let mut hello = Hello {
+        tenant,
+        ports,
+        ..Hello::implicit(ports)
+    };
+    for tok in tokens {
+        match tok.split_once('=') {
+            None => match tok {
+                "cold" => hello.cold = true,
+                "shadow-cold" => hello.shadow_cold = true,
+                "plans" => hello.plans = true,
+                other => return Err(format!("unknown HELLO flag {other:?}")),
+            },
+            Some((key, value)) => match key {
+                "base" => {
+                    hello.base = value
+                        .parse()
+                        .ok()
+                        .filter(|b| *b <= 1)
+                        .ok_or_else(|| format!("base must be 0 or 1, got {value:?}"))?;
+                }
+                "policy" => {
+                    hello.policy = match value {
+                        "event" => EpochPolicy::Event,
+                        "doubling" => EpochPolicy::Doubling,
+                        _ => return Err(format!("policy must be event|doubling, got {value:?}")),
+                    };
+                }
+                "shards" => {
+                    hello.shards = value.parse().ok().filter(|s| *s >= 1).ok_or_else(|| {
+                        format!("shards must be a positive integer, got {value:?}")
+                    })?;
+                }
+                "split" => {
+                    hello.split = match value {
+                        "equal" => ShardSplit::Equal,
+                        "prop" | "proportional" => ShardSplit::Proportional,
+                        _ => return Err(format!("split must be equal|prop, got {value:?}")),
+                    };
+                }
+                "ms-per-slot" => {
+                    hello.replay.ms_per_slot = parse_positive(value, "ms-per-slot")?;
+                }
+                "mb-per-slot" => {
+                    hello.replay.mb_per_slot = parse_positive(value, "mb-per-slot")?;
+                }
+                "scale" => {
+                    hello.replay.demand_scale = parse_positive(value, "scale")?;
+                }
+                other => return Err(format!("unknown HELLO option {other:?}")),
+            },
+        }
+    }
+    Ok(hello)
+}
+
+fn parse_positive(value: &str, key: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("{key} must be a positive number, got {value:?}"))
+}
+
+/// Converts a parsed trace coflow into the engine's port-level form
+/// under the tenant's replay options and port base.
+///
+/// # Errors
+///
+/// A message for the `ERR` response when a port underflows the base
+/// (e.g. port 0 in a `base=1` tenant).
+pub fn to_port_coflow(c: &TraceCoflow, hello: &Hello) -> Result<PortCoflow, String> {
+    let ports = c
+        .mappers
+        .iter()
+        .copied()
+        .chain(c.reducers.iter().map(|&(p, _)| p));
+    for p in ports {
+        if p < hello.base {
+            return Err(format!(
+                "coflow {}: port {p} below the tenant's base={} numbering",
+                c.id, hello.base
+            ));
+        }
+        if p - hello.base >= hello.ports {
+            return Err(format!(
+                "coflow {}: port {p} outside the {}-port fabric (base={})",
+                c.id, hello.ports, hello.base
+            ));
+        }
+    }
+    Ok(PortCoflow {
+        id: c.id.clone(),
+        weight: 1.0,
+        release: c.release_slot(&hello.replay),
+        flows: c.port_flows(hello.base, &hello.replay),
+    })
+}
+
+/// Formats one `EPOCH` response line.
+pub fn epoch_line(tenant: &str, report: &EpochReport) -> String {
+    let mut line = format!(
+        "EPOCH tenant={tenant} epoch={} objective={:.6} iters={} warm={} wall-ms={:.3}",
+        report.epoch, report.objective, report.iterations, report.warm, report.wall_ms
+    );
+    if let Some(c) = report.cold_iterations {
+        line.push_str(&format!(" cold-iters={c}"));
+    }
+    line
+}
+
+/// Formats the `RATE` lines of one epoch report (empty unless the
+/// tenant asked for `plans`).
+pub fn rate_lines(tenant: &str, ids: &[String], report: &EpochReport) -> Vec<String> {
+    report
+        .transfers
+        .iter()
+        .map(|&(a, slot, vol)| {
+            format!(
+                "RATE tenant={tenant} coflow={} slot={slot} volume={vol:.6}",
+                ids.get(a).map(String::as_str).unwrap_or("?")
+            )
+        })
+        .collect()
+}
+
+/// Formats one tenant's final `DONE` line.
+pub fn done_line(
+    tenant: &str,
+    outcome: &crate::engine::ServiceOutcome,
+    metrics: &ServiceMetrics,
+    wall_secs: f64,
+) -> String {
+    let rate = if wall_secs > 0.0 {
+        outcome.admitted as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let mut line = format!(
+        "DONE tenant={tenant} admitted={} objective={:.6} epochs={} lp-iterations={} \
+         p50-ms={:.3} p99-ms={:.3} coflows-per-sec={rate:.1}",
+        outcome.admitted,
+        outcome.objective,
+        outcome.epochs,
+        outcome.lp_iterations,
+        metrics.p50_ms(),
+        metrics.p99_ms(),
+    );
+    if let Some(c) = outcome.cold_iterations {
+        line.push_str(&format!(" cold-iterations={c}"));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips_options() {
+        let r = parse_request(
+            "HELLO acme 32 base=0 policy=doubling shards=4 split=prop ms-per-slot=500 cold plans",
+            None,
+        )
+        .unwrap();
+        let Request::Hello(h) = r else {
+            panic!("expected hello")
+        };
+        assert_eq!(h.tenant, "acme");
+        assert_eq!(h.ports, 32);
+        assert_eq!(h.base, 0);
+        assert_eq!(h.policy, EpochPolicy::Doubling);
+        assert_eq!(h.shards, 4);
+        assert_eq!(h.split, ShardSplit::Proportional);
+        assert!(h.cold && h.plans && !h.shadow_cold);
+        assert_eq!(h.replay.ms_per_slot, 500.0);
+        let cfg = h.engine_config();
+        assert!(!cfg.warm);
+        assert_eq!(cfg.shards, 4);
+    }
+
+    #[test]
+    fn bare_header_is_an_implicit_hello() {
+        let r = parse_request("16 20", None).unwrap();
+        let Request::Hello(h) = r else {
+            panic!("expected implicit hello")
+        };
+        assert_eq!(h.tenant, DEFAULT_TENANT);
+        assert_eq!(h.ports, 16);
+        assert_eq!(h.base, 1);
+        // With a tenant active, the same line is a malformed coflow.
+        assert!(parse_request("16 20", Some(16)).is_err());
+    }
+
+    #[test]
+    fn coflow_lines_parse_against_the_tenant() {
+        let r = parse_request("7 200 1 3 2 1:10 4:5", Some(4)).unwrap();
+        let Request::Coflow(c) = r else {
+            panic!("expected coflow")
+        };
+        assert_eq!(c.id, "7");
+        assert_eq!(c.arrival_ms, 200);
+        assert_eq!(c.mappers, vec![3]);
+        assert_eq!(c.reducers, vec![(1, 10.0), (4, 5.0)]);
+        assert!(parse_request("BYE", Some(4)) == Ok(Request::Bye));
+        assert_eq!(parse_request("# comment", Some(4)), Ok(Request::Empty));
+    }
+
+    #[test]
+    fn base_underflow_is_a_clean_error() {
+        let hello = Hello {
+            base: 1,
+            ..Hello::implicit(4)
+        };
+        let c = parse_coflow_line("1 0 1 0 1 2:5", 1, 4).unwrap();
+        let err = to_port_coflow(&c, &hello).unwrap_err();
+        assert!(err.contains("below the tenant's base=1"), "{err}");
+        let hello0 = Hello {
+            base: 0,
+            ..Hello::implicit(4)
+        };
+        let pc = to_port_coflow(&c, &hello0).unwrap();
+        assert_eq!(pc.flows, vec![(0, 2, 5.0 / 125.0f64.max(1e-3))]);
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        assert!(parse_request("HELLO t 4 turbo=9", None).is_err());
+        assert!(parse_request("HELLO t 4 warp", None).is_err());
+        assert!(parse_request("HELLO t 0", None).is_err());
+        assert!(parse_request("HELLO t 4 base=2", None).is_err());
+    }
+}

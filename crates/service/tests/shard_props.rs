@@ -1,0 +1,90 @@
+//! Property tests for port-group sharding.
+//!
+//! For random small switch workloads, scheduling with 2 shards must
+//! (a) produce a merged schedule that passes the full-fabric validator
+//! — `TenantEngine::finish` runs it, so a clean return IS the
+//! assertion — and (b) cost at most the documented slack bound over
+//! the unsharded engine: each shard sees a `1/G` slice of every input
+//! port's egress, so any unsharded schedule replays at `1/G` rate,
+//! giving `obj_sharded ≤ G × obj_unsharded` for the optimum. The
+//! engines are LP-guided heuristics, not optima, so the test grants a
+//! multiplicative 25% heuristic margin plus an additive `2·G` slots of
+//! slotting slack per coflow (`shard.rs` documents the bound).
+
+use coflow_runtime::Runtime;
+use coflow_service::engine::{EngineConfig, PortCoflow, TenantEngine};
+use proptest::prelude::*;
+
+/// A generated coflow: a release slot plus `(mapper, reducer, demand)`
+/// flows.
+type GenCoflow = (u32, Vec<(usize, usize, f64)>);
+
+/// Strategy: 4–6 ports and 2–5 coflows of 1–4 random flows each, with
+/// releases in 0..=3 — big enough to shard, small enough that each
+/// case's two engine runs stay in the milliseconds.
+fn workload() -> impl Strategy<Value = (usize, Vec<GenCoflow>)> {
+    (4usize..=6).prop_flat_map(|ports| {
+        (
+            Just(ports),
+            proptest::collection::vec(
+                (
+                    0u32..=3,
+                    proptest::collection::vec((0usize..ports, 0usize..ports, 0.2f64..1.5), 1..=4),
+                ),
+                2..=5,
+            ),
+        )
+    })
+}
+
+fn run(ports: usize, coflows: &[GenCoflow], shards: usize) -> (f64, f64) {
+    let rt = Runtime::with_workers(2);
+    let mut engine = TenantEngine::new(
+        ports,
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        },
+    );
+    let mut ordered: Vec<(usize, &GenCoflow)> = coflows.iter().enumerate().collect();
+    ordered.sort_by_key(|(_, (release, _))| *release);
+    for (k, (release, flows)) in ordered {
+        engine
+            .admit(
+                &rt,
+                PortCoflow {
+                    id: format!("c{k}"),
+                    weight: 1.0,
+                    release: *release,
+                    flows: flows.clone(),
+                },
+            )
+            .expect("generated coflows admit cleanly");
+    }
+    // finish() merges the shard schedules and re-validates them against
+    // the full unsharded fabric — an invalid merge panics here.
+    let outcome = engine.finish(&rt).expect("merged schedule validates");
+    (outcome.objective, outcome.peak_utilization)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_schedule_validates_within_the_cost_bound(
+        (ports, coflows) in workload()
+    ) {
+        let shards = 2usize;
+        let (unsharded, _) = run(ports, &coflows, 1);
+        let (sharded, peak) = run(ports, &coflows, shards);
+        prop_assert!(peak <= 1.0 + 1e-6, "merged peak utilization {peak}");
+        let g = shards as f64;
+        let bound = g * unsharded * 1.25 + 2.0 * g * coflows.len() as f64;
+        prop_assert!(
+            sharded <= bound,
+            "sharded {sharded} exceeds documented bound {bound} \
+             (unsharded {unsharded}, G={shards}, n={})",
+            coflows.len()
+        );
+    }
+}

@@ -111,6 +111,31 @@ impl TraceCoflow {
     pub fn total_mb(&self) -> f64 {
         self.reducers.iter().map(|&(_, mb)| mb).sum()
     }
+
+    /// The release slot this coflow replays at under `opts`
+    /// (`⌊arrival_ms / ms_per_slot⌋`).
+    pub fn release_slot(&self, opts: &ReplayOptions) -> u32 {
+        (self.arrival_ms as f64 / opts.ms_per_slot).floor() as u32
+    }
+
+    /// Expands this coflow to `(mapper_port, reducer_port, demand)`
+    /// triples in canonical reducer-major order (the same flow order
+    /// [`Trace::switch_instance`] produces), with ports rebased by
+    /// `base` and demands normalized per `opts`: each reducer's MB is
+    /// split evenly across the mappers, divided by `mb_per_slot`,
+    /// scaled by `demand_scale`, and floored at `1e-3` to keep the LP
+    /// well-conditioned.
+    pub fn port_flows(&self, base: usize, opts: &ReplayOptions) -> Vec<(usize, usize, f64)> {
+        let mut flows = Vec::with_capacity(self.width());
+        for &(r_port, mb) in &self.reducers {
+            let per_mapper = mb / self.mappers.len() as f64;
+            let demand = (per_mapper / opts.mb_per_slot * opts.demand_scale).max(1e-3);
+            for &m_port in &self.mappers {
+                flows.push((m_port - base, r_port - base, demand));
+            }
+        }
+        flows
+    }
 }
 
 /// A fully-parsed trace.
@@ -157,7 +182,7 @@ pub enum WeightRule {
 
 /// Normalization and scaling knobs for turning a trace into a
 /// [`CoflowInstance`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReplayOptions {
     /// Slot length in milliseconds (release slot = `arrival_ms / ms_per_slot`).
     pub ms_per_slot: f64,
@@ -185,6 +210,35 @@ impl Default for ReplayOptions {
     }
 }
 
+impl ReplayOptions {
+    /// Checks the scaling knobs are finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] naming the offending option.
+    pub fn validate(&self) -> Result<(), CoflowError> {
+        if !(self.ms_per_slot.is_finite() && self.ms_per_slot > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "ms_per_slot must be positive, got {}",
+                self.ms_per_slot
+            )));
+        }
+        if !(self.mb_per_slot.is_finite() && self.mb_per_slot > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "mb_per_slot must be positive, got {}",
+                self.mb_per_slot
+            )));
+        }
+        if !(self.demand_scale.is_finite() && self.demand_scale > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "demand_scale must be positive, got {}",
+                self.demand_scale
+            )));
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Parsing
 // ---------------------------------------------------------------------
@@ -201,6 +255,25 @@ fn parse_header(line: &str, lineno: usize) -> Result<(usize, usize), TraceError>
         return Err(err(lineno, "port count must be positive"));
     }
     Ok((ports, coflows))
+}
+
+/// Parses one coflow line of the FB2010 format (everything after the
+/// header): `<id> <arrival_ms> <m> <mappers…> <r> <port:MB…>`.
+///
+/// Trailing `#` comments are stripped first. This is the line-at-a-time
+/// entry point behind [`TraceStream`], exported so the scheduler
+/// service's wire protocol can reuse the exact trace grammar for
+/// streamed arrivals. `lineno` only labels errors.
+///
+/// # Errors
+///
+/// [`TraceError`] describing the malformed token.
+pub fn parse_coflow_line(
+    line: &str,
+    lineno: usize,
+    num_ports: usize,
+) -> Result<TraceCoflow, TraceError> {
+    parse_coflow(strip(line), lineno, num_ports)
 }
 
 /// Parses one coflow line (everything after the header).
@@ -381,24 +454,7 @@ impl Trace {
         opts: &ReplayOptions,
         mut endpoint: impl FnMut(usize, usize) -> (NodeId, NodeId),
     ) -> Result<Vec<Coflow>, CoflowError> {
-        if !(opts.ms_per_slot.is_finite() && opts.ms_per_slot > 0.0) {
-            return Err(CoflowError::BadInstance(format!(
-                "ms_per_slot must be positive, got {}",
-                opts.ms_per_slot
-            )));
-        }
-        if !(opts.mb_per_slot.is_finite() && opts.mb_per_slot > 0.0) {
-            return Err(CoflowError::BadInstance(format!(
-                "mb_per_slot must be positive, got {}",
-                opts.mb_per_slot
-            )));
-        }
-        if !(opts.demand_scale.is_finite() && opts.demand_scale > 0.0) {
-            return Err(CoflowError::BadInstance(format!(
-                "demand_scale must be positive, got {}",
-                opts.demand_scale
-            )));
-        }
+        opts.validate()?;
         let base = self.port_base()?;
         let take = if opts.limit == 0 {
             self.coflows.len()
@@ -411,20 +467,19 @@ impl Trace {
         };
         let mut out = Vec::with_capacity(take);
         for c in &self.coflows[..take] {
-            let release = (c.arrival_ms as f64 / opts.ms_per_slot).floor() as u32;
+            let release = c.release_slot(opts);
             let weight = match &mut weight_rng {
                 None => 1.0,
                 Some(rng) => rng.gen_range(1.0..=100.0),
             };
-            let mut flows = Vec::with_capacity(c.width());
-            for &(r_port, mb) in &c.reducers {
-                let per_mapper = mb / c.mappers.len() as f64;
-                let demand = (per_mapper / opts.mb_per_slot * opts.demand_scale).max(1e-3);
-                for &m_port in &c.mappers {
-                    let (src, dst) = endpoint(m_port - base, r_port - base);
-                    flows.push(Flow::released(src, dst, demand, release));
-                }
-            }
+            let flows = c
+                .port_flows(base, opts)
+                .into_iter()
+                .map(|(m, r, demand)| {
+                    let (src, dst) = endpoint(m, r);
+                    Flow::released(src, dst, demand, release)
+                })
+                .collect();
             out.push(Coflow::weighted(weight, flows));
         }
         Ok(out)
