@@ -236,7 +236,7 @@ impl CoflowSolver for JahanjouSolver {
         out.lp_size = Some(relaxation.lp.size);
         out.lp_iterations = Some(relaxation.lp.lp_iterations);
         out.horizon = Some(relaxation.lp.horizon);
-        out.aux = vec![("alpha", self.config.alpha)];
+        out.aux.extend([("alpha", self.config.alpha)]);
         Ok(out)
     }
 }

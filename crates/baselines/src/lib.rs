@@ -13,6 +13,10 @@
 //! * [`primal_dual`] — the LP-free combinatorial ordering of Ahmadi et
 //!   al. / Sincronia (§1.1's "very practical combinatorial algorithm"),
 //!   ported to the graph setting via the edge-machine open shop.
+//! * [`ordering`] — the LP-free ordering tier: Sincronia's
+//!   bottleneck-select-scale-iterate ordering (exemplar-faithful port)
+//!   and the deadline-aware DCoflow variants with admission control,
+//!   both rate-filled order-preservingly by the greedy allocator.
 //! * [`openshop`] — concurrent open shop instances, both directions of
 //!   the §5 reduction, and an exact brute-force optimum for tiny
 //!   instances (used to test the (2−ε)-hardness reduction's
@@ -28,6 +32,7 @@
 
 pub mod jahanjou;
 pub mod openshop;
+pub mod ordering;
 pub mod primal_dual;
 pub mod registry;
 pub mod sjf;

@@ -1,0 +1,657 @@
+//! The LP-free ordering tier: Sincronia BSSI and deadline-aware DCoflow.
+//!
+//! Every other scheduler in this suite prices an LP. This module is the
+//! quality/speed tier below that: compute a *coflow order* directly from
+//! the per-link load matrix in `O(n · (n + m))`, then rate-fill the
+//! order with the work-conserving greedy allocator
+//! ([`coflow_core::greedy`]). Two algorithm families:
+//!
+//! * **Sincronia** (Agarwal et al., SIGCOMM 2018) —
+//!   Bottleneck-Select-Scale-Iterate ([`sincronia_order`]): repeatedly
+//!   pick the most-loaded link, schedule *last* the coflow with the
+//!   smallest weight-to-load ratio on it, scale the remaining weights
+//!   down by the "dual payment", and iterate. Any order-preserving rate
+//!   filling of the resulting order is a 4-approximation to `Σ w_j C_j`
+//!   on the big switch.
+//! * **DCoflow** (Luu et al., 2022) — the deadline-aware variant
+//!   ([`dcoflow_order`]): same backward greedy skeleton, but the coflow
+//!   placed last is the one whose deadline tolerates the bottleneck's
+//!   total load; when even the loosest deadline would be violated, a
+//!   *victim* is rejected outright (two victim rules, see
+//!   [`DcoflowVariant`]). Rejected coflows are demoted to a best-effort
+//!   tail after all admitted coflows.
+//!
+//! # Exemplar fidelity and tie-breaking
+//!
+//! [`sincronia_order`] follows the reference MATLAB implementation
+//! (SNIPPETS.md) operation for operation, including its tie-breaks:
+//!
+//! * bottleneck link: maximum cumulative load, ties broken toward the
+//!   **largest link index** (the reference's
+//!   `b = max(b_candidates(...))` test pin);
+//! * last-scheduled coflow: minimum `W(k)/D(b,k)` over coflows with
+//!   positive load on `b`, ties broken toward the **smallest coflow
+//!   id** (where the reference draws randomly, this port is pinned
+//!   deterministic);
+//! * weight scaling: `W(k) -= W(last) · D(b,k)/D(b,last)` — weights may
+//!   go negative, exactly as in the reference (no clamping).
+//!
+//! The DCoflow reference snippet truncates before its rejection branch,
+//! so the victim rules below are fixed by this documentation and pinned
+//! by the hand-built instances in this module's tests:
+//!
+//! * candidate placed last: largest deadline among users of the
+//!   bottleneck (ties → larger load on the bottleneck, then smaller
+//!   id). If it fits (`cumul(b) ≤ deadline`), it is scheduled; note
+//!   that if the *largest* deadline is violated, every user of the
+//!   bottleneck would miss, so a victim must go;
+//! * [`DcoflowVariant::MinLink`] victim: largest load on the bottleneck
+//!   link (ties → smaller id);
+//! * [`DcoflowVariant::MinSumNegative`] victim: largest summed load on
+//!   *negative-slack* links — links whose cumulative load exceeds the
+//!   tightest deadline among their users (ties → larger bottleneck
+//!   load, then smaller id).
+//!
+//! # Deadline guarantee
+//!
+//! [`OrderingSolver`] wraps the DCoflow order in a demote-and-refill
+//! fixed point: after rate filling, any *admitted* coflow that still
+//! misses its deadline (the ordering is a heuristic; rate filling is
+//! slotted) is demoted to the best-effort tail and the rates are
+//! refilled. The loop terminates (the admitted set strictly shrinks)
+//! and its fixed point is the invariant the property suite pins: **an
+//! admitted coflow is never scheduled past its deadline**.
+
+use coflow_core::greedy::greedy_schedule;
+use coflow_core::loads::link_loads;
+use coflow_core::model::CoflowInstance;
+use coflow_core::routing::Routing;
+use coflow_core::solve::{CoflowSolver, SolveContext, SolveOutcome};
+use coflow_core::CoflowError;
+
+/// Load / score comparison slack (matches the greedy allocator's EPS).
+const EPS: f64 = 1e-9;
+
+/// Sincronia's Bottleneck-Select-Scale-Iterate ordering.
+///
+/// `loads[l][j]` is the slots-of-capacity coflow `j` needs on link `l`
+/// (see [`coflow_core::loads::link_loads`]); `weights[j] > 0`. Returns
+/// the scheduling order, highest priority first (a permutation of
+/// `0..n`). Tie-breaking is documented at the [module level](self).
+pub fn sincronia_order(loads: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
+    let n = weights.len();
+    let mut d: Vec<Vec<f64>> = loads.to_vec();
+    let mut w = weights.to_vec();
+    let mut order = vec![0usize; n];
+    let mut placed = vec![false; n];
+    for pos in (0..n).rev() {
+        // Bottleneck: max cumulative load, ties → largest link index.
+        let mut b = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for (l, row) in d.iter().enumerate() {
+            let cumul: f64 = row.iter().sum();
+            if cumul >= best {
+                best = cumul;
+                b = l;
+            }
+        }
+        // Schedule last: min W/D on the bottleneck, ties → smallest id.
+        let mut last = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for j in 0..n {
+            if placed[j] || d[b][j] <= 0.0 {
+                continue;
+            }
+            let ratio = w[j] / d[b][j];
+            if ratio < best_ratio {
+                best_ratio = ratio;
+                last = j;
+            }
+        }
+        if last == usize::MAX {
+            // Remaining coflows have zero load on every link (possible
+            // only for degenerate all-zero columns): place smallest id.
+            last = (0..n).find(|&j| !placed[j]).expect("coflow remains");
+        } else {
+            // Scale: W(k) -= W(last) · D(b,k)/D(b,last), no clamping.
+            let (wl, dl) = (w[last], d[b][last]);
+            for j in 0..n {
+                if !placed[j] && j != last && d[b][j] > 0.0 {
+                    w[j] -= wl * d[b][j] / dl;
+                }
+            }
+        }
+        order[pos] = last;
+        placed[last] = true;
+        for row in d.iter_mut() {
+            row[last] = 0.0;
+        }
+    }
+    order
+}
+
+/// Victim-selection rule used by [`dcoflow_order`] when a deadline
+/// cannot be honored (rules documented at the [module level](self)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcoflowVariant {
+    /// Reject the largest contributor to the bottleneck link.
+    MinLink,
+    /// Reject the coflow with the largest summed load on
+    /// negative-slack links.
+    MinSumNegative,
+}
+
+/// Output of [`dcoflow_order`]: a full scheduling permutation (admitted
+/// coflows first, rejected best-effort tail last) plus the admission
+/// verdict per coflow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DcoflowOrdering {
+    /// Scheduling order, highest priority first; always a permutation
+    /// of `0..n` (rejected coflows are appended, in rejection order).
+    pub order: Vec<usize>,
+    /// `admitted[j]` — whether coflow `j` survived admission control.
+    pub admitted: Vec<bool>,
+}
+
+/// DCoflow's deadline-aware backward greedy with admission control.
+///
+/// `loads` as in [`sincronia_order`]; `deadlines[j]` is coflow `j`'s
+/// completion deadline in slots (`f64::INFINITY` for "none" — such
+/// coflows are never rejected).
+pub fn dcoflow_order(
+    loads: &[Vec<f64>],
+    deadlines: &[f64],
+    variant: DcoflowVariant,
+) -> DcoflowOrdering {
+    let n = deadlines.len();
+    let mut d: Vec<Vec<f64>> = loads.to_vec();
+    let mut admitted = vec![true; n];
+    let mut active = vec![true; n];
+    let mut remaining = n;
+    let mut placed = vec![0usize; n];
+    let mut num_placed = 0usize;
+    let mut rejected = Vec::new();
+    while remaining > 0 {
+        // Bottleneck over the still-active coflows (same tie-break as
+        // Sincronia: largest link index).
+        let mut b = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        let mut cumul = vec![0.0; d.len()];
+        for (l, row) in d.iter().enumerate() {
+            cumul[l] = row.iter().sum();
+            if cumul[l] >= best {
+                best = cumul[l];
+                b = l;
+            }
+        }
+        let users: Vec<usize> = (0..n).filter(|&j| active[j] && d[b][j] > 0.0).collect();
+        let Some(&k0) = users.first() else {
+            // Only zero-load coflows remain: drain them in id order.
+            for (j, a) in active.iter_mut().enumerate() {
+                if *a {
+                    placed[num_placed] = j;
+                    num_placed += 1;
+                    *a = false;
+                }
+            }
+            break;
+        };
+        // Candidate for the last slot: largest deadline, ties → larger
+        // bottleneck load, then smaller id.
+        let k_star = users.iter().copied().fold(k0, |acc, j| {
+            let better = deadlines[j] > deadlines[acc]
+                || (deadlines[j] == deadlines[acc] && d[b][j] > d[b][acc] + EPS);
+            if better {
+                j
+            } else {
+                acc
+            }
+        });
+        if cumul[b] <= deadlines[k_star] + EPS {
+            placed[num_placed] = k_star;
+            num_placed += 1;
+            active[k_star] = false;
+        } else {
+            // Even the loosest deadline on the bottleneck misses:
+            // reject a victim per the variant rule.
+            let victim = match variant {
+                DcoflowVariant::MinLink => {
+                    users
+                        .iter()
+                        .copied()
+                        .fold(k0, |acc, j| if d[b][j] > d[b][acc] + EPS { j } else { acc })
+                }
+                DcoflowVariant::MinSumNegative => {
+                    // Negative-slack links: cumulative load exceeds the
+                    // tightest deadline among the link's active users.
+                    let negative: Vec<usize> = (0..d.len())
+                        .filter(|&l| {
+                            let tight = (0..n)
+                                .filter(|&j| active[j] && d[l][j] > 0.0)
+                                .map(|j| deadlines[j])
+                                .fold(f64::INFINITY, f64::min);
+                            cumul[l] > tight + EPS
+                        })
+                        .collect();
+                    let score = |j: usize| -> f64 { negative.iter().map(|&l| d[l][j]).sum() };
+                    users.iter().copied().fold(k0, |acc, j| {
+                        let (sj, sa) = (score(j), score(acc));
+                        if sj > sa + EPS || ((sj - sa).abs() <= EPS && d[b][j] > d[b][acc] + EPS) {
+                            j
+                        } else {
+                            acc
+                        }
+                    })
+                }
+            };
+            admitted[victim] = false;
+            active[victim] = false;
+            rejected.push(victim);
+        }
+        remaining -= 1;
+        // Zero the column of whichever coflow just left the active set.
+        for row in d.iter_mut() {
+            for j in 0..n {
+                if !active[j] {
+                    row[j] = 0.0;
+                }
+            }
+        }
+    }
+    // placed[] was filled back-to-front conceptually: num_placed entries
+    // in *reverse* scheduling order (last scheduled first). Reverse to
+    // get highest-priority-first, then append the rejected tail.
+    let mut order: Vec<usize> = placed[..num_placed].iter().rev().copied().collect();
+    order.extend(rejected);
+    debug_assert_eq!(order.len(), n);
+    DcoflowOrdering { order, admitted }
+}
+
+/// Which ordering drives an [`OrderingSolver`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Weighted-CCT Sincronia BSSI (deadline-oblivious).
+    Sincronia,
+    /// Deadline-aware DCoflow with the given victim rule.
+    Dcoflow(DcoflowVariant),
+}
+
+/// The ordering tier as a [`CoflowSolver`]: per-link load matrix →
+/// priority order → order-preserving greedy rate filling. LP-free —
+/// `lower_bound` is always `None`.
+///
+/// For DCoflow policies the solver runs the demote-and-refill admission
+/// fixed point (module docs) and reports `admitted` / `rejected` /
+/// `deadline_admitted_missed` (always 0 at the fixed point) in
+/// [`SolveOutcome::aux`], alongside the instance-level deadline-miss
+/// stats that [`SolveOutcome::from_schedule`] attaches.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderingSolver {
+    /// Ordering family to apply.
+    pub policy: OrderingPolicy,
+}
+
+impl OrderingSolver {
+    /// A Sincronia solver.
+    pub fn sincronia() -> Self {
+        OrderingSolver {
+            policy: OrderingPolicy::Sincronia,
+        }
+    }
+
+    /// A DCoflow solver with the given victim rule.
+    pub fn dcoflow(variant: DcoflowVariant) -> Self {
+        OrderingSolver {
+            policy: OrderingPolicy::Dcoflow(variant),
+        }
+    }
+}
+
+impl CoflowSolver for OrderingSolver {
+    fn solve(
+        &self,
+        inst: &CoflowInstance,
+        routing: &Routing,
+        ctx: &mut SolveContext,
+    ) -> Result<SolveOutcome, CoflowError> {
+        let n = inst.num_coflows();
+        match self.policy {
+            OrderingPolicy::Sincronia => {
+                let loads = link_loads(inst);
+                let weights: Vec<f64> = inst.coflows.iter().map(|c| c.weight).collect();
+                let order = sincronia_order(&loads, &weights);
+                let schedule = greedy_schedule(inst, routing, &order)?;
+                SolveOutcome::from_schedule(inst, routing, schedule, ctx.tolerance())
+            }
+            OrderingPolicy::Dcoflow(variant) => {
+                let (schedule, admitted) = dcoflow_schedule(inst, routing, variant)?;
+                let admitted_count = admitted.iter().filter(|&&a| a).count();
+                let mut out =
+                    SolveOutcome::from_schedule(inst, routing, schedule, ctx.tolerance())?;
+                out.aux.extend([
+                    ("admitted", admitted_count as f64),
+                    ("rejected", (n - admitted_count) as f64),
+                    ("deadline_admitted_missed", 0.0),
+                ]);
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Runs the DCoflow pipeline and returns both the final schedule and
+/// the per-coflow admission verdict — the test hook behind the
+/// "admitted coflows never miss" property (the solver's aux only
+/// carries counts).
+///
+/// # Errors
+///
+/// Propagates greedy rate-filling errors.
+pub fn dcoflow_schedule(
+    inst: &CoflowInstance,
+    routing: &Routing,
+    variant: DcoflowVariant,
+) -> Result<(coflow_core::schedule::Schedule, Vec<bool>), CoflowError> {
+    let loads = link_loads(inst);
+    let deadlines: Vec<f64> = inst
+        .coflows
+        .iter()
+        .map(|c| c.deadline.map_or(f64::INFINITY, f64::from))
+        .collect();
+    let DcoflowOrdering {
+        mut order,
+        mut admitted,
+    } = dcoflow_order(&loads, &deadlines, variant);
+    loop {
+        let schedule = greedy_schedule(inst, routing, &order)?;
+        let comp = schedule
+            .completions(inst)
+            .ok_or_else(|| CoflowError::InvalidSchedule("greedy incomplete".into()))?;
+        let mut demoted = false;
+        for j in 0..inst.num_coflows() {
+            if admitted[j] && comp.per_coflow[j] as f64 > deadlines[j] {
+                admitted[j] = false;
+                demoted = true;
+            }
+        }
+        if !demoted {
+            return Ok((schedule, admitted));
+        }
+        let (kept, tail): (Vec<usize>, Vec<usize>) = order.iter().partition(|&&j| admitted[j]);
+        order = kept;
+        order.extend(tail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_core::model::{Coflow, Flow};
+    use coflow_netgraph::gadget::{with_io_gadget, IoLimit};
+    use coflow_netgraph::topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Literal port of the reference MATLAB loop (SNIPPETS.md), used as
+    /// the differential oracle for [`sincronia_order`]: compute the max
+    /// / min candidate sets explicitly, break bottleneck ties with
+    /// `max(candidates)` (the reference's TEST pin) and coflow ties
+    /// with the smallest id (where the reference draws randomly).
+    fn sincronia_matlab_oracle(loads: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
+        let n = weights.len();
+        let m = loads.len();
+        let mut d: Vec<Vec<f64>> = loads.to_vec();
+        let mut w = weights.to_vec();
+        let mut order = vec![0usize; n];
+        let mut unplaced: Vec<usize> = (0..n).collect();
+        for pos in (0..n).rev() {
+            let cumul: Vec<f64> = (0..m).map(|l| d[l].iter().sum()).collect();
+            let max = cumul.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let b = (0..m).filter(|&l| cumul[l] == max).max().unwrap();
+            let ratios: Vec<(usize, f64)> = unplaced
+                .iter()
+                .filter(|&&j| d[b][j] > 0.0)
+                .map(|&j| (j, w[j] / d[b][j]))
+                .collect();
+            let last = if let Some(&(_, min)) =
+                ratios.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            {
+                ratios
+                    .iter()
+                    .filter(|&&(_, r)| r == min)
+                    .map(|&(j, _)| j)
+                    .min()
+                    .unwrap()
+            } else {
+                *unplaced.iter().min().unwrap()
+            };
+            if d[b][last] > 0.0 {
+                let (wl, dl) = (w[last], d[b][last]);
+                for &j in &unplaced {
+                    if j != last && d[b][j] > 0.0 {
+                        w[j] -= wl * d[b][j] / dl;
+                    }
+                }
+            }
+            for row in d.iter_mut() {
+                row[last] = 0.0;
+            }
+            unplaced.retain(|&j| j != last);
+            order[pos] = last;
+        }
+        order
+    }
+
+    /// The worked example: 4 unit-weight coflows on a 2×2 switch
+    /// (links 1,2 = ingress ports, 3,4 = egress ports, matching the
+    /// reference's indicator convention).
+    ///
+    ///   C1: 1→1' (1), 2→2' (1)     C2: 1→1' (2)
+    ///   C3: 2→2' (2)               C4: 1→2' (1), 2→1' (1)
+    ///
+    /// Hand trace of the reference loop:
+    ///  * round 1: every link totals 4 → b = link 4 (tie → max index);
+    ///    ratios on 4: C1=1, C3=1/2, C4=1 → C3 last; W ← [0.5,1,-,0.5].
+    ///  * round 2: links 1 and 3 total 4 → b = 3; ratios all 0.5 →
+    ///    three-way tie → C1 (smallest id); W ← [-,0,-,0].
+    ///  * round 3: b = 3 again; ratios 0 = 0 → C2 (smallest id).
+    ///  * round 4: C4 remains.
+    ///
+    /// Final priority order: C4 ≻ C2 ≻ C1 ≻ C3.
+    fn worked_example_loads() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 2.0, 0.0, 1.0], // link 1: ingress port 1
+            vec![1.0, 0.0, 2.0, 1.0], // link 2: ingress port 2
+            vec![1.0, 2.0, 0.0, 1.0], // link 3: egress port 1'
+            vec![1.0, 0.0, 2.0, 1.0], // link 4: egress port 2'
+        ]
+    }
+
+    #[test]
+    fn sincronia_reproduces_the_worked_example() {
+        let loads = worked_example_loads();
+        let w = vec![1.0; 4];
+        assert_eq!(sincronia_order(&loads, &w), vec![3, 1, 0, 2]);
+        assert_eq!(sincronia_matlab_oracle(&loads, &w), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn sincronia_matches_the_matlab_oracle_on_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(20260808);
+        for round in 0..200 {
+            let n = rng.gen_range(1..7);
+            let m = rng.gen_range(1..6);
+            let loads: Vec<Vec<f64>> = (0..m)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| {
+                            if rng.gen_bool(0.3) {
+                                0.0
+                            } else {
+                                // Quantized demands make exact-equality
+                                // ties common, exercising both rules.
+                                f64::from(rng.gen_range(1..5u32))
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let weights: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(1..4u32))).collect();
+            assert_eq!(
+                sincronia_order(&loads, &weights),
+                sincronia_matlab_oracle(&loads, &weights),
+                "diverged on round {round}: loads {loads:?} weights {weights:?}"
+            );
+        }
+    }
+
+    /// The worked example as a real big-switch instance; endpoints sit
+    /// on the I/O-gadget inner nodes so the port loads equal the hand
+    /// matrix above.
+    fn worked_example_instance() -> CoflowInstance {
+        let topo = topology::bipartite_switch(2, 1.0);
+        let limits = vec![IoLimit::symmetric(1.0); topo.graph.node_count()];
+        let gg = with_io_gadget(&topo.graph, &limits);
+        let (i1, i2) = (
+            gg.inner[topo.sources[0].index()],
+            gg.inner[topo.sources[1].index()],
+        );
+        let (e1, e2) = (
+            gg.inner[topo.sinks[0].index()],
+            gg.inner[topo.sinks[1].index()],
+        );
+        CoflowInstance::new(
+            gg.graph,
+            vec![
+                Coflow::new(vec![Flow::new(i1, e1, 1.0), Flow::new(i2, e2, 1.0)]),
+                Coflow::new(vec![Flow::new(i1, e1, 2.0)]),
+                Coflow::new(vec![Flow::new(i2, e2, 2.0)]),
+                Coflow::new(vec![Flow::new(i1, e2, 1.0), Flow::new(i2, e1, 1.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solver_end_to_end_on_the_worked_example() {
+        let inst = worked_example_instance();
+        let mut ctx = SolveContext::new();
+        let out = OrderingSolver::sincronia()
+            .solve(&inst, &Routing::FreePath, &mut ctx)
+            .unwrap();
+        // Priorities C4 ≻ C2 ≻ C1 ≻ C3 rate-fill to completions
+        // [4, 3, 4, 1] on the unit-capacity 2×2 switch.
+        assert_eq!(out.validation.completions.per_coflow, vec![4, 3, 4, 1]);
+        assert_eq!(out.cost, 12.0);
+        assert!(
+            out.lower_bound.is_none(),
+            "LP-free tier must not price an LP"
+        );
+    }
+
+    // ---- DCoflow hand-built tie-break pins ---------------------------
+
+    #[test]
+    fn dcoflow_admits_when_the_loosest_deadline_fits() {
+        // One link, loads [2, 2], deadlines [2, 4]: total 4 fits C2's
+        // deadline → C2 last; then C1 alone (2 ≤ 2) → order C1, C2.
+        let loads = vec![vec![2.0, 2.0]];
+        let out = dcoflow_order(&loads, &[2.0, 4.0], DcoflowVariant::MinLink);
+        assert_eq!(out.order, vec![0, 1]);
+        assert_eq!(out.admitted, vec![true, true]);
+    }
+
+    #[test]
+    fn dcoflow_min_link_rejects_the_largest_bottleneck_user() {
+        // One link, loads [1, 3, 2], deadlines [3, 3, 3]: total 6 > 3
+        // → reject C2 (largest load). Remaining total 3 fits.
+        let loads = vec![vec![1.0, 3.0, 2.0]];
+        let out = dcoflow_order(&loads, &[3.0; 3], DcoflowVariant::MinLink);
+        assert_eq!(out.admitted, vec![true, false, true]);
+        // Admitted back-to-front: C3 placed last (tie on deadline →
+        // larger load on the bottleneck), then C1; rejected tail C2.
+        assert_eq!(out.order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dcoflow_min_link_victim_tie_breaks_to_smaller_id() {
+        let loads = vec![vec![2.0, 2.0]];
+        let out = dcoflow_order(&loads, &[1.0, 1.0], DcoflowVariant::MinLink);
+        // Both would miss, equal loads → victim C1; then C2 fits (2 > 1
+        // fails — C2 is rejected too).
+        assert_eq!(out.admitted, vec![false, false]);
+        assert_eq!(out.order, vec![0, 1], "rejection order");
+    }
+
+    #[test]
+    fn dcoflow_min_sum_negative_counts_congested_links() {
+        // Link 1: loads [3, 1, 1], tightest deadline 2 → cumul 5 > 2,
+        //   negative. Link 2: loads [0, 1, 0], tightest 2, cumul 1 ≤ 2.
+        // Bottleneck is link 1; all three would miss (max deadline 2 <
+        // 5). Scores: C1 = 3, C2 = 1, C3 = 1 → MinSumNegative rejects
+        // C1. MinLink agrees here; the next test separates them.
+        let loads = vec![vec![3.0, 1.0, 1.0], vec![0.0, 1.0, 0.0]];
+        let out = dcoflow_order(&loads, &[2.0; 3], DcoflowVariant::MinSumNegative);
+        assert_eq!(out.admitted, vec![false, true, true]);
+        // Back-to-front: C2 placed last (deadline tie → id), then C3;
+        // reversing gives C3 ≻ C2, rejected tail C1.
+        assert_eq!(out.order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn dcoflow_variants_pick_different_victims() {
+        // Links tie at cumul 5 → bottleneck is link 2 (larger index).
+        // Its users are C2 (load 2) and C3 (load 3); max deadline 4 < 5
+        // → someone must go. MinLink rejects C3 (largest bottleneck
+        // load); MinSumNegative scores over *both* negative-slack links
+        // — C2 = 2+2 = 4 beats C3 = 3 — and rejects C2 instead. The
+        // runs then diverge completely: MinLink must also drop C1
+        // (link 1 stays at 5 > 4), ending with only C2 admitted, while
+        // MinSumNegative keeps both C1 and C3.
+        let loads = vec![
+            vec![3.0, 2.0, 0.0], // link 1
+            vec![0.0, 2.0, 3.0], // link 2
+        ];
+        let deadlines = [4.0, 4.0, 4.0];
+        let min_link = dcoflow_order(&loads, &deadlines, DcoflowVariant::MinLink);
+        let min_sum = dcoflow_order(&loads, &deadlines, DcoflowVariant::MinSumNegative);
+        assert_eq!(min_link.admitted, vec![false, true, false]);
+        assert_eq!(min_link.order, vec![1, 2, 0]);
+        assert_eq!(min_sum.admitted, vec![true, false, true]);
+        assert_eq!(min_sum.order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dcoflow_infinite_deadlines_reduce_to_full_admission() {
+        let loads = worked_example_loads();
+        let out = dcoflow_order(&loads, &[f64::INFINITY; 4], DcoflowVariant::MinLink);
+        assert_eq!(out.admitted, vec![true; 4]);
+        let mut sorted = out.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dcoflow_solver_never_misses_an_admitted_deadline() {
+        let mut inst = worked_example_instance();
+        // Tight deadlines: some coflows must be rejected.
+        for (j, d) in [2u32, 3, 2, 1].into_iter().enumerate() {
+            inst.coflows[j].deadline = Some(d);
+        }
+        for variant in [DcoflowVariant::MinLink, DcoflowVariant::MinSumNegative] {
+            let (schedule, admitted) =
+                dcoflow_schedule(&inst, &Routing::FreePath, variant).unwrap();
+            let comp = schedule.completions(&inst).unwrap();
+            for (j, cf) in inst.coflows.iter().enumerate() {
+                if admitted[j] {
+                    assert!(
+                        comp.per_coflow[j] <= cf.deadline.unwrap(),
+                        "{variant:?}: admitted coflow {j} missed"
+                    );
+                }
+            }
+            assert!(admitted.iter().any(|&a| a), "{variant:?} admitted none");
+            assert!(!admitted.iter().all(|&a| a), "{variant:?} rejected none");
+        }
+    }
+}

@@ -56,6 +56,7 @@
 //! ```
 
 use crate::jahanjou::JahanjouSolver;
+use crate::ordering::{DcoflowVariant, OrderingSolver};
 use crate::primal_dual::PrimalDualSolver;
 use crate::sjf::SmithGreedySolver;
 use crate::terra::TerraSolver;
@@ -99,6 +100,15 @@ pub struct Capabilities {
     /// lower bound in their outcome; Terra solves per-coflow LPs but no
     /// relaxation, so it is LP-based without a bound).
     pub lp_based: bool,
+    /// No LP anywhere — always the complement of
+    /// [`lp_based`](Capabilities::lp_based); kept as its own flag so
+    /// harnesses (and the service fallback tier) can filter positively
+    /// for the cheap entries.
+    pub lp_free: bool,
+    /// Whether [`coflow_core::model::Coflow::deadline`] influences the
+    /// schedule (admission control / rejection). Deadline-oblivious
+    /// entries still get deadline-miss stats in their outcome aux.
+    pub deadline_aware: bool,
 }
 
 /// Broad family of an algorithm (`coflow algos` groups by this).
@@ -218,6 +228,8 @@ const LP_ANY: Capabilities = Capabilities {
     routing: RoutingSupport::Any,
     weighted: true,
     lp_based: true,
+    lp_free: false,
+    deadline_aware: false,
 };
 
 /// Every algorithm in the suite, in presentation order.
@@ -321,6 +333,8 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
             routing: RoutingSupport::SinglePathOnly,
             weighted: true,
             lp_based: true,
+            lp_free: false,
+            deadline_aware: false,
         },
         build: |p| {
             Box::new(JahanjouSolver {
@@ -340,6 +354,8 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
             routing: RoutingSupport::SinglePathOnly,
             weighted: true,
             lp_based: true,
+            lp_free: false,
+            deadline_aware: false,
         },
         build: |p| {
             Box::new(JahanjouSolver {
@@ -359,6 +375,8 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
             routing: RoutingSupport::FreePathOnly,
             weighted: false,
             lp_based: true,
+            lp_free: false,
+            deadline_aware: false,
         },
         build: |_| Box::new(TerraSolver),
     },
@@ -370,8 +388,49 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
             routing: RoutingSupport::SinglePathOnly,
             weighted: true,
             lp_based: false,
+            lp_free: true,
+            deadline_aware: false,
         },
         build: |_| Box::new(PrimalDualSolver),
+    },
+    AlgorithmEntry {
+        name: "sincronia",
+        kind: AlgoKind::LpFree,
+        description: "Sincronia BSSI on routing-agnostic port loads + greedy rate filling",
+        caps: Capabilities {
+            routing: RoutingSupport::Any,
+            weighted: true,
+            lp_based: false,
+            lp_free: true,
+            deadline_aware: false,
+        },
+        build: |_| Box::new(OrderingSolver::sincronia()),
+    },
+    AlgorithmEntry {
+        name: "dcoflow-min-link",
+        kind: AlgoKind::LpFree,
+        description: "DCoflow (Luu et al.): deadline admission, min-link victim rule",
+        caps: Capabilities {
+            routing: RoutingSupport::Any,
+            weighted: false,
+            lp_based: false,
+            lp_free: true,
+            deadline_aware: true,
+        },
+        build: |_| Box::new(OrderingSolver::dcoflow(DcoflowVariant::MinLink)),
+    },
+    AlgorithmEntry {
+        name: "dcoflow-min-sum-neg",
+        kind: AlgoKind::LpFree,
+        description: "DCoflow: deadline admission, min-sum-negative-slack victim rule",
+        caps: Capabilities {
+            routing: RoutingSupport::Any,
+            weighted: false,
+            lp_based: false,
+            lp_free: true,
+            deadline_aware: true,
+        },
+        build: |_| Box::new(OrderingSolver::dcoflow(DcoflowVariant::MinSumNegative)),
     },
     AlgorithmEntry {
         name: "sjf",
@@ -381,6 +440,8 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
             routing: RoutingSupport::Any,
             weighted: false,
             lp_based: false,
+            lp_free: true,
+            deadline_aware: false,
         },
         build: |_| Box::new(SmithGreedySolver { weighted: false }),
     },
@@ -392,6 +453,8 @@ pub const ENTRIES: &[AlgorithmEntry] = &[
             routing: RoutingSupport::Any,
             weighted: true,
             lp_based: false,
+            lp_free: true,
+            deadline_aware: false,
         },
         build: |_| Box::new(SmithGreedySolver { weighted: true }),
     },

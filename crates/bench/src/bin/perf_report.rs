@@ -1,5 +1,5 @@
 //! The tracked performance harness: runs a pinned suite of
-//! warm-start-sensitive scenarios and emits `BENCH_PR7.json` — one point
+//! warm-start-sensitive scenarios and emits `BENCH_PR8.json` — one point
 //! of the repo's performance trajectory.
 //!
 //! Scenarios (all deterministic given `--seed`):
@@ -26,13 +26,19 @@
 //!    on the shared runtime, each with a warm per-tenant resolver and
 //!    the shadow cold probe. Reports coflows-admitted/sec and p50/p99
 //!    epoch latency across all tenants' epochs.
+//! 6. **ordering vs LP** — the LP-free Sincronia ordering against the
+//!    sparse time-indexed LP on the largest scale-sweep point. Gates
+//!    the ordering tier's bargain: cost within 4× of the LP bound
+//!    (Sincronia's primal-dual guarantee on the big switch) at ≥ 10×
+//!    the speed (full suite only; `--quick` checks the cost ratio on a
+//!    small instance where the wall-clock gap is noise).
 //!
 //! Exit is non-zero when the warm path fails its bar: iterations must be
 //! strictly below cold in `--quick` mode, and at least 2× below on the
 //! full online replay (the PR's acceptance criterion).
 //!
 //! With `--compare OLD.json` (an earlier emission, e.g. the committed
-//! `BENCH_PR6.json`) the harness also prints a per-scenario diff and
+//! `BENCH_PR7.json`) the harness also prints a per-scenario diff and
 //! fails on regressions: for every scenario name present in both files,
 //! wall clock must stay under 2× + 25 ms of the baseline and warm
 //! iterations under 1.5× + 100 (iteration counts are deterministic;
@@ -42,12 +48,14 @@
 //! Usage: `perf_report [--quick] [--seed S] [--output PATH]
 //! [--compare OLD.json]`.
 
+use coflow_baselines::registry::{self, AlgoParams};
 use coflow_bench::runner::{compute_figures, online_ablation_spec, PointStats};
 use coflow_bench::{HarnessConfig, SweepPool};
 use coflow_core::horizon::{horizon, HorizonMode};
 use coflow_core::interval::{solve_interval, solve_interval_chained, IntervalChain};
 use coflow_core::online::{online_heuristic_with, OnlineOptions};
 use coflow_core::routing::Routing;
+use coflow_core::solve::SolveContext;
 use coflow_core::timeidx::{solve_time_indexed, LpSize};
 use coflow_lp::{SolveStats, SolverOptions};
 use coflow_netgraph::topology;
@@ -117,7 +125,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 1u64;
-    let mut output = String::from("BENCH_PR7.json");
+    let mut output = String::from("BENCH_PR8.json");
     let mut compare: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -261,6 +269,30 @@ fn main() {
     }
     scenarios.push(service);
 
+    // ---- 6. LP-free ordering vs the sparse LP ----
+    let ordering = ordering_vs_lp(quick, seed);
+    let ratio = extra_field(&ordering, "cost_ratio");
+    let speedup = extra_field(&ordering, "lp_speedup");
+    println!(
+        "ordering vs lp [{}]: {:.1} ms vs LP {:.1} ms ({speedup:.1}x), cost ratio {ratio:.3}",
+        if quick { "quick" } else { "p32_c32" },
+        ordering.wall_ms,
+        ordering.wall_ms_cold.unwrap_or(0.0),
+    );
+    if ratio > 4.0 {
+        failures.push(format!(
+            "ordering vs lp: cost ratio {ratio:.3} exceeds the 4x Sincronia envelope"
+        ));
+    }
+    // Wall clock is only meaningful at the full scale point; on the
+    // --quick instance both sides finish in microseconds.
+    if !quick && speedup < 10.0 {
+        failures.push(format!(
+            "ordering vs lp: LP-free tier is only {speedup:.1}x faster than the sparse LP"
+        ));
+    }
+    scenarios.push(ordering);
+
     // ---- Compare against an earlier emission ----
     if let Some(path) = compare {
         let old = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -273,7 +305,7 @@ fn main() {
     // ---- Emit ----
     let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
     let json = format!(
-        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 7,\n  \"quick\": {quick},\n  \
+        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 8,\n  \"quick\": {quick},\n  \
          \"seed\": {seed},\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
         body.join(",\n    ")
     );
@@ -638,6 +670,82 @@ fn scale_sweep(quick: bool, seed: u64) -> Vec<Scenario> {
     out
 }
 
+/// Reads a named `extra` field off a scenario (0.0 when absent).
+fn extra_field(s: &Scenario, key: &str) -> f64 {
+    s.extra
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(0.0, |(_, v)| *v)
+}
+
+/// Scenario 6: the LP-free Sincronia ordering head to head with the
+/// sparse time-indexed LP on the largest scale-sweep instance
+/// (32 ports × 32 coflows on the full run). `cost_ratio` is the
+/// ordering's Σ wC over the LP optimum — the LP is a true lower bound,
+/// so this is an upper bound on the ordering's real approximation
+/// factor — and `lp_speedup` is the LP's wall clock over the
+/// ordering's. Both gates live in `main` (ratio ≤ 4 always, speedup
+/// ≥ 10 on the full suite).
+fn ordering_vs_lp(quick: bool, seed: u64) -> Scenario {
+    let (ports, jobs) = if quick { (8, 4) } else { (32, 32) };
+    let topo = topology::bipartite_switch(ports, 1.0);
+    let inst = build_instance(
+        &topo,
+        &WorkloadConfig {
+            kind: WorkloadKind::Facebook,
+            num_jobs: jobs,
+            seed,
+            slot_seconds: 50.0,
+            mean_interarrival_slots: 1.0,
+            weighted: true,
+            demand_scale: 0.05,
+        },
+    )
+    .expect("workload builds");
+    let t = horizon(
+        &inst,
+        &Routing::FreePath,
+        HorizonMode::Greedy { margin: 1.25 },
+    )
+    .expect("horizon");
+
+    let t0 = Instant::now();
+    let lp = solve_time_indexed(&inst, &Routing::FreePath, t, &SolverOptions::default())
+        .expect("LP solves");
+    let lp_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let entry = registry::all()
+        .iter()
+        .find(|e| e.name == "sincronia")
+        .expect("sincronia is registered");
+    let solver = entry.build(&AlgoParams::default());
+    let mut ctx = SolveContext::new();
+    let t0 = Instant::now();
+    let out = solver
+        .solve(&inst, &Routing::FreePath, &mut ctx)
+        .expect("ordering tier schedules");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Scenario {
+        name: "ordering_vs_lp".into(),
+        wall_ms,
+        wall_ms_cold: Some(lp_wall_ms),
+        iterations: 0,
+        iterations_cold: None,
+        resolves: 1,
+        objective_max_rel_diff: None,
+        size: Some(lp.size),
+        stats: None,
+        extra: vec![
+            ("cost".into(), out.cost),
+            ("lp_bound".into(), lp.objective),
+            ("cost_ratio".into(), out.cost / lp.objective.max(1e-9)),
+            ("lp_wall_ms".into(), lp_wall_ms),
+            ("lp_speedup".into(), lp_wall_ms / wall_ms.max(1e-9)),
+        ],
+    }
+}
+
 /// Tenant fabrics the service replay runs concurrently.
 const SERVICE_TENANTS: usize = 4;
 
@@ -666,6 +774,7 @@ fn service_replay(quick: bool) -> Scenario {
             id: c.id.clone(),
             weight: 1.0,
             release: c.release_slot(&opts),
+            deadline: None,
             flows: c.port_flows(base, &opts),
         })
         .collect();

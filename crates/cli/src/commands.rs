@@ -37,9 +37,10 @@ pub fn generate(args: &Args) -> Result<(), String> {
     let mean_interarrival_slots = args.get("interarrival", 1.0)?;
     let weighted = !args.switch("--unweighted");
     let demand_scale = args.get("demand-scale", 0.05)?;
+    let deadline_slack: f64 = args.get("deadline-slack", 0.0)?;
     let output: String = args.get("output", "-".into())?;
 
-    let inst = if scenario_name.is_empty() {
+    let mut inst = if scenario_name.is_empty() {
         let kind = parse_workload(&args.get::<String>("workload", "fb".into())?)?;
         args.finish()?;
         build_instance(
@@ -83,11 +84,17 @@ pub fn generate(args: &Args) -> Result<(), String> {
             weighted,
             flow_gb: args.get("flow-gb", 300.0)?,
             demand_scale,
+            deadline_slack: (deadline_slack > 0.0).then_some(deadline_slack),
             ..Default::default()
         };
         args.finish()?;
         build_scenario_instance(&topo, &cfg).map_err(|e| e.to_string())?
     };
+    // Scenario builds synthesize deadlines themselves; the workload
+    // path gets the same treatment here.
+    if deadline_slack > 0.0 && inst.coflows.iter().all(|c| c.deadline.is_none()) {
+        coflow_core::loads::apply_deadline_slack(&mut inst, deadline_slack);
+    }
     write_instance_path(&inst, &output).map_err(|e| e.to_string())?;
     eprintln!(
         "generated {} coflows / {} flows on {} ({} nodes, {} edges)",
@@ -148,17 +155,19 @@ pub fn algos(args: &Args) -> Result<(), String> {
     let entries = registry::all();
     let name_w = entries.iter().map(|e| e.name.len()).max().unwrap_or(4);
     println!(
-        "{:<name_w$}  {:<11}  {:<11}  {:<8}  {:<3}  description",
-        "name", "kind", "routing", "weighted", "lp",
+        "{:<name_w$}  {:<11}  {:<11}  {:<8}  {:<3}  {:<7}  {:<8}  description",
+        "name", "kind", "routing", "weighted", "lp", "lp-free", "deadline",
     );
     for e in entries {
         println!(
-            "{:<name_w$}  {:<11}  {:<11}  {:<8}  {:<3}  {}",
+            "{:<name_w$}  {:<11}  {:<11}  {:<8}  {:<3}  {:<7}  {:<8}  {}",
             e.name,
             e.kind.label(),
             e.caps.routing.label(),
             if e.caps.weighted { "yes" } else { "no" },
             if e.caps.lp_based { "yes" } else { "no" },
+            if e.caps.lp_free { "yes" } else { "no" },
+            if e.caps.deadline_aware { "yes" } else { "no" },
             e.description,
         );
     }
@@ -378,12 +387,14 @@ fn replay_options(args: &Args) -> Result<ReplayOptions, String> {
         "uniform" => WeightRule::Uniform { seed },
         other => return Err(format!("unknown weight rule {other:?} (unit|uniform)")),
     };
+    let deadline_slack: f64 = args.get("deadline-slack", 0.0)?;
     Ok(ReplayOptions {
         ms_per_slot: args.get("ms-per-slot", dflt.ms_per_slot)?,
         mb_per_slot: args.get("mb-per-slot", dflt.mb_per_slot)?,
         demand_scale: args.get("demand-scale", dflt.demand_scale)?,
         limit: args.get("limit", dflt.limit)?,
         weights,
+        deadline_slack: (deadline_slack > 0.0).then_some(deadline_slack),
     })
 }
 
@@ -611,6 +622,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
 pub fn feed(args: &Args) -> Result<(), String> {
     use coflow_service::engine::EpochPolicy;
     use coflow_service::feed::FeedOptions;
+    use coflow_service::protocol::Tier;
     use coflow_service::shard::ShardSplit;
 
     let path = args
@@ -640,6 +652,14 @@ pub fn feed(args: &Args) -> Result<(), String> {
         ms_per_slot: args.get("ms-per-slot", dflt.ms_per_slot)?,
         mb_per_slot: args.get("mb-per-slot", dflt.mb_per_slot)?,
         scale: args.get("demand-scale", dflt.scale)?,
+        tier: match args.get::<String>("tier", "lp".into())?.as_str() {
+            "lp" => Tier::Lp,
+            "ordering" => Tier::Ordering,
+            other => return Err(format!("unknown tier {other:?} (lp|ordering)")),
+        },
+        fallback: args.switch("--fallback"),
+        max_resolves: args.get("max-resolves", dflt.max_resolves)?,
+        deadline_slack: args.get("deadline-slack", dflt.deadline_slack)?,
     };
     args.finish()?;
     let text = if path == "-" {

@@ -31,6 +31,8 @@ commands:
              --jobs N (20)  --seed S (1)  --unweighted
              --interarrival SLOTS (1.0)  --slot-seconds S (50)
              --demand-scale X (0.05)     --output FILE|- (-)
+             --deadline-slack F (0 = no deadlines; F scales each
+                        coflow's bottleneck bound into its deadline)
   info FILE  print instance statistics
   algos      list every registered algorithm (name, kind, capabilities)
   solve FILE run an algorithm and report cost vs the LP bound
@@ -61,6 +63,8 @@ commands:
                         so demands are in Gb and 1 Gbps ports saturate)
              --demand-scale X (1.0)  --limit N (0 = all coflows)
              --weights unit|uniform (unit)  --seed S (1)
+             --deadline-slack F (0 = no deadlines; F scales each
+                        coflow's bottleneck bound into its deadline)
 
   serve      run the streaming scheduler daemon
              --listen ADDR  serve the line protocol over TCP
@@ -70,12 +74,16 @@ commands:
              protocol: HELLO <tenant> <ports> [base=0|1]
                         [policy=event|doubling] [shards=G] [split=equal|prop]
                         [ms-per-slot=F] [mb-per-slot=F] [scale=F]
+                        [tier=lp|ordering] [fallback=ordering|none]
+                        [max-resolves=N] [deadline-slack=F]
                         [cold] [shadow-cold] [plans],
                        then FB2010 coflow lines, then BYE
   feed FILE  replay a trace against a running daemon
              --addr HOST:PORT (127.0.0.1:7077)  --tenant NAME (feed)
              --policy event|doubling (event)  --shards G (1)
              --split equal|prop (equal)  --limit N (0 = all)
+             --tier lp|ordering (lp)  --fallback  --max-resolves N (0 = off)
+             --deadline-slack F (0 = no deadlines)
              --cold  --shadow-cold  --plans
              replay knobs as for `trace`: --ms-per-slot --mb-per-slot
              --demand-scale

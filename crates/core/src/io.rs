@@ -14,6 +14,7 @@
 //! edge US-East US-West 40
 //! # jobs
 //! coflow 3.5                       # weight; flows follow
+//! coflow 2 deadline=12             # optional advisory deadline slot
 //! flow US-West US-East 120 0       # src dst demand release
 //! ```
 //!
@@ -67,7 +68,14 @@ pub fn write_instance(inst: &CoflowInstance) -> Result<String, CoflowError> {
         inst.num_flows()
     );
     for cf in &inst.coflows {
-        let _ = writeln!(out, "coflow {}", cf.weight);
+        match cf.deadline {
+            Some(d) => {
+                let _ = writeln!(out, "coflow {} deadline={d}", cf.weight);
+            }
+            None => {
+                let _ = writeln!(out, "coflow {}", cf.weight);
+            }
+        }
         for f in &cf.flows {
             let _ = writeln!(
                 out,
@@ -160,7 +168,17 @@ pub fn read_instance(text: &str) -> Result<CoflowInstance, CoflowError> {
                     graph = Some(std::mem::take(&mut b).build());
                 }
                 let weight: f64 = parse(it.next(), lineno, "coflow weight")?;
-                coflows.push(Coflow::weighted(weight, Vec::new()));
+                let mut cf = Coflow::weighted(weight, Vec::new());
+                // Optional `deadline=N` token (format extension; absent
+                // in files written before deadlines existed).
+                if let Some(tok) = it.next() {
+                    let d = tok
+                        .strip_prefix("deadline=")
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or_else(|| bad(lineno, &format!("expected deadline=N, got {tok:?}")))?;
+                    cf = cf.with_deadline(d);
+                }
+                coflows.push(cf);
             }
             "flow" => {
                 let cf = coflows
@@ -291,7 +309,8 @@ mod tests {
                         Flow::new(nodes[0], nodes[1], 12.0),
                         Flow::released(nodes[2], nodes[4], 7.25, 3),
                     ],
-                ),
+                )
+                .with_deadline(12),
                 Coflow::new(vec![Flow::new(nodes[3], nodes[0], 100.5)]),
             ],
         )
@@ -309,6 +328,7 @@ mod tests {
         assert_eq!(a.coflows.len(), b.coflows.len());
         for (ca, cb) in a.coflows.iter().zip(&b.coflows) {
             assert_eq!(ca.weight, cb.weight);
+            assert_eq!(ca.deadline, cb.deadline);
             assert_eq!(ca.flows.len(), cb.flows.len());
             for (fa, fb) in ca.flows.iter().zip(&cb.flows) {
                 assert_eq!(a.graph.label(fa.src), b.graph.label(fb.src));

@@ -71,6 +71,7 @@ pub mod heuristic;
 pub mod horizon;
 pub mod interval;
 pub mod io;
+pub mod loads;
 pub mod model;
 pub mod online;
 pub mod rateplan;

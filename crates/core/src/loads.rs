@@ -1,0 +1,171 @@
+//! Routing-agnostic per-port link loads and bottleneck lower bounds.
+//!
+//! The LP-free ordering tier (Sincronia, DCoflow — see
+//! `coflow-baselines::ordering`) works on a *load matrix* `D[l][j]`: how
+//! many slots of link `l`'s capacity coflow `j` needs in isolation. On
+//! the paper's big-switch abstraction the links are the 2·P ingress and
+//! egress ports; on a general graph the natural analogue is each node's
+//! aggregate **egress** capacity (everything it can send per slot) and
+//! aggregate **ingress** capacity (everything it can receive per slot).
+//! Every flow must cross its source's egress cut and its sink's ingress
+//! cut regardless of routing, so
+//!
+//! ```text
+//! D[v][j]     = Σ { σ : flows of j with src = v } / out_capacity(v)
+//! D[V + v][j] = Σ { σ : flows of j with dst = v } / in_capacity(v)
+//! ```
+//!
+//! is a valid per-link slot requirement under *any* routing model, and
+//! `Γ_j = max_l D[l][j]` is a lower bound on `C_j − r_j` for any
+//! schedule. On an I/O-gadget switch (unit port capacity) this reduces
+//! exactly to Sincronia's port-load matrix.
+//!
+//! The same `Γ_j` drives deadline synthesis in `coflow-workloads`:
+//! `deadline_j = release_j + max(1, ⌈slack · Γ_j⌉)` gives every coflow a
+//! deadline proportional to its own isolation bottleneck, so one `slack`
+//! knob spans "impossibly tight" (≈1) to "trivially loose" (≫1)
+//! deterministically, with no RNG involved.
+
+use crate::model::CoflowInstance;
+
+/// The per-link load matrix `D[l][j]` of an instance: `2·V` rows (node
+/// egress cuts, then node ingress cuts) by `n` coflow columns. Rows for
+/// nodes with zero attached capacity (and hence, in a valid instance,
+/// zero incident flow demand) are all-zero.
+pub fn link_loads(inst: &CoflowInstance) -> Vec<Vec<f64>> {
+    let g = &inst.graph;
+    let nv = g.node_count();
+    let n = inst.num_coflows();
+    let out_cap: Vec<f64> = g
+        .nodes()
+        .map(|v| g.out_edges(v).iter().map(|&e| g.capacity(e)).sum())
+        .collect();
+    let in_cap: Vec<f64> = g
+        .nodes()
+        .map(|v| g.in_edges(v).iter().map(|&e| g.capacity(e)).sum())
+        .collect();
+    let mut d = vec![vec![0.0; n]; 2 * nv];
+    for (j, cf) in inst.coflows.iter().enumerate() {
+        for f in &cf.flows {
+            let (s, t) = (f.src.index(), f.dst.index());
+            if out_cap[s] > 0.0 {
+                d[s][j] += f.demand / out_cap[s];
+            }
+            if in_cap[t] > 0.0 {
+                d[nv + t][j] += f.demand / in_cap[t];
+            }
+        }
+    }
+    d
+}
+
+/// Per-coflow bottleneck bound `Γ_j = max_l D[l][j]`: the number of
+/// slots coflow `j` needs on its most-loaded cut when it runs alone.
+/// `⌈Γ_j⌉ + r_j ≤ C_j` in every feasible schedule and routing model.
+pub fn coflow_bottleneck_bounds(inst: &CoflowInstance) -> Vec<f64> {
+    let d = link_loads(inst);
+    let n = inst.num_coflows();
+    (0..n)
+        .map(|j| d.iter().map(|row| row[j]).fold(0.0, f64::max))
+        .collect()
+}
+
+/// Synthesizes a deadline for every coflow:
+/// `deadline_j = release_j + max(1, ⌈slack · Γ_j⌉)`.
+///
+/// Deterministic (no RNG); `slack = 1` is the tightest meetable target
+/// (the coflow's own isolation bottleneck), larger values leave
+/// headroom for contention. Non-finite or non-positive `slack` is
+/// clamped to `1e-9`, which degenerates to `release + 1`.
+pub fn apply_deadline_slack(inst: &mut CoflowInstance, slack: f64) {
+    let slack = if slack.is_finite() && slack > 0.0 {
+        slack
+    } else {
+        1e-9
+    };
+    let gamma = coflow_bottleneck_bounds(inst);
+    for (cf, g) in inst.coflows.iter_mut().zip(gamma) {
+        let need = (slack * g).ceil().max(1.0);
+        // Saturate instead of wrapping on absurd slack values.
+        let need = if need >= u32::MAX as f64 {
+            u32::MAX - cf.release()
+        } else {
+            need as u32
+        };
+        cf.deadline = Some(cf.release().saturating_add(need).max(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, Flow};
+    use coflow_netgraph::gadget::{with_io_gadget, IoLimit};
+    use coflow_netgraph::topology;
+
+    /// 2×2 switch wrapped in the unit-capacity I/O gadget, with
+    /// endpoints on the inner (gadget) nodes — the big-switch model.
+    /// Returns the instance plus the inner node indices of (ingress 0,
+    /// ingress 1, egress 0, egress 1).
+    fn switch_inst() -> (CoflowInstance, [usize; 4]) {
+        let topo = topology::bipartite_switch(2, 1.0);
+        let limits = vec![IoLimit::symmetric(1.0); topo.graph.node_count()];
+        let gg = with_io_gadget(&topo.graph, &limits);
+        let ports = [
+            gg.inner[topo.sources[0].index()],
+            gg.inner[topo.sources[1].index()],
+            gg.inner[topo.sinks[0].index()],
+            gg.inner[topo.sinks[1].index()],
+        ];
+        // Coflow 0: 2 units ingress port 0 → egress port 1.
+        // Coflow 1: 1 unit ingress 0 → egress 0, 1 unit ingress 1 → egress 1.
+        let coflows = vec![
+            Coflow::new(vec![Flow::new(ports[0], ports[3], 2.0)]),
+            Coflow::new(vec![
+                Flow::new(ports[0], ports[2], 1.0),
+                Flow::new(ports[1], ports[3], 1.0),
+            ]),
+        ];
+        (
+            CoflowInstance::new(gg.graph, coflows).unwrap(),
+            ports.map(|v| v.index()),
+        )
+    }
+
+    #[test]
+    fn switch_loads_match_port_loads() {
+        let (inst, ports) = switch_inst();
+        let d = link_loads(&inst);
+        let nv = inst.graph.node_count();
+        // Ingress port 0 (egress cut of its inner node, capacity 1):
+        // coflow 0 sends 2, coflow 1 sends 1.
+        assert_eq!(d[ports[0]], vec![2.0, 1.0]);
+        assert_eq!(d[ports[1]], vec![0.0, 1.0]);
+        // Egress port 1 (ingress cut of its inner node).
+        assert_eq!(d[nv + ports[3]], vec![2.0, 1.0]);
+        assert_eq!(d[nv + ports[2]], vec![0.0, 1.0]);
+        assert_eq!(coflow_bottleneck_bounds(&inst), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn deadline_slack_is_release_plus_scaled_bottleneck() {
+        let (mut inst, _) = switch_inst();
+        inst.coflows[1].flows[0].release = 3;
+        inst.coflows[1].flows[1].release = 5;
+        apply_deadline_slack(&mut inst, 2.0);
+        // Coflow 0: release 0, Γ = 2 → deadline 4.
+        assert_eq!(inst.coflows[0].deadline, Some(4));
+        // Coflow 1: release = min(3,5) = 3, Γ = 1 → 3 + 2 = 5.
+        assert_eq!(inst.coflows[1].deadline, Some(5));
+        // Synthesized deadlines pass instance validation.
+        let rebuilt = CoflowInstance::new(inst.graph.clone(), inst.coflows.clone());
+        assert!(rebuilt.is_ok());
+    }
+
+    #[test]
+    fn tiny_slack_degenerates_to_release_plus_one() {
+        let (mut inst, _) = switch_inst();
+        apply_deadline_slack(&mut inst, f64::NAN);
+        assert_eq!(inst.coflows[0].deadline, Some(1));
+    }
+}

@@ -57,17 +57,38 @@ pub struct Coflow {
     pub weight: f64,
     /// The flows `f_j^1 … f_j^{n_j}`.
     pub flows: Vec<Flow>,
+    /// Optional completion deadline `T_j` (slot index, ≥ 1): the coflow
+    /// *wants* `C_j ≤ T_j`. Deadlines are advisory for the Σ w_j C_j
+    /// pipeline (the LP ignores them) but drive admission control in
+    /// deadline-aware solvers and the deadline-miss accounting in
+    /// [`crate::solve::SolveOutcome`].
+    pub deadline: Option<u32>,
 }
 
 impl Coflow {
     /// A unit-weight coflow.
     pub fn new(flows: Vec<Flow>) -> Self {
-        Coflow { weight: 1.0, flows }
+        Coflow {
+            weight: 1.0,
+            flows,
+            deadline: None,
+        }
     }
 
     /// A weighted coflow.
     pub fn weighted(weight: f64, flows: Vec<Flow>) -> Self {
-        Coflow { weight, flows }
+        Coflow {
+            weight,
+            flows,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a completion deadline (slot index, ≥ 1).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: u32) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Earliest release among this coflow's flows.
@@ -205,6 +226,16 @@ fn validate_coflow(
             "coflow {j} has weight {}",
             cf.weight
         )));
+    }
+    if let Some(d) = cf.deadline {
+        // Completion slots are ≥ 1, and a deadline at or before the
+        // coflow's earliest release can never be met by any schedule.
+        if d == 0 || d <= cf.release() {
+            return Err(CoflowError::BadInstance(format!(
+                "coflow {j} has deadline {d} not after its release {}",
+                cf.release()
+            )));
+        }
     }
     for (i, f) in cf.flows.iter().enumerate() {
         if f.src.index() >= n || f.dst.index() >= n {

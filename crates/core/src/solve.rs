@@ -156,6 +156,22 @@ impl SolveOutcome {
         tolerance: Tolerance,
     ) -> Result<SolveOutcome, CoflowError> {
         let validation = validate(inst, routing, &schedule, tolerance)?;
+        // Deadline-miss accounting rides along whenever the instance
+        // carries deadlines, for any solver (most ignore them when
+        // scheduling; the metric still shows what that costs).
+        let mut aux = Vec::new();
+        let total = inst.coflows.iter().filter(|c| c.deadline.is_some()).count();
+        if total > 0 {
+            let missed = inst
+                .coflows
+                .iter()
+                .zip(&validation.completions.per_coflow)
+                .filter(|(cf, &c)| cf.deadline.is_some_and(|d| c > d))
+                .count();
+            aux.push(("deadline_total", total as f64));
+            aux.push(("deadline_missed", missed as f64));
+            aux.push(("deadline_miss_rate", missed as f64 / total as f64));
+        }
         Ok(SolveOutcome {
             cost: validation.completions.weighted_total,
             unweighted_cost: validation.completions.unweighted_total,
@@ -166,7 +182,7 @@ impl SolveOutcome {
             lp_iterations: None,
             horizon: None,
             sweep: None,
-            aux: Vec::new(),
+            aux,
         })
     }
 
@@ -479,13 +495,13 @@ impl CoflowSolver for DerandSolver {
         out.lp_size = Some(lp.size);
         out.lp_iterations = Some(lp.lp_iterations);
         out.horizon = Some(lp.horizon);
-        out.aux = vec![
+        out.aux.extend([
             ("best_lambda", d.best_lambda),
             ("best_cost", d.best_cost),
             ("heuristic_cost", d.heuristic_cost),
             ("expected_cost", d.expected_cost),
             ("candidates", d.candidates as f64),
-        ];
+        ]);
         Ok(out)
     }
 }
@@ -515,11 +531,11 @@ impl CoflowSolver for OnlineSolver {
         let run = online_heuristic_with(inst, routing, ctx.lp_options(), &opts)?;
         let mut out = SolveOutcome::from_schedule(inst, routing, run.schedule, ctx.tolerance())?;
         out.lp_iterations = Some(run.lp_iterations);
-        out.aux = vec![
+        out.aux.extend([
             ("resolves", run.resolves as f64),
             ("lp_iterations", run.lp_iterations as f64),
             ("rebuilds", run.rebuilds as f64),
-        ];
+        ]);
         Ok(out)
     }
 }
@@ -545,10 +561,10 @@ impl CoflowSolver for BatchOnlineSolver {
         let run = interval_batch_online_with(inst, routing, ctx.lp_options(), !self.cold)?;
         let mut out = SolveOutcome::from_schedule(inst, routing, run.schedule, ctx.tolerance())?;
         out.lp_iterations = Some(run.lp_iterations);
-        out.aux = vec![
+        out.aux.extend([
             ("batches", run.batches as f64),
             ("lp_iterations", run.lp_iterations as f64),
-        ];
+        ]);
         Ok(out)
     }
 }

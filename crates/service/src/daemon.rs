@@ -14,10 +14,12 @@
 //! asserts — no partial state survives because sessions hold
 //! everything in memory.
 
-use crate::engine::TenantEngine;
+use crate::engine::{validate_port_coflow, PortCoflow, ServiceOutcome, TenantEngine};
+use crate::fallback::ordering_outcome;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
-    done_line, epoch_line, parse_request, rate_lines, to_port_coflow, Hello, Request,
+    degrade_line, done_line, epoch_line, parse_request, rate_lines, to_port_coflow, DoneExtras,
+    Hello, Request, Tier,
 };
 use coflow_runtime::Runtime;
 use std::collections::BTreeMap;
@@ -35,8 +37,23 @@ struct Tenant {
     started: Instant,
     /// Creation order (for deterministic `DONE` ordering).
     order: usize,
-    /// A tenant that hit an engine error stops admitting.
+    /// A tenant that hit an engine error stops admitting (only without
+    /// `fallback=ordering` — with it the tenant degrades instead).
     failed: bool,
+    /// The tier the tenant currently runs on (starts at `hello.tier`,
+    /// may degrade from Lp to Ordering).
+    tier: Tier,
+    /// Every validated arrival, kept verbatim when the ordering tier is
+    /// (or may become) responsible for this tenant's schedule.
+    arrivals: Vec<PortCoflow>,
+}
+
+impl Tenant {
+    /// Whether this tenant's arrivals must be retained for the ordering
+    /// tier — it is on that tier already, or may degrade onto it.
+    fn keeps_arrivals(&self) -> bool {
+        self.tier == Tier::Ordering || self.hello.fallback
+    }
 }
 
 /// What a session did, for callers that embed the daemon loop.
@@ -90,6 +107,7 @@ pub fn session<R: BufRead, W: Write>(
                     Some(_) => {} // re-HELLO switches the current tenant
                     None => {
                         let config = hello.engine_config();
+                        let tier = hello.tier;
                         tenants.insert(
                             name.clone(),
                             Tenant {
@@ -100,6 +118,8 @@ pub fn session<R: BufRead, W: Write>(
                                 started: Instant::now(),
                                 order: summary.tenants,
                                 failed: false,
+                                tier,
+                                arrivals: Vec::new(),
                             },
                         );
                         summary.tenants += 1;
@@ -108,10 +128,11 @@ pub fn session<R: BufRead, W: Write>(
                 let t = &tenants[&name];
                 writeln!(
                     out,
-                    "OK tenant={name} ports={} policy={:?} shards={}",
+                    "OK tenant={name} ports={} policy={:?} shards={} tier={}",
                     t.hello.ports,
                     t.hello.policy,
-                    t.engine.shards()
+                    t.engine.shards(),
+                    t.tier.label(),
                 )?;
                 current = Some(name);
             }
@@ -128,24 +149,76 @@ pub fn session<R: BufRead, W: Write>(
                         summary.errors += 1;
                         writeln!(out, "ERR {msg}")?;
                     }
-                    Ok(pc) => match tenant.engine.admit(rt, pc) {
-                        Err(e) => {
+                    Ok(pc) => {
+                        // Both tiers reject the same malformed inputs,
+                        // and a malformed coflow is the caller's fault —
+                        // it must not poison the fallback arrival list.
+                        if let Err(e) = validate_port_coflow(tenant.hello.ports, &pc) {
                             summary.errors += 1;
-                            tenant.failed = true;
                             writeln!(out, "ERR {e}")?;
+                            continue;
                         }
-                        Ok(_) => {
-                            summary.admitted += 1;
-                            tenant.ids.push(c.id.clone());
-                            for report in tenant.engine.take_reports() {
-                                tenant.metrics.observe(&report);
-                                writeln!(out, "{}", epoch_line(&name, &report))?;
-                                for rl in rate_lines(&name, &tenant.ids, &report) {
-                                    writeln!(out, "{rl}")?;
-                                }
+                        if tenant.keeps_arrivals() {
+                            tenant.arrivals.push(pc.clone());
+                        }
+                        match tenant.tier {
+                            Tier::Ordering => {
+                                summary.admitted += 1;
+                                tenant.ids.push(c.id.clone());
                             }
+                            Tier::Lp => match tenant.engine.admit(rt, pc) {
+                                Err(e) if tenant.hello.fallback => {
+                                    // Degrade instead of quarantining:
+                                    // `arrivals` already holds every
+                                    // coflow (including this one), so
+                                    // the ordering tier takes over the
+                                    // whole stream at finish time.
+                                    tenant.tier = Tier::Ordering;
+                                    summary.admitted += 1;
+                                    tenant.ids.push(c.id.clone());
+                                    writeln!(
+                                        out,
+                                        "{}",
+                                        degrade_line(&name, &format!("engine-error: {e}"))
+                                    )?;
+                                }
+                                Err(e) => {
+                                    summary.errors += 1;
+                                    tenant.failed = true;
+                                    writeln!(out, "ERR {e}")?;
+                                }
+                                Ok(_) => {
+                                    summary.admitted += 1;
+                                    tenant.ids.push(c.id.clone());
+                                    for report in tenant.engine.take_reports() {
+                                        tenant.metrics.observe(&report);
+                                        writeln!(out, "{}", epoch_line(&name, &report))?;
+                                        for rl in rate_lines(&name, &tenant.ids, &report) {
+                                            writeln!(out, "{rl}")?;
+                                        }
+                                    }
+                                    let cap = tenant.hello.max_resolves;
+                                    if tenant.hello.fallback
+                                        && cap > 0
+                                        && tenant.engine.resolves() > cap
+                                    {
+                                        tenant.tier = Tier::Ordering;
+                                        writeln!(
+                                            out,
+                                            "{}",
+                                            degrade_line(
+                                                &name,
+                                                &format!(
+                                                    "max-resolves={cap} exceeded ({} re-solves)",
+                                                    tenant.engine.resolves()
+                                                )
+                                            )
+                                        )?;
+                                    }
+                                }
+                            },
                         }
-                    },
+                    }
                 }
             }
             Ok(Request::Bye) => {
@@ -187,22 +260,82 @@ fn finish_all<W: Write>(
         if tenant.failed {
             continue; // its ERR already went out
         }
-        // Epoch reports produced by the final windows still count.
-        match tenant.engine.finish(rt) {
-            Err(e) => {
-                summary.errors += 1;
-                writeln!(out, "ERR tenant {name}: {e}")?;
-            }
-            Ok(outcome) => {
-                for report in tenant.engine.take_reports() {
-                    tenant.metrics.observe(&report);
-                    writeln!(out, "{}", epoch_line(name, &report))?;
-                    for rl in rate_lines(name, &tenant.ids, &report) {
-                        writeln!(out, "{rl}")?;
+        match tenant.tier {
+            // Ordering-tier tenants (requested or degraded-onto) get
+            // their whole stream scheduled LP-free in one batch.
+            Tier::Ordering => match ordering_outcome(tenant.hello.ports, &tenant.arrivals) {
+                Err(e) => {
+                    summary.errors += 1;
+                    writeln!(out, "ERR tenant {name}: {e}")?;
+                }
+                Ok(fo) => {
+                    let outcome = ServiceOutcome {
+                        admitted: tenant.arrivals.len(),
+                        objective: fo.objective,
+                        completions: fo.completions.clone(),
+                        epochs: 0,
+                        lp_iterations: 0,
+                        cold_iterations: None,
+                        resolves: 0,
+                        rebuilds: 0,
+                        lp_stats: coflow_lp::SolveStats::default(),
+                        peak_utilization: fo.peak_utilization,
+                        epoch_objectives: Vec::new(),
+                        deadline_total: fo.deadline_total,
+                        deadline_missed: fo.deadline_missed,
+                    };
+                    let extras = DoneExtras {
+                        tier: Tier::Ordering,
+                        fallback_objective: None,
+                        deadline: (fo.deadline_total > 0)
+                            .then_some((fo.deadline_missed, fo.deadline_total)),
+                    };
+                    let wall = tenant.started.elapsed().as_secs_f64();
+                    writeln!(
+                        out,
+                        "{}",
+                        done_line(name, &outcome, &tenant.metrics, wall, &extras)
+                    )?;
+                }
+            },
+            Tier::Lp => {
+                // Epoch reports produced by the final windows still count.
+                match tenant.engine.finish(rt) {
+                    Err(e) => {
+                        summary.errors += 1;
+                        writeln!(out, "ERR tenant {name}: {e}")?;
+                    }
+                    Ok(outcome) => {
+                        for report in tenant.engine.take_reports() {
+                            tenant.metrics.observe(&report);
+                            writeln!(out, "{}", epoch_line(name, &report))?;
+                            for rl in rate_lines(name, &tenant.ids, &report) {
+                                writeln!(out, "{rl}")?;
+                            }
+                        }
+                        // With a fallback configured, compute what the
+                        // ordering tier would have cost and report both.
+                        let fallback_objective = if tenant.hello.fallback {
+                            ordering_outcome(tenant.hello.ports, &tenant.arrivals)
+                                .ok()
+                                .map(|fo| fo.objective)
+                        } else {
+                            None
+                        };
+                        let extras = DoneExtras {
+                            tier: Tier::Lp,
+                            fallback_objective,
+                            deadline: (outcome.deadline_total > 0)
+                                .then_some((outcome.deadline_missed, outcome.deadline_total)),
+                        };
+                        let wall = tenant.started.elapsed().as_secs_f64();
+                        writeln!(
+                            out,
+                            "{}",
+                            done_line(name, &outcome, &tenant.metrics, wall, &extras)
+                        )?;
                     }
                 }
-                let wall = tenant.started.elapsed().as_secs_f64();
-                writeln!(out, "{}", done_line(name, &outcome, &tenant.metrics, wall))?;
             }
         }
     }
@@ -303,6 +436,66 @@ mod tests {
         let a = out.find("DONE tenant=a").expect("tenant a done");
         let b = out.find("DONE tenant=b").expect("tenant b done");
         assert!(a < b);
+    }
+
+    #[test]
+    fn ordering_tier_schedules_without_the_lp_engine() {
+        let input = "HELLO t 4 base=0 tier=ordering deadline-slack=4\n\
+                     c1 0 1 0 1 2:125\n\
+                     c2 0 1 1 1 2:125\n\
+                     BYE\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.admitted, 2);
+        assert_eq!(summary.errors, 0);
+        assert!(out.contains("OK tenant=t ports=4"), "{out}");
+        assert!(out.contains(" tier=ordering"), "{out}");
+        // No LP epochs ran; the DONE line reports the greedy schedule.
+        assert!(!out.contains("EPOCH"), "{out}");
+        assert!(
+            out.contains("DONE tenant=t admitted=2") && out.contains("lp-iterations=0"),
+            "{out}"
+        );
+        assert!(out.contains("deadline-missed=0/2"), "{out}");
+    }
+
+    #[test]
+    fn max_resolves_degrades_to_the_ordering_tier() {
+        // Staggered arrivals force one LP re-solve per epoch; capping at
+        // one re-solve trips the overload knob deterministically.
+        let input = "HELLO t 4 base=0 fallback=ordering max-resolves=1\n\
+                     c1 0 1 0 1 2:125\n\
+                     c2 1000 1 1 1 3:125\n\
+                     c3 2000 1 0 1 3:125\n\
+                     BYE\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.admitted, 3);
+        assert_eq!(summary.errors, 0);
+        assert!(
+            out.contains("INFO tenant=t degraded=ordering reason=max-resolves=1"),
+            "{out}"
+        );
+        assert!(out.contains("DONE tenant=t admitted=3"), "{out}");
+        assert!(out.contains("tier=ordering"), "{out}");
+    }
+
+    #[test]
+    fn lp_tenant_with_fallback_reports_both_costs() {
+        let input = "HELLO t 4 base=0 fallback=ordering\n\
+                     c1 0 1 0 1 2:125\n\
+                     c2 0 1 1 1 3:125\n\
+                     BYE\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.errors, 0, "{out}");
+        let done = out
+            .lines()
+            .find(|l| l.starts_with("DONE tenant=t"))
+            .expect("DONE line");
+        assert!(done.contains(" tier=lp"), "{done}");
+        assert!(done.contains(" fallback-objective="), "{done}");
+        // Two independent unit coflows: both tiers finish them in slot 1,
+        // so the two reported costs agree exactly.
+        assert!(done.contains("objective=2.000000"), "{done}");
+        assert!(done.contains("fallback-objective=2.000000"), "{done}");
     }
 
     #[test]

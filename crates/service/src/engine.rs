@@ -122,8 +122,45 @@ pub struct PortCoflow {
     pub weight: f64,
     /// Release slot.
     pub release: u32,
+    /// Advisory completion deadline (slot by which the coflow should
+    /// finish). The LP tier ignores it while scheduling but reports
+    /// misses in [`ServiceOutcome`]; the ordering fallback tier's
+    /// accounting does the same (see `crate::fallback`).
+    pub deadline: Option<u32>,
     /// `(in_port, out_port, demand)` per flow.
     pub flows: Vec<(usize, usize, f64)>,
+}
+
+/// Validates a port coflow against a `num_ports`-port fabric: ports in
+/// range, finite positive demands, at least one flow. Shared by
+/// [`TenantEngine::admit`] and the daemon's LP-free ordering tier, so
+/// both tiers reject exactly the same malformed inputs.
+///
+/// # Errors
+///
+/// [`CoflowError::BadInstance`] with a human-readable message.
+pub fn validate_port_coflow(num_ports: usize, pc: &PortCoflow) -> Result<(), CoflowError> {
+    for &(m, r, d) in &pc.flows {
+        if m >= num_ports || r >= num_ports {
+            return Err(CoflowError::BadInstance(format!(
+                "coflow {}: port pair ({m},{r}) outside the {num_ports}-port fabric",
+                pc.id
+            )));
+        }
+        if !(d.is_finite() && d > 0.0) {
+            return Err(CoflowError::BadInstance(format!(
+                "coflow {}: demand {d} must be positive",
+                pc.id
+            )));
+        }
+    }
+    if pc.flows.is_empty() {
+        return Err(CoflowError::BadInstance(format!(
+            "coflow {} has no flows",
+            pc.id
+        )));
+    }
+    Ok(())
 }
 
 /// What one epoch (or doubling batch) did.
@@ -174,6 +211,10 @@ pub struct ServiceOutcome {
     /// Objective of each epoch's LP re-solve, in epoch order (summed
     /// over shards) — the series the determinism test compares.
     pub epoch_objectives: Vec<f64>,
+    /// Admitted coflows that carried a deadline.
+    pub deadline_total: usize,
+    /// Of those, how many completed after their deadline.
+    pub deadline_missed: usize,
 }
 
 /// One shard's persistent scheduling state: a gadgeted switch graph, an
@@ -605,6 +646,20 @@ impl TenantEngine {
         self.admitted.len()
     }
 
+    /// The admitted coflows themselves, in admission order. The
+    /// daemon's degrade path replays these through the LP-free ordering
+    /// tier when a tenant falls back.
+    pub fn admitted_coflows(&self) -> &[PortCoflow] {
+        &self.admitted
+    }
+
+    /// LP re-solves dispatched so far (across shards). The daemon's
+    /// `max-resolves` overload knob compares against this counter — a
+    /// deterministic proxy for "the LP tier is doing too much work".
+    pub fn resolves(&self) -> usize {
+        self.resolves
+    }
+
     /// Number of shards actually used.
     pub fn shards(&self) -> usize {
         self.partition.num_groups()
@@ -624,26 +679,7 @@ impl TenantEngine {
     /// range, non-positive demand/weight), and LP errors from any epoch
     /// the arrival triggers.
     pub fn admit(&mut self, rt: &Runtime, pc: PortCoflow) -> Result<usize, CoflowError> {
-        for &(m, r, d) in &pc.flows {
-            if m >= self.num_ports || r >= self.num_ports {
-                return Err(CoflowError::BadInstance(format!(
-                    "coflow {}: port pair ({m},{r}) outside the {}-port fabric",
-                    pc.id, self.num_ports
-                )));
-            }
-            if !(d.is_finite() && d > 0.0) {
-                return Err(CoflowError::BadInstance(format!(
-                    "coflow {}: demand {d} must be positive",
-                    pc.id
-                )));
-            }
-        }
-        if pc.flows.is_empty() {
-            return Err(CoflowError::BadInstance(format!(
-                "coflow {} has no flows",
-                pc.id
-            )));
-        }
+        validate_port_coflow(self.num_ports, &pc)?;
         // Time does not rewind: a release at or before the processed
         // frontier is admitted just after it.
         let release = match (self.config.policy, self.frontier) {
@@ -729,6 +765,8 @@ impl TenantEngine {
                     lp_stats: SolveStats::default(),
                     peak_utilization: 0.0,
                     epoch_objectives: Vec::new(),
+                    deadline_total: 0,
+                    deadline_missed: 0,
                 });
             }
         };
@@ -816,6 +854,20 @@ impl TenantEngine {
                 }
             }
         }
+        // Deadline accounting against the caller's original requests
+        // (the LP tier schedules deadline-blind; misses are reported,
+        // not prevented — admission control lives in the ordering tier).
+        let deadline_total = self
+            .admitted
+            .iter()
+            .filter(|pc| pc.deadline.is_some())
+            .count();
+        let deadline_missed = self
+            .admitted
+            .iter()
+            .zip(&report.completions.per_coflow)
+            .filter(|(pc, &c)| pc.deadline.is_some_and(|d| c > d))
+            .count();
         Ok(ServiceOutcome {
             admitted: self.admitted.len(),
             objective: report.completions.weighted_total,
@@ -828,6 +880,8 @@ impl TenantEngine {
             lp_stats,
             peak_utilization: report.peak_utilization,
             epoch_objectives,
+            deadline_total,
+            deadline_missed,
         })
     }
 

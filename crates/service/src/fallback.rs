@@ -1,0 +1,165 @@
+//! The LP-free ordering fallback tier.
+//!
+//! When a tenant asks for `tier=ordering` — or an LP tenant with
+//! `fallback=ordering` degrades (engine error, or the `max-resolves`
+//! overload knob trips) — the daemon stops running the warm LP engine
+//! for that tenant and instead schedules its coflows with Sincronia's
+//! bottleneck-select-scale-iterate ordering
+//! ([`coflow_baselines::ordering::sincronia_order`]) rate-filled by the
+//! order-preserving greedy allocator. The tier is deterministic, needs
+//! no solver state, and costs `O(n²·links)` instead of an LP per epoch,
+//! so an overloaded service keeps producing valid schedules instead of
+//! quarantining the tenant.
+//!
+//! Sincronia (not DCoflow) is the fallback policy on purpose: it
+//! minimizes the same weighted completion-time objective as the LP
+//! tier, which keeps the `fallback-objective=` field on `DONE` lines
+//! directly comparable to `objective=`. Deadlines, when present, are
+//! accounted (missed/total) but do not drive admission here — the
+//! deadline-*enforcing* DCoflow variants are exposed as batch solvers
+//! in the `coflow-baselines` registry.
+//!
+//! The schedule is built offline at `finish` time over every arrival
+//! the tenant sent: the ordering tier is a batch policy, so unlike the
+//! epoch engine it has no streaming state to keep warm — which is
+//! exactly why it is a safe landing spot for a degraded tenant.
+
+use crate::engine::PortCoflow;
+use crate::shard::shard_fabric;
+use coflow_baselines::ordering::sincronia_order;
+use coflow_core::greedy::greedy_schedule;
+use coflow_core::loads::link_loads;
+use coflow_core::model::{Coflow, CoflowInstance, Flow};
+use coflow_core::routing::Routing;
+use coflow_core::validate::{validate, Tolerance};
+use coflow_core::CoflowError;
+
+/// What the ordering tier produced for one tenant.
+#[derive(Clone, Debug)]
+pub struct FallbackOutcome {
+    /// `Σ w_j C_j` of the validated greedy schedule.
+    pub objective: f64,
+    /// Per-coflow completion slots, in arrival order.
+    pub completions: Vec<u32>,
+    /// Sincronia priority order (indices into the arrival list).
+    pub order: Vec<usize>,
+    /// Arrivals that carried a deadline.
+    pub deadline_total: usize,
+    /// Of those, how many the greedy schedule finished late.
+    pub deadline_missed: usize,
+    /// Peak edge utilization of the validated schedule.
+    pub peak_utilization: f64,
+}
+
+/// Schedules `coflows` on the full `num_ports` switch fabric with the
+/// Sincronia ordering + greedy rate filling, and validates the result
+/// with the ordinary referee. Returns a zeroed outcome for an empty
+/// arrival list.
+///
+/// # Errors
+///
+/// [`CoflowError::BadInstance`] if a coflow is malformed (callers
+/// pre-validate with [`crate::engine::validate_port_coflow`], so this
+/// indicates a daemon bug), and [`CoflowError::InvalidSchedule`] if the
+/// greedy schedule fails validation (an engine bug by construction).
+pub fn ordering_outcome(
+    num_ports: usize,
+    coflows: &[PortCoflow],
+) -> Result<FallbackOutcome, CoflowError> {
+    if coflows.is_empty() {
+        return Ok(FallbackOutcome {
+            objective: 0.0,
+            completions: Vec::new(),
+            order: Vec::new(),
+            deadline_total: 0,
+            deadline_missed: 0,
+            peak_utilization: 0.0,
+        });
+    }
+    // Same fabric construction as the engine coordinator's merge step,
+    // so completions are measured in identical units.
+    let full = shard_fabric(num_ports, &vec![1.0; num_ports]);
+    let n = num_ports;
+    let node_coflows: Vec<Coflow> = coflows
+        .iter()
+        .map(|pc| {
+            Coflow::weighted(
+                pc.weight,
+                pc.flows
+                    .iter()
+                    .map(|&(m, r, d)| {
+                        Flow::released(full.inner[m], full.inner[n + r], d, pc.release)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let inst = CoflowInstance::new(full.graph, node_coflows)?;
+    let weights: Vec<f64> = inst.coflows.iter().map(|c| c.weight).collect();
+    let order = sincronia_order(&link_loads(&inst), &weights);
+    let schedule = greedy_schedule(&inst, &Routing::FreePath, &order)?;
+    let report = validate(&inst, &Routing::FreePath, &schedule, Tolerance::default())?;
+
+    let deadline_total = coflows.iter().filter(|pc| pc.deadline.is_some()).count();
+    let deadline_missed = coflows
+        .iter()
+        .zip(&report.completions.per_coflow)
+        .filter(|(pc, &c)| pc.deadline.is_some_and(|d| c > d))
+        .count();
+    Ok(FallbackOutcome {
+        objective: report.completions.weighted_total,
+        completions: report.completions.per_coflow.clone(),
+        order,
+        deadline_total,
+        deadline_missed,
+        peak_utilization: report.peak_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(id: &str, release: u32, flows: Vec<(usize, usize, f64)>) -> PortCoflow {
+        PortCoflow {
+            id: id.to_string(),
+            weight: 1.0,
+            release,
+            deadline: None,
+            flows,
+        }
+    }
+
+    #[test]
+    fn empty_tenant_is_a_zero_outcome() {
+        let out = ordering_outcome(4, &[]).expect("empty outcome");
+        assert_eq!(out.objective, 0.0);
+        assert!(out.completions.is_empty() && out.order.is_empty());
+    }
+
+    #[test]
+    fn schedules_validate_and_count_deadline_misses() {
+        // Two coflows contending on output port 1: the short one should
+        // be prioritized by Sincronia (smaller bottleneck, equal weight).
+        let mut big = pc("big", 0, vec![(0, 1, 3.0)]);
+        let mut small = pc("small", 0, vec![(1, 1, 1.0)]);
+        big.deadline = Some(10);
+        small.deadline = Some(1);
+        let out = ordering_outcome(2, &[big, small]).expect("ordering outcome");
+        assert_eq!(out.completions.len(), 2);
+        assert!(out.peak_utilization <= 1.0 + 1e-6);
+        assert_eq!(out.deadline_total, 2);
+        // small finishes in slot 1 (it goes first), big by slot 4.
+        assert_eq!(out.completions, vec![4, 1]);
+        assert_eq!(out.deadline_missed, 0);
+        assert!((out.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_slots_are_respected() {
+        let late = pc("late", 2, vec![(0, 0, 1.0)]);
+        let out = ordering_outcome(2, &[late]).expect("ordering outcome");
+        // Released at slot 2 ⇒ earliest completion is slot 3.
+        assert_eq!(out.completions, vec![3]);
+    }
+}

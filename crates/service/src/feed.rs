@@ -9,6 +9,7 @@
 //! up, so the two directions run simultaneously.
 
 use crate::engine::EpochPolicy;
+use crate::protocol::Tier;
 use crate::shard::ShardSplit;
 use coflow_core::CoflowError;
 use coflow_workloads::trace::{Trace, TraceCoflow};
@@ -40,6 +41,16 @@ pub struct FeedOptions {
     pub mb_per_slot: f64,
     /// Extra demand multiplier.
     pub scale: f64,
+    /// Scheduling tier to request (`tier=lp|ordering`).
+    pub tier: Tier,
+    /// Ask the daemon to degrade to the ordering tier on engine
+    /// failure or overload instead of quarantining (`fallback=ordering`).
+    pub fallback: bool,
+    /// Overload threshold forwarded as `max-resolves=N` (`0` = omit).
+    pub max_resolves: usize,
+    /// Deadline slack factor forwarded as `deadline-slack=F`
+    /// (`0` = omit, no deadlines).
+    pub deadline_slack: f64,
 }
 
 impl Default for FeedOptions {
@@ -56,6 +67,10 @@ impl Default for FeedOptions {
             ms_per_slot: 1000.0,
             mb_per_slot: 125.0,
             scale: 1.0,
+            tier: Tier::Lp,
+            fallback: false,
+            max_resolves: 0,
+            deadline_slack: 0.0,
         }
     }
 }
@@ -91,6 +106,18 @@ pub fn hello_line(num_ports: usize, base: usize, opts: &FeedOptions) -> String {
         " ms-per-slot={} mb-per-slot={} scale={}",
         opts.ms_per_slot, opts.mb_per_slot, opts.scale
     ));
+    if opts.tier == Tier::Ordering {
+        line.push_str(" tier=ordering");
+    }
+    if opts.fallback {
+        line.push_str(" fallback=ordering");
+    }
+    if opts.max_resolves > 0 {
+        line.push_str(&format!(" max-resolves={}", opts.max_resolves));
+    }
+    if opts.deadline_slack > 0.0 {
+        line.push_str(&format!(" deadline-slack={}", opts.deadline_slack));
+    }
     if opts.cold {
         line.push_str(" cold");
     }

@@ -19,6 +19,8 @@
 //!   shared-id shard fabric construction;
 //! * [`metrics`] — epoch latency percentiles and warm/cold counters;
 //! * [`protocol`] — the line protocol spoken on stdin and TCP;
+//! * [`fallback`] — the LP-free Sincronia ordering tier an overloaded
+//!   or failing tenant degrades onto (instead of being quarantined);
 //! * [`daemon`] — the serve loop (session handling, tenant map);
 //! * [`feed`] — the client that replays a trace file against a daemon.
 //!
@@ -29,6 +31,7 @@
 
 pub mod daemon;
 pub mod engine;
+pub mod fallback;
 pub mod feed;
 pub mod metrics;
 pub mod protocol;

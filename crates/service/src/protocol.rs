@@ -5,10 +5,18 @@
 //! ```text
 //! HELLO <tenant> <ports> [base=0|1] [policy=event|doubling] [shards=G]
 //!       [split=equal|prop] [ms-per-slot=F] [mb-per-slot=F] [scale=F]
-//!       [cold] [shadow-cold] [plans]
+//!       [tier=lp|ordering] [fallback=ordering|none] [max-resolves=N]
+//!       [deadline-slack=F] [cold] [shadow-cold] [plans]
 //! <id> <arrival_ms> <m> <mappers…> <r> <port:MB…>   # FB2010 coflow line
 //! BYE
 //! ```
+//!
+//! `tier=ordering` schedules the tenant entirely on the LP-free
+//! Sincronia tier ([`crate::fallback`]); `fallback=ordering` keeps the
+//! LP tier but degrades to it (instead of quarantining) when the engine
+//! errors or exceeds `max-resolves` LP re-solves. `deadline-slack=F`
+//! synthesizes a per-coflow deadline `release + max(1, ⌈F·Γ⌉)` from the
+//! coflow's own bottleneck load `Γ`; misses are reported on `DONE`.
 //!
 //! A bare `<ports> <coflows>` header (the first line of an FB2010
 //! trace file) is accepted as an implicit `HELLO` for a default tenant
@@ -18,8 +26,9 @@
 //! line each.
 //!
 //! Responses: `OK …` acknowledgements, `EPOCH …` per re-solve,
-//! optional `RATE …` transfer lines (with `plans`), `DONE …` per
-//! tenant, `ERR <msg>` on any rejected line (the session continues).
+//! optional `RATE …` transfer lines (with `plans`), `INFO …` when a
+//! tenant degrades tiers, `DONE …` per tenant, `ERR <msg>` on any
+//! rejected line (the session continues).
 
 use crate::engine::{EngineConfig, EpochPolicy, EpochReport, PortCoflow};
 use crate::metrics::ServiceMetrics;
@@ -28,6 +37,26 @@ use coflow_workloads::trace::{parse_coflow_line, ReplayOptions, TraceCoflow};
 
 /// The tenant name used by the implicit-HELLO stdin path.
 pub const DEFAULT_TENANT: &str = "default";
+
+/// Which scheduling tier a tenant runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Tier {
+    /// The warm time-indexed LP epoch engine (the default).
+    #[default]
+    Lp,
+    /// The LP-free Sincronia ordering tier ([`crate::fallback`]).
+    Ordering,
+}
+
+impl Tier {
+    /// The protocol token for this tier (`lp` / `ordering`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Lp => "lp",
+            Tier::Ordering => "ordering",
+        }
+    }
+}
 
 /// A parsed `HELLO` line: tenant name, fabric size, and engine knobs.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,6 +81,18 @@ pub struct Hello {
     pub plans: bool,
     /// Trace replay scaling (`ms-per-slot`, `mb-per-slot`, `scale`).
     pub replay: ReplayOptions,
+    /// Scheduling tier the tenant starts on (`tier=lp|ordering`).
+    pub tier: Tier,
+    /// Degrade an LP tenant to the ordering tier on engine failure or
+    /// overload instead of quarantining it (`fallback=ordering`).
+    pub fallback: bool,
+    /// Overload threshold: degrade once the engine has dispatched more
+    /// than this many LP re-solves (`max-resolves=N`; `0` = unlimited).
+    /// Only meaningful with `fallback=ordering`.
+    pub max_resolves: usize,
+    /// Synthesize per-coflow deadlines with this slack factor
+    /// (`deadline-slack=F`; `None` = no deadlines).
+    pub deadline_slack: Option<f64>,
 }
 
 impl Hello {
@@ -68,6 +109,10 @@ impl Hello {
             shadow_cold: false,
             plans: false,
             replay: ReplayOptions::default(),
+            tier: Tier::Lp,
+            fallback: false,
+            max_resolves: 0,
+            deadline_slack: None,
         }
     }
 
@@ -202,6 +247,29 @@ fn parse_hello<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Hello, S
                 "scale" => {
                     hello.replay.demand_scale = parse_positive(value, "scale")?;
                 }
+                "tier" => {
+                    hello.tier = match value {
+                        "lp" => Tier::Lp,
+                        "ordering" => Tier::Ordering,
+                        _ => return Err(format!("tier must be lp|ordering, got {value:?}")),
+                    };
+                }
+                "fallback" => {
+                    hello.fallback = match value {
+                        "ordering" => true,
+                        "none" => false,
+                        _ => return Err(format!("fallback must be ordering|none, got {value:?}")),
+                    };
+                }
+                "max-resolves" => {
+                    hello.max_resolves =
+                        value.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!("max-resolves must be a positive integer, got {value:?}")
+                        })?;
+                }
+                "deadline-slack" => {
+                    hello.deadline_slack = Some(parse_positive(value, "deadline-slack")?);
+                }
                 other => return Err(format!("unknown HELLO option {other:?}")),
             },
         }
@@ -244,12 +312,57 @@ pub fn to_port_coflow(c: &TraceCoflow, hello: &Hello) -> Result<PortCoflow, Stri
             ));
         }
     }
+    let release = c.release_slot(&hello.replay);
+    let flows = c.port_flows(hello.base, &hello.replay);
+    let deadline = hello.deadline_slack.map(|slack| {
+        // Γ = the coflow's own bottleneck port load in slots: the max
+        // over ports of its summed (already slot-normalized) demand —
+        // the switch-fabric specialization of
+        // `coflow_core::loads::coflow_bottleneck_bounds`.
+        let mut per_in = vec![0.0f64; hello.ports];
+        let mut per_out = vec![0.0f64; hello.ports];
+        for &(m, r, d) in &flows {
+            per_in[m] += d;
+            per_out[r] += d;
+        }
+        let gamma = per_in
+            .iter()
+            .chain(&per_out)
+            .fold(0.0f64, |acc, &v| acc.max(v));
+        let need = (slack * gamma).ceil().max(1.0);
+        let need = if need >= u32::MAX as f64 {
+            u32::MAX - release
+        } else {
+            need as u32
+        };
+        release.saturating_add(need).max(1)
+    });
     Ok(PortCoflow {
         id: c.id.clone(),
         weight: 1.0,
-        release: c.release_slot(&hello.replay),
-        flows: c.port_flows(hello.base, &hello.replay),
+        release,
+        deadline,
+        flows,
     })
+}
+
+/// Formats the `INFO` line announcing a tenant's degrade to the
+/// ordering tier.
+pub fn degrade_line(tenant: &str, reason: &str) -> String {
+    format!("INFO tenant={tenant} degraded=ordering reason={reason}")
+}
+
+/// Tier and deadline context for one tenant's `DONE` line, beyond what
+/// [`crate::engine::ServiceOutcome`] carries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DoneExtras {
+    /// The tier the tenant finished on.
+    pub tier: Tier,
+    /// Objective of the side-computed ordering fallback schedule (LP
+    /// tenants with `fallback=ordering` report both costs).
+    pub fallback_objective: Option<f64>,
+    /// `(missed, total)` deadline accounting, when deadlines were set.
+    pub deadline: Option<(usize, usize)>,
 }
 
 /// Formats one `EPOCH` response line.
@@ -285,6 +398,7 @@ pub fn done_line(
     outcome: &crate::engine::ServiceOutcome,
     metrics: &ServiceMetrics,
     wall_secs: f64,
+    extras: &DoneExtras,
 ) -> String {
     let rate = if wall_secs > 0.0 {
         outcome.admitted as f64 / wall_secs
@@ -303,6 +417,13 @@ pub fn done_line(
     );
     if let Some(c) = outcome.cold_iterations {
         line.push_str(&format!(" cold-iterations={c}"));
+    }
+    line.push_str(&format!(" tier={}", extras.tier.label()));
+    if let Some(f) = extras.fallback_objective {
+        line.push_str(&format!(" fallback-objective={f:.6}"));
+    }
+    if let Some((missed, total)) = extras.deadline {
+        line.push_str(&format!(" deadline-missed={missed}/{total}"));
     }
     line
 }
@@ -384,5 +505,47 @@ mod tests {
         assert!(parse_request("HELLO t 4 warp", None).is_err());
         assert!(parse_request("HELLO t 0", None).is_err());
         assert!(parse_request("HELLO t 4 base=2", None).is_err());
+        assert!(parse_request("HELLO t 4 tier=fast", None).is_err());
+        assert!(parse_request("HELLO t 4 fallback=lp", None).is_err());
+        assert!(parse_request("HELLO t 4 max-resolves=0", None).is_err());
+        assert!(parse_request("HELLO t 4 deadline-slack=-1", None).is_err());
+    }
+
+    #[test]
+    fn tier_and_fallback_knobs_parse() {
+        let r = parse_request(
+            "HELLO t 4 tier=ordering fallback=ordering max-resolves=3 deadline-slack=2.5",
+            None,
+        )
+        .unwrap();
+        let Request::Hello(h) = r else {
+            panic!("expected hello")
+        };
+        assert_eq!(h.tier, Tier::Ordering);
+        assert!(h.fallback);
+        assert_eq!(h.max_resolves, 3);
+        assert_eq!(h.deadline_slack, Some(2.5));
+        // Defaults: LP tier, no fallback, no deadlines.
+        let d = Hello::implicit(4);
+        assert_eq!(d.tier, Tier::Lp);
+        assert!(!d.fallback && d.max_resolves == 0 && d.deadline_slack.is_none());
+    }
+
+    #[test]
+    fn deadline_slack_synthesizes_bottleneck_deadlines() {
+        // 2 mappers × 1 reducer, 250 MB at the reducer: with the default
+        // 125 MB/slot ports the reducer ingress is the bottleneck at
+        // 2 slots; each mapper egress carries 1 slot.
+        let c = parse_coflow_line("1 0 2 1 2 1 3:250", 1, 4).unwrap();
+        let hello = Hello {
+            deadline_slack: Some(2.0),
+            ..Hello::implicit(4)
+        };
+        let pc = to_port_coflow(&c, &hello).unwrap();
+        // Γ = 2 slots at output port 3 ⇒ deadline = 0 + ⌈2.0·2⌉ = 4.
+        assert_eq!(pc.deadline, Some(4));
+        // Without the knob no deadline is attached.
+        let bare = to_port_coflow(&c, &Hello::implicit(4)).unwrap();
+        assert_eq!(bare.deadline, None);
     }
 }

@@ -31,6 +31,7 @@ fn port_coflows(trace: &Trace, opts: &ReplayOptions, zero_release: bool) -> Vec<
             } else {
                 c.release_slot(opts)
             },
+            deadline: None,
             flows: c.port_flows(base, opts),
         })
         .collect()

@@ -1,0 +1,156 @@
+//! The LP-free ordering tier end to end: the same request stream must
+//! produce identical deterministic output whether it arrives on stdin
+//! or over TCP, and the fb2010 deadline-miss accounting must be
+//! bit-stable across runs and worker counts (the ordering tier has no
+//! LP, no RNG, and no wall-clock dependence, so any divergence is a
+//! determinism bug).
+
+use coflow_runtime::Runtime;
+use coflow_service::daemon::session;
+use coflow_service::feed::coflow_line;
+use coflow_workloads::trace::{Trace, FB2010_SAMPLE};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Runs one in-memory (stdin-style) session.
+fn run_stdin(rt: &Runtime, input: &str) -> String {
+    let mut out = Vec::new();
+    session(rt, input.as_bytes(), &mut out).expect("in-memory session");
+    String::from_utf8(out).expect("utf8 responses")
+}
+
+/// Runs the same session behind a real TCP socket: a server thread
+/// accepts one connection and speaks the protocol over it.
+fn run_tcp(rt: &Runtime, input: &str) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let reader = BufReader::new(&stream);
+            let mut writer = &stream;
+            session(rt, reader, &mut writer).expect("tcp session");
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(input.as_bytes()).expect("send requests");
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = String::new();
+        client.read_to_string(&mut response).expect("drain");
+        server.join().expect("server thread");
+        response
+    })
+}
+
+/// Strips the wall-clock-dependent fields (epoch timings, latency
+/// percentiles, throughput) so everything else can be compared verbatim
+/// across transports and runs.
+fn deterministic_lines(output: &str) -> Vec<String> {
+    const TIMING: [&str; 4] = ["coflows-per-sec=", "wall-ms=", "p50-ms=", "p99-ms="];
+    output
+        .lines()
+        .map(|line| {
+            line.split_whitespace()
+                .filter(|tok| !TIMING.iter().any(|p| tok.starts_with(p)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// The bundled fb2010 trace as an ordering-tier request stream.
+fn fb2010_ordering_input(deadline_slack: &str) -> String {
+    let trace = Trace::parse(FB2010_SAMPLE).expect("bundled trace parses");
+    let mut input = format!(
+        "HELLO fb {} base=1 tier=ordering deadline-slack={deadline_slack}\n",
+        trace.num_ports
+    );
+    for c in &trace.coflows {
+        input.push_str(&coflow_line(c));
+        input.push('\n');
+    }
+    input.push_str("BYE\n");
+    input
+}
+
+#[test]
+fn ordering_tier_is_identical_across_stdin_and_tcp() {
+    let input = "HELLO t 4 base=0 tier=ordering deadline-slack=2\n\
+                 c1 0 2 0 1 1 2:250\n\
+                 c2 500 1 1 1 3:125\n\
+                 c3 1500 1 0 1 2:125\n\
+                 BYE\n";
+    let rt = Runtime::with_workers(2);
+    let via_stdin = run_stdin(&rt, input);
+    let via_tcp = run_tcp(&rt, input);
+    assert_eq!(
+        deterministic_lines(&via_stdin),
+        deterministic_lines(&via_tcp),
+        "ordering tier diverged across transports:\nstdin:\n{via_stdin}\ntcp:\n{via_tcp}"
+    );
+    assert!(via_stdin.contains("tier=ordering"), "{via_stdin}");
+    assert!(via_stdin.contains("deadline-missed="), "{via_stdin}");
+}
+
+#[test]
+fn lp_fallback_costs_are_identical_across_stdin_and_tcp() {
+    // An LP tenant with the fallback configured reports both the warm
+    // LP objective and the side-computed ordering cost; both must be
+    // transport independent.
+    let input = "HELLO t 4 base=0 fallback=ordering\n\
+                 c1 0 1 0 1 2:125\n\
+                 c2 1000 1 1 1 3:250\n\
+                 BYE\n";
+    let rt = Runtime::with_workers(2);
+    let via_stdin = run_stdin(&rt, input);
+    let via_tcp = run_tcp(&rt, input);
+    assert_eq!(
+        deterministic_lines(&via_stdin),
+        deterministic_lines(&via_tcp),
+        "fallback accounting diverged:\nstdin:\n{via_stdin}\ntcp:\n{via_tcp}"
+    );
+    let done = via_stdin
+        .lines()
+        .find(|l| l.starts_with("DONE"))
+        .expect("DONE line");
+    assert!(done.contains(" tier=lp"), "{done}");
+    assert!(done.contains(" fallback-objective="), "{done}");
+}
+
+#[test]
+fn fb2010_deadline_miss_rate_is_golden() {
+    // Golden accounting for the bundled fixture at slack 1.0 (each
+    // deadline is exactly the coflow's own isolation bottleneck): the
+    // ordering tier's DONE line must carry exactly this miss ratio on
+    // every run and any worker count. Contention pushes two of the
+    // twenty coflows past their solo bound, which makes the number
+    // informative rather than trivially 0/20 or 20/20 — at slack 1.5
+    // the same schedule meets every deadline.
+    let input = fb2010_ordering_input("1.0");
+    let mut done_lines = Vec::new();
+    for workers in [1, 4] {
+        let rt = Runtime::with_workers(workers);
+        for _run in 0..2 {
+            let out = run_stdin(&rt, &input);
+            let done = out
+                .lines()
+                .find(|l| l.starts_with("DONE tenant=fb"))
+                .unwrap_or_else(|| panic!("no DONE line in:\n{out}"))
+                .to_string();
+            done_lines.push(done);
+        }
+    }
+    let missed = done_lines[0]
+        .split_whitespace()
+        .find(|tok| tok.starts_with("deadline-missed="))
+        .expect("deadline accounting on DONE");
+    assert_eq!(missed, "deadline-missed=2/20", "{}", done_lines[0]);
+    for line in &done_lines[1..] {
+        assert_eq!(
+            deterministic_lines(&done_lines[0]),
+            deterministic_lines(line),
+            "fb2010 DONE line drifted across runs/workers"
+        );
+    }
+}

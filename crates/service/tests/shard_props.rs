@@ -56,6 +56,7 @@ fn run(ports: usize, coflows: &[GenCoflow], shards: usize) -> (f64, f64) {
                     id: format!("c{k}"),
                     weight: 1.0,
                     release: *release,
+                    deadline: None,
                     flows: flows.clone(),
                 },
             )

@@ -184,6 +184,12 @@ pub struct ScenarioConfig {
     pub demand_scale: f64,
     /// Release offset between dependent shuffle stages, in slots.
     pub stage_gap_slots: u32,
+    /// Deadline synthesis: when set, every coflow gets
+    /// `deadline = release + max(1, ⌈slack · Γ⌉)` where `Γ` is its
+    /// bottleneck lower bound (see
+    /// [`coflow_core::loads::apply_deadline_slack`]). `None` (the
+    /// default) leaves coflows deadline-free.
+    pub deadline_slack: Option<f64>,
 }
 
 impl Default for ScenarioConfig {
@@ -198,6 +204,7 @@ impl Default for ScenarioConfig {
             flow_gb: 300.0,
             demand_scale: 1.0,
             stage_gap_slots: 2,
+            deadline_slack: None,
         }
     }
 }
@@ -294,7 +301,11 @@ pub fn build_scenario_instance(
             &mut coflows,
         );
     }
-    CoflowInstance::new(scaled.graph, coflows)
+    let mut inst = CoflowInstance::new(scaled.graph, coflows)?;
+    if let Some(slack) = cfg.deadline_slack {
+        coflow_core::loads::apply_deadline_slack(&mut inst, slack);
+    }
+    Ok(inst)
 }
 
 /// Emits one job's coflow(s) into `out`.

@@ -196,6 +196,12 @@ pub struct ReplayOptions {
     pub limit: usize,
     /// Weight assignment.
     pub weights: WeightRule,
+    /// Deadline synthesis: when set, every replayed coflow gets
+    /// `deadline = release + max(1, ⌈slack · Γ⌉)` with `Γ` its
+    /// bottleneck port-load bound (see
+    /// [`coflow_core::loads::apply_deadline_slack`]). Deterministic —
+    /// a pure function of the trace and the options.
+    pub deadline_slack: Option<f64>,
 }
 
 impl Default for ReplayOptions {
@@ -206,6 +212,7 @@ impl Default for ReplayOptions {
             demand_scale: 1.0,
             limit: 0,
             weights: WeightRule::Unit,
+            deadline_slack: None,
         }
     }
 }
@@ -234,6 +241,13 @@ impl ReplayOptions {
                 "demand_scale must be positive, got {}",
                 self.demand_scale
             )));
+        }
+        if let Some(slack) = self.deadline_slack {
+            if !(slack.is_finite() && slack > 0.0) {
+                return Err(CoflowError::BadInstance(format!(
+                    "deadline_slack must be positive, got {slack}"
+                )));
+            }
         }
         Ok(())
     }
@@ -502,7 +516,11 @@ impl Trace {
         let ins: Vec<NodeId> = fabric.sources.iter().map(|v| gg.inner[v.index()]).collect();
         let outs: Vec<NodeId> = fabric.sinks.iter().map(|v| gg.inner[v.index()]).collect();
         let coflows = self.expand(opts, |m, r| (ins[m], outs[r]))?;
-        CoflowInstance::new(gg.graph, coflows)
+        let mut inst = CoflowInstance::new(gg.graph, coflows)?;
+        if let Some(slack) = opts.deadline_slack {
+            coflow_core::loads::apply_deadline_slack(&mut inst, slack);
+        }
+        Ok(inst)
     }
 
     /// Replays the trace on an arbitrary topology: mapper ports map
@@ -547,7 +565,11 @@ impl Trace {
             }
             (src, topo.sinks[k])
         })?;
-        CoflowInstance::new(topo.graph.clone(), coflows)
+        let mut inst = CoflowInstance::new(topo.graph.clone(), coflows)?;
+        if let Some(slack) = opts.deadline_slack {
+            coflow_core::loads::apply_deadline_slack(&mut inst, slack);
+        }
+        Ok(inst)
     }
 }
 

@@ -1,0 +1,155 @@
+//! Property tests pinning the LP-free ordering family (Sincronia + the
+//! DCoflow variants) end to end:
+//!
+//! 1. `sincronia_order` always returns a valid permutation, even on
+//!    degenerate (all-zero, tied) load matrices;
+//! 2. the registry's ordering entries produce schedules that validate
+//!    and stay within 4× of the time-indexed LP lower bound on random
+//!    switch workloads (Sincronia's approximation guarantee, checked
+//!    here as a regression envelope on fixed seeds);
+//! 3. the deadline-aware DCoflow schedules never finish an *admitted*
+//!    coflow past its deadline — admission control is a guarantee, not
+//!    a heuristic (the demote-and-refill fixed point in
+//!    `dcoflow_schedule` is what makes this provable).
+
+use coflow_suite::baselines::ordering::{dcoflow_schedule, sincronia_order, DcoflowVariant};
+use coflow_suite::baselines::registry;
+use coflow_suite::core::loads::apply_deadline_slack;
+use coflow_suite::core::model::{Coflow, CoflowInstance, Flow};
+use coflow_suite::core::routing::Routing;
+use coflow_suite::core::solve::SolveContext;
+use coflow_suite::core::validate::{validate, Tolerance};
+use coflow_suite::netgraph::gadget::{with_io_gadget, IoLimit};
+use coflow_suite::netgraph::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random `ports × ports` big-switch instance (bipartite switch +
+/// unit I/O gadget) with `n` coflows of 1–3 flows each and integer
+/// demands 1–3 — loads large enough that slotting effects stay small
+/// relative to the LP bound.
+fn random_switch_instance(ports: usize, n: usize, rng: &mut StdRng) -> CoflowInstance {
+    let topo = topology::bipartite_switch(ports, 1.0);
+    let limits = vec![IoLimit::symmetric(1.0); topo.graph.node_count()];
+    let gg = with_io_gadget(&topo.graph, &limits);
+    let ins: Vec<_> = topo.sources.iter().map(|&v| gg.inner[v.index()]).collect();
+    let outs: Vec<_> = topo.sinks.iter().map(|&v| gg.inner[v.index()]).collect();
+    let coflows: Vec<Coflow> = (0..n)
+        .map(|_| {
+            let flows: Vec<Flow> = (0..rng.gen_range(1..=3))
+                .map(|_| {
+                    Flow::new(
+                        ins[rng.gen_range(0..ports)],
+                        outs[rng.gen_range(0..ports)],
+                        rng.gen_range(1..=3) as f64,
+                    )
+                })
+                .collect();
+            Coflow::weighted(rng.gen_range(1..=4) as f64, flows)
+        })
+        .collect();
+    CoflowInstance::new(gg.graph, coflows).expect("random switch instance validates")
+}
+
+#[test]
+fn sincronia_order_is_always_a_valid_permutation() {
+    let mut rng = StdRng::seed_from_u64(20260808);
+    for round in 0..100 {
+        let n = rng.gen_range(1..=8);
+        let links = rng.gen_range(1..=6);
+        let loads: Vec<Vec<f64>> = (0..links)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(0.4) {
+                            0.0
+                        } else {
+                            rng.gen_range(1..=5) as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=4) as f64).collect();
+        let order = sincronia_order(&loads, &weights);
+        let mut seen = vec![false; n];
+        assert_eq!(order.len(), n, "round {round}: wrong length");
+        for &j in &order {
+            assert!(!seen[j], "round {round}: {j} placed twice in {order:?}");
+            seen[j] = true;
+        }
+    }
+}
+
+#[test]
+fn ordering_entries_validate_and_stay_within_4x_of_the_lp_bound() {
+    const FAMILY: [&str; 3] = ["sincronia", "dcoflow-min-link", "dcoflow-min-sum-neg"];
+    let params = registry::AlgoParams::default();
+    for seed in [11, 12, 13] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_switch_instance(4, 6, &mut rng);
+        let mut ctx = SolveContext::new();
+        let bound = ctx
+            .time_indexed(&inst, &Routing::FreePath)
+            .expect("LP solves")
+            .objective;
+        for entry in registry::all().iter().filter(|e| FAMILY.contains(&e.name)) {
+            assert!(
+                entry.caps.lp_free && !entry.caps.lp_based,
+                "{}: the ordering family is the LP-free tier",
+                entry.name
+            );
+            let out = entry
+                .build(&params)
+                .solve(&inst, &Routing::FreePath, &mut ctx)
+                .unwrap_or_else(|e| panic!("seed {seed}, {}: {e}", entry.name));
+            let rep = validate(
+                &inst,
+                &Routing::FreePath,
+                &out.schedule,
+                Tolerance::default(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}, {}: invalid schedule: {e}", entry.name));
+            assert_eq!(rep.completions.weighted_total, out.cost, "{}", entry.name);
+            assert!(
+                out.cost <= 4.0 * bound + 1e-6,
+                "seed {seed}, {}: cost {} exceeds 4× the LP bound {bound}",
+                entry.name,
+                out.cost
+            );
+            // LP-free entries report no LP lower bound.
+            assert!(out.lower_bound.is_none(), "{}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn admitted_coflows_never_finish_past_their_deadline() {
+    for seed in [21, 22, 23, 24] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inst = random_switch_instance(4, 6, &mut rng);
+        // Tight deadlines (each coflow's own isolation bottleneck):
+        // contention guarantees the admission control has real work.
+        apply_deadline_slack(&mut inst, 1.0);
+        for variant in [DcoflowVariant::MinLink, DcoflowVariant::MinSumNegative] {
+            let (schedule, admitted) = dcoflow_schedule(&inst, &Routing::FreePath, variant)
+                .expect("dcoflow schedules the instance");
+            let completions = schedule
+                .completions(&inst)
+                .expect("dcoflow schedule completes all work");
+            for (j, (&ok, &c)) in admitted.iter().zip(&completions.per_coflow).enumerate() {
+                let d = inst.coflows[j].deadline.expect("slack set every deadline");
+                if ok {
+                    assert!(
+                        c <= d,
+                        "seed {seed}, {variant:?}: admitted coflow {j} finished at {c} > deadline {d}"
+                    );
+                }
+            }
+            // The full schedule (admitted + rejected tail) still
+            // validates: rejection is a priority decision, not a drop.
+            validate(&inst, &Routing::FreePath, &schedule, Tolerance::default())
+                .expect("rejected-tail schedule validates");
+        }
+    }
+}

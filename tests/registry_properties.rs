@@ -116,6 +116,45 @@ fn every_registered_solver_validates_and_respects_the_lp_bound() {
 }
 
 #[test]
+fn lp_free_is_the_complement_of_lp_based() {
+    // The two flags answer the same question from opposite sides —
+    // "does this entry run an LP?" — so exactly one must be set. The
+    // service's fallback tier filters on `lp_free`; an entry lying here
+    // would let an overloaded daemon degrade onto an LP.
+    for entry in registry::all() {
+        assert!(
+            entry.caps.lp_free != entry.caps.lp_based,
+            "{}: lp_free ({}) must be the complement of lp_based ({})",
+            entry.name,
+            entry.caps.lp_free,
+            entry.caps.lp_based
+        );
+    }
+}
+
+#[test]
+fn deadline_awareness_is_declared_by_the_dcoflow_family() {
+    // Deadline-aware entries exist (the DCoflow variants), are LP-free,
+    // and advertise themselves; every other entry schedules
+    // deadline-blind and must say so.
+    let aware: Vec<&str> = registry::all()
+        .iter()
+        .filter(|e| e.caps.deadline_aware)
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(aware, ["dcoflow-min-link", "dcoflow-min-sum-neg"]);
+    for entry in registry::all() {
+        if entry.caps.deadline_aware {
+            assert!(
+                entry.caps.lp_free,
+                "{}: deadline admission control lives in the LP-free tier",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
 fn capability_flags_are_honest_about_routing() {
     // Algorithms declaring a routing restriction must reject the other
     // model instead of silently mis-scheduling.
