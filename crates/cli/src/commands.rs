@@ -213,8 +213,8 @@ pub fn solve(args: &Args) -> Result<(), String> {
 }
 
 /// The solver knobs `solve` and `trace replay` share:
-/// `--seed/--samples/--lambda/--k/--epsilon/--alpha/--cold/--lp-engine`,
-/// validated
+/// `--seed/--samples/--lambda/--k/--epsilon/--alpha/--cold/--lp-engine/`
+/// `--pricing/--basis-update`, validated
 /// and assembled into [`AlgoParams`] exactly once so the two commands
 /// cannot drift (`--epsilon` maps onto both the interval-LP ε and
 /// Jahanjou's ε, as `solve` has always done; `--cold` disables the
@@ -240,6 +240,23 @@ fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
         "dense" => LpEngine::Dense,
         other => return Err(format!("unknown LP engine {other:?} (sparse|dense)")),
     };
+    let pricing_flag: String = args.get("pricing", "devex".into())?;
+    let pricing = match pricing_flag.as_str() {
+        "devex" => coflow_lp::Pricing::Devex,
+        "dantzig" => coflow_lp::Pricing::Dantzig,
+        "steepest-edge" => coflow_lp::Pricing::SteepestEdge,
+        other => {
+            return Err(format!(
+                "unknown pricing rule {other:?} (devex|dantzig|steepest-edge)"
+            ))
+        }
+    };
+    let basis_flag: String = args.get("basis-update", "ft".into())?;
+    let basis_update = match basis_flag.as_str() {
+        "ft" | "forrest-tomlin" => coflow_lp::BasisUpdate::ForrestTomlin,
+        "eta" => coflow_lp::BasisUpdate::Eta,
+        other => return Err(format!("unknown basis update {other:?} (ft|eta)")),
+    };
     if !(alpha > 0.0 && alpha <= 1.0) {
         return Err(format!("--alpha must lie in (0, 1], got {alpha}"));
     }
@@ -261,6 +278,8 @@ fn solver_knobs(args: &Args) -> Result<SolverKnobs, String> {
             },
             alpha,
             engine,
+            pricing,
+            basis_update,
             ..dflt
         },
     })
@@ -287,6 +306,8 @@ fn dispatch(
     }
     let mut ctx = SolveContext::new().with_lp_options(SolverOptions {
         engine: params.engine,
+        pricing: params.pricing,
+        basis_update: params.basis_update,
         ..Default::default()
     });
     let out = entry

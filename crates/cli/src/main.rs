@@ -47,6 +47,10 @@ commands:
              --alpha A (0.5, jahanjou)
              --lp-engine sparse|dense (sparse; dense is the slow
                          tableau oracle, for cross-checking)
+             --pricing devex|dantzig|steepest-edge (devex; warm epoch
+                         re-solves upgrade devex to steepest-edge)
+             --basis-update ft|eta (ft; eta keeps the product-form
+                         chain as the differential oracle)
   trace <action> FILE   work with FB2010-format coflow traces
              summarize  stream the trace and print statistics
              convert    write the replayed instance as a .coflow file
@@ -57,6 +61,7 @@ commands:
                         the algorithm's capability flags)
                         solver knobs as for `solve`: --samples --lambda
                         --k --epsilon --alpha --seed --lp-engine
+                        --pricing --basis-update
              shared replay knobs:
              --on switch|swan|gscale|abilene|nsfnet (switch)
              --ms-per-slot X (1000)  --mb-per-slot X (125; 125 MB = 1 Gb,

@@ -41,7 +41,7 @@ use crate::error::CoflowError;
 use crate::model::{Coflow, CoflowInstance};
 use crate::routing::Routing;
 use crate::timeidx::{self, Built, FlowVars, LpRelaxation, LpSize};
-use coflow_lp::{Basis, Cmp, ConstraintId, Model, SolverOptions, VarId};
+use coflow_lp::{slot_block_crash, Basis, Cmp, ConstraintId, Model, Pricing, SolverOptions, VarId};
 use coflow_netgraph::EdgeId;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -287,10 +287,11 @@ impl<'a> TimeIndexedResolver<'a> {
             cols: built.model.num_vars(),
             nonzeros: built.model.num_nonzeros(),
         };
-        if !self.solved_once {
+        if !self.solved_once && self.basis.is_none() {
             // First solve: the ordinary presolved cold path, so a
             // resolver whose flows all activated up front reproduces the
-            // offline relaxation exactly.
+            // offline relaxation exactly. (After a rebuild the slot-block
+            // crash may have seeded a basis; that path re-solves warm.)
             self.last_was_warm = false;
             return match built.model.solve_with(opts) {
                 Ok(sol) => {
@@ -321,8 +322,16 @@ impl<'a> TimeIndexedResolver<'a> {
         }
         let warm = if self.warm { self.basis.as_ref() } else { None };
         self.last_was_warm = warm.is_some();
-        match built.model.solve_warm(warm, opts) {
+        // Epoch re-solves default to Forrest–Tomlin updates plus dual
+        // steepest edge: upgrade the stock Devex pricing, but leave an
+        // explicit caller choice (Dantzig, or already SteepestEdge) alone.
+        let mut epoch_opts = opts.clone();
+        if epoch_opts.pricing == Pricing::Devex {
+            epoch_opts.pricing = Pricing::SteepestEdge;
+        }
+        match built.model.solve_warm(warm, &epoch_opts) {
             Ok((sol, basis)) => {
+                self.solved_once = true;
                 if self.warm {
                     self.basis = Some(basis);
                 }
@@ -381,7 +390,19 @@ impl<'a> TimeIndexedResolver<'a> {
         self.cap_index.clear();
         self.basis = None;
         self.solved_once = false;
-        self.ensure_built()
+        self.ensure_built()?;
+        if self.warm {
+            // The rebuilt model re-solves from scratch; instead of the
+            // all-slack crash, exploit the per-slot capacity blocks of
+            // the time-indexed structure: the slot-block presolve crash
+            // point feeds `Basis::from_point`, so the next solve starts
+            // dual-feasible per slot and only repairs the coupling rows.
+            let built = self.built.as_ref().expect("just built");
+            if let Some(x) = slot_block_crash(&built.model) {
+                self.basis = Some(Basis::from_point(&built.model, &x));
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -145,7 +145,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         phase1_cost[j] = 1.0;
     }
     let max_iter = 200 * (m + ntotal) + 1000;
-    run_phase(&mut t, &mut basis, &phase1_cost, max_iter)?;
+    let mut iterations = run_phase(&mut t, &mut basis, &phase1_cost, max_iter)?;
     let infeas: f64 = (0..m)
         .filter(|&i| basis[i] >= ncols + nslack)
         .map(|i| t[i][ntotal])
@@ -158,6 +158,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         if basis[i] >= ncols + nslack {
             if let Some(j) = (0..ncols + nslack).find(|&j| t[i][j].abs() > EPS) {
                 pivot(&mut t, &mut basis, i, j);
+                iterations += 1;
             }
             // Otherwise the row is all-zero (redundant): leave it.
         }
@@ -168,7 +169,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     phase2_cost[..ncols].copy_from_slice(&cost);
     // Ban artificials by infinite cost surrogate: simply exclude them in
     // pricing via a validity mask encoded as cost = f64::NAN (checked).
-    run_phase_masked(&mut t, &mut basis, &phase2_cost, ncols + nslack, max_iter)?;
+    iterations += run_phase_masked(&mut t, &mut basis, &phase2_cost, ncols + nslack, max_iter)?;
 
     // --- Extract t-space solution and map back. ---
     let mut tvals = vec![0.0; ntotal];
@@ -192,19 +193,23 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         objective,
         x,
         duals: None, // the oracle only certifies primal objectives
-        iterations: 0,
-        refactorizations: 0,
+        iterations,
+        // The tableau is built (and therefore "factorized") exactly once;
+        // every later pivot rewrites it in place. Mirrors the sparse
+        // engine's convention of counting the initial factorization.
+        refactorizations: 1,
         stats: Default::default(),
     })
 }
 
-/// Bland-rule tableau iterations for the given cost vector.
+/// Bland-rule tableau iterations for the given cost vector. Returns the
+/// number of pivots performed.
 fn run_phase(
     t: &mut [Vec<f64>],
     basis: &mut [usize],
     cost: &[f64],
     max_iter: usize,
-) -> Result<(), LpError> {
+) -> Result<usize, LpError> {
     run_phase_masked(t, basis, cost, usize::MAX, max_iter)
 }
 
@@ -215,13 +220,13 @@ fn run_phase_masked(
     cost: &[f64],
     ban_from: usize,
     max_iter: usize,
-) -> Result<(), LpError> {
+) -> Result<usize, LpError> {
     let m = t.len();
     if m == 0 {
-        return Ok(());
+        return Ok(0);
     }
     let ntotal = cost.len();
-    for _ in 0..max_iter {
+    for it in 0..max_iter {
         // Reduced costs: z_j = c_j - c_B . column_j.
         let cb: Vec<f64> = basis.iter().map(|&b| cost[b]).collect();
         // Entering: lowest index with z_j < -EPS (Bland).
@@ -237,7 +242,7 @@ fn run_phase_masked(
             }
         }
         let Some(q) = entering else {
-            return Ok(());
+            return Ok(it);
         };
         // Leaving: min ratio, Bland tie-break on basis index.
         let mut best: Option<(usize, f64)> = None;

@@ -62,7 +62,8 @@ mod standard;
 
 pub use error::LpError;
 pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
+pub use presolve::{detect_slot_blocks, slot_block_crash, SlotBlocks};
 pub use simplex::dual::{Basis, BasisStatus};
-pub use simplex::{LpEngine, Pricing, SolverOptions};
+pub use simplex::{BasisUpdate, LpEngine, Pricing, SolverOptions};
 pub use solution::{Solution, SolveStats, Status};
 pub use sparse::{CscMatrix, CsrMatrix, WorkVec};

@@ -205,6 +205,161 @@ pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
     })
 }
 
+/// Per-slot capacity-block structure detected in a time-indexed model.
+///
+/// Time-indexed coflow LPs (`timeidx::build`) have one `≤` capacity row
+/// per (slot, edge) whose variables — the per-slot flow allocations —
+/// appear in no other slot's capacity rows. The `≤` rows therefore split
+/// into connected components, one per slot, and a block-diagonal crash
+/// basis can be built slot by slot.
+#[derive(Clone, Debug)]
+pub struct SlotBlocks {
+    /// For each block: the constraint indices of its capacity rows.
+    pub rows: Vec<Vec<usize>>,
+    /// For each block: the variables its rows touch (sorted, deduped).
+    pub vars: Vec<Vec<usize>>,
+}
+
+/// Detects the per-slot capacity-block signature of time-indexed models:
+/// every `≤` row has strictly positive coefficients and rhs, every
+/// variable those rows touch has lower bound exactly `0`, and the `≤`
+/// rows split into at least two connected components under the
+/// shares-a-variable relation. Returns `None` when any part of the
+/// signature fails — in particular on general LPs with signed
+/// coefficients or shifted bounds, so the pass never fires outside the
+/// structure it was built for.
+pub fn detect_slot_blocks(model: &Model) -> Option<SlotBlocks> {
+    let n = model.num_vars();
+    let cap_rows: Vec<usize> = (0..model.num_constraints())
+        .filter(|&ri| model.constraints[ri].cmp == Cmp::Le)
+        .collect();
+    if cap_rows.len() < 2 {
+        return None;
+    }
+    for &ri in &cap_rows {
+        let c = &model.constraints[ri];
+        if c.terms.is_empty() || c.rhs <= 0.0 {
+            return None;
+        }
+        for &(v, a) in &c.terms {
+            if a <= 0.0 || model.vars[v as usize].lb != 0.0 {
+                return None;
+            }
+        }
+    }
+
+    // Union-find over variables; each capacity row merges its support.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn root(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for &ri in &cap_rows {
+        let terms = &model.constraints[ri].terms;
+        let r0 = root(&mut parent, terms[0].0);
+        for &(v, _) in &terms[1..] {
+            let rv = root(&mut parent, v);
+            parent[rv as usize] = r0;
+        }
+    }
+
+    // Group rows by their support's component.
+    let mut comp_of_root: Vec<i32> = vec![-1; n];
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    let mut vars: Vec<Vec<usize>> = Vec::new();
+    for &ri in &cap_rows {
+        let r = root(&mut parent, model.constraints[ri].terms[0].0) as usize;
+        let b = if comp_of_root[r] >= 0 {
+            comp_of_root[r] as usize
+        } else {
+            comp_of_root[r] = rows.len() as i32;
+            rows.push(Vec::new());
+            vars.push(Vec::new());
+            rows.len() - 1
+        };
+        rows[b].push(ri);
+        for &(v, _) in &model.constraints[ri].terms {
+            vars[b].push(v as usize);
+        }
+    }
+    if rows.len() < 2 {
+        return None;
+    }
+    for vs in &mut vars {
+        vs.sort_unstable();
+        vs.dedup();
+    }
+    Some(SlotBlocks { rows, vars })
+}
+
+/// Builds a block-diagonal crash point for a slot-decomposable model:
+/// within each capacity block, objective-favored variables are raised
+/// greedily (most favorable first) to the residual block capacity, the
+/// rest stay at their zero lower bound. The point satisfies every
+/// capacity row by construction and is dual-feasible in the crash sense
+/// — unfavored variables sit at the bound their reduced-cost sign wants
+/// — so feeding it through [`crate::Basis::from_point`] gives a warm
+/// start whose dual simplex only has to repair the coupling (demand)
+/// rows. Returns `None` when [`detect_slot_blocks`] finds no block
+/// structure.
+pub fn slot_block_crash(model: &Model) -> Option<Vec<f64>> {
+    let blocks = detect_slot_blocks(model)?;
+    let n = model.num_vars();
+    let mut x: Vec<f64> = (0..n)
+        .map(|v| {
+            let lb = model.vars[v].lb;
+            if lb.is_finite() {
+                lb
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let min_sense = model.sense == Sense::Minimize;
+    let mut residual: Vec<f64> = model.constraints.iter().map(|c| c.rhs).collect();
+    for (rows, vars) in blocks.rows.iter().zip(&blocks.vars) {
+        // Column adjacency restricted to this block's rows.
+        let mut col_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); vars.len()];
+        let slot_of = |v: usize| vars.binary_search(&v).ok();
+        for &ri in rows {
+            for &(v, a) in &model.constraints[ri].terms {
+                if let Some(s) = slot_of(v as usize) {
+                    col_rows[s].push((ri, a));
+                }
+            }
+        }
+        // Most objective-favorable first.
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = model.vars[vars[a]].obj * if min_sense { 1.0 } else { -1.0 };
+            let cb = model.vars[vars[b]].obj * if min_sense { 1.0 } else { -1.0 };
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for s in order {
+            let v = vars[s];
+            let cost = model.vars[v].obj * if min_sense { 1.0 } else { -1.0 };
+            if cost >= 0.0 {
+                continue; // at lb=0 the reduced-cost sign is already right
+            }
+            let mut cap = model.vars[v].ub;
+            for &(ri, a) in &col_rows[s] {
+                cap = cap.min(residual[ri] / a);
+            }
+            if !cap.is_finite() || cap <= 0.0 {
+                continue;
+            }
+            x[v] = cap;
+            for &(ri, a) in &col_rows[s] {
+                residual[ri] -= a * cap;
+            }
+        }
+    }
+    Some(x)
+}
+
 /// Maps a reduced-model solution vector back to the original variables.
 pub fn postsolve(pre: &Presolved, x_reduced: &[f64]) -> Vec<f64> {
     pre.disposition
@@ -312,6 +467,94 @@ mod tests {
         m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
         let p = presolve(&m).unwrap();
         assert_eq!(p.disposition[0], Disposition::Fixed(0.0));
+    }
+
+    /// Two-slot, two-edges-per-slot capacity model with a coupling
+    /// demand row, shaped like a tiny `timeidx::build` output.
+    fn two_slot_model() -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        // Slot 0 flows.
+        let a0 = m.add_var("a0", 0.0, 10.0, -3.0);
+        let b0 = m.add_var("b0", 0.0, 10.0, -1.0);
+        // Slot 1 flows.
+        let a1 = m.add_var("a1", 0.0, 10.0, -2.0);
+        let b1 = m.add_var("b1", 0.0, 10.0, 1.0);
+        // Slot 0 capacity rows (shared edge couples a0/b0 into one block).
+        m.add_constraint([(a0, 1.0), (b0, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint([(b0, 2.0)], Cmp::Le, 6.0);
+        // Slot 1 capacity rows.
+        m.add_constraint([(a1, 1.0), (b1, 1.0)], Cmp::Le, 5.0);
+        m.add_constraint([(a1, 1.0)], Cmp::Le, 3.0);
+        // Cross-slot demand row (Ge: not part of any block).
+        m.add_constraint([(a0, 1.0), (a1, 1.0)], Cmp::Ge, 1.0);
+        m
+    }
+
+    #[test]
+    fn slot_blocks_detected_on_block_model() {
+        let m = two_slot_model();
+        let blocks = detect_slot_blocks(&m).expect("block structure");
+        assert_eq!(blocks.rows.len(), 2);
+        assert_eq!(blocks.vars.len(), 2);
+        let mut sizes: Vec<usize> = blocks.vars.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+        // Each block's rows only touch that block's variables.
+        for (rows, vars) in blocks.rows.iter().zip(&blocks.vars) {
+            for &ri in rows {
+                for &(v, _) in &m.constraints[ri].terms {
+                    assert!(vars.contains(&(v as usize)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_block_detection_rejects_non_block_shapes() {
+        // Signed coefficient breaks the capacity signature.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(y, 1.0)], Cmp::Le, 1.0);
+        assert!(detect_slot_blocks(&m).is_none());
+        // Single connected component: every Le row shares a variable.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(y, 2.0)], Cmp::Le, 1.0);
+        assert!(detect_slot_blocks(&m).is_none());
+        // Nonzero lower bound on a touched variable.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.5, 2.0, 1.0);
+        let y = m.add_var("y", 0.0, 2.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 2.0);
+        m.add_constraint([(y, 1.0)], Cmp::Le, 2.0);
+        assert!(detect_slot_blocks(&m).is_none());
+    }
+
+    #[test]
+    fn slot_block_crash_point_respects_capacities() {
+        let m = two_slot_model();
+        let x = slot_block_crash(&m).expect("crash point");
+        // Every capacity row satisfied, favored variables raised.
+        for c in &m.constraints {
+            if c.cmp == Cmp::Le {
+                let act: f64 = c.terms.iter().map(|&(v, a)| a * x[v as usize]).sum();
+                assert!(act <= c.rhs + 1e-9, "activity {act} > rhs {}", c.rhs);
+            }
+        }
+        // a0 (cost -3, most favorable in slot 0) takes the full edge.
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        // b1 has positive cost and stays at its lower bound.
+        assert_eq!(x[3], 0.0);
+        // The crash point warm-starts the solver to the same optimum.
+        let basis = crate::Basis::from_point(&m, &x);
+        let opts = crate::SolverOptions::default();
+        let (warm, _) = m.solve_warm(Some(&basis), &opts).unwrap();
+        let cold = m.solve_with(&opts).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -447,8 +447,9 @@ impl Simplex<'_> {
         let feas_tol = self.opt.feas_tol;
 
         // 1. Leaving row: most-violated basic variable, optionally
-        // scaled by the dual-Devex row weights (steepest-edge proxy).
-        let use_devex = self.opt.pricing == super::Pricing::Devex && !self.bland;
+        // scaled by the dual row weights (Devex proxy, or exact dual
+        // steepest edge under `Pricing::SteepestEdge`).
+        let use_devex = self.opt.pricing != super::Pricing::Dantzig && !self.bland;
         let mut r = usize::MAX;
         let mut worst = 0.0f64;
         let mut best_score = 0.0f64;
@@ -672,19 +673,49 @@ impl Simplex<'_> {
         self.x[q] += t;
         self.x[jl] = target;
 
-        // 7. Basis bookkeeping + dual-Devex row weight propagation.
-        self.facto.push_eta(r, &d, 1e-14);
-        let wr = self.dual_w[r];
-        for (i, di) in d.iter() {
-            let i = i as usize;
-            if i != r {
-                let cand = (di / dr) * (di / dr) * wr;
-                if cand > self.dual_w[i] {
-                    self.dual_w[i] = cand;
+        // 7. Basis bookkeeping + dual row weight update (FT spike or eta).
+        let updated = self.facto.push_update(r, &d, 1e-14);
+        if self.opt.pricing == super::Pricing::SteepestEdge {
+            // Exact dual steepest edge (w_i = ‖B⁻ᵀe_i‖²): the leaving
+            // row's weight is recomputed from rho, and the touched rows
+            // follow the Forrest–Goldfarb recurrence via tau = B⁻¹rho.
+            let mut wr = 0.0;
+            for (_, rv) in self.rho_work.iter() {
+                wr += rv * rv;
+            }
+            let mut tau = std::mem::take(&mut self.flip_work);
+            tau.clear_to_dim(self.sf.m);
+            for (i, rv) in self.rho_work.iter() {
+                if rv != 0.0 {
+                    tau.vals[i as usize] = rv;
+                    tau.pattern.push(i);
                 }
             }
+            self.facto.ftran(&mut tau);
+            for (i, di) in d.iter() {
+                let i = i as usize;
+                if i != r {
+                    let ratio = di / dr;
+                    let nw = self.dual_w[i] - 2.0 * ratio * tau.vals[i] + ratio * ratio * wr;
+                    self.dual_w[i] = nw.max(ratio * ratio).max(1e-10);
+                }
+            }
+            tau.clear();
+            self.flip_work = tau;
+            self.dual_w[r] = (wr / (dr * dr)).max(1e-10);
+        } else {
+            let wr = self.dual_w[r];
+            for (i, di) in d.iter() {
+                let i = i as usize;
+                if i != r {
+                    let cand = (di / dr) * (di / dr) * wr;
+                    if cand > self.dual_w[i] {
+                        self.dual_w[i] = cand;
+                    }
+                }
+            }
+            self.dual_w[r] = (wr / (dr * dr)).max(1.0);
         }
-        self.dual_w[r] = (wr / (dr * dr)).max(1.0);
         self.stat[jl] = if to_upper { CStat::Upper } else { CStat::Lower };
         self.pos_of[jl] = u32::MAX;
         self.basis[r] = q;
@@ -693,6 +724,12 @@ impl Simplex<'_> {
         self.z[jl] = -theta_d;
         self.z[q] = 0.0;
         self.d_work = d;
+        if !updated {
+            // FT declined the spike: the factorization still encodes the
+            // old basis. Rebuild from the new basis (also refreshes x_B
+            // and reduced costs, killing any drift from this pivot).
+            self.refactor_and_recompute(false)?;
+        }
 
         // Dual degeneracy tracking (theta_d ~ 0 makes no dual progress);
         // bound flips move the primal point, so a flipping iteration

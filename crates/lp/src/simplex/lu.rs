@@ -1,5 +1,5 @@
 //! Sparse LU factorization of the simplex basis (Gilbert–Peierls) with
-//! extended product-form (eta) updates and hyper-sparse solves.
+//! Forrest–Tomlin or product-form (eta) updates and hyper-sparse solves.
 //!
 //! The basis matrix `B` consists of `m` columns of the constraint matrix.
 //! We factorize `P·B·Q = L·U` where `Q` orders columns by increasing
@@ -8,11 +8,24 @@
 //! the largest magnitude, take the one with the fewest nonzeros across
 //! the basis columns (stability first, fill second).
 //!
-//! After each simplex pivot the factorization is *updated*, not rebuilt:
-//! the update `B' = B·E` is recorded as a sparse eta matrix `E`
-//! (identity with one replaced column) — the extended product-form of
-//! the inverse. FTRAN/BTRAN apply the eta file around the LU solve and
-//! the file is discarded at the next refactorization.
+//! After each simplex pivot the factorization is *updated*, not rebuilt,
+//! in one of two ways selected by [`BasisUpdate`]:
+//!
+//! * **Forrest–Tomlin** (default): `U` is maintained explicitly in a
+//!   dynamic column/row representation. Replacing the column pivoted at
+//!   step `t` records its *spike* `s = U·d` as the new column, then
+//!   eliminates row `t` against the trailing rows — a sparse triangular
+//!   solve yields the multipliers, stored as one row eta — and cyclically
+//!   permutes `t` to the last ordinal so `U` stays triangular. A
+//!   stability monitor compares the recomputed diagonal against its
+//!   product-form prediction `d_pos·u_tt` and declines the update (the
+//!   caller refactorizes) on disagreement.
+//! * **Eta**: the update `B' = B·E` is recorded as a sparse eta matrix
+//!   `E` (identity with one replaced column) — the extended product-form
+//!   of the inverse, kept as the differential oracle. FTRAN/BTRAN apply
+//!   the eta file around the LU solve.
+//!
+//! Either update file is discarded at the next refactorization.
 //!
 //! Solves are **hyper-sparse**: right-hand sides, intermediates, and
 //! results live in indexed [`WorkVec`]s. A depth-first symbolic reach
@@ -34,6 +47,37 @@ const PIVOT_THRESHOLD: f64 = 0.1;
 /// Right-hand sides denser than `m / DENSE_CUTOFF` skip the symbolic
 /// reach and solve densely.
 const DENSE_CUTOFF: usize = 8;
+
+/// A Forrest–Tomlin update is declined (forcing refactorization) when
+/// the eliminated diagonal disagrees with its product-form prediction
+/// `|d_pos · u_tt|` by more than this relative gap — the Forrest–Tomlin
+/// cancellation test.
+const FT_STAB_REL: f64 = 1e-6;
+
+/// ... or is absolutely smaller than this times the spike magnitude.
+const FT_STAB_ABS: f64 = 1e-10;
+
+/// How the factorization absorbs a basis column replacement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BasisUpdate {
+    /// Forrest–Tomlin row-spike updates: `U` maintained explicitly,
+    /// spike recorded, row eliminated, permuted to the last ordinal.
+    #[default]
+    ForrestTomlin,
+    /// Product-form eta file (the differential oracle).
+    Eta,
+}
+
+/// Why a refactorization was triggered (ledger for `SolveStats`).
+#[derive(Clone, Copy, Debug)]
+pub enum RefactorCause {
+    /// The periodic update-count interval elapsed.
+    Interval,
+    /// The update file outgrew the factors (fill monitor).
+    Fill,
+    /// A Forrest–Tomlin update failed its stability test.
+    Unstable,
+}
 
 /// A singular basis: the step at which no acceptable pivot existed.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +109,56 @@ pub struct OpCounts {
     pub btran_solves: usize,
     /// Total result nonzeros across all BTRANs.
     pub btran_nnz: usize,
+    /// Forrest–Tomlin updates applied.
+    pub ft_updates: usize,
+    /// Total spike nonzeros (diagonal included) across FT updates.
+    pub spike_nnz: usize,
+    /// Total nonzeros pushed into the update file: eta columns, or FT
+    /// spikes plus row-eta multipliers — the basis-update fill ledger.
+    pub update_nnz: usize,
+    /// Refactorizations triggered by the update-count interval.
+    pub refactor_interval: usize,
+    /// Refactorizations triggered by the fill monitor.
+    pub refactor_fill: usize,
+    /// Refactorizations triggered by a declined (unstable) FT update.
+    pub refactor_unstable: usize,
+}
+
+/// One Forrest–Tomlin row eta: after the column pivoted at step `t` was
+/// replaced by its spike, row `t` of `U` was eliminated against the
+/// trailing rows with these multipliers (step, value).
+struct RowEta {
+    t: u32,
+    m: Vec<(u32, f64)>,
+}
+
+/// Forrest–Tomlin state: `U` maintained explicitly in dynamic form.
+/// Column and row adjacency both carry values and are kept exactly in
+/// sync (no stale entries), so solves never search.
+#[derive(Default)]
+struct Ft {
+    /// Built for the current factors (mode is Forrest–Tomlin and
+    /// `refactor` succeeded).
+    active: bool,
+    /// Column entries `(row step, value)`, diagonal apart.
+    ucols: Vec<Vec<(u32, f64)>>,
+    /// Row entries `(column step, value)` — the transpose of `ucols`.
+    urows: Vec<Vec<(u32, f64)>>,
+    /// Diagonal per column step.
+    udiag: Vec<f64>,
+    /// ordinal -> step: the triangular elimination order of the current
+    /// `U` (identity at refactorization, rotated by each update).
+    ord: Vec<u32>,
+    /// step -> ordinal.
+    ord_of: Vec<u32>,
+    /// Row etas, chronological.
+    row_etas: Vec<RowEta>,
+    /// Updates applied since the last refactorization.
+    updates: usize,
+    /// `U` nonzeros (off-diagonal) at the last refactorization.
+    base_nnz: usize,
+    /// Current `U` nonzeros (off-diagonal), maintained incrementally.
+    live_nnz: usize,
 }
 
 /// LU factors plus eta file. Sparse solves work on [`WorkVec`]s; the
@@ -100,6 +194,9 @@ pub struct Factorization {
     lt_start: Vec<usize>,
     lt_cols: Vec<u32>,
     etas: Vec<Eta>,
+    /// Basis-update mode; [`Ft`] is maintained when Forrest–Tomlin.
+    mode: BasisUpdate,
+    ft: Ft,
     counts: OpCounts,
     // Scratch buffers reused across factorizations and solves.
     work: Vec<f64>,
@@ -111,6 +208,10 @@ pub struct Factorization {
     reach_out: Vec<u32>,
     perm_scratch: Vec<(u32, f64)>,
     dense_out: Vec<f64>,
+    /// Scratch for the FT multiplier solve (step space).
+    ft_rhs: WorkVec,
+    /// Scratch pattern for the FT spike.
+    ft_pat: Vec<u32>,
 }
 
 impl Factorization {
@@ -135,6 +236,8 @@ impl Factorization {
             lt_start: Vec::new(),
             lt_cols: Vec::new(),
             etas: Vec::new(),
+            mode: BasisUpdate::Eta,
+            ft: Ft::default(),
             counts: OpCounts::default(),
             work: vec![0.0; m],
             stamp: vec![0; m],
@@ -144,19 +247,52 @@ impl Factorization {
             reach_out: Vec::new(),
             perm_scratch: Vec::new(),
             dense_out: Vec::new(),
+            ft_rhs: WorkVec::with_dim(m),
+            ft_pat: Vec::new(),
         }
     }
 
-    /// Number of eta updates since the last refactorization.
-    #[inline]
-    pub fn eta_count(&self) -> usize {
-        self.etas.len()
+    /// Selects the basis-update scheme. Takes effect at the next
+    /// [`refactor`](Factorization::refactor); call before the first one.
+    pub fn set_mode(&mut self, mode: BasisUpdate) {
+        self.mode = mode;
     }
 
     /// Total nonzeros across the eta file (fill indicator for the
     /// update chain; drives early refactorization).
     pub fn eta_nnz(&self) -> usize {
         self.etas.iter().map(|e| e.d.len() + 1).sum()
+    }
+
+    /// Basis updates absorbed since the last refactorization, whichever
+    /// the scheme (drives the periodic refactorization interval).
+    #[inline]
+    pub fn update_count(&self) -> usize {
+        if self.ft.active {
+            self.ft.updates
+        } else {
+            self.etas.len()
+        }
+    }
+
+    /// Fill added by the update file since the last refactorization:
+    /// eta-file nonzeros, or FT row-eta multipliers plus net `U` growth.
+    pub fn update_fill(&self) -> usize {
+        if self.ft.active {
+            let row_eta: usize = self.ft.row_etas.iter().map(|e| e.m.len() + 1).sum();
+            row_eta + self.ft.live_nnz.saturating_sub(self.ft.base_nnz)
+        } else {
+            self.eta_nnz()
+        }
+    }
+
+    /// Ledger hook: records what triggered a refactorization.
+    pub fn count_refactor(&mut self, cause: RefactorCause) {
+        match cause {
+            RefactorCause::Interval => self.counts.refactor_interval += 1,
+            RefactorCause::Fill => self.counts.refactor_fill += 1,
+            RefactorCause::Unstable => self.counts.refactor_unstable += 1,
+        }
     }
 
     /// Total nonzeros in L and U (fill indicator).
@@ -201,6 +337,20 @@ impl Factorization {
                 .iter()
                 .map(|e| e.d.capacity() * (u as usize + f as usize))
                 .sum::<usize>()
+            + self.ft_heap_bytes()
+    }
+
+    /// Heap bytes of the Forrest–Tomlin state.
+    fn ft_heap_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(u32, f64)>();
+        let u = std::mem::size_of::<u32>();
+        let f = std::mem::size_of::<f64>();
+        let cols: usize = self.ft.ucols.iter().map(Vec::capacity).sum();
+        let rows: usize = self.ft.urows.iter().map(Vec::capacity).sum();
+        let etas: usize = self.ft.row_etas.iter().map(|e| e.m.capacity()).sum();
+        (cols + rows + etas) * pair
+            + (self.ft.ord.capacity() + self.ft.ord_of.capacity() + self.ft_pat.capacity()) * u
+            + self.ft.udiag.capacity() * f
     }
 
     /// Refactorizes from scratch: `basis[pos]` is the column index of `a`
@@ -229,6 +379,7 @@ impl Factorization {
         self.u_vals.clear();
         self.u_diag.clear();
         self.etas.clear();
+        self.ft.active = false;
 
         // Markowitz row counts: nonzeros per row across the basis.
         self.row_count.iter_mut().for_each(|c| *c = 0);
@@ -403,7 +554,43 @@ impl Factorization {
             &mut self.ut_start,
             &mut self.ut_cols,
         );
+        if self.mode == BasisUpdate::ForrestTomlin {
+            self.ft_rebuild();
+        }
         Ok(())
+    }
+
+    /// (Re)builds the dynamic `U` representation from the fresh factors.
+    fn ft_rebuild(&mut self) {
+        let m = self.m;
+        let ft = &mut self.ft;
+        ft.ucols.resize_with(m, Vec::new);
+        ft.urows.resize_with(m, Vec::new);
+        for c in &mut ft.ucols {
+            c.clear();
+        }
+        for r in &mut ft.urows {
+            r.clear();
+        }
+        ft.udiag.clear();
+        ft.udiag.extend_from_slice(&self.u_diag);
+        for k in 0..m {
+            for t in self.u_start[k]..self.u_start[k + 1] {
+                let j = self.u_steps[t];
+                let v = self.u_vals[t];
+                ft.ucols[k].push((j, v));
+                ft.urows[j as usize].push((k as u32, v));
+            }
+        }
+        ft.ord.clear();
+        ft.ord.extend(0..m as u32);
+        ft.ord_of.clear();
+        ft.ord_of.extend(0..m as u32);
+        ft.row_etas.clear();
+        ft.updates = 0;
+        ft.base_nnz = self.u_steps.len();
+        ft.live_nnz = self.u_steps.len();
+        ft.active = true;
     }
 
     /// Sparse FTRAN: solves `B x = v` in place. Input `v` is in
@@ -420,9 +607,21 @@ impl Factorization {
         // Row space -> step space.
         self.permute(v, PermMap::RowToStep);
         debug_check_pattern(v, "after perm row->step");
-        // L forward, then U backward, each over its symbolic reach.
+        // L forward over its symbolic reach.
         self.solve_lower(v);
         debug_check_pattern(v, "after L");
+        if self.ft.active {
+            // Row etas chronological (gather form), then the dynamic U.
+            self.ft_apply_row_etas(v);
+            debug_check_pattern(v, "after FT row etas");
+            self.ft_solve_u(v);
+            debug_check_pattern(v, "after FT U");
+            self.permute(v, PermMap::StepToPos);
+            debug_check_pattern(v, "after perm step->pos");
+            self.counts.ftran_nnz += v.nnz();
+            return;
+        }
+        // U backward over its symbolic reach.
         self.solve_upper(v);
         debug_check_pattern(v, "after U");
         // Step space -> position space.
@@ -470,6 +669,21 @@ impl Factorization {
         self.counts.btran_solves += 1;
         if v.nnz() * DENSE_CUTOFF >= self.m {
             self.btran_dense_branch(v);
+            self.counts.btran_nnz += v.nnz();
+            return;
+        }
+        if self.ft.active {
+            // Dynamic Uᵀ, then row-eta transposes newest first.
+            self.permute(v, PermMap::PosToStep);
+            debug_check_pattern(v, "btran after perm pos->step");
+            self.ft_solve_ut(v);
+            debug_check_pattern(v, "btran after FT Ut");
+            self.ft_apply_row_etas_t(v);
+            debug_check_pattern(v, "btran after FT row etas");
+            self.solve_lower_t(v);
+            debug_check_pattern(v, "btran after Lt");
+            self.permute(v, PermMap::StepToRow);
+            debug_check_pattern(v, "btran after perm step->row");
             self.counts.btran_nnz += v.nnz();
             return;
         }
@@ -529,6 +743,29 @@ impl Factorization {
         for k in 0..self.m {
             x[k] = rhs[self.rinv[k] as usize];
         }
+        if self.ft.active {
+            self.dense_lower(x);
+            for re in &self.ft.row_etas {
+                let mut acc = x[re.t as usize];
+                for &(j, mj) in &re.m {
+                    acc -= mj * x[j as usize];
+                }
+                x[re.t as usize] = acc;
+            }
+            // Dynamic U backward, descending ordinals.
+            for i in (0..self.m).rev() {
+                let k = self.ft.ord[i] as usize;
+                let xv = x[k] / self.ft.udiag[k];
+                x[k] = xv;
+                if xv != 0.0 {
+                    for &(j, u) in &self.ft.ucols[k] {
+                        x[j as usize] -= u * xv;
+                    }
+                }
+            }
+            self.steps_to_positions(x);
+            return;
+        }
         self.lu_solve_in_step_space(x);
         self.steps_to_positions(x);
         for eta in &self.etas {
@@ -550,6 +787,39 @@ impl Factorization {
         self.counts.btran_nnz += self.m;
         y.clear();
         y.extend_from_slice(c);
+        if self.ft.active {
+            self.positions_to_steps(y);
+            // Dynamic Uᵀ forward, ascending ordinals (scatter form).
+            for i in 0..self.m {
+                let k = self.ft.ord[i] as usize;
+                let yv = y[k] / self.ft.udiag[k];
+                y[k] = yv;
+                if yv != 0.0 {
+                    for &(cstep, u) in &self.ft.urows[k] {
+                        y[cstep as usize] -= u * yv;
+                    }
+                }
+            }
+            // Row-eta transposes, newest first.
+            for re in self.ft.row_etas.iter().rev() {
+                let t = y[re.t as usize];
+                if t != 0.0 {
+                    for &(j, mj) in &re.m {
+                        y[j as usize] -= mj * t;
+                    }
+                }
+            }
+            self.dense_lower_t(y);
+            let m = self.m;
+            self.work[..m].copy_from_slice(&y[..m]);
+            for k in 0..m {
+                y[self.rinv[k] as usize] = self.work[k];
+            }
+            for k in 0..m {
+                self.work[k] = 0.0;
+            }
+            return;
+        }
         // Eta transposes, newest first.
         for eta in self.etas.iter().rev() {
             let mut acc = y[eta.pos];
@@ -606,7 +876,166 @@ impl Factorization {
                 sparse.push((i, v));
             }
         }
+        self.counts.update_nnz += sparse.len() + 1;
         self.etas.push(Eta { pos, d: sparse, dp });
+    }
+
+    /// Absorbs the pivot `basis[pos] := entering` using the configured
+    /// update scheme; `d` is the entering column's FTRAN image (position
+    /// space, sparse) with `d[pos]` the pivot element.
+    ///
+    /// Returns `false` when a Forrest–Tomlin update was declined by the
+    /// stability monitor: the factorization then still represents the
+    /// *old* basis and the caller must refactorize before the next solve.
+    #[must_use]
+    pub fn push_update(&mut self, pos: usize, d: &WorkVec, keep_tol: f64) -> bool {
+        if self.ft.active {
+            self.push_ft(pos, d, keep_tol)
+        } else {
+            self.push_eta(pos, d, keep_tol);
+            true
+        }
+    }
+
+    /// Forrest–Tomlin update: records the spike `s = U·d` as the new
+    /// column at step `t` (the step pivoting basis position `pos`),
+    /// eliminates row `t` against the trailing rows (one row eta), and
+    /// rotates `t` to the last ordinal.
+    fn push_ft(&mut self, pos: usize, d: &WorkVec, keep_tol: f64) -> bool {
+        let m = self.m;
+        let t = self.cpos[pos] as usize;
+        let dp = d.vals[pos];
+        debug_assert!(dp != 0.0);
+
+        // Spike s = U·d in step space, scattered into `work` with its
+        // pattern in `ft_pat` (d arrives in position space).
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut s_pat = std::mem::take(&mut self.ft_pat);
+        s_pat.clear();
+        for &p in &d.pattern {
+            let xk = d.vals[p as usize];
+            if xk == 0.0 {
+                continue;
+            }
+            let k = self.cpos[p as usize] as usize;
+            self.work[k] += self.ft.udiag[k] * xk;
+            if self.stamp[k] != epoch {
+                self.stamp[k] = epoch;
+                s_pat.push(k as u32);
+            }
+            for &(j, u) in &self.ft.ucols[k] {
+                self.work[j as usize] += u * xk;
+                if self.stamp[j as usize] != epoch {
+                    self.stamp[j as usize] = epoch;
+                    s_pat.push(j);
+                }
+            }
+        }
+        let s_t = self.work[t];
+        let mut s_inf = 0.0f64;
+        for &j in &s_pat {
+            s_inf = s_inf.max(self.work[j as usize].abs());
+        }
+
+        // Multipliers: row t of U against the trailing submatrix,
+        // mᵀ·U_TT = u_{t,·}, i.e. one sparse transposed-U solve seeded
+        // by the row's current entries.
+        let mut mvec = std::mem::take(&mut self.ft_rhs);
+        mvec.clear_to_dim(m);
+        for &(c, val) in &self.ft.urows[t] {
+            mvec.vals[c as usize] = val;
+            mvec.pattern.push(c);
+        }
+        self.ft_solve_ut(&mut mvec);
+
+        // New diagonal after eliminating row t of the spike column, and
+        // the Forrest–Tomlin stability test: the same value is predicted
+        // by the product form as d[pos]·u_tt; cancellation shows up as
+        // disagreement and declines the update.
+        let mut new_diag = s_t;
+        for &c in &mvec.pattern {
+            new_diag -= mvec.vals[c as usize] * self.work[c as usize];
+        }
+        let predicted = (dp * self.ft.udiag[t]).abs();
+        let gap = (new_diag.abs() - predicted).abs();
+        if new_diag.abs() <= FT_STAB_ABS * (1.0 + s_inf)
+            || gap > FT_STAB_REL * predicted.max(new_diag.abs()).max(1.0)
+        {
+            for &j in &s_pat {
+                self.work[j as usize] = 0.0;
+            }
+            self.ft_pat = s_pat;
+            self.ft_rhs = mvec;
+            self.count_refactor(RefactorCause::Unstable);
+            return false;
+        }
+
+        // Commit. Remove row t from its columns (both adjacency sides)…
+        let row_t = std::mem::take(&mut self.ft.urows[t]);
+        for &(c, _) in &row_t {
+            let col = &mut self.ft.ucols[c as usize];
+            if let Some(i) = col.iter().position(|e| e.0 == t as u32) {
+                col.swap_remove(i);
+                self.ft.live_nnz -= 1;
+            }
+        }
+        drop(row_t);
+        // …drop the replaced column…
+        let mut col = std::mem::take(&mut self.ft.ucols[t]);
+        for &(j, _) in &col {
+            let rw = &mut self.ft.urows[j as usize];
+            if let Some(i) = rw.iter().position(|e| e.0 == t as u32) {
+                rw.swap_remove(i);
+                self.ft.live_nnz -= 1;
+            }
+        }
+        col.clear();
+        // …and insert the spike (row t lives on the diagonal).
+        for &j in &s_pat {
+            let v = self.work[j as usize];
+            self.work[j as usize] = 0.0;
+            if j as usize != t && v.abs() > keep_tol {
+                col.push((j, v));
+                self.ft.urows[j as usize].push((t as u32, v));
+                self.ft.live_nnz += 1;
+            }
+        }
+        let spike_len = col.len() + 1;
+        self.ft.ucols[t] = col;
+        self.ft.udiag[t] = new_diag;
+        let mut multipliers = Vec::with_capacity(mvec.nnz());
+        for &c in &mvec.pattern {
+            let v = mvec.vals[c as usize];
+            if v.abs() > keep_tol {
+                multipliers.push((c, v));
+            }
+        }
+        self.counts.ft_updates += 1;
+        self.counts.spike_nnz += spike_len;
+        self.counts.update_nnz += spike_len + multipliers.len();
+        if !multipliers.is_empty() {
+            self.ft.row_etas.push(RowEta {
+                t: t as u32,
+                m: multipliers,
+            });
+        }
+        // Rotate t to the last ordinal (cyclic permutation keeps the
+        // trailing rows' relative order, so U stays triangular).
+        let pi = self.ft.ord_of[t] as usize;
+        for i in pi..m - 1 {
+            let s = self.ft.ord[i + 1];
+            self.ft.ord[i] = s;
+            self.ft.ord_of[s as usize] = i as u32;
+        }
+        self.ft.ord[m - 1] = t as u32;
+        self.ft.ord_of[t] = (m - 1) as u32;
+        self.ft.updates += 1;
+        mvec.clear_to_dim(m);
+        self.ft_rhs = mvec;
+        s_pat.clear();
+        self.ft_pat = s_pat;
+        true
     }
 
     // ------------------------------------------------------------------
@@ -703,6 +1132,166 @@ impl Factorization {
         }
         std::mem::swap(&mut v.pattern, &mut order);
         self.reach_out = order;
+    }
+
+    /// Applies the FT row etas chronologically during FTRAN (gather
+    /// form: each eta reads its own sparse entries). Step space.
+    fn ft_apply_row_etas(&mut self, v: &mut WorkVec) {
+        if self.ft.row_etas.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &i in &v.pattern {
+            self.stamp[i as usize] = epoch;
+        }
+        for re in &self.ft.row_etas {
+            let mut acc = v.vals[re.t as usize];
+            for &(j, mj) in &re.m {
+                acc -= mj * v.vals[j as usize];
+            }
+            if acc != 0.0 || self.stamp[re.t as usize] == epoch {
+                if self.stamp[re.t as usize] != epoch {
+                    self.stamp[re.t as usize] = epoch;
+                    v.pattern.push(re.t);
+                }
+                v.vals[re.t as usize] = acc;
+            }
+        }
+    }
+
+    /// Applies the FT row-eta transposes newest-first during BTRAN
+    /// (scatter form). Step space.
+    fn ft_apply_row_etas_t(&mut self, v: &mut WorkVec) {
+        if self.ft.row_etas.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &i in &v.pattern {
+            self.stamp[i as usize] = epoch;
+        }
+        for re in self.ft.row_etas.iter().rev() {
+            let t = v.vals[re.t as usize];
+            if t != 0.0 {
+                for &(j, mj) in &re.m {
+                    v.vals[j as usize] -= mj * t;
+                    if self.stamp[j as usize] != epoch {
+                        self.stamp[j as usize] = epoch;
+                        v.pattern.push(j);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Symbolic reach + numeric backward solve with the dynamic `U`
+    /// (step space): reverse DFS postorder finalizes each entry before
+    /// it propagates down its column.
+    fn ft_solve_u(&mut self, v: &mut WorkVec) {
+        self.ft_reach(&v.pattern, false);
+        let mut order = std::mem::take(&mut self.reach_out);
+        for idx in (0..order.len()).rev() {
+            let k = order[idx] as usize;
+            let x = v.vals[k] / self.ft.udiag[k];
+            v.vals[k] = x;
+            if x != 0.0 {
+                for &(j, u) in &self.ft.ucols[k] {
+                    v.vals[j as usize] -= u * x;
+                }
+            }
+        }
+        std::mem::swap(&mut v.pattern, &mut order);
+        self.reach_out = order;
+    }
+
+    /// Symbolic reach + numeric forward solve with the dynamic `Uᵀ`
+    /// (step space), propagating through the row adjacency.
+    fn ft_solve_ut(&mut self, v: &mut WorkVec) {
+        self.ft_reach(&v.pattern, true);
+        let mut order = std::mem::take(&mut self.reach_out);
+        for idx in (0..order.len()).rev() {
+            let k = order[idx] as usize;
+            let y = v.vals[k] / self.ft.udiag[k];
+            v.vals[k] = y;
+            if y != 0.0 {
+                for &(c, u) in &self.ft.urows[k] {
+                    v.vals[c as usize] -= u * y;
+                }
+            }
+        }
+        std::mem::swap(&mut v.pattern, &mut order);
+        self.reach_out = order;
+    }
+
+    /// DFS reach over the dynamic `U` adjacency (columns for FTRAN,
+    /// rows for BTRAN), mirroring [`reach`](Factorization::reach).
+    fn ft_reach(&mut self, seeds: &[u32], transposed: bool) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let adj = if transposed {
+            &self.ft.urows
+        } else {
+            &self.ft.ucols
+        };
+        let stamp = &mut self.stamp;
+        let stack = &mut self.dfs_stack;
+        let out = &mut self.reach_out;
+        out.clear();
+        for &seed in seeds {
+            if stamp[seed as usize] == epoch {
+                continue;
+            }
+            stamp[seed as usize] = epoch;
+            stack.push((seed, 0));
+            while let Some(&(node, cursor)) = stack.last() {
+                let list = &adj[node as usize];
+                let mut c = cursor;
+                let mut next_child = None;
+                while c < list.len() {
+                    let child = list[c].0;
+                    c += 1;
+                    if stamp[child as usize] != epoch {
+                        next_child = Some(child);
+                        break;
+                    }
+                }
+                stack.last_mut().expect("non-empty").1 = c;
+                match next_child {
+                    Some(child) => {
+                        stamp[child as usize] = epoch;
+                        stack.push((child, 0));
+                    }
+                    None => {
+                        stack.pop();
+                        out.push(node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dense L forward solve (step space).
+    fn dense_lower(&self, x: &mut [f64]) {
+        for k in 0..self.m {
+            let v = x[k];
+            if v != 0.0 {
+                for t in self.l_start[k]..self.l_start[k + 1] {
+                    x[self.l_steps[t] as usize] -= self.l_vals[t] * v;
+                }
+            }
+        }
+    }
+
+    /// Dense Lᵀ backward solve (step space).
+    fn dense_lower_t(&self, x: &mut [f64]) {
+        for k in (0..self.m).rev() {
+            let mut acc = x[k];
+            for t in self.l_start[k]..self.l_start[k + 1] {
+                acc -= self.l_vals[t] * x[self.l_steps[t] as usize];
+            }
+            x[k] = acc;
+        }
     }
 
     /// DFS reach from `seeds` over one of the four triangular-solve
@@ -1137,6 +1726,166 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ft_update_matches_refactor() {
+        // Forrest–Tomlin twin of `eta_update_matches_refactor`: replace
+        // several basis columns through `push_update` under the FT mode
+        // and check every FTRAN/BTRAN entry point against the new basis.
+        let mut rng = StdRng::seed_from_u64(18);
+        for trial in 0..25 {
+            let m = rng.gen_range(3..12);
+            let ncols = m + 6;
+            let mut rows = vec![vec![0.0; ncols]; m];
+            for i in 0..m {
+                for j in 0..ncols {
+                    if rng.gen_bool(0.5) {
+                        rows[i][j] = rng.gen_range(-2.0..2.0);
+                    }
+                }
+                rows[i][i] += 4.0;
+                rows[i][m + (i % 6).min(5)] += 1.0;
+            }
+            let a = csc_from_dense(&rows);
+            let mut basis: Vec<usize> = (0..m).collect();
+            let mut f = Factorization::new(m);
+            f.set_mode(BasisUpdate::ForrestTomlin);
+            f.refactor(&a, &basis, 1e-10).unwrap();
+
+            for _ in 0..4 {
+                let entering = rng.gen_range(m..ncols);
+                if basis.contains(&entering) {
+                    continue;
+                }
+                let mut d = WorkVec::with_dim(m);
+                f.ftran_col(&a, entering, &mut d);
+                check_pattern(&d);
+                let (pos, dp) = d
+                    .vals
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap())
+                    .map(|(i, &v)| (i, v))
+                    .unwrap();
+                if dp.abs() < 1e-6 {
+                    continue;
+                }
+                if !f.push_update(pos, &d, 1e-14) {
+                    // Declined by the stability monitor: refactorize,
+                    // exactly as the simplex driver would.
+                    basis[pos] = entering;
+                    f.refactor(&a, &basis, 1e-10).unwrap();
+                } else {
+                    basis[pos] = entering;
+                }
+
+                let mut x = WorkVec::with_dim(m);
+                for col in 0..ncols {
+                    f.ftran_col(&a, col, &mut x);
+                    check_pattern(&x);
+                    let bx = basis_matvec(&a, &basis, &x.vals);
+                    let mut expect = vec![0.0; m];
+                    a.axpy_col(col, 1.0, &mut expect);
+                    for i in 0..m {
+                        assert!(
+                            (bx[i] - expect[i]).abs() < 1e-7,
+                            "trial {trial} col {col}: {bx:?} vs {expect:?}"
+                        );
+                    }
+                }
+                let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+                let mut y = Vec::new();
+                f.btran(&c, &mut y);
+                let bty = basis_matvec_t(&a, &basis, &y);
+                for i in 0..m {
+                    assert!((bty[i] - c[i]).abs() < 1e-7, "trial {trial} btran dense");
+                }
+                let mut r = WorkVec::with_dim(m);
+                for pos in 0..m {
+                    f.btran_unit(pos, &mut r);
+                    check_pattern(&r);
+                    let bty = basis_matvec_t(&a, &basis, &r.vals);
+                    for (i, &bi) in bty.iter().enumerate() {
+                        let want = if i == pos { 1.0 } else { 0.0 };
+                        assert!((bi - want).abs() < 1e-7, "trial {trial} unit {pos}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ft_and_eta_solves_agree() {
+        // Both update schemes applied to the same pivot sequence must
+        // produce identical solves (they represent the same basis).
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..15 {
+            let m = rng.gen_range(4..10);
+            let ncols = m + 4;
+            let mut rows = vec![vec![0.0; ncols]; m];
+            for i in 0..m {
+                for j in 0..ncols {
+                    if rng.gen_bool(0.5) {
+                        rows[i][j] = rng.gen_range(-2.0..2.0);
+                    }
+                }
+                rows[i][i] += 4.0;
+                rows[i][m + (i % 4).min(3)] += 1.0;
+            }
+            let a = csc_from_dense(&rows);
+            let basis: Vec<usize> = (0..m).collect();
+            let mut ft = Factorization::new(m);
+            ft.set_mode(BasisUpdate::ForrestTomlin);
+            ft.refactor(&a, &basis, 1e-10).unwrap();
+            let mut eta = Factorization::new(m);
+            eta.refactor(&a, &basis, 1e-10).unwrap();
+
+            let mut live = basis.clone();
+            for _ in 0..3 {
+                let entering = rng.gen_range(m..ncols);
+                if live.contains(&entering) {
+                    continue;
+                }
+                let mut d_ft = WorkVec::with_dim(m);
+                ft.ftran_col(&a, entering, &mut d_ft);
+                let mut d_eta = WorkVec::with_dim(m);
+                eta.ftran_col(&a, entering, &mut d_eta);
+                for i in 0..m {
+                    assert!(
+                        (d_ft.vals[i] - d_eta.vals[i]).abs() < 1e-9,
+                        "ftran diverged at {i}"
+                    );
+                }
+                let (pos, dp) = d_ft
+                    .vals
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap())
+                    .map(|(i, &v)| (i, v))
+                    .unwrap();
+                if dp.abs() < 1e-6 {
+                    continue;
+                }
+                assert!(ft.push_update(pos, &d_ft, 1e-14));
+                assert!(eta.push_update(pos, &d_eta, 1e-14));
+                live[pos] = entering;
+
+                let mut rf = WorkVec::with_dim(m);
+                let mut re = WorkVec::with_dim(m);
+                for p in 0..m {
+                    ft.btran_unit(p, &mut rf);
+                    eta.btran_unit(p, &mut re);
+                    for i in 0..m {
+                        assert!(
+                            (rf.vals[i] - re.vals[i]).abs() < 1e-9,
+                            "btran diverged at unit {p} entry {i}"
+                        );
+                    }
+                }
+            }
+            assert!(ft.op_counts().ft_updates > 0 || eta.update_count() == 0);
         }
     }
 

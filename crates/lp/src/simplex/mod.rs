@@ -23,10 +23,12 @@ use crate::solution::{Solution, Status};
 use crate::sparse::WorkVec;
 use crate::standard::StdForm;
 use lu::Factorization;
+pub use lu::{BasisUpdate, RefactorCause};
 
 /// Entering-variable pricing rule. Also selects the dual simplex's
 /// leaving-row rule: `Devex` maintains steepest-edge-style row weights,
-/// `Dantzig` takes the most-violated row.
+/// `SteepestEdge` exact-updates them, `Dantzig` takes the most-violated
+/// row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pricing {
     /// Devex reference weights (default): approximates steepest edge,
@@ -34,6 +36,13 @@ pub enum Pricing {
     Devex,
     /// Classic most-negative-reduced-cost. Kept for ablation benches.
     Dantzig,
+    /// Projected steepest edge: reference weights initialized at each
+    /// refactorization and kept current by the exact Forrest–Goldfarb
+    /// recurrences, fed by the FTRAN/BTRAN vectors each pivot already
+    /// computes (plus one extra solve per pivot). Fewer pivots than
+    /// Devex on the tall time-indexed models; a little more per-pivot
+    /// work.
+    SteepestEdge,
 }
 
 /// Which LP core executes a solve.
@@ -70,6 +79,10 @@ pub struct SolverOptions {
     pub bland_trigger: usize,
     /// Entering-variable pricing rule.
     pub pricing: Pricing,
+    /// How the LU factorization absorbs basis changes between
+    /// refactorizations: Forrest–Tomlin row spikes (default) or the
+    /// append-only product-form eta file kept as a differential oracle.
+    pub basis_update: BasisUpdate,
     /// Partial (cyclic block) pricing: examine candidate columns in
     /// blocks of this size and enter the best of the first block that
     /// offers any improvement. `0` (default) scans every column each
@@ -94,6 +107,7 @@ impl Default for SolverOptions {
             presolve: true,
             bland_trigger: 500,
             pricing: Pricing::Devex,
+            basis_update: BasisUpdate::ForrestTomlin,
             partial_pricing_block: 0,
             engine: LpEngine::Sparse,
         }
@@ -180,6 +194,12 @@ impl ScaledSolution {
             btran_solves: self.ops.btran_solves,
             btran_nnz: self.ops.btran_nnz,
             peak_alloc_bytes: self.peak_bytes,
+            ft_updates: self.ops.ft_updates,
+            spike_nnz: self.ops.spike_nnz,
+            update_nnz: self.ops.update_nnz,
+            refactor_interval: self.ops.refactor_interval,
+            refactor_fill: self.ops.refactor_fill,
+            refactor_unstable: self.ops.refactor_unstable,
         }
     }
 }
@@ -243,6 +263,9 @@ struct Simplex<'a> {
     rhs_buf: Vec<f64>,
     alpha_buf: Vec<f64>,
     alpha_touched: Vec<u32>,
+    /// Steepest-edge beta accumulator (`beta_j = tau·a_j`) + its pattern.
+    beta_buf: Vec<f64>,
+    beta_touched: Vec<u32>,
     /// Entering-column FTRAN image (hyper-sparse).
     d_work: WorkVec,
     /// Pivot-row BTRAN image / phase-1 cost vector (hyper-sparse).
@@ -304,7 +327,11 @@ impl<'a> Simplex<'a> {
             stat,
             pos_of,
             x,
-            facto: Factorization::new(m),
+            facto: {
+                let mut f = Factorization::new(m);
+                f.set_mode(opt.basis_update);
+                f
+            },
             z: vec![0.0; n],
             devex: vec![1.0; n],
             dual_w: vec![1.0; m],
@@ -317,6 +344,8 @@ impl<'a> Simplex<'a> {
             rhs_buf: Vec::new(),
             alpha_buf: vec![0.0; n],
             alpha_touched: Vec::new(),
+            beta_buf: vec![0.0; n],
+            beta_touched: Vec::new(),
             d_work: WorkVec::with_dim(m),
             rho_work: WorkVec::with_dim(m),
             flip_work: WorkVec::with_dim(m),
@@ -468,13 +497,16 @@ impl<'a> Simplex<'a> {
     }
 
     fn maybe_refactor(&mut self, phase1: bool) -> Result<(), LpError> {
-        // Refactor on the fixed cadence, or early when the eta file's
-        // fill has outgrown the LU factors (FTRAN/BTRAN then cost more
-        // through the update chain than a fresh factorization would).
-        let eta_heavy = self.facto.eta_nnz() > 2 * self.facto.factor_nnz() + 4 * self.sf.m;
-        if self.facto.eta_count() >= self.opt.refactor_interval
-            || (self.facto.eta_count() >= 16 && eta_heavy)
-        {
+        // Refactor on the fixed cadence, or early when the update file's
+        // fill (eta columns, or FT spikes + row etas) has outgrown the LU
+        // factors — FTRAN/BTRAN then cost more through the update chain
+        // than a fresh factorization would.
+        let fill_heavy = self.facto.update_fill() > 2 * self.facto.factor_nnz() + 4 * self.sf.m;
+        if self.facto.update_count() >= self.opt.refactor_interval {
+            self.facto.count_refactor(RefactorCause::Interval);
+            self.refactor_and_recompute(phase1)?;
+        } else if self.facto.update_count() >= 16 && fill_heavy {
+            self.facto.count_refactor(RefactorCause::Fill);
             self.refactor_and_recompute(phase1)?;
         }
         Ok(())
@@ -691,7 +723,7 @@ impl<'a> Simplex<'a> {
                 }
             } else {
                 let score = match self.opt.pricing {
-                    Pricing::Devex => zj * zj / self.devex[j],
+                    Pricing::Devex | Pricing::SteepestEdge => zj * zj / self.devex[j],
                     Pricing::Dantzig => zj.abs(),
                 };
                 if best.is_none_or(|(_, _, s)| score > s) {
@@ -733,7 +765,7 @@ impl<'a> Simplex<'a> {
                         break;
                     }
                     let score = match self.opt.pricing {
-                        Pricing::Devex => zj * zj / self.devex[j],
+                        Pricing::Devex | Pricing::SteepestEdge => zj * zj / self.devex[j],
                         Pricing::Dantzig => zj.abs(),
                     };
                     if best.is_none_or(|(_, _, s)| score > s) {
@@ -922,7 +954,7 @@ impl<'a> Simplex<'a> {
         // of the OLD basis: rho = B^{-T} e_r, alpha_j = rho·a_j.
         let dr = d.vals[r];
         if !phase1 {
-            self.update_duals_after_pivot(q, r, zq, dr);
+            self.update_duals_after_pivot(q, r, zq, dr, &d);
         }
         // Dual-Devex row weight propagation through the pivot column.
         let wr = self.dual_w[r];
@@ -937,8 +969,8 @@ impl<'a> Simplex<'a> {
         }
         self.dual_w[r] = (wr / (dr * dr)).max(1.0);
 
-        // Basis bookkeeping + eta.
-        self.facto.push_eta(r, &d, 1e-14);
+        // Basis bookkeeping + factor update (FT spike or eta column).
+        let updated = self.facto.push_update(r, &d, 1e-14);
         self.stat[jl] = if hit_upper {
             CStat::Upper
         } else {
@@ -952,16 +984,55 @@ impl<'a> Simplex<'a> {
 
         self.d_work = d;
         self.note_progress(theta);
+        if !updated {
+            // The FT stability monitor declined the spike, so the
+            // factorization still represents the old basis: rebuild
+            // from the new one before the next solve touches it.
+            self.refactor_and_recompute(phase1)?;
+        }
         Ok(StepOutcome::Moved)
     }
 
-    /// Incremental reduced-cost + Devex update for a pivot with entering
-    /// `q`, leaving position `r`, entering reduced cost `zq`, pivot
-    /// element `dr = d[r]`.
-    fn update_duals_after_pivot(&mut self, q: usize, r: usize, zq: f64, dr: f64) {
+    /// Incremental reduced-cost + pricing-weight update for a pivot with
+    /// entering `q`, leaving position `r`, entering reduced cost `zq`,
+    /// pivot element `dr = d[r]`, entering FTRAN image `d = B⁻¹a_q`.
+    fn update_duals_after_pivot(&mut self, q: usize, r: usize, zq: f64, dr: f64, d: &WorkVec) {
+        let se = self.opt.pricing == Pricing::SteepestEdge;
         // rho = B^{-T} e_r, hyper-sparse.
         let mut rho = std::mem::take(&mut self.rho_work);
         self.facto.btran_unit(r, &mut rho);
+
+        // Steepest edge needs tau = B^{-T} d and beta_j = tau·a_j to run
+        // the Forrest–Goldfarb recurrence; gq = ‖d‖² is the entering
+        // column's exact weight, recomputed from the FTRAN image rather
+        // than trusted from the reference value.
+        let mut gq = 0.0;
+        if se {
+            let mut tau = std::mem::take(&mut self.flip_work);
+            tau.clear_to_dim(self.sf.m);
+            for (i, di) in d.iter() {
+                if di != 0.0 {
+                    tau.vals[i as usize] = di;
+                    tau.pattern.push(i);
+                    gq += di * di;
+                }
+            }
+            self.facto.btran_sparse(&mut tau);
+            self.beta_touched.clear();
+            for (i, ti) in tau.iter() {
+                if ti.abs() <= 1e-12 {
+                    continue;
+                }
+                for (jcol, v) in self.sf.a_csr.row(i as usize) {
+                    let j = jcol as usize;
+                    if self.beta_buf[j] == 0.0 {
+                        self.beta_touched.push(jcol);
+                    }
+                    self.beta_buf[j] += ti * v;
+                }
+            }
+            self.flip_work = tau;
+        }
 
         // alpha_j = rho · a_j for nonbasic j, via CSR rows of nonzero rho.
         self.alpha_touched.clear();
@@ -989,17 +1060,36 @@ impl<'a> Simplex<'a> {
                 continue;
             }
             self.z[j] -= ratio * alpha;
-            // Devex weight propagation.
-            let cand = (alpha / dr) * (alpha / dr) * wq;
-            if cand > self.devex[j] {
-                self.devex[j] = cand;
+            if se {
+                // gamma_j' = gamma_j - 2(alpha/dr)·beta_j + (alpha/dr)²·gq,
+                // floored at the provable lower bound (alpha/dr)².
+                let ar = alpha / dr;
+                let nw = self.devex[j] - 2.0 * ar * self.beta_buf[j] + ar * ar * gq;
+                self.devex[j] = nw.max(ar * ar).max(1e-10);
+            } else {
+                // Devex weight propagation.
+                let cand = (alpha / dr) * (alpha / dr) * wq;
+                if cand > self.devex[j] {
+                    self.devex[j] = cand;
+                }
             }
         }
         self.alpha_touched = touched;
+        if se {
+            let bt = std::mem::take(&mut self.beta_touched);
+            for &jcol in &bt {
+                self.beta_buf[jcol as usize] = 0.0;
+            }
+            self.beta_touched = bt;
+        }
         // Leaving variable becomes nonbasic with reduced cost -zq/dr.
         let jl = self.basis[r];
         self.z[jl] = -ratio;
-        self.devex[jl] = (wq / (dr * dr)).max(1.0);
+        self.devex[jl] = if se {
+            (gq / (dr * dr)).max(1e-10)
+        } else {
+            (wq / (dr * dr)).max(1.0)
+        };
         self.rho_work = rho;
     }
 

@@ -56,6 +56,23 @@ pub struct SolveStats {
     /// Workspace high-water estimate in bytes (LU factors, eta file,
     /// and solver scratch, measured from vector capacities).
     pub peak_alloc_bytes: usize,
+    /// Forrest–Tomlin basis updates absorbed without refactorizing
+    /// (zero when the eta update path is selected).
+    pub ft_updates: usize,
+    /// Total spike-column nonzeros across all FT updates.
+    pub spike_nnz: usize,
+    /// Total update-file nonzeros appended between refactorizations:
+    /// eta-column entries, or FT spike + row-eta multiplier entries.
+    /// The fill ledger the FT-vs-eta comparison is judged on.
+    pub update_nnz: usize,
+    /// Refactorizations triggered by the fixed update-count cadence.
+    pub refactor_interval: usize,
+    /// Refactorizations triggered early by update-file fill outgrowing
+    /// the LU factors.
+    pub refactor_fill: usize,
+    /// Refactorizations forced by the FT stability monitor declining a
+    /// spike.
+    pub refactor_unstable: usize,
 }
 
 impl SolveStats {
@@ -68,6 +85,12 @@ impl SolveStats {
         self.btran_solves += other.btran_solves;
         self.btran_nnz += other.btran_nnz;
         self.peak_alloc_bytes = self.peak_alloc_bytes.max(other.peak_alloc_bytes);
+        self.ft_updates += other.ft_updates;
+        self.spike_nnz += other.spike_nnz;
+        self.update_nnz += other.update_nnz;
+        self.refactor_interval += other.refactor_interval;
+        self.refactor_fill += other.refactor_fill;
+        self.refactor_unstable += other.refactor_unstable;
     }
 }
 
