@@ -1,6 +1,6 @@
 //! The tracked performance harness: runs a pinned suite of
-//! warm-start-sensitive scenarios and emits `BENCH_PR9.json` — one point
-//! of the repo's performance trajectory.
+//! warm-start-sensitive scenarios and emits `BENCH_PR10.json` — one
+//! point of the repo's performance trajectory.
 //!
 //! Scenarios (all deterministic given `--seed`):
 //!
@@ -41,6 +41,15 @@
 //!    of eta, and objectives equal to 1e-9 (the refactorization and
 //!    fill gates are checked on the full suite only; `--quick`
 //!    instances are too small to fill an update file meaningfully).
+//! 8. **recovery overhead** — the fault-tolerance bargain. The bundled
+//!    trace is streamed through the daemon session twice, with and
+//!    without the write-ahead journal, for the steady-state cost; then
+//!    a journaled run is crashed mid-stream (the in-process disconnect
+//!    fault) and its journal is replayed, timing `read_journal` +
+//!    `TenantEngine::restore` against a cold re-admission that
+//!    re-solves every epoch. Gates (full suite only; `--quick` wall
+//!    clocks are noise): journaling costs ≤ 1.10× + 25 ms over the
+//!    plain run, and recovery is ≥ 10× faster than the cold re-solve.
 //!
 //! Exit is non-zero when the warm path fails its bar: iterations must be
 //! strictly below cold in `--quick` mode, and at least 2× below on the
@@ -146,7 +155,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 1u64;
-    let mut output = String::from("BENCH_PR9.json");
+    let mut output = String::from("BENCH_PR10.json");
     let mut compare: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -364,6 +373,37 @@ fn main() {
         scenarios.push(s);
     }
 
+    // ---- 8. Journal overhead + crash recovery speedup ----
+    let recovery = recovery_overhead(quick);
+    let plain_ms = recovery.wall_ms_cold.unwrap_or(0.0);
+    let overhead = extra_field(&recovery, "journal_overhead");
+    let recover_ms = extra_field(&recovery, "recover_ms");
+    let cold_ms = extra_field(&recovery, "cold_ms");
+    let speedup = extra_field(&recovery, "recovery_speedup");
+    println!(
+        "recovery overhead: journaled {:.1} ms vs plain {plain_ms:.1} ms ({overhead:.2}x), \
+         recover {recover_ms:.2} ms vs cold re-solve {cold_ms:.1} ms ({speedup:.1}x)",
+        recovery.wall_ms
+    );
+    if recovery.objective_max_rel_diff.unwrap_or(0.0) > 1e-9 {
+        failures.push("recovery overhead: recovered state diverged from the cold re-solve".into());
+    }
+    // Wall-clock gates only bind at full scale; the --quick session is
+    // over in a few milliseconds where fsync jitter dominates.
+    if !quick && recovery.wall_ms > 1.10 * plain_ms + 25.0 {
+        failures.push(format!(
+            "recovery overhead: journaling costs {:.1} ms over plain {plain_ms:.1} ms \
+             (beyond 1.10x + 25 ms)",
+            recovery.wall_ms
+        ));
+    }
+    if !quick && speedup < 10.0 {
+        failures.push(format!(
+            "recovery overhead: journal replay is only {speedup:.1}x faster than a cold re-solve"
+        ));
+    }
+    scenarios.push(recovery);
+
     // ---- Compare against an earlier emission ----
     if let Some(path) = compare {
         let old = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -376,7 +416,7 @@ fn main() {
     // ---- Emit ----
     let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
     let json = format!(
-        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 9,\n  \"quick\": {quick},\n  \
+        "{{\n  \"suite\": \"coflow warm-start perf\",\n  \"pr\": 10,\n  \"quick\": {quick},\n  \
          \"seed\": {seed},\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
         body.join(",\n    ")
     );
@@ -930,6 +970,111 @@ fn service_replay(quick: bool) -> Scenario {
             ),
             ("epoch_ms_p50".into(), percentile(&epoch_ms, 50.0)),
             ("epoch_ms_p99".into(), percentile(&epoch_ms, 99.0)),
+        ],
+    }
+}
+
+/// Scenario 8: the fault-tolerance bargain, both sides. Steady state:
+/// the bundled trace streamed through the daemon session with and
+/// without the write-ahead journal (same runtime, same stream — the
+/// delta is pure journaling: serialization + append + flush per round).
+/// Crash: a journaled run is severed mid-stream by the in-process
+/// disconnect fault, leaving a committed journal with no `DONE` marker;
+/// recovery (`read_journal` + `TenantEngine::restore`, one model build
+/// from the resolver's own logs, zero LP re-solves) is timed against a
+/// cold re-admission that re-solves every epoch. The recovered
+/// engine's restored objective must equal the cold rebuild's to 1e-9 —
+/// the same oracle the service's golden tests pin.
+fn recovery_overhead(quick: bool) -> Scenario {
+    use coflow_service::daemon::{session_with, SessionOptions};
+    use coflow_service::fault::FaultPlan;
+    use coflow_service::journal::read_journal;
+    use coflow_service::protocol::{parse_request, Request};
+
+    let lines: Vec<&str> = FB2010_SAMPLE
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    let take = if quick { 6 } else { lines.len() - 1 };
+    let mut input = String::new();
+    for l in &lines[..=take] {
+        input.push_str(l);
+        input.push('\n');
+    }
+    input.push_str("BYE\n");
+
+    let rt = Runtime::new();
+    let run = |opts: SessionOptions| {
+        let t0 = Instant::now();
+        let mut out = Vec::new();
+        session_with(&rt, input.as_bytes(), &mut out, opts).expect("session runs");
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    // Steady-state A/B: identical streams, the journal is the only
+    // difference.
+    let plain_ms = run(SessionOptions::default());
+    let dir = std::env::temp_dir().join(format!("coflow-perf-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    let journal_ms = run(SessionOptions {
+        journal: Some(dir.clone()),
+        ..SessionOptions::default()
+    });
+
+    // Crash mid-stream: the disconnect fault severs the session after
+    // half the coflows (line 1 is the header), leaving a recoverable
+    // journal — `JournalWriter::create` truncates, so the clean run's
+    // `DONE` marker above is overwritten, not appended to.
+    let cut = take / 2 + 1;
+    run(SessionOptions {
+        journal: Some(dir.clone()),
+        fault: FaultPlan::parse(&format!("disconnect={}", cut + 1)).expect("valid plan"),
+        ..SessionOptions::default()
+    });
+
+    // Recovery: journal replay into a restored engine.
+    let path = dir.join("default.journal");
+    let t0 = Instant::now();
+    let rec = read_journal(&path).expect("crash journal reads");
+    let Ok(Request::Hello(hello)) = parse_request(&rec.hello_line, None) else {
+        panic!("journal hello parses");
+    };
+    let restored = TenantEngine::restore(hello.ports, hello.engine_config(), rec.snapshot)
+        .expect("engine restores");
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let restored_objective = rec.reports.last().map_or(0.0, |r| r.objective);
+    drop(restored);
+
+    // Cold baseline: rebuild the same state the expensive way,
+    // re-admitting (and re-solving) every journaled arrival.
+    let t0 = Instant::now();
+    let mut cold = TenantEngine::new(hello.ports, hello.engine_config());
+    for a in &rec.arrivals {
+        cold.admit(&rt, a.clone()).expect("cold re-admit");
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_objective = cold.take_reports().last().map_or(0.0, |r| r.objective);
+    let drift = (restored_objective - cold_objective).abs() / (1.0 + cold_objective.abs());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Scenario {
+        name: "recovery_overhead".into(),
+        wall_ms: journal_ms,
+        wall_ms_cold: Some(plain_ms),
+        iterations: 0,
+        iterations_cold: None,
+        resolves: take as u64,
+        objective_max_rel_diff: Some(drift),
+        size: None,
+        stats: None,
+        extra: vec![
+            ("journal_overhead".into(), journal_ms / plain_ms.max(1e-9)),
+            ("recover_ms".into(), recover_ms),
+            ("cold_ms".into(), cold_ms),
+            ("recovery_speedup".into(), cold_ms / recover_ms.max(1e-9)),
+            ("recovered_arrivals".into(), rec.arrivals.len() as f64),
+            ("recovered_epochs".into(), rec.reports.len() as f64),
         ],
     }
 }

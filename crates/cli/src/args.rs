@@ -24,6 +24,8 @@ const SWITCHES: &[&str] = &[
     "--stdin",
     "--plans",
     "--shadow-cold",
+    "--recover",
+    "--fallback",
 ];
 
 impl Args {

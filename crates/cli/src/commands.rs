@@ -613,24 +613,44 @@ fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
 ///
 /// Usage or transport problems, as a printable message.
 pub fn serve(args: &Args) -> Result<(), String> {
+    use coflow_service::daemon::SessionOptions;
+    use coflow_service::fault::FaultPlan;
+
     let listen: String = args.get("listen", String::new())?;
     let threads: usize = args.get("threads", 0)?;
+    let journal: String = args.get("journal", String::new())?;
+    let recover = args.switch("--recover");
+    let max_solve_ms: f64 = args.get("max-solve-ms", 0.0)?;
+    let fault_spec: String = args.get("fault-plan", String::new())?;
     let _ = args.switch("--stdin"); // stdin is the default; flag is documentation
     args.finish()?;
+    if recover && journal.is_empty() {
+        return Err("--recover needs --journal DIR (the directory to replay)".to_string());
+    }
+    let opts = SessionOptions {
+        journal: (!journal.is_empty()).then(|| std::path::PathBuf::from(&journal)),
+        recover,
+        max_solve_ms: (max_solve_ms > 0.0).then_some(max_solve_ms),
+        fault: FaultPlan::parse(&fault_spec)?,
+    };
+    if let Some(dir) = &opts.journal {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--journal {journal}: {e}"))?;
+    }
     let rt = if threads == 0 {
         coflow_runtime::Runtime::new()
     } else {
         coflow_runtime::Runtime::with_workers(threads)
     };
     if listen.is_empty() {
-        let summary = coflow_service::daemon::serve_stdin(&rt).map_err(|e| e.to_string())?;
+        let summary =
+            coflow_service::daemon::serve_stdin_with(&rt, opts).map_err(|e| e.to_string())?;
         eprintln!(
             "serve: {} tenants, {} coflows, {} errors",
             summary.tenants, summary.admitted, summary.errors
         );
         Ok(())
     } else {
-        coflow_service::daemon::serve_tcp(&rt, &listen).map_err(|e| e.to_string())
+        coflow_service::daemon::serve_tcp_with(&rt, &listen, opts).map_err(|e| e.to_string())
     }
 }
 
@@ -681,6 +701,7 @@ pub fn feed(args: &Args) -> Result<(), String> {
         fallback: args.switch("--fallback"),
         max_resolves: args.get("max-resolves", dflt.max_resolves)?,
         deadline_slack: args.get("deadline-slack", dflt.deadline_slack)?,
+        max_solve_ms: args.get("max-solve-ms", dflt.max_solve_ms)?,
     };
     args.finish()?;
     let text = if path == "-" {

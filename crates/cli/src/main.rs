@@ -76,11 +76,17 @@ commands:
                         (default: one session on stdin/stdout, so
                         `coflow serve < trace.txt` replays a trace)
              --threads N    LP worker threads (0 = all cores)
+             --journal DIR  write-ahead journal, one file per tenant
+             --recover      replay unfinished tenants from --journal DIR
+             --max-solve-ms F  per-epoch solve budget; a breach degrades
+                        the tenant one rung (lp -> ordering -> shed)
+             --fault-plan SPEC  deterministic fault injection, e.g.
+                        'seed=7;engine-error=3;slow=2;garbage=4x2;disconnect=9'
              protocol: HELLO <tenant> <ports> [base=0|1]
                         [policy=event|doubling] [shards=G] [split=equal|prop]
                         [ms-per-slot=F] [mb-per-slot=F] [scale=F]
                         [tier=lp|ordering] [fallback=ordering|none]
-                        [max-resolves=N] [deadline-slack=F]
+                        [max-resolves=N] [deadline-slack=F] [max-solve-ms=F]
                         [cold] [shadow-cold] [plans],
                        then FB2010 coflow lines, then BYE
   feed FILE  replay a trace against a running daemon
@@ -89,6 +95,7 @@ commands:
              --split equal|prop (equal)  --limit N (0 = all)
              --tier lp|ordering (lp)  --fallback  --max-resolves N (0 = off)
              --deadline-slack F (0 = no deadlines)
+             --max-solve-ms F (0 = no per-epoch solve budget)
              --cold  --shadow-cold  --plans
              replay knobs as for `trace`: --ms-per-slot --mb-per-slot
              --demand-scale

@@ -1,0 +1,278 @@
+//! Crash-recovery golden tests against the real binary: `coflow serve
+//! --journal DIR` is SIGKILLed mid-trace, restarted with `--recover`,
+//! and fed the rest of the stream. The recovered run's per-epoch
+//! objective sequence and final `DONE` objective must match an
+//! uninterrupted run's at 1e-6 — over stdin and over TCP.
+//!
+//! Synchronization: the journal commits (flushes a `STATE` marker)
+//! after every processed round, so the test polls the journal file for
+//! the expected number of commit markers before killing. The kill is
+//! `Child::kill`, which is SIGKILL on Unix — no shutdown handler runs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn coflow() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_coflow"))
+}
+
+fn fixture() -> Vec<String> {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../workloads/fixtures/fb2010_sample.txt");
+    std::fs::read_to_string(&path)
+        .expect("bundled fb2010 fixture")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("coflow-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    dir
+}
+
+/// Polls until the tenant journal holds at least `commits` flushed
+/// `STATE` markers (HELLO + one per processed round).
+fn wait_for_commits(dir: &std::path::Path, commits: usize) {
+    let path = dir.join("default.journal");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let seen = std::fs::read_to_string(&path)
+            .map(|s| s.lines().filter(|l| l.starts_with("STATE ")).count())
+            .unwrap_or(0);
+        if seen >= commits {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {commits} journal commits (saw {seen})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn epoch_objectives(out: &str) -> Vec<(usize, f64)> {
+    out.lines()
+        .filter(|l| l.starts_with("EPOCH tenant=default "))
+        .map(|l| {
+            let field = |key: &str| {
+                l.split_whitespace()
+                    .find_map(|tok| tok.strip_prefix(key))
+                    .unwrap_or_else(|| panic!("{key} missing in {l}"))
+            };
+            (
+                field("epoch=").parse().expect("epoch index"),
+                field("objective=").parse().expect("epoch objective"),
+            )
+        })
+        .collect()
+}
+
+fn done_objective(out: &str) -> f64 {
+    out.lines()
+        .find(|l| l.starts_with("DONE tenant=default "))
+        .unwrap_or_else(|| panic!("no DONE line in:\n{out}"))
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("objective="))
+        .expect("DONE objective")
+        .parse()
+        .expect("DONE objective parses")
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + b.abs())
+}
+
+fn assert_same_trajectory(golden: &str, recovered: &str) {
+    let g = epoch_objectives(golden);
+    let r = epoch_objectives(recovered);
+    assert!(!g.is_empty(), "golden run produced no epochs:\n{golden}");
+    assert_eq!(
+        g.len(),
+        r.len(),
+        "epoch counts diverged\ngolden:\n{golden}\nrecovered:\n{recovered}"
+    );
+    for ((ge, go), (re, ro)) in g.iter().zip(&r) {
+        assert_eq!(ge, re, "epoch indices diverged");
+        assert!(close(*ro, *go), "epoch {ge}: golden {go} vs recovered {ro}");
+    }
+    assert!(
+        close(done_objective(recovered), done_objective(golden)),
+        "DONE objectives diverged\ngolden:\n{golden}\nrecovered:\n{recovered}"
+    );
+}
+
+/// The uninterrupted reference run (plain stdin, no journal).
+fn golden_run(input: &str) -> String {
+    let mut child = coflow()
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("trace feeds");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const TAKE: usize = 12; // coflows replayed (of the fixture's 20)
+const CUT: usize = 6; // coflows delivered before the kill
+
+#[test]
+fn sigkill_mid_stdin_stream_then_recover_matches_golden() {
+    let lines = fixture();
+    let full = &lines[..=TAKE];
+    let golden = golden_run(&format!("{}\n", full.join("\n")));
+
+    // Phase 1: journaled serve on stdin, killed after CUT coflows
+    // committed.
+    let dir = journal_dir("stdin");
+    let mut child = coflow()
+        .args(["serve", "--journal", dir.to_str().expect("utf8 path")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    for line in &full[..=CUT] {
+        writeln!(stdin, "{line}").expect("line feeds");
+    }
+    stdin.flush().expect("flush");
+    wait_for_commits(&dir, CUT + 1); // HELLO + CUT rounds
+    kill9(&mut child);
+
+    // Phase 2: recover and feed the rest of the stream.
+    let mut rest = format!("{}\n", full[0]); // re-HELLO via the header
+    for line in &full[CUT + 1..] {
+        rest.push_str(line);
+        rest.push('\n');
+    }
+    let mut child = coflow()
+        .args([
+            "serve",
+            "--journal",
+            dir.to_str().expect("utf8 path"),
+            "--recover",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(rest.as_bytes())
+        .expect("rest feeds");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    let recovered = String::from_utf8_lossy(&out.stdout).into_owned();
+
+    assert!(
+        recovered.contains(&format!("recovered=1 arrivals={CUT}")),
+        "{recovered}"
+    );
+    assert_same_trajectory(&golden, &recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_tcp_stream_then_recover_matches_golden() {
+    let lines = fixture();
+    let full = &lines[..=TAKE];
+    let golden = golden_run(&format!("{}\n", full.join("\n")));
+
+    // Phase 1: TCP daemon with a journal, killed mid-connection.
+    let dir = journal_dir("tcp");
+    let (mut child, addr) = spawn_tcp(&dir, false);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connects");
+        for line in &full[..=CUT] {
+            writeln!(stream, "{line}").expect("line sends");
+        }
+        stream.flush().expect("flush");
+        wait_for_commits(&dir, CUT + 1);
+        kill9(&mut child);
+    }
+
+    // Phase 2: a recovering daemon, the rest of the stream, BYE.
+    let (mut child, addr) = spawn_tcp(&dir, true);
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    writeln!(stream, "{}", full[0]).expect("re-HELLO sends");
+    for line in &full[CUT + 1..] {
+        writeln!(stream, "{line}").expect("line sends");
+    }
+    writeln!(stream, "BYE").expect("BYE sends");
+    stream.flush().expect("flush");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut recovered = String::new();
+    stream
+        .read_to_string(&mut recovered)
+        .expect("responses drain");
+    kill9(&mut child);
+
+    assert!(
+        recovered.contains(&format!("recovered=1 arrivals={CUT}")),
+        "{recovered}"
+    );
+    assert_same_trajectory(&golden, &recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns `serve --listen 127.0.0.1:0` and reads the bound address off
+/// the `LISTENING` line.
+fn spawn_tcp(dir: &std::path::Path, recover: bool) -> (Child, String) {
+    let mut args = vec![
+        "serve".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--journal".to_string(),
+        dir.to_str().expect("utf8 path").to_string(),
+    ];
+    if recover {
+        args.push("--recover".to_string());
+    }
+    let mut child = coflow()
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let listening = lines
+        .next()
+        .expect("LISTENING line")
+        .expect("stdout readable");
+    let addr = listening
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner {listening:?}"))
+        .to_string();
+    // Keep draining stdout in the background so the daemon never blocks
+    // on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn kill9(child: &mut Child) {
+    child.kill().expect("SIGKILL lands");
+    let _ = child.wait();
+}

@@ -33,7 +33,7 @@
 //! When capacity or horizon pressure makes an epoch infeasible (the
 //! composed online schedule outgrew the initial horizon estimate), the
 //! caller grows the horizon with
-//! [`rebuild`](TimeIndexedResolver::rebuild): the activation and fix
+//! [`Self::rebuild`](TimeIndexedResolver::rebuild): the activation and fix
 //! logs are replayed into a fresh, larger model and solving restarts
 //! cold — rare, bounded, and self-healing.
 
@@ -234,7 +234,7 @@ impl<'a> TimeIndexedResolver<'a> {
     ///
     /// [`CoflowError::BadInstance`] when `first_slot` lies outside
     /// `1..=horizon` — grow the horizon with
-    /// [`rebuild`](TimeIndexedResolver::rebuild) first.
+    /// [`Self::rebuild`](TimeIndexedResolver::rebuild) first.
     pub fn activate_flow(
         &mut self,
         j: usize,
@@ -268,12 +268,50 @@ impl<'a> TimeIndexedResolver<'a> {
         self.apply_fix(j, i, slot, fraction);
     }
 
+    /// The append-only activation log `(coflow, flow, first_slot)` that
+    /// [`Self::rebuild`] replays. Exposed so a service-layer journal can
+    /// persist resolver state in its native replay shape.
+    pub fn activations(&self) -> &[(usize, usize, u32)] {
+        &self.activations
+    }
+
+    /// The append-only executed-slot fix log
+    /// `(coflow, flow, slot, fraction)` that [`Self::rebuild`] replays after
+    /// the model is rebuilt.
+    pub fn fixes(&self) -> &[(usize, usize, u32, f64)] {
+        &self.fixes
+    }
+
+    /// Installs journaled activation/fix logs on a resolver that has
+    /// never been built, in preparation for a single [`Self::rebuild`] that
+    /// replays them — the crash-recovery path. No solves happen here or
+    /// in [`Self::rebuild`]; recovery cost is one model build plus the fix
+    /// replay, which is why journal recovery is an order of magnitude
+    /// cheaper than re-solving every epoch.
+    ///
+    /// # Panics
+    ///
+    /// If the resolver already built a model or logged events of its
+    /// own — recovery must start from a freshly constructed resolver.
+    pub fn restore_logs(
+        &mut self,
+        activations: Vec<(usize, usize, u32)>,
+        fixes: Vec<(usize, usize, u32, f64)>,
+    ) {
+        assert!(
+            self.built.is_none() && self.activations.is_empty() && self.fixes.is_empty(),
+            "restore_logs on a resolver that already has state"
+        );
+        self.activations = activations;
+        self.fixes = fixes;
+    }
+
     /// Re-solves the current model, warm-starting from the kept basis
     /// when one exists (and `warm` is on). `Ok(None)` reports
-    /// infeasibility — the caller should [`rebuild`] with a larger
+    /// infeasibility — the caller should [`Self::rebuild`] with a larger
     /// horizon.
     ///
-    /// [`rebuild`]: TimeIndexedResolver::rebuild
+    /// [`Self::rebuild`]: TimeIndexedResolver::rebuild
     ///
     /// # Errors
     ///

@@ -2,6 +2,37 @@
 
 use std::fmt;
 
+/// What kind of numerical distress a solve ran into. Distress is
+/// distinct from [`LpError::NumericalFailure`]: it classifies the
+/// *symptom* that tripped the guard, and is only surfaced once the
+/// rescue ladder (conservative retry, then dense-oracle fallback) has
+/// also been exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistressKind {
+    /// The reported objective came back NaN or ±∞.
+    NonFiniteObjective,
+    /// A primal value in the solution vector came back NaN or ±∞.
+    NonFinitePrimal,
+    /// The basis factorization was singular and basis repair could not
+    /// produce a usable replacement.
+    SingularBasis,
+    /// A basis update (eta / Forrest–Tomlin) was rejected as unstable
+    /// and the forced refactorization did not restore stability.
+    UnstableUpdate,
+}
+
+impl DistressKind {
+    /// Short lowercase label used in error messages and stats lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            DistressKind::NonFiniteObjective => "non-finite-objective",
+            DistressKind::NonFinitePrimal => "non-finite-primal",
+            DistressKind::SingularBasis => "singular-basis",
+            DistressKind::UnstableUpdate => "unstable-update",
+        }
+    }
+}
+
 /// Errors returned by [`Model::solve`](crate::Model::solve).
 #[derive(Clone, Debug, PartialEq)]
 pub enum LpError {
@@ -17,6 +48,18 @@ pub enum LpError {
     /// The basis factorization became numerically singular and recovery
     /// (refactorization with a fresh crash basis) also failed.
     NumericalFailure(String),
+    /// Numerical distress (non-finite solution values, singular or
+    /// unstable factorizations) survived the full rescue ladder:
+    /// conservative-option retry *and* the dense-oracle fallback both
+    /// failed to produce a finite optimal point. This is a typed,
+    /// non-panicking terminal outcome — service layers treat it like
+    /// any other engine error and degrade.
+    NumericalDistress {
+        /// The symptom that tripped the guard.
+        kind: DistressKind,
+        /// Human-readable context (which stage detected it).
+        detail: String,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -28,6 +71,9 @@ impl fmt::Display for LpError {
                 write!(f, "iteration limit reached after {iterations} iterations")
             }
             LpError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::NumericalDistress { kind, detail } => {
+                write!(f, "numerical distress ({}): {detail}", kind.label())
+            }
         }
     }
 }

@@ -60,7 +60,7 @@ mod solution;
 mod sparse;
 mod standard;
 
-pub use error::LpError;
+pub use error::{DistressKind, LpError};
 pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
 pub use presolve::{detect_slot_blocks, slot_block_crash, SlotBlocks};
 pub use simplex::dual::{Basis, BasisStatus};

@@ -127,10 +127,109 @@ enum CStat {
 }
 
 /// Entry point used by [`Model::solve_with`].
+///
+/// Wraps the sparse engine in the numerical-distress rescue ladder:
+/// a non-finite solution or an unrecoverable factorization failure
+/// triggers one retry with conservative options (eta updates, eager
+/// refactorization, looser pivot tolerance), and if that also
+/// distresses, the dense tableau oracle takes the solve. Every rescue
+/// is recorded in [`SolveStats::distress_retries`] /
+/// [`SolveStats::dense_fallbacks`]; only when the whole ladder fails
+/// does the caller see a typed [`LpError::NumericalDistress`].
+///
+/// [`SolveStats::distress_retries`]: crate::solution::SolveStats::distress_retries
+/// [`SolveStats::dense_fallbacks`]: crate::solution::SolveStats::dense_fallbacks
 pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, LpError> {
     if options.engine == LpEngine::Dense {
-        return crate::dense::solve(model);
+        return crate::dense::solve(model).and_then(check_finite);
     }
+    match solve_attempt(model, options).and_then(check_finite) {
+        Ok(sol) => Ok(sol),
+        Err(e) if is_distress(&e) => {
+            let conservative = conservative_options(options);
+            match solve_attempt(model, &conservative).and_then(check_finite) {
+                Ok(mut sol) => {
+                    sol.stats.distress_retries += 1;
+                    Ok(sol)
+                }
+                Err(e2) if is_distress(&e2) => {
+                    match crate::dense::solve(model).and_then(check_finite) {
+                        Ok(mut sol) => {
+                            sol.stats.distress_retries += 1;
+                            sol.stats.dense_fallbacks += 1;
+                            Ok(sol)
+                        }
+                        Err(e3) => Err(into_distress(e3)),
+                    }
+                }
+                Err(e2) => Err(e2),
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Is this error a numerical symptom the rescue ladder can act on?
+/// (Infeasible / Unbounded / IterationLimit are *answers*, not
+/// distress, and propagate untouched.)
+pub(crate) fn is_distress(e: &LpError) -> bool {
+    matches!(
+        e,
+        LpError::NumericalFailure(_) | LpError::NumericalDistress { .. }
+    )
+}
+
+/// Rejects solutions carrying NaN/±∞ in the objective or primal point.
+pub(crate) fn check_finite(sol: Solution) -> Result<Solution, LpError> {
+    if !sol.objective.is_finite() {
+        return Err(LpError::NumericalDistress {
+            kind: crate::DistressKind::NonFiniteObjective,
+            detail: format!("objective came back {}", sol.objective),
+        });
+    }
+    if let Some(j) = sol.x.iter().position(|v| !v.is_finite()) {
+        return Err(LpError::NumericalDistress {
+            kind: crate::DistressKind::NonFinitePrimal,
+            detail: format!("x[{j}] came back {}", sol.x[j]),
+        });
+    }
+    Ok(sol)
+}
+
+/// The retry configuration of the rescue ladder: eta updates (simpler,
+/// better-understood numerics than FT spikes), eager refactorization,
+/// and a looser pivot tolerance so near-singular pivots are declined
+/// rather than taken.
+pub(crate) fn conservative_options(options: &SolverOptions) -> SolverOptions {
+    SolverOptions {
+        basis_update: BasisUpdate::Eta,
+        refactor_interval: options.refactor_interval.clamp(1, 20),
+        pivot_tol: options.pivot_tol.max(1e-7),
+        pricing: Pricing::Devex,
+        partial_pricing_block: 0,
+        ..options.clone()
+    }
+}
+
+/// Terminal conversion once the whole ladder is exhausted: untyped
+/// `NumericalFailure` messages become the typed distress the service
+/// layer keys its degrade ladder on.
+pub(crate) fn into_distress(e: LpError) -> LpError {
+    match e {
+        LpError::NumericalFailure(msg) => {
+            let kind = if msg.contains("unstable") || msg.contains("update") {
+                crate::DistressKind::UnstableUpdate
+            } else {
+                crate::DistressKind::SingularBasis
+            };
+            LpError::NumericalDistress { kind, detail: msg }
+        }
+        other => other,
+    }
+}
+
+/// One sparse-engine attempt, no rescue.
+fn solve_attempt(model: &Model, options: &SolverOptions) -> Result<Solution, LpError> {
     // Presolve (also decides trivial infeasibility/unboundedness).
     let pre = if options.presolve {
         Some(presolve::presolve(model)?)
@@ -200,6 +299,8 @@ impl ScaledSolution {
             refactor_interval: self.ops.refactor_interval,
             refactor_fill: self.ops.refactor_fill,
             refactor_unstable: self.ops.refactor_unstable,
+            distress_retries: 0,
+            dense_fallbacks: 0,
         }
     }
 }

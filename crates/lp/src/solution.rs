@@ -73,6 +73,14 @@ pub struct SolveStats {
     /// Refactorizations forced by the FT stability monitor declining a
     /// spike.
     pub refactor_unstable: usize,
+    /// Numerical-distress rescues that re-ran the solve with
+    /// conservative options (tighter tolerances, eta updates, eager
+    /// refactorization) after the first attempt produced a non-finite
+    /// point or an unstable factorization.
+    pub distress_retries: usize,
+    /// Rescues that fell all the way through to the dense tableau
+    /// oracle after the conservative sparse retry also failed.
+    pub dense_fallbacks: usize,
 }
 
 impl SolveStats {
@@ -91,6 +99,8 @@ impl SolveStats {
         self.refactor_interval += other.refactor_interval;
         self.refactor_fill += other.refactor_fill;
         self.refactor_unstable += other.refactor_unstable;
+        self.distress_retries += other.distress_retries;
+        self.dense_fallbacks += other.dense_fallbacks;
     }
 }
 

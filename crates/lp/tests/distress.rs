@@ -1,0 +1,80 @@
+//! Numerical-distress guard tests: non-finite solutions and exhausted
+//! rescue ladders must surface as typed [`LpError::NumericalDistress`]
+//! values — never panics — and healthy solves must not pay for the
+//! guard (zero rescue counters).
+
+use coflow_lp::{Cmp, DistressKind, LpError, Model, Sense, SolveStats, SolverOptions};
+
+/// An LP whose optimal objective overflows f64: both variables sit at
+/// their upper bound 2 with objective weight 1e308, so `Σ c_j x_j = ∞`.
+/// Internal scaling keeps the *solve* finite; the guard must catch the
+/// non-finite reported objective on the way out.
+fn overflow_model() -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var("x", 0.0, 2.0, 1e308);
+    let y = m.add_var("y", 0.0, 2.0, 1e308);
+    m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+    m
+}
+
+#[test]
+fn non_finite_objective_is_typed_distress() {
+    let m = overflow_model();
+    match m.solve() {
+        Err(LpError::NumericalDistress { kind, .. }) => {
+            assert_eq!(kind, DistressKind::NonFiniteObjective);
+        }
+        other => panic!("expected typed distress, got {other:?}"),
+    }
+}
+
+#[test]
+fn warm_path_surfaces_typed_distress() {
+    let m = overflow_model();
+    match m.solve_warm(None, &SolverOptions::default()) {
+        Err(LpError::NumericalDistress { kind, .. }) => {
+            assert_eq!(kind, DistressKind::NonFiniteObjective);
+        }
+        other => panic!("expected typed distress, got {:?}", other.map(|(s, _)| s)),
+    }
+}
+
+#[test]
+fn distress_display_carries_kind_label() {
+    let e = LpError::NumericalDistress {
+        kind: DistressKind::SingularBasis,
+        detail: "refactorization found a zero pivot".into(),
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("singular-basis"), "got: {msg}");
+    assert!(msg.contains("zero pivot"), "got: {msg}");
+}
+
+#[test]
+fn healthy_solve_pays_nothing_for_the_guard() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var("x", 0.0, 10.0, 1.0);
+    let y = m.add_var("y", 0.0, 10.0, 2.0);
+    m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+    let sol = m.solve().expect("small LP solves");
+    assert!((sol.objective - 3.0).abs() < 1e-9);
+    assert_eq!(sol.stats.distress_retries, 0);
+    assert_eq!(sol.stats.dense_fallbacks, 0);
+}
+
+#[test]
+fn merge_accumulates_rescue_counters() {
+    let mut a = SolveStats {
+        distress_retries: 1,
+        dense_fallbacks: 0,
+        ..Default::default()
+    };
+    let b = SolveStats {
+        distress_retries: 2,
+        dense_fallbacks: 1,
+        ..Default::default()
+    };
+    a.merge(&b);
+    assert_eq!(a.distress_retries, 3);
+    assert_eq!(a.dense_fallbacks, 1);
+}

@@ -217,6 +217,99 @@ pub struct ServiceOutcome {
     pub deadline_missed: usize,
 }
 
+/// One executed slot transfer in journal coordinates: shard-local
+/// coflow/flow indices plus dense edge indices (graph ids don't
+/// serialize; every shard shares the full fabric's edge numbering).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferRecord {
+    /// Shard-local coflow index.
+    pub coflow: usize,
+    /// Flow index within the coflow.
+    pub flow: usize,
+    /// Global schedule slot.
+    pub slot: u32,
+    /// Volume moved in the slot.
+    pub volume: f64,
+    /// `(edge index, volume)` routing of the transfer.
+    pub edges: Vec<(usize, f64)>,
+}
+
+/// The append-only events one shard core produced since the last drain
+/// — exactly the state [`TenantEngine::restore`] needs to replay it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CoreDelta {
+    /// New resolver activations `(coflow, flow, first_slot)`.
+    pub activations: Vec<(usize, usize, u32)>,
+    /// New executed-slot fixes `(coflow, flow, slot, fraction)`.
+    pub fixes: Vec<(usize, usize, u32, f64)>,
+    /// New per-epoch LP objectives.
+    pub objectives: Vec<f64>,
+    /// New executed transfers.
+    pub transfers: Vec<TransferRecord>,
+}
+
+/// Engine-level mutable state, serialized on every journal `STATE`
+/// line and reinstated verbatim by [`TenantEngine::restore`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineState {
+    /// Event policy: highest processed epoch.
+    pub frontier: Option<u32>,
+    /// Event policy: admitted release slots not yet processed.
+    pub pending_epochs: Vec<u32>,
+    /// Doubling policy: boundary of the open batch.
+    pub open_boundary: u32,
+    /// Doubling policy: admitted indices buffered for the open batch.
+    pub open_batch: Vec<usize>,
+    /// Epochs dispatched so far.
+    pub epochs_run: usize,
+    /// LP re-solves dispatched so far.
+    pub resolves: usize,
+    /// Per-core resolver horizon (0 = resolver not built yet).
+    pub horizons: Vec<u32>,
+    /// Per-core committed end of the doubling schedule.
+    pub committed: Vec<u32>,
+}
+
+/// Everything a journal reader accumulated for one tenant: the
+/// arguments of [`TenantEngine::restore`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoverySnapshot {
+    /// Engine admissions in order: the coflow and its *effective*
+    /// (frontier-clamped) release.
+    pub admitted: Vec<(PortCoflow, u32)>,
+    /// Per-shard egress shares, once the cores were created.
+    pub shares: Option<Vec<Vec<f64>>>,
+    /// Accumulated per-core event logs (parallel to `shares`).
+    pub cores: Vec<CoreDelta>,
+    /// Engine-level state at the last commit marker.
+    pub state: EngineState,
+}
+
+/// Tracks how much of each core's append-only logs a journal has
+/// already written, so [`TenantEngine::drain_recovery`] emits only the
+/// suffix.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryCursor {
+    cores: Vec<CoreCursor>,
+}
+
+impl RecoveryCursor {
+    /// Whether nothing has been drained through this cursor yet (the
+    /// journal holds no `CORES` line or core events).
+    pub fn is_fresh(&self) -> bool {
+        self.cores.is_empty()
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct CoreCursor {
+    acts: usize,
+    fixes: usize,
+    objs: usize,
+    /// Per local coflow, per flow: schedule entries already drained.
+    sched: Vec<Vec<usize>>,
+}
+
 /// One shard's persistent scheduling state: a gadgeted switch graph, an
 /// owned warm resolver over the coflows (or parts of coflows) landing
 /// in this shard, and the execution bookkeeping of the epoch loop.
@@ -355,6 +448,147 @@ impl EpochCore {
                     let grown = ((resolver.horizon() as f64) * 1.5).ceil() as u32 + 1;
                     resolver.rebuild(grown)?;
                 }
+            }
+        }
+    }
+
+    /// Reinstates this core from journaled logs: build the resolver at
+    /// the journaled horizon, replay the activation/fix logs with ONE
+    /// model rebuild (no solves — this is why recovery is an order of
+    /// magnitude cheaper than re-running every epoch), then replay the
+    /// executed transfers into `remaining`/`schedule` with the same
+    /// arithmetic the live epoch loop used.
+    ///
+    /// Every journal-sourced index is validated here: the resolver
+    /// replays its logs with plain indexing, so a corrupt journal must
+    /// be rejected with a typed error, not a panic.
+    fn restore(
+        &mut self,
+        delta: CoreDelta,
+        horizon: u32,
+        committed_end: u32,
+    ) -> Result<(), CoflowError> {
+        let bad = |what: String| Err(CoflowError::BadInstance(format!("journal: {what}")));
+        if horizon == 0 {
+            if !(delta.activations.is_empty()
+                && delta.fixes.is_empty()
+                && delta.objectives.is_empty()
+                && delta.transfers.is_empty())
+            {
+                return bad("shard events logged before its resolver existed".into());
+            }
+            self.committed_end = committed_end;
+            return Ok(());
+        }
+        let mut starts: Vec<Vec<Option<u32>>> = self
+            .staged
+            .iter()
+            .map(|cf| vec![None; cf.flows.len()])
+            .collect();
+        for &(j, i, slot) in &delta.activations {
+            match starts.get_mut(j).and_then(|row| row.get_mut(i)) {
+                Some(s) if (1..=horizon).contains(&slot) => *s = Some(slot),
+                _ => return bad(format!("activation ({j},{i},{slot}) out of range")),
+            }
+        }
+        for &(j, i, slot, frac) in &delta.fixes {
+            let active = starts
+                .get(j)
+                .and_then(|row| row.get(i))
+                .copied()
+                .flatten()
+                .is_some_and(|start| start <= slot && slot <= horizon);
+            if !active || !frac.is_finite() || frac < 0.0 {
+                return bad(format!("fix ({j},{i},{slot},{frac}) out of range"));
+            }
+        }
+        let edge_count = self.graph.edge_count();
+        for tr in &delta.transfers {
+            let in_range = self
+                .remaining
+                .get(tr.coflow)
+                .is_some_and(|row| tr.flow < row.len())
+                && tr.volume.is_finite()
+                && tr.volume >= 0.0
+                && tr
+                    .edges
+                    .iter()
+                    .all(|&(e, v)| e < edge_count && v.is_finite());
+            if !in_range {
+                return bad(format!(
+                    "transfer ({},{}) slot {} out of range",
+                    tr.coflow, tr.flow, tr.slot
+                ));
+            }
+        }
+        if !delta.objectives.iter().all(|o| o.is_finite()) {
+            return bad("non-finite epoch objective".into());
+        }
+
+        self.ensure_resolver(Some(horizon))?;
+        let resolver = self.resolver.as_mut().expect("resolver just built");
+        resolver.restore_logs(delta.activations, delta.fixes);
+        resolver.rebuild(horizon)?;
+        self.epoch_objectives = delta.objectives;
+        self.committed_end = committed_end;
+        for tr in delta.transfers {
+            self.remaining[tr.coflow][tr.flow] -= tr.volume;
+            if self.remaining[tr.coflow][tr.flow] < 1e-9 {
+                self.remaining[tr.coflow][tr.flow] = 0.0;
+            }
+            self.schedule.flows[tr.coflow][tr.flow].push(SlotTransfer {
+                slot: tr.slot,
+                volume: tr.volume,
+                edges: tr
+                    .edges
+                    .into_iter()
+                    .map(|(e, v)| (coflow_netgraph::EdgeId::from_index(e), v))
+                    .collect(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends this core's undrained log suffixes to `delta`, advancing
+    /// `cursor`.
+    fn drain_into(&self, cursor: &mut CoreCursor, delta: &mut CoreDelta) {
+        if let Some(r) = &self.resolver {
+            delta
+                .activations
+                .extend_from_slice(&r.activations()[cursor.acts..]);
+            cursor.acts = r.activations().len();
+            delta.fixes.extend_from_slice(&r.fixes()[cursor.fixes..]);
+            cursor.fixes = r.fixes().len();
+        }
+        delta
+            .objectives
+            .extend_from_slice(&self.epoch_objectives[cursor.objs..]);
+        cursor.objs = self.epoch_objectives.len();
+        while cursor.sched.len() < self.schedule.flows.len() {
+            let j = cursor.sched.len();
+            cursor.sched.push(vec![0; self.schedule.flows[j].len()]);
+        }
+        for (j, row) in self.schedule.flows.iter().enumerate() {
+            for (i, fl) in row.iter().enumerate() {
+                let seen = &mut cursor.sched[j][i];
+                // `finish` merges shard schedules by *taking* these
+                // rows; a post-finish drain (sealing the journal before
+                // its DONE marker) must not re-log or panic on the
+                // emptied rows.
+                if *seen > fl.len() {
+                    *seen = fl.len();
+                    continue;
+                }
+                for st in &fl[*seen..] {
+                    delta.transfers.push(TransferRecord {
+                        coflow: j,
+                        flow: i,
+                        slot: st.slot,
+                        volume: st.volume,
+                        edges: st.edges.iter().map(|&(e, v)| (e.index(), v)).collect(),
+                    });
+                }
+                *seen = fl.len();
             }
         }
     }
@@ -596,6 +830,10 @@ pub struct TenantEngine {
     placement: Vec<Vec<(usize, usize, Vec<usize>)>>,
     partition: Partition,
     cores: Option<Vec<EpochCore>>,
+    /// The per-shard egress shares the cores were created with (fixed
+    /// at first dispatch); journaled so recovery can rebuild identical
+    /// shard fabrics without re-deriving the proportional split.
+    egress_shares: Option<Vec<Vec<f64>>>,
     /// Arrivals admitted before the cores exist (their demands feed the
     /// proportional egress split).
     waiting: Vec<usize>,
@@ -625,6 +863,7 @@ impl TenantEngine {
             placement: Vec::new(),
             partition,
             cores: None,
+            egress_shares: None,
             waiting: Vec::new(),
             pending_epochs: BTreeSet::new(),
             frontier: None,
@@ -668,6 +907,164 @@ impl TenantEngine {
     /// Drains the per-epoch reports produced since the last call.
     pub fn take_reports(&mut self) -> Vec<EpochReport> {
         std::mem::take(&mut self.reports)
+    }
+
+    /// Effective (frontier-clamped) release of each admitted coflow —
+    /// what the journal's engine-admission records persist.
+    pub fn releases(&self) -> &[u32] {
+        &self.releases
+    }
+
+    /// The per-shard egress shares, once the cores exist.
+    pub fn egress_shares(&self) -> Option<&[Vec<f64>]> {
+        self.egress_shares.as_deref()
+    }
+
+    /// Snapshot of the engine-level mutable state for a journal `STATE`
+    /// line.
+    pub fn state(&self) -> EngineState {
+        let (horizons, committed) = match &self.cores {
+            None => (Vec::new(), Vec::new()),
+            Some(cores) => (
+                cores
+                    .iter()
+                    .map(|c| c.resolver.as_ref().map_or(0, |r| r.horizon()))
+                    .collect(),
+                cores.iter().map(|c| c.committed_end).collect(),
+            ),
+        };
+        EngineState {
+            frontier: self.frontier,
+            pending_epochs: self.pending_epochs.iter().copied().collect(),
+            open_boundary: self.open_boundary,
+            open_batch: self.open_batch.clone(),
+            epochs_run: self.epochs_run,
+            resolves: self.resolves,
+            horizons,
+            committed,
+        }
+    }
+
+    /// Appends every core's undrained append-only events to a fresh
+    /// per-core delta list (empty deltas included, so indices line up
+    /// with the shard layout), advancing `cursor`.
+    pub fn drain_recovery(&self, cursor: &mut RecoveryCursor) -> Vec<CoreDelta> {
+        let Some(cores) = &self.cores else {
+            return Vec::new();
+        };
+        while cursor.cores.len() < cores.len() {
+            cursor.cores.push(CoreCursor::default());
+        }
+        cores
+            .iter()
+            .zip(&mut cursor.cores)
+            .map(|(core, cur)| {
+                let mut delta = CoreDelta::default();
+                core.drain_into(cur, &mut delta);
+                delta
+            })
+            .collect()
+    }
+
+    /// A cursor already synced to the engine's current state — what a
+    /// recovered session starts from, so only post-recovery events hit
+    /// the journal.
+    pub fn recovery_cursor(&self) -> RecoveryCursor {
+        let mut cursor = RecoveryCursor::default();
+        self.drain_recovery(&mut cursor);
+        cursor
+    }
+
+    /// Reinstates an engine from journaled state: re-admit every coflow
+    /// at its journaled effective release (no epochs run), rebuild the
+    /// shard cores from the journaled egress shares, replay each core's
+    /// activation/fix logs with one model rebuild apiece, and replay
+    /// the executed transfers. The restored engine continues exactly
+    /// where the crashed one stopped: same instance, same horizon, same
+    /// frozen window — so its remaining epoch objectives match an
+    /// uninterrupted run's to LP-optimum uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// [`CoflowError::BadInstance`] on any malformed or out-of-range
+    /// journal record (a truncated or corrupt journal must surface as
+    /// an error, never a panic).
+    pub fn restore(
+        num_ports: usize,
+        config: EngineConfig,
+        snap: RecoverySnapshot,
+    ) -> Result<TenantEngine, CoflowError> {
+        let RecoverySnapshot {
+            admitted,
+            shares,
+            cores: deltas,
+            state,
+        } = snap;
+        let mut eng = TenantEngine::new(num_ports, config);
+        for (pc, rel) in admitted {
+            validate_port_coflow(num_ports, &pc)?;
+            let a = eng.admitted.len();
+            eng.releases.push(rel);
+            eng.admitted.push(pc);
+            eng.place_or_wait(a)?;
+        }
+        match shares {
+            None => {
+                if !deltas.is_empty() {
+                    return Err(CoflowError::BadInstance(
+                        "journal: shard events before the cores existed".into(),
+                    ));
+                }
+            }
+            Some(shares) => {
+                let groups = eng.partition.num_groups();
+                let shares_ok = shares.len() == groups
+                    && shares.iter().all(|row| {
+                        row.len() == num_ports && row.iter().all(|s| s.is_finite() && *s >= 0.0)
+                    });
+                if !shares_ok {
+                    return Err(CoflowError::BadInstance(format!(
+                        "journal: egress shares don't fit {groups} shards × {num_ports} ports"
+                    )));
+                }
+                if deltas.len() > groups
+                    || state.horizons.len() > groups
+                    || state.committed.len() > groups
+                {
+                    return Err(CoflowError::BadInstance(
+                        "journal: more shard records than shards".into(),
+                    ));
+                }
+                eng.cores = Some(
+                    shares
+                        .iter()
+                        .map(|row| EpochCore::new(num_ports, row, eng.config.warm))
+                        .collect(),
+                );
+                eng.egress_shares = Some(shares);
+                for a in std::mem::take(&mut eng.waiting) {
+                    eng.place(a)?;
+                }
+                let cores = eng.cores.as_mut().expect("cores just created");
+                for (g, delta) in deltas.into_iter().enumerate() {
+                    let horizon = state.horizons.get(g).copied().unwrap_or(0);
+                    let committed = state.committed.get(g).copied().unwrap_or(0);
+                    cores[g].restore(delta, horizon, committed)?;
+                }
+            }
+        }
+        if state.open_batch.iter().any(|&a| a >= eng.admitted.len()) {
+            return Err(CoflowError::BadInstance(
+                "journal: open-batch member out of range".into(),
+            ));
+        }
+        eng.frontier = state.frontier;
+        eng.pending_epochs = state.pending_epochs.iter().copied().collect();
+        eng.open_boundary = state.open_boundary;
+        eng.open_batch = state.open_batch;
+        eng.epochs_run = state.epochs_run;
+        eng.resolves = state.resolves;
+        Ok(eng)
     }
 
     /// Admits one coflow and runs every epoch whose window the arrival
@@ -950,6 +1347,7 @@ impl TenantEngine {
                 .map(|row| EpochCore::new(self.num_ports, row, self.config.warm))
                 .collect(),
         );
+        self.egress_shares = Some(shares);
         for a in std::mem::take(&mut self.waiting) {
             self.place(a)?;
         }

@@ -117,6 +117,7 @@ pub fn ordering_outcome(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

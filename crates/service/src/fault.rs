@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the serve loop.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string
+//! (`coflow serve --fault-plan "seed=7;engine-error=3,5;slow=2;garbage=4x2;disconnect=12"`)
+//! and consulted by the session at fixed points:
+//!
+//! - `engine-error=I,J,...` — the I-th and J-th *engine admission
+//!   attempts* (session-wide, 0-based, probes included) fail with an
+//!   injected engine error before the real engine is touched, driving
+//!   the degrade ladder exactly as a genuine LP fault would.
+//! - `slow=I,...` — the I-th epoch reports count as solve-budget
+//!   breaches (when a budget is configured), tripping the watchdog
+//!   without actually sleeping.
+//! - `garbage=NxK` — K pseudorandom byte lines (seeded, reproducible)
+//!   are fed through the parser immediately before input line N; each
+//!   must yield `ERR`, never a panic.
+//! - `disconnect=N` — the session aborts after input line N without
+//!   running finish: an in-process stand-in for `kill -9`, leaving the
+//!   write-ahead journal mid-stream for recovery tests.
+//!
+//! Everything is a pure function of the spec (plus `seed=` for the
+//! garbage bytes), so a failing chaos run can be replayed exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parsed, deterministic fault-injection schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the garbage-byte generator.
+    pub seed: u64,
+    engine_errors: BTreeSet<usize>,
+    slow_epochs: BTreeSet<usize>,
+    garbage_before: BTreeMap<usize, usize>,
+    /// Abort the session (no finish, no `DONE`) after this many input
+    /// lines — the in-process crash simulator.
+    pub disconnect_after: Option<usize>,
+}
+
+fn parse_index_list(value: &str, key: &str) -> Result<BTreeSet<usize>, String> {
+    value
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("{key} wants comma-separated indices, got {tok:?}"))
+        })
+        .collect()
+}
+
+impl FaultPlan {
+    /// Parses a `;`-separated spec: `seed=S`, `engine-error=I,J`,
+    /// `slow=I,J`, `garbage=NxK` (repeatable), `disconnect=N`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} wants key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("seed wants an integer, got {value:?}"))?;
+                }
+                "engine-error" => {
+                    plan.engine_errors = parse_index_list(value, "engine-error")?;
+                }
+                "slow" => {
+                    plan.slow_epochs = parse_index_list(value, "slow")?;
+                }
+                "garbage" => {
+                    let (line, count) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("garbage wants NxK, got {value:?}"))?;
+                    let line = line
+                        .parse::<usize>()
+                        .map_err(|_| format!("garbage line wants an integer, got {line:?}"))?;
+                    let count = count
+                        .parse::<usize>()
+                        .map_err(|_| format!("garbage count wants an integer, got {count:?}"))?;
+                    *plan.garbage_before.entry(line).or_insert(0) += count;
+                }
+                "disconnect" => {
+                    plan.disconnect_after = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("disconnect wants an integer, got {value:?}"))?,
+                    );
+                }
+                _ => return Err(format!("unknown fault clause {key:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether any fault is scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.engine_errors.is_empty()
+            && self.slow_epochs.is_empty()
+            && self.garbage_before.is_empty()
+            && self.disconnect_after.is_none()
+    }
+
+    /// Should the `attempt`-th engine admission fail with an injected
+    /// error?
+    pub fn engine_error_at(&self, attempt: usize) -> bool {
+        self.engine_errors.contains(&attempt)
+    }
+
+    /// Should the `index`-th epoch report count as a solve-budget
+    /// breach?
+    pub fn slow_at(&self, index: usize) -> bool {
+        self.slow_epochs.contains(&index)
+    }
+
+    /// How many garbage lines to inject before input line `line_no`
+    /// (1-based).
+    pub fn garbage_count_before(&self, line_no: usize) -> usize {
+        self.garbage_before.get(&line_no).copied().unwrap_or(0)
+    }
+
+    /// The `k`-th garbage line: 8–40 pseudorandom non-newline bytes,
+    /// deliberately including invalid UTF-8, fully determined by
+    /// `seed` and `k`.
+    pub fn garbage_line(&self, k: usize) -> Vec<u8> {
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((k as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let len = 8 + (next() % 33) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        while bytes.len() < len {
+            let b = (next() & 0xFF) as u8;
+            if b != b'\n' && b != b'\r' && b != 0 {
+                bytes.push(b);
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_spec() {
+        let p = FaultPlan::parse("seed=7;engine-error=3,5;slow=2;garbage=4x2;disconnect=12")
+            .expect("valid spec");
+        assert_eq!(p.seed, 7);
+        assert!(p.engine_error_at(3) && p.engine_error_at(5) && !p.engine_error_at(4));
+        assert!(p.slow_at(2) && !p.slow_at(1));
+        assert_eq!(p.garbage_count_before(4), 2);
+        assert_eq!(p.garbage_count_before(5), 0);
+        assert_eq!(p.disconnect_after, Some(12));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_and_seed_only_specs_inject_nothing() {
+        assert!(FaultPlan::parse("").expect("empty spec").is_empty());
+        assert!(FaultPlan::parse("seed=42").expect("seed only").is_empty());
+    }
+
+    #[test]
+    fn bad_clauses_are_named() {
+        assert!(FaultPlan::parse("nope=1").unwrap_err().contains("nope"));
+        assert!(FaultPlan::parse("garbage=4").unwrap_err().contains("NxK"));
+        assert!(FaultPlan::parse("slow=x").unwrap_err().contains("slow"));
+    }
+
+    #[test]
+    fn garbage_is_deterministic_and_newline_free() {
+        let p = FaultPlan::parse("seed=9;garbage=1x3").expect("valid spec");
+        let a = p.garbage_line(0);
+        let b = p.garbage_line(0);
+        assert_eq!(a, b);
+        assert_ne!(p.garbage_line(0), p.garbage_line(1));
+        for k in 0..16 {
+            let line = p.garbage_line(k);
+            assert!(line.len() >= 8);
+            assert!(line.iter().all(|&b| b != b'\n' && b != b'\r' && b != 0));
+        }
+    }
+}

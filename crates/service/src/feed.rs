@@ -51,6 +51,9 @@ pub struct FeedOptions {
     /// Deadline slack factor forwarded as `deadline-slack=F`
     /// (`0` = omit, no deadlines).
     pub deadline_slack: f64,
+    /// Per-epoch solve budget forwarded as `max-solve-ms=F`
+    /// (`0` = omit).
+    pub max_solve_ms: f64,
 }
 
 impl Default for FeedOptions {
@@ -71,6 +74,7 @@ impl Default for FeedOptions {
             fallback: false,
             max_resolves: 0,
             deadline_slack: 0.0,
+            max_solve_ms: 0.0,
         }
     }
 }
@@ -117,6 +121,9 @@ pub fn hello_line(num_ports: usize, base: usize, opts: &FeedOptions) -> String {
     }
     if opts.deadline_slack > 0.0 {
         line.push_str(&format!(" deadline-slack={}", opts.deadline_slack));
+    }
+    if opts.max_solve_ms > 0.0 {
+        line.push_str(&format!(" max-solve-ms={}", opts.max_solve_ms));
     }
     if opts.cold {
         line.push_str(" cold");
@@ -212,7 +219,9 @@ pub fn feed<W: Write + Send>(
         drop(writer);
         stream.shutdown(std::net::Shutdown::Write).map_err(io_err)?;
 
-        let (received, errors, done, lines) = drain.join().expect("reader thread");
+        let (received, errors, done, lines) = drain
+            .join()
+            .map_err(|_| CoflowError::Io("feed reader thread panicked".to_string()))?;
         summary.received = received;
         summary.errors = errors;
         summary.done = done;
@@ -225,6 +234,7 @@ pub fn feed<W: Write + Send>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use coflow_workloads::trace::parse_coflow_line;

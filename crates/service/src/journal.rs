@@ -1,0 +1,751 @@
+//! The per-tenant write-ahead journal and its recovery reader.
+//!
+//! `coflow serve --journal DIR` gives every tenant an append-only
+//! event file `DIR/<tenant>.journal`. The daemon journals each round
+//! *before* emitting its response lines, in the resolver's native
+//! replay shape (the same activation/fix logs
+//! [`TimeIndexedResolver::rebuild`] replays), so recovery is one model
+//! build plus a log replay per shard — no LP re-solves:
+//!
+//! ```text
+//! HELLO <raw protocol line>                      tenant config, verbatim
+//! ADMIT <id> <weight> <release> <deadline|-> m:r:d,...   validated arrival
+//! ENGADM <arrival> <eff_release>                engine admission (by ADMIT index)
+//! CORES <s,..>;<s,..>                           per-shard egress shares, once
+//! ACT <g> <j> <i> <slot>                        resolver activation
+//! FIX <g> <j> <i> <slot> <frac>                 executed-slot fix
+//! XFER <g> <j> <i> <slot> <vol> <e:a,..|->      executed transfer
+//! OBJ <g> <objective>                           per-epoch LP objective
+//! REPORT <epoch> <obj> <iters> <warm> <cold|-> <wall_ms>   emitted epoch
+//! STATE frontier=.. pending=.. ... engnext=..   COMMIT MARKER
+//! DONE                                          clean finish
+//! ```
+//!
+//! The `STATE` line is the commit marker: the reader folds events into
+//! its committed snapshot only when it reaches one, and discards
+//! anything after the last marker (torn or uncommitted writes). Since
+//! the daemon journals-then-responds, a client never sees a response
+//! whose round did not commit — `kill -9` at any instant loses at most
+//! the rounds the client never heard about. All floats go through
+//! `{}` formatting, which round-trips `f64` exactly.
+//!
+//! [`TimeIndexedResolver::rebuild`]: coflow_core::resolver::TimeIndexedResolver::rebuild
+
+use crate::engine::{
+    CoreDelta, EngineState, EpochReport, PortCoflow, RecoverySnapshot, TransferRecord,
+};
+use crate::ladder::Ladder;
+use crate::protocol::Tier;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Maps a tenant name to a journal file name: conservative characters
+/// pass through, everything else becomes `_` with a hash suffix so
+/// distinct names cannot collide.
+pub fn journal_file_name(tenant: &str) -> String {
+    let sanitized: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if sanitized == tenant {
+        format!("{sanitized}.journal")
+    } else {
+        // FNV-1a keeps "a/b" and "a_b" apart after sanitization.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in tenant.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{sanitized}-{h:016x}.journal")
+    }
+}
+
+/// Append-only writer for one tenant's journal. Events buffer in
+/// process; [`commit`](Self::commit) writes the `STATE` marker and
+/// flushes, which is the durability point the recovery reader honors.
+pub struct JournalWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) `DIR/<tenant>.journal`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn create(dir: &Path, tenant: &str) -> std::io::Result<JournalWriter> {
+        let path = dir.join(journal_file_name(tenant));
+        Ok(JournalWriter {
+            out: BufWriter::new(File::create(&path)?),
+            path,
+        })
+    }
+
+    /// Reopens an existing journal for appending (the recovered-session
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn open_append(path: &Path) -> std::io::Result<JournalWriter> {
+        Ok(JournalWriter {
+            out: BufWriter::new(OpenOptions::new().append(true).open(path)?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event line (no flush — cheap).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn event(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.out, "{line}")
+    }
+
+    /// Appends the `STATE` commit marker and flushes everything this
+    /// round wrote.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn commit(&mut self, state: &EngineState, ladder: &Ladder) -> std::io::Result<()> {
+        writeln!(self.out, "{}", state_line(state, ladder))?;
+        self.out.flush()
+    }
+
+    /// Appends the clean-finish marker and flushes; recovery skips a
+    /// `DONE` journal entirely.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        writeln!(self.out, "DONE")?;
+        self.out.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line serialization
+// ---------------------------------------------------------------------
+
+fn u32_list(xs: &[u32]) -> String {
+    if xs.is_empty() {
+        "-".into()
+    } else {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn usize_list(xs: &[usize]) -> String {
+    if xs.is_empty() {
+        "-".into()
+    } else {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// `ADMIT` — one validated arrival in port coordinates.
+pub fn admit_line(pc: &PortCoflow) -> String {
+    let mut line = format!(
+        "ADMIT {} {} {} {} ",
+        pc.id,
+        pc.weight,
+        pc.release,
+        pc.deadline.map_or("-".into(), |d| d.to_string()),
+    );
+    for (k, &(m, r, d)) in pc.flows.iter().enumerate() {
+        if k > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{m}:{r}:{d}");
+    }
+    line
+}
+
+/// `ENGADM` — arrival `a` entered the LP engine at effective release
+/// `rel`.
+pub fn engadm_line(a: usize, rel: u32) -> String {
+    format!("ENGADM {a} {rel}")
+}
+
+/// `CORES` — the per-shard egress shares the cores were created with.
+pub fn cores_line(shares: &[Vec<f64>]) -> String {
+    let rows: Vec<String> = shares
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    format!("CORES {}", rows.join(";"))
+}
+
+/// `ACT`/`FIX`/`XFER`/`OBJ` lines for one core's drained delta.
+pub fn delta_lines(g: usize, delta: &CoreDelta) -> Vec<String> {
+    let mut lines = Vec::new();
+    for &(j, i, slot) in &delta.activations {
+        lines.push(format!("ACT {g} {j} {i} {slot}"));
+    }
+    for &(j, i, slot, frac) in &delta.fixes {
+        lines.push(format!("FIX {g} {j} {i} {slot} {frac}"));
+    }
+    for tr in &delta.transfers {
+        let edges = if tr.edges.is_empty() {
+            "-".into()
+        } else {
+            tr.edges
+                .iter()
+                .map(|(e, v)| format!("{e}:{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        lines.push(format!(
+            "XFER {g} {} {} {} {} {edges}",
+            tr.coflow, tr.flow, tr.slot, tr.volume
+        ));
+    }
+    for o in &delta.objectives {
+        lines.push(format!("OBJ {g} {o}"));
+    }
+    lines
+}
+
+/// `REPORT` — an emitted epoch report (transfers are not persisted;
+/// recovery re-emits `EPOCH` lines without `RATE` detail).
+pub fn report_line(r: &EpochReport) -> String {
+    format!(
+        "REPORT {} {} {} {} {} {}",
+        r.epoch,
+        r.objective,
+        r.iterations,
+        u8::from(r.warm),
+        r.cold_iterations.map_or("-".into(), |c| c.to_string()),
+        r.wall_ms,
+    )
+}
+
+/// `STATE` — the commit marker carrying the engine- and ladder-level
+/// state.
+pub fn state_line(state: &EngineState, ladder: &Ladder) -> String {
+    format!(
+        "STATE frontier={} pending={} boundary={} batch={} epochs={} resolves={} \
+         horizons={} committed={} tier={} home={} streak={} probe={} engnext={}",
+        state.frontier.map_or("-".into(), |f| f.to_string()),
+        u32_list(&state.pending_epochs),
+        state.open_boundary,
+        usize_list(&state.open_batch),
+        state.epochs_run,
+        state.resolves,
+        u32_list(&state.horizons),
+        u32_list(&state.committed),
+        ladder.rung().label(),
+        ladder.home().label(),
+        ladder.fail_streak(),
+        ladder.probe_in(),
+        ladder.engine_next,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Recovery reader
+// ---------------------------------------------------------------------
+
+/// Everything the daemon needs to reinstate one tenant.
+#[derive(Debug, Default)]
+pub struct JournalRecovery {
+    /// The raw `HELLO` protocol line, re-parsed on recovery.
+    pub hello_line: String,
+    /// Every committed validated arrival, in order.
+    pub arrivals: Vec<PortCoflow>,
+    /// The engine-restore snapshot (admissions resolved to coflows).
+    pub snapshot: RecoverySnapshot,
+    /// Committed epoch reports, re-emitted as `EPOCH` lines.
+    pub reports: Vec<EpochReport>,
+    /// Ladder state at the last commit.
+    pub ladder: Ladder,
+    /// The tenant finished cleanly — nothing to recover.
+    pub done: bool,
+}
+
+fn jerr(line_no: usize, msg: impl std::fmt::Display) -> String {
+    format!("journal line {line_no}: {msg}")
+}
+
+fn parse_u32_list(s: &str, line_no: usize) -> Result<Vec<u32>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            t.parse()
+                .map_err(|_| jerr(line_no, format!("bad u32 {t:?}")))
+        })
+        .collect()
+}
+
+fn parse_usize_list(s: &str, line_no: usize) -> Result<Vec<usize>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            t.parse()
+                .map_err(|_| jerr(line_no, format!("bad index {t:?}")))
+        })
+        .collect()
+}
+
+/// Events buffered between commit markers.
+#[derive(Default)]
+struct Pending {
+    arrivals: Vec<PortCoflow>,
+    engadm: Vec<(usize, u32)>,
+    shares: Option<Vec<Vec<f64>>>,
+    core_events: Vec<(usize, CoreEvent)>,
+    reports: Vec<EpochReport>,
+}
+
+enum CoreEvent {
+    Act(usize, usize, u32),
+    Fix(usize, usize, u32, f64),
+    Xfer(TransferRecord),
+    Obj(f64),
+}
+
+/// Parses one tenant journal, honoring the `STATE` commit discipline:
+/// only events followed by a `STATE` marker (and the `HELLO` header)
+/// survive; a torn tail line or uncommitted rounds are dropped
+/// silently.
+///
+/// # Errors
+///
+/// A message naming the first corrupt committed line. (Corruption
+/// *after* the last commit marker is unreachable by construction — the
+/// tail is discarded before parsing completes.)
+pub fn read_journal(path: &Path) -> Result<JournalRecovery, String> {
+    let content = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let content = String::from_utf8_lossy(&content);
+    let mut rec = JournalRecovery::default();
+    let mut pending = Pending::default();
+    let mut saw_hello = false;
+
+    for (k, raw) in content.split_inclusive('\n').enumerate() {
+        let line_no = k + 1;
+        let Some(line) = raw.strip_suffix('\n') else {
+            break; // torn final line: the crash hit mid-write
+        };
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "HELLO" => {
+                if saw_hello {
+                    return Err(jerr(line_no, "second HELLO header"));
+                }
+                saw_hello = true;
+                rec.hello_line = rest.to_string();
+            }
+            _ if !saw_hello => return Err(jerr(line_no, "event before the HELLO header")),
+            "ADMIT" => {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                if toks.len() != 5 {
+                    return Err(jerr(line_no, "ADMIT wants 5 fields"));
+                }
+                let weight: f64 = toks[1]
+                    .parse()
+                    .map_err(|_| jerr(line_no, "bad ADMIT weight"))?;
+                let release: u32 = toks[2]
+                    .parse()
+                    .map_err(|_| jerr(line_no, "bad ADMIT release"))?;
+                let deadline = if toks[3] == "-" {
+                    None
+                } else {
+                    Some(
+                        toks[3]
+                            .parse()
+                            .map_err(|_| jerr(line_no, "bad ADMIT deadline"))?,
+                    )
+                };
+                let mut flows = Vec::new();
+                for part in toks[4].split(',') {
+                    let mut it = part.split(':');
+                    let (Some(m), Some(r), Some(d), None) =
+                        (it.next(), it.next(), it.next(), it.next())
+                    else {
+                        return Err(jerr(line_no, format!("bad ADMIT flow {part:?}")));
+                    };
+                    flows.push((
+                        m.parse().map_err(|_| jerr(line_no, "bad flow mapper"))?,
+                        r.parse().map_err(|_| jerr(line_no, "bad flow reducer"))?,
+                        d.parse().map_err(|_| jerr(line_no, "bad flow demand"))?,
+                    ));
+                }
+                pending.arrivals.push(PortCoflow {
+                    id: toks[0].to_string(),
+                    weight,
+                    release,
+                    deadline,
+                    flows,
+                });
+            }
+            "ENGADM" => {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                if toks.len() != 2 {
+                    return Err(jerr(line_no, "ENGADM wants 2 fields"));
+                }
+                pending.engadm.push((
+                    toks[0]
+                        .parse()
+                        .map_err(|_| jerr(line_no, "bad ENGADM index"))?,
+                    toks[1]
+                        .parse()
+                        .map_err(|_| jerr(line_no, "bad ENGADM release"))?,
+                ));
+            }
+            "CORES" => {
+                let mut shares = Vec::new();
+                for row in rest.split(';') {
+                    let parsed: Result<Vec<f64>, String> = row
+                        .split(',')
+                        .map(|t| t.parse().map_err(|_| jerr(line_no, "bad CORES share")))
+                        .collect();
+                    shares.push(parsed?);
+                }
+                pending.shares = Some(shares);
+            }
+            "ACT" | "FIX" | "XFER" | "OBJ" => {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                let g: usize = toks
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| jerr(line_no, format!("bad {tag} shard")))?;
+                let bad = || jerr(line_no, format!("bad {tag} fields"));
+                let event = match (tag, toks.len()) {
+                    ("ACT", 4) => CoreEvent::Act(
+                        toks[1].parse().map_err(|_| bad())?,
+                        toks[2].parse().map_err(|_| bad())?,
+                        toks[3].parse().map_err(|_| bad())?,
+                    ),
+                    ("FIX", 5) => CoreEvent::Fix(
+                        toks[1].parse().map_err(|_| bad())?,
+                        toks[2].parse().map_err(|_| bad())?,
+                        toks[3].parse().map_err(|_| bad())?,
+                        toks[4].parse().map_err(|_| bad())?,
+                    ),
+                    ("XFER", 6) => {
+                        let mut edges = Vec::new();
+                        if toks[5] != "-" {
+                            for part in toks[5].split(',') {
+                                let (e, v) = part.split_once(':').ok_or_else(bad)?;
+                                edges.push((
+                                    e.parse().map_err(|_| bad())?,
+                                    v.parse().map_err(|_| bad())?,
+                                ));
+                            }
+                        }
+                        CoreEvent::Xfer(TransferRecord {
+                            coflow: toks[1].parse().map_err(|_| bad())?,
+                            flow: toks[2].parse().map_err(|_| bad())?,
+                            slot: toks[3].parse().map_err(|_| bad())?,
+                            volume: toks[4].parse().map_err(|_| bad())?,
+                            edges,
+                        })
+                    }
+                    ("OBJ", 2) => CoreEvent::Obj(toks[1].parse().map_err(|_| bad())?),
+                    _ => return Err(bad()),
+                };
+                pending.core_events.push((g, event));
+            }
+            "REPORT" => {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                if toks.len() != 6 {
+                    return Err(jerr(line_no, "REPORT wants 6 fields"));
+                }
+                let bad = || jerr(line_no, "bad REPORT fields");
+                pending.reports.push(EpochReport {
+                    epoch: toks[0].parse().map_err(|_| bad())?,
+                    objective: toks[1].parse().map_err(|_| bad())?,
+                    iterations: toks[2].parse().map_err(|_| bad())?,
+                    warm: toks[3] == "1",
+                    cold_iterations: if toks[4] == "-" {
+                        None
+                    } else {
+                        Some(toks[4].parse().map_err(|_| bad())?)
+                    },
+                    wall_ms: toks[5].parse().map_err(|_| bad())?,
+                    transfers: Vec::new(),
+                });
+            }
+            "STATE" => {
+                commit(&mut rec, &mut pending, rest, line_no)?;
+            }
+            "DONE" => {
+                rec.done = true;
+            }
+            _ => return Err(jerr(line_no, format!("unknown tag {tag:?}"))),
+        }
+    }
+    Ok(rec)
+}
+
+/// Folds the pending events into the committed snapshot and parses the
+/// `STATE` payload.
+fn commit(
+    rec: &mut JournalRecovery,
+    pending: &mut Pending,
+    state_rest: &str,
+    line_no: usize,
+) -> Result<(), String> {
+    let base = rec.arrivals.len();
+    rec.arrivals.append(&mut pending.arrivals);
+    for (a, rel) in pending.engadm.drain(..) {
+        let pc = rec
+            .arrivals
+            .get(a)
+            .ok_or_else(|| jerr(line_no, format!("ENGADM {a} has no ADMIT (have {base})")))?;
+        rec.snapshot.admitted.push((pc.clone(), rel));
+    }
+    if let Some(shares) = pending.shares.take() {
+        rec.snapshot.shares = Some(shares);
+    }
+    for (g, ev) in pending.core_events.drain(..) {
+        if g >= 64 {
+            return Err(jerr(line_no, format!("shard index {g} implausible")));
+        }
+        while rec.snapshot.cores.len() <= g {
+            rec.snapshot.cores.push(CoreDelta::default());
+        }
+        let core = &mut rec.snapshot.cores[g];
+        match ev {
+            CoreEvent::Act(j, i, slot) => core.activations.push((j, i, slot)),
+            CoreEvent::Fix(j, i, slot, frac) => core.fixes.push((j, i, slot, frac)),
+            CoreEvent::Xfer(tr) => core.transfers.push(tr),
+            CoreEvent::Obj(o) => core.objectives.push(o),
+        }
+    }
+    rec.reports.append(&mut pending.reports);
+
+    let mut state = EngineState::default();
+    let mut tier = Tier::Lp;
+    let mut home = Tier::Lp;
+    let mut streak = 0u32;
+    let mut probe = 0u32;
+    let mut engnext = 0usize;
+    for tok in state_rest.split_whitespace() {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| jerr(line_no, format!("STATE token {tok:?}")))?;
+        let bad = || jerr(line_no, format!("bad STATE {key}"));
+        match key {
+            "frontier" => {
+                state.frontier = if value == "-" {
+                    None
+                } else {
+                    Some(value.parse().map_err(|_| bad())?)
+                };
+            }
+            "pending" => state.pending_epochs = parse_u32_list(value, line_no)?,
+            "boundary" => state.open_boundary = value.parse().map_err(|_| bad())?,
+            "batch" => state.open_batch = parse_usize_list(value, line_no)?,
+            "epochs" => state.epochs_run = value.parse().map_err(|_| bad())?,
+            "resolves" => state.resolves = value.parse().map_err(|_| bad())?,
+            "horizons" => state.horizons = parse_u32_list(value, line_no)?,
+            "committed" => state.committed = parse_u32_list(value, line_no)?,
+            "tier" => tier = Tier::from_label(value).ok_or_else(bad)?,
+            "home" => home = Tier::from_label(value).ok_or_else(bad)?,
+            "streak" => streak = value.parse().map_err(|_| bad())?,
+            "probe" => probe = value.parse().map_err(|_| bad())?,
+            "engnext" => engnext = value.parse().map_err(|_| bad())?,
+            _ => return Err(jerr(line_no, format!("unknown STATE key {key:?}"))),
+        }
+    }
+    rec.snapshot.state = state;
+    rec.ladder = Ladder::restore(home, tier, streak, probe, engnext);
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn pc(id: &str) -> PortCoflow {
+        PortCoflow {
+            id: id.into(),
+            weight: 1.5,
+            release: 3,
+            deadline: Some(9),
+            flows: vec![(0, 1, 250.0), (2, 3, 0.1 + 0.2)],
+        }
+    }
+
+    fn write_lines(dir: &Path, name: &str, lines: &[&str], torn_tail: Option<&str>) -> PathBuf {
+        let path = dir.join(name);
+        let mut body = lines.join("\n");
+        if !lines.is_empty() {
+            body.push('\n');
+        }
+        if let Some(t) = torn_tail {
+            body.push_str(t); // no trailing newline: a torn write
+        }
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("coflow-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn admit_line_round_trips_floats_exactly() {
+        let c = pc("j1");
+        let line = admit_line(&c);
+        let dir = tmpdir("admit");
+        let path = write_lines(
+            &dir,
+            "t.journal",
+            &[
+                "HELLO t 4 base=0",
+                &line,
+                "STATE boundary=0 epochs=0 resolves=0",
+            ],
+            None,
+        );
+        let rec = read_journal(&path).unwrap();
+        assert_eq!(rec.arrivals.len(), 1);
+        let got = &rec.arrivals[0];
+        assert_eq!(got.id, c.id);
+        assert_eq!(got.weight.to_bits(), c.weight.to_bits());
+        assert_eq!(got.deadline, c.deadline);
+        assert_eq!(got.flows.len(), 2);
+        assert_eq!(got.flows[1].2.to_bits(), c.flows[1].2.to_bits());
+    }
+
+    #[test]
+    fn uncommitted_tail_and_torn_line_are_dropped() {
+        let c = pc("j1");
+        let dir = tmpdir("torn");
+        let path = write_lines(
+            &dir,
+            "t.journal",
+            &[
+                "HELLO t 4 base=0",
+                &admit_line(&c),
+                "STATE boundary=0 epochs=0 resolves=0",
+                &admit_line(&pc("j2")), // committed by no STATE: dropped
+            ],
+            Some("ADMIT j3 1 0 - 0:"), // torn mid-write
+        );
+        let rec = read_journal(&path).unwrap();
+        assert_eq!(rec.arrivals.len(), 1);
+        assert!(!rec.done);
+    }
+
+    #[test]
+    fn state_line_round_trips_engine_and_ladder() {
+        let state = EngineState {
+            frontier: Some(7),
+            pending_epochs: vec![8, 12],
+            open_boundary: 4,
+            open_batch: vec![1, 3],
+            epochs_run: 5,
+            resolves: 6,
+            horizons: vec![30, 0],
+            committed: vec![2, 0],
+        };
+        let mut ladder = Ladder::new(Tier::Lp);
+        ladder.demote();
+        ladder.engine_next = 9;
+        let dir = tmpdir("state");
+        let path = write_lines(
+            &dir,
+            "t.journal",
+            &["HELLO t 4", &state_line(&state, &ladder)],
+            None,
+        );
+        let rec = read_journal(&path).unwrap();
+        assert_eq!(rec.snapshot.state, state);
+        assert_eq!(rec.ladder.rung(), Tier::Ordering);
+        assert_eq!(rec.ladder.home(), Tier::Lp);
+        assert_eq!(rec.ladder.fail_streak(), 1);
+        assert_eq!(rec.ladder.probe_in(), 2);
+        assert_eq!(rec.ladder.engine_next, 9);
+    }
+
+    #[test]
+    fn core_events_fold_per_shard_and_done_is_sticky() {
+        let delta = CoreDelta {
+            activations: vec![(0, 0, 1)],
+            fixes: vec![(0, 0, 1, 0.25)],
+            objectives: vec![3.5],
+            transfers: vec![TransferRecord {
+                coflow: 0,
+                flow: 0,
+                slot: 1,
+                volume: 125.0,
+                edges: vec![(4, 125.0)],
+            }],
+        };
+        let mut lines = vec![
+            "HELLO t 4".to_string(),
+            cores_line(&[vec![1.0, 1.0]]),
+            engadm_line(0, 0),
+        ];
+        lines.extend(delta_lines(1, &delta));
+        lines.push("STATE boundary=0 epochs=1 resolves=1".into());
+        lines.push("DONE".into());
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let dir = tmpdir("core");
+        let path = write_lines(&dir, "t.journal", &refs, None);
+        // ENGADM references ADMIT 0 which never happened: hard error.
+        assert!(read_journal(&path).unwrap_err().contains("ENGADM"));
+
+        let mut lines2 = vec!["HELLO t 4".to_string(), admit_line(&pc("j1"))];
+        lines2.extend(refs.iter().skip(1).map(|s| s.to_string()));
+        let refs2: Vec<&str> = lines2.iter().map(String::as_str).collect();
+        let path2 = write_lines(&dir, "t2.journal", &refs2, None);
+        let rec = read_journal(&path2).unwrap();
+        assert!(rec.done);
+        assert_eq!(rec.snapshot.admitted.len(), 1);
+        assert_eq!(rec.snapshot.cores.len(), 2);
+        assert!(rec.snapshot.cores[0].activations.is_empty());
+        assert_eq!(rec.snapshot.cores[1], delta);
+    }
+
+    #[test]
+    fn journal_file_names_cannot_collide() {
+        assert_eq!(journal_file_name("plain-1"), "plain-1.journal");
+        let a = journal_file_name("a/b");
+        let b = journal_file_name("a_b");
+        assert_ne!(a, b);
+        assert!(a.ends_with(".journal"));
+    }
+}

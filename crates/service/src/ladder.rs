@@ -1,0 +1,259 @@
+//! The degrade ladder: solve watchdogs and engine faults demote a
+//! tenant one rung at a time (LP → ordering → shed) instead of
+//! quarantining it, and exponential-backoff retry probes promote it
+//! back up once the fault clears.
+//!
+//! The ladder is pure bookkeeping — it never touches the engine. The
+//! daemon consults it on every validated arrival:
+//!
+//! 1. A demotion (engine error, watchdog breach) moves the rung one
+//!    step down and schedules a probe `2^streak` arrivals out (capped
+//!    at 64).
+//! 2. When the countdown hits zero the daemon attempts a probe: from
+//!    the shed rung that is trivially "accept arrivals again" (promote
+//!    to ordering); from the ordering rung it re-admits the backlog to
+//!    the LP engine. Success resets the failure streak and moves one
+//!    rung up; failure doubles the backoff.
+//! 3. Four consecutive failures from the ordering rung drop the tenant
+//!    to admission shed — arrivals are refused with `ERR` until a
+//!    probe succeeds.
+//!
+//! `max-resolves` overload is different in kind: the tenant *chose* a
+//! resolve budget, so exceeding it lowers the ladder's *home* rung to
+//! ordering ([`Ladder::demote_home`]) — no probe will ever retry the
+//! LP tier for that tenant.
+
+use crate::protocol::Tier;
+
+/// Consecutive failures on the ordering rung before shedding
+/// admissions.
+const SHED_AFTER: u32 = 4;
+
+/// Cap on the probe backoff exponent (`2^6` = 64 arrivals).
+const MAX_BACKOFF_SHIFT: u32 = 6;
+
+/// Per-tenant degrade-ladder state.
+#[derive(Clone, Debug)]
+pub struct Ladder {
+    /// The rung the tenant asked for in `HELLO` — probes never promote
+    /// above it.
+    home: Tier,
+    /// The rung the tenant currently runs on.
+    rung: Tier,
+    /// Consecutive demotions + failed probes since the last success.
+    fail_streak: u32,
+    /// Arrivals until the next retry probe (0 = none scheduled).
+    probe_in: u32,
+    /// Index of the first arrival not yet admitted to the LP engine —
+    /// the backlog a successful probe replays.
+    pub engine_next: usize,
+}
+
+impl Default for Ladder {
+    fn default() -> Self {
+        Ladder::new(Tier::Lp)
+    }
+}
+
+impl Ladder {
+    /// A healthy ladder sitting on its home rung.
+    pub fn new(home: Tier) -> Self {
+        Ladder {
+            home,
+            rung: home,
+            fail_streak: 0,
+            probe_in: 0,
+            engine_next: 0,
+        }
+    }
+
+    /// Rebuilds ladder state from a journal `STATE` line.
+    pub fn restore(
+        home: Tier,
+        rung: Tier,
+        fail_streak: u32,
+        probe_in: u32,
+        engine_next: usize,
+    ) -> Self {
+        Ladder {
+            home,
+            rung,
+            fail_streak,
+            probe_in,
+            engine_next,
+        }
+    }
+
+    /// The rung the tenant currently runs on.
+    pub fn rung(&self) -> Tier {
+        self.rung
+    }
+
+    /// The tenant's home rung (requested in `HELLO`).
+    pub fn home(&self) -> Tier {
+        self.home
+    }
+
+    /// Consecutive failures since the last successful solve or probe.
+    pub fn fail_streak(&self) -> u32 {
+        self.fail_streak
+    }
+
+    /// Arrivals until the next retry probe (0 = none scheduled).
+    pub fn probe_in(&self) -> u32 {
+        self.probe_in
+    }
+
+    /// Whether the tenant runs below its home rung.
+    pub fn degraded(&self) -> bool {
+        self.rung > self.home
+    }
+
+    fn backoff(&self) -> u32 {
+        1 << self.fail_streak.min(MAX_BACKOFF_SHIFT)
+    }
+
+    /// A fault (engine error, watchdog breach) demotes one rung and
+    /// schedules a backoff probe. Returns the new rung.
+    pub fn demote(&mut self) -> Tier {
+        self.rung = match self.rung {
+            Tier::Lp => Tier::Ordering,
+            Tier::Ordering | Tier::Shed => Tier::Shed,
+        };
+        self.fail_streak += 1;
+        self.probe_in = self.backoff();
+        self.rung
+    }
+
+    /// A `max-resolves` overload lowers the *home* rung to ordering:
+    /// the LP tier is permanently off the table, so pending probes that
+    /// would retry it are cancelled.
+    pub fn demote_home(&mut self) {
+        self.home = Tier::Ordering;
+        if self.rung == Tier::Lp {
+            self.rung = Tier::Ordering;
+        }
+        if !self.degraded() {
+            self.fail_streak = 0;
+            self.probe_in = 0;
+        }
+    }
+
+    /// Ticks the probe countdown on a validated arrival. Returns `true`
+    /// when this arrival should carry a retry probe.
+    pub fn tick_arrival(&mut self) -> bool {
+        if !self.degraded() || self.probe_in == 0 {
+            return false;
+        }
+        self.probe_in -= 1;
+        self.probe_in == 0
+    }
+
+    /// A probe succeeded: move one rung up (toward home), clear the
+    /// streak, and — if still degraded — probe again on the very next
+    /// arrival. Returns the new rung.
+    pub fn probe_succeeded(&mut self) -> Tier {
+        self.rung = match self.rung {
+            Tier::Shed => Tier::Ordering,
+            Tier::Ordering | Tier::Lp => Tier::Lp,
+        };
+        if self.rung < self.home {
+            self.rung = self.home;
+        }
+        self.fail_streak = 0;
+        self.probe_in = if self.degraded() { 1 } else { 0 };
+        self.rung
+    }
+
+    /// A probe failed: double the backoff; four consecutive failures
+    /// from the ordering rung drop to admission shed. Returns the
+    /// (possibly lowered) rung.
+    pub fn probe_failed(&mut self) -> Tier {
+        self.fail_streak += 1;
+        if self.rung == Tier::Ordering && self.fail_streak >= SHED_AFTER {
+            self.rung = Tier::Shed;
+        }
+        self.probe_in = self.backoff();
+        self.rung
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demote_walks_down_one_rung_at_a_time() {
+        let mut l = Ladder::new(Tier::Lp);
+        assert!(!l.degraded());
+        assert_eq!(l.demote(), Tier::Ordering);
+        assert!(l.degraded());
+        assert_eq!(l.demote(), Tier::Shed);
+        assert_eq!(l.demote(), Tier::Shed); // bottom rung is absorbing
+    }
+
+    #[test]
+    fn probe_fires_after_exponential_backoff() {
+        let mut l = Ladder::new(Tier::Lp);
+        l.demote(); // streak 1 → probe in 2 arrivals
+        assert_eq!(l.probe_in(), 2);
+        assert!(!l.tick_arrival());
+        assert!(l.tick_arrival());
+        l.probe_failed(); // streak 2 → probe in 4
+        assert_eq!(l.probe_in(), 4);
+        for _ in 0..3 {
+            assert!(!l.tick_arrival());
+        }
+        assert!(l.tick_arrival());
+    }
+
+    #[test]
+    fn success_climbs_back_to_home_and_clears_the_streak() {
+        let mut l = Ladder::new(Tier::Lp);
+        l.demote();
+        l.demote(); // shed
+        assert_eq!(l.probe_succeeded(), Tier::Ordering);
+        assert_eq!(l.fail_streak(), 0);
+        assert_eq!(l.probe_in(), 1); // still degraded: probe next arrival
+        assert!(l.tick_arrival());
+        assert_eq!(l.probe_succeeded(), Tier::Lp);
+        assert!(!l.degraded());
+        assert_eq!(l.probe_in(), 0);
+    }
+
+    #[test]
+    fn repeated_probe_failures_shed_admissions() {
+        let mut l = Ladder::new(Tier::Lp);
+        l.demote(); // ordering, streak 1
+        l.probe_failed(); // streak 2
+        l.probe_failed(); // streak 3
+        assert_eq!(l.rung(), Tier::Ordering);
+        assert_eq!(l.probe_failed(), Tier::Shed); // streak 4
+    }
+
+    #[test]
+    fn demote_home_disables_lp_probes() {
+        let mut l = Ladder::new(Tier::Lp);
+        l.demote_home();
+        assert_eq!(l.rung(), Tier::Ordering);
+        assert_eq!(l.home(), Tier::Ordering);
+        assert!(!l.degraded());
+        assert!(!l.tick_arrival());
+        // A later fault still sheds, and a probe only climbs back to
+        // the new home.
+        l.demote();
+        assert_eq!(l.rung(), Tier::Shed);
+        assert_eq!(l.probe_succeeded(), Tier::Ordering);
+        assert!(!l.degraded());
+    }
+
+    #[test]
+    fn ticks_on_a_healthy_ladder_are_free() {
+        let mut l = Ladder::new(Tier::Ordering);
+        for _ in 0..100 {
+            assert!(!l.tick_arrival());
+        }
+        assert_eq!(l.fail_streak(), 0);
+    }
+}

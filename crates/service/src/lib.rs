@@ -21,6 +21,12 @@
 //! * [`protocol`] — the line protocol spoken on stdin and TCP;
 //! * [`fallback`] — the LP-free Sincronia ordering tier an overloaded
 //!   or failing tenant degrades onto (instead of being quarantined);
+//! * [`ladder`] — the degrade ladder (LP → ordering → shed) with
+//!   exponential-backoff retry probes;
+//! * [`journal`] — the per-tenant write-ahead journal and its reader
+//!   (crash recovery via `coflow serve --journal DIR --recover`);
+//! * [`fault`] — the deterministic fault-injection plan
+//!   (`--fault-plan`) the chaos tests drive the daemon with;
 //! * [`daemon`] — the serve loop (session handling, tenant map);
 //! * [`feed`] — the client that replays a trace file against a daemon.
 //!
@@ -28,11 +34,15 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
 
 pub mod daemon;
 pub mod engine;
 pub mod fallback;
+pub mod fault;
 pub mod feed;
+pub mod journal;
+pub mod ladder;
 pub mod metrics;
 pub mod protocol;
 pub mod shard;

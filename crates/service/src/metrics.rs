@@ -9,7 +9,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    sorted.sort_by(f64::total_cmp);
     let rank = (q / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -34,6 +34,17 @@ pub struct ServiceMetrics {
     pub warm_epochs: usize,
     /// Epochs observed.
     pub epochs: usize,
+    /// Degrade-ladder demotions (engine errors, watchdog breaches,
+    /// max-resolves overloads).
+    pub degrades: usize,
+    /// Retry probes attempted from a degraded rung.
+    pub probes: usize,
+    /// Successful promotions back up the ladder.
+    pub promotions: usize,
+    /// Arrivals refused while shedding admissions.
+    pub shed: usize,
+    /// Epochs replayed from the write-ahead journal instead of solved.
+    pub recovered_epochs: usize,
 }
 
 impl ServiceMetrics {
@@ -62,6 +73,7 @@ impl ServiceMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

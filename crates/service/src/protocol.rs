@@ -6,17 +6,22 @@
 //! HELLO <tenant> <ports> [base=0|1] [policy=event|doubling] [shards=G]
 //!       [split=equal|prop] [ms-per-slot=F] [mb-per-slot=F] [scale=F]
 //!       [tier=lp|ordering] [fallback=ordering|none] [max-resolves=N]
-//!       [deadline-slack=F] [cold] [shadow-cold] [plans]
+//!       [max-solve-ms=F] [deadline-slack=F] [cold] [shadow-cold] [plans]
 //! <id> <arrival_ms> <m> <mappers…> <r> <port:MB…>   # FB2010 coflow line
 //! BYE
 //! ```
 //!
 //! `tier=ordering` schedules the tenant entirely on the LP-free
-//! Sincronia tier ([`crate::fallback`]); `fallback=ordering` keeps the
-//! LP tier but degrades to it (instead of quarantining) when the engine
-//! errors or exceeds `max-resolves` LP re-solves. `deadline-slack=F`
-//! synthesizes a per-coflow deadline `release + max(1, ⌈F·Γ⌉)` from the
-//! coflow's own bottleneck load `Γ`; misses are reported on `DONE`.
+//! Sincronia tier ([`crate::fallback`]); engine errors and solve-budget
+//! breaches (`max-solve-ms=F` milliseconds per epoch) demote an LP
+//! tenant one rung down the degrade ladder (LP → ordering → shed)
+//! instead of quarantining it, and exponential-backoff probes promote
+//! it back up once the engine recovers ([`crate::ladder`]).
+//! `fallback=ordering` with `max-resolves=N` caps LP re-solves: past
+//! the cap the tenant moves to the ordering tier for good.
+//! `deadline-slack=F` synthesizes a per-coflow deadline
+//! `release + max(1, ⌈F·Γ⌉)` from the coflow's own bottleneck load `Γ`;
+//! misses are reported on `DONE`.
 //!
 //! A bare `<ports> <coflows>` header (the first line of an FB2010
 //! trace file) is accepted as an implicit `HELLO` for a default tenant
@@ -38,22 +43,39 @@ use coflow_workloads::trace::{parse_coflow_line, ReplayOptions, TraceCoflow};
 /// The tenant name used by the implicit-HELLO stdin path.
 pub const DEFAULT_TENANT: &str = "default";
 
-/// Which scheduling tier a tenant runs on.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Which scheduling tier a tenant runs on. The variants are ordered as
+/// the rungs of the degrade ladder: [`Tier::Lp`] is the top,
+/// [`Tier::Shed`] the bottom.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
     /// The warm time-indexed LP epoch engine (the default).
     #[default]
     Lp,
     /// The LP-free Sincronia ordering tier ([`crate::fallback`]).
     Ordering,
+    /// Admission shed: new arrivals are refused with `ERR` while the
+    /// tenant recovers. Not requestable via `HELLO` — only the degrade
+    /// ladder lands here ([`crate::ladder`]).
+    Shed,
 }
 
 impl Tier {
-    /// The protocol token for this tier (`lp` / `ordering`).
+    /// The protocol token for this tier (`lp` / `ordering` / `shed`).
     pub fn label(self) -> &'static str {
         match self {
             Tier::Lp => "lp",
             Tier::Ordering => "ordering",
+            Tier::Shed => "shed",
+        }
+    }
+
+    /// Parses a `STATE` journal token back into a tier.
+    pub fn from_label(s: &str) -> Option<Tier> {
+        match s {
+            "lp" => Some(Tier::Lp),
+            "ordering" => Some(Tier::Ordering),
+            "shed" => Some(Tier::Shed),
+            _ => None,
         }
     }
 }
@@ -90,6 +112,11 @@ pub struct Hello {
     /// than this many LP re-solves (`max-resolves=N`; `0` = unlimited).
     /// Only meaningful with `fallback=ordering`.
     pub max_resolves: usize,
+    /// Per-epoch solve budget in milliseconds (`max-solve-ms=F`):
+    /// an epoch whose wall time exceeds it demotes the tenant one rung
+    /// down the degrade ladder. `None` = no watchdog (the daemon-wide
+    /// `--max-solve-ms` default still applies when set).
+    pub max_solve_ms: Option<f64>,
     /// Synthesize per-coflow deadlines with this slack factor
     /// (`deadline-slack=F`; `None` = no deadlines).
     pub deadline_slack: Option<f64>,
@@ -112,6 +139,7 @@ impl Hello {
             tier: Tier::Lp,
             fallback: false,
             max_resolves: 0,
+            max_solve_ms: None,
             deadline_slack: None,
         }
     }
@@ -157,7 +185,9 @@ pub fn parse_request(line: &str, current_ports: Option<usize>) -> Result<Request
         return Ok(Request::Empty);
     }
     let mut tokens = trimmed.split_whitespace();
-    let head = tokens.next().expect("non-empty line has a token");
+    let Some(head) = tokens.next() else {
+        return Ok(Request::Empty);
+    };
     match head {
         "HELLO" => parse_hello(tokens).map(Request::Hello),
         "BYE" => Ok(Request::Bye),
@@ -254,6 +284,9 @@ fn parse_hello<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Hello, S
                         _ => return Err(format!("tier must be lp|ordering, got {value:?}")),
                     };
                 }
+                "max-solve-ms" => {
+                    hello.max_solve_ms = Some(parse_positive(value, "max-solve-ms")?);
+                }
                 "fallback" => {
                     hello.fallback = match value {
                         "ordering" => true,
@@ -346,10 +379,31 @@ pub fn to_port_coflow(c: &TraceCoflow, hello: &Hello) -> Result<PortCoflow, Stri
     })
 }
 
-/// Formats the `INFO` line announcing a tenant's degrade to the
-/// ordering tier.
-pub fn degrade_line(tenant: &str, reason: &str) -> String {
-    format!("INFO tenant={tenant} degraded=ordering reason={reason}")
+/// Formats the `INFO` line announcing a tenant's demotion to a lower
+/// tier of the degrade ladder.
+pub fn degrade_line(tenant: &str, to: Tier, reason: &str) -> String {
+    format!(
+        "INFO tenant={tenant} degraded={} reason={reason}",
+        to.label()
+    )
+}
+
+/// Formats the `INFO` line announcing a tenant's promotion back up the
+/// ladder after a successful retry probe.
+pub fn promote_line(tenant: &str, to: Tier, reason: &str) -> String {
+    format!(
+        "INFO tenant={tenant} promoted={} reason={reason}",
+        to.label()
+    )
+}
+
+/// Formats the `INFO` line a recovered session emits for each tenant it
+/// rebuilt from the write-ahead journal.
+pub fn recovered_line(tenant: &str, arrivals: usize, epochs: usize, tier: Tier) -> String {
+    format!(
+        "INFO tenant={tenant} recovered=1 arrivals={arrivals} epochs={epochs} tier={}",
+        tier.label()
+    )
 }
 
 /// Tier and deadline context for one tenant's `DONE` line, beyond what
@@ -363,6 +417,17 @@ pub struct DoneExtras {
     pub fallback_objective: Option<f64>,
     /// `(missed, total)` deadline accounting, when deadlines were set.
     pub deadline: Option<(usize, usize)>,
+    /// Ladder demotions this tenant took (engine errors + watchdog
+    /// breaches + max-resolves).
+    pub degrades: usize,
+    /// Retry probes attempted from a degraded rung.
+    pub probes: usize,
+    /// Successful promotions back up the ladder.
+    pub promotions: usize,
+    /// Arrivals refused while on the shed rung.
+    pub shed: usize,
+    /// Epochs restored from the write-ahead journal (recovery sessions).
+    pub recovered_epochs: usize,
 }
 
 /// Formats one `EPOCH` response line.
@@ -425,10 +490,20 @@ pub fn done_line(
     if let Some((missed, total)) = extras.deadline {
         line.push_str(&format!(" deadline-missed={missed}/{total}"));
     }
+    if extras.degrades + extras.probes + extras.promotions + extras.shed > 0 {
+        line.push_str(&format!(
+            " degrades={} probes={} promotions={} shed={}",
+            extras.degrades, extras.probes, extras.promotions, extras.shed
+        ));
+    }
+    if extras.recovered_epochs > 0 {
+        line.push_str(&format!(" recovered-epochs={}", extras.recovered_epochs));
+    }
     line
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

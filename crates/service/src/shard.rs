@@ -165,6 +165,7 @@ pub fn shard_fabric(num_ports: usize, egress_share: &[f64]) -> GadgetGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,154 @@
+//! Deterministic fault injection driving the degrade ladder end to
+//! end: injected engine faults and solve-budget breaches demote a
+//! tenant one rung at a time, backoff probes promote it back, and
+//! repeated probe failures shed admissions — all observable in the
+//! session's `INFO`/`ERR`/`DONE` lines.
+
+use coflow_runtime::Runtime;
+use coflow_service::daemon::{session_with, SessionOptions};
+use coflow_service::fault::FaultPlan;
+
+fn run(input: &str, opts: SessionOptions) -> (coflow_service::daemon::SessionSummary, String) {
+    let rt = Runtime::with_workers(2);
+    let mut out = Vec::new();
+    let summary = session_with(&rt, input.as_bytes(), &mut out, opts).expect("in-memory session");
+    (summary, String::from_utf8(out).expect("utf8 responses"))
+}
+
+fn staggered_input(n: usize) -> String {
+    let mut input = String::from("HELLO t 4 base=0\n");
+    for k in 0..n {
+        let (m, r) = (k % 2, 2 + (k % 2));
+        input.push_str(&format!("c{k} {} 1 {m} 1 {r}:125\n", k * 1000));
+    }
+    input.push_str("BYE\n");
+    input
+}
+
+#[test]
+fn injected_slow_epoch_trips_the_watchdog_then_probe_promotes() {
+    // A huge real budget that only the injected slow epoch 0 breaches:
+    // the tenant demotes once, the probe two arrivals later replays the
+    // backlog, and the stream finishes back on the LP tier.
+    let opts = SessionOptions {
+        max_solve_ms: Some(1e9),
+        fault: FaultPlan::parse("slow=0").expect("valid plan"),
+        ..SessionOptions::default()
+    };
+    let (summary, out) = run(&staggered_input(6), opts);
+    assert_eq!(summary.errors, 0, "{out}");
+    assert_eq!(summary.admitted, 6, "{out}");
+    assert!(
+        out.contains("degraded=ordering reason=solve-budget=1000000000ms exceeded"),
+        "{out}"
+    );
+    assert!(out.contains("injected-slow"), "{out}");
+    assert!(
+        out.contains("INFO tenant=t promoted=lp reason=probe"),
+        "{out}"
+    );
+    let done = out
+        .lines()
+        .find(|l| l.starts_with("DONE tenant=t"))
+        .expect("DONE line");
+    assert!(done.contains(" tier=lp"), "{done}");
+    assert!(
+        done.contains("degrades=1 probes=1 promotions=1 shed=0"),
+        "{done}"
+    );
+}
+
+#[test]
+fn no_budget_means_no_watchdog() {
+    // The same injected slow epoch is inert without a configured
+    // budget: `slow` marks reports as breaches, it does not create a
+    // budget by itself.
+    let opts = SessionOptions {
+        fault: FaultPlan::parse("slow=0;seed=5").expect("valid plan"),
+        ..SessionOptions::default()
+    };
+    let (summary, out) = run(&staggered_input(4), opts);
+    assert_eq!(summary.errors, 0, "{out}");
+    assert!(!out.contains("degraded"), "{out}");
+    assert!(out.contains("DONE tenant=t"), "{out}");
+}
+
+#[test]
+fn persistent_engine_faults_walk_the_ladder_down_to_shed() {
+    // Every engine admission attempt fails: the first demotes to
+    // ordering, three failed probes (at arrivals 3, 7, 15 — backoff
+    // 2, 4, 8) walk the streak to four and shed admissions, and the
+    // shed-rung probe 16 arrivals later trivially promotes back to
+    // ordering.
+    let every: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+    let opts = SessionOptions {
+        fault: FaultPlan::parse(&format!("engine-error={}", every.join(","))).expect("valid plan"),
+        ..SessionOptions::default()
+    };
+    let (summary, out) = run(&staggered_input(40), opts);
+    assert!(
+        out.contains("INFO tenant=t degraded=ordering reason=engine-error"),
+        "{out}"
+    );
+    assert!(out.contains("INFO tenant=t probe=failed"), "{out}");
+    assert!(
+        out.contains("INFO tenant=t degraded=shed reason=probe-failed"),
+        "{out}"
+    );
+    assert!(out.contains("ERR tenant t is shedding admissions"), "{out}");
+    assert!(
+        out.contains("INFO tenant=t promoted=ordering reason=probe"),
+        "{out}"
+    );
+    // Shed refusals are counted as errors but the session survives to a
+    // DONE line scheduling everything that was admitted.
+    assert!(summary.errors > 0, "{out}");
+    let done = out
+        .lines()
+        .find(|l| l.starts_with("DONE tenant=t"))
+        .expect("DONE line");
+    assert!(
+        done.contains(&format!("admitted={}", summary.admitted)),
+        "{done}"
+    );
+    assert!(done.contains("shed="), "{done}");
+    assert_eq!(
+        summary.admitted + shed_count(done),
+        40,
+        "every arrival is either admitted or shed: {done}"
+    );
+}
+
+fn shed_count(done: &str) -> usize {
+    done.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("shed="))
+        .and_then(|v| v.parse().ok())
+        .expect("DONE line carries shed=")
+}
+
+#[test]
+fn injected_garbage_lines_yield_errs_and_nothing_else() {
+    let opts = SessionOptions {
+        fault: FaultPlan::parse("seed=3;garbage=2x3").expect("valid plan"),
+        ..SessionOptions::default()
+    };
+    let (summary, out) = run(&staggered_input(2), opts);
+    // Three garbage lines injected before input line 2, each an ERR;
+    // both real coflows still admitted and finished.
+    assert_eq!(summary.errors, 3, "{out}");
+    assert_eq!(summary.admitted, 2, "{out}");
+    assert!(out.contains("DONE tenant=t admitted=2"), "{out}");
+}
+
+#[test]
+fn disconnect_fault_aborts_without_done() {
+    let opts = SessionOptions {
+        fault: FaultPlan::parse("disconnect=3").expect("valid plan"),
+        ..SessionOptions::default()
+    };
+    let (summary, out) = run(&staggered_input(6), opts);
+    // HELLO + two coflows processed, then the simulated crash: no BYE
+    // handling, no DONE lines.
+    assert_eq!(summary.admitted, 2, "{out}");
+    assert!(!out.contains("DONE"), "{out}");
+}
